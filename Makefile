@@ -1,0 +1,43 @@
+# Convenience targets for the PAROLE reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-race test-short cover bench experiments experiments-full vet fmt clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# One testing.B bench per table/figure plus hot-path micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every table and figure at the default (minutes-scale) budget.
+experiments:
+	$(GO) run ./cmd/parole-bench -out results
+
+# The paper's full Table II budgets and grids (hours on one core).
+experiments-full:
+	$(GO) run ./cmd/parole-bench -full -out results-full
+
+clean:
+	rm -rf results-full

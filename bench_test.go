@@ -1,0 +1,320 @@
+// Benchmarks regenerating the paper's evaluation artifacts — one bench per
+// table/figure (Table II, Table III, Fig. 5–11) plus micro-benchmarks on the
+// hot paths. Each bench runs a scaled-down configuration so `go test
+// -bench=.` finishes on a laptop; `cmd/parole-bench -full` produces the
+// paper-budget series recorded in EXPERIMENTS.md.
+//
+// Custom metrics reported via b.ReportMetric carry the figure's headline
+// quantity (profit in sats, reward units, solution-size mode, …) so a bench
+// run doubles as a sanity check of each experiment's direction.
+package parole_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"parole"
+	"parole/internal/casestudy"
+	"parole/internal/chainid"
+	"parole/internal/gentranseq"
+	"parole/internal/ovm"
+	"parole/internal/rl"
+	"parole/internal/sim"
+	"parole/internal/snapshot"
+	"parole/internal/solver"
+)
+
+// tinyGen is the benchmark-scale DQN budget.
+func tinyGen() gentranseq.Config {
+	cfg := gentranseq.FastConfig()
+	cfg.Episodes = 8
+	cfg.MaxSteps = 30
+	cfg.RL.Hidden = []int{16}
+	return cfg
+}
+
+// BenchmarkTable2TrainingStep measures one DQN training episode under the
+// Table II hyper-parameters (the unit of work behind every training figure).
+func BenchmarkTable2TrainingStep(b *testing.B) {
+	s, err := casestudy.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := gentranseq.NewEnv(ovm.New(), s.State, s.Original,
+		[]chainid.Address{casestudy.IFU}, gentranseq.DefaultEnvConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := rl.DefaultConfig()
+	cfg.Hidden = []int{16}
+	agent, err := rl.NewAgent(rand.New(rand.NewSource(1)), env.ObservationSize(), env.NumActions(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agent.RunEpisode(env, cfg.Epsilon.At(i), 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3TxBehavior regenerates Table III (PT behavior through the
+// full rollup pipeline).
+func BenchmarkTable3TxBehavior(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.RunTable3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig5CaseStudies replays the three Fig. 5 case studies.
+func BenchmarkFig5CaseStudies(b *testing.B) {
+	s, err := casestudy.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	vm := ovm.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, seq := range []parole.Seq{s.Original, s.Case2, s.Case3} {
+			if _, _, err := vm.WealthTrace(s.State, seq, casestudy.IFU); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6AvgProfitPerIFU regenerates a reduced Fig. 6 cell grid and
+// reports the 1-IFU profit in sats.
+func BenchmarkFig6AvgProfitPerIFU(b *testing.B) {
+	var lastProfit float64
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.RunFig6(sim.Fig6Config{
+			MempoolSizes:        []int{10, 25},
+			IFUCounts:           []int{1, 2},
+			AdversarialFraction: 0.10,
+			Aggregators:         10,
+			Trials:              1,
+			Optimizer:           sim.OptimizerConfig{Kind: sim.OptHillClimb, SolverEvals: 1000},
+			Seed:                int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastProfit = float64(rows[0].AvgProfitPerIFU.Sats())
+	}
+	b.ReportMetric(lastProfit, "sats/IFU@N=10")
+}
+
+// BenchmarkFig7TotalProfit regenerates a reduced Fig. 7 sweep and reports
+// the 50%-adversarial total profit in sats.
+func BenchmarkFig7TotalProfit(b *testing.B) {
+	var lastProfit float64
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.RunFig7(sim.Fig7Config{
+			AdversarialPercents: []int{10, 50},
+			MempoolSizes:        []int{16},
+			IFUs:                1,
+			Aggregators:         10,
+			Trials:              1,
+			Optimizer:           sim.OptimizerConfig{Kind: sim.OptHillClimb, SolverEvals: 1000},
+			Seed:                int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastProfit = float64(rows[len(rows)-1].TotalProfitSats)
+	}
+	b.ReportMetric(lastProfit, "sats@50%adv")
+}
+
+// BenchmarkFig8RewardCurves regenerates a reduced Fig. 8 (three ε curves).
+func BenchmarkFig8RewardCurves(b *testing.B) {
+	var lastSmoothed float64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultFig8Config()
+		cfg.MempoolSize = 8
+		cfg.Episodes = 6
+		cfg.MaxSteps = 12
+		cfg.RL.Hidden = []int{16}
+		cfg.Seed = int64(i + 1)
+		points, err := sim.RunFig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastSmoothed = points[len(points)-1].Smoothed
+	}
+	b.ReportMetric(lastSmoothed, "final-movavg-reward")
+}
+
+// BenchmarkFig9SolutionSizeKDE regenerates a reduced Fig. 9 KDE.
+func BenchmarkFig9SolutionSizeKDE(b *testing.B) {
+	var lastMode float64
+	for i := 0; i < b.N; i++ {
+		curves, err := sim.RunFig9(sim.Fig9Config{
+			MempoolSize: 8,
+			IFUCounts:   []int{1},
+			Runs:        3,
+			Gen:         tinyGen(),
+			CurvePoints: 20,
+			Seed:        int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(curves) > 0 {
+			lastMode = curves[0].Mode
+		}
+	}
+	b.ReportMetric(lastMode, "mode-swaps")
+}
+
+// BenchmarkFig10SnapshotImpact regenerates the Fig. 10 snapshot study.
+func BenchmarkFig10SnapshotImpact(b *testing.B) {
+	var arbRatio float64
+	for i := 0; i < b.N; i++ {
+		cfg := snapshot.DefaultStudyConfig()
+		cfg.CollectionsPerCell = 10
+		rows, err := snapshot.RunStudy(rand.New(rand.NewSource(int64(i+1))), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var opt, arb float64
+		for _, r := range rows {
+			if r.Chain == snapshot.Optimism {
+				opt += r.TotalProfit.ETHFloat()
+			} else {
+				arb += r.TotalProfit.ETHFloat()
+			}
+		}
+		if opt > 0 {
+			arbRatio = arb / opt
+		}
+	}
+	b.ReportMetric(arbRatio, "arbitrum/optimism-profit")
+}
+
+// BenchmarkFig11SolverComparison regenerates a reduced Fig. 11 point set and
+// reports the DQN-inference time share versus the solver baselines.
+func BenchmarkFig11SolverComparison(b *testing.B) {
+	var dqnShare float64
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.RunFig11(sim.Fig11Config{
+			MempoolSizes:   []int{5, 10},
+			IFUs:           1,
+			Gen:            tinyGen(),
+			InferenceSteps: 15,
+			SolverEvals:    200,
+			Seed:           int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var dqn, total float64
+		for _, r := range rows {
+			total += float64(r.Duration.Microseconds())
+			if r.Solver == "dqn-inference" {
+				dqn += float64(r.Duration.Microseconds())
+			}
+		}
+		if total > 0 {
+			dqnShare = dqn / total
+		}
+	}
+	b.ReportMetric(dqnShare, "dqn-time-share")
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path micro-benchmarks.
+
+// BenchmarkOVMExecute measures one 8-tx sequence execution with Merkle
+// roots — the full-fidelity path.
+func BenchmarkOVMExecute(b *testing.B) {
+	s, err := casestudy.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	vm := ovm.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vm.Execute(s.State, s.Original); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOVMEvaluate measures the root-free candidate-evaluation path
+// GENTRANSEQ hits once per training step.
+func BenchmarkOVMEvaluate(b *testing.B) {
+	s, err := casestudy.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	vm := ovm.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := vm.Evaluate(s.State, s.Original, casestudy.IFU); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStateRoot measures the Merkle commitment over the case-study
+// world.
+func BenchmarkStateRoot(b *testing.B) {
+	s, err := casestudy.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.State.Root()
+	}
+}
+
+// BenchmarkDQNForward measures one Q-network forward pass at N=50 scale
+// (input 400, output C(50,2)=1225).
+func BenchmarkDQNForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	agent, err := rl.NewAgent(rng, 400, 1225, rl.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := make([]float64, 400)
+	for i := range obs {
+		obs[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agent.Greedy(obs, 1225); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHillClimbSolve measures one bounded hill-climb solve on the
+// case-study batch.
+func BenchmarkHillClimbSolve(b *testing.B) {
+	s, err := casestudy.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	vm := ovm.New()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj, err := solver.NewObjective(vm, s.State, s.Original, []chainid.Address{casestudy.IFU})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := (solver.HillClimb{}).Solve(rng, obj, solver.Budget{MaxEvaluations: 300}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

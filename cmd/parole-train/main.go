@@ -1,0 +1,116 @@
+// Command parole-train trains the GENTRANSEQ DQN on one scenario and emits
+// the per-episode reward series (the raw input of Fig. 8), optionally saving
+// the trained Q-network weights.
+//
+// Usage:
+//
+//	parole-train [-mempool N] [-ifus K] [-episodes E] [-steps T]
+//	             [-epsilon E0] [-seed S] [-weights FILE] [-casestudy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"parole/internal/casestudy"
+	"parole/internal/chainid"
+	"parole/internal/gentranseq"
+	"parole/internal/ovm"
+	"parole/internal/rl"
+	"parole/internal/sim"
+	"parole/internal/state"
+	"parole/internal/stats"
+	"parole/internal/tx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "parole-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mempoolSize = flag.Int("mempool", 25, "batch size N")
+		ifus        = flag.Int("ifus", 1, "number of IFUs")
+		episodes    = flag.Int("episodes", 100, "training episodes (Table II: 100)")
+		steps       = flag.Int("steps", 200, "steps per episode (Table II: 200)")
+		epsilon     = flag.Float64("epsilon", 0.95, "initial exploration ε (Table II: 0.95)")
+		seed        = flag.Int64("seed", 1, "RNG seed")
+		weightsPath = flag.String("weights", "", "write trained Q-network weights to this file")
+		useCase     = flag.Bool("casestudy", false, "train on the paper's Section VI batch")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	vm := ovm.New()
+
+	var (
+		base    *state.State
+		batch   tx.Seq
+		targets []chainid.Address
+	)
+	if *useCase {
+		s, err := casestudy.New()
+		if err != nil {
+			return err
+		}
+		base, batch, targets = s.State, s.Original, []chainid.Address{casestudy.IFU}
+	} else {
+		sc, err := sim.GenerateScenario(rng, sim.ScenarioConfig{MempoolSize: *mempoolSize, NumIFUs: *ifus})
+		if err != nil {
+			return err
+		}
+		base, batch, targets = sc.State, sc.Batch, sc.IFUs
+	}
+
+	env, err := gentranseq.NewEnv(vm, base, batch, targets, gentranseq.DefaultEnvConfig())
+	if err != nil {
+		return err
+	}
+	rlCfg := rl.DefaultConfig()
+	rlCfg.Epsilon.Max = *epsilon
+	if rlCfg.Epsilon.Min > *epsilon {
+		rlCfg.Epsilon.Min = *epsilon
+	}
+	agent, err := rl.NewAgent(rng, env.ObservationSize(), env.NumActions(), rlCfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "training: N=%d, IFUs=%d, %d episodes × %d steps, ε0=%.2f, q-network %d params\n",
+		len(batch), len(targets), *episodes, *steps, *epsilon, agent.QNetwork().NumParams())
+
+	rewards, err := gentranseq.TrainAgent(agent, env, *episodes, *steps, rlCfg.Epsilon)
+	if err != nil {
+		return err
+	}
+	smoothed, err := stats.MovingAverage(rewards, 9)
+	if err != nil {
+		return err
+	}
+	fmt.Println("episode\tepsilon\treward\tmoving_avg_w9")
+	for i, rwd := range rewards {
+		fmt.Printf("%d\t%.4f\t%.2f\t%.2f\n", i, rlCfg.Epsilon.At(i), rwd, smoothed[i])
+	}
+	if best, improvement := env.Best(); best != nil {
+		fmt.Fprintf(os.Stderr, "best valid order improves IFU wealth by %s ETH\n", improvement)
+	} else {
+		fmt.Fprintln(os.Stderr, "no improving valid order found")
+	}
+
+	if *weightsPath != "" {
+		data, err := agent.QNetwork().MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*weightsPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d bytes of Q-network weights to %s\n", len(data), *weightsPath)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package parole_test
+
+import (
+	"fmt"
+	"log"
+
+	"parole"
+)
+
+// ExampleCaseStudy replays the paper's Fig. 5 case 1: the IFU's total
+// balance under the original (fee) order.
+func ExampleCaseStudy() {
+	s, err := parole.CaseStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm := parole.NewVM()
+	res, err := vm.Execute(s.State, s.Original)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("executed:", res.Executed, "of", len(s.Original))
+	fmt.Println("IFU total:", res.State.TotalWealth(parole.CaseStudyIFU), "ETH")
+	// Output:
+	// executed: 7 of 8
+	// IFU total: 2.5 ETH
+}
+
+// ExampleDeployToken mints the first token of a fresh limited-edition
+// collection and shows the Eq. 10 price move.
+func ExampleDeployToken() {
+	st := parole.NewState()
+	nft, err := parole.DeployToken(parole.DeriveAddress("art"), parole.TokenConfig{
+		Name: "Art", Symbol: "ART", MaxSupply: 4, InitialPrice: parole.FromFloat(0.1),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.DeployToken(nft); err != nil {
+		log.Fatal(err)
+	}
+	alice := parole.UserAddress(1)
+	st.Credit(alice, parole.FromETH(1))
+
+	fmt.Println("price before:", nft.Price())
+	res, err := parole.NewVM().Execute(st, parole.Seq{parole.Mint(nft.Address(), 0, alice)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := res.State.Token(nft.Address())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("price after:", after.Price())
+	// Output:
+	// price before: 0.1
+	// price after: 0.133333333
+	//
+}
+
+// ExampleAssessArbitrage screens the case-study batch the way the PAROLE
+// module does before training anything.
+func ExampleAssessArbitrage() {
+	s, err := parole.CaseStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := parole.AssessArbitrage(s.Original, []parole.Address{parole.CaseStudyIFU})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("opportunity:", a.Opportunity)
+	fmt.Println("IFU trades:", a.IFUTrades, "price movers:", a.PriceMovers)
+	// Output:
+	// opportunity: true
+	// IFU trades: 3 price movers: 3
+}

@@ -1,0 +1,3 @@
+module parole
+
+go 1.22

@@ -1,0 +1,122 @@
+package parole_test
+
+import (
+	"testing"
+
+	"parole"
+)
+
+// TestAttackVersusDefense is the end-to-end arms race: the same pending
+// batch flows once through an undefended mempool into an adversarial
+// aggregator, and once through the Section VIII detector first. The defended
+// path must cut the extractable profit to (at most) the detector's residual.
+func TestAttackVersusDefense(t *testing.T) {
+	s, err := parole.CaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := parole.NewVM()
+	ifus := []parole.Address{parole.CaseStudyIFU}
+
+	extractable := func(batch parole.Seq) parole.Amount {
+		if len(batch) < 2 {
+			return 0
+		}
+		obj, err := parole.NewSolverObjective(vm, s.State, batch, ifus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := parole.HillClimbSolver.Solve(parole.NewRand(3), obj, parole.SolverBudget{MaxEvaluations: 4000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol.Improvement
+	}
+
+	// Undefended: the adversary sees the full fee-ordered batch.
+	undefended := extractable(s.Original)
+	if undefended <= 0 {
+		t.Fatal("no extractable profit on the raw batch")
+	}
+
+	// Defended: the detector screens the same pending set first.
+	threshold := parole.FromFloat(0.05)
+	det, err := parole.NewDetector(vm, parole.SearchDetectorBackend{
+		Rng:            parole.NewRand(7),
+		MaxEvaluations: 3000,
+	}, parole.DetectorConfig{BaseThreshold: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := det.Inspect(s.State, s.Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Triggered {
+		t.Fatal("detector did not trigger on an exploitable batch")
+	}
+	demoted := make(map[parole.Hash]bool, len(report.Demoted))
+	for _, d := range report.Demoted {
+		demoted[d.Hash()] = true
+	}
+	var defendedBatch parole.Seq
+	for _, txn := range s.Original {
+		if !demoted[txn.Hash()] {
+			defendedBatch = append(defendedBatch, txn)
+		}
+	}
+	defended := extractable(defendedBatch)
+	if defended >= undefended {
+		t.Fatalf("defense did not reduce profit: %s vs %s", defended, undefended)
+	}
+	if defended > threshold {
+		t.Fatalf("residual profit %s exceeds the threshold %s", defended, threshold)
+	}
+}
+
+// TestMultiIFUAttack: the adversarial sequencer can serve two colluding
+// users at once; total profit is positive and the final order stays a valid
+// permutation.
+func TestMultiIFUAttack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DQN training")
+	}
+	s, err := parole.CaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := parole.NewVM()
+	// U19 mints (TX2) and sells (TX4) — a plausible second IFU.
+	u19 := parole.UserAddress(19)
+	ifus := []parole.Address{parole.CaseStudyIFU, u19}
+
+	gen := parole.FastGenConfig()
+	gen.Episodes = 30
+	gen.MaxSteps = 80
+	out, err := parole.Attack(parole.NewRand(42), vm, s.State, s.Original, ifus, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Improved {
+		t.Skip("no improving order for this seed; acceptable for 2 IFUs")
+	}
+	if !s.Original.SamePermutation(out.Final) {
+		t.Fatal("multi-IFU attack violated the permutation constraint")
+	}
+	// The improvement is the summed wealth gain across both IFUs.
+	resHonest, err := vm.Execute(s.State, s.Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resAttack, err := vm.Execute(s.State, out.Final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gain parole.Amount
+	for _, ifu := range ifus {
+		gain += resAttack.State.TotalWealth(ifu) - resHonest.State.TotalWealth(ifu)
+	}
+	if gain != out.Improvement {
+		t.Fatalf("reported improvement %s, measured %s", out.Improvement, gain)
+	}
+}

@@ -1,0 +1,136 @@
+// Package arbitrage implements the PAROLE module's opportunity assessment
+// (Section V-B): given the batch an adversarial aggregator collected and the
+// identities of the illicitly favored users (IFUs), decide whether
+// re-ordering can plausibly raise the IFUs' final balance, and verify that a
+// proposed re-ordering keeps every originally-executable transaction
+// executable.
+package arbitrage
+
+import (
+	"errors"
+	"fmt"
+
+	"parole/internal/chainid"
+	"parole/internal/ovm"
+	"parole/internal/state"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// Package errors.
+var (
+	ErrNoIFU = errors.New("arbitrage: no IFU given")
+)
+
+// Assessment is the outcome of screening a batch for arbitrage potential.
+type Assessment struct {
+	// Opportunity is the overall verdict.
+	Opportunity bool
+	// Involvement maps each IFU (by input index) to the indices of batch
+	// transactions involving it.
+	Involvement [][]int
+	// PriceMovers counts mint/burn transactions in the batch: the only
+	// transactions that move the Eq. 10 price, so without at least one the
+	// order cannot matter to a mark-to-market balance.
+	PriceMovers int
+	// IFUAcquisitions counts transactions in which some IFU gains a token
+	// (mint, or transfer where the IFU buys) and IFUTrades counts all IFU
+	// mint/transfer involvements; the paper's screen wants "at least ... a
+	// pair of minting and transfer transactions".
+	IFUAcquisitions int
+	IFUTrades       int
+}
+
+// Assess screens a collected batch. The paper's criteria (Section V-B):
+// the IFU must be involved in multiple transactions — ideally at least one
+// mint plus one transfer — and the batch must contain supply-moving
+// transactions for re-ordering to change anything.
+func Assess(batch tx.Seq, ifus []chainid.Address) (Assessment, error) {
+	if len(ifus) == 0 {
+		return Assessment{}, ErrNoIFU
+	}
+	a := Assessment{Involvement: make([][]int, len(ifus))}
+	for i, ifu := range ifus {
+		a.Involvement[i] = batch.Involving(ifu)
+	}
+	a.PriceMovers = batch.CountKind(tx.KindMint) + batch.CountKind(tx.KindBurn)
+	for _, t := range batch {
+		for _, ifu := range ifus {
+			if !t.Involves(ifu) {
+				continue
+			}
+			switch t.Kind {
+			case tx.KindMint:
+				a.IFUAcquisitions++
+				a.IFUTrades++
+			case tx.KindTransfer:
+				if t.To == ifu {
+					a.IFUAcquisitions++
+				}
+				a.IFUTrades++
+			}
+			break // count each tx once even with several IFUs involved
+		}
+	}
+	// Every IFU must appear in at least two transactions, there must be an
+	// IFU-side trade, and the batch must move the price.
+	a.Opportunity = a.PriceMovers > 0 && a.IFUTrades >= 1
+	for _, inv := range a.Involvement {
+		if len(inv) < 2 {
+			a.Opportunity = false
+			break
+		}
+	}
+	return a, nil
+}
+
+// ReorderCheck is the verdict on a candidate re-ordering.
+type ReorderCheck struct {
+	// Valid means the candidate is a permutation of the original whose
+	// executed set covers the original's executed set ("it is crucial to
+	// verify the execution of specific transactions, all of which would
+	// have satisfied the constraints in the original sequence").
+	Valid bool
+	// Reason is a human-readable explanation when Valid is false.
+	Reason string
+	// Improvement is the summed IFU final-wealth delta (candidate −
+	// original), valid or not.
+	Improvement wei.Amount
+	// OriginalWealth and CandidateWealth hold per-IFU final wealth.
+	OriginalWealth  []wei.Amount
+	CandidateWealth []wei.Amount
+}
+
+// CheckReorder evaluates a candidate order against the original under base
+// state, per the constraints of Section V-B.
+func CheckReorder(vm *ovm.VM, base *state.State, original, candidate tx.Seq, ifus []chainid.Address) (ReorderCheck, error) {
+	if len(ifus) == 0 {
+		return ReorderCheck{}, ErrNoIFU
+	}
+	var check ReorderCheck
+	if !original.SamePermutation(candidate) {
+		check.Reason = "candidate is not a permutation of the original batch"
+		return check, nil
+	}
+	_, origExec, origWealth, err := vm.Evaluate(base, original, ifus...)
+	if err != nil {
+		return check, fmt.Errorf("evaluate original: %w", err)
+	}
+	_, candExec, candWealth, err := vm.Evaluate(base, candidate, ifus...)
+	if err != nil {
+		return check, fmt.Errorf("evaluate candidate: %w", err)
+	}
+	check.OriginalWealth = origWealth
+	check.CandidateWealth = candWealth
+	for i := range ifus {
+		check.Improvement += candWealth[i] - origWealth[i]
+	}
+	for h := range origExec {
+		if !candExec[h] {
+			check.Reason = "candidate order drops an originally-executable transaction"
+			return check, nil
+		}
+	}
+	check.Valid = true
+	return check, nil
+}

@@ -1,0 +1,175 @@
+package arbitrage_test
+
+import (
+	"errors"
+	"testing"
+
+	"parole/internal/arbitrage"
+	"parole/internal/casestudy"
+	"parole/internal/chainid"
+	"parole/internal/ovm"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+func scenario(t *testing.T) *casestudy.Scenario {
+	t.Helper()
+	s, err := casestudy.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAssessCaseStudyBatch(t *testing.T) {
+	s := scenario(t)
+	a, err := arbitrage.Assess(s.Original, []chainid.Address{casestudy.IFU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Opportunity {
+		t.Fatal("case-study batch should present an opportunity")
+	}
+	// IFU is involved in TX3, TX5, TX8 (indices 2, 4, 7).
+	want := []int{2, 4, 7}
+	if len(a.Involvement[0]) != len(want) {
+		t.Fatalf("involvement = %v, want %v", a.Involvement[0], want)
+	}
+	for i := range want {
+		if a.Involvement[0][i] != want[i] {
+			t.Fatalf("involvement = %v, want %v", a.Involvement[0], want)
+		}
+	}
+	// Price movers: TX2, TX5 mints + TX7 burn.
+	if a.PriceMovers != 3 {
+		t.Fatalf("price movers = %d, want 3", a.PriceMovers)
+	}
+	// IFU trades: mint TX5 + transfers TX3, TX8; acquisitions: TX5, TX8.
+	if a.IFUTrades != 3 || a.IFUAcquisitions != 2 {
+		t.Fatalf("trades/acquisitions = %d/%d, want 3/2", a.IFUTrades, a.IFUAcquisitions)
+	}
+}
+
+func TestAssessRejectsNoIFU(t *testing.T) {
+	s := scenario(t)
+	if _, err := arbitrage.Assess(s.Original, nil); !errors.Is(err, arbitrage.ErrNoIFU) {
+		t.Fatalf("Assess(nil IFUs) = %v", err)
+	}
+}
+
+func TestAssessNoOpportunityCases(t *testing.T) {
+	s := scenario(t)
+	stranger := chainid.UserAddress(500)
+
+	// Uninvolved IFU: no opportunity.
+	a, err := arbitrage.Assess(s.Original, []chainid.Address{stranger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Opportunity {
+		t.Fatal("stranger should have no opportunity")
+	}
+
+	// Single involvement only.
+	one := tx.Seq{s.Original[2], s.Original[1]} // one IFU transfer + a mint
+	a, err = arbitrage.Assess(one, []chainid.Address{casestudy.IFU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Opportunity {
+		t.Fatal("single IFU involvement should not be an opportunity")
+	}
+
+	// No price movers: transfers only.
+	flat := tx.Seq{s.Original[2], s.Original[7], s.Original[3]}
+	a, err = arbitrage.Assess(flat, []chainid.Address{casestudy.IFU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PriceMovers != 0 {
+		t.Fatalf("price movers = %d, want 0", a.PriceMovers)
+	}
+	if a.Opportunity {
+		t.Fatal("transfer-only batch cannot be an opportunity")
+	}
+}
+
+func TestCheckReorderAcceptsPaperOrders(t *testing.T) {
+	s := scenario(t)
+	vm := ovm.New()
+	tests := []struct {
+		name      string
+		candidate tx.Seq
+		wantGain  wei.Amount
+	}{
+		{name: "case2", candidate: s.Case2, wantGain: casestudy.FinalCase2 - casestudy.FinalCase1},
+		{name: "case3", candidate: s.Case3, wantGain: casestudy.FinalCase3 - casestudy.FinalCase1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			check, err := arbitrage.CheckReorder(vm, s.State, s.Original, tt.candidate, []chainid.Address{casestudy.IFU})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !check.Valid {
+				t.Fatalf("valid reorder rejected: %s", check.Reason)
+			}
+			if check.Improvement != tt.wantGain {
+				t.Fatalf("improvement = %s, want %s", check.Improvement, tt.wantGain)
+			}
+		})
+	}
+}
+
+func TestCheckReorderRejectsNonPermutation(t *testing.T) {
+	s := scenario(t)
+	vm := ovm.New()
+	truncated := s.Original[:7]
+	check, err := arbitrage.CheckReorder(vm, s.State, s.Original, truncated, []chainid.Address{casestudy.IFU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Valid {
+		t.Fatal("truncated candidate accepted")
+	}
+}
+
+func TestCheckReorderRejectsDroppedExecution(t *testing.T) {
+	s := scenario(t)
+	vm := ovm.New()
+	// Move TX8 (U1 sells token 3 to IFU) before TX1 and move TX3 (IFU sells
+	// token 0) to position 2 priced at 0.4... we need an order where an
+	// originally-executed tx becomes non-executable. Putting TX4 (U19 sells
+	// token 4) after a crafted burn is hard here; instead craft directly:
+	// move TX5 (IFU mint, costs ≥0.33) after TX8+TX3 manipulations that
+	// drain the IFU below the price. Simpler: an order where the IFU buys
+	// twice before selling: TX8 first (pay 0.4), then TX5 mint (pay 0.4),
+	// leaves 0.7; that's still fine. So craft via supply: burn TX7 before
+	// TX1 makes TX1 still fine... Use economic starvation of U2: U2 funds 5
+	// ETH — plenty. Instead exercise the check with an order that drops
+	// TX7: burning token 2 before U2 owns it (TX7 before TX1).
+	reordered := tx.Seq{s.Original[6], s.Original[0], s.Original[1], s.Original[2],
+		s.Original[3], s.Original[4], s.Original[5], s.Original[7]}
+	check, err := arbitrage.CheckReorder(vm, s.State, s.Original, reordered, []chainid.Address{casestudy.IFU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Valid {
+		t.Fatal("order dropping TX7's executability was accepted")
+	}
+	if check.Reason == "" {
+		t.Fatal("invalid reorder should carry a reason")
+	}
+}
+
+func TestCheckReorderIdentity(t *testing.T) {
+	s := scenario(t)
+	vm := ovm.New()
+	check, err := arbitrage.CheckReorder(vm, s.State, s.Original, s.Original, []chainid.Address{casestudy.IFU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !check.Valid || check.Improvement != 0 {
+		t.Fatalf("identity reorder: valid=%v improvement=%s", check.Valid, check.Improvement)
+	}
+}

@@ -1,0 +1,182 @@
+package casestudy
+
+import (
+	"testing"
+
+	"parole/internal/ovm"
+	"parole/internal/wei"
+)
+
+// TestFig5CaseStudies replays the paper's three case studies and pins every
+// printed IFU-balance and price column (exact integer arithmetic; the paper
+// rounds to two decimals).
+func TestFig5CaseStudies(t *testing.T) {
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := ovm.New()
+
+	if got := s.State.TotalWealth(IFU); got != InitialTotal {
+		t.Fatalf("initial IFU total = %s, want %s", got, InitialTotal)
+	}
+
+	tests := []struct {
+		name       string
+		order      int // 0=original, 2, 3
+		wantFinal  wei.Amount
+		wantPrices []wei.Amount // post-step PT price per row
+		wantTotals []wei.Amount // post-step IFU total per row
+	}{
+		{
+			name:      "case1 original order",
+			order:     0,
+			wantFinal: FinalCase1,
+			wantPrices: []wei.Amount{
+				wei.FromFloat(0.4), wei.FromFloat(0.5), wei.FromFloat(0.5),
+				wei.FromFloat(0.5), 666_666_666, 666_666_666,
+				wei.FromFloat(0.5), wei.FromFloat(0.5),
+			},
+			wantTotals: []wei.Amount{
+				wei.FromFloat(2.3), wei.FromFloat(2.5), wei.FromFloat(2.5),
+				wei.FromFloat(2.5), 2_833_333_332, 2_833_333_332,
+				wei.FromFloat(2.5), wei.FromFloat(2.5),
+			},
+		},
+		{
+			name:      "case2 candidate order",
+			order:     2,
+			wantFinal: FinalCase2,
+			wantPrices: []wei.Amount{
+				wei.FromFloat(0.4), 333_333_333, wei.FromFloat(0.4),
+				wei.FromFloat(0.4), wei.FromFloat(0.4), wei.FromFloat(0.4),
+				wei.FromFloat(0.5), wei.FromFloat(0.5),
+			},
+			wantTotals: []wei.Amount{
+				wei.FromFloat(2.3), 2_166_666_666, 2_366_666_667,
+				2_366_666_667, 2_366_666_667, 2_366_666_667,
+				2_566_666_667, 2_566_666_667,
+			},
+		},
+		{
+			name:      "case3 optimal order",
+			order:     3,
+			wantFinal: FinalCase3,
+			wantPrices: []wei.Amount{
+				wei.FromFloat(0.4), 333_333_333, 333_333_333,
+				wei.FromFloat(0.4), wei.FromFloat(0.4), wei.FromFloat(0.4),
+				wei.FromFloat(0.4), wei.FromFloat(0.5),
+			},
+			wantTotals: []wei.Amount{
+				wei.FromFloat(2.3), 2_166_666_666, 2_166_666_666,
+				2_433_333_334, 2_433_333_334, 2_433_333_334,
+				2_433_333_334, 2_733_333_334,
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			seq := s.Original
+			switch tt.order {
+			case 2:
+				seq = s.Case2
+			case 3:
+				seq = s.Case3
+			}
+			trace, res, err := vm.WealthTrace(s.State, seq, IFU)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Exactly one transaction (TX6) skips in every order.
+			if res.Executed != len(seq)-1 {
+				t.Fatalf("executed = %d, want %d", res.Executed, len(seq)-1)
+			}
+			for i, step := range res.Steps {
+				if step.Price != tt.wantPrices[i] {
+					t.Errorf("row %d price = %s, want %s", i+1, step.Price, tt.wantPrices[i])
+				}
+				if trace[i] != tt.wantTotals[i] {
+					t.Errorf("row %d IFU total = %s, want %s", i+1, trace[i], tt.wantTotals[i])
+				}
+			}
+			if got := trace[len(trace)-1]; got != tt.wantFinal {
+				t.Fatalf("final IFU total = %s, want %s", got, tt.wantFinal)
+			}
+		})
+	}
+}
+
+// TestExecutedSetsAgreeAcrossOrders verifies the Section V-B constraint:
+// the paper's altered orders keep the originally-executable set intact.
+func TestExecutedSetsAgreeAcrossOrders(t *testing.T) {
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := ovm.New()
+	_, origSet, _, err := vm.Evaluate(s.State, s.Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, seq := range map[string]struct{ seq []int }{"case2": {}, "case3": {}} {
+		_ = seq
+		alt := s.Case2
+		if name == "case3" {
+			alt = s.Case3
+		}
+		_, altSet, _, err := vm.Evaluate(s.State, alt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(altSet) != len(origSet) {
+			t.Fatalf("%s executed %d txs, original %d", name, len(altSet), len(origSet))
+		}
+		for h := range origSet {
+			if !altSet[h] {
+				t.Fatalf("%s dropped an originally-executed tx", name)
+			}
+		}
+	}
+}
+
+// TestL2PortionImprovement checks the paper's headline: the altered orders
+// improve the non-volatile L2 portion by ~7% (case 2) and ~24% (case 3)
+// versus the original order's 1.0 ETH.
+func TestL2PortionImprovement(t *testing.T) {
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := ovm.New()
+	run := func(order int) wei.Amount {
+		seq := s.Original
+		switch order {
+		case 2:
+			seq = s.Case2
+		case 3:
+			seq = s.Case3
+		}
+		res, err := vm.Execute(s.State, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.State.Balance(IFU)
+	}
+	base := run(0)
+	if base != wei.FromETH(1) {
+		t.Fatalf("case1 L2 balance = %s, want 1", base)
+	}
+	c2 := run(2)
+	c3 := run(3)
+	// Case 2: 1.0666… (+6.7%, printed as 1.07/+7%).
+	if c2 != wei.Amount(1_066_666_667) {
+		t.Fatalf("case2 L2 balance = %s", c2)
+	}
+	// Case 3: 1.2333… (+23.3%, printed as 1.24/+24%).
+	if c3 != wei.Amount(1_233_333_334) {
+		t.Fatalf("case3 L2 balance = %s", c3)
+	}
+	if !(c3 > c2 && c2 > base) {
+		t.Fatal("L2-portion ordering violated")
+	}
+}

@@ -1,0 +1,116 @@
+// Package chainid defines the primitive identity types shared by every layer
+// of the PAROLE simulator: 20-byte addresses, 32-byte hashes, and the helpers
+// that derive them deterministically.
+//
+// The real system hashes with Keccak-256; the Go standard library does not
+// ship Keccak, so SHA-256 stands in. Nothing in the paper depends on the
+// choice of hash function — only on hashes being collision-resistant
+// commitments — so the substitution is behavior-preserving (see DESIGN.md §4).
+package chainid
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// AddressLen is the byte length of an Address, matching Ethereum's 20 bytes.
+const AddressLen = 20
+
+// HashLen is the byte length of a Hash.
+const HashLen = 32
+
+// Address identifies an externally-owned account or a contract.
+type Address [AddressLen]byte
+
+// Hash is a 32-byte digest used for transaction ids, state roots, and block
+// ids.
+type Hash [HashLen]byte
+
+// ZeroAddress is the null address; transfers from it denote mints in event
+// logs, following the ERC-721 convention.
+var ZeroAddress Address
+
+// String renders the address as 0x-prefixed hex, shortened for logs.
+func (a Address) String() string {
+	h := hex.EncodeToString(a[:])
+	return "0x" + h[:6] + ".." + h[len(h)-4:]
+}
+
+// Hex returns the full 0x-prefixed hex form of the address.
+func (a Address) Hex() string { return "0x" + hex.EncodeToString(a[:]) }
+
+// IsZero reports whether the address is the null address.
+func (a Address) IsZero() bool { return a == ZeroAddress }
+
+// String renders the hash as 0x-prefixed hex, shortened for logs, in the
+// style of the paper's Table III ("0x8f56…").
+func (h Hash) String() string {
+	s := hex.EncodeToString(h[:])
+	return "0x" + s[:6] + ".." + s[len(s)-4:]
+}
+
+// Hex returns the full 0x-prefixed hex form of the hash.
+func (h Hash) Hex() string { return "0x" + hex.EncodeToString(h[:]) }
+
+// IsZero reports whether the hash is all zeros.
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// HashBytes digests arbitrary byte segments into a Hash. Segments are
+// length-prefixed before hashing so that ("ab","c") and ("a","bc") produce
+// different digests.
+func HashBytes(segments ...[]byte) Hash {
+	d := sha256.New()
+	var lenBuf [8]byte
+	for _, s := range segments {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(s)))
+		d.Write(lenBuf[:])
+		d.Write(s)
+	}
+	var h Hash
+	copy(h[:], d.Sum(nil))
+	return h
+}
+
+// CombineHashes computes the parent digest of two Merkle children.
+func CombineHashes(left, right Hash) Hash {
+	return HashBytes(left[:], right[:])
+}
+
+// DeriveAddress deterministically derives an address from a human-readable
+// label, e.g. "user-7" or "aggregator-2". It is how the simulator creates
+// account identities without key management.
+func DeriveAddress(label string) Address {
+	h := HashBytes([]byte("parole/address"), []byte(label))
+	var a Address
+	copy(a[:], h[:AddressLen])
+	return a
+}
+
+// UserAddress returns the address of the k-th simulated rollup user,
+// following the paper's U_k notation.
+func UserAddress(k int) Address {
+	return DeriveAddress(fmt.Sprintf("user-%d", k))
+}
+
+// AggregatorAddress returns the address of the k-th rollup aggregator (A_k).
+func AggregatorAddress(k int) Address {
+	return DeriveAddress(fmt.Sprintf("aggregator-%d", k))
+}
+
+// VerifierAddress returns the address of the k-th rollup verifier (V_k).
+func VerifierAddress(k int) Address {
+	return DeriveAddress(fmt.Sprintf("verifier-%d", k))
+}
+
+// ContractAddress derives a contract address from a deployer and nonce, in
+// the spirit of CREATE.
+func ContractAddress(deployer Address, nonce uint64) Address {
+	var nb [8]byte
+	binary.BigEndian.PutUint64(nb[:], nonce)
+	h := HashBytes([]byte("parole/contract"), deployer[:], nb[:])
+	var a Address
+	copy(a[:], h[:AddressLen])
+	return a
+}

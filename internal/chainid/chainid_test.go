@@ -1,0 +1,106 @@
+package chainid
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeriveAddressDeterministic(t *testing.T) {
+	a1 := DeriveAddress("user-7")
+	a2 := DeriveAddress("user-7")
+	if a1 != a2 {
+		t.Fatal("DeriveAddress is not deterministic")
+	}
+	if a1 == DeriveAddress("user-8") {
+		t.Fatal("distinct labels produced the same address")
+	}
+	if a1.IsZero() {
+		t.Fatal("derived address is the zero address")
+	}
+}
+
+func TestUserAggregatorVerifierNamespaces(t *testing.T) {
+	// The same index in different roles must yield different addresses.
+	if UserAddress(1) == AggregatorAddress(1) {
+		t.Error("user and aggregator namespaces collide")
+	}
+	if AggregatorAddress(1) == VerifierAddress(1) {
+		t.Error("aggregator and verifier namespaces collide")
+	}
+	seen := make(map[Address]bool)
+	for i := 0; i < 100; i++ {
+		for _, a := range []Address{UserAddress(i), AggregatorAddress(i), VerifierAddress(i)} {
+			if seen[a] {
+				t.Fatalf("address collision at index %d", i)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestHashBytesSegmentBoundaries(t *testing.T) {
+	// Length prefixing must distinguish segment splits.
+	h1 := HashBytes([]byte("ab"), []byte("c"))
+	h2 := HashBytes([]byte("a"), []byte("bc"))
+	if h1 == h2 {
+		t.Fatal("segment boundary ambiguity: HashBytes(ab,c) == HashBytes(a,bc)")
+	}
+	if HashBytes() == (Hash{}) {
+		t.Fatal("empty HashBytes should still be a real digest, not zero")
+	}
+}
+
+func TestHashBytesDeterministic(t *testing.T) {
+	f := func(a, b []byte) bool {
+		return HashBytes(a, b) == HashBytes(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombineHashesOrderSensitive(t *testing.T) {
+	l := HashBytes([]byte("left"))
+	r := HashBytes([]byte("right"))
+	if CombineHashes(l, r) == CombineHashes(r, l) {
+		t.Fatal("CombineHashes must be order-sensitive")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	a := DeriveAddress("alice")
+	if !strings.HasPrefix(a.String(), "0x") || !strings.Contains(a.String(), "..") {
+		t.Errorf("short address form %q malformed", a.String())
+	}
+	if len(a.Hex()) != 2+2*AddressLen {
+		t.Errorf("Hex() length = %d", len(a.Hex()))
+	}
+	h := HashBytes([]byte("x"))
+	if !strings.HasPrefix(h.String(), "0x") || !strings.Contains(h.String(), "..") {
+		t.Errorf("short hash form %q malformed", h.String())
+	}
+	if len(h.Hex()) != 2+2*HashLen {
+		t.Errorf("hash Hex() length = %d", len(h.Hex()))
+	}
+}
+
+func TestZeroValues(t *testing.T) {
+	var h Hash
+	if !h.IsZero() {
+		t.Error("zero hash not IsZero")
+	}
+	if !ZeroAddress.IsZero() {
+		t.Error("ZeroAddress not IsZero")
+	}
+}
+
+func TestContractAddressVariesWithNonce(t *testing.T) {
+	d := DeriveAddress("deployer")
+	if ContractAddress(d, 0) == ContractAddress(d, 1) {
+		t.Error("contract address ignores nonce")
+	}
+	if ContractAddress(d, 0) == ContractAddress(DeriveAddress("other"), 0) {
+		t.Error("contract address ignores deployer")
+	}
+}

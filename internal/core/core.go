@@ -1,0 +1,150 @@
+// Package core assembles the PAROLE attack (Fig. 3): an adversarial
+// aggregator that, colluding with one or more illicitly favored users
+// (IFUs), re-orders each batch it collects from Bedrock's mempool via the
+// GENTRANSEQ module before executing and submitting it.
+//
+// The attack is *protocol-conformant by construction*: the sequencer only
+// permutes the batch it was handed (the rollup node enforces the permutation
+// property), it executes the permuted order faithfully, and the submitted
+// fraud proof is the true post-state root — so honest verifiers have nothing
+// to challenge. That is precisely the vulnerability the paper exploits.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"parole/internal/chainid"
+	"parole/internal/gentranseq"
+	"parole/internal/ovm"
+	"parole/internal/rollup"
+	"parole/internal/state"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// Package errors.
+var (
+	ErrNoIFU = errors.New("core: adversarial sequencer needs at least one IFU")
+	ErrNoRNG = errors.New("core: adversarial sequencer needs an RNG")
+)
+
+// Config parameterizes the adversarial sequencer.
+type Config struct {
+	// IFUs are the colluding users whose balance the attack maximizes.
+	IFUs []chainid.Address
+	// Gen is the GENTRANSEQ budget (DefaultConfig reproduces Table II;
+	// FastConfig is the sweep-friendly budget).
+	Gen gentranseq.Config
+	// MinImprovement is the smallest wealth gain worth deviating for; at or
+	// below it the sequencer keeps the honest fee order.
+	MinImprovement wei.Amount
+}
+
+// Report records one batch the adversarial sequencer processed — the
+// experiment harness aggregates these into the Fig. 6/7 profit series.
+type Report struct {
+	// BatchSize is the aggregator's "Mempool size" N for this batch.
+	BatchSize int
+	// Opportunity is the arbitrage screen's verdict.
+	Opportunity bool
+	// Reordered reports whether the sequencer deviated from the fee order.
+	Reordered bool
+	// Improvement is the IFUs' summed final-wealth gain of the shipped
+	// order versus the fee order (zero when not reordered).
+	Improvement wei.Amount
+	// BaselineWealth is the IFUs' summed final wealth under the fee order.
+	BaselineWealth wei.Amount
+	// InferenceSwaps is the Fig. 9 solution-size statistic for this batch
+	// (−1 when the trained agent found no candidate).
+	InferenceSwaps int
+}
+
+// Sequencer is the adversarial rollup.Sequencer. It is safe for concurrent
+// use by a single aggregator goroutine plus inspection goroutines.
+type Sequencer struct {
+	vm  *ovm.VM
+	cfg Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	reports []Report
+}
+
+var _ rollup.Sequencer = (*Sequencer)(nil)
+
+// NewSequencer builds the adversarial sequencer.
+func NewSequencer(vm *ovm.VM, rng *rand.Rand, cfg Config) (*Sequencer, error) {
+	if len(cfg.IFUs) == 0 {
+		return nil, ErrNoIFU
+	}
+	if rng == nil {
+		return nil, ErrNoRNG
+	}
+	if vm == nil {
+		vm = ovm.New()
+	}
+	return &Sequencer{vm: vm, cfg: cfg, rng: rng}, nil
+}
+
+// Order implements rollup.Sequencer: it runs the PAROLE module on the
+// collected batch and returns the profitable order when one exists, the
+// original fee order otherwise.
+func (s *Sequencer) Order(collected tx.Seq, pre *state.State) (tx.Seq, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	report := Report{BatchSize: len(collected), InferenceSwaps: -1}
+	res, err := gentranseq.Optimize(s.rng, s.vm, pre, collected, s.cfg.IFUs, s.cfg.Gen)
+	if err != nil {
+		return nil, fmt.Errorf("gentranseq: %w", err)
+	}
+	report.Opportunity = res.Opportunity
+	report.BaselineWealth = res.BaselineWealth
+	report.InferenceSwaps = res.InferenceSwaps
+
+	ordered := collected
+	if res.Improved && res.Improvement > s.cfg.MinImprovement {
+		ordered = res.Final
+		report.Reordered = true
+		report.Improvement = res.Improvement
+	}
+	s.reports = append(s.reports, report)
+	return ordered, nil
+}
+
+// Reports returns a copy of the per-batch attack log.
+func (s *Sequencer) Reports() []Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Report(nil), s.reports...)
+}
+
+// TotalProfit sums the improvements across all processed batches — the
+// quantity Fig. 7 plots (in satoshis).
+func (s *Sequencer) TotalProfit() wei.Amount {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total wei.Amount
+	for _, r := range s.reports {
+		total += r.Improvement
+	}
+	return total
+}
+
+// Attack is the one-shot library entry point: run the PAROLE module on a
+// single batch outside any rollup deployment.
+func Attack(rng *rand.Rand, vm *ovm.VM, pre *state.State, batch tx.Seq, ifus []chainid.Address, gen gentranseq.Config) (*gentranseq.Result, error) {
+	if len(ifus) == 0 {
+		return nil, ErrNoIFU
+	}
+	if rng == nil {
+		return nil, ErrNoRNG
+	}
+	if vm == nil {
+		vm = ovm.New()
+	}
+	return gentranseq.Optimize(rng, vm, pre, batch, ifus, gen)
+}

@@ -1,0 +1,194 @@
+package core_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"parole/internal/casestudy"
+	"parole/internal/chainid"
+	"parole/internal/core"
+	"parole/internal/gentranseq"
+	"parole/internal/ovm"
+	"parole/internal/rollup"
+	"parole/internal/state"
+	"parole/internal/wei"
+)
+
+func fastCfg() core.Config {
+	cfg := gentranseq.FastConfig()
+	cfg.Episodes = 25
+	cfg.MaxSteps = 60
+	return core.Config{IFUs: []chainid.Address{casestudy.IFU}, Gen: cfg}
+}
+
+func TestNewSequencerValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := core.NewSequencer(nil, rng, core.Config{}); !errors.Is(err, core.ErrNoIFU) {
+		t.Errorf("no IFU = %v", err)
+	}
+	if _, err := core.NewSequencer(nil, nil, fastCfg()); !errors.Is(err, core.ErrNoRNG) {
+		t.Errorf("no RNG = %v", err)
+	}
+}
+
+func TestSequencerKeepsOrderWithoutOpportunity(t *testing.T) {
+	s, err := casestudy.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg()
+	cfg.IFUs = []chainid.Address{chainid.UserAddress(777)} // uninvolved
+	seq, err := core.NewSequencer(ovm.New(), rand.New(rand.NewSource(2)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered, err := seq.Order(s.Original, s.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ordered.Hash() != s.Original.Hash() {
+		t.Fatal("sequencer deviated without an opportunity")
+	}
+	reports := seq.Reports()
+	if len(reports) != 1 || reports[0].Opportunity || reports[0].Reordered {
+		t.Fatalf("reports = %+v", reports)
+	}
+	if seq.TotalProfit() != 0 {
+		t.Fatal("profit without reordering")
+	}
+}
+
+func TestSequencerProfitsOnCaseStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DQN training")
+	}
+	s, err := casestudy.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := core.NewSequencer(ovm.New(), rand.New(rand.NewSource(42)), fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered, err := seq.Order(s.Original, s.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ordered.Hash() == s.Original.Hash() {
+		t.Fatal("sequencer failed to find the case-study arbitrage")
+	}
+	if !s.Original.SamePermutation(ordered) {
+		t.Fatal("sequencer violated the permutation constraint")
+	}
+	if seq.TotalProfit() <= 0 {
+		t.Fatal("no recorded profit")
+	}
+}
+
+// TestAdversarialAggregatorEndToEnd is the attack's full-protocol
+// integration test: the adversarial aggregator re-orders inside a live
+// rollup deployment, the IFU's wealth beats the honest counterfactual, the
+// verifier finds nothing to challenge, and the batch finalizes on L1.
+func TestAdversarialAggregatorEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DQN training")
+	}
+	s, err := casestudy.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	build := func(adversarial bool) (*rollup.Node, *rollup.Aggregator, *rollup.Verifier, *core.Sequencer) {
+		node := rollup.NewNode(rollup.Config{ChallengePeriod: 1})
+		if err := node.SetupL2(func(st *state.State) error {
+			// Transplant the case-study L2 world.
+			fresh, err := casestudy.New()
+			if err != nil {
+				return err
+			}
+			*st = *fresh.State
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		aggAddr := chainid.AggregatorAddress(1)
+		verAddr := chainid.VerifierAddress(1)
+		node.SetupAccount(aggAddr, wei.FromETH(10))
+		node.SetupAccount(verAddr, wei.FromETH(10))
+
+		var sequencer rollup.Sequencer
+		var adv *core.Sequencer
+		if adversarial {
+			var err error
+			adv, err = core.NewSequencer(node.VM(), rand.New(rand.NewSource(42)), fastCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sequencer = adv
+		}
+		agg, err := rollup.NewAggregator(node, aggAddr, wei.FromETH(5), len(s.Original), sequencer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ver, err := rollup.NewVerifier(node, verAddr, wei.FromETH(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, txn := range s.Original {
+			if err := node.SubmitTx(txn); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return node, agg, ver, adv
+	}
+
+	run := func(adversarial bool) (wei.Amount, *core.Sequencer) {
+		node, agg, ver, adv := build(adversarial)
+		nw := rollup.NewNetwork(node, []*rollup.Aggregator{agg}, []*rollup.Verifier{ver})
+		reports, err := nw.RunRounds(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range reports {
+			if len(r.Challenged) != 0 {
+				t.Fatal("verifier challenged the batch")
+			}
+		}
+		// The batch must have finalized on L1.
+		var finalized int
+		for _, r := range reports {
+			finalized += len(r.Finalized)
+		}
+		if finalized != 1 {
+			t.Fatalf("finalized = %d, want 1", finalized)
+		}
+		return node.L2State().TotalWealth(casestudy.IFU), adv
+	}
+
+	honestWealth, _ := run(false)
+	attackedWealth, adv := run(true)
+
+	if honestWealth != casestudy.FinalCase1 {
+		t.Fatalf("honest IFU wealth = %s, want %s", honestWealth, casestudy.FinalCase1)
+	}
+	if attackedWealth <= honestWealth {
+		t.Fatalf("attack gained nothing: %s vs %s", attackedWealth, honestWealth)
+	}
+	if got := adv.TotalProfit(); got != attackedWealth-honestWealth {
+		t.Fatalf("reported profit %s, actual %s", got, attackedWealth-honestWealth)
+	}
+}
+
+func TestAttackOneShot(t *testing.T) {
+	s, err := casestudy.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Attack(nil, nil, s.State, s.Original, []chainid.Address{casestudy.IFU}, gentranseq.FastConfig()); !errors.Is(err, core.ErrNoRNG) {
+		t.Errorf("no RNG = %v", err)
+	}
+	if _, err := core.Attack(rand.New(rand.NewSource(1)), nil, s.State, s.Original, nil, gentranseq.FastConfig()); !errors.Is(err, core.ErrNoIFU) {
+		t.Errorf("no IFU = %v", err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package defense implements the mitigation sketched in Section VIII: run
+// the GENTRANSEQ machinery *inside* Bedrock's mempool as a detector. Before
+// a batch is released in fee order, compute the worst case — the maximum
+// profit any involved user could extract by re-ordering it. If that worst
+// case exceeds a fee-derived threshold, demote the minimal set of involved
+// transactions to the block behind until the residual arbitrage is
+// negligible.
+package defense
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"parole/internal/chainid"
+	"parole/internal/gentranseq"
+	"parole/internal/ovm"
+	"parole/internal/solver"
+	"parole/internal/state"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// Package errors.
+var (
+	ErrNoVM  = errors.New("defense: nil VM")
+	ErrNoRNG = errors.New("defense: nil RNG")
+)
+
+// Optimizer computes the worst-case (maximum) wealth improvement any of the
+// given users could gain by validly re-ordering the batch. Implementations
+// wrap either the DQN (the paper's proposal) or a search baseline with the
+// identical objective.
+type Optimizer interface {
+	// WorstCase returns the best improvement found for users over batch.
+	WorstCase(vm *ovm.VM, st *state.State, batch tx.Seq, users []chainid.Address) (wei.Amount, error)
+}
+
+// SearchOptimizer is the fast detector backend: hill-climbing over the same
+// objective GENTRANSEQ maximizes. Suited to running on every mempool batch.
+type SearchOptimizer struct {
+	// Rng drives restarts.
+	Rng *rand.Rand
+	// MaxEvaluations per inspection (0 = default).
+	MaxEvaluations int
+}
+
+// WorstCase implements Optimizer.
+func (s SearchOptimizer) WorstCase(vm *ovm.VM, st *state.State, batch tx.Seq, users []chainid.Address) (wei.Amount, error) {
+	if s.Rng == nil {
+		return 0, ErrNoRNG
+	}
+	obj, err := solver.NewObjective(vm, st, batch, users)
+	if err != nil {
+		return 0, fmt.Errorf("build objective: %w", err)
+	}
+	budget := solver.Budget{MaxEvaluations: s.MaxEvaluations}
+	if budget.MaxEvaluations == 0 {
+		budget.MaxEvaluations = 64 * len(batch)
+	}
+	sol, err := solver.HillClimb{}.Solve(s.Rng, obj, budget)
+	if err != nil {
+		return 0, fmt.Errorf("hill climb: %w", err)
+	}
+	return sol.Improvement, nil
+}
+
+// DQNOptimizer is the paper's detector backend: GENTRANSEQ itself, trained
+// per inspection. Far more expensive; intended for offline auditing.
+type DQNOptimizer struct {
+	Rng *rand.Rand
+	Cfg gentranseq.Config
+}
+
+// WorstCase implements Optimizer.
+func (d DQNOptimizer) WorstCase(vm *ovm.VM, st *state.State, batch tx.Seq, users []chainid.Address) (wei.Amount, error) {
+	if d.Rng == nil {
+		return 0, ErrNoRNG
+	}
+	cfg := d.Cfg
+	cfg.SkipAssessment = true // the detector wants the worst case regardless
+	res, err := gentranseq.Optimize(d.Rng, vm, st, batch, users, cfg)
+	if err != nil {
+		return 0, fmt.Errorf("gentranseq: %w", err)
+	}
+	return res.Improvement, nil
+}
+
+// Config parameterizes the detector.
+type Config struct {
+	// BaseThreshold is the flat tolerance for worst-case arbitrage.
+	BaseThreshold wei.Amount
+	// FeeMultiplier scales the batch's total priority fees into extra
+	// tolerance — the paper ties the threshold to "the priority of the
+	// transactions".
+	FeeMultiplier int64
+	// MaxDemotions bounds how many transactions one inspection may demote
+	// (0 = up to the whole batch).
+	MaxDemotions int
+}
+
+// Detector screens mempool batches for re-ordering arbitrage.
+type Detector struct {
+	vm  *ovm.VM
+	opt Optimizer
+	cfg Config
+}
+
+// NewDetector builds a detector with the given worst-case optimizer.
+func NewDetector(vm *ovm.VM, opt Optimizer, cfg Config) (*Detector, error) {
+	if vm == nil {
+		return nil, ErrNoVM
+	}
+	if opt == nil {
+		return nil, errors.New("defense: nil optimizer")
+	}
+	return &Detector{vm: vm, opt: opt, cfg: cfg}, nil
+}
+
+// Report is the outcome of one inspection.
+type Report struct {
+	// WorstProfit is the maximum extractable improvement found before any
+	// demotion, and WorstUser the user achieving it.
+	WorstProfit wei.Amount
+	WorstUser   chainid.Address
+	// Threshold actually applied (base + fee component).
+	Threshold wei.Amount
+	// Triggered reports whether the worst case exceeded the threshold.
+	Triggered bool
+	// Demoted lists the transactions sent to the block behind, in order.
+	Demoted []tx.Tx
+	// ResidualProfit is the worst case of the surviving batch after
+	// demotion.
+	ResidualProfit wei.Amount
+}
+
+// Threshold computes the tolerance for a batch.
+func (d *Detector) Threshold(batch tx.Seq) wei.Amount {
+	var fees wei.Amount
+	for _, t := range batch {
+		fees += t.PriorityFee
+	}
+	return d.cfg.BaseThreshold + fees.Mul(d.cfg.FeeMultiplier)
+}
+
+// Inspect analyzes a batch against the L2 state. If the worst-case
+// re-ordering profit of any involved user exceeds the threshold, it demotes
+// the fewest involved transactions (greedily, most-involved user's
+// transactions first) needed to push the residual below the threshold, and
+// reports what it did. The caller applies the demotions to the mempool.
+func (d *Detector) Inspect(st *state.State, batch tx.Seq) (Report, error) {
+	report := Report{Threshold: d.Threshold(batch)}
+	users := involvedUsers(batch)
+	if len(users) == 0 || len(batch) < 2 {
+		return report, nil
+	}
+
+	worst, worstUser, err := d.worstOverUsers(st, batch, users)
+	if err != nil {
+		return report, err
+	}
+	report.WorstProfit = worst
+	report.WorstUser = worstUser
+	report.ResidualProfit = worst
+	if worst <= report.Threshold {
+		return report, nil
+	}
+	report.Triggered = true
+
+	// Greedy minimal demotion: repeatedly drop the highest-value involved
+	// transaction of the current worst user until the residual worst case
+	// is tolerable.
+	working := batch.Clone()
+	maxDemotions := d.cfg.MaxDemotions
+	if maxDemotions <= 0 {
+		maxDemotions = len(batch)
+	}
+	for len(report.Demoted) < maxDemotions && len(working) >= 2 {
+		idxs := working.Involving(report.worstOrLastUser(worstUser))
+		if len(idxs) == 0 {
+			break
+		}
+		// Demote the worst user's last involvement (transfers in and mints
+		// are what the attack monetizes; the tail involvement is the one
+		// GENTRANSEQ repositions most profitably).
+		demoteIdx := idxs[len(idxs)-1]
+		report.Demoted = append(report.Demoted, working[demoteIdx])
+		working = append(working[:demoteIdx:demoteIdx], working[demoteIdx+1:]...)
+
+		residual, residualUser, err := d.worstOverUsers(st, working, involvedUsers(working))
+		if err != nil {
+			return report, err
+		}
+		report.ResidualProfit = residual
+		worstUser = residualUser
+		if residual <= report.Threshold {
+			break
+		}
+	}
+	return report, nil
+}
+
+// worstOrLastUser keeps demotion going against the most recent worst user.
+func (r *Report) worstOrLastUser(current chainid.Address) chainid.Address {
+	if current.IsZero() {
+		return r.WorstUser
+	}
+	return current
+}
+
+// worstOverUsers scans every involved user for the maximum extractable
+// improvement.
+func (d *Detector) worstOverUsers(st *state.State, batch tx.Seq, users []chainid.Address) (wei.Amount, chainid.Address, error) {
+	var (
+		worst     wei.Amount
+		worstUser chainid.Address
+	)
+	if len(batch) < 2 {
+		return 0, worstUser, nil
+	}
+	for _, u := range users {
+		// Only users with multiple involvements can be favored (Section
+		// V-B).
+		if len(batch.Involving(u)) < 2 {
+			continue
+		}
+		imp, err := d.opt.WorstCase(d.vm, st, batch, []chainid.Address{u})
+		if err != nil {
+			return 0, worstUser, fmt.Errorf("worst case for %s: %w", u, err)
+		}
+		if imp > worst {
+			worst, worstUser = imp, u
+		}
+	}
+	return worst, worstUser, nil
+}
+
+// involvedUsers returns the distinct user addresses appearing in the batch,
+// sorted for determinism.
+func involvedUsers(batch tx.Seq) []chainid.Address {
+	set := make(map[chainid.Address]bool)
+	for _, t := range batch {
+		set[t.From] = true
+		if t.Kind == tx.KindTransfer {
+			set[t.To] = true
+		}
+	}
+	users := make([]chainid.Address, 0, len(set))
+	for u := range set {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return string(users[i][:]) < string(users[j][:]) })
+	return users
+}

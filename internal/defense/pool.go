@@ -1,0 +1,32 @@
+package defense
+
+import (
+	"fmt"
+
+	"parole/internal/mempool"
+	"parole/internal/state"
+	"parole/internal/tx"
+)
+
+// GuardedCollect is the defended replacement for Pool.Collect: it peeks at
+// the next batch in fee order, runs Inspect, applies the demotions to the
+// pool ("send to the block behind"), and only then collects — so the batch
+// an aggregator receives is already sanitized. This is the deployment shape
+// Section VIII sketches: the detector lives between Bedrock's mempool and
+// the aggregators.
+func (d *Detector) GuardedCollect(pool *mempool.Pool, st *state.State, size int) (tx.Seq, Report, error) {
+	pending := pool.Pending()
+	if len(pending) > size {
+		pending = pending[:size]
+	}
+	report, err := d.Inspect(st, pending)
+	if err != nil {
+		return nil, report, fmt.Errorf("inspect pending batch: %w", err)
+	}
+	for _, demoted := range report.Demoted {
+		if err := pool.Demote(demoted.Hash()); err != nil {
+			return nil, report, fmt.Errorf("demote %s: %w", demoted, err)
+		}
+	}
+	return pool.Collect(size), report, nil
+}

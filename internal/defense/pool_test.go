@@ -1,0 +1,103 @@
+package defense_test
+
+import (
+	"testing"
+
+	"parole/internal/casestudy"
+	"parole/internal/defense"
+	"parole/internal/mempool"
+	"parole/internal/wei"
+)
+
+// TestGuardedCollectSanitizesBatch: a defended collection demotes the
+// attack-enabling transactions so the aggregator's batch is safe, while the
+// demoted transactions stay pending for the next block.
+func TestGuardedCollectSanitizesBatch(t *testing.T) {
+	s, err := casestudy.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := mempool.New()
+	if err := pool.AddAll(s.Original); err != nil {
+		t.Fatal(err)
+	}
+	d := newDetector(t, defense.Config{BaseThreshold: wei.FromFloat(0.05)})
+
+	batch, report, err := d.GuardedCollect(pool, s.State, len(s.Original))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Triggered {
+		t.Fatal("detector did not trigger on the case-study batch")
+	}
+	if len(batch) != len(s.Original) {
+		t.Fatalf("collected %d txs, want %d (demoted txs still collect, at the back)", len(batch), len(s.Original))
+	}
+	// Demoted transactions must appear after every non-demoted one.
+	demoted := make(map[string]bool, len(report.Demoted))
+	for _, dt := range report.Demoted {
+		demoted[dt.String()] = true
+	}
+	seenDemoted := false
+	for _, txn := range batch {
+		if demoted[txn.String()] {
+			seenDemoted = true
+		} else if seenDemoted {
+			t.Fatal("a non-demoted tx collected after a demoted one")
+		}
+	}
+	if !seenDemoted {
+		t.Fatal("demoted transactions vanished from the pool")
+	}
+}
+
+// TestGuardedCollectNoTrigger: a permissive threshold leaves the batch
+// untouched.
+func TestGuardedCollectNoTrigger(t *testing.T) {
+	s, err := casestudy.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := mempool.New()
+	if err := pool.AddAll(s.Original); err != nil {
+		t.Fatal(err)
+	}
+	d := newDetector(t, defense.Config{BaseThreshold: wei.FromETH(100)})
+	batch, report, err := d.GuardedCollect(pool, s.State, len(s.Original))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Triggered {
+		t.Fatal("triggered with a permissive threshold")
+	}
+	// The batch comes out in the original fee order.
+	for i := range batch {
+		if batch[i] != s.Original[i] {
+			t.Fatal("untriggered GuardedCollect changed the order")
+		}
+	}
+}
+
+// TestGuardedCollectPartialWindow: inspection only covers the batch-size
+// window, like a real per-block detector.
+func TestGuardedCollectPartialWindow(t *testing.T) {
+	s, err := casestudy.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := mempool.New()
+	if err := pool.AddAll(s.Original); err != nil {
+		t.Fatal(err)
+	}
+	d := newDetector(t, defense.Config{BaseThreshold: wei.FromFloat(0.05)})
+	batch, _, err := d.GuardedCollect(pool, s.State, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("collected %d, want 3", len(batch))
+	}
+	if pool.Size() != len(s.Original)-3 {
+		t.Fatalf("pool size = %d", pool.Size())
+	}
+}

@@ -1,0 +1,56 @@
+package gentranseq_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"parole/internal/casestudy"
+	"parole/internal/chainid"
+	"parole/internal/gentranseq"
+	"parole/internal/ovm"
+)
+
+// TestOptimizeDeterministicPerSeed: the full training pipeline — network
+// init, ε-greedy exploration, replay sampling, and candidate evaluation —
+// must be a pure function of the seed. A failure here means wall-clock or
+// map-iteration order leaked into the attack, which would make every
+// experiment in EXPERIMENTS.md unreproducible.
+func TestOptimizeDeterministicPerSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DQN training")
+	}
+	s, err := casestudy.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gentranseq.FastConfig()
+	cfg.Episodes = 10
+	cfg.MaxSteps = 30
+
+	run := func() *gentranseq.Result {
+		res, err := gentranseq.Optimize(rand.New(rand.NewSource(99)), ovm.New(),
+			s.State, s.Original, []chainid.Address{casestudy.IFU}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Final.Hash() != b.Final.Hash() {
+		t.Fatal("same seed produced different final orders")
+	}
+	if a.Improvement != b.Improvement {
+		t.Fatalf("improvements differ: %s vs %s", a.Improvement, b.Improvement)
+	}
+	if len(a.EpisodeRewards) != len(b.EpisodeRewards) {
+		t.Fatal("episode counts differ")
+	}
+	for i := range a.EpisodeRewards {
+		if a.EpisodeRewards[i] != b.EpisodeRewards[i] {
+			t.Fatalf("episode %d rewards differ: %g vs %g", i, a.EpisodeRewards[i], b.EpisodeRewards[i])
+		}
+	}
+	if a.InferenceSwaps != b.InferenceSwaps || a.FinalEpisodeSwaps != b.FinalEpisodeSwaps {
+		t.Fatal("solution-size statistics differ")
+	}
+}

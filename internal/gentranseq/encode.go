@@ -1,0 +1,83 @@
+package gentranseq
+
+import (
+	"parole/internal/ovm"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// encode converts the current sequence into the Fig. 4 input tensor: one
+// 8-element row per transaction, flattened to 8·N values.
+//
+// Features per transaction t at position p:
+//
+//	[0..2] transaction kind one-hot (mint / transfer / burn),
+//	[3]    an IFU is involved,
+//	[4]    an IFU acquires a token here (mints or buys),
+//	[5]    an IFU disposes of a token here (sells or burns),
+//	[6]    unit price after the prefix ending at p, normalized by the
+//	       curve's ceiling P⁰·S⁰ ("current token price"),
+//	[7]    mintable supply after the prefix, normalized by S⁰
+//	       ("available tokens to be minted").
+//
+// Features 6 and 7 are position-dependent: they come from replaying the
+// *current* order on the OVM, which is how the agent observes the economic
+// consequence of a permutation rather than just its syntax.
+func (e *Env) encode(seq tx.Seq, steps []ovm.EvalStep) []float64 {
+	obs := make([]float64, 0, FeaturesPerTx*len(seq))
+	for p, t := range seq {
+		var kindMint, kindTransfer, kindBurn float64
+		switch t.Kind {
+		case tx.KindMint:
+			kindMint = 1
+		case tx.KindTransfer:
+			kindTransfer = 1
+		case tx.KindBurn:
+			kindBurn = 1
+		}
+		var involved, acquires, disposes float64
+		for _, ifu := range e.ifus {
+			if !t.Involves(ifu) {
+				continue
+			}
+			involved = 1
+			switch t.Kind {
+			case tx.KindMint:
+				acquires = 1
+			case tx.KindBurn:
+				disposes = 1
+			case tx.KindTransfer:
+				if t.To == ifu {
+					acquires = 1
+				}
+				if t.From == ifu {
+					disposes = 1
+				}
+			}
+		}
+		price, supply := e.normalizedCurve(t, steps, p)
+		obs = append(obs,
+			kindMint, kindTransfer, kindBurn,
+			involved, acquires, disposes,
+			price, supply,
+		)
+	}
+	return obs
+}
+
+// normalizedCurve returns the post-prefix price and supply of the token the
+// transaction touches, normalized to [0, 1]. Unknown tokens encode as zeros.
+func (e *Env) normalizedCurve(t tx.Tx, steps []ovm.EvalStep, p int) (price, supply float64) {
+	contract, err := e.base.Token(t.Token)
+	if err != nil {
+		return 0, 0
+	}
+	cfg := contract.Config()
+	ceiling := wei.MulDiv(cfg.InitialPrice, int64(cfg.MaxSupply), 1)
+	if ceiling <= 0 {
+		return 0, 0
+	}
+	price = float64(steps[p].Price) / float64(ceiling)
+	supply = float64(steps[p].Available) / float64(cfg.MaxSupply)
+	return price, supply
+}

@@ -1,0 +1,82 @@
+package gentranseq_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parole/internal/gentranseq"
+	"parole/internal/ovm"
+	"parole/internal/sim"
+)
+
+// TestEncodingBoundsUnderRandomPlay: every observation component stays in
+// [0, 1] no matter how the sequence is scrambled — the normalization
+// contract of the Fig. 4 encoder.
+func TestEncodingBoundsUnderRandomPlay(t *testing.T) {
+	f := func(seed int64, actions []uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sc, err := sim.GenerateScenario(rng, sim.ScenarioConfig{MempoolSize: 10, NumIFUs: 1})
+		if err != nil {
+			return false
+		}
+		env, err := gentranseq.NewEnv(ovm.New(), sc.State, sc.Batch, sc.IFUs, gentranseq.DefaultEnvConfig())
+		if err != nil {
+			return false
+		}
+		obs := env.Reset()
+		check := func(v []float64) bool {
+			for _, x := range v {
+				if x < 0 || x > 1 {
+					return false
+				}
+			}
+			return true
+		}
+		if !check(obs) {
+			return false
+		}
+		for _, a := range actions {
+			if len(actions) > 30 {
+				break
+			}
+			next, _, _, err := env.Step(int(a) % env.NumActions())
+			if err != nil || !check(next) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRewardZeroForIdentityDoubleSwap: swapping the same pair twice returns
+// to the original order, whose reward must be exactly zero (Eq. 8 at
+// B^{N,k} = B^{N,0}).
+func TestRewardZeroForIdentityDoubleSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sc, err := sim.GenerateScenario(rng, sim.ScenarioConfig{MempoolSize: 8, NumIFUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := gentranseq.NewEnv(ovm.New(), sc.State, sc.Batch, sc.IFUs, gentranseq.DefaultEnvConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Reset()
+	for a := 0; a < env.NumActions(); a++ {
+		env.Reset()
+		if _, _, _, err := env.Step(a); err != nil {
+			t.Fatal(err)
+		}
+		_, reward, _, err := env.Step(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reward != 0 {
+			t.Fatalf("double-swap of action %d rewards %g, want 0", a, reward)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package gentranseq
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parole/internal/arbitrage"
+	"parole/internal/chainid"
+	"parole/internal/ovm"
+	"parole/internal/rl"
+	"parole/internal/state"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// Config bundles the module's hyper-parameters. DefaultConfig reproduces
+// Table II (100 episodes × 200 steps with the DQN defaults).
+type Config struct {
+	// RL carries the DQN hyper-parameters (Table II).
+	RL rl.Config
+	// Episodes and MaxSteps bound training (Table II: 100 and 200).
+	Episodes int
+	MaxSteps int
+	// Env tunes the Eq. 8 reward shaping.
+	Env EnvConfig
+	// SkipAssessment forces optimization even when the arbitrage screen
+	// sees no opportunity (used by the defense, which wants the worst case
+	// for *any* user, and by benchmarks).
+	SkipAssessment bool
+}
+
+// DefaultConfig returns the paper's Table II configuration.
+func DefaultConfig() Config {
+	return Config{
+		RL:       rl.DefaultConfig(),
+		Episodes: 100,
+		MaxSteps: 200,
+		Env:      DefaultEnvConfig(),
+	}
+}
+
+// FastConfig returns a reduced training budget that preserves the paper's
+// qualitative behavior at a fraction of the cost — what the experiment
+// sweeps and -short tests use on a laptop-class machine.
+func FastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Episodes = 20
+	cfg.MaxSteps = 60
+	cfg.RL.Hidden = []int{32, 32}
+	return cfg
+}
+
+// Result is the outcome of one GENTRANSEQ optimization (Algorithm 1's
+// TxSeq^Final plus diagnostics).
+type Result struct {
+	// Final is the order the adversarial aggregator should execute: the
+	// best profitable valid order found, or the original when none was.
+	Final tx.Seq
+	// Improved reports whether Final beats the original order.
+	Improved bool
+	// Improvement is the summed IFU final-wealth gain of Final versus the
+	// original order.
+	Improvement wei.Amount
+	// BaselineWealth is Σ_IFU wealth under the original order.
+	BaselineWealth wei.Amount
+	// Opportunity is the arbitrage screen's verdict (always true when the
+	// optimizer actually ran, unless SkipAssessment).
+	Opportunity bool
+	// EpisodeRewards holds R^ep for every training episode (Fig. 8 input).
+	EpisodeRewards []float64
+	// InferenceSwaps is the number of swaps the trained agent needed to
+	// reach its first improving valid order in a greedy rollout (−1 when it
+	// found none) — the Fig. 9 "solution size".
+	InferenceSwaps int
+	// FinalEpisodeSwaps is the same statistic measured in the last training
+	// episode (the agent is near-greedy by then under Eq. 9 decay); it is
+	// the Fig. 9 fallback when the deterministic greedy rollout loops
+	// without finding a candidate. −1 when that episode found none.
+	FinalEpisodeSwaps int
+	// TrainedAgent is the DQN after training (nil when the screen said no).
+	TrainedAgent *rl.Agent
+}
+
+// Optimize runs the PAROLE algorithm (Algorithm 1): screen the batch for an
+// arbitrage opportunity, train the DQN on the re-ordering MDP, and return
+// the most profitable valid order.
+func Optimize(rng *rand.Rand, vm *ovm.VM, base *state.State, original tx.Seq, ifus []chainid.Address, cfg Config) (*Result, error) {
+	res := &Result{
+		Final:             original.Clone(),
+		InferenceSwaps:    -1,
+		FinalEpisodeSwaps: -1,
+	}
+	if len(original) < 2 {
+		return res, nil
+	}
+	if !cfg.SkipAssessment {
+		assessment, err := arbitrage.Assess(original, ifus)
+		if err != nil {
+			return nil, fmt.Errorf("assess batch: %w", err)
+		}
+		res.Opportunity = assessment.Opportunity
+		if !assessment.Opportunity {
+			return res, nil
+		}
+	} else {
+		res.Opportunity = true
+	}
+
+	env, err := NewEnv(vm, base, original, ifus, cfg.Env)
+	if err != nil {
+		return nil, err
+	}
+	res.BaselineWealth = env.BaselineWealth()
+
+	agent, err := rl.NewAgent(rng, env.ObservationSize(), env.NumActions(), cfg.RL)
+	if err != nil {
+		return nil, fmt.Errorf("build agent: %w", err)
+	}
+	res.TrainedAgent = agent
+
+	rewards, err := TrainAgentHooked(agent, env, cfg.Episodes, cfg.MaxSteps, cfg.RL.Epsilon,
+		func(int, float64, *Env) {
+			res.FinalEpisodeSwaps = env.FirstCandidateSwaps()
+		})
+	if err != nil {
+		return nil, err
+	}
+	res.EpisodeRewards = rewards
+
+	// Greedy inference rollout with the trained agent: Fig. 9's statistic
+	// and a final chance to improve the best order.
+	if _, err := RunGreedyEpisode(agent, env, cfg.MaxSteps); err != nil {
+		return nil, fmt.Errorf("inference rollout: %w", err)
+	}
+	res.InferenceSwaps = env.FirstCandidateSwaps()
+
+	if best, improvement := env.Best(); best != nil {
+		// The environment only records *valid* improving orders, but
+		// re-verify through the arbitrage module before returning — the
+		// aggregator must never ship an order that drops a transaction.
+		check, err := arbitrage.CheckReorder(vm, base, original, best, ifus)
+		if err != nil {
+			return nil, fmt.Errorf("verify best order: %w", err)
+		}
+		if check.Valid && check.Improvement > 0 {
+			res.Final = best
+			res.Improved = true
+			res.Improvement = improvement
+		}
+	}
+	return res, nil
+}
+
+// TrainAgent runs the episode loop of Algorithm 1 over env, decaying ε per
+// Eq. 9 from schedule, syncing the target network when a profitable order is
+// first found (line 16), and returning the per-episode rewards.
+func TrainAgent(agent *rl.Agent, env *Env, episodes, maxSteps int, schedule rl.EpsilonSchedule) ([]float64, error) {
+	return TrainAgentHooked(agent, env, episodes, maxSteps, schedule, nil)
+}
+
+// TrainAgentHooked is TrainAgent with a per-episode callback (episode index,
+// episode reward, the environment after the episode). Experiment drivers use
+// it to snapshot best-gain and solution-size statistics per episode.
+func TrainAgentHooked(agent *rl.Agent, env *Env, episodes, maxSteps int, schedule rl.EpsilonSchedule, onEpisode func(int, float64, *Env)) ([]float64, error) {
+	rewards := make([]float64, 0, episodes)
+	profitSynced := false
+	for ep := 0; ep < episodes; ep++ {
+		epsilon := schedule.At(ep)
+		obs := env.Reset()
+		var total float64
+		for sp := 0; sp < maxSteps; sp++ {
+			action, err := agent.SelectAction(obs, epsilon, env.NumActions())
+			if err != nil {
+				return rewards, err
+			}
+			next, reward, done, err := env.Step(action)
+			if err != nil {
+				return rewards, fmt.Errorf("episode %d step %d: %w", ep, sp, err)
+			}
+			if _, err := agent.Observe(rl.Transition{
+				State:  obs,
+				Action: action,
+				Reward: reward,
+				Next:   next,
+				Done:   done,
+			}); err != nil {
+				return rewards, err
+			}
+			total += reward
+			obs = next
+			// Algorithm 1, line 16: copy the target network when profit is
+			// first reached.
+			if !profitSynced && env.ProfitFound() {
+				profitSynced = true
+				if err := agent.SyncTarget(); err != nil {
+					return rewards, err
+				}
+			}
+			if done {
+				break
+			}
+		}
+		rewards = append(rewards, total)
+		if onEpisode != nil {
+			onEpisode(ep, total, env)
+		}
+	}
+	return rewards, nil
+}
+
+// RunGreedyEpisode rolls the trained agent greedily (ε = 0) for maxSteps and
+// returns the episode reward.
+func RunGreedyEpisode(agent *rl.Agent, env *Env, maxSteps int) (float64, error) {
+	obs := env.Reset()
+	var total float64
+	for sp := 0; sp < maxSteps; sp++ {
+		action, err := agent.Greedy(obs, env.NumActions())
+		if err != nil {
+			return total, err
+		}
+		next, reward, done, err := env.Step(action)
+		if err != nil {
+			return total, err
+		}
+		total += reward
+		obs = next
+		if done {
+			break
+		}
+	}
+	return total, nil
+}

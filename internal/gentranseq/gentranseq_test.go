@@ -1,0 +1,294 @@
+package gentranseq_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"parole/internal/casestudy"
+	"parole/internal/chainid"
+	"parole/internal/gentranseq"
+	"parole/internal/ovm"
+	"parole/internal/rl"
+	"parole/internal/tx"
+)
+
+func scenario(t testing.TB) *casestudy.Scenario {
+	t.Helper()
+	s, err := casestudy.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newEnv(t testing.TB, s *casestudy.Scenario) *gentranseq.Env {
+	t.Helper()
+	env, err := gentranseq.NewEnv(ovm.New(), s.State, s.Original,
+		[]chainid.Address{casestudy.IFU}, gentranseq.DefaultEnvConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestEnvValidation(t *testing.T) {
+	s := scenario(t)
+	vm := ovm.New()
+	ifus := []chainid.Address{casestudy.IFU}
+	if _, err := gentranseq.NewEnv(vm, s.State, s.Original[:1], ifus, gentranseq.DefaultEnvConfig()); !errors.Is(err, gentranseq.ErrTooShort) {
+		t.Errorf("short seq = %v", err)
+	}
+	if _, err := gentranseq.NewEnv(vm, s.State, s.Original, nil, gentranseq.DefaultEnvConfig()); !errors.Is(err, gentranseq.ErrNoIFU) {
+		t.Errorf("no ifu = %v", err)
+	}
+	bad := gentranseq.DefaultEnvConfig()
+	bad.RewardScale = 0
+	if _, err := gentranseq.NewEnv(vm, s.State, s.Original, ifus, bad); !errors.Is(err, gentranseq.ErrBadEnv) {
+		t.Errorf("bad env cfg = %v", err)
+	}
+}
+
+func TestEnvShapes(t *testing.T) {
+	s := scenario(t)
+	env := newEnv(t, s)
+	// N = 8: observation 64, actions C(8,2) = 28.
+	if got := env.ObservationSize(); got != 64 {
+		t.Fatalf("obs size = %d, want 64", got)
+	}
+	if got := env.NumActions(); got != 28 {
+		t.Fatalf("actions = %d, want 28", got)
+	}
+	obs := env.Reset()
+	if len(obs) != 64 {
+		t.Fatalf("Reset obs length = %d", len(obs))
+	}
+	for i, v := range obs {
+		if v < 0 || v > 1 {
+			t.Fatalf("obs[%d] = %g out of [0,1]", i, v)
+		}
+	}
+}
+
+func TestEnvActionMapping(t *testing.T) {
+	s := scenario(t)
+	env := newEnv(t, s)
+	// First action must be (0,1), last (6,7).
+	i, j, err := env.Action(0)
+	if err != nil || i != 0 || j != 1 {
+		t.Fatalf("Action(0) = (%d,%d,%v)", i, j, err)
+	}
+	i, j, err = env.Action(env.NumActions() - 1)
+	if err != nil || i != 6 || j != 7 {
+		t.Fatalf("Action(last) = (%d,%d,%v)", i, j, err)
+	}
+	if _, _, err := env.Action(999); err == nil {
+		t.Fatal("out-of-range action should error")
+	}
+}
+
+func TestEnvEncodingReflectsIFUInvolvement(t *testing.T) {
+	s := scenario(t)
+	env := newEnv(t, s)
+	obs := env.Reset()
+	// TX3 (index 2) is the IFU selling: involved + disposes.
+	row := obs[2*gentranseq.FeaturesPerTx : 3*gentranseq.FeaturesPerTx]
+	if row[1] != 1 { // transfer one-hot
+		t.Fatalf("TX3 kind encoding = %v", row[:3])
+	}
+	if row[3] != 1 || row[4] != 0 || row[5] != 1 {
+		t.Fatalf("TX3 IFU flags = %v", row[3:6])
+	}
+	// TX5 (index 4) is the IFU minting: involved + acquires.
+	row = obs[4*gentranseq.FeaturesPerTx : 5*gentranseq.FeaturesPerTx]
+	if row[0] != 1 || row[3] != 1 || row[4] != 1 || row[5] != 0 {
+		t.Fatalf("TX5 encoding = %v", row)
+	}
+	// TX1 (index 0) does not involve the IFU.
+	row = obs[:gentranseq.FeaturesPerTx]
+	if row[3] != 0 || row[4] != 0 || row[5] != 0 {
+		t.Fatalf("TX1 IFU flags = %v", row[3:6])
+	}
+}
+
+func TestEnvStepRewardSigns(t *testing.T) {
+	s := scenario(t)
+	env := newEnv(t, s)
+	env.Reset()
+
+	// Swapping TX2 (mint by U19) to the end — the case-3 insight — raises
+	// the IFU's wealth; find that action index: positions (1,7).
+	actionIdx := -1
+	for a := 0; a < env.NumActions(); a++ {
+		i, j, err := env.Action(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 && j == 7 {
+			actionIdx = a
+			break
+		}
+	}
+	if actionIdx < 0 {
+		t.Fatal("no (1,7) action")
+	}
+	_, reward, done, err := env.Step(actionIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done {
+		t.Fatal("episodes must not terminate early")
+	}
+	// TX2 now executes after TX8: IFU buys at 0.4 instead of 0.5, mints at
+	// 0.5... net effect must be nonzero; we just need the sign machinery:
+	// any improving valid order must give a positive reward, a worsening
+	// one a W-amplified negative.
+	swaps, _ := env.Best()
+	if reward > 0 && swaps == nil {
+		t.Fatal("positive reward without best-order tracking")
+	}
+	if reward < 0 && env.FirstCandidateSwaps() >= 0 && swaps == nil {
+		t.Fatal("inconsistent candidate tracking")
+	}
+}
+
+func TestEnvResetRestoresOriginal(t *testing.T) {
+	s := scenario(t)
+	env := newEnv(t, s)
+	first := env.Reset()
+	if _, _, _, err := env.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	again := env.Reset()
+	if len(first) != len(again) {
+		t.Fatal("obs length changed across reset")
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatal("Reset did not restore the original order")
+		}
+	}
+	if env.FirstCandidateSwaps() != -1 {
+		t.Fatal("Reset did not clear the episode candidate counter")
+	}
+}
+
+func TestEnvPenalizesDroppedExecution(t *testing.T) {
+	s := scenario(t)
+	env := newEnv(t, s)
+	env.Reset()
+	// Swap TX1 (U1→U2 sale of token 2) with TX7 (U2 burns token 2): the
+	// burn now precedes the sale, so both drop — an invalid order that must
+	// be penalized with the W multiplier.
+	actionIdx := -1
+	for a := 0; a < env.NumActions(); a++ {
+		i, j, _ := env.Action(a)
+		if i == 0 && j == 6 {
+			actionIdx = a
+			break
+		}
+	}
+	_, reward, _, err := env.Step(actionIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reward >= 0 {
+		t.Fatalf("invalid order reward = %g, want negative", reward)
+	}
+	cfg := gentranseq.DefaultEnvConfig()
+	// At minimum the invalid penalty times W applies.
+	if reward > -cfg.InvalidPenalty*cfg.PenaltyWeight+1e-9 {
+		t.Fatalf("invalid order reward = %g, want ≤ %g", reward, -cfg.InvalidPenalty*cfg.PenaltyWeight)
+	}
+	if best, _ := env.Best(); best != nil {
+		t.Fatal("invalid order recorded as best")
+	}
+}
+
+// TestOptimizeFindsCaseStudyProfit is the headline integration test: on the
+// paper's case-study batch, a trained GENTRANSEQ must find a valid order at
+// least as profitable as the paper's Fig. 5(b) candidate.
+func TestOptimizeFindsCaseStudyProfit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DQN training")
+	}
+	s := scenario(t)
+	rng := rand.New(rand.NewSource(42))
+	cfg := gentranseq.FastConfig()
+	cfg.Episodes = 30
+	cfg.MaxSteps = 80
+	res, err := gentranseq.Optimize(rng, ovm.New(), s.State, s.Original,
+		[]chainid.Address{casestudy.IFU}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Opportunity {
+		t.Fatal("opportunity not detected")
+	}
+	if !res.Improved {
+		t.Fatal("no improving order found")
+	}
+	minGain := casestudy.FinalCase2 - casestudy.FinalCase1
+	if res.Improvement < minGain {
+		t.Fatalf("improvement = %s, want ≥ %s (the paper's case-2 gain)", res.Improvement, minGain)
+	}
+	if len(res.EpisodeRewards) != cfg.Episodes {
+		t.Fatalf("episode rewards = %d, want %d", len(res.EpisodeRewards), cfg.Episodes)
+	}
+	// The returned order must be a valid permutation.
+	if !s.Original.SamePermutation(res.Final) {
+		t.Fatal("final order is not a permutation")
+	}
+}
+
+func TestOptimizeNoOpportunityShortCircuits(t *testing.T) {
+	s := scenario(t)
+	rng := rand.New(rand.NewSource(1))
+	stranger := chainid.UserAddress(900)
+	res, err := gentranseq.Optimize(rng, ovm.New(), s.State, s.Original,
+		[]chainid.Address{stranger}, gentranseq.FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Opportunity || res.Improved {
+		t.Fatal("stranger IFU should short-circuit")
+	}
+	if res.Final.Hash() != s.Original.Hash() {
+		t.Fatal("short-circuit must return the original order")
+	}
+	if res.TrainedAgent != nil {
+		t.Fatal("no agent should be trained on a short-circuit")
+	}
+}
+
+func TestOptimizeTinySequence(t *testing.T) {
+	s := scenario(t)
+	rng := rand.New(rand.NewSource(1))
+	res, err := gentranseq.Optimize(rng, ovm.New(), s.State, tx.Seq{s.Original[0]},
+		[]chainid.Address{casestudy.IFU}, gentranseq.FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Improved {
+		t.Fatal("single tx cannot be improved")
+	}
+}
+
+func TestTrainAgentEpsilonZeroStillRuns(t *testing.T) {
+	s := scenario(t)
+	env := newEnv(t, s)
+	rng := rand.New(rand.NewSource(7))
+	rlCfg := rl.DefaultConfig()
+	rlCfg.Hidden = []int{16}
+	agent, err := rl.NewAgent(rng, env.ObservationSize(), env.NumActions(), rlCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards, err := gentranseq.TrainAgent(agent, env, 3, 10, rl.EpsilonSchedule{Max: 0, Min: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rewards) != 3 {
+		t.Fatalf("rewards = %d episodes", len(rewards))
+	}
+}

@@ -1,0 +1,146 @@
+// Package l1 implements the simulator's Layer-1 chain and the
+// optimistic-rollup smart contract (ORSC) that lives on it.
+//
+// The paper's workflow (Fig. 1, Section V-A) needs four things from L1:
+// ETH accounts users deposit from, a contract that escrows deposits and
+// issues L2 tokens, a registry of bonded aggregators and verifiers, and the
+// batch/challenge ledger that finalizes rollup blocks after an unchallenged
+// dispute window. All four live here; the actors that drive them live in
+// internal/rollup.
+package l1
+
+import (
+	"errors"
+	"fmt"
+
+	"parole/internal/chainid"
+	"parole/internal/wei"
+)
+
+// Chain errors.
+var (
+	ErrInsufficientFunds = errors.New("l1: insufficient funds")
+)
+
+// BatchAnchor is the record of one finalized rollup batch inside an L1
+// block: the on-chain footprint of Table III's "Block Number" and "L1 state
+// index" columns.
+type BatchAnchor struct {
+	BatchID    uint64
+	Sequence   chainid.Hash // commitment to the ordered tx list
+	StateRoot  chainid.Hash // post-state root (the fraud proof)
+	Aggregator chainid.Address
+	StateIndex uint64 // running index of L2 state commitments on L1
+	TxCount    int
+}
+
+// Block is one L1 block.
+type Block struct {
+	Number  uint64
+	Parent  chainid.Hash
+	Anchors []BatchAnchor
+}
+
+// Hash returns the block id.
+func (b Block) Hash() chainid.Hash {
+	segments := make([][]byte, 0, 2+len(b.Anchors))
+	var head [8]byte
+	putUint64(head[:], b.Number)
+	segments = append(segments, []byte("parole/l1-block"), head[:], b.Parent[:])
+	for _, a := range b.Anchors {
+		seg := make([]byte, 0, 8+chainid.HashLen*2)
+		var n [8]byte
+		putUint64(n[:], a.BatchID)
+		seg = append(seg, n[:]...)
+		seg = append(seg, a.Sequence[:]...)
+		seg = append(seg, a.StateRoot[:]...)
+		segments = append(segments, seg)
+	}
+	return chainid.HashBytes(segments...)
+}
+
+// Chain is the L1 ledger: a block list plus native ETH accounts. It is a
+// single-writer structure; the rollup node serializes access.
+type Chain struct {
+	blocks   []Block
+	accounts map[chainid.Address]wei.Amount
+}
+
+// NewChain creates an L1 chain whose genesis block carries the given number,
+// letting scenarios print realistic block heights (Table III shows blocks in
+// the 17.9M range).
+func NewChain(genesisNumber uint64) *Chain {
+	return &Chain{
+		blocks:   []Block{{Number: genesisNumber}},
+		accounts: make(map[chainid.Address]wei.Amount),
+	}
+}
+
+// Head returns the latest block.
+func (c *Chain) Head() Block { return c.blocks[len(c.blocks)-1] }
+
+// Height returns the latest block number.
+func (c *Chain) Height() uint64 { return c.Head().Number }
+
+// Len returns the number of blocks on the chain.
+func (c *Chain) Len() int { return len(c.blocks) }
+
+// Block returns the i-th block (0 = genesis).
+func (c *Chain) Block(i int) (Block, error) {
+	if i < 0 || i >= len(c.blocks) {
+		return Block{}, fmt.Errorf("l1: block index %d out of range [0,%d)", i, len(c.blocks))
+	}
+	return c.blocks[i], nil
+}
+
+// AppendBlock seals a new block carrying the given batch anchors.
+func (c *Chain) AppendBlock(anchors []BatchAnchor) Block {
+	head := c.Head()
+	b := Block{
+		Number:  head.Number + 1,
+		Parent:  head.Hash(),
+		Anchors: anchors,
+	}
+	c.blocks = append(c.blocks, b)
+	return b
+}
+
+// Balance returns addr's native ETH balance.
+func (c *Chain) Balance(addr chainid.Address) wei.Amount { return c.accounts[addr] }
+
+// Fund credits native ETH to addr (scenario setup / faucet).
+func (c *Chain) Fund(addr chainid.Address, amount wei.Amount) {
+	if amount < 0 {
+		panic("l1: negative funding")
+	}
+	c.accounts[addr] += amount
+}
+
+// transfer moves native ETH between accounts.
+func (c *Chain) transfer(from, to chainid.Address, amount wei.Amount) error {
+	if amount < 0 {
+		panic("l1: negative transfer")
+	}
+	if c.accounts[from] < amount {
+		return fmt.Errorf("%w: %s has %s, needs %s", ErrInsufficientFunds, from, c.accounts[from], amount)
+	}
+	c.accounts[from] -= amount
+	c.accounts[to] += amount
+	return nil
+}
+
+// TotalSupply returns the sum of all native balances (conservation tests).
+func (c *Chain) TotalSupply() wei.Amount {
+	var total wei.Amount
+	for _, b := range c.accounts {
+		total += b
+	}
+	return total
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}

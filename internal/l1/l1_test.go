@@ -1,0 +1,252 @@
+package l1
+
+import (
+	"errors"
+	"testing"
+
+	"parole/internal/chainid"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+var (
+	ptAddr   = chainid.DeriveAddress("pt-contract")
+	orscAddr = chainid.DeriveAddress("orsc")
+	alice    = chainid.UserAddress(1)
+	agg      = chainid.AggregatorAddress(1)
+	ver      = chainid.VerifierAddress(1)
+)
+
+// trueRoot is a canned "correct" post-root used by the test adjudicator.
+var trueRoot = chainid.HashBytes([]byte("true-root"))
+
+func honestAdjudicator() Adjudicator {
+	return AdjudicatorFunc(func(Batch) (chainid.Hash, error) { return trueRoot, nil })
+}
+
+func newFixture(t *testing.T) (*Chain, *ORSC) {
+	t.Helper()
+	chain := NewChain(17_934_000)
+	orsc := NewORSC(chain, orscAddr, honestAdjudicator(), ORSCConfig{
+		ChallengePeriod: 2,
+		StateIndexBase:  115_000,
+	})
+	chain.Fund(alice, wei.FromETH(10))
+	chain.Fund(agg, wei.FromETH(10))
+	chain.Fund(ver, wei.FromETH(10))
+	if err := orsc.RegisterAggregator(agg, wei.FromETH(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := orsc.RegisterVerifier(ver, wei.FromETH(5)); err != nil {
+		t.Fatal(err)
+	}
+	return chain, orsc
+}
+
+func sampleBatchSeq() tx.Seq {
+	return tx.Seq{tx.Mint(ptAddr, 1, alice)}
+}
+
+func TestChainGenesisAndAppend(t *testing.T) {
+	c := NewChain(100)
+	if c.Height() != 100 || c.Len() != 1 {
+		t.Fatalf("genesis height=%d len=%d", c.Height(), c.Len())
+	}
+	b := c.AppendBlock(nil)
+	if b.Number != 101 {
+		t.Fatalf("appended number = %d", b.Number)
+	}
+	if b.Parent != (Block{Number: 100}).Hash() {
+		t.Fatal("parent link broken")
+	}
+	if _, err := c.Block(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Block(2); err == nil {
+		t.Fatal("out-of-range Block lookup should fail")
+	}
+}
+
+func TestFundAndTransferConservation(t *testing.T) {
+	c := NewChain(0)
+	c.Fund(alice, 100)
+	c.Fund(agg, 50)
+	total := c.TotalSupply()
+	if err := c.transfer(alice, agg, 30); err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalSupply() != total {
+		t.Fatal("transfer changed total supply")
+	}
+	if err := c.transfer(alice, agg, 1000); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("overdraft = %v", err)
+	}
+}
+
+func TestDepositEscrowsAndQueues(t *testing.T) {
+	chain, orsc := newFixture(t)
+	if err := orsc.Deposit(alice, wei.FromETH(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := chain.Balance(alice); got != wei.FromETH(7) {
+		t.Fatalf("alice L1 balance = %s", got)
+	}
+	deps := orsc.DrainDeposits()
+	if len(deps) != 1 || deps[0].User != alice || deps[0].Amount != wei.FromETH(3) {
+		t.Fatalf("deposits = %+v", deps)
+	}
+	if len(orsc.DrainDeposits()) != 0 {
+		t.Fatal("DrainDeposits did not clear the queue")
+	}
+	if err := orsc.Deposit(alice, 0); !errors.Is(err, ErrBadDeposit) {
+		t.Fatalf("zero deposit = %v", err)
+	}
+	if err := orsc.Deposit(alice, wei.FromETH(100)); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("over-deposit = %v", err)
+	}
+}
+
+func TestRegistrationRules(t *testing.T) {
+	_, orsc := newFixture(t)
+	if err := orsc.RegisterAggregator(agg, 1); !errors.Is(err, ErrAlreadyBonded) {
+		t.Fatalf("double registration = %v", err)
+	}
+	broke := chainid.AggregatorAddress(9)
+	if err := orsc.RegisterAggregator(broke, wei.FromETH(1)); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("unfunded registration = %v", err)
+	}
+	if got := orsc.AggregatorBond(agg); got != wei.FromETH(5) {
+		t.Fatalf("bond = %s", got)
+	}
+}
+
+func TestSubmitBatchRequiresRegistration(t *testing.T) {
+	_, orsc := newFixture(t)
+	if _, err := orsc.SubmitBatch(chainid.AggregatorAddress(9), sampleBatchSeq(), chainid.Hash{}, trueRoot); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("unregistered submit = %v", err)
+	}
+}
+
+func TestBatchFinalizationAfterChallengeWindow(t *testing.T) {
+	chain, orsc := newFixture(t)
+	heightBefore := chain.Height()
+	b, err := orsc.SubmitBatch(agg, sampleBatchSeq(), chainid.Hash{}, trueRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Challenge period is 2 rounds: rounds 1 and 2 keep it pending.
+	if anchors := orsc.AdvanceRound(); anchors != nil {
+		t.Fatal("finalized inside the challenge window")
+	}
+	if anchors := orsc.AdvanceRound(); anchors != nil {
+		t.Fatal("finalized at the deadline round")
+	}
+	anchors := orsc.AdvanceRound()
+	if len(anchors) != 1 {
+		t.Fatalf("anchors = %v", anchors)
+	}
+	if b.Status != BatchFinalized {
+		t.Fatalf("batch status = %v", b.Status)
+	}
+	if anchors[0].StateIndex != 115_001 {
+		t.Fatalf("state index = %d, want 115001", anchors[0].StateIndex)
+	}
+	if chain.Height() != heightBefore+1 {
+		t.Fatal("finalization did not append an L1 block")
+	}
+	if got := chain.Head().Anchors[0].Sequence; got != sampleBatchSeq().Hash() {
+		t.Fatalf("anchored sequence hash = %s", got)
+	}
+}
+
+func TestSuccessfulChallengeSlashesAggregator(t *testing.T) {
+	chain, orsc := newFixture(t)
+	forged := chainid.HashBytes([]byte("forged-root"))
+	b, err := orsc.SubmitBatch(agg, sampleBatchSeq(), chainid.Hash{}, forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := orsc.Challenge(ver, b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("valid challenge reported failure")
+	}
+	if b.Status != BatchReverted {
+		t.Fatalf("batch status = %v, want reverted", b.Status)
+	}
+	if orsc.AggregatorBond(agg) != 0 {
+		t.Fatal("aggregator bond not slashed")
+	}
+	// The verifier received the slashed bond on L1.
+	if got := chain.Balance(ver); got != wei.FromETH(10) {
+		t.Fatalf("verifier balance = %s, want 10 (5 free + 5 slashed)", got)
+	}
+	// Reverted batches never finalize.
+	orsc.AdvanceRound()
+	orsc.AdvanceRound()
+	if anchors := orsc.AdvanceRound(); anchors != nil {
+		t.Fatal("reverted batch finalized")
+	}
+}
+
+func TestFrivolousChallengeSlashesVerifier(t *testing.T) {
+	chain, orsc := newFixture(t)
+	b, err := orsc.SubmitBatch(agg, sampleBatchSeq(), chainid.Hash{}, trueRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := orsc.Challenge(ver, b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("challenge of a valid batch reported success")
+	}
+	if orsc.VerifierBond(ver) != 0 {
+		t.Fatal("verifier bond not slashed")
+	}
+	if got := chain.Balance(agg); got != wei.FromETH(10) {
+		t.Fatalf("aggregator balance = %s, want 10", got)
+	}
+	if b.Status != BatchPending {
+		t.Fatal("frivolous challenge changed batch status")
+	}
+}
+
+func TestChallengeWindowEnforcement(t *testing.T) {
+	_, orsc := newFixture(t)
+	b, err := orsc.SubmitBatch(agg, sampleBatchSeq(), chainid.Hash{}, trueRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orsc.AdvanceRound()
+	orsc.AdvanceRound()
+	orsc.AdvanceRound() // finalizes
+	if _, err := orsc.Challenge(ver, b.ID); !errors.Is(err, ErrBatchClosed) {
+		t.Fatalf("late challenge = %v", err)
+	}
+	if _, err := orsc.Challenge(ver, 99); !errors.Is(err, ErrUnknownBatch) {
+		t.Fatalf("unknown batch challenge = %v", err)
+	}
+	if _, err := orsc.Challenge(chainid.VerifierAddress(9), b.ID); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("unregistered challenger = %v", err)
+	}
+}
+
+func TestPendingBatches(t *testing.T) {
+	_, orsc := newFixture(t)
+	if _, err := orsc.SubmitBatch(agg, sampleBatchSeq(), chainid.Hash{}, trueRoot); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(orsc.PendingBatches()); got != 1 {
+		t.Fatalf("pending = %d", got)
+	}
+	orsc.AdvanceRound()
+	orsc.AdvanceRound()
+	orsc.AdvanceRound()
+	if got := len(orsc.PendingBatches()); got != 0 {
+		t.Fatalf("pending after finalization = %d", got)
+	}
+}

@@ -1,0 +1,337 @@
+package l1
+
+import (
+	"errors"
+	"fmt"
+
+	"parole/internal/chainid"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// ORSC errors.
+var (
+	ErrNotRegistered    = errors.New("orsc: actor not registered")
+	ErrAlreadyBonded    = errors.New("orsc: actor already registered")
+	ErrUnknownBatch     = errors.New("orsc: unknown batch")
+	ErrBatchClosed      = errors.New("orsc: batch no longer challengeable")
+	ErrChallengeExpired = errors.New("orsc: challenge period over")
+	ErrBadDeposit       = errors.New("orsc: invalid deposit")
+)
+
+// BatchStatus is the lifecycle state of a submitted batch.
+type BatchStatus uint8
+
+// Batch lifecycle states.
+const (
+	BatchPending BatchStatus = iota + 1
+	BatchFinalized
+	BatchReverted
+)
+
+// String returns the lower-case status name.
+func (s BatchStatus) String() string {
+	switch s {
+	case BatchPending:
+		return "pending"
+	case BatchFinalized:
+		return "finalized"
+	case BatchReverted:
+		return "reverted"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Batch is a rollup batch recorded on the ORSC awaiting its challenge
+// window. The full transaction payload is posted (data availability), so a
+// challenger can replay it.
+type Batch struct {
+	ID         uint64
+	Aggregator chainid.Address
+	Txs        tx.Seq
+	PreRoot    chainid.Hash
+	PostRoot   chainid.Hash
+	Status     BatchStatus
+	// Deadline is the ORSC round after which the batch finalizes if
+	// unchallenged.
+	Deadline uint64
+}
+
+// Adjudicator decides a challenge: it must return the correct post-state
+// root of replaying batch.Txs from batch.PreRoot. In the real protocol this
+// is the interactive fraud-proof game; the rollup layer wires in an
+// OVM-replaying implementation.
+type Adjudicator interface {
+	CorrectPostRoot(batch Batch) (chainid.Hash, error)
+}
+
+// AdjudicatorFunc adapts a function to the Adjudicator interface.
+type AdjudicatorFunc func(batch Batch) (chainid.Hash, error)
+
+// CorrectPostRoot implements Adjudicator.
+func (f AdjudicatorFunc) CorrectPostRoot(b Batch) (chainid.Hash, error) { return f(b) }
+
+// ORSC is the optimistic-rollup smart contract: deposit escrow, bond
+// registry, batch ledger, and challenge game.
+type ORSC struct {
+	chain *Chain
+	addr  chainid.Address
+	adj   Adjudicator
+
+	challengePeriod uint64 // in ORSC rounds
+	round           uint64
+
+	aggregatorBonds map[chainid.Address]wei.Amount
+	verifierBonds   map[chainid.Address]wei.Amount
+	batches         []*Batch
+	stateIndex      uint64
+
+	// deposits accumulated but not yet pulled by the rollup node.
+	pendingDeposits []Deposit
+	// withdrawals awaiting their challenge window before paying out on L1.
+	withdrawals []*Withdrawal
+}
+
+// Deposit is a user's L1→L2 transfer awaiting L2 credit.
+type Deposit struct {
+	User   chainid.Address
+	Amount wei.Amount
+}
+
+// Withdrawal is an L2→L1 exit. Like batches, withdrawals only pay out after
+// the optimistic challenge window — the famous optimistic-rollup exit delay.
+type Withdrawal struct {
+	ID       uint64
+	User     chainid.Address
+	Amount   wei.Amount
+	Deadline uint64
+	Paid     bool
+}
+
+// ORSCConfig parameterizes contract deployment.
+type ORSCConfig struct {
+	// ChallengePeriod is how many rounds a batch stays challengeable.
+	ChallengePeriod uint64
+	// StateIndexBase offsets the running L1 state index so scenarios can
+	// mirror Table III's values.
+	StateIndexBase uint64
+}
+
+// NewORSC deploys the rollup contract on chain.
+func NewORSC(chain *Chain, addr chainid.Address, adj Adjudicator, cfg ORSCConfig) *ORSC {
+	if cfg.ChallengePeriod == 0 {
+		cfg.ChallengePeriod = 1
+	}
+	return &ORSC{
+		chain:           chain,
+		addr:            addr,
+		adj:             adj,
+		challengePeriod: cfg.ChallengePeriod,
+		aggregatorBonds: make(map[chainid.Address]wei.Amount),
+		verifierBonds:   make(map[chainid.Address]wei.Amount),
+		stateIndex:      cfg.StateIndexBase,
+	}
+}
+
+// Address returns the contract's L1 address.
+func (o *ORSC) Address() chainid.Address { return o.addr }
+
+// Round returns the contract's current round counter.
+func (o *ORSC) Round() uint64 { return o.round }
+
+// StateIndex returns the current L1 state index (Table III column).
+func (o *ORSC) StateIndex() uint64 { return o.stateIndex }
+
+// Deposit escrows amount of user's L1 ETH with the contract and queues an
+// equivalent L2 credit — the C^L1 → t^L2 exchange of Fig. 1.
+func (o *ORSC) Deposit(user chainid.Address, amount wei.Amount) error {
+	if amount <= 0 {
+		return fmt.Errorf("%w: %s", ErrBadDeposit, amount)
+	}
+	if err := o.chain.transfer(user, o.addr, amount); err != nil {
+		return err
+	}
+	o.pendingDeposits = append(o.pendingDeposits, Deposit{User: user, Amount: amount})
+	return nil
+}
+
+// QueueWithdrawal registers an L2→L1 exit initiated by the rollup node
+// (which has already debited the user's L2 balance). The ETH pays out on L1
+// after the challenge window.
+func (o *ORSC) QueueWithdrawal(user chainid.Address, amount wei.Amount) (*Withdrawal, error) {
+	if amount <= 0 {
+		return nil, fmt.Errorf("%w: %s", ErrBadDeposit, amount)
+	}
+	w := &Withdrawal{
+		ID:       uint64(len(o.withdrawals)),
+		User:     user,
+		Amount:   amount,
+		Deadline: o.round + o.challengePeriod,
+	}
+	o.withdrawals = append(o.withdrawals, w)
+	return w, nil
+}
+
+// Withdrawal returns the exit record with the given id.
+func (o *ORSC) Withdrawal(id uint64) (*Withdrawal, error) {
+	if id >= uint64(len(o.withdrawals)) {
+		return nil, fmt.Errorf("%w: withdrawal %d", ErrUnknownBatch, id)
+	}
+	return o.withdrawals[id], nil
+}
+
+// DrainDeposits hands the queued deposits to the rollup node, which credits
+// them on L2, and clears the queue.
+func (o *ORSC) DrainDeposits() []Deposit {
+	out := o.pendingDeposits
+	o.pendingDeposits = nil
+	return out
+}
+
+// RegisterAggregator bonds an aggregator.
+func (o *ORSC) RegisterAggregator(addr chainid.Address, bond wei.Amount) error {
+	return o.register(o.aggregatorBonds, addr, bond)
+}
+
+// RegisterVerifier bonds a verifier.
+func (o *ORSC) RegisterVerifier(addr chainid.Address, bond wei.Amount) error {
+	return o.register(o.verifierBonds, addr, bond)
+}
+
+func (o *ORSC) register(bonds map[chainid.Address]wei.Amount, addr chainid.Address, bond wei.Amount) error {
+	if _, dup := bonds[addr]; dup {
+		return fmt.Errorf("%w: %s", ErrAlreadyBonded, addr)
+	}
+	if err := o.chain.transfer(addr, o.addr, bond); err != nil {
+		return err
+	}
+	bonds[addr] = bond
+	return nil
+}
+
+// AggregatorBond returns the remaining bond of an aggregator.
+func (o *ORSC) AggregatorBond(addr chainid.Address) wei.Amount { return o.aggregatorBonds[addr] }
+
+// VerifierBond returns the remaining bond of a verifier.
+func (o *ORSC) VerifierBond(addr chainid.Address) wei.Amount { return o.verifierBonds[addr] }
+
+// SubmitBatch records a rollup batch with its fraud proof (the post-state
+// root). The batch enters its challenge window.
+func (o *ORSC) SubmitBatch(aggregator chainid.Address, seq tx.Seq, preRoot, postRoot chainid.Hash) (*Batch, error) {
+	if _, ok := o.aggregatorBonds[aggregator]; !ok {
+		return nil, fmt.Errorf("%w: aggregator %s", ErrNotRegistered, aggregator)
+	}
+	b := &Batch{
+		ID:         uint64(len(o.batches)),
+		Aggregator: aggregator,
+		Txs:        seq.Clone(),
+		PreRoot:    preRoot,
+		PostRoot:   postRoot,
+		Status:     BatchPending,
+		Deadline:   o.round + o.challengePeriod,
+	}
+	o.batches = append(o.batches, b)
+	return b, nil
+}
+
+// Batch returns the batch with the given id.
+func (o *ORSC) Batch(id uint64) (*Batch, error) {
+	if id >= uint64(len(o.batches)) {
+		return nil, fmt.Errorf("%w: id %d", ErrUnknownBatch, id)
+	}
+	return o.batches[id], nil
+}
+
+// PendingBatches returns batches still inside their challenge window.
+func (o *ORSC) PendingBatches() []*Batch {
+	var out []*Batch
+	for _, b := range o.batches {
+		if b.Status == BatchPending {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Challenge lets a bonded verifier dispute a pending batch. The adjudicator
+// replays the batch; if the submitted post-root is wrong the batch reverts
+// and the aggregator's bond is slashed to the challenger (Section V-A). If
+// the proof was valid, the *verifier's* bond is slashed instead.
+//
+// The returned bool reports whether the challenge succeeded.
+func (o *ORSC) Challenge(verifier chainid.Address, batchID uint64) (bool, error) {
+	bond, ok := o.verifierBonds[verifier]
+	if !ok {
+		return false, fmt.Errorf("%w: verifier %s", ErrNotRegistered, verifier)
+	}
+	b, err := o.Batch(batchID)
+	if err != nil {
+		return false, err
+	}
+	if b.Status != BatchPending {
+		return false, fmt.Errorf("%w: batch %d is %s", ErrBatchClosed, batchID, b.Status)
+	}
+	if o.round > b.Deadline {
+		return false, fmt.Errorf("%w: batch %d deadline %d, round %d", ErrChallengeExpired, batchID, b.Deadline, o.round)
+	}
+	correct, err := o.adj.CorrectPostRoot(*b)
+	if err != nil {
+		return false, fmt.Errorf("adjudicate batch %d: %w", batchID, err)
+	}
+	if correct != b.PostRoot {
+		// Fraud proven: revert and slash the aggregator to the challenger.
+		b.Status = BatchReverted
+		slashed := o.aggregatorBonds[b.Aggregator]
+		o.aggregatorBonds[b.Aggregator] = 0
+		if err := o.chain.transfer(o.addr, verifier, slashed); err != nil {
+			return false, fmt.Errorf("pay out slash: %w", err)
+		}
+		return true, nil
+	}
+	// Frivolous challenge: slash the verifier to the aggregator.
+	o.verifierBonds[verifier] = 0
+	if err := o.chain.transfer(o.addr, b.Aggregator, bond); err != nil {
+		return false, fmt.Errorf("pay out slash: %w", err)
+	}
+	return false, nil
+}
+
+// AdvanceRound moves the contract clock one round forward, finalizing every
+// pending batch whose challenge window has closed. Finalized batches are
+// anchored into a fresh L1 block; each anchor consumes one L1 state index.
+func (o *ORSC) AdvanceRound() []BatchAnchor {
+	o.round++
+	var anchors []BatchAnchor
+	for _, b := range o.batches {
+		if b.Status != BatchPending || o.round <= b.Deadline {
+			continue
+		}
+		b.Status = BatchFinalized
+		o.stateIndex++
+		anchors = append(anchors, BatchAnchor{
+			BatchID:    b.ID,
+			Sequence:   b.Txs.Hash(),
+			StateRoot:  b.PostRoot,
+			Aggregator: b.Aggregator,
+			StateIndex: o.stateIndex,
+			TxCount:    len(b.Txs),
+		})
+	}
+	if len(anchors) > 0 {
+		o.chain.AppendBlock(anchors)
+	}
+	// Pay out matured withdrawals from the contract escrow.
+	for _, w := range o.withdrawals {
+		if w.Paid || o.round <= w.Deadline {
+			continue
+		}
+		if err := o.chain.transfer(o.addr, w.User, w.Amount); err != nil {
+			// Escrow shortfall would mean an accounting bug; surface it
+			// loudly in tests via the unpaid flag rather than panicking.
+			continue
+		}
+		w.Paid = true
+	}
+	return anchors
+}

@@ -1,0 +1,124 @@
+package l1
+
+import (
+	"errors"
+	"testing"
+
+	"parole/internal/chainid"
+	"parole/internal/wei"
+)
+
+func TestORSCGetters(t *testing.T) {
+	_, orsc := newFixture(t)
+	if orsc.Address() != orscAddr {
+		t.Error("Address mismatch")
+	}
+	if orsc.Round() != 0 {
+		t.Errorf("fresh round = %d", orsc.Round())
+	}
+	if orsc.StateIndex() != 115_000 {
+		t.Errorf("state index = %d", orsc.StateIndex())
+	}
+	orsc.AdvanceRound()
+	if orsc.Round() != 1 {
+		t.Errorf("round after advance = %d", orsc.Round())
+	}
+}
+
+func TestBatchStatusString(t *testing.T) {
+	tests := []struct {
+		give BatchStatus
+		want string
+	}{
+		{BatchPending, "pending"},
+		{BatchFinalized, "finalized"},
+		{BatchReverted, "reverted"},
+		{BatchStatus(9), "status(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("BatchStatus(%d) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestQueueWithdrawalLifecycle(t *testing.T) {
+	chain, orsc := newFixture(t)
+	// Escrow some funds so the payout can succeed.
+	if err := orsc.Deposit(alice, wei.FromETH(3)); err != nil {
+		t.Fatal(err)
+	}
+	w, err := orsc.QueueWithdrawal(alice, wei.FromETH(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Paid || w.Deadline != orsc.Round()+2 {
+		t.Fatalf("withdrawal = %+v", w)
+	}
+	got, err := orsc.Withdrawal(w.ID)
+	if err != nil || got != w {
+		t.Fatalf("Withdrawal lookup = (%v, %v)", got, err)
+	}
+	if _, err := orsc.Withdrawal(99); !errors.Is(err, ErrUnknownBatch) {
+		t.Fatalf("unknown withdrawal = %v", err)
+	}
+	if _, err := orsc.QueueWithdrawal(alice, 0); !errors.Is(err, ErrBadDeposit) {
+		t.Fatalf("zero withdrawal = %v", err)
+	}
+	balBefore := chain.Balance(alice)
+	orsc.AdvanceRound()
+	orsc.AdvanceRound()
+	if w.Paid {
+		t.Fatal("paid before window closed")
+	}
+	orsc.AdvanceRound()
+	if !w.Paid {
+		t.Fatal("not paid after window")
+	}
+	if got := chain.Balance(alice); got != balBefore+wei.FromETH(2) {
+		t.Fatalf("payout balance = %s", got)
+	}
+}
+
+func TestWithdrawalShortfallStaysUnpaid(t *testing.T) {
+	// A withdrawal exceeding the contract escrow must not pay out (and must
+	// not panic); it stays unpaid as a visible accounting alarm.
+	chain := NewChain(0)
+	orsc := NewORSC(chain, orscAddr, honestAdjudicator(), ORSCConfig{ChallengePeriod: 1})
+	w, err := orsc.QueueWithdrawal(alice, wei.FromETH(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orsc.AdvanceRound()
+	orsc.AdvanceRound()
+	if w.Paid {
+		t.Fatal("shortfall withdrawal paid")
+	}
+}
+
+func TestNewORSCZeroChallengePeriodDefaults(t *testing.T) {
+	chain := NewChain(0)
+	chain.Fund(agg, wei.FromETH(10))
+	orsc := NewORSC(chain, orscAddr, honestAdjudicator(), ORSCConfig{})
+	if err := orsc.RegisterAggregator(agg, wei.FromETH(1)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := orsc.SubmitBatch(agg, sampleBatchSeq(), chainid.Hash{}, trueRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Deadline != 1 {
+		t.Fatalf("deadline = %d, want default challenge period 1", b.Deadline)
+	}
+}
+
+func TestBlockHashCoversAnchors(t *testing.T) {
+	a := Block{Number: 5, Anchors: []BatchAnchor{{BatchID: 1, StateIndex: 7}}}
+	b := Block{Number: 5, Anchors: []BatchAnchor{{BatchID: 2, StateIndex: 7}}}
+	if a.Hash() == b.Hash() {
+		t.Fatal("block hash ignores anchor content")
+	}
+	if a.Hash() != a.Hash() {
+		t.Fatal("block hash not deterministic")
+	}
+}

@@ -1,0 +1,160 @@
+// Package mempool models Bedrock's private mempool (Section II-A, IV-A).
+//
+// The legacy Ethereum network builds a block per transaction flow; Bedrock
+// produces blocks at a fixed interval, so pending transactions wait in a
+// mempool that is *private*: an aggregator cannot cherry-pick arbitrary
+// transactions to fabricate an arbitrage. Instead each aggregator collects
+// the next batch in base+priority-fee order — the paper's "Mempool size N"
+// is the size of that collected batch. PAROLE's adversarial aggregator only
+// re-orders the batch it is handed; this package guarantees it cannot do
+// more than that.
+//
+// The pool also implements the demotion primitive of the Section VIII
+// defense: sending selected transactions "to the block behind" by moving
+// them after every non-demoted transaction.
+package mempool
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"parole/internal/chainid"
+	"parole/internal/tx"
+)
+
+// Errors returned by pool operations.
+var (
+	ErrDuplicate = errors.New("mempool: transaction already pending")
+	ErrUnknownTx = errors.New("mempool: transaction not pending")
+	ErrInvalidTx = errors.New("mempool: invalid transaction")
+)
+
+// entry is one pending transaction with its arrival order.
+type entry struct {
+	tx      tx.Tx
+	arrival uint64
+	demoted bool
+}
+
+// Pool is Bedrock's private mempool. It is safe for concurrent use.
+type Pool struct {
+	mu      sync.Mutex
+	pending map[chainid.Hash]*entry
+	nextSeq uint64
+}
+
+// New returns an empty pool.
+func New() *Pool {
+	return &Pool{pending: make(map[chainid.Hash]*entry)}
+}
+
+// Add accepts a transaction into the pool after structural validation.
+func (p *Pool) Add(t tx.Tx) error {
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidTx, err)
+	}
+	h := t.Hash()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.pending[h]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicate, h)
+	}
+	p.pending[h] = &entry{tx: t, arrival: p.nextSeq}
+	p.nextSeq++
+	return nil
+}
+
+// AddAll accepts every transaction or returns the first error.
+func (p *Pool) AddAll(seq tx.Seq) error {
+	for _, t := range seq {
+		if err := p.Add(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Size returns the number of pending transactions.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}
+
+// Pending returns the pending transactions in collection order without
+// removing them.
+func (p *Pool) Pending() tx.Seq {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.orderedLocked(len(p.pending))
+}
+
+// Collect removes and returns up to n transactions in the pool's canonical
+// order: non-demoted before demoted, then descending total fee, then arrival
+// order. This is the batch an aggregator receives; it has no influence over
+// which transactions it gets.
+func (p *Pool) Collect(n int) tx.Seq {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	batch := p.orderedLocked(n)
+	for _, t := range batch {
+		delete(p.pending, t.Hash())
+	}
+	return batch
+}
+
+// Demote marks a pending transaction so that it orders after every
+// non-demoted transaction — the defense's "send to the block behind".
+func (p *Pool) Demote(h chainid.Hash) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.pending[h]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTx, h)
+	}
+	e.demoted = true
+	return nil
+}
+
+// Remove drops a pending transaction (e.g. after inclusion elsewhere).
+func (p *Pool) Remove(h chainid.Hash) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.pending[h]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTx, h)
+	}
+	delete(p.pending, h)
+	return nil
+}
+
+// orderedLocked returns up to n pending txs in canonical order. Callers must
+// hold p.mu.
+func (p *Pool) orderedLocked(n int) tx.Seq {
+	entries := make([]*entry, 0, len(p.pending))
+	for _, e := range p.pending {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.demoted != b.demoted {
+			return !a.demoted
+		}
+		if fa, fb := a.tx.Fee(), b.tx.Fee(); fa != fb {
+			return fa > fb
+		}
+		return a.arrival < b.arrival
+	})
+	if n < 0 {
+		n = 0
+	}
+	if n > len(entries) {
+		n = len(entries)
+	}
+	out := make(tx.Seq, 0, n)
+	for _, e := range entries[:n] {
+		out = append(out, e.tx)
+	}
+	return out
+}

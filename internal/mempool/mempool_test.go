@@ -1,0 +1,204 @@
+package mempool
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"parole/internal/chainid"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+var (
+	ptAddr = chainid.DeriveAddress("pt-contract")
+	alice  = chainid.UserAddress(1)
+	bob    = chainid.UserAddress(2)
+)
+
+func mintWithFee(id uint64, fee wei.Amount) tx.Tx {
+	return tx.Mint(ptAddr, id, alice).WithFees(fee, 0)
+}
+
+func TestAddAndSize(t *testing.T) {
+	p := New()
+	if err := p.Add(mintWithFee(1, 10)); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if got := p.Size(); got != 1 {
+		t.Fatalf("Size = %d, want 1", got)
+	}
+}
+
+func TestAddRejectsDuplicatesAndInvalid(t *testing.T) {
+	p := New()
+	m := mintWithFee(1, 10)
+	if err := p.Add(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(m); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate add = %v, want ErrDuplicate", err)
+	}
+	if err := p.Add(tx.Tx{}); !errors.Is(err, ErrInvalidTx) {
+		t.Errorf("invalid add = %v, want ErrInvalidTx", err)
+	}
+}
+
+func TestCollectFeeOrdering(t *testing.T) {
+	p := New()
+	low := mintWithFee(1, 5)
+	high := mintWithFee(2, 50)
+	mid := tx.Transfer(ptAddr, 3, alice, bob).WithFees(10, 15) // total 25
+	if err := p.AddAll(tx.Seq{low, high, mid}); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Collect(3)
+	want := tx.Seq{high, mid, low}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Collect order[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if p.Size() != 0 {
+		t.Fatal("Collect did not remove transactions")
+	}
+}
+
+func TestCollectArrivalTieBreak(t *testing.T) {
+	p := New()
+	first := mintWithFee(1, 10)
+	second := mintWithFee(2, 10)
+	if err := p.AddAll(tx.Seq{first, second}); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Collect(2)
+	if got[0] != first || got[1] != second {
+		t.Fatal("equal-fee transactions not in arrival order")
+	}
+}
+
+func TestCollectPartial(t *testing.T) {
+	p := New()
+	for i := uint64(0); i < 5; i++ {
+		if err := p.Add(mintWithFee(i, wei.Amount(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := p.Collect(3)
+	if len(batch) != 3 {
+		t.Fatalf("Collect(3) returned %d", len(batch))
+	}
+	if p.Size() != 2 {
+		t.Fatalf("pool size after partial collect = %d, want 2", p.Size())
+	}
+	// Highest fees went first.
+	if batch[0].Fee() != 4 || batch[1].Fee() != 3 || batch[2].Fee() != 2 {
+		t.Fatalf("wrong partial collection: %v", batch)
+	}
+}
+
+func TestCollectMoreThanPending(t *testing.T) {
+	p := New()
+	if err := p.Add(mintWithFee(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Collect(10); len(got) != 1 {
+		t.Fatalf("Collect(10) = %d txs, want 1", len(got))
+	}
+}
+
+func TestPendingDoesNotRemove(t *testing.T) {
+	p := New()
+	if err := p.Add(mintWithFee(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Pending(); len(got) != 1 {
+		t.Fatalf("Pending = %d", len(got))
+	}
+	if p.Size() != 1 {
+		t.Fatal("Pending removed the transaction")
+	}
+}
+
+func TestDemoteSendsToBack(t *testing.T) {
+	p := New()
+	big := mintWithFee(1, 100)
+	small := mintWithFee(2, 1)
+	if err := p.AddAll(tx.Seq{big, small}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Demote(big.Hash()); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Collect(2)
+	if got[0] != small || got[1] != big {
+		t.Fatal("demoted transaction did not move to the back")
+	}
+}
+
+func TestDemoteAndRemoveUnknown(t *testing.T) {
+	p := New()
+	if err := p.Demote(chainid.Hash{}); !errors.Is(err, ErrUnknownTx) {
+		t.Errorf("Demote unknown = %v", err)
+	}
+	if err := p.Remove(chainid.Hash{}); !errors.Is(err, ErrUnknownTx) {
+		t.Errorf("Remove unknown = %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	p := New()
+	m := mintWithFee(1, 1)
+	if err := p.Add(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Remove(m.Hash()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 0 {
+		t.Fatal("Remove did not remove")
+	}
+}
+
+func TestConcurrentAddCollect(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := uint64(w*50 + i)
+				if err := p.Add(mintWithFee(id, wei.Amount(id))); err != nil {
+					t.Errorf("Add: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	collected := 0
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			collected += len(p.Collect(5))
+		}
+	}()
+	wg.Wait()
+	if total := collected + p.Size(); total != 200 {
+		t.Fatalf("transactions lost or duplicated: collected %d + pending %d != 200", collected, p.Size())
+	}
+}
+
+func TestCollectNegativeCount(t *testing.T) {
+	p := New()
+	if err := p.Add(mintWithFee(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Collect(-1); len(got) != 0 {
+		t.Fatalf("Collect(-1) = %d txs", len(got))
+	}
+	if p.Size() != 1 {
+		t.Fatal("negative collect removed transactions")
+	}
+}

@@ -1,0 +1,119 @@
+package nn
+
+import "math"
+
+// Adam is the Adam optimizer state for one network. It is an alternative to
+// the SGD+momentum updater: better suited to the spiky TD-error gradients of
+// Q-learning when the reward scale is large.
+//
+// Usage: create one Adam per network and call StepQBatch instead of
+// TrainQBatch. The moment buffers are keyed to the network's parameter
+// layout; using one Adam across different networks is a programming error
+// and is rejected.
+type Adam struct {
+	// LR is the learning rate (default 1e-3 when zero).
+	LR float64
+	// Beta1, Beta2 are the moment decays (defaults 0.9, 0.999).
+	Beta1, Beta2 float64
+	// Epsilon avoids division by zero (default 1e-8).
+	Epsilon float64
+
+	t  int
+	mw [][]float64
+	vw [][]float64
+	mb [][]float64
+	vb [][]float64
+}
+
+// defaults fills unset hyper-parameters.
+func (a *Adam) defaults() {
+	if a.LR == 0 {
+		a.LR = 1e-3
+	}
+	if a.Beta1 == 0 {
+		a.Beta1 = 0.9
+	}
+	if a.Beta2 == 0 {
+		a.Beta2 = 0.999
+	}
+	if a.Epsilon == 0 {
+		a.Epsilon = 1e-8
+	}
+}
+
+// bind (lazily) sizes the moment buffers to n's layout.
+func (a *Adam) bind(n *Network) error {
+	if a.mw != nil {
+		if len(a.mw) != len(n.layers) {
+			return ErrBadArch
+		}
+		for i, l := range n.layers {
+			if len(a.mw[i]) != len(l.w) || len(a.mb[i]) != len(l.b) {
+				return ErrBadArch
+			}
+		}
+		return nil
+	}
+	a.defaults()
+	for _, l := range n.layers {
+		a.mw = append(a.mw, make([]float64, len(l.w)))
+		a.vw = append(a.vw, make([]float64, len(l.w)))
+		a.mb = append(a.mb, make([]float64, len(l.b)))
+		a.vb = append(a.vb, make([]float64, len(l.b)))
+	}
+	return nil
+}
+
+// StepQBatch performs one Adam update on masked Q targets with the given
+// loss, returning the mean per-sample loss.
+func (a *Adam) StepQBatch(n *Network, batch []QSample, loss Loss) (float64, error) {
+	if len(batch) == 0 {
+		return 0, nil
+	}
+	if err := a.bind(n); err != nil {
+		return 0, err
+	}
+	if loss == 0 {
+		loss = LossMSE
+	}
+	outSize := n.sizes[len(n.sizes)-1]
+	n.zeroGrads()
+	var total float64
+	grad := make([]float64, outSize)
+	for _, s := range batch {
+		if s.Action < 0 || s.Action >= outSize {
+			return 0, ErrBadShape
+		}
+		pred, err := n.Forward(s.Input)
+		if err != nil {
+			return 0, err
+		}
+		diff := pred[s.Action] - s.Target
+		total += loss.value(diff)
+		for i := range grad {
+			grad[i] = 0
+		}
+		grad[s.Action] = loss.gradient(diff)
+		n.accumulate(grad)
+	}
+
+	a.t++
+	inv := 1.0 / float64(len(batch))
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for li, l := range n.layers {
+		for i, g := range l.gw {
+			g *= inv
+			a.mw[li][i] = a.Beta1*a.mw[li][i] + (1-a.Beta1)*g
+			a.vw[li][i] = a.Beta2*a.vw[li][i] + (1-a.Beta2)*g*g
+			l.w[i] -= a.LR * (a.mw[li][i] / bc1) / (math.Sqrt(a.vw[li][i]/bc2) + a.Epsilon)
+		}
+		for i, g := range l.gb {
+			g *= inv
+			a.mb[li][i] = a.Beta1*a.mb[li][i] + (1-a.Beta1)*g
+			a.vb[li][i] = a.Beta2*a.vb[li][i] + (1-a.Beta2)*g*g
+			l.b[i] -= a.LR * (a.mb[li][i] / bc1) / (math.Sqrt(a.vb[li][i]/bc2) + a.Epsilon)
+		}
+	}
+	return total / float64(len(batch)), nil
+}

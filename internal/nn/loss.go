@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Loss selects the regression loss for Q-target training.
+type Loss int
+
+// Supported losses.
+const (
+	// LossMSE is plain squared error — the default.
+	LossMSE Loss = iota + 1
+	// LossHuber is the Huber loss (squared near zero, linear beyond
+	// HuberDelta) — the standard DQN choice because it bounds the gradient
+	// of large TD errors without clipping the network's weights.
+	LossHuber
+)
+
+// HuberDelta is the |error| beyond which the Huber loss turns linear.
+const HuberDelta = 1.0
+
+// value returns the per-element loss for a prediction error.
+func (l Loss) value(diff float64) float64 {
+	switch l {
+	case LossHuber:
+		a := math.Abs(diff)
+		if a <= HuberDelta {
+			return 0.5 * diff * diff
+		}
+		return HuberDelta * (a - 0.5*HuberDelta)
+	default:
+		return diff * diff
+	}
+}
+
+// gradient returns d(loss)/d(prediction).
+func (l Loss) gradient(diff float64) float64 {
+	switch l {
+	case LossHuber:
+		if diff > HuberDelta {
+			return HuberDelta
+		}
+		if diff < -HuberDelta {
+			return -HuberDelta
+		}
+		return diff
+	default:
+		return 2 * diff
+	}
+}
+
+// String returns the loss name.
+func (l Loss) String() string {
+	switch l {
+	case LossMSE:
+		return "mse"
+	case LossHuber:
+		return "huber"
+	default:
+		return fmt.Sprintf("loss(%d)", int(l))
+	}
+}
+
+// TrainQBatchLoss is TrainQBatch with an explicit loss function; TrainQBatch
+// uses LossMSE. It returns the mean per-sample loss.
+func (n *Network) TrainQBatchLoss(batch []QSample, opt SGD, loss Loss) (float64, error) {
+	if len(batch) == 0 {
+		return 0, nil
+	}
+	if loss == 0 {
+		loss = LossMSE
+	}
+	outSize := n.sizes[len(n.sizes)-1]
+	n.zeroGrads()
+	var total float64
+	grad := make([]float64, outSize)
+	for _, s := range batch {
+		if s.Action < 0 || s.Action >= outSize {
+			return 0, fmt.Errorf("%w: action %d of %d", ErrBadShape, s.Action, outSize)
+		}
+		pred, err := n.Forward(s.Input)
+		if err != nil {
+			return 0, err
+		}
+		diff := pred[s.Action] - s.Target
+		total += loss.value(diff)
+		for i := range grad {
+			grad[i] = 0
+		}
+		grad[s.Action] = loss.gradient(diff)
+		n.accumulate(grad)
+	}
+	n.step(len(batch), opt)
+	return total / float64(len(batch)), nil
+}

@@ -1,0 +1,176 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLossValuesAndGradients(t *testing.T) {
+	tests := []struct {
+		loss     Loss
+		diff     float64
+		wantVal  float64
+		wantGrad float64
+	}{
+		{LossMSE, 2, 4, 4},
+		{LossMSE, -3, 9, -6},
+		{LossHuber, 0.5, 0.125, 0.5}, // quadratic region
+		{LossHuber, 2, 1.5, 1},       // linear region: δ(|x|−δ/2)
+		{LossHuber, -2, 1.5, -1},     // symmetric
+		{LossHuber, 1, 0.5, 1},       // boundary
+	}
+	for _, tt := range tests {
+		if got := tt.loss.value(tt.diff); math.Abs(got-tt.wantVal) > 1e-12 {
+			t.Errorf("%v.value(%g) = %g, want %g", tt.loss, tt.diff, got, tt.wantVal)
+		}
+		if got := tt.loss.gradient(tt.diff); math.Abs(got-tt.wantGrad) > 1e-12 {
+			t.Errorf("%v.gradient(%g) = %g, want %g", tt.loss, tt.diff, got, tt.wantGrad)
+		}
+	}
+}
+
+func TestHuberGradientBounded(t *testing.T) {
+	f := func(diff float64) bool {
+		if math.IsNaN(diff) || math.IsInf(diff, 0) {
+			return true
+		}
+		g := LossHuber.gradient(diff)
+		return g >= -HuberDelta && g <= HuberDelta
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLossString(t *testing.T) {
+	if LossMSE.String() != "mse" || LossHuber.String() != "huber" {
+		t.Error("loss names wrong")
+	}
+	if Loss(9).String() != "loss(9)" {
+		t.Error("unknown loss name wrong")
+	}
+}
+
+func TestTrainQBatchLossHuberResistsOutliers(t *testing.T) {
+	// One gigantic target: the Huber update must move the weights far less
+	// than the MSE update.
+	mse := newNet(t, 2, 4, 1)
+	huber := mse.Clone()
+	sample := []QSample{{Input: []float64{1, 1}, Action: 0, Target: 1e6}}
+	if _, err := mse.TrainQBatchLoss(sample, SGD{LR: 0.01}, LossMSE); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := huber.TrainQBatchLoss(sample, SGD{LR: 0.01}, LossHuber); err != nil {
+		t.Fatal(err)
+	}
+	var maxMSE, maxHuber float64
+	for li := range mse.layers {
+		for wi := range mse.layers[li].w {
+			maxMSE = math.Max(maxMSE, math.Abs(mse.layers[li].w[wi]))
+			maxHuber = math.Max(maxHuber, math.Abs(huber.layers[li].w[wi]))
+		}
+	}
+	if maxHuber >= maxMSE {
+		t.Fatalf("huber weights (%g) moved as much as mse (%g)", maxHuber, maxMSE)
+	}
+	if maxHuber > 10 {
+		t.Fatalf("huber weights exploded: %g", maxHuber)
+	}
+}
+
+func TestTrainQBatchLossConverges(t *testing.T) {
+	n := newNet(t, 2, 8, 2)
+	x := []float64{0.4, -0.2}
+	var loss float64
+	var err error
+	for i := 0; i < 500; i++ {
+		loss, err = n.TrainQBatchLoss([]QSample{{Input: x, Action: 1, Target: 3}}, SGD{LR: 0.05}, LossHuber)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loss > 0.01 {
+		t.Fatalf("huber training did not converge: loss %g", loss)
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	n := newNet(t, 2, 8, 2)
+	var opt Adam
+	x := []float64{0.4, -0.2}
+	var loss float64
+	var err error
+	for i := 0; i < 2000; i++ {
+		loss, err = opt.StepQBatch(n, []QSample{{Input: x, Action: 0, Target: -2}}, LossMSE)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loss > 0.02 {
+		t.Fatalf("adam did not converge: loss %g", loss)
+	}
+	out, err := n.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-(-2)) > 0.2 {
+		t.Fatalf("adam Q[0] = %g, want ~-2", out[0])
+	}
+}
+
+func TestAdamRejectsForeignNetwork(t *testing.T) {
+	a := newNet(t, 2, 4, 2)
+	b := newNet(t, 2, 5, 2)
+	var opt Adam
+	if _, err := opt.StepQBatch(a, []QSample{{Input: []float64{1, 0}, Action: 0, Target: 1}}, LossMSE); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.StepQBatch(b, []QSample{{Input: []float64{1, 0}, Action: 0, Target: 1}}, LossMSE); err == nil {
+		t.Fatal("Adam accepted a differently-shaped network")
+	}
+}
+
+func TestAdamEmptyBatch(t *testing.T) {
+	n := newNet(t, 2, 3)
+	var opt Adam
+	if loss, err := opt.StepQBatch(n, nil, LossMSE); err != nil || loss != 0 {
+		t.Fatalf("empty batch = (%g, %v)", loss, err)
+	}
+}
+
+func TestTrainQBatchLossMatchesTrainQBatchForMSE(t *testing.T) {
+	// TrainQBatch is definitionally TrainQBatchLoss with MSE.
+	rngA := rand.New(rand.NewSource(5))
+	a, err := New(rngA, 3, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.Clone()
+	sample := []QSample{{Input: []float64{0.1, 0.2, 0.3}, Action: 1, Target: 0.7}}
+	lossA, err := a.TrainQBatch(sample, SGD{LR: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossB, err := b.TrainQBatchLoss(sample, SGD{LR: 0.1}, LossMSE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossA != lossB {
+		t.Fatalf("losses differ: %g vs %g", lossA, lossB)
+	}
+	xa, err := a.Forward(sample[0].Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xb, err := b.Forward(sample[0].Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xa {
+		if xa[i] != xb[i] {
+			t.Fatal("updates diverged between TrainQBatch and TrainQBatchLoss(MSE)")
+		}
+	}
+}

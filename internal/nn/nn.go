@@ -1,0 +1,361 @@
+// Package nn is a from-scratch dense neural-network library — the substrate
+// that stands in for the Python DRL stack the paper used (no DRL library
+// exists for Go; see DESIGN.md §4).
+//
+// It provides exactly what a DQN needs (Fig. 2 / Fig. 4 of the paper):
+// fully-connected feed-forward networks with ReLU hidden layers and a linear
+// output head, mini-batch backpropagation with SGD+momentum, a masked
+// regression mode for Q-learning targets (gradients flow only through the
+// action actually taken), and weight copying for the target network.
+//
+// All randomness is injected via *rand.Rand so training is reproducible.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer non-linearity.
+type Activation int
+
+// Supported activations.
+const (
+	// ActReLU is max(0, x) — the hidden-layer activation.
+	ActReLU Activation = iota + 1
+	// ActLinear is the identity — the Q-value output head.
+	ActLinear
+)
+
+// apply computes the activation in place.
+func (a Activation) apply(v []float64) {
+	if a == ActReLU {
+		for i, x := range v {
+			if x < 0 {
+				v[i] = 0
+			}
+		}
+	}
+}
+
+// derivative returns dact/dz given the post-activation value.
+func (a Activation) derivative(activated float64) float64 {
+	if a == ActReLU && activated <= 0 {
+		return 0
+	}
+	return 1
+}
+
+// Package errors.
+var (
+	ErrBadShape = errors.New("nn: shape mismatch")
+	ErrBadArch  = errors.New("nn: invalid architecture")
+)
+
+// layer is one dense layer: y = act(W·x + b).
+type layer struct {
+	in, out int
+	w       []float64 // out × in, row-major
+	b       []float64
+
+	// Training caches (mini-batch scratch space).
+	act   []float64 // post-activation output of the last forward
+	delta []float64 // back-propagated error
+	gw    []float64 // accumulated weight gradients
+	gb    []float64 // accumulated bias gradients
+	vw    []float64 // momentum buffers
+	vb    []float64
+
+	activation Activation
+}
+
+// Network is a dense feed-forward network.
+type Network struct {
+	layers []*layer
+	sizes  []int
+	input  []float64 // cache of the last forward input
+}
+
+// New constructs a network with the given layer sizes, e.g. [8N, 64, 64,
+// C(N,2)]. Hidden layers use ReLU; the output layer is linear. Weights are
+// He-initialized from rng.
+func New(rng *rand.Rand, sizes ...int) (*Network, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("%w: need at least input and output sizes, got %v", ErrBadArch, sizes)
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("%w: non-positive layer size in %v", ErrBadArch, sizes)
+		}
+	}
+	n := &Network{sizes: append([]int(nil), sizes...)}
+	for i := 1; i < len(sizes); i++ {
+		act := ActReLU
+		if i == len(sizes)-1 {
+			act = ActLinear
+		}
+		l := &layer{
+			in:         sizes[i-1],
+			out:        sizes[i],
+			w:          make([]float64, sizes[i]*sizes[i-1]),
+			b:          make([]float64, sizes[i]),
+			act:        make([]float64, sizes[i]),
+			delta:      make([]float64, sizes[i]),
+			gw:         make([]float64, sizes[i]*sizes[i-1]),
+			gb:         make([]float64, sizes[i]),
+			vw:         make([]float64, sizes[i]*sizes[i-1]),
+			vb:         make([]float64, sizes[i]),
+			activation: act,
+		}
+		// He initialization suits ReLU stacks.
+		scale := math.Sqrt(2.0 / float64(l.in))
+		for j := range l.w {
+			l.w[j] = rng.NormFloat64() * scale
+		}
+		n.layers = append(n.layers, l)
+	}
+	return n, nil
+}
+
+// Sizes returns the layer sizes the network was built with.
+func (n *Network) Sizes() []int { return append([]int(nil), n.sizes...) }
+
+// NumParams returns the total number of trainable parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.layers {
+		total += len(l.w) + len(l.b)
+	}
+	return total
+}
+
+// Forward runs inference and returns a fresh output vector.
+func (n *Network) Forward(x []float64) ([]float64, error) {
+	if len(x) != n.sizes[0] {
+		return nil, fmt.Errorf("%w: input %d, want %d", ErrBadShape, len(x), n.sizes[0])
+	}
+	n.input = x
+	cur := x
+	for _, l := range n.layers {
+		for o := 0; o < l.out; o++ {
+			sum := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i, xi := range cur {
+				sum += row[i] * xi
+			}
+			l.act[o] = sum
+		}
+		l.activation.apply(l.act)
+		cur = l.act
+	}
+	out := make([]float64, len(cur))
+	copy(out, cur)
+	return out, nil
+}
+
+// QSample is one Q-learning training example: regress output[Action]
+// towards Target, leaving other outputs untouched.
+type QSample struct {
+	Input  []float64
+	Action int
+	Target float64
+}
+
+// SGD holds optimizer hyper-parameters.
+type SGD struct {
+	// LR is the learning rate (the paper's α, Table II).
+	LR float64
+	// Momentum in [0,1); 0 disables.
+	Momentum float64
+	// ClipNorm, when positive, rescales each mini-batch gradient so its L2
+	// norm does not exceed the bound (stabilizes early Q-learning).
+	ClipNorm float64
+}
+
+// TrainQBatch performs one mini-batch gradient step on masked Q targets and
+// returns the mean squared TD error of the batch.
+func (n *Network) TrainQBatch(batch []QSample, opt SGD) (float64, error) {
+	if len(batch) == 0 {
+		return 0, nil
+	}
+	outSize := n.sizes[len(n.sizes)-1]
+	n.zeroGrads()
+	var loss float64
+	grad := make([]float64, outSize)
+	for _, s := range batch {
+		if s.Action < 0 || s.Action >= outSize {
+			return 0, fmt.Errorf("%w: action %d of %d", ErrBadShape, s.Action, outSize)
+		}
+		pred, err := n.Forward(s.Input)
+		if err != nil {
+			return 0, err
+		}
+		diff := pred[s.Action] - s.Target
+		loss += diff * diff
+		for i := range grad {
+			grad[i] = 0
+		}
+		grad[s.Action] = 2 * diff
+		n.accumulate(grad)
+	}
+	n.step(len(batch), opt)
+	return loss / float64(len(batch)), nil
+}
+
+// FitBatch performs one mini-batch step regressing full output vectors to
+// targets (plain MSE). Used by tests and by callers that need a generic
+// regressor.
+func (n *Network) FitBatch(inputs, targets [][]float64, opt SGD) (float64, error) {
+	if len(inputs) != len(targets) {
+		return 0, fmt.Errorf("%w: %d inputs, %d targets", ErrBadShape, len(inputs), len(targets))
+	}
+	if len(inputs) == 0 {
+		return 0, nil
+	}
+	outSize := n.sizes[len(n.sizes)-1]
+	n.zeroGrads()
+	var loss float64
+	grad := make([]float64, outSize)
+	for k, x := range inputs {
+		if len(targets[k]) != outSize {
+			return 0, fmt.Errorf("%w: target %d has %d values, want %d", ErrBadShape, k, len(targets[k]), outSize)
+		}
+		pred, err := n.Forward(x)
+		if err != nil {
+			return 0, err
+		}
+		for i := range grad {
+			d := pred[i] - targets[k][i]
+			loss += d * d
+			grad[i] = 2 * d
+		}
+		n.accumulate(grad)
+	}
+	n.step(len(inputs), opt)
+	return loss / float64(len(inputs)), nil
+}
+
+// CopyFrom overwrites this network's weights with src's — the DQN target-
+// network sync (Table II: "Target network update — every 30 steps").
+func (n *Network) CopyFrom(src *Network) error {
+	if len(n.layers) != len(src.layers) {
+		return fmt.Errorf("%w: %v vs %v", ErrBadArch, n.sizes, src.sizes)
+	}
+	for i, l := range n.layers {
+		sl := src.layers[i]
+		if l.in != sl.in || l.out != sl.out {
+			return fmt.Errorf("%w: layer %d %dx%d vs %dx%d", ErrBadArch, i, l.out, l.in, sl.out, sl.in)
+		}
+		copy(l.w, sl.w)
+		copy(l.b, sl.b)
+	}
+	return nil
+}
+
+// Clone returns an independent copy of the network (weights only; optimizer
+// state is reset).
+func (n *Network) Clone() *Network {
+	c := &Network{sizes: append([]int(nil), n.sizes...)}
+	for _, l := range n.layers {
+		nl := &layer{
+			in: l.in, out: l.out,
+			w:          append([]float64(nil), l.w...),
+			b:          append([]float64(nil), l.b...),
+			act:        make([]float64, l.out),
+			delta:      make([]float64, l.out),
+			gw:         make([]float64, len(l.w)),
+			gb:         make([]float64, len(l.b)),
+			vw:         make([]float64, len(l.w)),
+			vb:         make([]float64, len(l.b)),
+			activation: l.activation,
+		}
+		c.layers = append(c.layers, nl)
+	}
+	return c
+}
+
+// zeroGrads clears accumulated gradients.
+func (n *Network) zeroGrads() {
+	for _, l := range n.layers {
+		for i := range l.gw {
+			l.gw[i] = 0
+		}
+		for i := range l.gb {
+			l.gb[i] = 0
+		}
+	}
+}
+
+// accumulate back-propagates the output gradient of the most recent Forward
+// call, adding parameter gradients into the accumulators.
+func (n *Network) accumulate(outGrad []float64) {
+	last := len(n.layers) - 1
+	copy(n.layers[last].delta, outGrad)
+	// Apply activation derivative of the output layer (linear → no-op).
+	for o, d := range n.layers[last].delta {
+		n.layers[last].delta[o] = d * n.layers[last].activation.derivative(n.layers[last].act[o])
+	}
+	// Hidden layers.
+	for li := last - 1; li >= 0; li-- {
+		l, next := n.layers[li], n.layers[li+1]
+		for i := 0; i < l.out; i++ {
+			var sum float64
+			for o := 0; o < next.out; o++ {
+				sum += next.w[o*next.in+i] * next.delta[o]
+			}
+			l.delta[i] = sum * l.activation.derivative(l.act[i])
+		}
+	}
+	// Parameter gradients.
+	for li, l := range n.layers {
+		var in []float64
+		if li == 0 {
+			in = n.input
+		} else {
+			in = n.layers[li-1].act
+		}
+		for o := 0; o < l.out; o++ {
+			d := l.delta[o]
+			if d == 0 {
+				continue
+			}
+			row := l.gw[o*l.in : (o+1)*l.in]
+			for i, xi := range in {
+				row[i] += d * xi
+			}
+			l.gb[o] += d
+		}
+	}
+}
+
+// step applies the averaged, optionally clipped, momentum-SGD update.
+func (n *Network) step(batchSize int, opt SGD) {
+	inv := 1.0 / float64(batchSize)
+	if opt.ClipNorm > 0 {
+		var norm float64
+		for _, l := range n.layers {
+			for _, g := range l.gw {
+				norm += g * g * inv * inv
+			}
+			for _, g := range l.gb {
+				norm += g * g * inv * inv
+			}
+		}
+		norm = math.Sqrt(norm)
+		if norm > opt.ClipNorm {
+			inv *= opt.ClipNorm / norm
+		}
+	}
+	for _, l := range n.layers {
+		for i := range l.w {
+			l.vw[i] = opt.Momentum*l.vw[i] - opt.LR*l.gw[i]*inv
+			l.w[i] += l.vw[i]
+		}
+		for i := range l.b {
+			l.vb[i] = opt.Momentum*l.vb[i] - opt.LR*l.gb[i]*inv
+			l.b[i] += l.vb[i]
+		}
+	}
+}

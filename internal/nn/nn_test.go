@@ -1,0 +1,309 @@
+package nn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func newNet(t testing.TB, sizes ...int) *Network {
+	t.Helper()
+	n, err := New(rand.New(rand.NewSource(1)), sizes...)
+	if err != nil {
+		t.Fatalf("New(%v): %v", sizes, err)
+	}
+	return n
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(rng, 4); !errors.Is(err, ErrBadArch) {
+		t.Errorf("single layer = %v, want ErrBadArch", err)
+	}
+	if _, err := New(rng, 4, 0, 2); !errors.Is(err, ErrBadArch) {
+		t.Errorf("zero width = %v, want ErrBadArch", err)
+	}
+}
+
+func TestForwardShapes(t *testing.T) {
+	n := newNet(t, 3, 5, 2)
+	out, err := n.Forward([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("output size = %d, want 2", len(out))
+	}
+	if _, err := n.Forward([]float64{1}); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("bad input = %v, want ErrBadShape", err)
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	n := newNet(t, 4, 8, 3)
+	x := []float64{0.1, -0.2, 0.3, 0.4}
+	a, err := n.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("forward is not deterministic")
+		}
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	n := newNet(t, 3, 5, 2)
+	// (3*5+5) + (5*2+2) = 20 + 12 = 32
+	if got := n.NumParams(); got != 32 {
+		t.Fatalf("NumParams = %d, want 32", got)
+	}
+}
+
+// TestGradientCheck compares analytic gradients (via one FitBatch step with
+// tiny LR) against numerical finite differences on the loss surface.
+func TestGradientCheck(t *testing.T) {
+	n := newNet(t, 3, 4, 2)
+	x := []float64{0.5, -0.3, 0.8}
+	target := []float64{0.2, -0.1}
+
+	loss := func(net *Network) float64 {
+		out, err := net.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var l float64
+		for i := range out {
+			d := out[i] - target[i]
+			l += d * d
+		}
+		return l
+	}
+
+	// Analytic gradient: run accumulate through FitBatch machinery on a
+	// clone with LR so small the parameters barely move, then recover the
+	// gradient from the parameter delta: Δw = -LR * g.
+	const lr = 1e-8
+	clone := n.Clone()
+	if _, err := clone.FitBatch([][]float64{x}, [][]float64{target}, SGD{LR: lr}); err != nil {
+		t.Fatal(err)
+	}
+
+	const eps = 1e-6
+	for li, l := range n.layers {
+		for wi := range l.w {
+			orig := l.w[wi]
+			l.w[wi] = orig + eps
+			lp := loss(n)
+			l.w[wi] = orig - eps
+			lm := loss(n)
+			l.w[wi] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := (orig - clone.layers[li].w[wi]) / lr
+			if math.Abs(numeric-analytic) > 1e-3*(1+math.Abs(numeric)) {
+				t.Fatalf("layer %d w[%d]: numeric %g, analytic %g", li, wi, numeric, analytic)
+			}
+		}
+		for bi := range l.b {
+			orig := l.b[bi]
+			l.b[bi] = orig + eps
+			lp := loss(n)
+			l.b[bi] = orig - eps
+			lm := loss(n)
+			l.b[bi] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := (orig - clone.layers[li].b[bi]) / lr
+			if math.Abs(numeric-analytic) > 1e-3*(1+math.Abs(numeric)) {
+				t.Fatalf("layer %d b[%d]: numeric %g, analytic %g", li, bi, numeric, analytic)
+			}
+		}
+	}
+}
+
+// TestFitBatchLearnsXOR: the canonical non-linear sanity check.
+func TestFitBatchLearnsXOR(t *testing.T) {
+	n := newNet(t, 2, 16, 1)
+	inputs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	targets := [][]float64{{0}, {1}, {1}, {0}}
+	var loss float64
+	var err error
+	for epoch := 0; epoch < 4000; epoch++ {
+		loss, err = n.FitBatch(inputs, targets, SGD{LR: 0.05, Momentum: 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loss > 0.02 {
+		t.Fatalf("XOR not learned: final loss %g", loss)
+	}
+	for i, x := range inputs {
+		out, err := n.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(out[0]-targets[i][0]) > 0.25 {
+			t.Fatalf("XOR(%v) = %g, want %g", x, out[0], targets[i][0])
+		}
+	}
+}
+
+func TestTrainQBatchMovesOnlySelectedAction(t *testing.T) {
+	n := newNet(t, 2, 6, 3)
+	x := []float64{0.3, -0.7}
+	before, err := n.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := before[1] + 1.0
+	for i := 0; i < 200; i++ {
+		if _, err := n.TrainQBatch([]QSample{{Input: x, Action: 1, Target: target}}, SGD{LR: 0.01}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := n.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(after[1]-target) > 0.05 {
+		t.Fatalf("Q[1] = %g, want ~%g", after[1], target)
+	}
+	// The untrained actions drift far less than the trained one moved.
+	if math.Abs(after[0]-before[0]) > 0.5 || math.Abs(after[2]-before[2]) > 0.5 {
+		t.Fatalf("masked training leaked: %v -> %v", before, after)
+	}
+}
+
+func TestTrainQBatchValidation(t *testing.T) {
+	n := newNet(t, 2, 3)
+	if _, err := n.TrainQBatch([]QSample{{Input: []float64{1, 2}, Action: 5}}, SGD{LR: 0.1}); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("bad action = %v, want ErrBadShape", err)
+	}
+	if loss, err := n.TrainQBatch(nil, SGD{LR: 0.1}); err != nil || loss != 0 {
+		t.Fatalf("empty batch = (%g, %v)", loss, err)
+	}
+}
+
+func TestFitBatchValidation(t *testing.T) {
+	n := newNet(t, 2, 3)
+	if _, err := n.FitBatch([][]float64{{1, 2}}, nil, SGD{LR: 0.1}); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("mismatched batch = %v", err)
+	}
+	if _, err := n.FitBatch([][]float64{{1, 2}}, [][]float64{{1}}, SGD{LR: 0.1}); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("bad target size = %v", err)
+	}
+}
+
+func TestCopyFromSyncsTargets(t *testing.T) {
+	a := newNet(t, 3, 4, 2)
+	b, err := New(rand.New(rand.NewSource(99)), 3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 2, 3}
+	if err := b.CopyFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	outA, err := a.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB, err := b.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outA {
+		if outA[i] != outB[i] {
+			t.Fatal("CopyFrom did not sync outputs")
+		}
+	}
+	mismatch := newNet(t, 3, 5, 2)
+	if err := mismatch.CopyFrom(a); !errors.Is(err, ErrBadArch) {
+		t.Fatalf("mismatched CopyFrom = %v, want ErrBadArch", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := newNet(t, 2, 4, 2)
+	c := a.Clone()
+	x := []float64{0.5, 0.5}
+	before, err := c.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := a.TrainQBatch([]QSample{{Input: x, Action: 0, Target: 10}}, SGD{LR: 0.05}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := c.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("training the original changed the clone")
+		}
+	}
+}
+
+func TestGradientClipping(t *testing.T) {
+	// With a huge target, an unclipped step explodes; a clipped one stays
+	// finite and bounded.
+	a := newNet(t, 2, 4, 1)
+	b := a.Clone()
+	sample := []QSample{{Input: []float64{1, 1}, Action: 0, Target: 1e9}}
+	if _, err := a.TrainQBatch(sample, SGD{LR: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.TrainQBatch(sample, SGD{LR: 0.1, ClipNorm: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	var maxA, maxB float64
+	for li := range a.layers {
+		for wi := range a.layers[li].w {
+			maxA = math.Max(maxA, math.Abs(a.layers[li].w[wi]))
+			maxB = math.Max(maxB, math.Abs(b.layers[li].w[wi]))
+		}
+	}
+	if maxB > 10 {
+		t.Fatalf("clipped weights exploded: %g", maxB)
+	}
+	if maxA < maxB {
+		t.Fatal("clipping had no effect")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	a := newNet(t, 4, 6, 3)
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Network
+	if err := b.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, 0.2, 0.3, 0.4}
+	outA, err := a.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB, err := b.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outA {
+		if outA[i] != outB[i] {
+			t.Fatal("serialization round trip changed outputs")
+		}
+	}
+	if err := b.UnmarshalBinary([]byte("garbage")); err == nil {
+		t.Fatal("garbage should not decode")
+	}
+}

@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+)
+
+// snapshot is the gob wire form of a network.
+type snapshot struct {
+	Sizes   []int
+	Weights [][]float64
+	Biases  [][]float64
+}
+
+// MarshalBinary serializes the network weights (encoding.BinaryMarshaler).
+// Optimizer state is not persisted; a reloaded network resumes with fresh
+// momentum buffers, which matches how the IFU "trains the model offline"
+// and ships weights to the aggregator (Section VII-F).
+func (n *Network) MarshalBinary() ([]byte, error) {
+	snap := snapshot{Sizes: n.Sizes()}
+	for _, l := range n.layers {
+		snap.Weights = append(snap.Weights, append([]float64(nil), l.w...))
+		snap.Biases = append(snap.Biases, append([]float64(nil), l.b...))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("nn: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a network previously serialized with
+// MarshalBinary (encoding.BinaryUnmarshaler).
+func (n *Network) UnmarshalBinary(data []byte) error {
+	var snap snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("nn: decode: %w", err)
+	}
+	if len(snap.Sizes) < 2 || len(snap.Weights) != len(snap.Sizes)-1 || len(snap.Biases) != len(snap.Sizes)-1 {
+		return fmt.Errorf("%w: malformed snapshot", ErrBadArch)
+	}
+	rebuilt, err := New(rand.New(rand.NewSource(0)), snap.Sizes...)
+	if err != nil {
+		return err
+	}
+	for i, l := range rebuilt.layers {
+		if len(snap.Weights[i]) != len(l.w) || len(snap.Biases[i]) != len(l.b) {
+			return fmt.Errorf("%w: layer %d weight shape", ErrBadArch, i)
+		}
+		copy(l.w, snap.Weights[i])
+		copy(l.b, snap.Biases[i])
+	}
+	*n = *rebuilt
+	return nil
+}

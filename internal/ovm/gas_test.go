@@ -1,0 +1,55 @@
+package ovm
+
+import (
+	"math"
+	"testing"
+
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// TestTable3Calibration pins the default gas schedule to the paper's
+// Table III rows: mint 90.91% / 253 gwei, transfer 69.84% / 142k gwei,
+// burn 69.82% / 141k gwei.
+func TestTable3Calibration(t *testing.T) {
+	g := DefaultGasSchedule()
+	tests := []struct {
+		kind        tx.Kind
+		wantUsage   float64
+		wantFeeGwei int64
+	}{
+		{tx.KindMint, 90.91, 253},
+		{tx.KindTransfer, 69.84, 142_000},
+		{tx.KindBurn, 69.82, 141_000},
+	}
+	for _, tt := range tests {
+		if got := g.UsagePercent(tt.kind); math.Abs(got-tt.wantUsage) > 0.005 {
+			t.Errorf("%s usage = %.4f%%, want %.2f%%", tt.kind, got, tt.wantUsage)
+		}
+		if got := g.Fee(tt.kind); got != wei.Amount(tt.wantFeeGwei)*wei.Gwei {
+			t.Errorf("%s fee = %s, want %d gwei", tt.kind, got, tt.wantFeeGwei)
+		}
+	}
+}
+
+func TestGasLimitsNonZero(t *testing.T) {
+	g := DefaultGasSchedule()
+	for _, k := range []tx.Kind{tx.KindMint, tx.KindTransfer, tx.KindBurn} {
+		if g.GasLimit(k) == 0 || g.GasUsed(k) == 0 {
+			t.Errorf("%s has zero gas parameters", k)
+		}
+		if g.GasUsed(k) > g.GasLimit(k) {
+			t.Errorf("%s gas used exceeds limit", k)
+		}
+	}
+}
+
+func TestUnknownKindGasIsZero(t *testing.T) {
+	g := DefaultGasSchedule()
+	if g.GasUsed(tx.Kind(99)) != 0 || g.Fee(tx.Kind(99)) != 0 {
+		t.Error("unknown kind should have zero gas profile")
+	}
+	if (KindGas{}).UsagePercent() != 0 {
+		t.Error("zero KindGas usage should be 0, not NaN")
+	}
+}

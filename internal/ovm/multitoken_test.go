@@ -1,0 +1,108 @@
+package ovm
+
+import (
+	"testing"
+
+	"parole/internal/chainid"
+	"parole/internal/state"
+	"parole/internal/token"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+var (
+	goldAddr   = chainid.DeriveAddress("gold-nft")
+	silverAddr = chainid.DeriveAddress("silver-nft")
+)
+
+// newTwoTokenWorld deploys two limited-edition contracts with different
+// curves: gold (S⁰=4, P⁰=1 ETH) and silver (S⁰=20, P⁰=0.1 ETH).
+func newTwoTokenWorld(t *testing.T) *state.State {
+	t.Helper()
+	st := state.New()
+	gold, err := token.Deploy(goldAddr, token.Config{
+		Name: "Gold", Symbol: "AU", MaxSupply: 4, InitialPrice: wei.FromETH(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	silver, err := token.Deploy(silverAddr, token.Config{
+		Name: "Silver", Symbol: "AG", MaxSupply: 20, InitialPrice: wei.FromFloat(0.1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*token.Contract{gold, silver} {
+		if err := st.DeployToken(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.SetBalance(alice, wei.FromETH(10))
+	st.SetBalance(bob, wei.FromETH(10))
+	return st
+}
+
+// TestMultiTokenBatchIndependentCurves: operations on one contract must not
+// move the other's price.
+func TestMultiTokenBatchIndependentCurves(t *testing.T) {
+	st := newTwoTokenWorld(t)
+	vm := New()
+	res, err := vm.Execute(st, tx.Seq{
+		tx.Mint(goldAddr, 0, alice), // gold: 4/3 ETH after
+		tx.Mint(silverAddr, 0, bob), // silver: 20/19*0.1 after
+		tx.Mint(goldAddr, 1, bob),   // gold: 2 ETH after
+		tx.Burn(silverAddr, 0, bob), // silver back to 0.1
+		tx.Transfer(goldAddr, 0, alice, bob),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 5 {
+		t.Fatalf("executed = %d/5", res.Executed)
+	}
+	gold, err := res.State.Token(goldAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	silver, err := res.State.Token(silverAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gold.Price(); got != wei.FromETH(2) {
+		t.Fatalf("gold price = %s, want 2", got)
+	}
+	if got := silver.Price(); got != wei.FromFloat(0.1) {
+		t.Fatalf("silver price = %s, want 0.1", got)
+	}
+	// Wealth spans both contracts: bob holds gold #0, gold #1 at 2 ETH each.
+	wantBob := res.State.Balance(bob) + wei.FromETH(4)
+	if got := res.State.TotalWealth(bob); got != wantBob {
+		t.Fatalf("bob wealth = %s, want %s", got, wantBob)
+	}
+}
+
+// TestMultiTokenWealthTraceAcrossContracts: the trace accounts for all
+// holdings even when only one contract trades.
+func TestMultiTokenWealthTraceAcrossContracts(t *testing.T) {
+	st := newTwoTokenWorld(t)
+	vm := New()
+	pre, err := vm.Execute(st, tx.Seq{
+		tx.Mint(goldAddr, 0, alice),
+		tx.Mint(silverAddr, 0, alice),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := pre.State
+	// Silver-only activity by bob still revalues alice's silver holding.
+	trace, _, err := vm.WealthTrace(base, tx.Seq{
+		tx.Mint(silverAddr, 1, bob),
+		tx.Mint(silverAddr, 2, bob),
+	}, alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(trace[1] > trace[0]) {
+		t.Fatalf("alice's wealth did not rise with silver scarcity: %v", trace)
+	}
+}

@@ -1,0 +1,331 @@
+// Package ovm implements the optimistic virtual machine of the PAROLE
+// simulator: a deterministic executor that applies a transaction sequence to
+// a copy of the L2 world state.
+//
+// The VM enforces the executability constraints of Eq. 1, 3, and 5 and
+// applies the state operations of Eq. 2, 4, and 6:
+//
+//   - Mint: requires B_k ≥ P and S ≥ 1; debits the minter by the pre-tx
+//     price (escrowed to the contract address) and assigns ownership.
+//   - Transfer: requires B_j ≥ P (buyer) and ownership by the seller; moves
+//     the price from buyer to seller and the token from seller to buyer.
+//   - Burn: requires ownership; clears it and returns the slot to the
+//     mintable supply.
+//
+// A transaction whose constraint fails at its position is *skipped*, exactly
+// as an aggregator fails an inapplicable transaction; the arbitrage module
+// compares executed sets between orders before accepting a re-ordering.
+//
+// Execution is pure with respect to the base state: the VM always works on a
+// clone, which is what lets GENTRANSEQ evaluate thousands of candidate
+// permutations safely. Following the paper's case studies, protocol fees are
+// metered and reported (they drive Table III) but not deducted from user
+// balances.
+package ovm
+
+import (
+	"errors"
+	"fmt"
+
+	"parole/internal/chainid"
+	"parole/internal/state"
+	"parole/internal/token"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// ErrNoState is returned when Execute is called without a base state.
+var ErrNoState = errors.New("ovm: nil base state")
+
+// StepStatus classifies the outcome of one transaction in a sequence.
+type StepStatus uint8
+
+// Step outcomes.
+const (
+	// StatusExecuted means the constraints held and state ops were applied.
+	StatusExecuted StepStatus = iota + 1
+	// StatusSkipped means an executability constraint (Eq. 1/3/5) failed at
+	// this position; state is unchanged by the tx.
+	StatusSkipped
+	// StatusInvalid means the transaction was structurally malformed.
+	StatusInvalid
+)
+
+// String returns the lower-case status name.
+func (s StepStatus) String() string {
+	switch s {
+	case StatusExecuted:
+		return "executed"
+	case StatusSkipped:
+		return "skipped"
+	case StatusInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Step records the execution of one transaction.
+type Step struct {
+	Tx     tx.Tx
+	Status StepStatus
+	// Reason explains a skip or invalidation; nil when executed.
+	Reason error
+	// Price is the unit price P^t *after* this step (the column the paper's
+	// Fig. 5 tables print).
+	Price wei.Amount
+	// Available is S^t, the mintable supply after this step.
+	Available uint64
+	// GasUsed and Fee come from the VM's gas schedule (Table III).
+	GasUsed uint64
+	Fee     wei.Amount
+}
+
+// Result is the outcome of executing a sequence.
+type Result struct {
+	// Steps has one entry per input transaction, in execution order.
+	Steps []Step
+	// State is the post-execution world state (a clone; the base state is
+	// never mutated).
+	State *state.State
+	// PreRoot and PostRoot are the Merkle roots before and after.
+	PreRoot, PostRoot chainid.Hash
+	// Executed counts StatusExecuted steps.
+	Executed int
+	// GasTotal and FeeTotal aggregate over executed steps.
+	GasTotal uint64
+	FeeTotal wei.Amount
+}
+
+// ExecutedSet returns the hashes of the transactions that executed. The
+// arbitrage assessment uses it to verify that a re-ordering preserves the
+// executable set (Section V-B).
+func (r *Result) ExecutedSet() map[chainid.Hash]bool {
+	set := make(map[chainid.Hash]bool, r.Executed)
+	for _, s := range r.Steps {
+		if s.Status == StatusExecuted {
+			set[s.Tx.Hash()] = true
+		}
+	}
+	return set
+}
+
+// VM executes transaction sequences under a gas schedule. The zero value is
+// not usable; construct with New.
+type VM struct {
+	gas GasSchedule
+}
+
+// Option configures a VM.
+type Option interface{ apply(*VM) }
+
+type gasOption GasSchedule
+
+func (g gasOption) apply(vm *VM) { vm.gas = GasSchedule(g) }
+
+// WithGasSchedule overrides the default Table III-calibrated gas schedule.
+func WithGasSchedule(g GasSchedule) Option { return gasOption(g) }
+
+// New constructs a VM with the default gas schedule.
+func New(opts ...Option) *VM {
+	vm := &VM{gas: DefaultGasSchedule()}
+	for _, o := range opts {
+		o.apply(vm)
+	}
+	return vm
+}
+
+// Execute runs seq against a clone of base and returns the full trace.
+func (vm *VM) Execute(base *state.State, seq tx.Seq) (*Result, error) {
+	if base == nil {
+		return nil, ErrNoState
+	}
+	st := base.Clone()
+	res := &Result{
+		Steps:   make([]Step, 0, len(seq)),
+		State:   st,
+		PreRoot: base.Root(),
+	}
+	for _, t := range seq {
+		res.Steps = append(res.Steps, vm.apply(st, t))
+		last := &res.Steps[len(res.Steps)-1]
+		if last.Status == StatusExecuted {
+			res.Executed++
+			res.GasTotal += last.GasUsed
+			res.FeeTotal += last.Fee
+		}
+	}
+	res.PostRoot = st.Root()
+	return res, nil
+}
+
+// FinalWealth executes seq against a clone of base and returns the total
+// wealth (L2 balance + NFT mark-to-market) of each watched address after the
+// last transaction, plus the number of executed transactions. It is the
+// allocation-light path GENTRANSEQ calls once per training step.
+func (vm *VM) FinalWealth(base *state.State, seq tx.Seq, watch ...chainid.Address) ([]wei.Amount, int, error) {
+	if base == nil {
+		return nil, 0, ErrNoState
+	}
+	st := base.Clone()
+	executed := 0
+	for _, t := range seq {
+		if s := vm.apply(st, t); s.Status == StatusExecuted {
+			executed++
+		}
+	}
+	wealth := make([]wei.Amount, len(watch))
+	for i, a := range watch {
+		wealth[i] = st.TotalWealth(a)
+	}
+	return wealth, executed, nil
+}
+
+// WealthTrace executes seq and returns, for each step, the watched address's
+// total wealth after that step — the rightmost column of the paper's Fig. 5
+// case-study tables.
+func (vm *VM) WealthTrace(base *state.State, seq tx.Seq, watch chainid.Address) ([]wei.Amount, *Result, error) {
+	if base == nil {
+		return nil, nil, ErrNoState
+	}
+	st := base.Clone()
+	res := &Result{
+		Steps:   make([]Step, 0, len(seq)),
+		State:   st,
+		PreRoot: base.Root(),
+	}
+	trace := make([]wei.Amount, 0, len(seq))
+	for _, t := range seq {
+		res.Steps = append(res.Steps, vm.apply(st, t))
+		last := &res.Steps[len(res.Steps)-1]
+		if last.Status == StatusExecuted {
+			res.Executed++
+			res.GasTotal += last.GasUsed
+			res.FeeTotal += last.Fee
+		}
+		trace = append(trace, st.TotalWealth(watch))
+	}
+	res.PostRoot = st.Root()
+	return trace, res, nil
+}
+
+// apply executes one transaction against st in place and reports the step.
+func (vm *VM) apply(st *state.State, t tx.Tx) Step {
+	step := Step{Tx: t}
+	if err := t.Validate(); err != nil {
+		step.Status = StatusInvalid
+		step.Reason = err
+		step.Price = currentPrice(st, t.Token)
+		return step
+	}
+	contract, err := st.Token(t.Token)
+	if err != nil {
+		step.Status = StatusSkipped
+		step.Reason = err
+		return step
+	}
+	price := contract.Price() // P^{t-1}: constraints and settlement use the pre-tx price
+
+	switch t.Kind {
+	case tx.KindMint:
+		// Eq. 1: B_k ≥ P ∧ S ≥ 1 (and the id must be fresh).
+		if err := contract.CanMint(t.TokenID); err != nil {
+			return skipped(step, contract, err)
+		}
+		if st.Balance(t.From) < price {
+			return skipped(step, contract, fmt.Errorf("%w: minter %s", state.ErrInsufficientBalance, t.From))
+		}
+		// Eq. 2: debit the minter, escrow to the contract, assign ownership.
+		if err := st.Debit(t.From, price); err != nil {
+			return skipped(step, contract, err)
+		}
+		st.Credit(t.Token, price)
+		if err := contract.Mint(t.From, t.TokenID); err != nil {
+			return skipped(step, contract, err) // unreachable after CanMint; defensive
+		}
+	case tx.KindTransfer:
+		// Eq. 3: B_j ≥ P ∧ O_k^i.
+		if err := contract.CanTransfer(t.TokenID, t.From); err != nil {
+			return skipped(step, contract, err)
+		}
+		if st.Balance(t.To) < price {
+			return skipped(step, contract, fmt.Errorf("%w: buyer %s", state.ErrInsufficientBalance, t.To))
+		}
+		// Eq. 4: buyer pays seller; ownership moves.
+		if err := st.Debit(t.To, price); err != nil {
+			return skipped(step, contract, err)
+		}
+		st.Credit(t.From, price)
+		if err := contract.Transfer(t.TokenID, t.From, t.To); err != nil {
+			return skipped(step, contract, err)
+		}
+	case tx.KindBurn:
+		// Eq. 5: O_k^i.
+		if err := contract.CanBurn(t.TokenID, t.From); err != nil {
+			return skipped(step, contract, err)
+		}
+		// Eq. 6: ownership cleared, supply grows.
+		if err := contract.Burn(t.TokenID, t.From); err != nil {
+			return skipped(step, contract, err)
+		}
+	}
+
+	st.BumpNonce(t.From)
+	step.Status = StatusExecuted
+	step.Price = contract.Price() // P^t after the operation
+	step.Available = contract.Available()
+	step.GasUsed = vm.gas.GasUsed(t.Kind)
+	step.Fee = vm.gas.Fee(t.Kind)
+	return step
+}
+
+func skipped(step Step, contract *token.Contract, err error) Step {
+	step.Status = StatusSkipped
+	step.Reason = err
+	step.Price = contract.Price()
+	step.Available = contract.Available()
+	return step
+}
+
+func currentPrice(st *state.State, tokenAddr chainid.Address) wei.Amount {
+	if c, err := st.Token(tokenAddr); err == nil {
+		return c.Price()
+	}
+	return 0
+}
+
+// EvalStep is the light-weight per-transaction record produced by Evaluate.
+type EvalStep struct {
+	// Executed reports whether the transaction's constraints held.
+	Executed bool
+	// Price is P^t after the step; Available is S^t.
+	Price     wei.Amount
+	Available uint64
+}
+
+// Evaluate executes seq against a clone of base without computing Merkle
+// roots, returning per-step price/supply, the set of executed tx hashes, and
+// the final total wealth of each watched address. It is the hot path of
+// GENTRANSEQ training (thousands of candidate evaluations) and of the
+// baseline solvers.
+func (vm *VM) Evaluate(base *state.State, seq tx.Seq, watch ...chainid.Address) ([]EvalStep, map[chainid.Hash]bool, []wei.Amount, error) {
+	if base == nil {
+		return nil, nil, nil, ErrNoState
+	}
+	st := base.Clone()
+	steps := make([]EvalStep, 0, len(seq))
+	executed := make(map[chainid.Hash]bool, len(seq))
+	for _, t := range seq {
+		s := vm.apply(st, t)
+		ok := s.Status == StatusExecuted
+		if ok {
+			executed[t.Hash()] = true
+		}
+		steps = append(steps, EvalStep{Executed: ok, Price: s.Price, Available: s.Available})
+	}
+	wealth := make([]wei.Amount, len(watch))
+	for i, a := range watch {
+		wealth[i] = st.TotalWealth(a)
+	}
+	return steps, executed, wealth, nil
+}

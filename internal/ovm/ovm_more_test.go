@@ -1,0 +1,86 @@
+package ovm
+
+import (
+	"testing"
+
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+func TestStepStatusString(t *testing.T) {
+	tests := []struct {
+		give StepStatus
+		want string
+	}{
+		{StatusExecuted, "executed"},
+		{StatusSkipped, "skipped"},
+		{StatusInvalid, "invalid"},
+		{StepStatus(9), "status(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("StepStatus(%d).String() = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestWithGasSchedule(t *testing.T) {
+	custom := DefaultGasSchedule()
+	custom.Mint.Fee = 999 * wei.Gwei
+	vm := New(WithGasSchedule(custom))
+	st := newWorld(t, nil, wei.FromETH(1), alice)
+	res, err := vm.Execute(st, tx.Seq{tx.Mint(ptAddr, 0, alice)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps[0].Fee != 999*wei.Gwei {
+		t.Fatalf("custom fee = %s, want 999 gwei", res.Steps[0].Fee)
+	}
+}
+
+func TestEvaluateMatchesExecute(t *testing.T) {
+	st := newWorld(t, nil, wei.FromETH(1), alice, bob)
+	seq := tx.Seq{
+		tx.Mint(ptAddr, 0, alice),
+		tx.Transfer(ptAddr, 0, alice, bob),
+		tx.Transfer(ptAddr, 5, alice, bob), // unminted: skips
+		tx.Burn(ptAddr, 0, bob),
+	}
+	vm := New()
+	steps, executed, wealth, err := vm.Evaluate(st, seq, alice, bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Execute(st, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != len(res.Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(steps), len(res.Steps))
+	}
+	for i := range steps {
+		wantExec := res.Steps[i].Status == StatusExecuted
+		if steps[i].Executed != wantExec {
+			t.Fatalf("step %d executed = %v, want %v", i, steps[i].Executed, wantExec)
+		}
+		if steps[i].Price != res.Steps[i].Price {
+			t.Fatalf("step %d price = %s vs %s", i, steps[i].Price, res.Steps[i].Price)
+		}
+		if steps[i].Available != res.Steps[i].Available && wantExec {
+			t.Fatalf("step %d available = %d vs %d", i, steps[i].Available, res.Steps[i].Available)
+		}
+	}
+	if len(executed) != res.Executed {
+		t.Fatalf("executed set size = %d, want %d", len(executed), res.Executed)
+	}
+	if wealth[0] != res.State.TotalWealth(alice) || wealth[1] != res.State.TotalWealth(bob) {
+		t.Fatal("Evaluate wealth disagrees with Execute")
+	}
+}
+
+func TestEvaluateNilState(t *testing.T) {
+	vm := New()
+	if _, _, _, err := vm.Evaluate(nil, nil); err == nil {
+		t.Fatal("Evaluate(nil) should fail")
+	}
+}

@@ -1,0 +1,410 @@
+package ovm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parole/internal/chainid"
+	"parole/internal/state"
+	"parole/internal/token"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+var (
+	ptAddr = chainid.DeriveAddress("pt-contract")
+	alice  = chainid.UserAddress(1)
+	bob    = chainid.UserAddress(2)
+	carol  = chainid.UserAddress(3)
+)
+
+// newWorld builds a state with a PT contract (S⁰=10, P⁰=0.2) with `minted`
+// tokens pre-minted to the given owners (ids 0..minted-1) and every listed
+// user funded with `funding`.
+func newWorld(t testing.TB, owners []chainid.Address, funding wei.Amount, users ...chainid.Address) *state.State {
+	t.Helper()
+	st := state.New()
+	pt, err := token.Deploy(ptAddr, token.Config{
+		Name: "ParoleToken", Symbol: "PT",
+		MaxSupply: 10, InitialPrice: wei.FromFloat(0.2),
+	})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	for id, owner := range owners {
+		if err := pt.Mint(owner, uint64(id)); err != nil {
+			t.Fatalf("pre-mint %d: %v", id, err)
+		}
+	}
+	if err := st.DeployToken(pt); err != nil {
+		t.Fatalf("DeployToken: %v", err)
+	}
+	for _, u := range users {
+		st.SetBalance(u, funding)
+	}
+	return st
+}
+
+func TestExecuteNilState(t *testing.T) {
+	vm := New()
+	if _, err := vm.Execute(nil, nil); !errors.Is(err, ErrNoState) {
+		t.Fatalf("Execute(nil) = %v, want ErrNoState", err)
+	}
+	if _, _, err := vm.FinalWealth(nil, nil); !errors.Is(err, ErrNoState) {
+		t.Fatalf("FinalWealth(nil) = %v, want ErrNoState", err)
+	}
+	if _, _, err := vm.WealthTrace(nil, nil, alice); !errors.Is(err, ErrNoState) {
+		t.Fatalf("WealthTrace(nil) = %v, want ErrNoState", err)
+	}
+}
+
+func TestMintExecution(t *testing.T) {
+	st := newWorld(t, nil, wei.FromETH(1), alice)
+	vm := New()
+	res, err := vm.Execute(st, tx.Seq{tx.Mint(ptAddr, 0, alice)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := res.Steps[0]
+	if step.Status != StatusExecuted {
+		t.Fatalf("mint status = %v (%v)", step.Status, step.Reason)
+	}
+	// Price paid is P⁰ = 0.2 (pre-tx price at full availability).
+	if got := res.State.Balance(alice); got != wei.FromFloat(0.8) {
+		t.Fatalf("minter balance = %s, want 0.8", got)
+	}
+	// Payment escrowed at the contract address.
+	if got := res.State.Balance(ptAddr); got != wei.FromFloat(0.2) {
+		t.Fatalf("escrow balance = %s, want 0.2", got)
+	}
+	// Post-price reflects the new scarcity: 10/9 * 0.2.
+	if step.Price != wei.MulDiv(wei.FromFloat(0.2), 10, 9) {
+		t.Fatalf("post price = %s", step.Price)
+	}
+	if res.State.Nonce(alice) != 1 {
+		t.Fatal("nonce not bumped")
+	}
+}
+
+func TestMintSkippedWhenBroke(t *testing.T) {
+	st := newWorld(t, nil, wei.FromFloat(0.1), alice)
+	vm := New()
+	res, err := vm.Execute(st, tx.Seq{tx.Mint(ptAddr, 0, alice)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps[0].Status != StatusSkipped {
+		t.Fatalf("status = %v, want skipped", res.Steps[0].Status)
+	}
+	if !errors.Is(res.Steps[0].Reason, state.ErrInsufficientBalance) {
+		t.Fatalf("reason = %v", res.Steps[0].Reason)
+	}
+	if res.State.Balance(alice) != wei.FromFloat(0.1) {
+		t.Fatal("skipped mint moved money")
+	}
+	if res.State.Nonce(alice) != 0 {
+		t.Fatal("skipped tx bumped nonce")
+	}
+}
+
+func TestMintSkippedWhenSoldOutOrDuplicate(t *testing.T) {
+	owners := make([]chainid.Address, 10)
+	for i := range owners {
+		owners[i] = bob
+	}
+	st := newWorld(t, owners, wei.FromETH(100), alice)
+	vm := New()
+	res, err := vm.Execute(st, tx.Seq{tx.Mint(ptAddr, 11, alice)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps[0].Status != StatusSkipped || !errors.Is(res.Steps[0].Reason, token.ErrSoldOut) {
+		t.Fatalf("sold-out mint: %v/%v", res.Steps[0].Status, res.Steps[0].Reason)
+	}
+
+	st2 := newWorld(t, []chainid.Address{bob}, wei.FromETH(100), alice)
+	res2, err := vm.Execute(st2, tx.Seq{tx.Mint(ptAddr, 0, alice)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Steps[0].Status != StatusSkipped || !errors.Is(res2.Steps[0].Reason, token.ErrAlreadyMinted) {
+		t.Fatalf("duplicate mint: %v/%v", res2.Steps[0].Status, res2.Steps[0].Reason)
+	}
+}
+
+func TestTransferExecution(t *testing.T) {
+	st := newWorld(t, []chainid.Address{alice}, wei.FromETH(1), alice, bob)
+	vm := New()
+	price := wei.MulDiv(wei.FromFloat(0.2), 10, 9) // one minted
+	res, err := vm.Execute(st, tx.Seq{tx.Transfer(ptAddr, 0, alice, bob)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps[0].Status != StatusExecuted {
+		t.Fatalf("transfer: %v (%v)", res.Steps[0].Status, res.Steps[0].Reason)
+	}
+	if got := res.State.Balance(bob); got != wei.FromETH(1)-price {
+		t.Fatalf("buyer balance = %s", got)
+	}
+	if got := res.State.Balance(alice); got != wei.FromETH(1)+price {
+		t.Fatalf("seller balance = %s", got)
+	}
+	pt, err := res.State.Token(ptAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Owns(bob, 0) {
+		t.Fatal("ownership did not move")
+	}
+	if res.Steps[0].Price != price {
+		t.Fatal("transfer changed the price")
+	}
+}
+
+func TestTransferSkips(t *testing.T) {
+	st := newWorld(t, []chainid.Address{alice}, 0, alice, bob)
+	vm := New()
+	// Buyer has no funds.
+	res, err := vm.Execute(st, tx.Seq{tx.Transfer(ptAddr, 0, alice, bob)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps[0].Status != StatusSkipped || !errors.Is(res.Steps[0].Reason, state.ErrInsufficientBalance) {
+		t.Fatalf("broke buyer: %v/%v", res.Steps[0].Status, res.Steps[0].Reason)
+	}
+	// Seller does not own.
+	st2 := newWorld(t, []chainid.Address{alice}, wei.FromETH(1), alice, bob)
+	res2, err := vm.Execute(st2, tx.Seq{tx.Transfer(ptAddr, 0, carol, bob)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Steps[0].Status != StatusSkipped || !errors.Is(res2.Steps[0].Reason, token.ErrNotOwner) {
+		t.Fatalf("non-owner sale: %v/%v", res2.Steps[0].Status, res2.Steps[0].Reason)
+	}
+}
+
+func TestBurnExecutionAndSupplyReturn(t *testing.T) {
+	st := newWorld(t, []chainid.Address{alice, alice}, wei.FromETH(1), alice)
+	vm := New()
+	res, err := vm.Execute(st, tx.Seq{tx.Burn(ptAddr, 0, alice)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps[0].Status != StatusExecuted {
+		t.Fatalf("burn: %v (%v)", res.Steps[0].Status, res.Steps[0].Reason)
+	}
+	pt, err := res.State.Token(ptAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Available() != 9 {
+		t.Fatalf("available = %d, want 9", pt.Available())
+	}
+	// Burn moves no money.
+	if res.State.Balance(alice) != wei.FromETH(1) {
+		t.Fatal("burn changed a balance")
+	}
+}
+
+func TestInvalidTxMarkedInvalid(t *testing.T) {
+	st := newWorld(t, nil, wei.FromETH(1), alice)
+	vm := New()
+	res, err := vm.Execute(st, tx.Seq{{Kind: 0, From: alice}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps[0].Status != StatusInvalid {
+		t.Fatalf("status = %v, want invalid", res.Steps[0].Status)
+	}
+}
+
+func TestUnknownTokenSkips(t *testing.T) {
+	st := newWorld(t, nil, wei.FromETH(1), alice)
+	vm := New()
+	res, err := vm.Execute(st, tx.Seq{tx.Mint(chainid.DeriveAddress("ghost"), 0, alice)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps[0].Status != StatusSkipped || !errors.Is(res.Steps[0].Reason, state.ErrUnknownToken) {
+		t.Fatalf("unknown token: %v/%v", res.Steps[0].Status, res.Steps[0].Reason)
+	}
+}
+
+func TestExecuteIsPure(t *testing.T) {
+	st := newWorld(t, []chainid.Address{alice}, wei.FromETH(1), alice, bob)
+	root := st.Root()
+	vm := New()
+	if _, err := vm.Execute(st, tx.Seq{
+		tx.Transfer(ptAddr, 0, alice, bob),
+		tx.Mint(ptAddr, 1, bob),
+		tx.Burn(ptAddr, 0, bob),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Root() != root {
+		t.Fatal("Execute mutated the base state")
+	}
+}
+
+func TestExecuteDeterministic(t *testing.T) {
+	st := newWorld(t, []chainid.Address{alice}, wei.FromETH(1), alice, bob)
+	seq := tx.Seq{
+		tx.Transfer(ptAddr, 0, alice, bob),
+		tx.Mint(ptAddr, 1, bob),
+		tx.Burn(ptAddr, 1, bob),
+	}
+	vm := New()
+	r1, err := vm.Execute(st, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := vm.Execute(st, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.PostRoot != r2.PostRoot || r1.Executed != r2.Executed {
+		t.Fatal("execution not deterministic")
+	}
+}
+
+// TestConservationUnderRandomSequences: for any random tx sequence, the sum
+// of all account balances (users + contract escrow) is invariant, and
+// minted+available = S⁰.
+func TestConservationUnderRandomSequences(t *testing.T) {
+	users := []chainid.Address{alice, bob, carol, chainid.UserAddress(4)}
+	vm := New()
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := newWorld(t, []chainid.Address{alice, bob}, wei.FromETH(3), users...)
+		total := st.TotalBalance()
+		seq := randomSeq(rng, users, int(n)%24+1)
+		res, err := vm.Execute(st, seq)
+		if err != nil {
+			return false
+		}
+		pt, err := res.State.Token(ptAddr)
+		if err != nil {
+			return false
+		}
+		return res.State.TotalBalance() == total &&
+			pt.Minted()+pt.Available() == pt.MaxSupply()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFinalWealthMatchesExecute: the fast path must agree with the traced
+// path.
+func TestFinalWealthMatchesExecute(t *testing.T) {
+	users := []chainid.Address{alice, bob, carol}
+	vm := New()
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := newWorld(t, []chainid.Address{alice, bob}, wei.FromETH(2), users...)
+		seq := randomSeq(rng, users, int(n)%16+1)
+		wealth, executed, err := vm.FinalWealth(st, seq, alice, bob)
+		if err != nil {
+			return false
+		}
+		res, err := vm.Execute(st, seq)
+		if err != nil {
+			return false
+		}
+		return executed == res.Executed &&
+			wealth[0] == res.State.TotalWealth(alice) &&
+			wealth[1] == res.State.TotalWealth(bob)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWealthTrace(t *testing.T) {
+	st := newWorld(t, []chainid.Address{alice}, wei.FromETH(1), alice, bob)
+	vm := New()
+	seq := tx.Seq{
+		tx.Transfer(ptAddr, 0, alice, bob), // alice sells at 10/9*0.2
+		tx.Mint(ptAddr, 1, alice),          // alice mints at 10/9*0.2, price ->0.25
+	}
+	trace, res, err := vm.WealthTrace(st, seq, alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2 {
+		t.Fatalf("trace length = %d", len(trace))
+	}
+	p1 := wei.MulDiv(wei.FromFloat(0.2), 10, 9)
+	if trace[0] != wei.FromETH(1)+p1 {
+		t.Fatalf("trace[0] = %s", trace[0])
+	}
+	if res.Executed != 2 {
+		t.Fatalf("executed = %d", res.Executed)
+	}
+	// After mint: balance 1+p1-p1 = 1, owns one token priced 0.25.
+	if trace[1] != wei.FromETH(1)+wei.FromFloat(0.25) {
+		t.Fatalf("trace[1] = %s", trace[1])
+	}
+}
+
+func TestExecutedSet(t *testing.T) {
+	st := newWorld(t, []chainid.Address{alice}, wei.FromETH(1), alice, bob)
+	vm := New()
+	good := tx.Transfer(ptAddr, 0, alice, bob)
+	bad := tx.Transfer(ptAddr, 7, carol, bob) // unminted
+	res, err := vm.Execute(st, tx.Seq{good, bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := res.ExecutedSet()
+	if !set[good.Hash()] || set[bad.Hash()] {
+		t.Fatalf("executed set wrong: %v", set)
+	}
+}
+
+func TestGasAccountingAggregates(t *testing.T) {
+	st := newWorld(t, []chainid.Address{alice}, wei.FromETH(1), alice, bob)
+	vm := New()
+	res, err := vm.Execute(st, tx.Seq{
+		tx.Mint(ptAddr, 1, bob),
+		tx.Transfer(ptAddr, 0, alice, bob),
+		tx.Burn(ptAddr, 0, bob),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := DefaultGasSchedule()
+	wantGas := g.GasUsed(tx.KindMint) + g.GasUsed(tx.KindTransfer) + g.GasUsed(tx.KindBurn)
+	wantFee := g.Fee(tx.KindMint) + g.Fee(tx.KindTransfer) + g.Fee(tx.KindBurn)
+	if res.GasTotal != wantGas {
+		t.Errorf("GasTotal = %d, want %d", res.GasTotal, wantGas)
+	}
+	if res.FeeTotal != wantFee {
+		t.Errorf("FeeTotal = %s, want %s", res.FeeTotal, wantFee)
+	}
+}
+
+// randomSeq builds an arbitrary (often partially inapplicable) sequence.
+func randomSeq(rng *rand.Rand, users []chainid.Address, n int) tx.Seq {
+	seq := make(tx.Seq, 0, n)
+	for i := 0; i < n; i++ {
+		u := users[rng.Intn(len(users))]
+		v := users[rng.Intn(len(users))]
+		id := uint64(rng.Intn(12))
+		switch rng.Intn(3) {
+		case 0:
+			seq = append(seq, tx.Mint(ptAddr, id, u))
+		case 1:
+			if u == v {
+				seq = append(seq, tx.Burn(ptAddr, id, u))
+			} else {
+				seq = append(seq, tx.Transfer(ptAddr, id, u, v))
+			}
+		case 2:
+			seq = append(seq, tx.Burn(ptAddr, id, u))
+		}
+	}
+	return seq
+}

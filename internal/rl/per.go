@@ -1,0 +1,153 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file implements proportional prioritized experience replay (PER,
+// Schaul et al. 2016) as an optional extension to the paper's uniform
+// replay buffer: transitions are sampled with probability proportional to
+// (|TD error| + ε)^α, so rare, surprising experiences — e.g. the first
+// profitable re-ordering an agent stumbles into — are replayed more often.
+// Enable with Config.Prioritized.
+
+// perEpsilon keeps every priority strictly positive so nothing starves.
+const perEpsilon = 1e-3
+
+// perAlpha is the prioritization exponent (0 = uniform, 1 = fully
+// proportional).
+const perAlpha = 0.6
+
+// sumTree is a fixed-capacity binary indexed tree over priorities
+// supporting O(log n) update and prefix-sum sampling.
+type sumTree struct {
+	capacity int
+	nodes    []float64 // 1-indexed heap layout; leaves at [capacity, 2*capacity)
+}
+
+// newSumTree builds a tree over capacity leaves (rounded up to a power of
+// two internally).
+func newSumTree(capacity int) *sumTree {
+	size := 1
+	for size < capacity {
+		size *= 2
+	}
+	return &sumTree{capacity: size, nodes: make([]float64, 2*size)}
+}
+
+// set writes the priority of leaf i and updates the path to the root.
+func (t *sumTree) set(i int, p float64) {
+	idx := t.capacity + i
+	t.nodes[idx] = p
+	for idx > 1 {
+		idx /= 2
+		t.nodes[idx] = t.nodes[2*idx] + t.nodes[2*idx+1]
+	}
+}
+
+// total returns the sum of all priorities.
+func (t *sumTree) total() float64 { return t.nodes[1] }
+
+// sample returns the leaf index whose cumulative-priority interval contains
+// mass ∈ [0, total).
+func (t *sumTree) sample(mass float64) int {
+	idx := 1
+	for idx < t.capacity {
+		left := t.nodes[2*idx]
+		if mass < left {
+			idx = 2 * idx
+		} else {
+			mass -= left
+			idx = 2*idx + 1
+		}
+	}
+	return idx - t.capacity
+}
+
+// PrioritizedReplay is a fixed-capacity prioritized transition store.
+type PrioritizedReplay struct {
+	data     []Transition
+	tree     *sumTree
+	next     int
+	full     bool
+	maxPrio  float64
+	capacity int
+}
+
+// NewPrioritizedReplay creates a buffer holding up to capacity transitions.
+func NewPrioritizedReplay(capacity int) (*PrioritizedReplay, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("%w: buffer capacity %d", ErrBadConfig, capacity)
+	}
+	return &PrioritizedReplay{
+		data:     make([]Transition, capacity),
+		tree:     newSumTree(capacity),
+		maxPrio:  1,
+		capacity: capacity,
+	}, nil
+}
+
+// Len returns the number of stored transitions.
+func (b *PrioritizedReplay) Len() int {
+	if b.full {
+		return b.capacity
+	}
+	return b.next
+}
+
+// Cap returns the buffer capacity.
+func (b *PrioritizedReplay) Cap() int { return b.capacity }
+
+// Add stores a transition at the current maximum priority (so new
+// experience is guaranteed at least one replay), evicting the oldest when
+// full.
+func (b *PrioritizedReplay) Add(t Transition) {
+	b.data[b.next] = t
+	b.tree.set(b.next, math.Pow(b.maxPrio+perEpsilon, perAlpha))
+	b.next++
+	if b.next == b.capacity {
+		b.next = 0
+		b.full = true
+	}
+}
+
+// Sample draws n transitions proportionally to priority, returning the
+// transitions and their buffer indices (for UpdatePriorities).
+func (b *PrioritizedReplay) Sample(rng *rand.Rand, n int) ([]Transition, []int) {
+	if b.Len() == 0 || n <= 0 {
+		return nil, nil
+	}
+	out := make([]Transition, 0, n)
+	idxs := make([]int, 0, n)
+	for len(out) < n {
+		mass := rng.Float64() * b.tree.total()
+		i := b.tree.sample(mass)
+		if i >= b.Len() { // rounding at the padded tail; resample
+			continue
+		}
+		out = append(out, b.data[i])
+		idxs = append(idxs, i)
+	}
+	return out, idxs
+}
+
+// UpdatePriorities sets the priorities of previously sampled indices to
+// their new |TD error|.
+func (b *PrioritizedReplay) UpdatePriorities(idxs []int, tdErrors []float64) error {
+	if len(idxs) != len(tdErrors) {
+		return fmt.Errorf("%w: %d indices, %d errors", ErrBadConfig, len(idxs), len(tdErrors))
+	}
+	for k, i := range idxs {
+		if i < 0 || i >= b.capacity {
+			return fmt.Errorf("%w: index %d", ErrBadConfig, i)
+		}
+		p := math.Abs(tdErrors[k])
+		if p > b.maxPrio {
+			b.maxPrio = p
+		}
+		b.tree.set(i, math.Pow(p+perEpsilon, perAlpha))
+	}
+	return nil
+}

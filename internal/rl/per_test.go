@@ -1,0 +1,192 @@
+package rl
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumTreeSetAndTotal(t *testing.T) {
+	tr := newSumTree(5) // rounds up to 8 leaves
+	tr.set(0, 1)
+	tr.set(1, 2)
+	tr.set(4, 5)
+	if got := tr.total(); got != 8 {
+		t.Fatalf("total = %g, want 8", got)
+	}
+	tr.set(1, 0)
+	if got := tr.total(); got != 6 {
+		t.Fatalf("total after update = %g, want 6", got)
+	}
+}
+
+func TestSumTreeSampleBoundaries(t *testing.T) {
+	tr := newSumTree(4)
+	tr.set(0, 1)
+	tr.set(1, 2)
+	tr.set(2, 3)
+	tr.set(3, 4)
+	tests := []struct {
+		mass float64
+		want int
+	}{
+		{0, 0},
+		{0.99, 0},
+		{1, 1},
+		{2.99, 1},
+		{3, 2},
+		{5.99, 2},
+		{6, 3},
+		{9.99, 3},
+	}
+	for _, tt := range tests {
+		if got := tr.sample(tt.mass); got != tt.want {
+			t.Errorf("sample(%g) = %d, want %d", tt.mass, got, tt.want)
+		}
+	}
+}
+
+// TestSumTreeSamplingProportional: empirical sampling frequencies track
+// priorities.
+func TestSumTreeSamplingProportional(t *testing.T) {
+	tr := newSumTree(3)
+	tr.set(0, 1)
+	tr.set(1, 3)
+	tr.set(2, 6)
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, 3)
+	const draws = 30_000
+	for i := 0; i < draws; i++ {
+		counts[tr.sample(rng.Float64()*tr.total())]++
+	}
+	for i, wantFrac := range []float64{0.1, 0.3, 0.6} {
+		got := float64(counts[i]) / draws
+		if math.Abs(got-wantFrac) > 0.02 {
+			t.Errorf("leaf %d frequency = %.3f, want %.1f", i, got, wantFrac)
+		}
+	}
+}
+
+func TestSumTreeInvariantQuick(t *testing.T) {
+	// Root always equals the sum of leaves after arbitrary updates.
+	f := func(updates []uint16) bool {
+		tr := newSumTree(16)
+		leaves := make([]float64, 16)
+		for _, u := range updates {
+			i := int(u) % 16
+			p := float64(u%97) / 10
+			tr.set(i, p)
+			leaves[i] = p
+		}
+		var want float64
+		for _, p := range leaves {
+			want += p
+		}
+		return math.Abs(tr.total()-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrioritizedReplayLifecycle(t *testing.T) {
+	b, err := NewPrioritizedReplay(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 || b.Cap() != 4 {
+		t.Fatalf("fresh buffer len/cap = %d/%d", b.Len(), b.Cap())
+	}
+	for i := 0; i < 6; i++ {
+		b.Add(Transition{Action: i})
+	}
+	if b.Len() != 4 {
+		t.Fatalf("len = %d, want 4 (capacity)", b.Len())
+	}
+	rng := rand.New(rand.NewSource(1))
+	got, idxs := b.Sample(rng, 8)
+	if len(got) != 8 || len(idxs) != 8 {
+		t.Fatalf("sampled %d/%d", len(got), len(idxs))
+	}
+	for _, tr := range got {
+		// Oldest (0,1) were evicted.
+		if tr.Action < 2 || tr.Action > 5 {
+			t.Fatalf("sampled evicted transition %d", tr.Action)
+		}
+	}
+}
+
+func TestPrioritizedReplayPrioritySkew(t *testing.T) {
+	b, err := NewPrioritizedReplay(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		b.Add(Transition{Action: i})
+	}
+	// Crank transition 3's priority far above the rest.
+	if err := b.UpdatePriorities([]int{3}, []float64{100}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if i != 3 {
+			if err := b.UpdatePriorities([]int{i}, []float64{0.001}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	hits := 0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		got, _ := b.Sample(rng, 1)
+		if got[0].Action == 3 {
+			hits++
+		}
+	}
+	if frac := float64(hits) / draws; frac < 0.5 {
+		t.Fatalf("high-priority transition sampled only %.2f of draws", frac)
+	}
+}
+
+func TestUpdatePrioritiesValidation(t *testing.T) {
+	b, err := NewPrioritizedReplay(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.UpdatePriorities([]int{0}, []float64{1, 2}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("length mismatch = %v", err)
+	}
+	if err := b.UpdatePriorities([]int{9}, []float64{1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad index = %v", err)
+	}
+	if _, err := NewPrioritizedReplay(0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero capacity = %v", err)
+	}
+}
+
+func TestAgentWithPrioritizedReplayLearns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training loop")
+	}
+	rng := rand.New(rand.NewSource(3))
+	cfg := testConfig()
+	cfg.Prioritized = true
+	agent, err := NewAgent(rng, 5, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &chainEnv{}
+	if _, err := agent.Train(env, 150, 30); err != nil {
+		t.Fatal(err)
+	}
+	res, err := agent.RunEpisode(env, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reward < 5 {
+		t.Fatalf("PER agent greedy reward = %g, want ≥ 5", res.Reward)
+	}
+}

@@ -1,0 +1,442 @@
+// Package rl provides the model-free deep reinforcement learning machinery
+// of the paper's GENTRANSEQ module (Section II-C, V-C): a generic MDP
+// environment interface, the replay memory buffer, the ε-greedy exploration
+// schedule of Eq. 9, and a DQN agent with a periodically-synced target
+// network (Fig. 2).
+//
+// The package is deliberately independent of the transaction-re-ordering
+// domain; internal/gentranseq supplies the environment.
+package rl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"parole/internal/nn"
+)
+
+// Package errors.
+var (
+	ErrBadConfig = errors.New("rl: invalid configuration")
+	ErrNoActions = errors.New("rl: environment has no actions")
+)
+
+// Environment is a Markov decision process the agent interacts with. One
+// Reset-to-done interaction is an "episode" (Section V-C1).
+type Environment interface {
+	// Reset starts a new episode and returns the initial observation.
+	Reset() []float64
+	// Step applies an action; it returns the next observation, the step
+	// reward (Eq. 8), and whether the episode is over.
+	Step(action int) (obs []float64, reward float64, done bool, err error)
+	// ObservationSize is the length of observation vectors.
+	ObservationSize() int
+	// NumActions is the size of the discrete action space (C(N,2) swaps in
+	// GENTRANSEQ).
+	NumActions() int
+}
+
+// Transition is one (s, a, r, s') experience stored in replay memory.
+type Transition struct {
+	State  []float64
+	Action int
+	Reward float64
+	Next   []float64
+	Done   bool
+}
+
+// ReplayBuffer is the fixed-capacity experience store of Fig. 2 ("replay
+// memory buffer", Table II size 5000). When full it overwrites the oldest
+// entries.
+type ReplayBuffer struct {
+	data []Transition
+	next int
+	full bool
+}
+
+// NewReplayBuffer creates a buffer holding up to capacity transitions.
+func NewReplayBuffer(capacity int) (*ReplayBuffer, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("%w: buffer capacity %d", ErrBadConfig, capacity)
+	}
+	return &ReplayBuffer{data: make([]Transition, 0, capacity)}, nil
+}
+
+// Len returns the number of stored transitions.
+func (b *ReplayBuffer) Len() int {
+	if b.full {
+		return cap(b.data)
+	}
+	return len(b.data)
+}
+
+// Cap returns the buffer capacity.
+func (b *ReplayBuffer) Cap() int { return cap(b.data) }
+
+// Add stores a transition, evicting the oldest when full.
+func (b *ReplayBuffer) Add(t Transition) {
+	if b.full {
+		b.data[b.next] = t
+		b.next = (b.next + 1) % cap(b.data)
+		return
+	}
+	b.data = append(b.data, t)
+	if len(b.data) == cap(b.data) {
+		b.full = true
+	}
+}
+
+// Sample draws n transitions uniformly with replacement.
+func (b *ReplayBuffer) Sample(rng *rand.Rand, n int) []Transition {
+	if b.Len() == 0 || n <= 0 {
+		return nil
+	}
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = b.data[rng.Intn(b.Len())]
+	}
+	return out
+}
+
+// EpsilonSchedule is the exploration decay of Eq. 9:
+//
+//	ε_i = ε_min + (ε_max − ε_min) · e^(−d·i)
+//
+// (The paper typesets the decay as a power; the standard exponential-decay
+// reading is implemented, which matches the described behavior: start near
+// ε_max, decay toward ε_min at rate d per episode.)
+type EpsilonSchedule struct {
+	Max   float64 // initial exploration (Table II: 0.95)
+	Min   float64 // exploration floor
+	Decay float64 // d (Table II: 0.05)
+}
+
+// At returns ε for episode i (0-based).
+func (s EpsilonSchedule) At(episode int) float64 {
+	return s.Min + (s.Max-s.Min)*math.Exp(-s.Decay*float64(episode))
+}
+
+// Config collects the DQN hyper-parameters. DefaultConfig reproduces
+// Table II.
+type Config struct {
+	// Hidden layer widths of the Q-network.
+	Hidden []int
+	// Gamma is the discount factor γ.
+	Gamma float64
+	// LR is the learning rate α.
+	LR float64
+	// Momentum and ClipNorm are optimizer details (not in the paper's
+	// table; momentum 0 and a clip of 10 keep Q-learning stable).
+	Momentum float64
+	ClipNorm float64
+	// BufferSize is the replay memory capacity.
+	BufferSize int
+	// BatchSize of replay samples per Q-network update.
+	BatchSize int
+	// QUpdateEvery steps between Q-network updates.
+	QUpdateEvery int
+	// TargetUpdateEvery steps between target-network syncs.
+	TargetUpdateEvery int
+	// Epsilon is the exploration schedule.
+	Epsilon EpsilonSchedule
+	// Loss selects the TD regression loss (zero value = MSE; LossHuber is
+	// the standard robust choice).
+	Loss nn.Loss
+	// DoubleDQN switches the Bellman target to the van-Hasselt estimator:
+	// the online network picks argmax_a' while the target network values
+	// it, reducing Q-value over-estimation.
+	DoubleDQN bool
+	// Prioritized replaces the uniform replay buffer with proportional
+	// prioritized experience replay (see per.go).
+	Prioritized bool
+}
+
+// DefaultConfig returns the Table II hyper-parameters.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:            []int{64, 64},
+		Gamma:             0.618,
+		LR:                0.7,
+		ClipNorm:          10,
+		BufferSize:        5000,
+		BatchSize:         32,
+		QUpdateEvery:      5,
+		TargetUpdateEvery: 30,
+		Epsilon:           EpsilonSchedule{Max: 0.95, Min: 0.01, Decay: 0.05},
+	}
+}
+
+// validate checks the configuration.
+func (c Config) validate() error {
+	switch {
+	case c.Gamma < 0 || c.Gamma > 1:
+		return fmt.Errorf("%w: gamma %g", ErrBadConfig, c.Gamma)
+	case c.LR <= 0:
+		return fmt.Errorf("%w: learning rate %g", ErrBadConfig, c.LR)
+	case c.BufferSize <= 0:
+		return fmt.Errorf("%w: buffer size %d", ErrBadConfig, c.BufferSize)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("%w: batch size %d", ErrBadConfig, c.BatchSize)
+	case c.QUpdateEvery <= 0 || c.TargetUpdateEvery <= 0:
+		return fmt.Errorf("%w: update cadences %d/%d", ErrBadConfig, c.QUpdateEvery, c.TargetUpdateEvery)
+	}
+	return nil
+}
+
+// Agent is a DQN agent: a Q-network, a lagged target network, and replay
+// memory, updated per the cadences of Table II.
+type Agent struct {
+	cfg     Config
+	q       *nn.Network
+	target  *nn.Network
+	buffer  *ReplayBuffer
+	pbuffer *PrioritizedReplay
+	rng     *rand.Rand
+	steps   int // global environment steps observed
+}
+
+// NewAgent builds an agent for an observation size and action count.
+func NewAgent(rng *rand.Rand, obsSize, numActions int, cfg Config) (*Agent, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if numActions <= 0 {
+		return nil, ErrNoActions
+	}
+	if obsSize <= 0 {
+		return nil, fmt.Errorf("%w: observation size %d", ErrBadConfig, obsSize)
+	}
+	sizes := append([]int{obsSize}, cfg.Hidden...)
+	sizes = append(sizes, numActions)
+	q, err := nn.New(rng, sizes...)
+	if err != nil {
+		return nil, fmt.Errorf("build q-network: %w", err)
+	}
+	target := q.Clone()
+	agent := &Agent{cfg: cfg, q: q, target: target, rng: rng}
+	if cfg.Prioritized {
+		agent.pbuffer, err = NewPrioritizedReplay(cfg.BufferSize)
+	} else {
+		agent.buffer, err = NewReplayBuffer(cfg.BufferSize)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return agent, nil
+}
+
+// Config returns the agent's hyper-parameters.
+func (a *Agent) Config() Config { return a.cfg }
+
+// QNetwork exposes the online network (e.g. for serialization).
+func (a *Agent) QNetwork() *nn.Network { return a.q }
+
+// Steps returns the number of transitions observed so far.
+func (a *Agent) Steps() int { return a.steps }
+
+// SelectAction is ε-greedy (Algorithm 1, lines 8–12): with probability ε a
+// uniformly random action, otherwise argmax_a Q(s,a).
+func (a *Agent) SelectAction(obs []float64, epsilon float64, numActions int) (int, error) {
+	if numActions <= 0 {
+		return 0, ErrNoActions
+	}
+	if a.rng.Float64() < epsilon {
+		return a.rng.Intn(numActions), nil
+	}
+	return a.Greedy(obs, numActions)
+}
+
+// Greedy returns argmax_a Q(s,a) over the first numActions outputs.
+func (a *Agent) Greedy(obs []float64, numActions int) (int, error) {
+	qs, err := a.q.Forward(obs)
+	if err != nil {
+		return 0, fmt.Errorf("q forward: %w", err)
+	}
+	if numActions > len(qs) {
+		numActions = len(qs)
+	}
+	best, bestV := 0, math.Inf(-1)
+	for i := 0; i < numActions; i++ {
+		if qs[i] > bestV {
+			best, bestV = i, qs[i]
+		}
+	}
+	return best, nil
+}
+
+// Observe records a transition and performs the scheduled Q-network and
+// target-network updates. It returns the TD loss of an update step when one
+// ran (otherwise 0).
+func (a *Agent) Observe(t Transition) (float64, error) {
+	if a.pbuffer != nil {
+		a.pbuffer.Add(t)
+	} else {
+		a.buffer.Add(t)
+	}
+	a.steps++
+	var loss float64
+	if a.steps%a.cfg.QUpdateEvery == 0 && a.bufferLen() >= a.cfg.BatchSize {
+		var err error
+		loss, err = a.trainStep()
+		if err != nil {
+			return 0, err
+		}
+	}
+	if a.steps%a.cfg.TargetUpdateEvery == 0 {
+		if err := a.target.CopyFrom(a.q); err != nil {
+			return 0, fmt.Errorf("sync target: %w", err)
+		}
+	}
+	return loss, nil
+}
+
+// SyncTarget forces a target-network copy — Algorithm 1's "TargetNet.copy
+// (QNet) if Profit" path, which GENTRANSEQ invokes when a profitable order
+// is first found.
+func (a *Agent) SyncTarget() error {
+	return a.target.CopyFrom(a.q)
+}
+
+// bufferLen reports the active replay store's size.
+func (a *Agent) bufferLen() int {
+	if a.pbuffer != nil {
+		return a.pbuffer.Len()
+	}
+	return a.buffer.Len()
+}
+
+// trainStep samples a replay batch and regresses Q(s,a) to the Bellman
+// target: r + γ·max_a' Q_target(s', a') classically, or the Double-DQN
+// estimator r + γ·Q_target(s', argmax_a' Q(s', a')) when configured. With
+// prioritized replay the sampled transitions' priorities are refreshed to
+// their post-update TD errors.
+func (a *Agent) trainStep() (float64, error) {
+	var (
+		batch []Transition
+		idxs  []int
+	)
+	if a.pbuffer != nil {
+		batch, idxs = a.pbuffer.Sample(a.rng, a.cfg.BatchSize)
+	} else {
+		batch = a.buffer.Sample(a.rng, a.cfg.BatchSize)
+	}
+	samples := make([]nn.QSample, 0, len(batch))
+	for _, t := range batch {
+		target := t.Reward
+		if !t.Done {
+			future, err := a.futureValue(t.Next)
+			if err != nil {
+				return 0, err
+			}
+			target += a.cfg.Gamma * future
+		}
+		samples = append(samples, nn.QSample{Input: t.State, Action: t.Action, Target: target})
+	}
+	loss, err := a.q.TrainQBatchLoss(samples,
+		nn.SGD{LR: a.cfg.LR, Momentum: a.cfg.Momentum, ClipNorm: a.cfg.ClipNorm}, a.cfg.Loss)
+	if err != nil {
+		return 0, fmt.Errorf("q update: %w", err)
+	}
+	if a.pbuffer != nil {
+		tds := make([]float64, len(samples))
+		for i, s := range samples {
+			qs, err := a.q.Forward(s.Input)
+			if err != nil {
+				return 0, fmt.Errorf("per refresh: %w", err)
+			}
+			tds[i] = qs[s.Action] - s.Target
+		}
+		if err := a.pbuffer.UpdatePriorities(idxs, tds); err != nil {
+			return 0, fmt.Errorf("per priorities: %w", err)
+		}
+	}
+	return loss, nil
+}
+
+// futureValue estimates max-a' value of the next state per the configured
+// Bellman backup.
+func (a *Agent) futureValue(next []float64) (float64, error) {
+	tq, err := a.target.Forward(next)
+	if err != nil {
+		return 0, fmt.Errorf("target forward: %w", err)
+	}
+	if !a.cfg.DoubleDQN {
+		best := math.Inf(-1)
+		for _, v := range tq {
+			if v > best {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	oq, err := a.q.Forward(next)
+	if err != nil {
+		return 0, fmt.Errorf("online forward: %w", err)
+	}
+	argmax, bestV := 0, math.Inf(-1)
+	for i, v := range oq {
+		if v > bestV {
+			argmax, bestV = i, v
+		}
+	}
+	return tq[argmax], nil
+}
+
+// EpisodeResult summarizes one training episode.
+type EpisodeResult struct {
+	// Reward is the accumulated episode reward R^i (Eq. 7).
+	Reward float64
+	// Steps actually taken.
+	Steps int
+	// Epsilon used for the episode.
+	Epsilon float64
+}
+
+// RunEpisode interacts with env for up to maxSteps using the given ε
+// (Algorithm 1's inner loop).
+func (a *Agent) RunEpisode(env Environment, epsilon float64, maxSteps int) (EpisodeResult, error) {
+	res := EpisodeResult{Epsilon: epsilon}
+	obs := env.Reset()
+	for sp := 0; sp < maxSteps; sp++ {
+		action, err := a.SelectAction(obs, epsilon, env.NumActions())
+		if err != nil {
+			return res, err
+		}
+		next, reward, done, err := env.Step(action)
+		if err != nil {
+			return res, fmt.Errorf("env step: %w", err)
+		}
+		if _, err := a.Observe(Transition{
+			State:  obs,
+			Action: action,
+			Reward: reward,
+			Next:   next,
+			Done:   done,
+		}); err != nil {
+			return res, err
+		}
+		res.Reward += reward
+		res.Steps++
+		obs = next
+		if done {
+			break
+		}
+	}
+	return res, nil
+}
+
+// Train runs the full episode loop of Algorithm 1, decaying ε per Eq. 9,
+// and returns the per-episode results (the Fig. 8 series before smoothing).
+func (a *Agent) Train(env Environment, episodes, maxSteps int) ([]EpisodeResult, error) {
+	results := make([]EpisodeResult, 0, episodes)
+	for ep := 0; ep < episodes; ep++ {
+		res, err := a.RunEpisode(env, a.cfg.Epsilon.At(ep), maxSteps)
+		if err != nil {
+			return results, fmt.Errorf("episode %d: %w", ep, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

@@ -1,0 +1,345 @@
+package rl
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parole/internal/nn"
+)
+
+// chainEnv is a tiny deterministic MDP for tests: states 0..4 on a line,
+// action 0 moves left, action 1 moves right; reaching state 4 gives +10 and
+// ends the episode; every step costs -1.
+type chainEnv struct {
+	pos int
+}
+
+func (e *chainEnv) Reset() []float64 {
+	e.pos = 0
+	return e.obs()
+}
+
+func (e *chainEnv) obs() []float64 {
+	v := make([]float64, 5)
+	v[e.pos] = 1
+	return v
+}
+
+func (e *chainEnv) Step(action int) ([]float64, float64, bool, error) {
+	if action < 0 || action > 1 {
+		return nil, 0, false, errors.New("bad action")
+	}
+	if action == 1 && e.pos < 4 {
+		e.pos++
+	} else if action == 0 && e.pos > 0 {
+		e.pos--
+	}
+	if e.pos == 4 {
+		return e.obs(), 10, true, nil
+	}
+	return e.obs(), -1, false, nil
+}
+
+func (e *chainEnv) ObservationSize() int { return 5 }
+func (e *chainEnv) NumActions() int      { return 2 }
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Hidden = []int{16}
+	cfg.LR = 0.05
+	cfg.Gamma = 0.9
+	cfg.BufferSize = 500
+	cfg.BatchSize = 16
+	return cfg
+}
+
+func TestDefaultConfigMatchesTable2(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Epsilon.Max != 0.95 {
+		t.Errorf("epsilon = %g, want 0.95", cfg.Epsilon.Max)
+	}
+	if cfg.Epsilon.Decay != 0.05 {
+		t.Errorf("decay = %g, want 0.05", cfg.Epsilon.Decay)
+	}
+	if cfg.Gamma != 0.618 {
+		t.Errorf("gamma = %g, want 0.618", cfg.Gamma)
+	}
+	if cfg.LR != 0.7 {
+		t.Errorf("alpha = %g, want 0.7", cfg.LR)
+	}
+	if cfg.BufferSize != 5000 {
+		t.Errorf("buffer = %d, want 5000", cfg.BufferSize)
+	}
+	if cfg.QUpdateEvery != 5 {
+		t.Errorf("q update = %d, want 5", cfg.QUpdateEvery)
+	}
+	if cfg.TargetUpdateEvery != 30 {
+		t.Errorf("target update = %d, want 30", cfg.TargetUpdateEvery)
+	}
+}
+
+func TestReplayBufferEviction(t *testing.T) {
+	b, err := NewReplayBuffer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b.Add(Transition{Action: i})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	// Oldest (0,1) were evicted: remaining actions are {2,3,4}.
+	seen := make(map[int]bool)
+	for _, tr := range b.data {
+		seen[tr.Action] = true
+	}
+	for _, want := range []int{2, 3, 4} {
+		if !seen[want] {
+			t.Fatalf("action %d missing after eviction: %v", want, seen)
+		}
+	}
+}
+
+func TestReplayBufferSample(t *testing.T) {
+	b, err := NewReplayBuffer(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if got := b.Sample(rng, 4); got != nil {
+		t.Fatal("sampling empty buffer should be nil")
+	}
+	for i := 0; i < 4; i++ {
+		b.Add(Transition{Action: i})
+	}
+	got := b.Sample(rng, 8)
+	if len(got) != 8 {
+		t.Fatalf("sample size = %d", len(got))
+	}
+	for _, tr := range got {
+		if tr.Action < 0 || tr.Action > 3 {
+			t.Fatalf("sampled transition out of range: %d", tr.Action)
+		}
+	}
+}
+
+func TestNewReplayBufferValidation(t *testing.T) {
+	if _, err := NewReplayBuffer(0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero capacity = %v", err)
+	}
+}
+
+func TestEpsilonScheduleEq9(t *testing.T) {
+	s := EpsilonSchedule{Max: 0.95, Min: 0.01, Decay: 0.05}
+	if got := s.At(0); math.Abs(got-0.95) > 1e-12 {
+		t.Errorf("ε(0) = %g, want 0.95", got)
+	}
+	// Monotone non-increasing toward the floor.
+	prev := s.At(0)
+	for i := 1; i <= 300; i++ {
+		cur := s.At(i)
+		if cur > prev+1e-12 {
+			t.Fatalf("ε increased at episode %d", i)
+		}
+		prev = cur
+	}
+	if math.Abs(s.At(10000)-0.01) > 1e-6 {
+		t.Errorf("ε(∞) = %g, want ~0.01", s.At(10000))
+	}
+}
+
+func TestEpsilonScheduleQuickBounds(t *testing.T) {
+	s := EpsilonSchedule{Max: 1, Min: 0, Decay: 0.05}
+	f := func(ep uint16) bool {
+		v := s.At(int(ep))
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewAgentValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewAgent(rng, 0, 2, testConfig()); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero obs = %v", err)
+	}
+	if _, err := NewAgent(rng, 4, 0, testConfig()); !errors.Is(err, ErrNoActions) {
+		t.Errorf("zero actions = %v", err)
+	}
+	bad := testConfig()
+	bad.Gamma = 2
+	if _, err := NewAgent(rng, 4, 2, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad gamma = %v", err)
+	}
+	bad = testConfig()
+	bad.LR = 0
+	if _, err := NewAgent(rng, 4, 2, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad lr = %v", err)
+	}
+}
+
+func TestSelectActionEpsilonExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	agent, err := NewAgent(rng, 5, 2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := make([]float64, 5)
+	obs[0] = 1
+	// ε=0 must be deterministic (pure exploitation).
+	first, err := agent.SelectAction(obs, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		a, err := agent.SelectAction(obs, 0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != first {
+			t.Fatal("greedy action not deterministic")
+		}
+	}
+	// ε=1 must explore: over many draws both actions appear.
+	seen := make(map[int]bool)
+	for i := 0; i < 100; i++ {
+		a, err := agent.SelectAction(obs, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[a] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("ε=1 did not explore both actions: %v", seen)
+	}
+}
+
+func TestAgentLearnsChainWalk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training loop")
+	}
+	rng := rand.New(rand.NewSource(3))
+	cfg := testConfig()
+	agent, err := NewAgent(rng, 5, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &chainEnv{}
+	results, err := agent.Train(env, 150, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 150 {
+		t.Fatalf("episodes = %d", len(results))
+	}
+	// A trained greedy agent should walk straight right: 4 steps, reward
+	// 10-3 = 7.
+	res, err := agent.RunEpisode(env, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 4 || res.Reward != 7 {
+		t.Fatalf("greedy episode: steps=%d reward=%g, want 4/7", res.Steps, res.Reward)
+	}
+	// Learning curve: late episodes beat early ones on average.
+	early, late := 0.0, 0.0
+	for i := 0; i < 20; i++ {
+		early += results[i].Reward
+		late += results[len(results)-1-i].Reward
+	}
+	if late <= early {
+		t.Fatalf("no learning: early avg %g, late avg %g", early/20, late/20)
+	}
+}
+
+func TestObserveUpdateCadence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := testConfig()
+	cfg.QUpdateEvery = 5
+	cfg.BatchSize = 4
+	agent, err := NewAgent(rng, 5, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := make([]float64, 5)
+	var updates int
+	for i := 1; i <= 20; i++ {
+		loss, err := agent.Observe(Transition{State: obs, Action: 0, Reward: 1, Next: obs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loss != 0 {
+			updates++
+			if i%cfg.QUpdateEvery != 0 {
+				t.Fatalf("update at off-cadence step %d", i)
+			}
+		}
+	}
+	if updates == 0 {
+		t.Fatal("no Q updates happened in 20 steps")
+	}
+	if agent.Steps() != 20 {
+		t.Fatalf("Steps = %d", agent.Steps())
+	}
+}
+
+func TestSyncTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	agent, err := NewAgent(rng, 3, 2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []float64{1, 0, 0}
+	// Drift the online net away from the target.
+	for i := 0; i < 40; i++ {
+		if _, err := agent.Observe(Transition{State: obs, Action: 1, Reward: 5, Next: obs, Done: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := agent.SyncTarget(); err != nil {
+		t.Fatal(err)
+	}
+	qOut, err := agent.q.Forward(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tOut, err := agent.target.Forward(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qOut {
+		if qOut[i] != tOut[i] {
+			t.Fatal("SyncTarget did not copy weights")
+		}
+	}
+}
+
+func TestDoubleDQNAndHuberTrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training loop")
+	}
+	rng := rand.New(rand.NewSource(9))
+	cfg := testConfig()
+	cfg.DoubleDQN = true
+	cfg.Loss = nn.LossHuber
+	agent, err := NewAgent(rng, 5, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &chainEnv{}
+	if _, err := agent.Train(env, 150, 30); err != nil {
+		t.Fatal(err)
+	}
+	res, err := agent.RunEpisode(env, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reward < 5 {
+		t.Fatalf("double-DQN/huber agent reward = %g, want ≥ 5", res.Reward)
+	}
+}

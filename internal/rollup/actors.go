@@ -1,0 +1,126 @@
+package rollup
+
+import (
+	"fmt"
+
+	"parole/internal/chainid"
+	"parole/internal/l1"
+	"parole/internal/ovm"
+	"parole/internal/state"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// Sequencer decides the execution order of a collected batch. An honest
+// aggregator keeps the fee order it was handed; the PAROLE module
+// (internal/core) implements an adversarial Sequencer.
+type Sequencer interface {
+	// Order returns the batch's execution order. It must return a
+	// permutation of collected; the node rejects anything else.
+	Order(collected tx.Seq, pre *state.State) (tx.Seq, error)
+}
+
+// IdentitySequencer keeps the collected (fee-priority) order — the honest
+// behavior the protocol expects.
+type IdentitySequencer struct{}
+
+// Order implements Sequencer by returning the batch unchanged.
+func (IdentitySequencer) Order(collected tx.Seq, _ *state.State) (tx.Seq, error) {
+	return collected, nil
+}
+
+// Aggregator is a bonded rollup operator that collects batches from
+// Bedrock's mempool, orders them with its Sequencer, executes, and submits.
+type Aggregator struct {
+	node *Node
+	addr chainid.Address
+	seq  Sequencer
+	// BatchSize is the aggregator's "Mempool size" N in the paper's
+	// terminology: how many transactions it collects per batch.
+	BatchSize int
+}
+
+// NewAggregator registers a bonded aggregator on the node. A nil sequencer
+// means honest (identity) ordering.
+func NewAggregator(node *Node, addr chainid.Address, bond wei.Amount, batchSize int, seq Sequencer) (*Aggregator, error) {
+	if seq == nil {
+		seq = IdentitySequencer{}
+	}
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("rollup: batch size %d must be positive", batchSize)
+	}
+	if err := node.ORSC().RegisterAggregator(addr, bond); err != nil {
+		return nil, fmt.Errorf("register aggregator: %w", err)
+	}
+	return &Aggregator{node: node, addr: addr, seq: seq, BatchSize: batchSize}, nil
+}
+
+// Address returns the aggregator's L1 address.
+func (a *Aggregator) Address() chainid.Address { return a.addr }
+
+// Step collects the next batch, orders it, and commits it. It returns
+// (nil, nil, nil) when the mempool had nothing to collect.
+func (a *Aggregator) Step() (*l1.Batch, *ovm.Result, error) {
+	collected, pre := a.node.Collect(a.BatchSize)
+	if len(collected) == 0 {
+		return nil, nil, nil
+	}
+	ordered, err := a.seq.Order(collected, pre)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sequence batch: %w", err)
+	}
+	batch, res, err := a.node.CommitBatch(a.addr, collected, ordered)
+	if err != nil {
+		return nil, nil, fmt.Errorf("commit batch: %w", err)
+	}
+	return batch, res, nil
+}
+
+// Verifier is a bonded watcher that replays pending batches and challenges
+// invalid fraud proofs.
+type Verifier struct {
+	node *Node
+	addr chainid.Address
+}
+
+// NewVerifier registers a bonded verifier on the node.
+func NewVerifier(node *Node, addr chainid.Address, bond wei.Amount) (*Verifier, error) {
+	if err := node.ORSC().RegisterVerifier(addr, bond); err != nil {
+		return nil, fmt.Errorf("register verifier: %w", err)
+	}
+	return &Verifier{node: node, addr: addr}, nil
+}
+
+// Address returns the verifier's L1 address.
+func (v *Verifier) Address() chainid.Address { return v.addr }
+
+// Step inspects every pending batch, challenging those whose post-root does
+// not match an honest replay. It returns the ids of batches it successfully
+// challenged.
+func (v *Verifier) Step() ([]uint64, error) {
+	var challenged []uint64
+	for _, id := range v.node.PendingBatchIDs() {
+		if v.node.VerifierBond(v.addr) == 0 {
+			break // slashed out of the game
+		}
+		info, err := v.node.BatchInfo(id)
+		if err != nil {
+			return challenged, fmt.Errorf("inspect batch %d: %w", id, err)
+		}
+		correct, err := v.node.ReplayBatch(id)
+		if err != nil {
+			return challenged, fmt.Errorf("replay batch %d: %w", id, err)
+		}
+		if correct == info.PostRoot {
+			continue
+		}
+		ok, err := v.node.Challenge(v.addr, id)
+		if err != nil {
+			return challenged, fmt.Errorf("challenge batch %d: %w", id, err)
+		}
+		if ok {
+			challenged = append(challenged, id)
+		}
+	}
+	return challenged, nil
+}

@@ -1,0 +1,92 @@
+package rollup
+
+import (
+	"testing"
+
+	"parole/internal/chainid"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// TestTwoAggregatorsShareTheMempool: each aggregator drains its own batch;
+// no transaction is processed twice and both batches finalize.
+func TestTwoAggregatorsShareTheMempool(t *testing.T) {
+	node, agg1, ver := newDeployment(t)
+	agg2Addr := chainid.AggregatorAddress(2)
+	node.SetupAccount(agg2Addr, wei.FromETH(10))
+	agg2, err := NewAggregator(node, agg2Addr, wei.FromETH(5), 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 mints (the PT supply cap): agg1 takes 8, agg2 the remaining 2.
+	for i := uint64(0); i < 10; i++ {
+		user := alice
+		if i%2 == 1 {
+			user = bob
+		}
+		if err := node.SubmitTx(tx.Mint(ptAddr, i, user).WithFees(wei.Amount(100-i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b1, r1, err := agg1.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, r2, err := agg2.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1.Txs) != 8 || len(b2.Txs) != 2 {
+		t.Fatalf("batch sizes = %d/%d, want 8/2", len(b1.Txs), len(b2.Txs))
+	}
+	if r1.Executed != 8 || r2.Executed != 2 {
+		t.Fatalf("executed = %d/%d", r1.Executed, r2.Executed)
+	}
+	// No overlap between batches.
+	seen := make(map[chainid.Hash]bool)
+	for _, batch := range []*tx.Seq{&b1.Txs, &b2.Txs} {
+		for _, txn := range *batch {
+			h := txn.Hash()
+			if seen[h] {
+				t.Fatalf("transaction %s processed twice", h)
+			}
+			seen[h] = true
+		}
+	}
+	// Honest verifier: nothing to challenge; both finalize.
+	if challenged, err := ver.Step(); err != nil || len(challenged) != 0 {
+		t.Fatalf("challenges = %v, %v", challenged, err)
+	}
+	node.AdvanceRound()
+	anchors := node.AdvanceRound()
+	if len(anchors) != 2 {
+		t.Fatalf("finalized %d batches, want 2", len(anchors))
+	}
+	pt, err := node.L2State().Token(ptAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Minted() != 10 {
+		t.Fatalf("minted = %d, want 10", pt.Minted())
+	}
+}
+
+// TestSequentialBatchesChainRoots: consecutive batches chain their state
+// roots (batch k's pre-root equals batch k−1's post-root).
+func TestSequentialBatchesChainRoots(t *testing.T) {
+	node, agg, _ := newDeployment(t)
+	var post chainid.Hash
+	for round := uint64(0); round < 3; round++ {
+		if err := node.SubmitTx(tx.Mint(ptAddr, round, alice).WithFees(10, 0)); err != nil {
+			t.Fatal(err)
+		}
+		batch, _, err := agg.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round > 0 && batch.PreRoot != post {
+			t.Fatalf("batch %d pre-root does not chain", round)
+		}
+		post = batch.PostRoot
+	}
+}

@@ -1,0 +1,183 @@
+package rollup
+
+import (
+	"fmt"
+	"sync"
+
+	"parole/internal/l1"
+)
+
+// Network drives a set of aggregators and verifiers against one node. It
+// offers a deterministic synchronous round loop (RunRound) — what the
+// experiment harness uses — and a concurrent mode (Start/Stop) in which each
+// actor runs in its own goroutine, modeling independent rollup operators.
+type Network struct {
+	node        *Node
+	aggregators []*Aggregator
+	verifiers   []*Verifier
+
+	mu      sync.Mutex
+	running bool
+	ticks   chan struct{}
+	done    chan struct{}
+	errs    []error
+}
+
+// NewNetwork assembles a network over node.
+func NewNetwork(node *Node, aggregators []*Aggregator, verifiers []*Verifier) *Network {
+	return &Network{node: node, aggregators: aggregators, verifiers: verifiers}
+}
+
+// RoundReport summarizes one synchronous protocol round.
+type RoundReport struct {
+	// Batches submitted this round, in aggregator order.
+	Batches []*l1.Batch
+	// Challenged lists batch ids successfully challenged this round.
+	Challenged []uint64
+	// Finalized lists the batch anchors sealed into L1 this round.
+	Finalized []l1.BatchAnchor
+}
+
+// RunRound performs one deterministic protocol round: every aggregator
+// collects and commits one batch, every verifier audits, and the ORSC clock
+// advances (finalizing expired batches).
+func (nw *Network) RunRound() (RoundReport, error) {
+	var report RoundReport
+	for i, agg := range nw.aggregators {
+		batch, _, err := agg.Step()
+		if err != nil {
+			return report, fmt.Errorf("aggregator %d: %w", i, err)
+		}
+		if batch != nil {
+			report.Batches = append(report.Batches, batch)
+		}
+	}
+	for i, v := range nw.verifiers {
+		challenged, err := v.Step()
+		if err != nil {
+			return report, fmt.Errorf("verifier %d: %w", i, err)
+		}
+		report.Challenged = append(report.Challenged, challenged...)
+	}
+	report.Finalized = nw.node.AdvanceRound()
+	return report, nil
+}
+
+// RunRounds executes k rounds, stopping early on error.
+func (nw *Network) RunRounds(k int) ([]RoundReport, error) {
+	reports := make([]RoundReport, 0, k)
+	for i := 0; i < k; i++ {
+		r, err := nw.RunRound()
+		if err != nil {
+			return reports, fmt.Errorf("round %d: %w", i, err)
+		}
+		reports = append(reports, r)
+	}
+	return reports, nil
+}
+
+// Start launches every actor in its own goroutine. Actors process one
+// protocol step per Tick. Call Stop to shut the network down and collect any
+// actor errors. Start is a no-op if already running.
+func (nw *Network) Start() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.running {
+		return
+	}
+	nw.running = true
+	nw.ticks = make(chan struct{})
+	nw.done = make(chan struct{})
+	nw.errs = nil
+
+	var wg sync.WaitGroup
+	// Fan each tick out to every actor; a coordinator goroutine owns the
+	// per-actor channels so shutdown is a single close.
+	actorTicks := make([]chan struct{}, 0, len(nw.aggregators)+len(nw.verifiers))
+	spawn := func(step func() error) {
+		ch := make(chan struct{}, 1)
+		actorTicks = append(actorTicks, ch)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range ch {
+				if err := step(); err != nil {
+					nw.recordErr(err)
+				}
+			}
+		}()
+	}
+	for _, agg := range nw.aggregators {
+		agg := agg
+		spawn(func() error {
+			_, _, err := agg.Step()
+			return err
+		})
+	}
+	for _, v := range nw.verifiers {
+		v := v
+		spawn(func() error {
+			_, err := v.Step()
+			return err
+		})
+	}
+
+	ticks, done, node := nw.ticks, nw.done, nw.node
+	go func() {
+		defer close(done)
+		for range ticks {
+			for _, ch := range actorTicks {
+				ch <- struct{}{}
+			}
+			// Wait for the fan-out to drain before advancing the round:
+			// per-actor channels have capacity 1 and actors consume in
+			// order, so a second send would block until the first step
+			// completed. We instead advance optimistically each tick;
+			// batches submitted late simply finalize a round later, which
+			// is exactly the asynchrony of real rollup operators.
+			node.AdvanceRound()
+		}
+		for _, ch := range actorTicks {
+			close(ch)
+		}
+		wg.Wait()
+	}()
+}
+
+// Tick triggers one asynchronous protocol round. It blocks until every actor
+// has been handed the tick (not until they finish).
+func (nw *Network) Tick() {
+	nw.mu.Lock()
+	ticks := nw.ticks
+	running := nw.running
+	nw.mu.Unlock()
+	if running {
+		ticks <- struct{}{}
+	}
+}
+
+// Stop shuts the concurrent network down, waits for all actors to exit, and
+// returns any errors they hit.
+func (nw *Network) Stop() []error {
+	nw.mu.Lock()
+	if !nw.running {
+		nw.mu.Unlock()
+		return nil
+	}
+	nw.running = false
+	ticks, done := nw.ticks, nw.done
+	nw.mu.Unlock()
+
+	close(ticks)
+	<-done
+
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.errs
+}
+
+func (nw *Network) recordErr(err error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.errs = append(nw.errs, err)
+}

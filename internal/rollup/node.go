@@ -1,0 +1,327 @@
+// Package rollup ties the PAROLE substrates into the optimistic-rollup
+// protocol of Fig. 1 / Section V-A: users deposit through the ORSC on L1,
+// pending transactions wait in Bedrock's private mempool, aggregators
+// collect fixed-size batches and execute them on the OVM, batches carry a
+// Merkle state root as fraud proof, verifiers replay and challenge, and
+// unchallenged batches finalize into L1 blocks.
+//
+// The Node is the authoritative bookkeeper; Aggregator and Verifier are the
+// protocol actors. An adversarial aggregator differs from an honest one only
+// in its Sequencer (see internal/core): it re-orders the batch it collected
+// and nothing else, which is exactly the PAROLE threat model.
+package rollup
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"parole/internal/chainid"
+	"parole/internal/l1"
+	"parole/internal/mempool"
+	"parole/internal/ovm"
+	"parole/internal/state"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// Node errors.
+var (
+	ErrNotPermutation = errors.New("rollup: batch is not a permutation of the collected set")
+	ErrUnknownPreRoot = errors.New("rollup: no snapshot for pre-state root")
+	ErrEmptyBatch     = errors.New("rollup: empty batch")
+)
+
+// Config parameterizes a rollup deployment.
+type Config struct {
+	// GenesisL1Number is the first L1 block number (display realism only).
+	GenesisL1Number uint64
+	// ChallengePeriod in ORSC rounds.
+	ChallengePeriod uint64
+	// StateIndexBase offsets the L1 state index (Table III realism).
+	StateIndexBase uint64
+}
+
+// Node owns the canonical L2 state and wires the mempool, OVM, L1 chain, and
+// ORSC together. Methods are safe for concurrent use.
+type Node struct {
+	mu sync.Mutex
+
+	l1chain *l1.Chain
+	orsc    *l1.ORSC
+	pool    *mempool.Pool
+	vm      *ovm.VM
+	l2      *state.State
+
+	// snapshots maps a state root to the L2 state that produced it, so the
+	// adjudicator can replay any batch and a revert can roll back.
+	snapshots map[chainid.Hash]*state.State
+}
+
+// NewNode builds a rollup deployment with an OVM-replaying adjudicator.
+func NewNode(cfg Config) *Node {
+	n := &Node{
+		l1chain:   l1.NewChain(cfg.GenesisL1Number),
+		pool:      mempool.New(),
+		vm:        ovm.New(),
+		l2:        state.New(),
+		snapshots: make(map[chainid.Hash]*state.State),
+	}
+	n.orsc = l1.NewORSC(
+		n.l1chain,
+		chainid.DeriveAddress("orsc"),
+		l1.AdjudicatorFunc(n.adjudicate),
+		l1.ORSCConfig{ChallengePeriod: cfg.ChallengePeriod, StateIndexBase: cfg.StateIndexBase},
+	)
+	n.rememberSnapshot()
+	return n
+}
+
+// L1 returns the underlying L1 chain.
+func (n *Node) L1() *l1.Chain { return n.l1chain }
+
+// ORSC returns the rollup contract.
+func (n *Node) ORSC() *l1.ORSC { return n.orsc }
+
+// Pool returns Bedrock's mempool.
+func (n *Node) Pool() *mempool.Pool { return n.pool }
+
+// VM returns the node's OVM.
+func (n *Node) VM() *ovm.VM { return n.vm }
+
+// L2State returns a snapshot (clone) of the canonical L2 state.
+func (n *Node) L2State() *state.State {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.l2.Clone()
+}
+
+// L2Root returns the canonical L2 state root.
+func (n *Node) L2Root() chainid.Hash {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.l2.Root()
+}
+
+// SetupAccount funds an L1 account (faucet) — scenario construction.
+func (n *Node) SetupAccount(addr chainid.Address, amount wei.Amount) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.l1chain.Fund(addr, amount)
+}
+
+// SetupL2 applies fn to the canonical L2 state (scenario construction, e.g.
+// deploying the PT contract and pre-minting). It refreshes the root
+// snapshot.
+func (n *Node) SetupL2(fn func(*state.State) error) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := fn(n.l2); err != nil {
+		return err
+	}
+	n.rememberSnapshot()
+	return nil
+}
+
+// Deposit performs the user-side C^L1 → t^L2 exchange and immediately
+// credits the L2 account (the rollup node processes deposit events at the
+// next block in production; the simulator folds the two steps).
+func (n *Node) Deposit(user chainid.Address, amount wei.Amount) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.orsc.Deposit(user, amount); err != nil {
+		return err
+	}
+	for _, d := range n.orsc.DrainDeposits() {
+		n.l2.Credit(d.User, d.Amount)
+	}
+	n.rememberSnapshot()
+	return nil
+}
+
+// Withdraw initiates an L2→L1 exit: the user's L2 balance is debited
+// immediately and the ETH pays out on L1 after the challenge window (the
+// optimistic-rollup exit delay). It returns the withdrawal id.
+func (n *Node) Withdraw(user chainid.Address, amount wei.Amount) (uint64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.l2.Debit(user, amount); err != nil {
+		return 0, err
+	}
+	w, err := n.orsc.QueueWithdrawal(user, amount)
+	if err != nil {
+		// Roll the debit back; the withdrawal was rejected.
+		n.l2.Credit(user, amount)
+		return 0, err
+	}
+	n.rememberSnapshot()
+	return w.ID, nil
+}
+
+// SubmitTx sends a user transaction into Bedrock's mempool, stamping the
+// user's next L2 nonce.
+func (n *Node) SubmitTx(t tx.Tx) error {
+	n.mu.Lock()
+	nonce := n.l2.Nonce(t.From)
+	n.mu.Unlock()
+	return n.pool.Add(t.WithNonce(nonce))
+}
+
+// Collect pulls the next batch of up to size transactions from the mempool
+// in fee order, paired with a clone of the current L2 state — exactly what
+// an aggregator receives.
+func (n *Node) Collect(size int) (tx.Seq, *state.State) {
+	batch := n.pool.Collect(size)
+	return batch, n.L2State()
+}
+
+// CommitBatch executes an ordered batch against the canonical L2 state,
+// records the snapshot for adjudication, submits the batch and its fraud
+// proof to the ORSC, and returns the batch record and execution result.
+//
+// collected must be the set the aggregator was handed; ordered must be a
+// permutation of it. The permutation check models the mempool privacy rule:
+// an aggregator can re-order, never inject or drop.
+func (n *Node) CommitBatch(aggregator chainid.Address, collected, ordered tx.Seq) (*l1.Batch, *ovm.Result, error) {
+	if len(ordered) == 0 {
+		return nil, nil, ErrEmptyBatch
+	}
+	if !collected.SamePermutation(ordered) {
+		return nil, nil, ErrNotPermutation
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	res, err := n.vm.Execute(n.l2, ordered)
+	if err != nil {
+		return nil, nil, fmt.Errorf("execute batch: %w", err)
+	}
+	batch, err := n.orsc.SubmitBatch(aggregator, ordered, res.PreRoot, res.PostRoot)
+	if err != nil {
+		return nil, nil, fmt.Errorf("submit batch: %w", err)
+	}
+	// Optimistically advance the canonical state.
+	n.l2 = res.State
+	n.rememberSnapshot()
+	return batch, res, nil
+}
+
+// SubmitForgedBatch executes a batch but records a forged post-state root on
+// the ORSC. It exists for failure-injection tests and the adversary example:
+// a PAROLE aggregator does NOT need to forge roots (re-ordering yields a
+// valid root), and a forged root is exactly what verifiers catch.
+func (n *Node) SubmitForgedBatch(aggregator chainid.Address, ordered tx.Seq, forgedRoot chainid.Hash) (*l1.Batch, error) {
+	if len(ordered) == 0 {
+		return nil, ErrEmptyBatch
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	res, err := n.vm.Execute(n.l2, ordered)
+	if err != nil {
+		return nil, fmt.Errorf("execute batch: %w", err)
+	}
+	batch, err := n.orsc.SubmitBatch(aggregator, ordered, res.PreRoot, forgedRoot)
+	if err != nil {
+		return nil, fmt.Errorf("submit batch: %w", err)
+	}
+	// The forger still advances local state; a successful challenge rolls
+	// it back.
+	n.l2 = res.State
+	n.rememberSnapshot()
+	return batch, nil
+}
+
+// Challenge lets a verifier dispute a batch; on success the canonical L2
+// state rolls back to the batch's pre-state.
+func (n *Node) Challenge(verifier chainid.Address, batchID uint64) (bool, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	batch, err := n.orsc.Batch(batchID)
+	if err != nil {
+		return false, err
+	}
+	ok, err := n.orsc.Challenge(verifier, batchID)
+	if err != nil {
+		return false, err
+	}
+	if ok {
+		pre, found := n.snapshots[batch.PreRoot]
+		if !found {
+			return true, fmt.Errorf("%w: %s", ErrUnknownPreRoot, batch.PreRoot)
+		}
+		n.l2 = pre.Clone()
+	}
+	return ok, nil
+}
+
+// AdvanceRound finalizes expired batches into L1 blocks.
+func (n *Node) AdvanceRound() []l1.BatchAnchor {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.orsc.AdvanceRound()
+}
+
+// PendingBatchIDs returns the ids of batches still in their challenge
+// window, under the node lock (safe for concurrent actors).
+func (n *Node) PendingBatchIDs() []uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	pending := n.orsc.PendingBatches()
+	ids := make([]uint64, 0, len(pending))
+	for _, b := range pending {
+		ids = append(ids, b.ID)
+	}
+	return ids
+}
+
+// BatchInfo returns a copy of the batch record under the node lock.
+func (n *Node) BatchInfo(batchID uint64) (l1.Batch, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	b, err := n.orsc.Batch(batchID)
+	if err != nil {
+		return l1.Batch{}, err
+	}
+	cp := *b
+	cp.Txs = b.Txs.Clone()
+	return cp, nil
+}
+
+// VerifierBond returns a verifier's remaining bond under the node lock.
+func (n *Node) VerifierBond(addr chainid.Address) wei.Amount {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.orsc.VerifierBond(addr)
+}
+
+// ReplayBatch recomputes the honest post-root of a submitted batch — what a
+// verifier does off-chain before deciding to challenge.
+func (n *Node) ReplayBatch(batchID uint64) (chainid.Hash, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	b, err := n.orsc.Batch(batchID)
+	if err != nil {
+		return chainid.Hash{}, err
+	}
+	return n.adjudicate(*b)
+}
+
+// adjudicate is the ORSC's dispute oracle: replay the batch from its
+// pre-state snapshot and report the correct post-root.
+func (n *Node) adjudicate(b l1.Batch) (chainid.Hash, error) {
+	// Called with n.mu held (Challenge) — read snapshots directly.
+	pre, ok := n.snapshots[b.PreRoot]
+	if !ok {
+		return chainid.Hash{}, fmt.Errorf("%w: %s", ErrUnknownPreRoot, b.PreRoot)
+	}
+	res, err := n.vm.Execute(pre, b.Txs)
+	if err != nil {
+		return chainid.Hash{}, err
+	}
+	return res.PostRoot, nil
+}
+
+// rememberSnapshot stores a clone of the current L2 state under its root.
+// Callers must hold n.mu.
+func (n *Node) rememberSnapshot() {
+	n.snapshots[n.l2.Root()] = n.l2.Clone()
+}

@@ -1,0 +1,273 @@
+package rollup
+
+import (
+	"errors"
+	"testing"
+
+	"parole/internal/chainid"
+	"parole/internal/state"
+	"parole/internal/token"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+var (
+	ptAddr = chainid.DeriveAddress("pt-contract")
+	alice  = chainid.UserAddress(1)
+	bob    = chainid.UserAddress(2)
+	aggA   = chainid.AggregatorAddress(1)
+	verA   = chainid.VerifierAddress(1)
+)
+
+// newDeployment builds a node with a PT contract, funded/bonded actors, and
+// L2 balances for alice and bob.
+func newDeployment(t *testing.T) (*Node, *Aggregator, *Verifier) {
+	t.Helper()
+	node := NewNode(Config{GenesisL1Number: 17_934_498, ChallengePeriod: 1, StateIndexBase: 115_921})
+	node.SetupAccount(alice, wei.FromETH(20))
+	node.SetupAccount(bob, wei.FromETH(20))
+	node.SetupAccount(aggA, wei.FromETH(10))
+	node.SetupAccount(verA, wei.FromETH(10))
+	if err := node.SetupL2(func(st *state.State) error {
+		pt, err := token.Deploy(ptAddr, token.Config{
+			Name: "ParoleToken", Symbol: "PT",
+			MaxSupply: 10, InitialPrice: wei.FromFloat(0.2),
+		})
+		if err != nil {
+			return err
+		}
+		return st.DeployToken(pt)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Deposit(alice, wei.FromETH(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Deposit(bob, wei.FromETH(5)); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := NewAggregator(node, aggA, wei.FromETH(5), 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver, err := NewVerifier(node, verA, wei.FromETH(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node, agg, ver
+}
+
+func TestDepositCreditsL2(t *testing.T) {
+	node, _, _ := newDeployment(t)
+	if got := node.L2State().Balance(alice); got != wei.FromETH(5) {
+		t.Fatalf("L2 balance = %s, want 5", got)
+	}
+	if got := node.L1().Balance(alice); got != wei.FromETH(15) {
+		t.Fatalf("L1 balance = %s, want 15", got)
+	}
+}
+
+func TestEndToEndBatchLifecycle(t *testing.T) {
+	node, agg, _ := newDeployment(t)
+	if err := node.SubmitTx(tx.Mint(ptAddr, 0, alice).WithFees(10, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.SubmitTx(tx.Mint(ptAddr, 1, bob).WithFees(10, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	batch, res, err := agg.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch == nil || res == nil {
+		t.Fatal("aggregator found no work")
+	}
+	if res.Executed != 2 {
+		t.Fatalf("executed = %d, want 2", res.Executed)
+	}
+	// Fee ordering: alice's higher-tip mint goes first.
+	if batch.Txs[0].From != alice {
+		t.Fatal("fee-priority ordering violated")
+	}
+	// State advanced: both tokens minted at 0.2 then 10/9*0.2.
+	st := node.L2State()
+	pt, err := st.Token(ptAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Minted() != 2 {
+		t.Fatalf("minted = %d", pt.Minted())
+	}
+
+	// Finalization after the challenge window.
+	node.AdvanceRound() // round 1 == deadline
+	anchors := node.AdvanceRound()
+	if len(anchors) != 1 {
+		t.Fatalf("anchors = %v", anchors)
+	}
+	if anchors[0].StateIndex != 115_922 {
+		t.Fatalf("state index = %d, want 115922 (Table III)", anchors[0].StateIndex)
+	}
+	if node.L1().Height() != 17_934_499 {
+		t.Fatalf("L1 height = %d, want 17934499 (Table III)", node.L1().Height())
+	}
+}
+
+func TestAggregatorIdleWithEmptyPool(t *testing.T) {
+	_, agg, _ := newDeployment(t)
+	batch, res, err := agg.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch != nil || res != nil {
+		t.Fatal("Step on empty pool should be a no-op")
+	}
+}
+
+func TestCommitBatchRejectsNonPermutation(t *testing.T) {
+	node, _, _ := newDeployment(t)
+	collected := tx.Seq{tx.Mint(ptAddr, 0, alice)}
+	injected := tx.Seq{tx.Mint(ptAddr, 0, alice), tx.Mint(ptAddr, 1, bob)}
+	if _, _, err := node.CommitBatch(aggA, collected, injected); !errors.Is(err, ErrNotPermutation) {
+		t.Fatalf("injection = %v, want ErrNotPermutation", err)
+	}
+	if _, _, err := node.CommitBatch(aggA, nil, nil); !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("empty batch = %v, want ErrEmptyBatch", err)
+	}
+}
+
+func TestReorderedBatchPassesVerification(t *testing.T) {
+	// The PAROLE property: a *re-ordered* batch produces a valid fraud
+	// proof, so an honest verifier has nothing to challenge.
+	node, _, ver := newDeployment(t)
+	collected := tx.Seq{
+		tx.Mint(ptAddr, 0, alice).WithFees(10, 5),
+		tx.Mint(ptAddr, 1, bob).WithFees(10, 1),
+	}
+	reordered := tx.Seq{collected[1], collected[0]}
+	batch, _, err := node.CommitBatch(aggA, collected, reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	challenged, err := ver.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(challenged) != 0 {
+		t.Fatal("verifier challenged a correctly-executed reordered batch")
+	}
+	correct, err := node.ReplayBatch(batch.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if correct != batch.PostRoot {
+		t.Fatal("replay disagrees with submitted root")
+	}
+}
+
+func TestForgedRootGetsChallengedAndRolledBack(t *testing.T) {
+	node, _, ver := newDeployment(t)
+	rootBefore := node.L2Root()
+	forged := chainid.HashBytes([]byte("forged"))
+	batch, err := node.SubmitForgedBatch(aggA, tx.Seq{tx.Mint(ptAddr, 0, alice)}, forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The forger optimistically advanced the state.
+	if node.L2Root() == rootBefore {
+		t.Fatal("forged batch did not advance local state")
+	}
+	challenged, err := ver.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(challenged) != 1 || challenged[0] != batch.ID {
+		t.Fatalf("challenged = %v, want [%d]", challenged, batch.ID)
+	}
+	// Rollback restored the pre-state and the aggregator lost its bond.
+	if node.L2Root() != rootBefore {
+		t.Fatal("challenge did not roll back L2 state")
+	}
+	if node.ORSC().AggregatorBond(aggA) != 0 {
+		t.Fatal("fraudulent aggregator kept its bond")
+	}
+}
+
+func TestNetworkRunRounds(t *testing.T) {
+	node, agg, ver := newDeployment(t)
+	for i := uint64(0); i < 6; i++ {
+		user := alice
+		if i%2 == 1 {
+			user = bob
+		}
+		if err := node.SubmitTx(tx.Mint(ptAddr, i, user).WithFees(wei.Amount(10+i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw := NewNetwork(node, []*Aggregator{agg}, []*Verifier{ver})
+	reports, err := nw.RunRounds(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batches, finalized int
+	for _, r := range reports {
+		batches += len(r.Batches)
+		finalized += len(r.Finalized)
+		if len(r.Challenged) != 0 {
+			t.Fatal("honest network produced challenges")
+		}
+	}
+	if batches != 1 {
+		t.Fatalf("batches = %d, want 1 (all 6 txs fit one batch of 8)", batches)
+	}
+	if finalized != 1 {
+		t.Fatalf("finalized = %d, want 1", finalized)
+	}
+	pt, err := node.L2State().Token(ptAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Minted() != 6 {
+		t.Fatalf("minted = %d, want 6", pt.Minted())
+	}
+}
+
+func TestNetworkConcurrentLifecycle(t *testing.T) {
+	node, agg, ver := newDeployment(t)
+	for i := uint64(0); i < 4; i++ {
+		if err := node.SubmitTx(tx.Mint(ptAddr, i, alice).WithFees(1, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw := NewNetwork(node, []*Aggregator{agg}, []*Verifier{ver})
+	nw.Start()
+	nw.Start() // idempotent
+	for i := 0; i < 5; i++ {
+		nw.Tick()
+	}
+	if errs := nw.Stop(); len(errs) != 0 {
+		t.Fatalf("actor errors: %v", errs)
+	}
+	if errs := nw.Stop(); errs != nil {
+		t.Fatal("double Stop should be a no-op")
+	}
+	pt, err := node.L2State().Token(ptAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Minted() != 4 {
+		t.Fatalf("minted = %d, want 4", pt.Minted())
+	}
+}
+
+func TestNewAggregatorValidation(t *testing.T) {
+	node, _, _ := newDeployment(t)
+	if _, err := NewAggregator(node, chainid.AggregatorAddress(2), wei.FromETH(100), 8, nil); err == nil {
+		t.Fatal("unfunded aggregator bond should fail")
+	}
+	node.SetupAccount(chainid.AggregatorAddress(3), wei.FromETH(10))
+	if _, err := NewAggregator(node, chainid.AggregatorAddress(3), wei.FromETH(1), 0, nil); err == nil {
+		t.Fatal("zero batch size should fail")
+	}
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parole/internal/defense"
+	"parole/internal/ovm"
+	"parole/internal/solver"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// DefenseConfig parameterizes the defense-evaluation study — the validation
+// the paper defers to future work (Section VIII): sweep the detector's
+// tolerance threshold and measure how often it triggers, how much it
+// demotes, and how much extractable profit survives.
+type DefenseConfig struct {
+	// Thresholds to sweep.
+	Thresholds []wei.Amount
+	// MempoolSize and IFUs of the generated workloads.
+	MempoolSize int
+	IFUs        int
+	// Scenarios per threshold.
+	Scenarios int
+	// DetectorEvals bounds the detector's per-inspection search budget;
+	// AttackerEvals bounds the adversary's post-defense search (the
+	// attacker is given a larger budget than the detector, the worst case
+	// for the defense).
+	DetectorEvals, AttackerEvals int
+	// Seed drives workload generation and both searches.
+	Seed int64
+}
+
+// DefaultDefenseConfig returns the EXPERIMENTS.md configuration.
+func DefaultDefenseConfig() DefenseConfig {
+	return DefenseConfig{
+		Thresholds: []wei.Amount{
+			0, wei.FromFloat(0.02), wei.FromFloat(0.05),
+			wei.FromFloat(0.1), wei.FromFloat(0.25),
+		},
+		MempoolSize:   16,
+		IFUs:          1,
+		Scenarios:     8,
+		DetectorEvals: 2000,
+		AttackerEvals: 6000,
+		Seed:          6,
+	}
+}
+
+// DefenseRow is one threshold's outcome.
+type DefenseRow struct {
+	Threshold wei.Amount
+	Scenarios int
+	// Triggered counts inspections exceeding the threshold.
+	Triggered int
+	// AvgDemotions is the mean number of transactions sent to the block
+	// behind per triggered inspection.
+	AvgDemotions float64
+	// AvgUndefendedProfit is the adversary's mean extractable profit on
+	// the raw batches; AvgResidualProfit the mean on the defended batches.
+	AvgUndefendedProfit wei.Amount
+	AvgResidualProfit   wei.Amount
+}
+
+// RunDefenseStudy sweeps the detector threshold over generated workloads.
+func RunDefenseStudy(cfg DefenseConfig) ([]DefenseRow, error) {
+	if len(cfg.Thresholds) == 0 || cfg.Scenarios <= 0 {
+		return nil, fmt.Errorf("%w: defense study axes", ErrBadScenario)
+	}
+	vm := ovm.New()
+	rows := make([]DefenseRow, 0, len(cfg.Thresholds))
+	for ti, threshold := range cfg.Thresholds {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(ti)*1000))
+		row := DefenseRow{Threshold: threshold, Scenarios: cfg.Scenarios}
+		var demotions int
+		var undefended, residual wei.Amount
+		for i := 0; i < cfg.Scenarios; i++ {
+			sc, err := GenerateScenario(rng, ScenarioConfig{MempoolSize: cfg.MempoolSize, NumIFUs: cfg.IFUs})
+			if err != nil {
+				return nil, fmt.Errorf("defense scenario %d: %w", i, err)
+			}
+			// The adversary's take on the raw batch.
+			raw, err := attackerProfit(rng, vm, sc, sc.Batch, cfg.AttackerEvals)
+			if err != nil {
+				return nil, err
+			}
+			undefended += raw
+
+			det, err := defense.NewDetector(vm, defense.SearchOptimizer{
+				Rng:            rng,
+				MaxEvaluations: cfg.DetectorEvals,
+			}, defense.Config{BaseThreshold: threshold})
+			if err != nil {
+				return nil, err
+			}
+			report, err := det.Inspect(sc.State, sc.Batch)
+			if err != nil {
+				return nil, fmt.Errorf("inspect scenario %d: %w", i, err)
+			}
+			if report.Triggered {
+				row.Triggered++
+				demotions += len(report.Demoted)
+			}
+			// The adversary's take on what survives the demotions.
+			surviving := survivingBatch(sc, report)
+			if len(surviving) >= 2 {
+				res, err := attackerProfit(rng, vm, sc, surviving, cfg.AttackerEvals)
+				if err != nil {
+					return nil, err
+				}
+				residual += res
+			}
+		}
+		if row.Triggered > 0 {
+			row.AvgDemotions = float64(demotions) / float64(row.Triggered)
+		}
+		row.AvgUndefendedProfit = undefended.Div(int64(cfg.Scenarios))
+		row.AvgResidualProfit = residual.Div(int64(cfg.Scenarios))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// attackerProfit is the adversary's best valid improvement on batch.
+func attackerProfit(rng *rand.Rand, vm *ovm.VM, sc *Scenario, batch tx.Seq, evals int) (wei.Amount, error) {
+	obj, err := solver.NewObjective(vm, sc.State, batch, sc.IFUs)
+	if err != nil {
+		return 0, err
+	}
+	sol, err := solver.HillClimb{}.Solve(rng, obj, solver.Budget{MaxEvaluations: evals})
+	if err != nil {
+		return 0, err
+	}
+	return sol.Improvement, nil
+}
+
+// survivingBatch removes the demoted transactions from the scenario batch.
+func survivingBatch(sc *Scenario, report defense.Report) tx.Seq {
+	demoted := make(map[string]bool, len(report.Demoted))
+	for _, d := range report.Demoted {
+		demoted[d.String()] = true
+	}
+	var out tx.Seq
+	for _, t := range sc.Batch {
+		if !demoted[t.String()] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"parole/internal/wei"
+)
+
+func TestRunDefenseStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search sweeps")
+	}
+	cfg := DefenseConfig{
+		Thresholds:    []wei.Amount{0, wei.FromFloat(0.1), wei.FromETH(100)},
+		MempoolSize:   10,
+		IFUs:          1,
+		Scenarios:     4,
+		DetectorEvals: 600,
+		AttackerEvals: 1200,
+		Seed:          6,
+	}
+	rows, err := RunDefenseStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	zero, mid, huge := rows[0], rows[1], rows[2]
+	// A zero threshold triggers on anything exploitable; an enormous one
+	// never triggers.
+	if zero.Triggered < mid.Triggered {
+		t.Fatalf("trigger counts not monotone: %d < %d", zero.Triggered, mid.Triggered)
+	}
+	if huge.Triggered != 0 {
+		t.Fatalf("huge threshold triggered %d times", huge.Triggered)
+	}
+	// The defense must not increase extractable profit, and with no
+	// trigger the residual equals the undefended baseline.
+	for _, r := range rows {
+		if r.AvgResidualProfit > r.AvgUndefendedProfit {
+			t.Fatalf("threshold %s: residual %s exceeds undefended %s",
+				r.Threshold, r.AvgResidualProfit, r.AvgUndefendedProfit)
+		}
+	}
+	if huge.AvgResidualProfit != huge.AvgUndefendedProfit {
+		t.Fatalf("untriggered residual %s != undefended %s",
+			huge.AvgResidualProfit, huge.AvgUndefendedProfit)
+	}
+	// A triggered defense must reduce profit on average.
+	if zero.Triggered > 0 && zero.AvgResidualProfit >= zero.AvgUndefendedProfit {
+		t.Fatal("triggered defense removed no profit")
+	}
+}
+
+func TestRunDefenseStudyValidation(t *testing.T) {
+	if _, err := RunDefenseStudy(DefenseConfig{}); !errors.Is(err, ErrBadScenario) {
+		t.Fatalf("empty config = %v", err)
+	}
+}

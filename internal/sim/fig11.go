@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"parole/internal/gentranseq"
+	"parole/internal/ovm"
+	"parole/internal/rl"
+	"parole/internal/solver"
+	"parole/internal/wei"
+)
+
+// Fig11Config parameterizes the DQN-vs-NLP-solver comparison of Fig. 11:
+// execution time and memory versus mempool size.
+type Fig11Config struct {
+	// MempoolSizes to sweep (paper: 5, 10, 25, 50, 100).
+	MempoolSizes []int
+	// IFUs served.
+	IFUs int
+	// Gen is the DQN *training* budget (training happens offline in the
+	// paper's threat model and is excluded from the measured inference).
+	Gen gentranseq.Config
+	// InferenceSteps bounds the measured DQN rollout.
+	InferenceSteps int
+	// SolverEvals caps each baseline's evaluations (0 = 40·N²).
+	SolverEvals int
+	// Seed for the study's RNG.
+	Seed int64
+}
+
+// DefaultFig11Config returns the paper's grid at a laptop-scale budget.
+func DefaultFig11Config() Fig11Config {
+	return Fig11Config{
+		MempoolSizes:   []int{5, 10, 25, 50, 100},
+		IFUs:           1,
+		Gen:            gentranseq.FastConfig(),
+		InferenceSteps: 60,
+		Seed:           5,
+	}
+}
+
+// Fig11Row is one measured point: a solver's cost at a mempool size.
+type Fig11Row struct {
+	MempoolSize int
+	Solver      string
+	Duration    time.Duration
+	AllocBytes  uint64
+	// Improvement found within the budget (context, not plotted).
+	Improvement wei.Amount
+}
+
+// RunFig11 measures DQN inference against the solver baselines on identical
+// scenarios.
+func RunFig11(cfg Fig11Config) ([]Fig11Row, error) {
+	if len(cfg.MempoolSizes) == 0 {
+		return nil, fmt.Errorf("%w: fig11 axes", ErrBadScenario)
+	}
+	if cfg.InferenceSteps <= 0 {
+		cfg.InferenceSteps = 60
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vm := ovm.New()
+
+	var rows []Fig11Row
+	for _, n := range cfg.MempoolSizes {
+		sc, err := GenerateScenario(rng, ScenarioConfig{MempoolSize: n, NumIFUs: cfg.IFUs})
+		if err != nil {
+			return nil, fmt.Errorf("fig11 n=%d: %w", n, err)
+		}
+
+		// DQN: train offline (unmeasured), then measure a greedy inference
+		// rollout — the cost an adversarial aggregator pays per batch.
+		env, err := gentranseq.NewEnv(vm, sc.State, sc.Batch, sc.IFUs, cfg.Gen.Env)
+		if err != nil {
+			return nil, err
+		}
+		agent, trainErr := trainForInference(rng, env, cfg.Gen)
+		if trainErr != nil {
+			return nil, trainErr
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if _, err := gentranseq.RunGreedyEpisode(agent, env, cfg.InferenceSteps); err != nil {
+			return nil, fmt.Errorf("fig11 n=%d dqn inference: %w", n, err)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		_, dqnImp := env.Best()
+		rows = append(rows, Fig11Row{
+			MempoolSize: n,
+			Solver:      "dqn-inference",
+			Duration:    elapsed,
+			AllocBytes:  after.TotalAlloc - before.TotalAlloc,
+			Improvement: dqnImp,
+		})
+
+		// Baselines on the same scenario with comparable budgets.
+		budget := solver.Budget{MaxEvaluations: cfg.SolverEvals}
+		if budget.MaxEvaluations == 0 {
+			budget.MaxEvaluations = 40 * n * n
+		}
+		for _, s := range []solver.Solver{
+			solver.BranchBound{},
+			solver.HillClimb{},
+			solver.Anneal{},
+		} {
+			obj, err := solver.NewObjective(vm, sc.State, sc.Batch, sc.IFUs)
+			if err != nil {
+				return nil, err
+			}
+			sol, err := solver.Measure(s, rng, obj, budget)
+			if err != nil {
+				return nil, fmt.Errorf("fig11 n=%d %s: %w", n, s.Name(), err)
+			}
+			rows = append(rows, Fig11Row{
+				MempoolSize: n,
+				Solver:      s.Name(),
+				Duration:    sol.Duration,
+				AllocBytes:  sol.AllocBytes,
+				Improvement: sol.Improvement,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// trainForInference performs the offline training phase (excluded from the
+// Fig. 11 measurements, matching the paper: "the IFU trains the model
+// offline").
+func trainForInference(rng *rand.Rand, env *gentranseq.Env, gen gentranseq.Config) (*rl.Agent, error) {
+	agent, err := rl.NewAgent(rng, env.ObservationSize(), env.NumActions(), gen.RL)
+	if err != nil {
+		return nil, fmt.Errorf("build agent: %w", err)
+	}
+	if _, err := gentranseq.TrainAgent(agent, env, gen.Episodes, gen.MaxSteps, gen.RL.Epsilon); err != nil {
+		return nil, fmt.Errorf("offline training: %w", err)
+	}
+	return agent, nil
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parole/internal/gentranseq"
+	"parole/internal/ovm"
+	"parole/internal/solver"
+	"parole/internal/wei"
+)
+
+// OptimizerKind selects the re-ordering search backend for an experiment.
+type OptimizerKind string
+
+// Available backends.
+const (
+	// OptDQN is the paper's GENTRANSEQ DQN.
+	OptDQN OptimizerKind = "dqn"
+	// OptHillClimb is the fast search baseline with the identical
+	// objective; useful for wide sweeps and CI.
+	OptHillClimb OptimizerKind = "hillclimb"
+	// OptAnneal is the annealing baseline.
+	OptAnneal OptimizerKind = "anneal"
+)
+
+// OptimizerConfig bundles the backend and its budget.
+type OptimizerConfig struct {
+	Kind OptimizerKind
+	// Gen is the DQN budget (used when Kind == OptDQN).
+	Gen gentranseq.Config
+	// SolverEvals caps baseline evaluations (0 = 40·N²).
+	SolverEvals int
+	// AdaptiveSteps scales the DQN's per-episode step budget with the
+	// batch size (MaxSteps = max(MaxSteps, 2·N)) so the agent can cover
+	// the C(N,2) action space of larger mempools.
+	AdaptiveSteps bool
+}
+
+// DefaultOptimizer returns the sweep-friendly DQN configuration with the
+// step budget scaling to the batch size.
+func DefaultOptimizer() OptimizerConfig {
+	return OptimizerConfig{Kind: OptDQN, Gen: gentranseq.FastConfig(), AdaptiveSteps: true}
+}
+
+// AttackOutcome is the per-batch result of one optimized attack.
+type AttackOutcome struct {
+	// Improvement is the summed IFU wealth gain of the best valid order.
+	Improvement wei.Amount
+	// InferenceSwaps is the Fig. 9 statistic (DQN only; −1 otherwise).
+	InferenceSwaps int
+	// EpisodeRewards is the Fig. 8 series (DQN only).
+	EpisodeRewards []float64
+}
+
+// OptimizeBatch runs the configured backend on a scenario's batch.
+func OptimizeBatch(rng *rand.Rand, vm *ovm.VM, sc *Scenario, cfg OptimizerConfig) (AttackOutcome, error) {
+	out := AttackOutcome{InferenceSwaps: -1}
+	switch cfg.Kind {
+	case OptDQN, "":
+		gen := cfg.Gen
+		if gen.Episodes == 0 {
+			gen = gentranseq.FastConfig()
+		}
+		if cfg.AdaptiveSteps && gen.MaxSteps < 2*len(sc.Batch) {
+			gen.MaxSteps = 2 * len(sc.Batch)
+		}
+		res, err := gentranseq.Optimize(rng, vm, sc.State, sc.Batch, sc.IFUs, gen)
+		if err != nil {
+			return out, fmt.Errorf("dqn optimize: %w", err)
+		}
+		if res.Improved {
+			out.Improvement = res.Improvement
+		}
+		out.InferenceSwaps = res.InferenceSwaps
+		out.EpisodeRewards = res.EpisodeRewards
+		return out, nil
+	case OptHillClimb, OptAnneal:
+		obj, err := solver.NewObjective(vm, sc.State, sc.Batch, sc.IFUs)
+		if err != nil {
+			return out, err
+		}
+		budget := solver.Budget{MaxEvaluations: cfg.SolverEvals}
+		if budget.MaxEvaluations == 0 {
+			budget.MaxEvaluations = 40 * obj.N() * obj.N()
+		}
+		var s solver.Solver = solver.HillClimb{}
+		if cfg.Kind == OptAnneal {
+			s = solver.Anneal{}
+		}
+		sol, err := s.Solve(rng, obj, budget)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", s.Name(), err)
+		}
+		out.Improvement = sol.Improvement
+		return out, nil
+	default:
+		return out, fmt.Errorf("sim: unknown optimizer kind %q", cfg.Kind)
+	}
+}

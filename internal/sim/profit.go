@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parole/internal/ovm"
+	"parole/internal/wei"
+)
+
+// Fig6Config parameterizes the Fig. 6 sweep: average attack profit per IFU
+// while serving different numbers of IFUs, across mempool sizes, for a given
+// adversarial share of the aggregator set.
+type Fig6Config struct {
+	// MempoolSizes to sweep (paper: 10, 25, 50, 100).
+	MempoolSizes []int
+	// IFUCounts to sweep (paper: 1–4).
+	IFUCounts []int
+	// AdversarialFraction of the aggregator population (paper: 0.10, 0.50).
+	AdversarialFraction float64
+	// Aggregators is the total aggregator population (default 10).
+	Aggregators int
+	// Trials per cell (independent scenarios per adversarial aggregator).
+	Trials int
+	// Optimizer backend and budget.
+	Optimizer OptimizerConfig
+	// Seed for the sweep's RNG.
+	Seed int64
+}
+
+// DefaultFig6Config returns the paper's grid with a laptop-scale budget.
+func DefaultFig6Config() Fig6Config {
+	return Fig6Config{
+		MempoolSizes:        []int{10, 25, 50, 100},
+		IFUCounts:           []int{1, 2, 3, 4},
+		AdversarialFraction: 0.10,
+		Aggregators:         10,
+		Trials:              2,
+		Optimizer:           DefaultOptimizer(),
+		Seed:                1,
+	}
+}
+
+// Fig6Row is one point of Fig. 6: the average profit per served IFU,
+// accumulated across all adversarial aggregators in an epoch.
+type Fig6Row struct {
+	MempoolSize     int
+	IFUs            int
+	AdversarialFrac float64
+	// AvgProfitPerIFU is the per-epoch profit an IFU accumulates across
+	// every adversarial aggregator, averaged over trials.
+	AvgProfitPerIFU wei.Amount
+	// Batches optimized for this cell.
+	Batches int
+}
+
+// RunFig6 produces the Fig. 6 series.
+func RunFig6(cfg Fig6Config) ([]Fig6Row, error) {
+	if err := validateSweep(cfg.MempoolSizes, cfg.IFUCounts, cfg.Trials); err != nil {
+		return nil, err
+	}
+	if cfg.Aggregators <= 0 {
+		cfg.Aggregators = 10
+	}
+	advCount := adversaryCount(cfg.Aggregators, cfg.AdversarialFraction)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vm := ovm.New()
+
+	var rows []Fig6Row
+	for _, n := range cfg.MempoolSizes {
+		for _, k := range cfg.IFUCounts {
+			row := Fig6Row{MempoolSize: n, IFUs: k, AdversarialFrac: cfg.AdversarialFraction}
+			var total wei.Amount
+			for trial := 0; trial < cfg.Trials; trial++ {
+				for a := 0; a < advCount; a++ {
+					sc, err := GenerateScenario(rng, ScenarioConfig{MempoolSize: n, NumIFUs: k})
+					if err != nil {
+						return nil, fmt.Errorf("fig6 n=%d k=%d: %w", n, k, err)
+					}
+					out, err := OptimizeBatch(rng, vm, sc, cfg.Optimizer)
+					if err != nil {
+						return nil, fmt.Errorf("fig6 n=%d k=%d: %w", n, k, err)
+					}
+					total += out.Improvement
+					row.Batches++
+				}
+			}
+			// Per-IFU profit accumulates across every adversarial
+			// aggregator serving the IFU in an epoch — which is why the
+			// paper's 50%-adversarial case is substantially higher than
+			// the 10% one — and averages over trials and IFUs.
+			row.AvgProfitPerIFU = total.Div(int64(cfg.Trials * k))
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig7Config parameterizes the Fig. 7 sweep: total profit across all IFUs
+// versus the adversarial share of aggregators.
+type Fig7Config struct {
+	// AdversarialPercents to sweep (paper: 10–50).
+	AdversarialPercents []int
+	// MempoolSizes to sweep (paper plots 25, 50, 100).
+	MempoolSizes []int
+	// IFUs served (paper: subfigure (a) 1, (b) 2).
+	IFUs int
+	// Aggregators population (default 10).
+	Aggregators int
+	// Trials per cell.
+	Trials int
+	// Optimizer backend and budget.
+	Optimizer OptimizerConfig
+	// Seed for the sweep's RNG.
+	Seed int64
+}
+
+// DefaultFig7Config returns the paper's grid with a laptop-scale budget.
+func DefaultFig7Config() Fig7Config {
+	return Fig7Config{
+		AdversarialPercents: []int{10, 20, 30, 40, 50},
+		MempoolSizes:        []int{25, 50, 100},
+		IFUs:                1,
+		Aggregators:         10,
+		Trials:              2,
+		Optimizer:           DefaultOptimizer(),
+		Seed:                2,
+	}
+}
+
+// Fig7Row is one point of Fig. 7.
+type Fig7Row struct {
+	AdversarialPercent int
+	MempoolSize        int
+	IFUs               int
+	// TotalProfit summed over every adversarial aggregator, averaged over
+	// trials.
+	TotalProfit wei.Amount
+	// TotalProfitSats is the same quantity on the paper's satoshi axis.
+	TotalProfitSats int64
+}
+
+// RunFig7 produces the Fig. 7 series.
+func RunFig7(cfg Fig7Config) ([]Fig7Row, error) {
+	if err := validateSweep(cfg.MempoolSizes, []int{cfg.IFUs}, cfg.Trials); err != nil {
+		return nil, err
+	}
+	if cfg.Aggregators <= 0 {
+		cfg.Aggregators = 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vm := ovm.New()
+
+	var rows []Fig7Row
+	for _, pct := range cfg.AdversarialPercents {
+		for _, n := range cfg.MempoolSizes {
+			advCount := adversaryCount(cfg.Aggregators, float64(pct)/100)
+			var total wei.Amount
+			for trial := 0; trial < cfg.Trials; trial++ {
+				for a := 0; a < advCount; a++ {
+					sc, err := GenerateScenario(rng, ScenarioConfig{MempoolSize: n, NumIFUs: cfg.IFUs})
+					if err != nil {
+						return nil, fmt.Errorf("fig7 pct=%d n=%d: %w", pct, n, err)
+					}
+					out, err := OptimizeBatch(rng, vm, sc, cfg.Optimizer)
+					if err != nil {
+						return nil, fmt.Errorf("fig7 pct=%d n=%d: %w", pct, n, err)
+					}
+					total += out.Improvement
+				}
+			}
+			avg := total.Div(int64(cfg.Trials))
+			rows = append(rows, Fig7Row{
+				AdversarialPercent: pct,
+				MempoolSize:        n,
+				IFUs:               cfg.IFUs,
+				TotalProfit:        avg,
+				TotalProfitSats:    avg.Sats(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// adversaryCount converts a fraction of the population to a count, at least
+// one adversary when the fraction is positive.
+func adversaryCount(population int, fraction float64) int {
+	count := int(float64(population)*fraction + 0.5)
+	if count < 1 && fraction > 0 {
+		count = 1
+	}
+	return count
+}
+
+func validateSweep(mempools, ifus []int, trials int) error {
+	if len(mempools) == 0 || len(ifus) == 0 {
+		return fmt.Errorf("%w: empty sweep axes", ErrBadScenario)
+	}
+	if trials <= 0 {
+		return fmt.Errorf("%w: trials %d", ErrBadScenario, trials)
+	}
+	return nil
+}

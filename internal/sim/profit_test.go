@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"parole/internal/ovm"
+)
+
+func newTestRand(t *testing.T) *rand.Rand {
+	t.Helper()
+	return rand.New(rand.NewSource(11))
+}
+
+func newTestVM() *ovm.VM { return ovm.New() }
+
+func TestAdversaryCount(t *testing.T) {
+	tests := []struct {
+		population int
+		fraction   float64
+		want       int
+	}{
+		{10, 0.10, 1},
+		{10, 0.50, 5},
+		{10, 0.25, 3}, // rounds to nearest
+		{10, 0.01, 1}, // at least one when positive
+		{10, 0, 0},
+		{4, 0.5, 2},
+	}
+	for _, tt := range tests {
+		if got := adversaryCount(tt.population, tt.fraction); got != tt.want {
+			t.Errorf("adversaryCount(%d, %g) = %d, want %d", tt.population, tt.fraction, got, tt.want)
+		}
+	}
+}
+
+func TestRunFig6Validation(t *testing.T) {
+	if _, err := RunFig6(Fig6Config{}); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("empty fig6 config = %v", err)
+	}
+	if _, err := RunFig6(Fig6Config{MempoolSizes: []int{8}, IFUCounts: []int{1}}); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("zero trials = %v", err)
+	}
+}
+
+func TestRunFig7Validation(t *testing.T) {
+	if _, err := RunFig7(Fig7Config{}); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("empty fig7 config = %v", err)
+	}
+}
+
+func TestRunFig8Validation(t *testing.T) {
+	if _, err := RunFig8(Fig8Config{}); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("empty fig8 config = %v", err)
+	}
+}
+
+func TestRunFig9Validation(t *testing.T) {
+	if _, err := RunFig9(Fig9Config{}); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("empty fig9 config = %v", err)
+	}
+}
+
+func TestRunFig11Validation(t *testing.T) {
+	if _, err := RunFig11(Fig11Config{}); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("empty fig11 config = %v", err)
+	}
+}
+
+func TestOptimizeBatchAdaptiveSteps(t *testing.T) {
+	// AdaptiveSteps must not fail on tiny budgets; it only raises MaxSteps.
+	rng := newTestRand(t)
+	sc, err := GenerateScenario(rng, ScenarioConfig{MempoolSize: 12, NumIFUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := OptimizerConfig{Kind: OptDQN, Gen: tinyDQN(), AdaptiveSteps: true}
+	out, err := OptimizeBatch(rng, newTestVM(), sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Improvement < 0 {
+		t.Fatal("negative improvement")
+	}
+}

@@ -1,0 +1,317 @@
+// Package sim is the experiment harness behind the paper's evaluation
+// (Section VII): it generates randomized rollup workloads, dispatches them
+// to the attack optimizers, and produces the data series of every table and
+// figure — Fig. 6 (profit vs. IFUs), Fig. 7 (profit vs. adversarial share),
+// Fig. 8 (reward curves), Fig. 9 (solution-size KDEs), Fig. 10 (snapshot
+// study, via internal/snapshot), Fig. 11 (solver comparison), and Table III
+// (PT transaction behavior).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"parole/internal/chainid"
+	"parole/internal/ovm"
+	"parole/internal/state"
+	"parole/internal/token"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// Package errors.
+var (
+	ErrBadScenario = errors.New("sim: invalid scenario configuration")
+	ErrStuck       = errors.New("sim: could not generate a feasible transaction")
+)
+
+// ScenarioConfig parameterizes one randomized workload.
+type ScenarioConfig struct {
+	// Users is the number of rollup users (0 = scaled from MempoolSize).
+	Users int
+	// MempoolSize is the batch size N the adversarial aggregator collects.
+	MempoolSize int
+	// NumIFUs is how many colluding users the attack serves.
+	NumIFUs int
+	// IFUInvolvement is how many transactions each IFU participates in
+	// (0 = scaled from MempoolSize: max(2, N/8)). More involvement gives
+	// the re-ordering attack more to work with — the paper's larger-
+	// mempool-more-profit effect.
+	IFUInvolvement int
+	// MaxSupply of the limited-edition token (0 = scaled from N).
+	MaxSupply uint64
+	// InitialPrice P⁰ (0 = the case studies' 0.2 ETH).
+	InitialPrice wei.Amount
+	// MinBalance/MaxBalance bound each user's L2 funding (0 = 1–5 ETH).
+	MinBalance, MaxBalance wei.Amount
+}
+
+// withDefaults fills derived defaults.
+func (c ScenarioConfig) withDefaults() (ScenarioConfig, error) {
+	if c.MempoolSize < 2 {
+		return c, fmt.Errorf("%w: mempool size %d", ErrBadScenario, c.MempoolSize)
+	}
+	if c.IFUInvolvement == 0 {
+		c.IFUInvolvement = max(2, c.MempoolSize/8)
+	}
+	if c.IFUInvolvement < 2 {
+		return c, fmt.Errorf("%w: IFU involvement %d below the Section V-B minimum of 2",
+			ErrBadScenario, c.IFUInvolvement)
+	}
+	// Leave at least a third of the batch to background traffic.
+	for c.NumIFUs > 0 && c.NumIFUs*c.IFUInvolvement > 2*c.MempoolSize/3 && c.IFUInvolvement > 2 {
+		c.IFUInvolvement--
+	}
+	if c.NumIFUs < 0 || c.NumIFUs*c.IFUInvolvement > c.MempoolSize {
+		return c, fmt.Errorf("%w: %d IFUs need %d slots in a batch of %d",
+			ErrBadScenario, c.NumIFUs, c.NumIFUs*c.IFUInvolvement, c.MempoolSize)
+	}
+	if c.Users == 0 {
+		c.Users = c.MempoolSize/2 + 6
+	}
+	if c.Users < c.NumIFUs+2 {
+		c.Users = c.NumIFUs + 2
+	}
+	if c.MaxSupply == 0 {
+		c.MaxSupply = uint64(2*c.MempoolSize + 8)
+	}
+	if c.InitialPrice == 0 {
+		c.InitialPrice = wei.FromFloat(0.2)
+	}
+	if c.MinBalance == 0 {
+		c.MinBalance = wei.FromETH(1)
+	}
+	if c.MaxBalance <= c.MinBalance {
+		c.MaxBalance = c.MinBalance + wei.FromETH(4)
+	}
+	return c, nil
+}
+
+// Scenario is one generated workload: the L2 state an aggregator sees and
+// the fee-ordered batch it collected.
+type Scenario struct {
+	State *state.State
+	Batch tx.Seq
+	IFUs  []chainid.Address
+	Token chainid.Address
+	Cfg   ScenarioConfig
+}
+
+// GenerateScenario builds a randomized workload in which the batch is fully
+// executable in its original (fee) order — the paper's setting, where the
+// aggregator receives transactions that all satisfied their constraints in
+// sequence — and every IFU is involved in at least a mint plus a transfer
+// (the Section V-B opportunity precondition).
+func GenerateScenario(rng *rand.Rand, cfg ScenarioConfig) (*Scenario, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	st := state.New()
+	tokenAddr := chainid.DeriveAddress("sim/limited-edition-token")
+	pt, err := token.Deploy(tokenAddr, token.Config{
+		Name: "SimToken", Symbol: "SIM",
+		MaxSupply: cfg.MaxSupply, InitialPrice: cfg.InitialPrice,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("deploy token: %w", err)
+	}
+	if err := st.DeployToken(pt); err != nil {
+		return nil, err
+	}
+
+	users := make([]chainid.Address, cfg.Users)
+	for i := range users {
+		users[i] = chainid.UserAddress(i + 1)
+		span := int64(cfg.MaxBalance - cfg.MinBalance)
+		st.SetBalance(users[i], cfg.MinBalance+wei.Amount(rng.Int63n(span+1)))
+	}
+	ifus := users[:cfg.NumIFUs]
+	// IFUs must be able to afford their forced mint and buy even at the
+	// bonding curve's ceiling price (P⁰·S⁰); top them up past it.
+	ceiling := wei.MulDiv(cfg.InitialPrice, int64(cfg.MaxSupply), 1)
+	for _, ifu := range ifus {
+		st.SetBalance(ifu, st.Balance(ifu)+ceiling.Mul(2))
+	}
+
+	// Pre-mint about half the supply to random users so transfers and burns
+	// are feasible from the first slot.
+	premint := cfg.MaxSupply / 2
+	for i := uint64(0); i < premint; i++ {
+		owner := users[rng.Intn(len(users))]
+		if err := pt.Mint(owner, pt.NextID()); err != nil {
+			return nil, fmt.Errorf("pre-mint: %w", err)
+		}
+	}
+
+	// Reserve IFUInvolvement slots per IFU at random positions: at least a
+	// mint and a buy (the Section V-B preconditions), the rest a random mix.
+	type quota struct {
+		ifu  chainid.Address
+		kind tx.Kind
+	}
+	slots := make([]*quota, cfg.MempoolSize)
+	perm := rng.Perm(cfg.MempoolSize)
+	next := 0
+	kinds := []tx.Kind{tx.KindMint, tx.KindTransfer, tx.KindBurn}
+	for _, ifu := range ifus {
+		for j := 0; j < cfg.IFUInvolvement; j++ {
+			kind := kinds[rng.Intn(len(kinds))]
+			switch j {
+			case 0:
+				kind = tx.KindMint
+			case 1:
+				kind = tx.KindTransfer
+			}
+			slots[perm[next]] = &quota{ifu: ifu, kind: kind}
+			next++
+		}
+	}
+
+	// Build the batch against a shadow state so the original order is fully
+	// executable.
+	vm := ovm.New()
+	shadow := st.Clone()
+	batch := make(tx.Seq, 0, cfg.MempoolSize)
+	for i := 0; i < cfg.MempoolSize; i++ {
+		var (
+			t   tx.Tx
+			err error
+		)
+		if q := slots[i]; q != nil {
+			t, err = generateFor(rng, shadow, tokenAddr, q.ifu, q.kind, users)
+		} else {
+			t, err = generateAny(rng, shadow, tokenAddr, users)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("slot %d: %w", i, err)
+		}
+		// Descending fees reproduce the mempool's fee-priority order.
+		t = t.WithFees(wei.Amount((cfg.MempoolSize-i)*10), 0)
+		res, err := vm.Execute(shadow, tx.Seq{t})
+		if err != nil {
+			return nil, err
+		}
+		if res.Executed != 1 {
+			return nil, fmt.Errorf("%w: generated tx not executable: %v (%v)",
+				ErrStuck, t, res.Steps[0].Reason)
+		}
+		shadow = res.State
+		batch = append(batch, t)
+	}
+	return &Scenario{
+		State: st,
+		Batch: batch,
+		IFUs:  append([]chainid.Address(nil), ifus...),
+		Token: tokenAddr,
+		Cfg:   cfg,
+	}, nil
+}
+
+// generateFor builds a feasible transaction involving actor, preferring the
+// requested kind but falling back to any involvement that keeps the IFU's
+// Section V-B preconditions satisfiable.
+func generateFor(rng *rand.Rand, st *state.State, tokenAddr chainid.Address, actor chainid.Address, kind tx.Kind, users []chainid.Address) (tx.Tx, error) {
+	pt, err := st.Token(tokenAddr)
+	if err != nil {
+		return tx.Tx{}, err
+	}
+	price := pt.Price()
+
+	mint := func() (tx.Tx, bool) {
+		if pt.Available() > 0 && st.Balance(actor) >= price {
+			return tx.Mint(tokenAddr, pt.NextID(), actor), true
+		}
+		return tx.Tx{}, false
+	}
+	buy := func() (tx.Tx, bool) {
+		if st.Balance(actor) < price {
+			return tx.Tx{}, false
+		}
+		for _, attempt := range rng.Perm(len(users)) {
+			seller := users[attempt]
+			if seller == actor {
+				continue
+			}
+			if ids := pt.OwnedBy(seller); len(ids) > 0 {
+				return tx.Transfer(tokenAddr, ids[rng.Intn(len(ids))], seller, actor), true
+			}
+		}
+		return tx.Tx{}, false
+	}
+	sell := func() (tx.Tx, bool) {
+		ids := pt.OwnedBy(actor)
+		if len(ids) == 0 {
+			return tx.Tx{}, false
+		}
+		for _, attempt := range rng.Perm(len(users)) {
+			buyer := users[attempt]
+			if buyer != actor && st.Balance(buyer) >= price {
+				return tx.Transfer(tokenAddr, ids[rng.Intn(len(ids))], actor, buyer), true
+			}
+		}
+		return tx.Tx{}, false
+	}
+	burn := func() (tx.Tx, bool) {
+		if ids := pt.OwnedBy(actor); len(ids) > 0 {
+			return tx.Burn(tokenAddr, ids[rng.Intn(len(ids))], actor), true
+		}
+		return tx.Tx{}, false
+	}
+
+	var order []func() (tx.Tx, bool)
+	switch kind {
+	case tx.KindMint:
+		order = []func() (tx.Tx, bool){mint, buy, sell, burn}
+	case tx.KindTransfer:
+		order = []func() (tx.Tx, bool){buy, sell, mint, burn}
+	case tx.KindBurn:
+		order = []func() (tx.Tx, bool){burn, sell, mint, buy}
+	default:
+		return tx.Tx{}, fmt.Errorf("%w: kind %v", ErrBadScenario, kind)
+	}
+	for _, gen := range order {
+		if t, ok := gen(); ok {
+			return t, nil
+		}
+	}
+	return tx.Tx{}, fmt.Errorf("%w: no feasible involvement for forced actor", ErrStuck)
+}
+
+// generateAny builds a random feasible transaction by any user, preferring
+// the mint/transfer/burn mix 3:5:2 that keeps supply and ownership healthy.
+func generateAny(rng *rand.Rand, st *state.State, tokenAddr chainid.Address, users []chainid.Address) (tx.Tx, error) {
+	pt, err := st.Token(tokenAddr)
+	if err != nil {
+		return tx.Tx{}, err
+	}
+	price := pt.Price()
+	const attempts = 60
+	for a := 0; a < attempts; a++ {
+		actor := users[rng.Intn(len(users))]
+		roll := rng.Intn(10)
+		switch {
+		case roll < 3: // mint
+			if pt.Available() > 0 && st.Balance(actor) >= price {
+				return tx.Mint(tokenAddr, pt.NextID(), actor), nil
+			}
+		case roll < 8: // transfer: actor buys from a random owner
+			if st.Balance(actor) < price {
+				continue
+			}
+			seller := users[rng.Intn(len(users))]
+			if seller == actor {
+				continue
+			}
+			if ids := pt.OwnedBy(seller); len(ids) > 0 {
+				return tx.Transfer(tokenAddr, ids[rng.Intn(len(ids))], seller, actor), nil
+			}
+		default: // burn
+			if ids := pt.OwnedBy(actor); len(ids) > 0 {
+				return tx.Burn(tokenAddr, ids[rng.Intn(len(ids))], actor), nil
+			}
+		}
+	}
+	return tx.Tx{}, ErrStuck
+}

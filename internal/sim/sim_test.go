@@ -1,0 +1,323 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parole/internal/arbitrage"
+	"parole/internal/gentranseq"
+	"parole/internal/ovm"
+)
+
+func TestGenerateScenarioExecutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vm := ovm.New()
+	for _, n := range []int{5, 10, 25, 50} {
+		sc, err := GenerateScenario(rng, ScenarioConfig{MempoolSize: n, NumIFUs: 1})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(sc.Batch) != n {
+			t.Fatalf("n=%d: batch length %d", n, len(sc.Batch))
+		}
+		res, err := vm.Execute(sc.State, sc.Batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Executed != n {
+			t.Fatalf("n=%d: only %d/%d executable in original order", n, res.Executed, n)
+		}
+	}
+}
+
+func TestGenerateScenarioIFUInvolvement(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, k := range []int{1, 2, 3, 4} {
+		sc, err := GenerateScenario(rng, ScenarioConfig{MempoolSize: 20, NumIFUs: k})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(sc.IFUs) != k {
+			t.Fatalf("k=%d: %d IFUs", k, len(sc.IFUs))
+		}
+		a, err := arbitrage.Assess(sc.Batch, sc.IFUs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Opportunity {
+			t.Fatalf("k=%d: generated scenario presents no opportunity", k)
+		}
+		for i, ifu := range sc.IFUs {
+			if got := len(sc.Batch.Involving(ifu)); got < 2 {
+				t.Fatalf("k=%d: IFU %d involved in only %d txs", k, i, got)
+			}
+		}
+	}
+}
+
+func TestGenerateScenarioFeeOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sc, err := GenerateScenario(rng, ScenarioConfig{MempoolSize: 15, NumIFUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sc.Batch); i++ {
+		if sc.Batch[i-1].Fee() <= sc.Batch[i].Fee() {
+			t.Fatal("batch not in descending fee order")
+		}
+	}
+}
+
+func TestGenerateScenarioValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := GenerateScenario(rng, ScenarioConfig{MempoolSize: 1}); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("tiny mempool = %v", err)
+	}
+	if _, err := GenerateScenario(rng, ScenarioConfig{MempoolSize: 4, NumIFUs: 3}); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("too many IFUs = %v", err)
+	}
+}
+
+func TestGenerateScenarioDeterministicPerSeed(t *testing.T) {
+	f := func(seed int64) bool {
+		a, err := GenerateScenario(rand.New(rand.NewSource(seed)), ScenarioConfig{MempoolSize: 12, NumIFUs: 2})
+		if err != nil {
+			return false
+		}
+		b, err := GenerateScenario(rand.New(rand.NewSource(seed)), ScenarioConfig{MempoolSize: 12, NumIFUs: 2})
+		if err != nil {
+			return false
+		}
+		return a.Batch.Hash() == b.Batch.Hash() && a.State.Root() == b.State.Root()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func fastSolverOptimizer() OptimizerConfig {
+	return OptimizerConfig{Kind: OptHillClimb, SolverEvals: 800}
+}
+
+func tinyDQN() gentranseq.Config {
+	cfg := gentranseq.FastConfig()
+	cfg.Episodes = 6
+	cfg.MaxSteps = 25
+	cfg.RL.Hidden = []int{16}
+	return cfg
+}
+
+func TestOptimizeBatchBackends(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vm := ovm.New()
+	sc, err := GenerateScenario(rng, ScenarioConfig{MempoolSize: 10, NumIFUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []OptimizerKind{OptHillClimb, OptAnneal} {
+		out, err := OptimizeBatch(rng, vm, sc, OptimizerConfig{Kind: kind, SolverEvals: 600})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if out.Improvement < 0 {
+			t.Fatalf("%s: negative improvement", kind)
+		}
+	}
+	out, err := OptimizeBatch(rng, vm, sc, OptimizerConfig{Kind: OptDQN, Gen: tinyDQN()})
+	if err != nil {
+		t.Fatalf("dqn: %v", err)
+	}
+	if len(out.EpisodeRewards) != tinyDQN().Episodes {
+		t.Fatalf("dqn rewards = %d episodes", len(out.EpisodeRewards))
+	}
+	if _, err := OptimizeBatch(rng, vm, sc, OptimizerConfig{Kind: "bogus"}); err == nil {
+		t.Fatal("bogus optimizer accepted")
+	}
+}
+
+func TestRunFig6Shape(t *testing.T) {
+	cfg := Fig6Config{
+		MempoolSizes:        []int{8, 16},
+		IFUCounts:           []int{1, 2},
+		AdversarialFraction: 0.10,
+		Aggregators:         10,
+		Trials:              3,
+		Optimizer:           fastSolverOptimizer(),
+		Seed:                6,
+	}
+	rows, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byCell := make(map[[2]int]Fig6Row)
+	for _, r := range rows {
+		byCell[[2]int{r.MempoolSize, r.IFUs}] = r
+		if r.Batches != cfg.Trials*1 { // 10% of 10 aggregators = 1 adversary
+			t.Fatalf("batches = %d", r.Batches)
+		}
+	}
+	// Larger mempool must not hurt average profit per IFU (Fig. 6 trend).
+	if byCell[[2]int{16, 1}].AvgProfitPerIFU < byCell[[2]int{8, 1}].AvgProfitPerIFU/2 {
+		t.Log("warning: larger mempool gave much lower profit; seed variance")
+	}
+}
+
+func TestRunFig7Shape(t *testing.T) {
+	cfg := Fig7Config{
+		AdversarialPercents: []int{10, 50},
+		MempoolSizes:        []int{10},
+		IFUs:                1,
+		Aggregators:         10,
+		Trials:              3,
+		Optimizer:           fastSolverOptimizer(),
+		Seed:                7,
+	}
+	rows, err := RunFig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Five adversaries must extract more total profit than one.
+	var at10, at50 Fig7Row
+	for _, r := range rows {
+		if r.AdversarialPercent == 10 {
+			at10 = r
+		} else {
+			at50 = r
+		}
+	}
+	if at50.TotalProfit <= at10.TotalProfit {
+		t.Fatalf("50%% adversaries (%s) should beat 10%% (%s)", at50.TotalProfit, at10.TotalProfit)
+	}
+	if at50.TotalProfitSats != at50.TotalProfit.Sats() {
+		t.Fatal("sats conversion inconsistent")
+	}
+}
+
+func TestRunFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DQN training")
+	}
+	cfg := DefaultFig8Config()
+	cfg.Episodes = 8
+	cfg.MaxSteps = 15
+	cfg.MempoolSize = 8
+	cfg.RL.Hidden = []int{16}
+	points, err := RunFig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(cfg.Epsilons)*cfg.Episodes {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Episode < 0 || p.Episode >= cfg.Episodes {
+			t.Fatalf("episode %d out of range", p.Episode)
+		}
+	}
+}
+
+func TestRunFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DQN training")
+	}
+	cfg := Fig9Config{
+		MempoolSize: 8,
+		IFUCounts:   []int{1},
+		Runs:        4,
+		Gen:         tinyDQN(),
+		CurvePoints: 20,
+		Seed:        8,
+	}
+	curves, err := RunFig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 1 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	c := curves[0]
+	if len(c.Samples)+c.Unsolved != cfg.Runs {
+		t.Fatalf("samples %d + unsolved %d != runs %d", len(c.Samples), c.Unsolved, cfg.Runs)
+	}
+	if len(c.Samples) > 0 && len(c.X) != cfg.CurvePoints {
+		t.Fatalf("curve points = %d", len(c.X))
+	}
+}
+
+func TestRunFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DQN training + solver sweeps")
+	}
+	cfg := Fig11Config{
+		MempoolSizes:   []int{5, 10},
+		IFUs:           1,
+		Gen:            tinyDQN(),
+		InferenceSteps: 20,
+		SolverEvals:    300,
+		Seed:           9,
+	}
+	rows, err := RunFig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 solvers × 2 sizes.
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.Duration <= 0 {
+			t.Fatalf("%s at n=%d has no duration", r.Solver, r.MempoolSize)
+		}
+	}
+}
+
+func TestRunTable3MatchesPaper(t *testing.T) {
+	rows, err := RunTable3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	wants := []struct {
+		txType     string
+		stateIndex uint64
+		usage      float64
+		feeGwei    int64
+	}{
+		{"Minting", 115_922, 90.91, 253},
+		{"Transfer", 115_923, 69.84, 142_000},
+		{"Burning", 115_924, 69.82, 141_000},
+	}
+	for i, w := range wants {
+		r := rows[i]
+		if r.TxType != w.txType {
+			t.Fatalf("row %d type = %s", i, r.TxType)
+		}
+		if r.L1StateIndex != w.stateIndex {
+			t.Errorf("%s state index = %d, want %d", w.txType, r.L1StateIndex, w.stateIndex)
+		}
+		if diff := r.GasUsagePct - w.usage; diff > 0.005 || diff < -0.005 {
+			t.Errorf("%s gas usage = %.4f, want %.2f", w.txType, r.GasUsagePct, w.usage)
+		}
+		if r.FeeGwei != w.feeGwei {
+			t.Errorf("%s fee = %d gwei, want %d", w.txType, r.FeeGwei, w.feeGwei)
+		}
+	}
+	// The mint must land on the paper's block number.
+	if rows[0].BlockNumber != 17_934_499 {
+		t.Errorf("mint block = %d, want 17934499", rows[0].BlockNumber)
+	}
+	// Block numbers strictly increase.
+	if !(rows[0].BlockNumber < rows[1].BlockNumber && rows[1].BlockNumber < rows[2].BlockNumber) {
+		t.Error("block numbers not increasing")
+	}
+}

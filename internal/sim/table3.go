@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+
+	"parole/internal/chainid"
+	"parole/internal/ovm"
+	"parole/internal/rollup"
+	"parole/internal/state"
+	"parole/internal/token"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// Table3Row is one row of Table III: the on-chain behavior of one PT
+// transaction through the full rollup pipeline.
+type Table3Row struct {
+	TxType       string
+	TxHash       chainid.Hash
+	BlockNumber  uint64
+	L1StateIndex uint64
+	GasUsagePct  float64
+	FeeGwei      int64
+}
+
+// RunTable3 deploys the ParoleToken on a fresh rollup, performs one mint,
+// one transfer, and one burn (each in its own batch so each gets its own L1
+// anchor), and reports the Table III columns. Genesis parameters are chosen
+// so the mint lands on the paper's block 17934499 / state index 115922.
+func RunTable3() ([]Table3Row, error) {
+	node := rollup.NewNode(rollup.Config{
+		GenesisL1Number: 17_934_498,
+		ChallengePeriod: 1,
+		StateIndexBase:  115_921,
+	})
+	ptAddr := chainid.DeriveAddress("parole-token")
+	alice := chainid.UserAddress(1)
+	bob := chainid.UserAddress(2)
+	aggAddr := chainid.AggregatorAddress(1)
+	verAddr := chainid.VerifierAddress(1)
+
+	node.SetupAccount(alice, wei.FromETH(20))
+	node.SetupAccount(bob, wei.FromETH(20))
+	node.SetupAccount(aggAddr, wei.FromETH(10))
+	node.SetupAccount(verAddr, wei.FromETH(10))
+
+	if err := node.SetupL2(func(st *state.State) error {
+		pt, err := token.Deploy(ptAddr, token.Config{
+			Name: "ParoleToken", Symbol: "PT",
+			MaxSupply: 10, InitialPrice: wei.FromFloat(0.2),
+		})
+		if err != nil {
+			return err
+		}
+		return st.DeployToken(pt)
+	}); err != nil {
+		return nil, err
+	}
+	for _, u := range []chainid.Address{alice, bob} {
+		if err := node.Deposit(u, wei.FromETH(5)); err != nil {
+			return nil, err
+		}
+	}
+	agg, err := rollup.NewAggregator(node, aggAddr, wei.FromETH(5), 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	ver, err := rollup.NewVerifier(node, verAddr, wei.FromETH(5))
+	if err != nil {
+		return nil, err
+	}
+
+	gas := ovm.DefaultGasSchedule()
+	steps := []struct {
+		name string
+		txn  tx.Tx
+	}{
+		{"Minting", tx.Mint(ptAddr, 0, alice)},
+		{"Transfer", tx.Transfer(ptAddr, 0, alice, bob)},
+		{"Burning", tx.Burn(ptAddr, 0, bob)},
+	}
+	rows := make([]Table3Row, 0, len(steps))
+	for _, s := range steps {
+		if err := node.SubmitTx(s.txn); err != nil {
+			return nil, fmt.Errorf("submit %s: %w", s.name, err)
+		}
+		batch, res, err := agg.Step()
+		if err != nil {
+			return nil, fmt.Errorf("aggregate %s: %w", s.name, err)
+		}
+		if batch == nil || res.Executed != 1 {
+			return nil, fmt.Errorf("%s did not execute", s.name)
+		}
+		if _, err := ver.Step(); err != nil {
+			return nil, fmt.Errorf("verify %s: %w", s.name, err)
+		}
+		// Finalize through the challenge window.
+		var anchors []Table3Row
+		for i := 0; i < 3 && len(anchors) == 0; i++ {
+			for _, a := range node.AdvanceRound() {
+				anchors = append(anchors, Table3Row{
+					TxType:       s.name,
+					TxHash:       res.Steps[0].Tx.Hash(),
+					BlockNumber:  node.L1().Height(),
+					L1StateIndex: a.StateIndex,
+					GasUsagePct:  gas.UsagePercent(res.Steps[0].Tx.Kind),
+					FeeGwei:      int64(res.Steps[0].Fee / wei.Gwei),
+				})
+			}
+		}
+		if len(anchors) != 1 {
+			return nil, fmt.Errorf("%s finalized %d anchors", s.name, len(anchors))
+		}
+		rows = append(rows, anchors[0])
+	}
+	return rows, nil
+}

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parole/internal/gentranseq"
+	"parole/internal/ovm"
+	"parole/internal/rl"
+	"parole/internal/stats"
+)
+
+// Fig8Config parameterizes the reward-curve study: moving-average episode
+// rewards of the DQN agent for different initial exploration values.
+type Fig8Config struct {
+	// Epsilons are the ε₀ values to compare (paper: 0, 0.5, 1).
+	Epsilons []float64
+	// IFUs served (paper: subfigure (a) 1, (b) 2).
+	IFUs int
+	// MempoolSize of the training batch.
+	MempoolSize int
+	// Episodes and MaxSteps of each training run (paper: 100 × 200).
+	Episodes, MaxSteps int
+	// Window of the moving average (paper: 9).
+	Window int
+	// RL hyper-parameters (epsilon is overridden per curve).
+	RL rl.Config
+	// Env reward shaping.
+	Env gentranseq.EnvConfig
+	// Seed for scenario generation and training.
+	Seed int64
+}
+
+// DefaultFig8Config returns the paper's setting at a laptop-scale budget.
+func DefaultFig8Config() Fig8Config {
+	cfg := Fig8Config{
+		Epsilons:    []float64{0, 0.5, 1},
+		IFUs:        1,
+		MempoolSize: 25,
+		Episodes:    100,
+		MaxSteps:    60,
+		Window:      9,
+		RL:          rl.DefaultConfig(),
+		Env:         gentranseq.DefaultEnvConfig(),
+		Seed:        3,
+	}
+	cfg.RL.Hidden = []int{32, 32}
+	return cfg
+}
+
+// Fig8Point is one point of a Fig. 8 curve. Alongside the paper's
+// moving-average reward it records the best valid improvement found by that
+// episode (in ETH) — the solution-quality series that makes the exploration
+// effect legible independent of penalty accounting (see EXPERIMENTS.md).
+type Fig8Point struct {
+	Epsilon  float64
+	IFUs     int
+	Episode  int
+	Reward   float64
+	Smoothed float64
+	// BestGainETH is the cumulative best wealth improvement found by the
+	// end of this episode.
+	BestGainETH float64
+}
+
+// RunFig8 trains one agent per ε₀ on a fixed scenario and returns the
+// per-episode rewards with their moving average.
+func RunFig8(cfg Fig8Config) ([]Fig8Point, error) {
+	if len(cfg.Epsilons) == 0 || cfg.Episodes <= 0 || cfg.MaxSteps <= 0 {
+		return nil, fmt.Errorf("%w: fig8 axes", ErrBadScenario)
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 9
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vm := ovm.New()
+	sc, err := GenerateScenario(rng, ScenarioConfig{MempoolSize: cfg.MempoolSize, NumIFUs: cfg.IFUs})
+	if err != nil {
+		return nil, fmt.Errorf("fig8 scenario: %w", err)
+	}
+
+	var points []Fig8Point
+	for _, eps := range cfg.Epsilons {
+		env, err := gentranseq.NewEnv(vm, sc.State, sc.Batch, sc.IFUs, cfg.Env)
+		if err != nil {
+			return nil, err
+		}
+		rlCfg := cfg.RL
+		schedule := rl.EpsilonSchedule{Max: eps, Min: min(eps, 0.01), Decay: rlCfg.Epsilon.Decay}
+		if schedule.Decay == 0 {
+			schedule.Decay = 0.05
+		}
+		rlCfg.Epsilon = schedule
+		agent, err := rl.NewAgent(rand.New(rand.NewSource(cfg.Seed+int64(eps*1000))), env.ObservationSize(), env.NumActions(), rlCfg)
+		if err != nil {
+			return nil, err
+		}
+		bestGain := make([]float64, 0, cfg.Episodes)
+		rewards, err := gentranseq.TrainAgentHooked(agent, env, cfg.Episodes, cfg.MaxSteps, schedule,
+			func(_ int, _ float64, e *gentranseq.Env) {
+				_, best := e.Best()
+				bestGain = append(bestGain, best.ETHFloat())
+			})
+		if err != nil {
+			return nil, fmt.Errorf("fig8 ε=%g: %w", eps, err)
+		}
+		smoothed, err := stats.MovingAverage(rewards, cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+		for i := range rewards {
+			points = append(points, Fig8Point{
+				Epsilon:     eps,
+				IFUs:        cfg.IFUs,
+				Episode:     i,
+				Reward:      rewards[i],
+				Smoothed:    smoothed[i],
+				BestGainETH: bestGain[i],
+			})
+		}
+	}
+	return points, nil
+}
+
+// Fig9Config parameterizes the solution-size study: the distribution of the
+// number of swaps a trained agent needs to reach its first candidate
+// solution.
+type Fig9Config struct {
+	// MempoolSize of the batches (paper: subfigures use 50 and 100).
+	MempoolSize int
+	// IFUCounts to overlay (paper: 1–4).
+	IFUCounts []int
+	// Runs per curve: each run trains a fresh agent on a fresh scenario and
+	// contributes one sample.
+	Runs int
+	// Gen is the per-run training budget.
+	Gen gentranseq.Config
+	// CurvePoints of the KDE evaluation grid.
+	CurvePoints int
+	// Seed for the study's RNG.
+	Seed int64
+}
+
+// DefaultFig9Config returns a laptop-scale version of the paper's study.
+func DefaultFig9Config() Fig9Config {
+	return Fig9Config{
+		MempoolSize: 50,
+		IFUCounts:   []int{1, 2, 3, 4},
+		Runs:        12,
+		Gen:         gentranseq.FastConfig(),
+		CurvePoints: 60,
+		Seed:        4,
+	}
+}
+
+// Fig9Curve is one KDE curve of Fig. 9.
+type Fig9Curve struct {
+	MempoolSize int
+	IFUs        int
+	// Samples are the raw swap counts (unsolved runs excluded).
+	Samples []float64
+	// Unsolved counts runs whose trained agent found no candidate.
+	Unsolved int
+	// X and Density trace the KDE curve.
+	X, Density []float64
+	// Mode is the most likely solution size.
+	Mode float64
+}
+
+// RunFig9 produces the solution-size KDE curves.
+func RunFig9(cfg Fig9Config) ([]Fig9Curve, error) {
+	if cfg.Runs <= 0 || len(cfg.IFUCounts) == 0 {
+		return nil, fmt.Errorf("%w: fig9 axes", ErrBadScenario)
+	}
+	if cfg.CurvePoints < 2 {
+		cfg.CurvePoints = 60
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vm := ovm.New()
+
+	var curves []Fig9Curve
+	for _, k := range cfg.IFUCounts {
+		curve := Fig9Curve{MempoolSize: cfg.MempoolSize, IFUs: k}
+		for run := 0; run < cfg.Runs; run++ {
+			sc, err := GenerateScenario(rng, ScenarioConfig{MempoolSize: cfg.MempoolSize, NumIFUs: k})
+			if err != nil {
+				return nil, fmt.Errorf("fig9 k=%d run=%d: %w", k, run, err)
+			}
+			gen := cfg.Gen
+			gen.SkipAssessment = true
+			// Give the agent a step budget proportional to the batch so the
+			// C(N,2) action space is coverable.
+			if gen.MaxSteps < 2*cfg.MempoolSize {
+				gen.MaxSteps = 2 * cfg.MempoolSize
+			}
+			res, err := gentranseq.Optimize(rng, vm, sc.State, sc.Batch, sc.IFUs, gen)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 k=%d run=%d: %w", k, run, err)
+			}
+			// Prefer the deterministic greedy rollout; fall back to the last
+			// (near-greedy) training episode when the rollout loops without
+			// finding a candidate.
+			swaps := res.InferenceSwaps
+			if swaps < 0 {
+				swaps = res.FinalEpisodeSwaps
+			}
+			if swaps < 0 {
+				curve.Unsolved++
+				continue
+			}
+			curve.Samples = append(curve.Samples, float64(swaps))
+		}
+		if len(curve.Samples) > 0 {
+			kde, err := stats.NewKDE(curve.Samples, 0)
+			if err != nil {
+				return nil, err
+			}
+			hi := float64(cfg.Gen.MaxSteps)
+			if adaptive := float64(2 * cfg.MempoolSize); adaptive > hi {
+				hi = adaptive // the run raised the step budget to 2·N
+			}
+			if hi <= 0 {
+				hi = 60
+			}
+			curve.X, curve.Density, err = kde.Curve(0, hi, cfg.CurvePoints)
+			if err != nil {
+				return nil, err
+			}
+			curve.Mode, err = kde.Mode(0, hi, 4*cfg.CurvePoints)
+			if err != nil {
+				return nil, err
+			}
+		}
+		curves = append(curves, curve)
+	}
+	return curves, nil
+}

@@ -1,0 +1,265 @@
+// Package snapshot models the real-world NFT snapshot analysis of Section
+// VII-E / Fig. 10.
+//
+// The paper inspected historical snapshots of NFT collections deployed via
+// the optimistic-rollup mainchains (Optimism and Arbitrum) through services
+// such as holders.at, classifying collections by transaction frequency (FT):
+// LFT (< 100 ownerships), MFT (101–3000), and HFT (> 3000), and scanned each
+// collection's price history for arbitrage opportunities.
+//
+// Those snapshots are third-party, point-in-time data we cannot fetch
+// offline; per the substitution policy (DESIGN.md §4) this package ships (a)
+// a JSON-lines loader for real holders.at-style exports, and (b) a synthetic
+// generator calibrated to the paper's qualitative findings — Arbitrum
+// collections show wider price dispersion (hence more arbitrage) than
+// Optimism ones, and higher-FT classes carry more total opportunity. The
+// arbitrage scanner itself is data-source agnostic.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"parole/internal/chainid"
+	"parole/internal/wei"
+)
+
+// Chain identifies the rollup mainchain a collection lives on.
+type Chain string
+
+// The two optimistic rollups the paper samples.
+const (
+	Optimism Chain = "optimism"
+	Arbitrum Chain = "arbitrum"
+)
+
+// FTClass is the paper's transaction-frequency taxonomy.
+type FTClass int
+
+// Frequency classes (Section VII-E).
+const (
+	LFT FTClass = iota + 1 // fewer than 100 ownerships
+	MFT                    // 101 to 3000 ownerships
+	HFT                    // more than 3000 ownerships
+)
+
+// String returns the class abbreviation used in Fig. 10.
+func (c FTClass) String() string {
+	switch c {
+	case LFT:
+		return "LFT"
+	case MFT:
+		return "MFT"
+	case HFT:
+		return "HFT"
+	default:
+		return fmt.Sprintf("FTClass(%d)", int(c))
+	}
+}
+
+// ClassOf buckets an ownership count.
+func ClassOf(ownerships int) FTClass {
+	switch {
+	case ownerships <= 100:
+		return LFT
+	case ownerships <= 3000:
+		return MFT
+	default:
+		return HFT
+	}
+}
+
+// PricePoint is one observation in a collection's snapshot history: the
+// collection's going price at a given (logical) time.
+type PricePoint struct {
+	Seq   int        `json:"seq"`
+	Price wei.Amount `json:"priceGwei"`
+}
+
+// Collection is one NFT collection's snapshot.
+type Collection struct {
+	Chain      Chain           `json:"chain"`
+	Address    chainid.Address `json:"-"`
+	AddressHex string          `json:"address"`
+	Ownerships int             `json:"ownerships"`
+	History    []PricePoint    `json:"history"`
+}
+
+// Class returns the collection's FT class.
+func (c *Collection) Class() FTClass { return ClassOf(c.Ownerships) }
+
+// Validate checks structural sanity.
+func (c *Collection) Validate() error {
+	if c.Chain != Optimism && c.Chain != Arbitrum {
+		return fmt.Errorf("snapshot: unknown chain %q", c.Chain)
+	}
+	if c.Ownerships <= 0 {
+		return fmt.Errorf("snapshot: non-positive ownerships %d", c.Ownerships)
+	}
+	if len(c.History) == 0 {
+		return errors.New("snapshot: empty history")
+	}
+	prev := -1
+	for _, p := range c.History {
+		if p.Price < 0 {
+			return fmt.Errorf("snapshot: negative price at seq %d", p.Seq)
+		}
+		if p.Seq <= prev {
+			return fmt.Errorf("snapshot: non-increasing seq %d", p.Seq)
+		}
+		prev = p.Seq
+	}
+	return nil
+}
+
+// Opportunity is one buy-low/sell-high pair found in a history.
+type Opportunity struct {
+	BuySeq, SellSeq int
+	Profit          wei.Amount
+}
+
+// ScanArbitrage finds the maximal set of non-overlapping profitable
+// buy/sell pairs: every maximal ascending run contributes one opportunity
+// (the classic multi-transaction stock-profit decomposition). This is the
+// "same NFT priced differently at different times" scan of Section VII-E.
+func ScanArbitrage(c *Collection) []Opportunity {
+	var (
+		ops     []Opportunity
+		holding = false
+		buyIdx  int
+	)
+	h := c.History
+	for i := 0; i < len(h); i++ {
+		rising := i+1 < len(h) && h[i+1].Price > h[i].Price
+		if !holding && rising {
+			holding, buyIdx = true, i
+			continue
+		}
+		if holding && !rising {
+			profit := h[i].Price - h[buyIdx].Price
+			if profit > 0 {
+				ops = append(ops, Opportunity{
+					BuySeq:  h[buyIdx].Seq,
+					SellSeq: h[i].Seq,
+					Profit:  profit,
+				})
+			}
+			holding = false
+		}
+	}
+	return ops
+}
+
+// TotalProfit sums every scanned opportunity — the per-collection quantity
+// behind a Fig. 10 bar.
+func TotalProfit(c *Collection) wei.Amount {
+	var total wei.Amount
+	for _, op := range ScanArbitrage(c) {
+		total += op.Profit
+	}
+	return total
+}
+
+// GenConfig parameterizes the synthetic generator.
+type GenConfig struct {
+	// Chain the collection is deployed on. Arbitrum histories get wider
+	// dispersion (the paper observed more arbitrage there).
+	Chain Chain
+	// Ownerships fixes the FT class; history length scales with it.
+	Ownerships int
+	// BasePrice of the collection (0 = default 0.05 ETH).
+	BasePrice wei.Amount
+}
+
+// volatility returns the per-step log-price step size for a chain.
+func volatility(chain Chain) float64 {
+	if chain == Arbitrum {
+		return 0.09 // wider swings → more arbitrage opportunity
+	}
+	return 0.05
+}
+
+// Generate synthesizes one collection snapshot: a geometric random walk
+// whose event count tracks the ownership count (more owners → more trades →
+// longer history).
+func Generate(rng *rand.Rand, cfg GenConfig) (*Collection, error) {
+	if cfg.Ownerships <= 0 {
+		return nil, fmt.Errorf("snapshot: ownerships %d", cfg.Ownerships)
+	}
+	if cfg.Chain != Optimism && cfg.Chain != Arbitrum {
+		return nil, fmt.Errorf("snapshot: unknown chain %q", cfg.Chain)
+	}
+	base := cfg.BasePrice
+	if base <= 0 {
+		base = wei.FromFloat(0.05)
+	}
+	// History length: roughly one price point per 10 ownerships, bounded.
+	n := cfg.Ownerships/10 + 8
+	if n > 2000 {
+		n = 2000
+	}
+	sigma := volatility(cfg.Chain)
+	history := make([]PricePoint, 0, n)
+	logPrice := math.Log(base.ETHFloat())
+	for i := 0; i < n; i++ {
+		logPrice += rng.NormFloat64() * sigma
+		price := wei.FromFloat(math.Exp(logPrice))
+		if price < 1 {
+			price = 1
+		}
+		history = append(history, PricePoint{Seq: i, Price: price})
+	}
+	addr := chainid.DeriveAddress(fmt.Sprintf("snapshot/%s/%d/%d", cfg.Chain, cfg.Ownerships, rng.Int63()))
+	c := &Collection{
+		Chain:      cfg.Chain,
+		Address:    addr,
+		AddressHex: addr.Hex(),
+		Ownerships: cfg.Ownerships,
+		History:    history,
+	}
+	return c, c.Validate()
+}
+
+// LoadJSONL reads collections from a JSON-lines stream (one collection per
+// line), the shape a holders.at export would be converted into.
+func LoadJSONL(r io.Reader) ([]*Collection, error) {
+	var out []*Collection
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var c Collection
+		if err := json.Unmarshal(raw, &c); err != nil {
+			return nil, fmt.Errorf("snapshot: line %d: %w", line, err)
+		}
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("snapshot: line %d: %w", line, err)
+		}
+		out = append(out, &c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("snapshot: scan: %w", err)
+	}
+	return out, nil
+}
+
+// WriteJSONL writes collections as JSON lines.
+func WriteJSONL(w io.Writer, cs []*Collection) error {
+	enc := json.NewEncoder(w)
+	for i, c := range cs {
+		if err := enc.Encode(c); err != nil {
+			return fmt.Errorf("snapshot: encode collection %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package snapshot
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"parole/internal/wei"
+)
+
+func TestClassOf(t *testing.T) {
+	tests := []struct {
+		give int
+		want FTClass
+	}{
+		{1, LFT},
+		{100, LFT},
+		{101, MFT},
+		{3000, MFT},
+		{3001, HFT},
+		{50000, HFT},
+	}
+	for _, tt := range tests {
+		if got := ClassOf(tt.give); got != tt.want {
+			t.Errorf("ClassOf(%d) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestScanArbitrageKnownSeries(t *testing.T) {
+	c := &Collection{
+		Chain:      Optimism,
+		Ownerships: 10,
+		History: []PricePoint{
+			{Seq: 0, Price: 100},
+			{Seq: 1, Price: 80},  // buy here
+			{Seq: 2, Price: 120}, // rising
+			{Seq: 3, Price: 150}, // sell here (peak)
+			{Seq: 4, Price: 90},  // buy here
+			{Seq: 5, Price: 95},  // sell here
+		},
+	}
+	ops := ScanArbitrage(c)
+	if len(ops) != 2 {
+		t.Fatalf("ops = %+v, want 2", ops)
+	}
+	if ops[0].BuySeq != 1 || ops[0].SellSeq != 3 || ops[0].Profit != 70 {
+		t.Fatalf("op0 = %+v", ops[0])
+	}
+	if ops[1].BuySeq != 4 || ops[1].SellSeq != 5 || ops[1].Profit != 5 {
+		t.Fatalf("op1 = %+v", ops[1])
+	}
+	if TotalProfit(c) != 75 {
+		t.Fatalf("TotalProfit = %d, want 75", TotalProfit(c))
+	}
+}
+
+func TestScanArbitrageMonotone(t *testing.T) {
+	down := &Collection{Chain: Optimism, Ownerships: 5, History: []PricePoint{
+		{Seq: 0, Price: 100}, {Seq: 1, Price: 90}, {Seq: 2, Price: 50},
+	}}
+	if ops := ScanArbitrage(down); ops != nil {
+		t.Fatalf("declining series has ops: %+v", ops)
+	}
+	up := &Collection{Chain: Optimism, Ownerships: 5, History: []PricePoint{
+		{Seq: 0, Price: 50}, {Seq: 1, Price: 90}, {Seq: 2, Price: 100},
+	}}
+	ops := ScanArbitrage(up)
+	if len(ops) != 1 || ops[0].Profit != 50 {
+		t.Fatalf("ascending series ops = %+v", ops)
+	}
+}
+
+// TestScanProfitEqualsSumOfRises: the multi-trade decomposition's total
+// profit equals the sum of all positive one-step price moves.
+func TestScanProfitEqualsSumOfRises(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%40 + 2
+		history := make([]PricePoint, n)
+		for i := range history {
+			history[i] = PricePoint{Seq: i, Price: wei.Amount(rng.Int63n(1000) + 1)}
+		}
+		c := &Collection{Chain: Optimism, Ownerships: 10, History: history}
+		var wantTotal wei.Amount
+		for i := 1; i < n; i++ {
+			if d := history[i].Price - history[i-1].Price; d > 0 {
+				wantTotal += d
+			}
+		}
+		return TotalProfit(c) == wantTotal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c, err := Generate(rng, GenConfig{Chain: Arbitrum, Ownerships: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class() != MFT {
+		t.Fatalf("class = %v", c.Class())
+	}
+	if len(c.History) != 1200/10+8 {
+		t.Fatalf("history length = %d", len(c.History))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(rng, GenConfig{Chain: "solana", Ownerships: 5}); err == nil {
+		t.Fatal("unknown chain accepted")
+	}
+	if _, err := Generate(rng, GenConfig{Chain: Optimism, Ownerships: 0}); err == nil {
+		t.Fatal("zero ownerships accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Collection{
+		{Chain: "x", Ownerships: 5, History: []PricePoint{{Seq: 0, Price: 1}}},
+		{Chain: Optimism, Ownerships: 0, History: []PricePoint{{Seq: 0, Price: 1}}},
+		{Chain: Optimism, Ownerships: 5},
+		{Chain: Optimism, Ownerships: 5, History: []PricePoint{{Seq: 0, Price: -1}}},
+		{Chain: Optimism, Ownerships: 5, History: []PricePoint{{Seq: 1, Price: 1}, {Seq: 1, Price: 2}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad collection %d validated", i)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var cs []*Collection
+	for i := 0; i < 3; i++ {
+		c, err := Generate(rng, GenConfig{Chain: Optimism, Ownerships: 50 * (i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, cs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cs) {
+		t.Fatalf("loaded %d, want %d", len(got), len(cs))
+	}
+	for i := range cs {
+		if got[i].Ownerships != cs[i].Ownerships || len(got[i].History) != len(cs[i].History) {
+			t.Fatalf("collection %d mismatch", i)
+		}
+		if TotalProfit(got[i]) != TotalProfit(cs[i]) {
+			t.Fatalf("collection %d profit changed in round trip", i)
+		}
+	}
+}
+
+func TestLoadJSONLErrors(t *testing.T) {
+	if _, err := LoadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+	if _, err := LoadJSONL(strings.NewReader(`{"chain":"x","ownerships":1,"history":[{"seq":0,"priceGwei":1}]}` + "\n")); err == nil {
+		t.Fatal("invalid collection accepted")
+	}
+	got, err := LoadJSONL(strings.NewReader("\n\n"))
+	if err != nil || got != nil {
+		t.Fatalf("blank stream = (%v, %v)", got, err)
+	}
+}
+
+// TestStudyReproducesFig10Shape is the Fig. 10 reproduction check:
+// Arbitrum shows more arbitrage than Optimism in every class, and profit
+// grows with the FT class on each chain.
+func TestStudyReproducesFig10Shape(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	rows, err := RunStudy(rng, DefaultStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	get := func(chain Chain, class FTClass) StudyRow {
+		for _, r := range rows {
+			if r.Chain == chain && r.Class == class {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", chain, class)
+		return StudyRow{}
+	}
+	for _, chain := range []Chain{Optimism, Arbitrum} {
+		l, m, h := get(chain, LFT), get(chain, MFT), get(chain, HFT)
+		if !(h.TotalProfit > m.TotalProfit && m.TotalProfit > l.TotalProfit) {
+			t.Errorf("%s: profit not increasing with FT class: %s / %s / %s",
+				chain, l.TotalProfit, m.TotalProfit, h.TotalProfit)
+		}
+	}
+	for _, class := range []FTClass{LFT, MFT, HFT} {
+		if get(Arbitrum, class).TotalProfit <= get(Optimism, class).TotalProfit {
+			t.Errorf("%s: Arbitrum should out-arbitrage Optimism", class)
+		}
+	}
+}
+
+func TestRunStudyValidation(t *testing.T) {
+	if _, err := RunStudy(rand.New(rand.NewSource(1)), StudyConfig{}); err == nil {
+		t.Fatal("zero collections accepted")
+	}
+}

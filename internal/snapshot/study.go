@@ -1,0 +1,76 @@
+package snapshot
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parole/internal/wei"
+)
+
+// StudyRow is one bar of Fig. 10: a (chain, FT class) cell's arbitrage
+// opportunity.
+type StudyRow struct {
+	Chain       Chain
+	Class       FTClass
+	Collections int
+	// TotalProfit sums the scanned arbitrage across the cell's collections.
+	TotalProfit wei.Amount
+	// AvgProfit is TotalProfit per collection.
+	AvgProfit wei.Amount
+}
+
+// StudyConfig parameterizes the Fig. 10 reproduction.
+type StudyConfig struct {
+	// CollectionsPerCell is how many collections to sample per (chain,
+	// class) cell.
+	CollectionsPerCell int
+	// Ownerships per class (defaults follow the paper's taxonomy).
+	LFTOwnerships int
+	MFTOwnerships int
+	HFTOwnerships int
+}
+
+// DefaultStudyConfig returns the defaults used in EXPERIMENTS.md.
+func DefaultStudyConfig() StudyConfig {
+	return StudyConfig{
+		CollectionsPerCell: 25,
+		LFTOwnerships:      60,
+		MFTOwnerships:      1200,
+		HFTOwnerships:      8000,
+	}
+}
+
+// RunStudy generates and scans the full Fig. 10 grid: both chains × the
+// three FT classes.
+func RunStudy(rng *rand.Rand, cfg StudyConfig) ([]StudyRow, error) {
+	if cfg.CollectionsPerCell <= 0 {
+		return nil, fmt.Errorf("snapshot: collections per cell %d", cfg.CollectionsPerCell)
+	}
+	classes := []struct {
+		class      FTClass
+		ownerships int
+	}{
+		{LFT, cfg.LFTOwnerships},
+		{MFT, cfg.MFTOwnerships},
+		{HFT, cfg.HFTOwnerships},
+	}
+	var rows []StudyRow
+	for _, chain := range []Chain{Optimism, Arbitrum} {
+		for _, cl := range classes {
+			row := StudyRow{Chain: chain, Class: cl.class, Collections: cfg.CollectionsPerCell}
+			for i := 0; i < cfg.CollectionsPerCell; i++ {
+				c, err := Generate(rng, GenConfig{Chain: chain, Ownerships: cl.ownerships})
+				if err != nil {
+					return nil, fmt.Errorf("generate %s/%s: %w", chain, cl.class, err)
+				}
+				if got := c.Class(); got != cl.class {
+					return nil, fmt.Errorf("generated class %s, want %s", got, cl.class)
+				}
+				row.TotalProfit += TotalProfit(c)
+			}
+			row.AvgProfit = row.TotalProfit.Div(int64(cfg.CollectionsPerCell))
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

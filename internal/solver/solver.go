@@ -1,0 +1,498 @@
+// Package solver implements the non-linear-programming baselines that the
+// paper compares DQN inference against in Fig. 11.
+//
+// The paper used the commercial/proprietary solvers APOPT, MINOS, and SNOPT
+// through GEKKO/AMPL-style interfaces; none are available (or meaningful) in
+// a pure-Go reproduction. Per the substitution policy (DESIGN.md §4), this
+// package provides classical combinatorial optimizers with the same cost
+// profile over the *identical* objective — maximize the IFUs' final wealth
+// over permutations of the batch, subject to the Section V-B validity
+// constraint:
+//
+//   - BranchBound (APOPT analog): exact tree search with an optimistic
+//     pruning bound — active-set style exhaustive behavior, exponential
+//     worst case.
+//   - HillClimb (MINOS analog): steepest-ascent local search with random
+//     restarts — reduced-gradient style local improvement.
+//   - Anneal (SNOPT analog): simulated annealing — sequential stochastic
+//     improvement with a cooling schedule.
+//   - Exhaustive: ground truth for small N (tests and calibration).
+//
+// Fig. 11 compares growth *shapes* (execution time and memory versus
+// mempool size), which these substitutes preserve: every baseline explores a
+// combinatorial neighborhood whose cost explodes with N, while DQN inference
+// stays one forward pass per step.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"parole/internal/chainid"
+	"parole/internal/ovm"
+	"parole/internal/state"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// Package errors.
+var (
+	ErrBudgetExhausted = errors.New("solver: evaluation budget exhausted")
+	ErrBadBudget       = errors.New("solver: invalid budget")
+)
+
+// Objective scores candidate orders: the summed IFU final wealth versus the
+// original order, with validity per Section V-B. It counts evaluations so
+// harnesses can report search effort.
+type Objective struct {
+	vm       *ovm.VM
+	base     *state.State
+	original tx.Seq
+	ifus     []chainid.Address
+
+	baseWealth wei.Amount
+	origExec   map[chainid.Hash]bool
+	evals      int
+}
+
+// NewObjective prepares the objective for one batch.
+func NewObjective(vm *ovm.VM, base *state.State, original tx.Seq, ifus []chainid.Address) (*Objective, error) {
+	if len(ifus) == 0 {
+		return nil, errors.New("solver: no IFU given")
+	}
+	if len(original) == 0 {
+		return nil, errors.New("solver: empty sequence")
+	}
+	_, exec, wealth, err := vm.Evaluate(base, original, ifus...)
+	if err != nil {
+		return nil, fmt.Errorf("evaluate original: %w", err)
+	}
+	var total wei.Amount
+	for _, w := range wealth {
+		total += w
+	}
+	return &Objective{
+		vm:         vm,
+		base:       base,
+		original:   original.Clone(),
+		ifus:       append([]chainid.Address(nil), ifus...),
+		baseWealth: total,
+		origExec:   exec,
+	}, nil
+}
+
+// Original returns the batch in its collected order.
+func (o *Objective) Original() tx.Seq { return o.original.Clone() }
+
+// N returns the batch size.
+func (o *Objective) N() int { return len(o.original) }
+
+// Evals returns how many candidate evaluations have been scored.
+func (o *Objective) Evals() int { return o.evals }
+
+// BaselineWealth returns Σ_IFU wealth under the original order.
+func (o *Objective) BaselineWealth() wei.Amount { return o.baseWealth }
+
+// Score evaluates a candidate order, returning the wealth improvement over
+// the original and whether the order is valid (keeps every originally-
+// executable transaction executable).
+func (o *Objective) Score(candidate tx.Seq) (wei.Amount, bool, error) {
+	o.evals++
+	_, exec, wealth, err := o.vm.Evaluate(o.base, candidate, o.ifus...)
+	if err != nil {
+		return 0, false, fmt.Errorf("evaluate candidate: %w", err)
+	}
+	var total wei.Amount
+	for _, w := range wealth {
+		total += w
+	}
+	for h := range o.origExec {
+		if !exec[h] {
+			return total - o.baseWealth, false, nil
+		}
+	}
+	return total - o.baseWealth, true, nil
+}
+
+// Budget bounds a solve.
+type Budget struct {
+	// MaxEvaluations caps objective evaluations. Zero means a solver-
+	// specific default.
+	MaxEvaluations int
+}
+
+// Solution is a solver's answer.
+type Solution struct {
+	// Seq is the best valid order found (the original when nothing beat it).
+	Seq tx.Seq
+	// Improvement is Seq's wealth gain over the original order.
+	Improvement wei.Amount
+	// Evaluations consumed by the solve.
+	Evaluations int
+	// Complete reports whether the solver finished its search rather than
+	// hitting the budget.
+	Complete bool
+	// Duration and AllocBytes are filled in by Measure.
+	Duration   time.Duration
+	AllocBytes uint64
+}
+
+// Solver finds a profitable re-ordering.
+type Solver interface {
+	// Name identifies the solver in reports (e.g. "apopt-analog/bnb").
+	Name() string
+	// Solve searches for the best valid order within the budget.
+	Solve(rng *rand.Rand, obj *Objective, budget Budget) (Solution, error)
+}
+
+// Measure runs a solve and fills in wall-clock duration and allocation
+// volume (bytes allocated during the solve — the Fig. 11(b) memory proxy).
+func Measure(s Solver, rng *rand.Rand, obj *Objective, budget Budget) (Solution, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	sol, err := s.Solve(rng, obj, budget)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return sol, err
+	}
+	sol.Duration = elapsed
+	sol.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	return sol, nil
+}
+
+// better reports whether (imp, valid) beats the incumbent improvement.
+func better(imp wei.Amount, valid bool, best wei.Amount) bool {
+	return valid && imp > best
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive search (ground truth for small N).
+
+// Exhaustive enumerates every permutation (Heap's algorithm) until done or
+// out of budget.
+type Exhaustive struct{}
+
+// Name implements Solver.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// Solve implements Solver.
+func (Exhaustive) Solve(_ *rand.Rand, obj *Objective, budget Budget) (Solution, error) {
+	maxEvals := budget.MaxEvaluations
+	if maxEvals <= 0 {
+		maxEvals = 1_000_000
+	}
+	sol := Solution{Seq: obj.Original(), Complete: true}
+	work := obj.Original()
+	n := len(work)
+	counters := make([]int, n)
+	evalsStart := obj.Evals()
+
+	score := func() (bool, error) {
+		if obj.Evals()-evalsStart >= maxEvals {
+			sol.Complete = false
+			return true, nil
+		}
+		imp, valid, err := obj.Score(work)
+		if err != nil {
+			return true, err
+		}
+		if better(imp, valid, sol.Improvement) {
+			sol.Improvement = imp
+			sol.Seq = work.Clone()
+		}
+		return false, nil
+	}
+
+	if stop, err := score(); err != nil || stop {
+		sol.Evaluations = obj.Evals() - evalsStart
+		return sol, err
+	}
+	// Heap's algorithm, iterative form.
+	for i := 0; i < n; {
+		if counters[i] < i {
+			if i%2 == 0 {
+				work.Swap(0, i)
+			} else {
+				work.Swap(counters[i], i)
+			}
+			if stop, err := score(); err != nil || stop {
+				sol.Evaluations = obj.Evals() - evalsStart
+				return sol, err
+			}
+			counters[i]++
+			i = 0
+			continue
+		}
+		counters[i] = 0
+		i++
+	}
+	sol.Evaluations = obj.Evals() - evalsStart
+	return sol, nil
+}
+
+// ---------------------------------------------------------------------------
+// Branch and bound — the APOPT analog.
+
+// BranchBound searches the permutation tree position by position, pruning
+// subtrees whose optimistic wealth ceiling cannot beat the incumbent.
+type BranchBound struct{}
+
+// Name implements Solver.
+func (BranchBound) Name() string { return "apopt-analog/branch-and-bound" }
+
+// Solve implements Solver.
+func (BranchBound) Solve(_ *rand.Rand, obj *Objective, budget Budget) (Solution, error) {
+	maxEvals := budget.MaxEvaluations
+	if maxEvals <= 0 {
+		maxEvals = 200_000
+	}
+	sol := Solution{Seq: obj.Original(), Complete: true}
+	evalsStart := obj.Evals()
+
+	n := obj.N()
+	orig := obj.Original()
+	prefix := make(tx.Seq, 0, n)
+	used := make([]bool, n)
+
+	// ceiling is an optimistic bound on any completion's improvement: every
+	// IFU token marked to the bonding curve's maximum price plus all cash
+	// that could possibly flow in. It is loose but cheap and monotone.
+	ceiling := optimisticCeiling(obj)
+
+	var rec func() error
+	var done bool
+	rec = func() error {
+		if done {
+			return nil
+		}
+		if len(prefix) == n {
+			if obj.Evals()-evalsStart >= maxEvals {
+				sol.Complete = false
+				done = true
+				return nil
+			}
+			imp, valid, err := obj.Score(prefix)
+			if err != nil {
+				return err
+			}
+			if better(imp, valid, sol.Improvement) {
+				sol.Improvement = imp
+				sol.Seq = prefix.Clone()
+			}
+			return nil
+		}
+		if ceiling <= sol.Improvement {
+			return nil // nothing below can beat the incumbent
+		}
+		for i := 0; i < n && !done; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			prefix = append(prefix, orig[i])
+			if err := rec(); err != nil {
+				return err
+			}
+			prefix = prefix[:len(prefix)-1]
+			used[i] = false
+		}
+		return nil
+	}
+	if err := rec(); err != nil {
+		return sol, err
+	}
+	sol.Evaluations = obj.Evals() - evalsStart
+	return sol, nil
+}
+
+// optimisticCeiling bounds any order's improvement: all IFU holdings plus
+// every token the IFUs could acquire in the batch, priced at the curve
+// maximum, plus all cash they could receive — minus the baseline.
+func optimisticCeiling(obj *Objective) wei.Amount {
+	var maxPrice wei.Amount
+	tokensTouched := 0
+	for _, t := range obj.original {
+		if c, err := obj.base.Token(t.Token); err == nil {
+			cfg := c.Config()
+			p := wei.MulDiv(cfg.InitialPrice, int64(cfg.MaxSupply), 1)
+			if p > maxPrice {
+				maxPrice = p
+			}
+		}
+		tokensTouched++
+	}
+	var holdings int64
+	var cash wei.Amount
+	for _, ifu := range obj.ifus {
+		cash += obj.base.Balance(ifu)
+		for _, c := range obj.base.Tokens() {
+			holdings += int64(c.BalanceOf(ifu))
+		}
+	}
+	// Each batch tx could, at most, hand an IFU one token or its price in
+	// cash.
+	optimistic := cash + maxPrice.Mul(holdings+int64(len(obj.original))) + maxPrice.Mul(int64(len(obj.original)))
+	return optimistic - obj.baseWealth
+}
+
+// ---------------------------------------------------------------------------
+// Hill climbing with restarts — the MINOS analog.
+
+// HillClimb performs steepest-ascent over the C(N,2) swap neighborhood,
+// restarting from random permutations until the budget is spent.
+type HillClimb struct{}
+
+// Name implements Solver.
+func (HillClimb) Name() string { return "minos-analog/hill-climb" }
+
+// Solve implements Solver.
+func (h HillClimb) Solve(rng *rand.Rand, obj *Objective, budget Budget) (Solution, error) {
+	maxEvals := budget.MaxEvaluations
+	if maxEvals <= 0 {
+		maxEvals = 20_000
+	}
+	if rng == nil {
+		return Solution{}, errors.New("solver: hill climb needs an RNG")
+	}
+	sol := Solution{Seq: obj.Original()}
+	evalsStart := obj.Evals()
+	n := obj.N()
+
+	cur := obj.Original()
+	firstRestart := true
+	for obj.Evals()-evalsStart < maxEvals {
+		if !firstRestart {
+			cur = obj.Original()
+			rng.Shuffle(n, cur.Swap)
+		}
+		firstRestart = false
+
+		curImp, curValid, err := obj.Score(cur)
+		if err != nil {
+			return sol, err
+		}
+		if better(curImp, curValid, sol.Improvement) {
+			sol.Improvement = curImp
+			sol.Seq = cur.Clone()
+		}
+		// Steepest ascent until local optimum or budget.
+		for obj.Evals()-evalsStart < maxEvals {
+			bestI, bestJ := -1, -1
+			bestImp := curImp
+			bestValid := curValid
+			for i := 0; i < n && obj.Evals()-evalsStart < maxEvals; i++ {
+				for j := i + 1; j < n && obj.Evals()-evalsStart < maxEvals; j++ {
+					cur.Swap(i, j)
+					imp, valid, err := obj.Score(cur)
+					cur.Swap(i, j)
+					if err != nil {
+						return sol, err
+					}
+					// Climb on valid improvements only.
+					if valid && imp > bestImp {
+						bestI, bestJ, bestImp, bestValid = i, j, imp, valid
+					}
+				}
+			}
+			if bestI < 0 {
+				break // local optimum
+			}
+			cur.Swap(bestI, bestJ)
+			curImp, curValid = bestImp, bestValid
+			if better(curImp, curValid, sol.Improvement) {
+				sol.Improvement = curImp
+				sol.Seq = cur.Clone()
+			}
+		}
+	}
+	sol.Evaluations = obj.Evals() - evalsStart
+	sol.Complete = false // restarts never exhaust the space
+	return sol, nil
+}
+
+// ---------------------------------------------------------------------------
+// Simulated annealing — the SNOPT analog.
+
+// Anneal runs simulated annealing over random swaps with geometric cooling.
+type Anneal struct {
+	// InitialTemp in reward units (ETH of improvement); 0 means default.
+	InitialTemp float64
+	// Cooling factor per step in (0,1); 0 means default.
+	Cooling float64
+}
+
+// Name implements Solver.
+func (Anneal) Name() string { return "snopt-analog/simulated-annealing" }
+
+// Solve implements Solver.
+func (a Anneal) Solve(rng *rand.Rand, obj *Objective, budget Budget) (Solution, error) {
+	if rng == nil {
+		return Solution{}, errors.New("solver: annealing needs an RNG")
+	}
+	maxEvals := budget.MaxEvaluations
+	if maxEvals <= 0 {
+		maxEvals = 20_000
+	}
+	temp := a.InitialTemp
+	if temp <= 0 {
+		temp = 0.5 // half an ETH of improvement
+	}
+	cooling := a.Cooling
+	if cooling <= 0 || cooling >= 1 {
+		cooling = 0.999
+	}
+	sol := Solution{Seq: obj.Original()}
+	evalsStart := obj.Evals()
+	n := obj.N()
+
+	cur := obj.Original()
+	curImp, curValid, err := obj.Score(cur)
+	if err != nil {
+		return sol, err
+	}
+	if better(curImp, curValid, sol.Improvement) {
+		sol.Improvement = curImp
+		sol.Seq = cur.Clone()
+	}
+	curEnergy := energy(curImp, curValid)
+	for obj.Evals()-evalsStart < maxEvals {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		cur.Swap(i, j)
+		imp, valid, err := obj.Score(cur)
+		if err != nil {
+			return sol, err
+		}
+		nextEnergy := energy(imp, valid)
+		if nextEnergy >= curEnergy || rng.Float64() < math.Exp((nextEnergy-curEnergy)/temp) {
+			curEnergy = nextEnergy
+			if better(imp, valid, sol.Improvement) {
+				sol.Improvement = imp
+				sol.Seq = cur.Clone()
+			}
+		} else {
+			cur.Swap(i, j) // reject the move
+		}
+		temp *= cooling
+	}
+	sol.Evaluations = obj.Evals() - evalsStart
+	return sol, nil
+}
+
+// energy maps a scored order to the annealer's maximization objective:
+// invalid orders sit a fixed ETH below their improvement.
+func energy(imp wei.Amount, valid bool) float64 {
+	e := imp.ETHFloat()
+	if !valid {
+		e -= 1.0
+	}
+	return e
+}

@@ -1,0 +1,202 @@
+package solver_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"parole/internal/casestudy"
+	"parole/internal/chainid"
+	"parole/internal/ovm"
+	"parole/internal/solver"
+)
+
+func newObjective(t testing.TB) *solver.Objective {
+	t.Helper()
+	s, err := casestudy.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := solver.NewObjective(ovm.New(), s.State, s.Original, []chainid.Address{casestudy.IFU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+// optimalGain is the exhaustive optimum of the case-study batch, at least
+// the paper's case-3 improvement.
+var paperCase3Gain = casestudy.FinalCase3 - casestudy.FinalCase1
+
+func TestObjectiveScoresPaperOrders(t *testing.T) {
+	s, err := casestudy.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := solver.NewObjective(ovm.New(), s.State, s.Original, []chainid.Address{casestudy.IFU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.N() != 8 {
+		t.Fatalf("N = %d", obj.N())
+	}
+	imp, valid, err := obj.Score(s.Case3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !valid {
+		t.Fatal("case-3 order scored invalid")
+	}
+	if imp != paperCase3Gain {
+		t.Fatalf("case-3 improvement = %s, want %s", imp, paperCase3Gain)
+	}
+	if obj.Evals() != 1 {
+		t.Fatalf("evals = %d, want 1", obj.Evals())
+	}
+}
+
+func TestExhaustiveFindsOptimum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8! evaluations")
+	}
+	obj := newObjective(t)
+	sol, err := solver.Exhaustive{}.Solve(nil, obj, solver.Budget{MaxEvaluations: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Complete {
+		t.Fatal("exhaustive did not finish 8! = 40320 candidates")
+	}
+	if sol.Improvement < paperCase3Gain {
+		t.Fatalf("exhaustive optimum %s below the paper's case-3 gain %s", sol.Improvement, paperCase3Gain)
+	}
+	t.Logf("exhaustive optimum improvement: %s (evals %d)", sol.Improvement, sol.Evaluations)
+}
+
+func TestExhaustiveRespectsBudget(t *testing.T) {
+	obj := newObjective(t)
+	sol, err := solver.Exhaustive{}.Solve(nil, obj, solver.Budget{MaxEvaluations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Complete {
+		t.Fatal("budget of 100 cannot complete 40320 candidates")
+	}
+	if sol.Evaluations > 100 {
+		t.Fatalf("evaluations = %d exceeded budget", sol.Evaluations)
+	}
+}
+
+func TestBranchBoundBeatsPaperCandidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tree search")
+	}
+	obj := newObjective(t)
+	sol, err := solver.BranchBound{}.Solve(nil, obj, solver.Budget{MaxEvaluations: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Improvement < paperCase3Gain {
+		t.Fatalf("branch-and-bound %s below case-3 gain %s", sol.Improvement, paperCase3Gain)
+	}
+}
+
+func TestHillClimbFindsProfit(t *testing.T) {
+	obj := newObjective(t)
+	rng := rand.New(rand.NewSource(11))
+	sol, err := solver.HillClimb{}.Solve(rng, obj, solver.Budget{MaxEvaluations: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Improvement <= 0 {
+		t.Fatal("hill climb found no profit on the case-study batch")
+	}
+	// The result must be a valid permutation that truly scores as claimed.
+	check, valid, err := obj.Score(sol.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !valid || check != sol.Improvement {
+		t.Fatalf("reported %s but rescoring gives (%s, valid=%v)", sol.Improvement, check, valid)
+	}
+}
+
+func TestAnnealFindsProfit(t *testing.T) {
+	obj := newObjective(t)
+	rng := rand.New(rand.NewSource(12))
+	sol, err := solver.Anneal{}.Solve(rng, obj, solver.Budget{MaxEvaluations: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Improvement <= 0 {
+		t.Fatal("annealing found no profit on the case-study batch")
+	}
+}
+
+func TestSolversNeverReturnInvalidOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	solvers := []solver.Solver{
+		solver.HillClimb{},
+		solver.Anneal{},
+	}
+	for _, s := range solvers {
+		obj := newObjective(t)
+		sol, err := s.Solve(rng, obj, solver.Budget{MaxEvaluations: 1500})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		_, valid, err := obj.Score(sol.Seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !valid {
+			t.Fatalf("%s returned an invalid order", s.Name())
+		}
+	}
+}
+
+func TestMeasureFillsInstrumentation(t *testing.T) {
+	obj := newObjective(t)
+	rng := rand.New(rand.NewSource(9))
+	sol, err := solver.Measure(solver.HillClimb{}, rng, obj, solver.Budget{MaxEvaluations: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Duration <= 0 {
+		t.Fatal("duration not measured")
+	}
+	if sol.AllocBytes == 0 {
+		t.Fatal("allocation volume not measured")
+	}
+	if sol.Evaluations == 0 || sol.Evaluations > 500 {
+		t.Fatalf("evaluations = %d", sol.Evaluations)
+	}
+}
+
+func TestSolverNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range []solver.Solver{
+		solver.Exhaustive{}, solver.BranchBound{}, solver.HillClimb{}, solver.Anneal{},
+	} {
+		if s.Name() == "" {
+			t.Fatal("empty solver name")
+		}
+		if names[s.Name()] {
+			t.Fatalf("duplicate name %q", s.Name())
+		}
+		names[s.Name()] = true
+	}
+}
+
+func TestObjectiveBaseline(t *testing.T) {
+	obj := newObjective(t)
+	if got := obj.BaselineWealth(); got != casestudy.FinalCase1 {
+		t.Fatalf("baseline = %s, want %s", got, casestudy.FinalCase1)
+	}
+	imp, valid, err := obj.Score(obj.Original())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp != 0 || !valid {
+		t.Fatalf("identity score = (%s, %v)", imp, valid)
+	}
+}

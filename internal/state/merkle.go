@@ -1,0 +1,97 @@
+package state
+
+import (
+	"errors"
+	"fmt"
+
+	"parole/internal/chainid"
+)
+
+// The Merkle tree here is a plain binary hash tree over an ordered leaf
+// list. Odd nodes at any level are paired with a domain-separated empty
+// digest so that a tree over k leaves cannot be confused with a tree over a
+// prefix of them.
+
+// emptyLeaf is the padding digest for odd levels.
+var emptyLeaf = chainid.HashBytes([]byte("parole/merkle-empty"))
+
+// ErrBadProof is returned when a proof's index is out of range.
+var ErrBadProof = errors.New("state: invalid merkle proof parameters")
+
+// Proof is a Merkle membership proof for one leaf.
+type Proof struct {
+	Leaf     chainid.Hash
+	Index    int
+	Siblings []chainid.Hash
+}
+
+// MerkleRoot folds the leaf list into a single root. An empty list hashes to
+// the domain-separated empty digest.
+func MerkleRoot(leaves []chainid.Hash) chainid.Hash {
+	if len(leaves) == 0 {
+		return emptyLeaf
+	}
+	level := make([]chainid.Hash, len(leaves))
+	copy(level, leaves)
+	for len(level) > 1 {
+		next := make([]chainid.Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			right := emptyLeaf
+			if i+1 < len(level) {
+				right = level[i+1]
+			}
+			next = append(next, chainid.CombineHashes(level[i], right))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// BuildProof constructs the membership proof for leaves[index].
+func BuildProof(leaves []chainid.Hash, index int) (Proof, error) {
+	if index < 0 || index >= len(leaves) {
+		return Proof{}, fmt.Errorf("%w: index %d of %d leaves", ErrBadProof, index, len(leaves))
+	}
+	proof := Proof{Leaf: leaves[index], Index: index}
+	level := make([]chainid.Hash, len(leaves))
+	copy(level, leaves)
+	pos := index
+	for len(level) > 1 {
+		sibling := emptyLeaf
+		if pos%2 == 0 {
+			if pos+1 < len(level) {
+				sibling = level[pos+1]
+			}
+		} else {
+			sibling = level[pos-1]
+		}
+		proof.Siblings = append(proof.Siblings, sibling)
+
+		next := make([]chainid.Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			right := emptyLeaf
+			if i+1 < len(level) {
+				right = level[i+1]
+			}
+			next = append(next, chainid.CombineHashes(level[i], right))
+		}
+		level = next
+		pos /= 2
+	}
+	return proof, nil
+}
+
+// Verify recomputes the root implied by the proof and compares it to want.
+func (p Proof) Verify(want chainid.Hash) bool {
+	h := p.Leaf
+	pos := p.Index
+	for _, sibling := range p.Siblings {
+		if pos%2 == 0 {
+			h = chainid.CombineHashes(h, sibling)
+		} else {
+			h = chainid.CombineHashes(sibling, h)
+		}
+		pos /= 2
+	}
+	return h == want
+}

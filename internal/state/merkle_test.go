@@ -1,0 +1,136 @@
+package state
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"parole/internal/chainid"
+	weipkg "parole/internal/wei"
+)
+
+func leafSet(n int) []chainid.Hash {
+	leaves := make([]chainid.Hash, n)
+	for i := range leaves {
+		leaves[i] = chainid.HashBytes([]byte("leaf-" + strconv.Itoa(i)))
+	}
+	return leaves
+}
+
+func TestMerkleRootEmptyAndSingle(t *testing.T) {
+	if MerkleRoot(nil) != emptyLeaf {
+		t.Error("empty root should be the empty digest")
+	}
+	one := leafSet(1)
+	if MerkleRoot(one) != one[0] {
+		t.Error("single-leaf root should be the leaf itself")
+	}
+}
+
+func TestMerkleRootDistinguishesSizes(t *testing.T) {
+	// A k-leaf tree must not equal the tree over a prefix.
+	seen := make(map[chainid.Hash]int)
+	for n := 0; n <= 9; n++ {
+		root := MerkleRoot(leafSet(n))
+		if prev, dup := seen[root]; dup {
+			t.Fatalf("trees of %d and %d leaves share a root", prev, n)
+		}
+		seen[root] = n
+	}
+}
+
+func TestMerkleRootOrderSensitive(t *testing.T) {
+	leaves := leafSet(4)
+	root := MerkleRoot(leaves)
+	leaves[0], leaves[1] = leaves[1], leaves[0]
+	if MerkleRoot(leaves) == root {
+		t.Fatal("leaf order does not affect root")
+	}
+}
+
+func TestBuildProofAllIndices(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 16, 33} {
+		leaves := leafSet(n)
+		root := MerkleRoot(leaves)
+		for i := 0; i < n; i++ {
+			proof, err := BuildProof(leaves, i)
+			if err != nil {
+				t.Fatalf("BuildProof(n=%d, i=%d): %v", n, i, err)
+			}
+			if !proof.Verify(root) {
+				t.Fatalf("proof for leaf %d of %d failed to verify", i, n)
+			}
+		}
+	}
+}
+
+func TestProofRejectsWrongRoot(t *testing.T) {
+	leaves := leafSet(8)
+	proof, err := BuildProof(leaves, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := MerkleRoot(leafSet(9))
+	if proof.Verify(other) {
+		t.Fatal("proof verified against the wrong root")
+	}
+}
+
+func TestProofRejectsTamperedLeaf(t *testing.T) {
+	leaves := leafSet(8)
+	root := MerkleRoot(leaves)
+	proof, err := BuildProof(leaves, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.Leaf = chainid.HashBytes([]byte("forged"))
+	if proof.Verify(root) {
+		t.Fatal("tampered leaf verified")
+	}
+}
+
+func TestBuildProofBadIndex(t *testing.T) {
+	leaves := leafSet(4)
+	for _, i := range []int{-1, 4, 100} {
+		if _, err := BuildProof(leaves, i); !errors.Is(err, ErrBadProof) {
+			t.Errorf("BuildProof(i=%d) = %v, want ErrBadProof", i, err)
+		}
+	}
+}
+
+func TestProofQuick(t *testing.T) {
+	f := func(sizeRaw uint8, idxRaw uint8) bool {
+		n := int(sizeRaw)%64 + 1
+		i := int(idxRaw) % n
+		leaves := leafSet(n)
+		proof, err := BuildProof(leaves, i)
+		if err != nil {
+			return false
+		}
+		return proof.Verify(MerkleRoot(leaves))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccountProofAgainstStateRoot(t *testing.T) {
+	s := New()
+	for i := 0; i < 13; i++ {
+		s.Credit(chainid.UserAddress(i), weipkg.Amount(i+1))
+	}
+	root := s.Root()
+	for i := 0; i < 13; i++ {
+		proof, err := s.AccountProof(chainid.UserAddress(i))
+		if err != nil {
+			t.Fatalf("AccountProof(%d): %v", i, err)
+		}
+		if !proof.Verify(root) {
+			t.Fatalf("account proof %d failed against state root", i)
+		}
+	}
+	if _, err := s.AccountProof(chainid.UserAddress(999)); err == nil {
+		t.Fatal("proof for absent account should fail")
+	}
+}

@@ -1,0 +1,225 @@
+// Package state holds the L2 world state of the PAROLE rollup simulator:
+// account balances/nonces plus the deployed limited-edition NFT contracts,
+// and the Merkle commitment over all of it that aggregators submit as the
+// fraud-proof state root (Section V-A).
+package state
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"parole/internal/chainid"
+	"parole/internal/token"
+	"parole/internal/wei"
+)
+
+// Errors returned by state operations.
+var (
+	ErrInsufficientBalance = errors.New("state: insufficient balance")
+	ErrUnknownToken        = errors.New("state: unknown token contract")
+	ErrTokenExists         = errors.New("state: token contract already deployed")
+)
+
+// Account is the L2-side record for one address: its t^L2 token balance and
+// transaction nonce.
+type Account struct {
+	Balance wei.Amount
+	Nonce   uint64
+}
+
+// State is the mutable L2 world state. It is not safe for concurrent
+// mutation; the rollup layer serializes access, and the OVM works on clones.
+type State struct {
+	accounts map[chainid.Address]Account
+	tokens   map[chainid.Address]*token.Contract
+}
+
+// New returns an empty world state.
+func New() *State {
+	return &State{
+		accounts: make(map[chainid.Address]Account),
+		tokens:   make(map[chainid.Address]*token.Contract),
+	}
+}
+
+// Account returns the account record for addr (zero-valued if untouched).
+func (s *State) Account(addr chainid.Address) Account { return s.accounts[addr] }
+
+// Balance returns addr's L2 token balance.
+func (s *State) Balance(addr chainid.Address) wei.Amount { return s.accounts[addr].Balance }
+
+// SetBalance overwrites addr's balance. Intended for scenario setup; the
+// execution path uses Credit/Debit so conservation is auditable.
+func (s *State) SetBalance(addr chainid.Address, amount wei.Amount) {
+	acct := s.accounts[addr]
+	acct.Balance = amount
+	s.accounts[addr] = acct
+}
+
+// Credit adds amount (which must be non-negative) to addr's balance.
+func (s *State) Credit(addr chainid.Address, amount wei.Amount) {
+	if amount < 0 {
+		panic("state: negative credit") // programmer error, not a runtime condition
+	}
+	acct := s.accounts[addr]
+	acct.Balance += amount
+	s.accounts[addr] = acct
+}
+
+// Debit removes amount from addr's balance, failing if it would go negative.
+func (s *State) Debit(addr chainid.Address, amount wei.Amount) error {
+	if amount < 0 {
+		panic("state: negative debit")
+	}
+	acct := s.accounts[addr]
+	if acct.Balance < amount {
+		return fmt.Errorf("%w: %s has %s, needs %s", ErrInsufficientBalance, addr, acct.Balance, amount)
+	}
+	acct.Balance -= amount
+	s.accounts[addr] = acct
+	return nil
+}
+
+// Nonce returns addr's current nonce.
+func (s *State) Nonce(addr chainid.Address) uint64 { return s.accounts[addr].Nonce }
+
+// BumpNonce increments addr's nonce and returns the new value.
+func (s *State) BumpNonce(addr chainid.Address) uint64 {
+	acct := s.accounts[addr]
+	acct.Nonce++
+	s.accounts[addr] = acct
+	return acct.Nonce
+}
+
+// DeployToken registers a new NFT contract in the state.
+func (s *State) DeployToken(c *token.Contract) error {
+	if _, exists := s.tokens[c.Address()]; exists {
+		return fmt.Errorf("%w: %s", ErrTokenExists, c.Address())
+	}
+	s.tokens[c.Address()] = c
+	return nil
+}
+
+// Token returns the NFT contract deployed at addr.
+func (s *State) Token(addr chainid.Address) (*token.Contract, error) {
+	c, ok := s.tokens[addr]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownToken, addr)
+	}
+	return c, nil
+}
+
+// Tokens returns the deployed contracts sorted by address.
+func (s *State) Tokens() []*token.Contract {
+	out := make([]*token.Contract, 0, len(s.tokens))
+	for _, c := range s.tokens {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Address(), out[j].Address()
+		return string(a[:]) < string(b[:])
+	})
+	return out
+}
+
+// TotalBalance sums the L2 balances of the given addresses; with no
+// arguments it sums every account. Conservation tests lean on this.
+func (s *State) TotalBalance(addrs ...chainid.Address) wei.Amount {
+	var total wei.Amount
+	if len(addrs) == 0 {
+		for _, acct := range s.accounts {
+			total += acct.Balance
+		}
+		return total
+	}
+	for _, a := range addrs {
+		total += s.accounts[a].Balance
+	}
+	return total
+}
+
+// TotalWealth returns addr's L2 balance plus the mark-to-market value of all
+// its NFT holdings — the "IFU total balance" of the paper's case studies.
+func (s *State) TotalWealth(addr chainid.Address) wei.Amount {
+	total := s.Balance(addr)
+	for _, c := range s.tokens {
+		total += c.HoldingsValue(addr)
+	}
+	return total
+}
+
+// Accounts returns the addresses with a non-zero account record, sorted.
+func (s *State) Accounts() []chainid.Address {
+	out := make([]chainid.Address, 0, len(s.accounts))
+	for a := range s.accounts {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return string(out[i][:]) < string(out[j][:]) })
+	return out
+}
+
+// Clone returns an independent deep copy of the state. The OVM clones before
+// executing every candidate sequence.
+func (s *State) Clone() *State {
+	c := &State{
+		accounts: make(map[chainid.Address]Account, len(s.accounts)),
+		tokens:   make(map[chainid.Address]*token.Contract, len(s.tokens)),
+	}
+	for a, acct := range s.accounts {
+		c.accounts[a] = acct
+	}
+	for a, tc := range s.tokens {
+		c.tokens[a] = tc.Clone()
+	}
+	return c
+}
+
+// Root computes the Merkle state root over the full world state. Leaves are
+// the sorted account records followed by each token contract's state digest;
+// the root is the commitment aggregators submit with their batch.
+func (s *State) Root() chainid.Hash {
+	leaves := s.leaves()
+	return MerkleRoot(leaves)
+}
+
+// leaves produces the canonical leaf hashes of the state tree.
+func (s *State) leaves() []chainid.Hash {
+	addrs := s.Accounts()
+	leaves := make([]chainid.Hash, 0, len(addrs)+len(s.tokens))
+	for _, a := range addrs {
+		leaves = append(leaves, accountLeaf(a, s.accounts[a]))
+	}
+	for _, c := range s.Tokens() {
+		leaves = append(leaves, c.StateDigest())
+	}
+	return leaves
+}
+
+// AccountProof produces a Merkle membership proof for addr's account record,
+// suitable for the dispute game: a verifier can check a single account
+// against a claimed root without the full state.
+func (s *State) AccountProof(addr chainid.Address) (Proof, error) {
+	addrs := s.Accounts()
+	idx := -1
+	for i, a := range addrs {
+		if a == addr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return Proof{}, fmt.Errorf("state: no account record for %s", addr)
+	}
+	return BuildProof(s.leaves(), idx)
+}
+
+// accountLeaf hashes one account record into a leaf.
+func accountLeaf(addr chainid.Address, acct Account) chainid.Hash {
+	buf := make([]byte, chainid.AddressLen+16)
+	copy(buf, addr[:])
+	binary.BigEndian.PutUint64(buf[chainid.AddressLen:], uint64(acct.Balance))
+	binary.BigEndian.PutUint64(buf[chainid.AddressLen+8:], acct.Nonce)
+	return chainid.HashBytes([]byte("parole/account"), buf)
+}

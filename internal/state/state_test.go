@@ -1,0 +1,226 @@
+package state
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parole/internal/chainid"
+	"parole/internal/token"
+	"parole/internal/wei"
+)
+
+var (
+	alice = chainid.UserAddress(1)
+	bob   = chainid.UserAddress(2)
+)
+
+func newPT(t testing.TB) *token.Contract {
+	t.Helper()
+	c, err := token.Deploy(chainid.DeriveAddress("pt-contract"), token.Config{
+		Name:         "ParoleToken",
+		Symbol:       "PT",
+		MaxSupply:    10,
+		InitialPrice: wei.FromFloat(0.2),
+	})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	return c
+}
+
+func TestCreditDebit(t *testing.T) {
+	s := New()
+	s.Credit(alice, wei.FromFloat(1.5))
+	if got := s.Balance(alice); got != wei.FromFloat(1.5) {
+		t.Fatalf("Balance = %s, want 1.5", got)
+	}
+	if err := s.Debit(alice, wei.FromFloat(0.4)); err != nil {
+		t.Fatalf("Debit: %v", err)
+	}
+	if got := s.Balance(alice); got != wei.FromFloat(1.1) {
+		t.Fatalf("Balance after debit = %s, want 1.1", got)
+	}
+	if err := s.Debit(alice, wei.FromFloat(2.0)); !errors.Is(err, ErrInsufficientBalance) {
+		t.Fatalf("overdraft = %v, want ErrInsufficientBalance", err)
+	}
+	if got := s.Balance(alice); got != wei.FromFloat(1.1) {
+		t.Fatalf("failed debit changed balance to %s", got)
+	}
+}
+
+func TestNegativeMovesPanic(t *testing.T) {
+	s := New()
+	for _, f := range []func(){
+		func() { s.Credit(alice, -1) },
+		func() { _ = s.Debit(alice, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("negative money movement did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNonce(t *testing.T) {
+	s := New()
+	if s.Nonce(alice) != 0 {
+		t.Fatal("fresh nonce not zero")
+	}
+	if got := s.BumpNonce(alice); got != 1 {
+		t.Fatalf("BumpNonce = %d, want 1", got)
+	}
+	if got := s.Nonce(alice); got != 1 {
+		t.Fatalf("Nonce = %d, want 1", got)
+	}
+	if s.Nonce(bob) != 0 {
+		t.Fatal("bumping alice affected bob")
+	}
+}
+
+func TestDeployAndLookupToken(t *testing.T) {
+	s := New()
+	pt := newPT(t)
+	if err := s.DeployToken(pt); err != nil {
+		t.Fatalf("DeployToken: %v", err)
+	}
+	if err := s.DeployToken(pt); !errors.Is(err, ErrTokenExists) {
+		t.Fatalf("duplicate deploy = %v, want ErrTokenExists", err)
+	}
+	got, err := s.Token(pt.Address())
+	if err != nil || got != pt {
+		t.Fatalf("Token lookup = (%v, %v)", got, err)
+	}
+	if _, err := s.Token(chainid.DeriveAddress("nowhere")); !errors.Is(err, ErrUnknownToken) {
+		t.Fatalf("unknown token = %v, want ErrUnknownToken", err)
+	}
+}
+
+func TestTotalWealthMatchesCaseStudySetup(t *testing.T) {
+	// Section VI-A status: IFU has 1.5 ETH and 2 PTs at 0.4 ETH = 2.3 total.
+	s := New()
+	pt := newPT(t)
+	if err := s.DeployToken(pt); err != nil {
+		t.Fatal(err)
+	}
+	ifu := chainid.UserAddress(42)
+	s.Credit(ifu, wei.FromFloat(1.5))
+	for id := uint64(0); id < 5; id++ {
+		owner := chainid.UserAddress(int(10 + id))
+		if id < 2 {
+			owner = ifu
+		}
+		if err := pt.Mint(owner, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.TotalWealth(ifu); got != wei.FromFloat(2.3) {
+		t.Fatalf("TotalWealth = %s, want 2.3", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := New()
+	pt := newPT(t)
+	if err := s.DeployToken(pt); err != nil {
+		t.Fatal(err)
+	}
+	s.Credit(alice, 100)
+	c := s.Clone()
+	c.Credit(alice, 50)
+	ct, err := c.Token(pt.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.Mint(bob, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Balance(alice) != 100 {
+		t.Fatal("clone shares account map")
+	}
+	if pt.Minted() != 0 {
+		t.Fatal("clone shares token contract")
+	}
+	if s.Root() == c.Root() {
+		t.Fatal("diverged states share a root")
+	}
+}
+
+func TestRootDeterministicAndSensitive(t *testing.T) {
+	build := func() *State {
+		s := New()
+		s.Credit(alice, 100)
+		s.Credit(bob, 200)
+		return s
+	}
+	a, b := build(), build()
+	if a.Root() != b.Root() {
+		t.Fatal("identical states root differently")
+	}
+	b.Credit(bob, 1)
+	if a.Root() == b.Root() {
+		t.Fatal("balance change did not change root")
+	}
+	c := build()
+	c.BumpNonce(alice)
+	if a.Root() == c.Root() {
+		t.Fatal("nonce change did not change root")
+	}
+}
+
+func TestTotalBalance(t *testing.T) {
+	s := New()
+	s.Credit(alice, 100)
+	s.Credit(bob, 250)
+	if got := s.TotalBalance(); got != 350 {
+		t.Fatalf("TotalBalance() = %d, want 350", got)
+	}
+	if got := s.TotalBalance(alice); got != 100 {
+		t.Fatalf("TotalBalance(alice) = %d, want 100", got)
+	}
+}
+
+func TestTransfersConserveTotalBalance(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		users := []chainid.Address{alice, bob, chainid.UserAddress(3), chainid.UserAddress(4)}
+		for _, u := range users {
+			s.Credit(u, wei.Amount(rng.Int63n(1000)))
+		}
+		want := s.TotalBalance()
+		for i := 0; i < int(steps); i++ {
+			from := users[rng.Intn(len(users))]
+			to := users[rng.Intn(len(users))]
+			amt := wei.Amount(rng.Int63n(500))
+			if err := s.Debit(from, amt); err == nil {
+				s.Credit(to, amt)
+			}
+		}
+		return s.TotalBalance() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccountsSorted(t *testing.T) {
+	s := New()
+	for i := 0; i < 20; i++ {
+		s.Credit(chainid.UserAddress(i), 1)
+	}
+	addrs := s.Accounts()
+	if len(addrs) != 20 {
+		t.Fatalf("Accounts() returned %d entries", len(addrs))
+	}
+	for i := 1; i < len(addrs); i++ {
+		if string(addrs[i-1][:]) >= string(addrs[i][:]) {
+			t.Fatal("Accounts() not sorted")
+		}
+	}
+}

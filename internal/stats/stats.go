@@ -1,0 +1,196 @@
+// Package stats provides the statistical utilities the evaluation section
+// leans on: the moving average that smooths Fig. 8's reward curves (window
+// 9), the Gaussian kernel density estimates of Fig. 9's solution-size
+// distributions, and basic summaries.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Package errors.
+var (
+	ErrEmptyInput = errors.New("stats: empty input")
+	ErrBadWindow  = errors.New("stats: invalid window")
+)
+
+// MovingAverage returns the trailing moving average of xs with the given
+// window: out[i] = mean(xs[max(0,i-w+1) .. i]). The first w-1 points average
+// over the shorter available prefix, matching how reward curves are usually
+// plotted from episode 0.
+func MovingAverage(xs []float64, window int) ([]float64, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadWindow, window)
+	}
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	out := make([]float64, len(xs))
+	var sum float64
+	for i, x := range xs {
+		sum += x
+		if i >= window {
+			sum -= xs[i-window]
+			out[i] = sum / float64(window)
+			continue
+		}
+		out[i] = sum / float64(i+1)
+	}
+	return out, nil
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptyInput
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs))), nil
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptyInput
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %g out of [0,100]", p)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// KDE is a one-dimensional Gaussian kernel density estimate.
+type KDE struct {
+	samples   []float64
+	bandwidth float64
+}
+
+// NewKDE fits a KDE to samples. If bandwidth ≤ 0 it is chosen by Silverman's
+// rule of thumb: h = 1.06·σ·n^(−1/5) (with a small floor so degenerate
+// samples still yield a density).
+func NewKDE(samples []float64, bandwidth float64) (*KDE, error) {
+	if len(samples) == 0 {
+		return nil, ErrEmptyInput
+	}
+	if bandwidth <= 0 {
+		sigma, err := StdDev(samples)
+		if err != nil {
+			return nil, err
+		}
+		bandwidth = 1.06 * sigma * math.Pow(float64(len(samples)), -0.2)
+		if bandwidth < 1e-3 {
+			bandwidth = 1e-3
+		}
+	}
+	return &KDE{
+		samples:   append([]float64(nil), samples...),
+		bandwidth: bandwidth,
+	}, nil
+}
+
+// Bandwidth returns the kernel bandwidth in use.
+func (k *KDE) Bandwidth() float64 { return k.bandwidth }
+
+// Density evaluates the estimated density at x.
+func (k *KDE) Density(x float64) float64 {
+	const invSqrt2Pi = 0.3989422804014327
+	var sum float64
+	for _, s := range k.samples {
+		z := (x - s) / k.bandwidth
+		sum += invSqrt2Pi * math.Exp(-0.5*z*z)
+	}
+	return sum / (float64(len(k.samples)) * k.bandwidth)
+}
+
+// Curve evaluates the density on n evenly spaced points across [lo, hi] and
+// returns the (x, density) series — one Fig. 9 curve.
+func (k *KDE) Curve(lo, hi float64, n int) (xs, ys []float64, err error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("stats: curve needs ≥ 2 points, got %d", n)
+	}
+	if hi <= lo {
+		return nil, nil, fmt.Errorf("stats: bad range [%g, %g]", lo, hi)
+	}
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range xs {
+		xs[i] = lo + float64(i)*step
+		ys[i] = k.Density(xs[i])
+	}
+	return xs, ys, nil
+}
+
+// Mode returns the x in [lo, hi] (scanned at n points) where the density
+// peaks — e.g. "solutions with approximately five actions have the highest
+// probability" (Section VII-D).
+func (k *KDE) Mode(lo, hi float64, n int) (float64, error) {
+	xs, ys, err := k.Curve(lo, hi, n)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for i, y := range ys {
+		if y > ys[best] {
+			best = i
+		}
+	}
+	return xs[best], nil
+}
+
+// Histogram counts xs into nbins equal-width bins across [lo, hi]; values
+// outside the range clamp into the edge bins.
+func Histogram(xs []float64, lo, hi float64, nbins int) ([]int, error) {
+	if nbins <= 0 {
+		return nil, fmt.Errorf("stats: %d bins", nbins)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: bad range [%g, %g]", lo, hi)
+	}
+	counts := make([]int, nbins)
+	width := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return counts, nil
+}

@@ -1,0 +1,243 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMovingAverage(t *testing.T) {
+	got, err := MovingAverage([]float64{1, 2, 3, 4, 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1.5, 2, 3, 4}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("MovingAverage[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMovingAverageWindowOne(t *testing.T) {
+	xs := []float64{3, -1, 7}
+	got, err := MovingAverage(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatal("window 1 should be identity")
+		}
+	}
+}
+
+func TestMovingAverageErrors(t *testing.T) {
+	if _, err := MovingAverage([]float64{1}, 0); !errors.Is(err, ErrBadWindow) {
+		t.Fatalf("window 0 = %v", err)
+	}
+	if out, err := MovingAverage(nil, 3); err != nil || out != nil {
+		t.Fatalf("empty input = (%v, %v)", out, err)
+	}
+}
+
+func TestMovingAverageConstantIsConstant(t *testing.T) {
+	f := func(v int8, nRaw, wRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		w := int(wRaw)%9 + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(v)
+		}
+		out, err := MovingAverage(xs, w)
+		if err != nil {
+			return false
+		}
+		for _, o := range out {
+			if !almostEqual(o, float64(v), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 5 {
+		t.Fatalf("Mean = %g, want 5", m)
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sd, 2, 1e-12) {
+		t.Fatalf("StdDev = %g, want 2", sd)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmptyInput) {
+		t.Fatal("empty Mean should error")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{50, 3},
+		{100, 5},
+		{25, 2},
+		{75, 4},
+		{10, 1.4},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Percentile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmptyInput) {
+		t.Error("empty percentile should error")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("out-of-range percentile should error")
+	}
+}
+
+func TestKDEIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]float64, 200)
+	for i := range samples {
+		samples[i] = rng.NormFloat64()*2 + 5
+	}
+	k, err := NewKDE(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trapezoidal integration over a wide support.
+	const lo, hi = -15.0, 25.0
+	const n = 4000
+	step := (hi - lo) / n
+	var integral float64
+	for i := 0; i <= n; i++ {
+		w := step
+		if i == 0 || i == n {
+			w = step / 2
+		}
+		integral += k.Density(lo+float64(i)*step) * w
+	}
+	if !almostEqual(integral, 1, 0.01) {
+		t.Fatalf("KDE integral = %g, want ~1", integral)
+	}
+}
+
+func TestKDEModeNearSampleCenter(t *testing.T) {
+	// Samples concentrated at 5 (the Fig. 9 headline: mode ≈ 5 swaps).
+	samples := []float64{4, 5, 5, 5, 5, 6, 6, 4, 5, 7, 3, 5}
+	k, err := NewKDE(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode, err := k.Mode(0, 10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(mode, 5, 0.6) {
+		t.Fatalf("mode = %g, want ~5", mode)
+	}
+}
+
+func TestKDEExplicitBandwidth(t *testing.T) {
+	k, err := NewKDE([]float64{0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Bandwidth() != 2 {
+		t.Fatalf("bandwidth = %g", k.Bandwidth())
+	}
+	// Density of a single sample with h=2 at x=0 is N(0;0,2)=1/(2√(2π)).
+	want := 1 / (2 * math.Sqrt(2*math.Pi))
+	if !almostEqual(k.Density(0), want, 1e-12) {
+		t.Fatalf("Density(0) = %g, want %g", k.Density(0), want)
+	}
+}
+
+func TestKDEDegenerateSamples(t *testing.T) {
+	// All-equal samples: Silverman bandwidth would be 0; the floor applies.
+	k, err := NewKDE([]float64{3, 3, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Bandwidth() <= 0 {
+		t.Fatal("bandwidth must stay positive")
+	}
+	if k.Density(3) <= 0 {
+		t.Fatal("density at the atom must be positive")
+	}
+}
+
+func TestKDEErrors(t *testing.T) {
+	if _, err := NewKDE(nil, 0); !errors.Is(err, ErrEmptyInput) {
+		t.Fatalf("empty KDE = %v", err)
+	}
+	k, err := NewKDE([]float64{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := k.Curve(0, 1, 1); err == nil {
+		t.Error("curve with 1 point should error")
+	}
+	if _, _, err := k.Curve(2, 1, 10); err == nil {
+		t.Error("inverted range should error")
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	k, err := NewKDE([]float64{0, 0, 0, 1}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys, err := k.Curve(-2, 2, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 41 || len(ys) != 41 {
+		t.Fatalf("curve lengths %d/%d", len(xs), len(ys))
+	}
+	if xs[0] != -2 || xs[40] != 2 {
+		t.Fatalf("curve endpoints %g..%g", xs[0], xs[40])
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, err := Histogram([]float64{0.1, 0.2, 0.9, 1.5, -3, 99}, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [-3, 0.1, 0.2] clamp/fall into bin 0; [0.9, 1.5, 99] into bin 1.
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if _, err := Histogram(nil, 0, 1, 0); err == nil {
+		t.Error("0 bins should error")
+	}
+	if _, err := Histogram(nil, 1, 0, 3); err == nil {
+		t.Error("inverted range should error")
+	}
+}

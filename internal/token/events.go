@@ -1,0 +1,71 @@
+package token
+
+import (
+	"fmt"
+
+	"parole/internal/chainid"
+	"parole/internal/wei"
+)
+
+// EventKind classifies a contract event.
+type EventKind int
+
+// Event kinds, mirroring the ERC-721 Transfer event conventions (a mint is
+// a transfer from the zero address, a burn a transfer to it).
+const (
+	EventMinted EventKind = iota + 1
+	EventTransferred
+	EventBurned
+)
+
+// String returns the lower-case event name.
+func (k EventKind) String() string {
+	switch k {
+	case EventMinted:
+		return "minted"
+	case EventTransferred:
+		return "transferred"
+	case EventBurned:
+		return "burned"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one ownership-changing operation on the contract, recorded with
+// the unit price at the moment of the operation (the pre-op P^{t-1} that
+// settlement used).
+type Event struct {
+	Kind    EventKind
+	TokenID uint64
+	From    chainid.Address // zero for mints
+	To      chainid.Address // zero for burns
+	Price   wei.Amount
+}
+
+// String renders the event in log form.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventMinted:
+		return fmt.Sprintf("minted #%d to %s at %s", e.TokenID, e.To, e.Price)
+	case EventBurned:
+		return fmt.Sprintf("burned #%d from %s at %s", e.TokenID, e.From, e.Price)
+	default:
+		return fmt.Sprintf("transferred #%d %s -> %s at %s", e.TokenID, e.From, e.To, e.Price)
+	}
+}
+
+// Events returns a copy of this instance's event log.
+//
+// The log is *per contract instance*, not part of the cloneable chain state:
+// Clone starts with an empty log so that the OVM's candidate evaluations
+// (thousands per training run) never pay for copying history. The canonical
+// contract held by the rollup node accumulates the real history.
+func (c *Contract) Events() []Event {
+	return append([]Event(nil), c.events...)
+}
+
+// recordEvent appends to the instance log.
+func (c *Contract) recordEvent(e Event) {
+	c.events = append(c.events, e)
+}

@@ -1,0 +1,276 @@
+// Package token models the limited-edition ERC-721 contract the PAROLE
+// attack trades on (the "PAROLE Token", PT).
+//
+// A Contract tracks a fixed maximum supply S⁰, the set of currently minted
+// tokens, and the scarcity-driven unit price of Eq. 10:
+//
+//	P^t = S⁰ / S^t · P⁰
+//
+// where S^t is the number of tokens still available to be minted after the
+// t-th transaction. Minting decreases S^t (price rises); burning increases it
+// (price falls); transfers leave it unchanged. These are exactly the
+// operational semantics of Eq. 2, 4, and 6 in the paper; the executability
+// constraints of Eq. 1, 3, and 5 are enforced by CanMint/CanTransfer/CanBurn
+// and applied transactionally by the OVM.
+package token
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"parole/internal/chainid"
+	"parole/internal/wei"
+)
+
+// Constraint violations (Eq. 1, 3, 5).
+var (
+	ErrSoldOut          = errors.New("token: no tokens available to mint")
+	ErrAlreadyMinted    = errors.New("token: id already minted")
+	ErrNotOwner         = errors.New("token: actor does not own the token")
+	ErrNotMinted        = errors.New("token: id not minted")
+	ErrBadConfiguration = errors.New("token: invalid contract configuration")
+)
+
+// Config describes a limited-edition ERC-721 deployment.
+type Config struct {
+	Name         string
+	Symbol       string
+	MaxSupply    uint64     // S⁰: hard cap written into the contract
+	InitialPrice wei.Amount // P⁰: price when no token is minted
+}
+
+// Validate reports whether the configuration is deployable.
+func (c Config) Validate() error {
+	if c.MaxSupply == 0 {
+		return fmt.Errorf("%w: zero max supply", ErrBadConfiguration)
+	}
+	if c.InitialPrice <= 0 {
+		return fmt.Errorf("%w: non-positive initial price", ErrBadConfiguration)
+	}
+	return nil
+}
+
+// Contract is the in-memory state of one deployed limited-edition NFT
+// contract. It is a plain mutable value; the OVM clones it before executing
+// candidate sequences so that exploration never corrupts chain state.
+type Contract struct {
+	addr   chainid.Address
+	cfg    Config
+	owners map[uint64]chainid.Address // minted token id -> current owner
+	nextID uint64                     // smallest id never minted, for auto-assignment
+	events []Event                    // per-instance history; see Events
+}
+
+// Deploy creates a contract instance at addr.
+func Deploy(addr chainid.Address, cfg Config) (*Contract, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Contract{
+		addr:   addr,
+		cfg:    cfg,
+		owners: make(map[uint64]chainid.Address),
+	}, nil
+}
+
+// Address returns the contract's address.
+func (c *Contract) Address() chainid.Address { return c.addr }
+
+// Config returns the deployment configuration.
+func (c *Contract) Config() Config { return c.cfg }
+
+// MaxSupply returns S⁰.
+func (c *Contract) MaxSupply() uint64 { return c.cfg.MaxSupply }
+
+// Minted returns the number of currently minted (live) tokens.
+func (c *Contract) Minted() uint64 { return uint64(len(c.owners)) }
+
+// Available returns S^t, the number of tokens that can still be minted.
+func (c *Contract) Available() uint64 { return c.cfg.MaxSupply - uint64(len(c.owners)) }
+
+// Price returns the current unit price P^t per Eq. 10, truncating to gwei.
+// When the collection is sold out (S^t = 0) the bonding curve diverges; we
+// pin the price at the S^t = 1 value, the last finite point of the curve.
+func (c *Contract) Price() wei.Amount {
+	return c.PriceAt(c.Available())
+}
+
+// PriceAt evaluates Eq. 10 for an arbitrary availability level. It is used
+// by the GENTRANSEQ encoder to price hypothetical states without mutating
+// the contract.
+func (c *Contract) PriceAt(available uint64) wei.Amount {
+	if available == 0 {
+		available = 1
+	}
+	return wei.MulDiv(c.cfg.InitialPrice, int64(c.cfg.MaxSupply), int64(available))
+}
+
+// OwnerOf returns the current owner of id, if minted.
+func (c *Contract) OwnerOf(id uint64) (chainid.Address, bool) {
+	owner, ok := c.owners[id]
+	return owner, ok
+}
+
+// Owns reports whether addr currently owns token id (the O_k^{i,t} predicate
+// of Table I).
+func (c *Contract) Owns(addr chainid.Address, id uint64) bool {
+	owner, ok := c.owners[id]
+	return ok && owner == addr
+}
+
+// BalanceOf returns the number of tokens addr owns, as ERC-721 balanceOf.
+func (c *Contract) BalanceOf(addr chainid.Address) int {
+	n := 0
+	for _, owner := range c.owners {
+		if owner == addr {
+			n++
+		}
+	}
+	return n
+}
+
+// OwnedBy returns the sorted token ids owned by addr.
+func (c *Contract) OwnedBy(addr chainid.Address) []uint64 {
+	var ids []uint64
+	for id, owner := range c.owners {
+		if owner == addr {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// HoldingsValue returns the mark-to-market value of addr's tokens at the
+// current price: (tokens owned) × P^t. The paper's "IFU total balance" is
+// the L2 balance plus this quantity.
+func (c *Contract) HoldingsValue(addr chainid.Address) wei.Amount {
+	return c.Price().Mul(int64(c.BalanceOf(addr)))
+}
+
+// CanMint checks the supply half of Eq. 1: S^{t-1} ≥ 1 and the id is fresh.
+// The balance half (B ≥ P) is checked by the OVM, which owns account state.
+func (c *Contract) CanMint(id uint64) error {
+	if c.Available() == 0 {
+		return ErrSoldOut
+	}
+	if _, minted := c.owners[id]; minted {
+		return fmt.Errorf("%w: id %d", ErrAlreadyMinted, id)
+	}
+	return nil
+}
+
+// Mint records ownership of a fresh token id by owner (Eq. 2's O and S
+// updates). The caller must have verified CanMint and debited the price.
+func (c *Contract) Mint(owner chainid.Address, id uint64) error {
+	if err := c.CanMint(id); err != nil {
+		return err
+	}
+	price := c.Price()
+	c.owners[id] = owner
+	if id >= c.nextID {
+		c.nextID = id + 1
+	}
+	c.recordEvent(Event{Kind: EventMinted, TokenID: id, To: owner, Price: price})
+	return nil
+}
+
+// NextID returns a token id that has never been minted on this contract,
+// for callers that want auto-assignment.
+func (c *Contract) NextID() uint64 { return c.nextID }
+
+// CanTransfer checks the ownership half of Eq. 3: token id is owned by from.
+func (c *Contract) CanTransfer(id uint64, from chainid.Address) error {
+	owner, ok := c.owners[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrNotMinted, id)
+	}
+	if owner != from {
+		return fmt.Errorf("%w: id %d owned by %s, not %s", ErrNotOwner, id, owner, from)
+	}
+	return nil
+}
+
+// Transfer moves ownership of id from seller to buyer (Eq. 4's O update).
+// Balance movement is the OVM's responsibility.
+func (c *Contract) Transfer(id uint64, from, to chainid.Address) error {
+	if err := c.CanTransfer(id, from); err != nil {
+		return err
+	}
+	c.owners[id] = to
+	c.recordEvent(Event{Kind: EventTransferred, TokenID: id, From: from, To: to, Price: c.Price()})
+	return nil
+}
+
+// CanBurn checks Eq. 5: id is owned by owner.
+func (c *Contract) CanBurn(id uint64, owner chainid.Address) error {
+	return c.CanTransfer(id, owner)
+}
+
+// Burn destroys token id (Eq. 6: ownership cleared, S^t grows by one).
+func (c *Contract) Burn(id uint64, owner chainid.Address) error {
+	if err := c.CanBurn(id, owner); err != nil {
+		return err
+	}
+	price := c.Price()
+	delete(c.owners, id)
+	c.recordEvent(Event{Kind: EventBurned, TokenID: id, From: owner, Price: price})
+	return nil
+}
+
+// Clone returns an independent deep copy of the contract *state*. The event
+// log is deliberately not copied (clones start with an empty log) so that
+// candidate-sequence evaluation stays O(state), not O(history); see Events.
+func (c *Contract) Clone() *Contract {
+	owners := make(map[uint64]chainid.Address, len(c.owners))
+	for id, owner := range c.owners {
+		owners[id] = owner
+	}
+	return &Contract{addr: c.addr, cfg: c.cfg, owners: owners, nextID: c.nextID}
+}
+
+// StateDigest commits to the full contract state (configuration plus the
+// sorted ownership table). It feeds the L2 state root.
+func (c *Contract) StateDigest() chainid.Hash {
+	ids := make([]uint64, 0, len(c.owners))
+	for id := range c.owners {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	segments := make([][]byte, 0, 2+len(ids))
+	segments = append(segments, []byte("parole/token-state"), c.encodeHeader())
+	for _, id := range ids {
+		owner := c.owners[id]
+		entry := make([]byte, 8+chainid.AddressLen)
+		putUint64(entry, id)
+		copy(entry[8:], owner[:])
+		segments = append(segments, entry)
+	}
+	return chainid.HashBytes(segments...)
+}
+
+func (c *Contract) encodeHeader() []byte {
+	b := make([]byte, 0, chainid.AddressLen+8+8+len(c.cfg.Name)+len(c.cfg.Symbol))
+	b = append(b, c.addr[:]...)
+	var u [8]byte
+	putUint64(u[:], c.cfg.MaxSupply)
+	b = append(b, u[:]...)
+	putUint64(u[:], uint64(c.cfg.InitialPrice))
+	b = append(b, u[:]...)
+	b = append(b, c.cfg.Name...)
+	b = append(b, c.cfg.Symbol...)
+	return b
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v >> 56)
+	b[1] = byte(v >> 48)
+	b[2] = byte(v >> 40)
+	b[3] = byte(v >> 32)
+	b[4] = byte(v >> 24)
+	b[5] = byte(v >> 16)
+	b[6] = byte(v >> 8)
+	b[7] = byte(v)
+}

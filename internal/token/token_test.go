@@ -1,0 +1,325 @@
+package token
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parole/internal/chainid"
+	"parole/internal/wei"
+)
+
+var (
+	ptAddr = chainid.DeriveAddress("pt-contract")
+	alice  = chainid.UserAddress(1)
+	bob    = chainid.UserAddress(2)
+)
+
+// caseStudyContract reproduces the system status of Section VI-A: S⁰ = 10,
+// P⁰ = 0.2 ETH, 5 tokens already minted (price 0.4 ETH).
+func caseStudyContract(t testing.TB) *Contract {
+	t.Helper()
+	c, err := Deploy(ptAddr, Config{
+		Name:         "ParoleToken",
+		Symbol:       "PT",
+		MaxSupply:    10,
+		InitialPrice: wei.FromFloat(0.2),
+	})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	for id := uint64(0); id < 5; id++ {
+		owner := alice
+		if id >= 2 {
+			owner = chainid.UserAddress(int(10 + id))
+		}
+		if err := c.Mint(owner, id); err != nil {
+			t.Fatalf("Mint(%d): %v", id, err)
+		}
+	}
+	return c
+}
+
+func TestDeployValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		give Config
+	}{
+		{name: "zero supply", give: Config{MaxSupply: 0, InitialPrice: 1}},
+		{name: "zero price", give: Config{MaxSupply: 10}},
+		{name: "negative price", give: Config{MaxSupply: 10, InitialPrice: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Deploy(ptAddr, tt.give); !errors.Is(err, ErrBadConfiguration) {
+				t.Errorf("Deploy(%+v) = %v, want ErrBadConfiguration", tt.give, err)
+			}
+		})
+	}
+}
+
+func TestEq10PricePoints(t *testing.T) {
+	// The exact price points walked by the paper's case studies.
+	c := caseStudyContract(t)
+	tests := []struct {
+		available uint64
+		want      wei.Amount
+	}{
+		{10, wei.FromFloat(0.2)},
+		{5, wei.FromFloat(0.4)},
+		{4, wei.FromFloat(0.5)},
+		{3, 666_666_666}, // the "0.66 ETH" row
+		{6, 333_333_333}, // the "0.33 ETH" row after a burn
+		{1, wei.FromFloat(2.0)},
+		{0, wei.FromFloat(2.0)}, // sold-out boundary pinned at S=1
+	}
+	for _, tt := range tests {
+		if got := c.PriceAt(tt.available); got != tt.want {
+			t.Errorf("PriceAt(%d) = %s, want %s", tt.available, got, tt.want)
+		}
+	}
+	if got := c.Price(); got != wei.FromFloat(0.4) {
+		t.Errorf("case-study Price() = %s, want 0.4", got)
+	}
+}
+
+func TestMintTransferBurnLifecycle(t *testing.T) {
+	c := caseStudyContract(t)
+	if got := c.Available(); got != 5 {
+		t.Fatalf("Available() = %d, want 5", got)
+	}
+
+	// Mint a fresh id.
+	id := c.NextID()
+	if err := c.Mint(bob, id); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	if !c.Owns(bob, id) {
+		t.Fatal("bob should own the freshly minted token")
+	}
+	if got := c.Available(); got != 4 {
+		t.Fatalf("Available() after mint = %d, want 4", got)
+	}
+	if got := c.Price(); got != wei.FromFloat(0.5) {
+		t.Fatalf("Price() after mint = %s, want 0.5", got)
+	}
+
+	// Transfer it.
+	if err := c.Transfer(id, bob, alice); err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	if !c.Owns(alice, id) || c.Owns(bob, id) {
+		t.Fatal("ownership did not move")
+	}
+	if got := c.Price(); got != wei.FromFloat(0.5) {
+		t.Fatalf("transfer changed the price to %s", got)
+	}
+
+	// Burn it.
+	if err := c.Burn(id, alice); err != nil {
+		t.Fatalf("Burn: %v", err)
+	}
+	if _, minted := c.OwnerOf(id); minted {
+		t.Fatal("burned token still has an owner")
+	}
+	if got := c.Available(); got != 5 {
+		t.Fatalf("Available() after burn = %d, want 5", got)
+	}
+}
+
+func TestMintErrors(t *testing.T) {
+	c := caseStudyContract(t)
+	if err := c.Mint(bob, 0); !errors.Is(err, ErrAlreadyMinted) {
+		t.Errorf("re-mint = %v, want ErrAlreadyMinted", err)
+	}
+	// Exhaust the supply.
+	for c.Available() > 0 {
+		if err := c.Mint(bob, c.NextID()); err != nil {
+			t.Fatalf("Mint: %v", err)
+		}
+	}
+	if err := c.Mint(bob, c.NextID()); !errors.Is(err, ErrSoldOut) {
+		t.Errorf("mint past cap = %v, want ErrSoldOut", err)
+	}
+}
+
+func TestTransferErrors(t *testing.T) {
+	c := caseStudyContract(t)
+	if err := c.Transfer(999, alice, bob); !errors.Is(err, ErrNotMinted) {
+		t.Errorf("transfer unminted = %v, want ErrNotMinted", err)
+	}
+	if err := c.Transfer(0, bob, alice); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("transfer by non-owner = %v, want ErrNotOwner", err)
+	}
+	if err := c.Burn(0, bob); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("burn by non-owner = %v, want ErrNotOwner", err)
+	}
+}
+
+func TestBalanceOfAndOwnedBy(t *testing.T) {
+	c := caseStudyContract(t)
+	if got := c.BalanceOf(alice); got != 2 {
+		t.Fatalf("BalanceOf(alice) = %d, want 2", got)
+	}
+	ids := c.OwnedBy(alice)
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("OwnedBy(alice) = %v, want [0 1]", ids)
+	}
+	if got := c.BalanceOf(bob); got != 0 {
+		t.Fatalf("BalanceOf(bob) = %d, want 0", got)
+	}
+	if c.OwnedBy(bob) != nil {
+		t.Fatal("OwnedBy(bob) should be nil")
+	}
+}
+
+func TestHoldingsValue(t *testing.T) {
+	c := caseStudyContract(t)
+	// Alice holds 2 PTs at 0.4 ETH: the case studies' 0.8 ETH valuation.
+	if got := c.HoldingsValue(alice); got != wei.FromFloat(0.8) {
+		t.Fatalf("HoldingsValue(alice) = %s, want 0.8", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := caseStudyContract(t)
+	clone := c.Clone()
+	if err := clone.Mint(bob, clone.NextID()); err != nil {
+		t.Fatalf("Mint on clone: %v", err)
+	}
+	if c.Available() != 5 {
+		t.Fatal("mutating a clone affected the original")
+	}
+	if c.StateDigest() == clone.StateDigest() {
+		t.Fatal("diverged states share a digest")
+	}
+}
+
+func TestStateDigestDeterministic(t *testing.T) {
+	a := caseStudyContract(t)
+	b := caseStudyContract(t)
+	if a.StateDigest() != b.StateDigest() {
+		t.Fatal("identical states digest differently")
+	}
+}
+
+// TestSupplyConservation is the property S^t + minted^t = S⁰ under any
+// sequence of valid operations.
+func TestSupplyConservation(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := Deploy(ptAddr, Config{MaxSupply: 10, InitialPrice: wei.FromFloat(0.2)})
+		if err != nil {
+			return false
+		}
+		users := []chainid.Address{alice, bob, chainid.UserAddress(3)}
+		for i := 0; i < int(steps); i++ {
+			u := users[rng.Intn(len(users))]
+			switch rng.Intn(3) {
+			case 0:
+				_ = c.Mint(u, c.NextID())
+			case 1:
+				if ids := c.OwnedBy(u); len(ids) > 0 {
+					_ = c.Transfer(ids[0], u, users[rng.Intn(len(users))])
+				}
+			case 2:
+				if ids := c.OwnedBy(u); len(ids) > 0 {
+					_ = c.Burn(ids[0], u)
+				}
+			}
+			if c.Minted()+c.Available() != c.MaxSupply() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPriceMonotoneInScarcity: fewer available tokens must never lower the
+// price (Eq. 10 is monotone decreasing in S^t).
+func TestPriceMonotoneInScarcity(t *testing.T) {
+	c := caseStudyContract(t)
+	prev := c.PriceAt(c.MaxSupply())
+	for s := c.MaxSupply() - 1; ; s-- {
+		cur := c.PriceAt(s)
+		if cur < prev {
+			t.Fatalf("PriceAt(%d) = %s < PriceAt(%d) = %s", s, cur, s+1, prev)
+		}
+		prev = cur
+		if s == 0 {
+			break
+		}
+	}
+}
+
+func TestEventLog(t *testing.T) {
+	c := caseStudyContract(t) // 5 pre-mints recorded
+	events := c.Events()
+	if len(events) != 5 {
+		t.Fatalf("events after setup = %d, want 5", len(events))
+	}
+	// Pre-mint prices follow the curve: 0.2, 10/9*0.2, 0.25, 10/7*0.2, 10/6*0.2.
+	if events[0].Price != wei.FromFloat(0.2) || events[0].Kind != EventMinted {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	id := c.NextID()
+	if err := c.Mint(bob, id); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Transfer(id, bob, alice); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Burn(id, alice); err != nil {
+		t.Fatal(err)
+	}
+	events = c.Events()
+	if len(events) != 8 {
+		t.Fatalf("events = %d, want 8", len(events))
+	}
+	mint, transfer, burn := events[5], events[6], events[7]
+	if mint.Kind != EventMinted || mint.To != bob || mint.Price != wei.FromFloat(0.4) {
+		t.Fatalf("mint event = %+v", mint)
+	}
+	if transfer.Kind != EventTransferred || transfer.From != bob || transfer.To != alice {
+		t.Fatalf("transfer event = %+v", transfer)
+	}
+	// Transfer happens at the post-mint price 0.5.
+	if transfer.Price != wei.FromFloat(0.5) {
+		t.Fatalf("transfer price = %s", transfer.Price)
+	}
+	if burn.Kind != EventBurned || burn.From != alice || burn.Price != wei.FromFloat(0.5) {
+		t.Fatalf("burn event = %+v", burn)
+	}
+	for _, e := range events {
+		if e.String() == "" {
+			t.Fatal("empty event string")
+		}
+	}
+}
+
+func TestCloneDoesNotInheritEvents(t *testing.T) {
+	c := caseStudyContract(t)
+	clone := c.Clone()
+	if got := len(clone.Events()); got != 0 {
+		t.Fatalf("clone inherited %d events", got)
+	}
+	if err := clone.Mint(bob, clone.NextID()); err != nil {
+		t.Fatal(err)
+	}
+	if len(clone.Events()) != 1 || len(c.Events()) != 5 {
+		t.Fatal("event logs not independent")
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	c := caseStudyContract(t)
+	events := c.Events()
+	events[0].TokenID = 999
+	if c.Events()[0].TokenID == 999 {
+		t.Fatal("Events exposed internal storage")
+	}
+}

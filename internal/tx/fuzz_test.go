@@ -1,0 +1,29 @@
+package tx
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode: decoding arbitrary bytes must never panic, and anything that
+// decodes must re-encode to the canonical prefix it was decoded from.
+func FuzzDecode(f *testing.F) {
+	f.Add(Mint(testToken, 1, alice).Encode())
+	f.Add(Transfer(testToken, 7, alice, bob).WithFees(5, 2).Encode())
+	f.Add(Burn(testToken, 3, bob).WithNonce(9).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := decoded.Encode()
+		if len(data) < len(re) {
+			t.Fatalf("decoded from %d bytes but re-encodes to %d", len(data), len(re))
+		}
+		if !bytes.Equal(re, data[:len(re)]) {
+			t.Fatalf("canonical re-encoding mismatch")
+		}
+	})
+}

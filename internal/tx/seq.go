@@ -1,0 +1,83 @@
+package tx
+
+import (
+	"parole/internal/chainid"
+)
+
+// Seq is an ordered sequence of transactions — the aggregator's "Mempool" of
+// size N in the paper's terminology. The GENTRANSEQ module permutes a Seq
+// via swap actions.
+type Seq []Tx
+
+// Clone returns an independent copy of the sequence.
+func (s Seq) Clone() Seq {
+	out := make(Seq, len(s))
+	copy(out, s)
+	return out
+}
+
+// Swap exchanges the transactions at positions i and j in place.
+func (s Seq) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+
+// Swapped returns a copy of the sequence with positions i and j exchanged.
+func (s Seq) Swapped(i, j int) Seq {
+	out := s.Clone()
+	out.Swap(i, j)
+	return out
+}
+
+// Hash commits to the exact order and content of the sequence. Two sequences
+// with the same transactions in different orders hash differently; this is
+// what batches and fraud proofs commit to.
+func (s Seq) Hash() chainid.Hash {
+	segments := make([][]byte, 0, len(s)+1)
+	segments = append(segments, []byte("parole/seq"))
+	for _, t := range s {
+		segments = append(segments, t.Encode())
+	}
+	return chainid.HashBytes(segments...)
+}
+
+// Involving returns the indices of transactions that involve addr.
+func (s Seq) Involving(addr chainid.Address) []int {
+	var idx []int
+	for i, t := range s {
+		if t.Involves(addr) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// CountKind returns how many transactions of kind k the sequence contains.
+func (s Seq) CountKind(k Kind) int {
+	n := 0
+	for _, t := range s {
+		if t.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// SamePermutation reports whether o contains exactly the same multiset of
+// transactions as s (in any order). It is the well-formedness check verifiers
+// can apply to a re-ordered batch: the PAROLE attack permutes, it never
+// injects or drops.
+func (s Seq) SamePermutation(o Seq) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	counts := make(map[chainid.Hash]int, len(s))
+	for _, t := range s {
+		counts[t.Hash()]++
+	}
+	for _, t := range o {
+		h := t.Hash()
+		counts[h]--
+		if counts[h] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,123 @@
+package tx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parole/internal/chainid"
+)
+
+func sampleSeq() Seq {
+	return Seq{
+		Transfer(testToken, 1, alice, bob),
+		Mint(testToken, 6, chainid.UserAddress(19)),
+		Transfer(testToken, 2, bob, alice),
+		Burn(testToken, 3, bob),
+	}
+}
+
+func TestSeqCloneIndependence(t *testing.T) {
+	s := sampleSeq()
+	c := s.Clone()
+	c.Swap(0, 1)
+	if s[0].Kind != KindTransfer {
+		t.Fatal("Clone shares backing storage with original")
+	}
+}
+
+func TestSwapIsInvolution(t *testing.T) {
+	f := func(seed int64, iRaw, jRaw uint8) bool {
+		s := sampleSeq()
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(s), s.Swap)
+		i, j := int(iRaw)%len(s), int(jRaw)%len(s)
+		orig := s.Clone()
+		s.Swap(i, j)
+		s.Swap(i, j)
+		return s.Hash() == orig.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeqHashOrderSensitive(t *testing.T) {
+	s := sampleSeq()
+	if s.Hash() == s.Swapped(0, 1).Hash() {
+		t.Fatal("sequence hash ignores order")
+	}
+	if s.Hash() != sampleSeq().Hash() {
+		t.Fatal("sequence hash not deterministic")
+	}
+}
+
+func TestSwappedLeavesOriginal(t *testing.T) {
+	s := sampleSeq()
+	h := s.Hash()
+	_ = s.Swapped(1, 3)
+	if s.Hash() != h {
+		t.Fatal("Swapped mutated the receiver")
+	}
+}
+
+func TestInvolving(t *testing.T) {
+	s := sampleSeq()
+	got := s.Involving(alice)
+	want := []int{0, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Involving(alice) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Involving(alice) = %v, want %v", got, want)
+		}
+	}
+	if s.Involving(chainid.UserAddress(99)) != nil {
+		t.Error("Involving(stranger) should be nil")
+	}
+}
+
+func TestCountKind(t *testing.T) {
+	s := sampleSeq()
+	if s.CountKind(KindTransfer) != 2 || s.CountKind(KindMint) != 1 || s.CountKind(KindBurn) != 1 {
+		t.Errorf("CountKind mismatch: %d/%d/%d",
+			s.CountKind(KindTransfer), s.CountKind(KindMint), s.CountKind(KindBurn))
+	}
+}
+
+func TestSamePermutation(t *testing.T) {
+	s := sampleSeq()
+	shuffled := s.Clone()
+	shuffled.Swap(0, 3)
+	shuffled.Swap(1, 2)
+	if !s.SamePermutation(shuffled) {
+		t.Error("a true permutation was rejected")
+	}
+	if s.SamePermutation(s[:3]) {
+		t.Error("shorter sequence accepted as permutation")
+	}
+	injected := s.Clone()
+	injected[0] = Mint(testToken, 99, bob)
+	if s.SamePermutation(injected) {
+		t.Error("sequence with injected tx accepted as permutation")
+	}
+	// Duplicate handling: [a,a,b] is not a permutation of [a,b,b].
+	a := Mint(testToken, 1, alice)
+	b := Burn(testToken, 2, bob)
+	if (Seq{a, a, b}).SamePermutation(Seq{a, b, b}) {
+		t.Error("multiset counting broken for duplicates")
+	}
+}
+
+func TestSamePermutationQuickShuffle(t *testing.T) {
+	f := func(seed int64) bool {
+		s := sampleSeq()
+		o := s.Clone()
+		rand.New(rand.NewSource(seed)).Shuffle(len(o), o.Swap)
+		return s.SamePermutation(o) && o.SamePermutation(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package tx defines the NFT transaction model of the PAROLE paper.
+//
+// The paper's optimistic-rollup workload consists of exactly three
+// transaction kinds over a limited-edition ERC-721 token (Table I):
+//
+//   - Mint   M_k^{i,t}: user k creates token i,
+//   - Transfer T_{k,j}^{i,t}: user k sells token i to user j at the current
+//     bonding-curve price, and
+//   - Burn   D_k^{i,t}: user k destroys token i, returning it to the
+//     mintable supply.
+//
+// Transactions carry base and priority fees because Bedrock's mempool orders
+// pending transactions by fee (Section VIII); the adversarial aggregator's
+// deviation from that order is the attack.
+package tx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"parole/internal/chainid"
+	"parole/internal/wei"
+)
+
+// Kind enumerates the NFT transaction types.
+type Kind uint8
+
+// The three transaction kinds of Table I.
+const (
+	KindMint Kind = iota + 1
+	KindTransfer
+	KindBurn
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindMint:
+		return "mint"
+	case KindTransfer:
+		return "transfer"
+	case KindBurn:
+		return "burn"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is one of the defined kinds.
+func (k Kind) Valid() bool { return k >= KindMint && k <= KindBurn }
+
+// Validation errors.
+var (
+	ErrInvalidKind   = errors.New("tx: invalid transaction kind")
+	ErrZeroActor     = errors.New("tx: zero actor address")
+	ErrMissingBuyer  = errors.New("tx: transfer requires a buyer")
+	ErrSelfTransfer  = errors.New("tx: transfer to self")
+	ErrNegativeFee   = errors.New("tx: negative fee")
+	ErrShortEncoding = errors.New("tx: encoding too short")
+)
+
+// Tx is one NFT transaction. Fields follow Table I of the paper.
+//
+// For a mint, From is the minter and To is unused. For a transfer, From is
+// the seller (current owner) and To the buyer who pays the current price.
+// For a burn, From is the owner destroying the token.
+type Tx struct {
+	Kind    Kind
+	Token   chainid.Address // the NFT contract the tx operates on
+	TokenID uint64          // unique token identifier i
+	From    chainid.Address
+	To      chainid.Address
+	Nonce   uint64
+
+	// BaseFee and PriorityFee drive the mempool's default ordering.
+	BaseFee     wei.Amount
+	PriorityFee wei.Amount
+}
+
+// Mint constructs a mint transaction of token id by minter.
+func Mint(token chainid.Address, id uint64, minter chainid.Address) Tx {
+	return Tx{Kind: KindMint, Token: token, TokenID: id, From: minter}
+}
+
+// Transfer constructs a sale of token id from seller to buyer.
+func Transfer(token chainid.Address, id uint64, seller, buyer chainid.Address) Tx {
+	return Tx{Kind: KindTransfer, Token: token, TokenID: id, From: seller, To: buyer}
+}
+
+// Burn constructs a burn of token id by its owner.
+func Burn(token chainid.Address, id uint64, owner chainid.Address) Tx {
+	return Tx{Kind: KindBurn, Token: token, TokenID: id, From: owner}
+}
+
+// WithFees returns a copy of t carrying the given base and priority fees.
+func (t Tx) WithFees(base, priority wei.Amount) Tx {
+	t.BaseFee, t.PriorityFee = base, priority
+	return t
+}
+
+// WithNonce returns a copy of t carrying the given nonce.
+func (t Tx) WithNonce(n uint64) Tx {
+	t.Nonce = n
+	return t
+}
+
+// Fee returns the total fee the sender offers (base + priority).
+func (t Tx) Fee() wei.Amount { return t.BaseFee + t.PriorityFee }
+
+// Validate checks structural well-formedness. It does not consult chain
+// state; executability against a state is the OVM's job.
+func (t Tx) Validate() error {
+	if !t.Kind.Valid() {
+		return ErrInvalidKind
+	}
+	if t.From.IsZero() {
+		return ErrZeroActor
+	}
+	if t.BaseFee < 0 || t.PriorityFee < 0 {
+		return ErrNegativeFee
+	}
+	switch t.Kind {
+	case KindTransfer:
+		if t.To.IsZero() {
+			return ErrMissingBuyer
+		}
+		if t.To == t.From {
+			return ErrSelfTransfer
+		}
+	case KindMint, KindBurn:
+		if !t.To.IsZero() {
+			return fmt.Errorf("tx: %s must not set To", t.Kind)
+		}
+	}
+	return nil
+}
+
+// Involves reports whether addr participates in the transaction — as minter,
+// seller, buyer, or burner. This is the IFU-involvement test of Section V-B.
+func (t Tx) Involves(addr chainid.Address) bool {
+	return t.From == addr || (t.Kind == KindTransfer && t.To == addr)
+}
+
+// encodedSize is the fixed byte length of an encoded transaction.
+const encodedSize = 1 + chainid.AddressLen*3 + 8*4
+
+// Encode serializes the transaction into a fixed-width binary form. The
+// encoding is canonical: equal transactions encode identically, so the hash
+// is a stable identity.
+func (t Tx) Encode() []byte {
+	buf := make([]byte, 0, encodedSize)
+	buf = append(buf, byte(t.Kind))
+	buf = append(buf, t.Token[:]...)
+	buf = append(buf, t.From[:]...)
+	buf = append(buf, t.To[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, t.TokenID)
+	buf = binary.BigEndian.AppendUint64(buf, t.Nonce)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(t.BaseFee))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(t.PriorityFee))
+	return buf
+}
+
+// Decode parses a transaction previously produced by Encode.
+func Decode(b []byte) (Tx, error) {
+	if len(b) < encodedSize {
+		return Tx{}, fmt.Errorf("%w: %d bytes", ErrShortEncoding, len(b))
+	}
+	var t Tx
+	t.Kind = Kind(b[0])
+	off := 1
+	copy(t.Token[:], b[off:])
+	off += chainid.AddressLen
+	copy(t.From[:], b[off:])
+	off += chainid.AddressLen
+	copy(t.To[:], b[off:])
+	off += chainid.AddressLen
+	t.TokenID = binary.BigEndian.Uint64(b[off:])
+	t.Nonce = binary.BigEndian.Uint64(b[off+8:])
+	t.BaseFee = wei.Amount(binary.BigEndian.Uint64(b[off+16:]))
+	t.PriorityFee = wei.Amount(binary.BigEndian.Uint64(b[off+24:]))
+	if !t.Kind.Valid() {
+		return Tx{}, ErrInvalidKind
+	}
+	return t, nil
+}
+
+// Hash returns the transaction id.
+func (t Tx) Hash() chainid.Hash {
+	return chainid.HashBytes([]byte("parole/tx"), t.Encode())
+}
+
+// String renders the transaction in the notation of the paper's case-study
+// tables, e.g. "Transfer PT#3: 0xab..cd -> 0xef..01".
+func (t Tx) String() string {
+	switch t.Kind {
+	case KindTransfer:
+		return fmt.Sprintf("Transfer #%d: %s -> %s", t.TokenID, t.From, t.To)
+	case KindMint:
+		return fmt.Sprintf("Mint #%d: %s", t.TokenID, t.From)
+	case KindBurn:
+		return fmt.Sprintf("Burn #%d: %s", t.TokenID, t.From)
+	default:
+		return fmt.Sprintf("invalid tx kind %d", t.Kind)
+	}
+}

@@ -1,0 +1,176 @@
+package tx
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"parole/internal/chainid"
+	"parole/internal/wei"
+)
+
+var (
+	testToken = chainid.DeriveAddress("pt-contract")
+	alice     = chainid.UserAddress(1)
+	bob       = chainid.UserAddress(2)
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		give Kind
+		want string
+	}{
+		{KindMint, "mint"},
+		{KindTransfer, "transfer"},
+		{KindBurn, "burn"},
+		{Kind(9), "kind(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    Tx
+		wantErr error
+	}{
+		{name: "valid mint", give: Mint(testToken, 1, alice)},
+		{name: "valid transfer", give: Transfer(testToken, 1, alice, bob)},
+		{name: "valid burn", give: Burn(testToken, 1, alice)},
+		{name: "bad kind", give: Tx{Kind: 0, From: alice}, wantErr: ErrInvalidKind},
+		{name: "zero actor", give: Tx{Kind: KindMint}, wantErr: ErrZeroActor},
+		{name: "transfer without buyer", give: Tx{Kind: KindTransfer, From: alice}, wantErr: ErrMissingBuyer},
+		{name: "self transfer", give: Transfer(testToken, 1, alice, alice), wantErr: ErrSelfTransfer},
+		{
+			name:    "negative fee",
+			give:    Mint(testToken, 1, alice).WithFees(-1, 0),
+			wantErr: ErrNegativeFee,
+		},
+		{
+			name:    "mint with To set",
+			give:    Tx{Kind: KindMint, From: alice, To: bob},
+			wantErr: nil, // matched by message below
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if tt.wantErr != nil {
+				if !errors.Is(err, tt.wantErr) {
+					t.Fatalf("Validate() = %v, want %v", err, tt.wantErr)
+				}
+				return
+			}
+			if tt.name == "mint with To set" {
+				if err == nil {
+					t.Fatal("mint with To set should fail validation")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Validate() unexpected error: %v", err)
+			}
+		})
+	}
+}
+
+func TestInvolves(t *testing.T) {
+	carol := chainid.UserAddress(3)
+	tr := Transfer(testToken, 5, alice, bob)
+	if !tr.Involves(alice) || !tr.Involves(bob) {
+		t.Error("transfer should involve both seller and buyer")
+	}
+	if tr.Involves(carol) {
+		t.Error("transfer should not involve a stranger")
+	}
+	m := Mint(testToken, 5, alice)
+	if !m.Involves(alice) || m.Involves(bob) {
+		t.Error("mint involvement wrong")
+	}
+	b := Burn(testToken, 5, bob)
+	if !b.Involves(bob) || b.Involves(alice) {
+		t.Error("burn involvement wrong")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	give := Transfer(testToken, 42, alice, bob).
+		WithFees(wei.FromFloat(0.001), wei.FromFloat(0.0002)).
+		WithNonce(7)
+	got, err := Decode(give.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got != give {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, give)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrShortEncoding) {
+		t.Errorf("Decode(nil) = %v, want ErrShortEncoding", err)
+	}
+	enc := Mint(testToken, 1, alice).Encode()
+	enc[0] = 200 // invalid kind byte
+	if _, err := Decode(enc); !errors.Is(err, ErrInvalidKind) {
+		t.Errorf("Decode(bad kind) = %v, want ErrInvalidKind", err)
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(kindSel uint8, id, nonce uint64, base, prio int32, fromSeed, toSeed uint16) bool {
+		give := Tx{
+			Kind:        Kind(kindSel%3 + 1),
+			Token:       testToken,
+			TokenID:     id,
+			From:        chainid.UserAddress(int(fromSeed)),
+			To:          chainid.UserAddress(int(toSeed)),
+			Nonce:       nonce,
+			BaseFee:     wei.Amount(base).Abs(),
+			PriorityFee: wei.Amount(prio).Abs(),
+		}
+		got, err := Decode(give.Encode())
+		return err == nil && got == give
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashIdentity(t *testing.T) {
+	a := Mint(testToken, 1, alice)
+	b := Mint(testToken, 1, alice)
+	if a.Hash() != b.Hash() {
+		t.Error("equal txs hash differently")
+	}
+	if a.Hash() == a.WithNonce(1).Hash() {
+		t.Error("nonce change did not change hash")
+	}
+	if a.Hash() == Mint(testToken, 2, alice).Hash() {
+		t.Error("token id change did not change hash")
+	}
+}
+
+func TestFee(t *testing.T) {
+	give := Mint(testToken, 1, alice).WithFees(100, 25)
+	if got := give.Fee(); got != 125 {
+		t.Errorf("Fee() = %d, want 125", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := Transfer(testToken, 3, alice, bob).String(); !strings.HasPrefix(s, "Transfer #3:") {
+		t.Errorf("transfer String() = %q", s)
+	}
+	if s := Mint(testToken, 9, alice).String(); !strings.HasPrefix(s, "Mint #9:") {
+		t.Errorf("mint String() = %q", s)
+	}
+	if s := Burn(testToken, 1, bob).String(); !strings.HasPrefix(s, "Burn #1:") {
+		t.Errorf("burn String() = %q", s)
+	}
+}

@@ -1,0 +1,25 @@
+package wei
+
+import "testing"
+
+// FuzzParse: parsing arbitrary strings must never panic, and every accepted
+// input must round-trip through String back to the same Amount.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"0", "1.5", "-0.4", "+2", ".5", "2.", "abc",
+		"9223372036.854775807", "1..2", "0.000000001", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(a.String())
+		if err != nil {
+			t.Fatalf("String() of parsed %q does not re-parse: %v", s, err)
+		}
+		if back != a {
+			t.Fatalf("round trip %q: %d != %d", s, int64(back), int64(a))
+		}
+	})
+}

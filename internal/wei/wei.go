@@ -1,0 +1,168 @@
+// Package wei provides fixed-point monetary arithmetic for the PAROLE
+// simulator.
+//
+// All balances, prices, and fees in the repository are represented as an
+// Amount: a signed 64-bit count of gwei (1 ETH = 1e9 gwei). Integer
+// arithmetic keeps every component of the system — the optimistic VM, the
+// GENTRANSEQ reward function, and the experiment harness — exactly
+// reproducible across runs and platforms, which floating point would not.
+//
+// The paper reports case-study balances in ETH (Fig. 5) but labels the
+// profit axis of Fig. 7 in "Satoshis". To regenerate that figure with the
+// same units we adopt the Bitcoin convention 1 coin = 1e8 sats and expose
+// Sats as a pure display conversion; accounting never happens in sats.
+package wei
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Amount is a monetary quantity in gwei (1e-9 ETH). The zero value is zero
+// ETH and ready to use. Amounts may be negative: deltas and profits are
+// Amounts too.
+type Amount int64
+
+// Common denominations.
+const (
+	Gwei Amount = 1
+	// ETH is one ether expressed in gwei.
+	ETH Amount = 1_000_000_000
+)
+
+// Errors returned by Parse.
+var (
+	ErrSyntax   = errors.New("wei: invalid amount syntax")
+	ErrOverflow = errors.New("wei: amount overflows int64 gwei")
+)
+
+// FromETH converts a whole number of ether to an Amount.
+func FromETH(eth int64) Amount { return Amount(eth) * ETH }
+
+// FromFloat converts a float ETH quantity to an Amount, rounding to the
+// nearest gwei. It is intended for test fixtures and display-level code, not
+// for accounting paths.
+func FromFloat(eth float64) Amount {
+	return Amount(math.Round(eth * float64(ETH)))
+}
+
+// ETHFloat returns the amount as a float64 number of ether. Display only.
+func (a Amount) ETHFloat() float64 { return float64(a) / float64(ETH) }
+
+// Sats returns the amount using the satoshi display convention of the
+// paper's Fig. 7 (1 ETH = 1e8 sats), i.e. gwei/10.
+func (a Amount) Sats() int64 { return int64(a) / 10 }
+
+// Mul returns a*k.
+func (a Amount) Mul(k int64) Amount { return a * Amount(k) }
+
+// Div returns a/k, truncating toward zero. k must be non-zero.
+func (a Amount) Div(k int64) Amount { return a / Amount(k) }
+
+// MulDiv returns a*num/den computed without intermediate overflow for the
+// magnitudes used in the simulator (|a| < 2^53, num/den < 2^31). It truncates
+// toward zero, matching Eq. 10's integer price points. den must be non-zero.
+func MulDiv(a Amount, num, den int64) Amount {
+	// Split a into high and low parts so the product stays in range even
+	// when a*num would overflow int64.
+	const half = int64(1) << 32
+	hi, lo := int64(a)/half, int64(a)%half
+	return Amount((hi*num/den)*half + (hi*num%den*half+lo*num)/den)
+}
+
+// IsNegative reports whether the amount is below zero.
+func (a Amount) IsNegative() bool { return a < 0 }
+
+// Abs returns the absolute value of a.
+func (a Amount) Abs() Amount {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// String renders the amount as a decimal ETH string with trailing zeros
+// trimmed, e.g. "0.4", "2.82", "-1", "0.666666666".
+func (a Amount) String() string {
+	neg := a < 0
+	v := int64(a)
+	if neg {
+		v = -v
+	}
+	whole, frac := v/int64(ETH), v%int64(ETH)
+	var b strings.Builder
+	if neg {
+		b.WriteByte('-')
+	}
+	b.WriteString(strconv.FormatInt(whole, 10))
+	if frac != 0 {
+		s := fmt.Sprintf("%09d", frac)
+		s = strings.TrimRight(s, "0")
+		b.WriteByte('.')
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+// Parse parses a decimal ETH string ("1.5", "-0.4", "2") into an Amount.
+// At most nine fractional digits are allowed (gwei resolution).
+func Parse(s string) (Amount, error) {
+	if s == "" {
+		return 0, ErrSyntax
+	}
+	neg := false
+	switch s[0] {
+	case '-':
+		neg, s = true, s[1:]
+	case '+':
+		s = s[1:]
+	}
+	if s == "" || s == "." {
+		return 0, ErrSyntax
+	}
+	wholeStr, fracStr := s, ""
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		wholeStr, fracStr = s[:i], s[i+1:]
+	}
+	if len(fracStr) > 9 {
+		return 0, fmt.Errorf("%w: more than 9 fractional digits in %q", ErrSyntax, s)
+	}
+	var whole int64
+	if wholeStr != "" {
+		var err error
+		whole, err = strconv.ParseInt(wholeStr, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %q", ErrSyntax, s)
+		}
+	}
+	var frac int64
+	if fracStr != "" {
+		var err error
+		frac, err = strconv.ParseInt(fracStr+strings.Repeat("0", 9-len(fracStr)), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %q", ErrSyntax, s)
+		}
+	}
+	const maxWhole = math.MaxInt64 / int64(ETH)
+	if whole > maxWhole || (whole == maxWhole && frac > math.MaxInt64%int64(ETH)) {
+		return 0, ErrOverflow
+	}
+	v := Amount(whole)*ETH + Amount(frac)
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// MustParse is Parse for constant fixtures; it panics on malformed input and
+// must only be used with literal strings.
+func MustParse(s string) Amount {
+	a, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

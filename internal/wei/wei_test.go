@@ -1,0 +1,199 @@
+package wei
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromETH(t *testing.T) {
+	tests := []struct {
+		give int64
+		want Amount
+	}{
+		{0, 0},
+		{1, 1_000_000_000},
+		{-3, -3_000_000_000},
+		{1000, 1_000_000_000_000},
+	}
+	for _, tt := range tests {
+		if got := FromETH(tt.give); got != tt.want {
+			t.Errorf("FromETH(%d) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestFromFloatRounds(t *testing.T) {
+	tests := []struct {
+		give float64
+		want Amount
+	}{
+		{0.4, 400_000_000},
+		{1.5, 1_500_000_000},
+		{0.6666666666, 666_666_667}, // rounds to nearest gwei
+		{-0.25, -250_000_000},
+	}
+	for _, tt := range tests {
+		if got := FromFloat(tt.give); got != tt.want {
+			t.Errorf("FromFloat(%v) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	tests := []struct {
+		give Amount
+		want string
+	}{
+		{0, "0"},
+		{ETH, "1"},
+		{4 * ETH / 10, "0.4"},
+		{FromFloat(2.82), "2.82"},
+		{-ETH / 2, "-0.5"},
+		{666_666_666, "0.666666666"},
+		{1, "0.000000001"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Amount(%d).String() = %q, want %q", int64(tt.give), got, tt.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    Amount
+		wantErr bool
+	}{
+		{give: "0", want: 0},
+		{give: "1.5", want: FromFloat(1.5)},
+		{give: "-0.4", want: -400_000_000},
+		{give: "+2", want: 2 * ETH},
+		{give: ".5", want: ETH / 2},
+		{give: "2.", want: 2 * ETH},
+		{give: "0.000000001", want: 1},
+		{give: "", wantErr: true},
+		{give: ".", wantErr: true},
+		{give: "-", wantErr: true},
+		{give: "1.0000000001", wantErr: true}, // 10 fractional digits
+		{give: "abc", wantErr: true},
+		{give: "1..2", wantErr: true},
+		{give: "99999999999999999999", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.give)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("Parse(%q) = %d, want error", tt.give, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q) unexpected error: %v", tt.give, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Parse(%q) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestParseOverflowBoundary(t *testing.T) {
+	// Largest representable amount: MaxInt64 gwei.
+	maxStr := "9223372036.854775807"
+	got, err := Parse(maxStr)
+	if err != nil {
+		t.Fatalf("Parse(%q) unexpected error: %v", maxStr, err)
+	}
+	if got != math.MaxInt64 {
+		t.Fatalf("Parse(%q) = %d, want MaxInt64", maxStr, int64(got))
+	}
+	if _, err := Parse("9223372036.854775808"); err == nil {
+		t.Fatal("Parse of MaxInt64+1 gwei should fail")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		a := Amount(v)
+		back, err := Parse(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulDiv(t *testing.T) {
+	tests := []struct {
+		a        Amount
+		num, den int64
+		want     Amount
+	}{
+		{FromFloat(0.2), 10, 5, FromFloat(0.4)}, // Eq.10 initial case study price
+		{FromFloat(0.2), 10, 4, FromFloat(0.5)}, // after one mint
+		{FromFloat(0.2), 10, 3, 666_666_666},    // 0.66 ETH, truncated
+		{FromFloat(0.2), 10, 6, 333_333_333},    // 0.33 ETH after burn
+		{ETH, 1, 1, ETH},
+		{0, 7, 3, 0},
+		{-FromFloat(0.2), 10, 4, -FromFloat(0.5)},
+	}
+	for _, tt := range tests {
+		if got := MulDiv(tt.a, tt.num, tt.den); got != tt.want {
+			t.Errorf("MulDiv(%d, %d, %d) = %d, want %d", int64(tt.a), tt.num, tt.den, int64(got), int64(tt.want))
+		}
+	}
+}
+
+func TestMulDivLargeNoOverflow(t *testing.T) {
+	// 9e6 ETH * 3000/7 would overflow a naive int64 multiply
+	// (9e15 gwei * 3000 > 2^63), but must not overflow MulDiv.
+	a := FromETH(9_000_000)
+	got := MulDiv(a, 3000, 7)
+	// 9e15 gwei * 3000 / 7 = 27e18/7 = 3857142857142857142.857…,
+	// truncated toward zero.
+	const want = Amount(3_857_142_857_142_857_142)
+	if got != want {
+		t.Fatalf("MulDiv large = %d, want %d", int64(got), int64(want))
+	}
+}
+
+func TestMulDivMatchesDirectForSmallValues(t *testing.T) {
+	f := func(a int32, num uint8, den uint8) bool {
+		d := int64(den)%100 + 1
+		n := int64(num) % 100
+		amt := Amount(a)
+		return MulDiv(amt, n, d) == Amount(int64(amt)*n/d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSats(t *testing.T) {
+	if got := ETH.Sats(); got != 100_000_000 {
+		t.Errorf("1 ETH = %d sats, want 1e8", got)
+	}
+	if got := FromFloat(0.5).Sats(); got != 50_000_000 {
+		t.Errorf("0.5 ETH = %d sats, want 5e7", got)
+	}
+}
+
+func TestAbsAndIsNegative(t *testing.T) {
+	if !Amount(-1).IsNegative() || Amount(1).IsNegative() || Amount(0).IsNegative() {
+		t.Error("IsNegative misclassifies")
+	}
+	if Amount(-5).Abs() != 5 || Amount(5).Abs() != 5 || Amount(0).Abs() != 0 {
+		t.Error("Abs wrong")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse of garbage did not panic")
+		}
+	}()
+	MustParse("not-a-number")
+}

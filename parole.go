@@ -1,0 +1,329 @@
+// Package parole is a research-grade Go implementation of the PAROLE attack
+// on optimistic rollups (Khalil & Rahman, "PAROLE: Profitable Arbitrage in
+// Optimistic Rollup with ERC-721 Token Transactions", DSN 2024), together
+// with every substrate the paper's evaluation runs on: an L1 chain with the
+// optimistic-rollup contract, Bedrock's private mempool, an optimistic VM,
+// a limited-edition ERC-721 token with scarcity-driven pricing, a
+// from-scratch DQN, baseline combinatorial solvers, and the Section VIII
+// defense.
+//
+// The package is a facade: it re-exports the stable public surface of the
+// internal packages so a downstream user never imports parole/internal/...
+// directly. Three layers matter:
+//
+//   - World building: NewState, DeployToken, the Mint/Transfer/Burn
+//     transaction constructors, and NewVM to execute sequences.
+//   - Protocol: NewNode, NewAggregator, NewVerifier, and NewNetwork run the
+//     full deposit → mempool → batch → fraud-proof → challenge pipeline.
+//   - Attack and defense: NewAdversarialSequencer plugs the PAROLE module
+//     into an aggregator; Attack runs it on one batch; NewDetector is the
+//     mempool-side mitigation.
+//
+// See examples/ for runnable walk-throughs and DESIGN.md for the
+// paper-to-package map.
+package parole
+
+import (
+	"math/rand"
+
+	"parole/internal/arbitrage"
+	"parole/internal/casestudy"
+	"parole/internal/chainid"
+	"parole/internal/core"
+	"parole/internal/defense"
+	"parole/internal/gentranseq"
+	"parole/internal/l1"
+	"parole/internal/mempool"
+	"parole/internal/ovm"
+	"parole/internal/rl"
+	"parole/internal/rollup"
+	"parole/internal/sim"
+	"parole/internal/snapshot"
+	"parole/internal/solver"
+	"parole/internal/state"
+	"parole/internal/token"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// Identity and money primitives.
+type (
+	// Address identifies an account or contract (20 bytes).
+	Address = chainid.Address
+	// Hash is a 32-byte digest (tx ids, state roots, block ids).
+	Hash = chainid.Hash
+	// Amount is a monetary quantity in gwei (1 ETH = 1e9 gwei).
+	Amount = wei.Amount
+)
+
+// Monetary constructors and constants.
+var (
+	// FromETH converts whole ether to an Amount.
+	FromETH = wei.FromETH
+	// FromFloat converts a float ETH quantity to an Amount (fixtures and
+	// display only).
+	FromFloat = wei.FromFloat
+	// ParseAmount parses a decimal ETH string.
+	ParseAmount = wei.Parse
+)
+
+// ETH is one ether in gwei.
+const ETH = wei.ETH
+
+// Address derivation helpers.
+var (
+	// DeriveAddress derives a deterministic address from a label.
+	DeriveAddress = chainid.DeriveAddress
+	// UserAddress returns the k-th simulated user address (U_k).
+	UserAddress = chainid.UserAddress
+	// AggregatorAddress returns the k-th aggregator address (A_k).
+	AggregatorAddress = chainid.AggregatorAddress
+	// VerifierAddress returns the k-th verifier address (V_k).
+	VerifierAddress = chainid.VerifierAddress
+)
+
+// Transactions.
+type (
+	// Tx is one NFT transaction (mint / transfer / burn).
+	Tx = tx.Tx
+	// TxKind enumerates the transaction kinds.
+	TxKind = tx.Kind
+	// Seq is an ordered transaction sequence (an aggregator batch).
+	Seq = tx.Seq
+)
+
+// Transaction kinds.
+const (
+	KindMint     = tx.KindMint
+	KindTransfer = tx.KindTransfer
+	KindBurn     = tx.KindBurn
+)
+
+// Transaction constructors.
+var (
+	// Mint constructs a mint of token id by minter.
+	Mint = tx.Mint
+	// Transfer constructs a sale of token id from seller to buyer at the
+	// current bonding-curve price.
+	Transfer = tx.Transfer
+	// Burn constructs a burn of token id by its owner.
+	Burn = tx.Burn
+)
+
+// World state and the limited-edition token.
+type (
+	// State is the L2 world state (accounts + NFT contracts).
+	State = state.State
+	// TokenContract is a deployed limited-edition ERC-721 (Eq. 10 pricing).
+	TokenContract = token.Contract
+	// TokenConfig describes a token deployment (S⁰, P⁰).
+	TokenConfig = token.Config
+)
+
+// World constructors.
+var (
+	// NewState returns an empty L2 world state.
+	NewState = state.New
+	// DeployToken instantiates a limited-edition ERC-721 contract.
+	DeployToken = token.Deploy
+)
+
+// The optimistic VM.
+type (
+	// VM executes transaction sequences (Eq. 1–6 semantics, gas metering).
+	VM = ovm.VM
+	// ExecResult is a full execution trace.
+	ExecResult = ovm.Result
+	// GasSchedule is the Table III-calibrated fee model.
+	GasSchedule = ovm.GasSchedule
+)
+
+// NewVM constructs an optimistic VM with the default gas schedule.
+var NewVM = ovm.New
+
+// DefaultGasSchedule returns the Table III calibration.
+var DefaultGasSchedule = ovm.DefaultGasSchedule
+
+// Rollup protocol.
+type (
+	// Node is a rollup deployment (L1 + ORSC + mempool + OVM + L2 state).
+	Node = rollup.Node
+	// NodeConfig parameterizes a deployment.
+	NodeConfig = rollup.Config
+	// Aggregator is a bonded batch producer.
+	Aggregator = rollup.Aggregator
+	// Verifier is a bonded fraud-proof checker.
+	Verifier = rollup.Verifier
+	// Network drives aggregators and verifiers in rounds.
+	Network = rollup.Network
+	// Sequencer decides batch execution order; honest aggregators use the
+	// identity, adversarial ones the PAROLE module.
+	Sequencer = rollup.Sequencer
+	// Batch is a submitted rollup batch on the ORSC.
+	Batch = l1.Batch
+	// Mempool is Bedrock's private pending-transaction pool.
+	Mempool = mempool.Pool
+)
+
+// Protocol constructors.
+var (
+	// NewNode builds a rollup deployment.
+	NewNode = rollup.NewNode
+	// NewAggregator registers a bonded aggregator (nil sequencer = honest).
+	NewAggregator = rollup.NewAggregator
+	// NewVerifier registers a bonded verifier.
+	NewVerifier = rollup.NewVerifier
+	// NewNetwork assembles a network of actors over a node.
+	NewNetwork = rollup.NewNetwork
+)
+
+// Attack: the paper's contribution.
+type (
+	// AttackConfig parameterizes the adversarial sequencer.
+	AttackConfig = core.Config
+	// AttackReport is the per-batch attack log entry.
+	AttackReport = core.Report
+	// AdversarialSequencer is the PAROLE rollup.Sequencer.
+	AdversarialSequencer = core.Sequencer
+	// GenConfig is the GENTRANSEQ budget (Table II defaults).
+	GenConfig = gentranseq.Config
+	// GenResult is one GENTRANSEQ optimization outcome.
+	GenResult = gentranseq.Result
+	// Assessment is the arbitrage screen's verdict (Section V-B).
+	Assessment = arbitrage.Assessment
+	// DQNConfig carries the deep-Q-network hyper-parameters.
+	DQNConfig = rl.Config
+)
+
+// Attack constructors and helpers.
+var (
+	// NewAdversarialSequencer builds the PAROLE sequencer.
+	NewAdversarialSequencer = core.NewSequencer
+	// Attack runs the PAROLE module on one batch.
+	Attack = core.Attack
+	// AssessArbitrage screens a batch for re-ordering opportunity.
+	AssessArbitrage = arbitrage.Assess
+	// CheckReorder validates a candidate order per Section V-B.
+	CheckReorder = arbitrage.CheckReorder
+	// DefaultGenConfig reproduces Table II (100 episodes × 200 steps).
+	DefaultGenConfig = gentranseq.DefaultConfig
+	// FastGenConfig is the sweep-friendly reduced budget.
+	FastGenConfig = gentranseq.FastConfig
+)
+
+// Defense: the Section VIII mitigation.
+type (
+	// Detector screens mempool batches for re-ordering arbitrage.
+	Detector = defense.Detector
+	// DetectorConfig sets thresholds and demotion bounds.
+	DetectorConfig = defense.Config
+	// DetectorReport is one inspection outcome.
+	DetectorReport = defense.Report
+	// SearchDetectorBackend is the fast worst-case optimizer.
+	SearchDetectorBackend = defense.SearchOptimizer
+	// DQNDetectorBackend is the paper's GENTRANSEQ-based detector.
+	DQNDetectorBackend = defense.DQNOptimizer
+)
+
+// NewDetector builds the mempool-side defense.
+var NewDetector = defense.NewDetector
+
+// Baseline solvers (Fig. 11 comparators).
+type (
+	// Solver searches for a profitable re-ordering.
+	Solver = solver.Solver
+	// SolverObjective scores candidate orders.
+	SolverObjective = solver.Objective
+	// SolverBudget bounds a solve.
+	SolverBudget = solver.Budget
+	// SolverSolution is a solver's answer.
+	SolverSolution = solver.Solution
+)
+
+// Solver implementations.
+var (
+	// NewSolverObjective prepares the re-ordering objective for one batch.
+	NewSolverObjective = solver.NewObjective
+	// MeasureSolver instruments a solve with time and allocation counters.
+	MeasureSolver = solver.Measure
+)
+
+// Solver constructors (each value is a ready-to-use Solver).
+var (
+	ExhaustiveSolver  Solver = solver.Exhaustive{}
+	BranchBoundSolver Solver = solver.BranchBound{}
+	HillClimbSolver   Solver = solver.HillClimb{}
+	AnnealSolver      Solver = solver.Anneal{}
+)
+
+// NFT snapshots (Fig. 10).
+type (
+	// Collection is one NFT collection's price-history snapshot.
+	Collection = snapshot.Collection
+	// SnapshotChain identifies the rollup mainchain.
+	SnapshotChain = snapshot.Chain
+	// FTClass is the LFT/MFT/HFT taxonomy.
+	FTClass = snapshot.FTClass
+)
+
+// Snapshot helpers.
+var (
+	// GenerateCollection synthesizes a snapshot history.
+	GenerateCollection = snapshot.Generate
+	// ScanCollectionArbitrage finds buy-low/sell-high opportunities.
+	ScanCollectionArbitrage = snapshot.ScanArbitrage
+	// LoadSnapshots reads holders.at-style JSON lines.
+	LoadSnapshots = snapshot.LoadJSONL
+)
+
+// CaseStudy builds the paper's Section VI scenario: the exact PT world of
+// the Fig. 5 case studies with the original and both altered orders.
+func CaseStudy() (*CaseStudyScenario, error) { return casestudy.New() }
+
+// CaseStudyScenario is the assembled Fig. 5 world.
+type CaseStudyScenario = casestudy.Scenario
+
+// Case-study constants.
+var (
+	// CaseStudyIFU is the illicitly favored user of Section VI.
+	CaseStudyIFU = casestudy.IFU
+	// CaseStudyToken is the PT contract address.
+	CaseStudyToken = casestudy.PTAddr
+)
+
+// NewRand returns a deterministic RNG for reproducible attacks; every
+// stochastic entry point in the library takes one explicitly.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Experiment drivers (the evaluation harness behind EXPERIMENTS.md).
+type (
+	// ScenarioConfig parameterizes a randomized rollup workload.
+	ScenarioConfig = sim.ScenarioConfig
+	// Scenario is one generated workload.
+	Scenario = sim.Scenario
+	// Fig6Config, Fig7Config, Fig8Config, Fig9Config, Fig11Config, and
+	// DefenseStudyConfig parameterize the paper's evaluation sweeps.
+	Fig6Config         = sim.Fig6Config
+	Fig7Config         = sim.Fig7Config
+	Fig8Config         = sim.Fig8Config
+	Fig9Config         = sim.Fig9Config
+	Fig11Config        = sim.Fig11Config
+	DefenseStudyConfig = sim.DefenseConfig
+)
+
+// Experiment entry points.
+var (
+	// GenerateScenario builds a randomized attackable workload.
+	GenerateScenario = sim.GenerateScenario
+	// RunFig6 … RunFig11 regenerate the paper's figures; RunTable3 the
+	// table; RunDefenseStudy the Section VIII evaluation.
+	RunFig6         = sim.RunFig6
+	RunFig7         = sim.RunFig7
+	RunFig8         = sim.RunFig8
+	RunFig9         = sim.RunFig9
+	RunFig11        = sim.RunFig11
+	RunTable3       = sim.RunTable3
+	RunDefenseStudy = sim.RunDefenseStudy
+	// RunSnapshotStudy regenerates Fig. 10.
+	RunSnapshotStudy = snapshot.RunStudy
+)

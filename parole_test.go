@@ -1,0 +1,103 @@
+package parole_test
+
+import (
+	"testing"
+
+	"parole"
+)
+
+// TestFacadeQuickstart exercises the public API end to end the way the
+// README's quickstart does: build a world, submit the case-study batch
+// through a rollup with an adversarial aggregator, and watch the IFU profit.
+func TestFacadeQuickstart(t *testing.T) {
+	s, err := parole.CaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := parole.NewVM()
+
+	// Honest execution of the fee order.
+	res, err := vm.Execute(s.State, s.Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := res.State.TotalWealth(parole.CaseStudyIFU)
+
+	// One-shot attack on the same batch.
+	gen := parole.FastGenConfig()
+	gen.Episodes = 25
+	gen.MaxSteps = 60
+	out, err := parole.Attack(parole.NewRand(42), vm, s.State, s.Original,
+		[]parole.Address{parole.CaseStudyIFU}, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Improved {
+		t.Fatal("attack found nothing on the case-study batch")
+	}
+	res2, err := vm.Execute(s.State, out.Final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacked := res2.State.TotalWealth(parole.CaseStudyIFU)
+	if attacked <= honest {
+		t.Fatalf("attacked wealth %s did not beat honest %s", attacked, honest)
+	}
+}
+
+func TestFacadeWorldBuilding(t *testing.T) {
+	st := parole.NewState()
+	pt, err := parole.DeployToken(parole.DeriveAddress("my-nft"), parole.TokenConfig{
+		Name: "MyNFT", Symbol: "M",
+		MaxSupply: 5, InitialPrice: parole.FromFloat(0.1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DeployToken(pt); err != nil {
+		t.Fatal(err)
+	}
+	alice := parole.UserAddress(1)
+	st.Credit(alice, parole.FromETH(1))
+
+	vm := parole.NewVM()
+	res, err := vm.Execute(st, parole.Seq{
+		parole.Mint(pt.Address(), 0, alice),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 1 {
+		t.Fatal("mint did not execute")
+	}
+}
+
+func TestFacadeSolvers(t *testing.T) {
+	s, err := parole.CaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := parole.NewSolverObjective(parole.NewVM(), s.State, s.Original,
+		[]parole.Address{parole.CaseStudyIFU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := parole.MeasureSolver(parole.HillClimbSolver, parole.NewRand(3), obj,
+		parole.SolverBudget{MaxEvaluations: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Improvement <= 0 {
+		t.Fatal("hill climb found no profit via the facade")
+	}
+}
+
+func TestFacadeAmountHelpers(t *testing.T) {
+	if parole.FromETH(2) != 2*parole.ETH {
+		t.Fatal("FromETH inconsistent with ETH constant")
+	}
+	a, err := parole.ParseAmount("0.4")
+	if err != nil || a != parole.FromFloat(0.4) {
+		t.Fatalf("ParseAmount = (%v, %v)", a, err)
+	}
+}
