@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short cover bench experiments experiments-full vet fmt clean
+.PHONY: all build test test-race test-short cover bench experiments experiments-full vet fmt lint clean
 
 all: build test
 
@@ -26,6 +26,14 @@ vet:
 
 fmt:
 	gofmt -l -w .
+
+# What CI runs: formatting drift fails the build, then vet.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 # One testing.B bench per table/figure plus hot-path micro-benches.
 bench:

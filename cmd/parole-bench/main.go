@@ -6,10 +6,19 @@
 //
 //	parole-bench [-exp all|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11]
 //	             [-full] [-out DIR] [-seed S]
+//	             [-metrics PATH] [-pprof ADDR]
 //
 // The default budget finishes in minutes on one core; -full uses the
 // paper's Table II training budget (100 episodes × 200 steps) and the full
 // grids, which takes considerably longer.
+//
+// -metrics writes a telemetry snapshot (TSV, or JSON when PATH ends in
+// .json) at exit: per-backend solver evaluation counts, per-experiment
+// stage timings, RL/NN work volumes, and runtime.MemStats peaks (see
+// docs/METRICS.md). -pprof serves net/http/pprof on ADDR (e.g.
+// "localhost:6060") for live CPU/heap profiles during a -full run. Neither
+// flag affects the experiment series: seeded TSV outputs are bit-identical
+// with and without them.
 package main
 
 import (
@@ -17,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,6 +37,7 @@ import (
 	"parole/internal/ovm"
 	"parole/internal/sim"
 	"parole/internal/snapshot"
+	"parole/internal/telemetry"
 )
 
 func main() {
@@ -43,12 +55,26 @@ type runner struct {
 
 func run() error {
 	var (
-		exp  = flag.String("exp", "all", "experiment: all, table3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, defense")
-		full = flag.Bool("full", false, "use the paper's full Table II budgets and grids")
-		out  = flag.String("out", "", "write one TSV per experiment into this directory")
-		seed = flag.Int64("seed", 1, "base RNG seed")
+		exp     = flag.String("exp", "all", "experiment: all, table3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, defense")
+		full    = flag.Bool("full", false, "use the paper's full Table II budgets and grids")
+		out     = flag.String("out", "", "write one TSV per experiment into this directory")
+		seed    = flag.Int64("seed", 1, "base RNG seed")
+		metrics = flag.String("metrics", "", "write a telemetry snapshot to this path at exit (TSV, or JSON for .json)")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	// Stage timers are reporting-layer wall-clock sampling; enabling them
+	// never touches the seeded experiment paths.
+	telemetry.Default().EnableTimers(true)
+	if *pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "parole-bench: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "parole-bench: pprof at http://%s/debug/pprof/\n", *pprof)
+	}
 
 	r := &runner{outDir: *out, full: *full, seed: *seed}
 	if r.outDir != "" {
@@ -67,19 +93,54 @@ func run() error {
 		"fig11":   r.fig11,
 		"defense": r.defense,
 	}
-	if *exp != "all" {
-		fn, ok := experiments[*exp]
-		if !ok {
-			return fmt.Errorf("unknown experiment %q", *exp)
-		}
-		return fn()
+	runOne := func(name string, fn func() error) error {
+		stop := telemetry.Default().Timer("bench." + name + ".time").Start()
+		err := fn()
+		stop()
+		telemetry.Default().SampleMemStats()
+		return err
 	}
-	for _, name := range []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "defense"} {
-		if err := experiments[name](); err != nil {
-			return fmt.Errorf("%s: %w", name, err)
+	runErr := func() error {
+		if *exp != "all" {
+			fn, ok := experiments[*exp]
+			if !ok {
+				return fmt.Errorf("unknown experiment %q", *exp)
+			}
+			return runOne(*exp, fn)
+		}
+		for _, name := range []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "defense"} {
+			if err := runOne(name, experiments[name]); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}()
+	if err := r.report(*exp, *metrics); err != nil {
+		if runErr == nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "parole-bench: report:", err)
+	}
+	return runErr
+}
+
+// report writes the telemetry snapshot (-metrics) and, for -out runs, the
+// machine-readable run manifest results/manifest.json.
+func (r *runner) report(exp, metricsPath string) error {
+	snap := telemetry.Default().Snapshot()
+	if metricsPath != "" {
+		if err := snap.WriteFile(metricsPath); err != nil {
+			return err
 		}
 	}
-	return nil
+	if r.outDir == "" {
+		return nil
+	}
+	manifest := telemetry.NewManifest("parole-bench", r.seed, map[string]string{
+		"exp":  exp,
+		"full": fmt.Sprintf("%v", r.full),
+	}, snap)
+	return manifest.WriteFile(filepath.Join(r.outDir, "manifest.json"))
 }
 
 // sink opens the output stream for one experiment.
@@ -355,10 +416,11 @@ func (r *runner) fig11() error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "mempool\tsolver\texec_time_us\talloc_bytes\timprovement_eth")
+	fmt.Fprintln(w, "mempool\tsolver\texec_time_us\talloc_bytes\tevals\timprovement_eth")
 	for _, row := range rows {
-		fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%s\n",
-			row.MempoolSize, row.Solver, row.Duration.Microseconds(), row.AllocBytes, row.Improvement)
+		fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%d\t%s\n",
+			row.MempoolSize, row.Solver, row.Duration.Microseconds(), row.AllocBytes,
+			row.Evaluations, row.Improvement)
 	}
 	return closeFn()
 }

@@ -6,12 +6,21 @@
 //
 //	parole-train [-mempool N] [-ifus K] [-episodes E] [-steps T]
 //	             [-epsilon E0] [-seed S] [-weights FILE] [-casestudy]
+//	             [-metrics PATH] [-pprof ADDR]
+//
+// -metrics writes a telemetry snapshot (TSV, or JSON when PATH ends in
+// .json) after training: episodes, steps, TD losses, replay occupancy,
+// target syncs, NN forward/backward counts, and stage timings (see
+// docs/METRICS.md). -pprof serves net/http/pprof on ADDR for live profiles
+// of a long training run. Neither flag changes the seeded reward series.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"parole/internal/casestudy"
@@ -22,6 +31,7 @@ import (
 	"parole/internal/sim"
 	"parole/internal/state"
 	"parole/internal/stats"
+	"parole/internal/telemetry"
 	"parole/internal/tx"
 )
 
@@ -42,8 +52,20 @@ func run() error {
 		seed        = flag.Int64("seed", 1, "RNG seed")
 		weightsPath = flag.String("weights", "", "write trained Q-network weights to this file")
 		useCase     = flag.Bool("casestudy", false, "train on the paper's Section VI batch")
+		metrics     = flag.String("metrics", "", "write a telemetry snapshot to this path at exit (TSV, or JSON for .json)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	telemetry.Default().EnableTimers(true)
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "parole-train: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "parole-train: pprof at http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	vm := ovm.New()
@@ -84,7 +106,10 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "training: N=%d, IFUs=%d, %d episodes × %d steps, ε0=%.2f, q-network %d params\n",
 		len(batch), len(targets), *episodes, *steps, *epsilon, agent.QNetwork().NumParams())
 
+	stopTrain := telemetry.Default().Timer("train.time").Start()
 	rewards, err := gentranseq.TrainAgent(agent, env, *episodes, *steps, rlCfg.Epsilon)
+	stopTrain()
+	telemetry.Default().SampleMemStats()
 	if err != nil {
 		return err
 	}
@@ -111,6 +136,11 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d bytes of Q-network weights to %s\n", len(data), *weightsPath)
+	}
+	if *metrics != "" {
+		if err := telemetry.Default().Snapshot().WriteFile(*metrics); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -21,8 +21,18 @@ import (
 	"parole/internal/ovm"
 	"parole/internal/rollup"
 	"parole/internal/state"
+	"parole/internal/telemetry"
 	"parole/internal/tx"
 	"parole/internal/wei"
+)
+
+// Attack-surface metrics (docs/METRICS.md §core). Reorder depth is the
+// number of batch positions whose transaction differs from the fee order —
+// how far the shipped order strays from honest sequencing.
+var (
+	mBatches      = telemetry.Default().Counter("core.batches")
+	mReordered    = telemetry.Default().Counter("core.batches.reordered")
+	mReorderDepth = telemetry.Default().Histogram("core.reorder.depth", telemetry.DepthBuckets)
 )
 
 // Package errors.
@@ -111,8 +121,25 @@ func (s *Sequencer) Order(collected tx.Seq, pre *state.State) (tx.Seq, error) {
 		report.Reordered = true
 		report.Improvement = res.Improvement
 	}
+	mBatches.Inc()
+	if report.Reordered {
+		mReordered.Inc()
+		mReorderDepth.Observe(float64(reorderDepth(collected, ordered)))
+	}
 	s.reports = append(s.reports, report)
 	return ordered, nil
+}
+
+// reorderDepth counts positions whose transaction differs between the fee
+// order and the shipped order.
+func reorderDepth(fee, shipped tx.Seq) int {
+	depth := 0
+	for i := range fee {
+		if i >= len(shipped) || fee[i].Hash() != shipped[i].Hash() {
+			depth++
+		}
+	}
+	return depth
 }
 
 // Reports returns a copy of the per-batch attack log.

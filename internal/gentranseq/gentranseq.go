@@ -9,8 +9,19 @@ import (
 	"parole/internal/ovm"
 	"parole/internal/rl"
 	"parole/internal/state"
+	"parole/internal/telemetry"
 	"parole/internal/tx"
 	"parole/internal/wei"
+)
+
+// Module-level metrics (docs/METRICS.md §gentranseq). The Algorithm 1 loop
+// here bypasses rl.Agent.RunEpisode, so episodes and ε are recorded at this
+// layer; per-step counts still flow through rl.Agent.Observe.
+var (
+	mOptimizeRuns   = telemetry.Default().Counter("gentranseq.optimize.runs")
+	mEpisodes       = telemetry.Default().Counter("gentranseq.episodes")
+	mGreedyRollouts = telemetry.Default().Counter("gentranseq.greedy_rollouts")
+	mEpsilon        = telemetry.Default().Gauge("gentranseq.epsilon")
 )
 
 // Config bundles the module's hyper-parameters. DefaultConfig reproduces
@@ -85,6 +96,7 @@ type Result struct {
 // arbitrage opportunity, train the DQN on the re-ordering MDP, and return
 // the most profitable valid order.
 func Optimize(rng *rand.Rand, vm *ovm.VM, base *state.State, original tx.Seq, ifus []chainid.Address, cfg Config) (*Result, error) {
+	mOptimizeRuns.Inc()
 	res := &Result{
 		Final:             original.Clone(),
 		InferenceSwaps:    -1,
@@ -166,6 +178,8 @@ func TrainAgentHooked(agent *rl.Agent, env *Env, episodes, maxSteps int, schedul
 	profitSynced := false
 	for ep := 0; ep < episodes; ep++ {
 		epsilon := schedule.At(ep)
+		mEpisodes.Inc()
+		mEpsilon.Set(epsilon)
 		obs := env.Reset()
 		var total float64
 		for sp := 0; sp < maxSteps; sp++ {
@@ -211,6 +225,7 @@ func TrainAgentHooked(agent *rl.Agent, env *Env, episodes, maxSteps int, schedul
 // RunGreedyEpisode rolls the trained agent greedily (ε = 0) for maxSteps and
 // returns the episode reward.
 func RunGreedyEpisode(agent *rl.Agent, env *Env, maxSteps int) (float64, error) {
+	mGreedyRollouts.Inc()
 	obs := env.Reset()
 	var total float64
 	for sp := 0; sp < maxSteps; sp++ {

@@ -21,7 +21,16 @@ import (
 	"sync"
 
 	"parole/internal/chainid"
+	"parole/internal/telemetry"
 	"parole/internal/tx"
+)
+
+// Pool-traffic metrics (docs/METRICS.md §mempool).
+var (
+	mAdded       = telemetry.Default().Counter("mempool.added")
+	mDemoted     = telemetry.Default().Counter("mempool.demoted")
+	mCollects    = telemetry.Default().Counter("mempool.collects")
+	mCollectSize = telemetry.Default().Histogram("mempool.collect.batch_size", telemetry.SizeBuckets)
 )
 
 // Errors returned by pool operations.
@@ -63,6 +72,7 @@ func (p *Pool) Add(t tx.Tx) error {
 	}
 	p.pending[h] = &entry{tx: t, arrival: p.nextSeq}
 	p.nextSeq++
+	mAdded.Inc()
 	return nil
 }
 
@@ -102,6 +112,8 @@ func (p *Pool) Collect(n int) tx.Seq {
 	for _, t := range batch {
 		delete(p.pending, t.Hash())
 	}
+	mCollects.Inc()
+	mCollectSize.Observe(float64(len(batch)))
 	return batch
 }
 
@@ -115,6 +127,7 @@ func (p *Pool) Demote(h chainid.Hash) error {
 		return fmt.Errorf("%w: %s", ErrUnknownTx, h)
 	}
 	e.demoted = true
+	mDemoted.Inc()
 	return nil
 }
 

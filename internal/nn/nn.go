@@ -16,6 +16,16 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"parole/internal/telemetry"
+)
+
+// Work-volume metrics (docs/METRICS.md §nn): forward passes, per-sample
+// backward passes, and optimizer steps. Pure counts — no clocks.
+var (
+	mForwards     = telemetry.Default().Counter("nn.forwards")
+	mBackwards    = telemetry.Default().Counter("nn.backwards")
+	mTrainBatches = telemetry.Default().Counter("nn.train_batches")
 )
 
 // Activation selects a layer non-linearity.
@@ -136,6 +146,7 @@ func (n *Network) Forward(x []float64) ([]float64, error) {
 	if len(x) != n.sizes[0] {
 		return nil, fmt.Errorf("%w: input %d, want %d", ErrBadShape, len(x), n.sizes[0])
 	}
+	mForwards.Inc()
 	n.input = x
 	cur := x
 	for _, l := range n.layers {
@@ -291,6 +302,7 @@ func (n *Network) zeroGrads() {
 // accumulate back-propagates the output gradient of the most recent Forward
 // call, adding parameter gradients into the accumulators.
 func (n *Network) accumulate(outGrad []float64) {
+	mBackwards.Inc()
 	last := len(n.layers) - 1
 	copy(n.layers[last].delta, outGrad)
 	// Apply activation derivative of the output layer (linear → no-op).
@@ -332,6 +344,7 @@ func (n *Network) accumulate(outGrad []float64) {
 
 // step applies the averaged, optionally clipped, momentum-SGD update.
 func (n *Network) step(batchSize int, opt SGD) {
+	mTrainBatches.Inc()
 	inv := 1.0 / float64(batchSize)
 	if opt.ClipNorm > 0 {
 		var norm float64

@@ -29,9 +29,20 @@ import (
 
 	"parole/internal/chainid"
 	"parole/internal/state"
+	"parole/internal/telemetry"
 	"parole/internal/token"
 	"parole/internal/tx"
 	"parole/internal/wei"
+)
+
+// Execution-outcome metrics (docs/METRICS.md §ovm): one count per applied
+// transaction by outcome, plus whole-sequence evaluation counts. Deterministic
+// — the VM is the hot path of every candidate evaluation.
+var (
+	mTxExecuted = telemetry.Default().Counter("ovm.tx.executed")
+	mTxSkipped  = telemetry.Default().Counter("ovm.tx.skipped")
+	mTxInvalid  = telemetry.Default().Counter("ovm.tx.invalid")
+	mEvaluates  = telemetry.Default().Counter("ovm.evaluations")
 )
 
 // ErrNoState is returned when Execute is called without a base state.
@@ -213,6 +224,7 @@ func (vm *VM) WealthTrace(base *state.State, seq tx.Seq, watch chainid.Address) 
 func (vm *VM) apply(st *state.State, t tx.Tx) Step {
 	step := Step{Tx: t}
 	if err := t.Validate(); err != nil {
+		mTxInvalid.Inc()
 		step.Status = StatusInvalid
 		step.Reason = err
 		step.Price = currentPrice(st, t.Token)
@@ -220,6 +232,7 @@ func (vm *VM) apply(st *state.State, t tx.Tx) Step {
 	}
 	contract, err := st.Token(t.Token)
 	if err != nil {
+		mTxSkipped.Inc()
 		step.Status = StatusSkipped
 		step.Reason = err
 		return step
@@ -271,6 +284,7 @@ func (vm *VM) apply(st *state.State, t tx.Tx) Step {
 	}
 
 	st.BumpNonce(t.From)
+	mTxExecuted.Inc()
 	step.Status = StatusExecuted
 	step.Price = contract.Price() // P^t after the operation
 	step.Available = contract.Available()
@@ -280,6 +294,7 @@ func (vm *VM) apply(st *state.State, t tx.Tx) Step {
 }
 
 func skipped(step Step, contract *token.Contract, err error) Step {
+	mTxSkipped.Inc()
 	step.Status = StatusSkipped
 	step.Reason = err
 	step.Price = contract.Price()
@@ -312,6 +327,7 @@ func (vm *VM) Evaluate(base *state.State, seq tx.Seq, watch ...chainid.Address) 
 	if base == nil {
 		return nil, nil, nil, ErrNoState
 	}
+	mEvaluates.Inc()
 	st := base.Clone()
 	steps := make([]EvalStep, 0, len(seq))
 	executed := make(map[chainid.Hash]bool, len(seq))

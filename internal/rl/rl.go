@@ -15,6 +15,21 @@ import (
 	"math/rand"
 
 	"parole/internal/nn"
+	"parole/internal/telemetry"
+)
+
+// Training-progress metrics (docs/METRICS.md §rl). Counters and gauges
+// record deterministic quantities only (counts, losses, ε, occupancy) so a
+// seeded run is bit-identical with telemetry on or off.
+var (
+	mEpisodes    = telemetry.Default().Counter("rl.episodes")
+	mSteps       = telemetry.Default().Counter("rl.steps")
+	mTrainSteps  = telemetry.Default().Counter("rl.train_steps")
+	mTargetSyncs = telemetry.Default().Counter("rl.target_syncs")
+	mReplayOcc   = telemetry.Default().Gauge("rl.replay.occupancy")
+	mLastLoss    = telemetry.Default().Gauge("rl.loss.last")
+	mLossHist    = telemetry.Default().Histogram("rl.loss", telemetry.LossBuckets)
+	mEpsilon     = telemetry.Default().Gauge("rl.epsilon")
 )
 
 // Package errors.
@@ -276,6 +291,8 @@ func (a *Agent) Observe(t Transition) (float64, error) {
 		a.buffer.Add(t)
 	}
 	a.steps++
+	mSteps.Inc()
+	mReplayOcc.Set(float64(a.bufferLen()))
 	var loss float64
 	if a.steps%a.cfg.QUpdateEvery == 0 && a.bufferLen() >= a.cfg.BatchSize {
 		var err error
@@ -283,11 +300,15 @@ func (a *Agent) Observe(t Transition) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
+		mTrainSteps.Inc()
+		mLastLoss.Set(loss)
+		mLossHist.Observe(loss)
 	}
 	if a.steps%a.cfg.TargetUpdateEvery == 0 {
 		if err := a.target.CopyFrom(a.q); err != nil {
 			return 0, fmt.Errorf("sync target: %w", err)
 		}
+		mTargetSyncs.Inc()
 	}
 	return loss, nil
 }
@@ -296,7 +317,11 @@ func (a *Agent) Observe(t Transition) (float64, error) {
 // (QNet) if Profit" path, which GENTRANSEQ invokes when a profitable order
 // is first found.
 func (a *Agent) SyncTarget() error {
-	return a.target.CopyFrom(a.q)
+	if err := a.target.CopyFrom(a.q); err != nil {
+		return err
+	}
+	mTargetSyncs.Inc()
+	return nil
 }
 
 // bufferLen reports the active replay store's size.
@@ -398,6 +423,8 @@ type EpisodeResult struct {
 // (Algorithm 1's inner loop).
 func (a *Agent) RunEpisode(env Environment, epsilon float64, maxSteps int) (EpisodeResult, error) {
 	res := EpisodeResult{Epsilon: epsilon}
+	mEpisodes.Inc()
+	mEpsilon.Set(epsilon)
 	obs := env.Reset()
 	for sp := 0; sp < maxSteps; sp++ {
 		action, err := a.SelectAction(obs, epsilon, env.NumActions())

@@ -21,8 +21,17 @@ import (
 	"parole/internal/mempool"
 	"parole/internal/ovm"
 	"parole/internal/state"
+	"parole/internal/telemetry"
 	"parole/internal/tx"
 	"parole/internal/wei"
+)
+
+// Protocol-flow metrics (docs/METRICS.md §rollup).
+var (
+	mBatchesCommitted = telemetry.Default().Counter("rollup.batches.committed")
+	mBatchSize        = telemetry.Default().Histogram("rollup.batch.size", telemetry.SizeBuckets)
+	mChallenges       = telemetry.Default().Counter("rollup.challenges")
+	mChallengesUpheld = telemetry.Default().Counter("rollup.challenges.upheld")
 )
 
 // Node errors.
@@ -202,6 +211,8 @@ func (n *Node) CommitBatch(aggregator chainid.Address, collected, ordered tx.Seq
 	// Optimistically advance the canonical state.
 	n.l2 = res.State
 	n.rememberSnapshot()
+	mBatchesCommitted.Inc()
+	mBatchSize.Observe(float64(len(ordered)))
 	return batch, res, nil
 }
 
@@ -243,7 +254,9 @@ func (n *Node) Challenge(verifier chainid.Address, batchID uint64) (bool, error)
 	if err != nil {
 		return false, err
 	}
+	mChallenges.Inc()
 	if ok {
+		mChallengesUpheld.Inc()
 		pre, found := n.snapshots[batch.PreRoot]
 		if !found {
 			return true, fmt.Errorf("%w: %s", ErrUnknownPreRoot, batch.PreRoot)

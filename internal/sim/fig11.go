@@ -10,6 +10,7 @@ import (
 	"parole/internal/ovm"
 	"parole/internal/rl"
 	"parole/internal/solver"
+	"parole/internal/telemetry"
 	"parole/internal/wei"
 )
 
@@ -48,6 +49,9 @@ type Fig11Row struct {
 	Solver      string
 	Duration    time.Duration
 	AllocBytes  uint64
+	// Evaluations is the search effort: objective evaluations for the
+	// baselines, environment steps for the DQN inference rollout.
+	Evaluations int
 	// Improvement found within the budget (context, not plotted).
 	Improvement wei.Amount
 }
@@ -95,8 +99,15 @@ func RunFig11(cfg Fig11Config) ([]Fig11Row, error) {
 			Solver:      "dqn-inference",
 			Duration:    elapsed,
 			AllocBytes:  after.TotalAlloc - before.TotalAlloc,
+			Evaluations: cfg.InferenceSteps, // the rollout never terminates early
 			Improvement: dqnImp,
 		})
+		reg := telemetry.Default()
+		reg.Counter("solver.dqn-inference.evals").Add(int64(cfg.InferenceSteps))
+		reg.Counter("solver.dqn-inference.alloc_bytes").Add(int64(after.TotalAlloc - before.TotalAlloc))
+		reg.Timer("solver.dqn-inference.time").ObserveDuration(elapsed)
+		peak := reg.Gauge(telemetry.Metricf("fig11.heap_alloc_peak_bytes.n%03d", n))
+		peak.SetMax(float64(reg.SampleMemStats().HeapAlloc))
 
 		// Baselines on the same scenario with comparable budgets.
 		budget := solver.Budget{MaxEvaluations: cfg.SolverEvals}
@@ -121,8 +132,10 @@ func RunFig11(cfg Fig11Config) ([]Fig11Row, error) {
 				Solver:      s.Name(),
 				Duration:    sol.Duration,
 				AllocBytes:  sol.AllocBytes,
+				Evaluations: sol.Evaluations,
 				Improvement: sol.Improvement,
 			})
+			peak.SetMax(float64(reg.SampleMemStats().HeapAlloc))
 		}
 	}
 	return rows, nil

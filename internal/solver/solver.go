@@ -35,8 +35,20 @@ import (
 	"parole/internal/chainid"
 	"parole/internal/ovm"
 	"parole/internal/state"
+	"parole/internal/telemetry"
 	"parole/internal/tx"
 	"parole/internal/wei"
+)
+
+// Search-effort metrics (docs/METRICS.md §solver). Deterministic counts
+// only; wall-clock sampling stays in Measure, the reporting layer.
+var (
+	mEvals          = telemetry.Default().Counter("solver.evals")
+	mBnbPrunes      = telemetry.Default().Counter("solver.bnb.prunes")
+	mHillRestarts   = telemetry.Default().Counter("solver.hillclimb.restarts")
+	mHillMoves      = telemetry.Default().Counter("solver.hillclimb.moves")
+	mAnnealAccepted = telemetry.Default().Counter("solver.anneal.accepted")
+	mAnnealRejected = telemetry.Default().Counter("solver.anneal.rejected")
 )
 
 // Package errors.
@@ -102,6 +114,7 @@ func (o *Objective) BaselineWealth() wei.Amount { return o.baseWealth }
 // executable transaction executable).
 func (o *Objective) Score(candidate tx.Seq) (wei.Amount, bool, error) {
 	o.evals++
+	mEvals.Inc()
 	_, exec, wealth, err := o.vm.Evaluate(o.base, candidate, o.ifus...)
 	if err != nil {
 		return 0, false, fmt.Errorf("evaluate candidate: %w", err)
@@ -151,6 +164,8 @@ type Solver interface {
 
 // Measure runs a solve and fills in wall-clock duration and allocation
 // volume (bytes allocated during the solve — the Fig. 11(b) memory proxy).
+// As the reporting layer it also records per-backend evaluation counts,
+// allocation volume, and a stage timing under "solver.<name>.*".
 func Measure(s Solver, rng *rand.Rand, obj *Objective, budget Budget) (Solution, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -163,6 +178,11 @@ func Measure(s Solver, rng *rand.Rand, obj *Objective, budget Budget) (Solution,
 	}
 	sol.Duration = elapsed
 	sol.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	reg := telemetry.Default()
+	prefix := "solver." + telemetry.SanitizeName(s.Name())
+	reg.Counter(prefix + ".evals").Add(int64(sol.Evaluations))
+	reg.Counter(prefix + ".alloc_bytes").Add(int64(sol.AllocBytes))
+	reg.Timer(prefix + ".time").ObserveDuration(elapsed)
 	return sol, nil
 }
 
@@ -288,6 +308,7 @@ func (BranchBound) Solve(_ *rand.Rand, obj *Objective, budget Budget) (Solution,
 			return nil
 		}
 		if ceiling <= sol.Improvement {
+			mBnbPrunes.Inc()
 			return nil // nothing below can beat the incumbent
 		}
 		for i := 0; i < n && !done; i++ {
@@ -370,6 +391,7 @@ func (h HillClimb) Solve(rng *rand.Rand, obj *Objective, budget Budget) (Solutio
 		if !firstRestart {
 			cur = obj.Original()
 			rng.Shuffle(n, cur.Swap)
+			mHillRestarts.Inc()
 		}
 		firstRestart = false
 
@@ -404,6 +426,7 @@ func (h HillClimb) Solve(rng *rand.Rand, obj *Objective, budget Budget) (Solutio
 				break // local optimum
 			}
 			cur.Swap(bestI, bestJ)
+			mHillMoves.Inc()
 			curImp, curValid = bestImp, bestValid
 			if better(curImp, curValid, sol.Improvement) {
 				sol.Improvement = curImp
@@ -474,12 +497,14 @@ func (a Anneal) Solve(rng *rand.Rand, obj *Objective, budget Budget) (Solution, 
 		nextEnergy := energy(imp, valid)
 		if nextEnergy >= curEnergy || rng.Float64() < math.Exp((nextEnergy-curEnergy)/temp) {
 			curEnergy = nextEnergy
+			mAnnealAccepted.Inc()
 			if better(imp, valid, sol.Improvement) {
 				sol.Improvement = imp
 				sol.Seq = cur.Clone()
 			}
 		} else {
 			cur.Swap(i, j) // reject the move
+			mAnnealRejected.Inc()
 		}
 		temp *= cooling
 	}

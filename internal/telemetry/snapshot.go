@@ -1,0 +1,271 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// MetricKind classifies a snapshot row.
+type MetricKind string
+
+// Snapshot row kinds.
+const (
+	KindCounter   MetricKind = "counter"
+	KindGauge     MetricKind = "gauge"
+	KindHistogram MetricKind = "histogram"
+	KindTimer     MetricKind = "timer"
+)
+
+// Bucket is one histogram cell in a snapshot.
+type Bucket struct {
+	// UpperBound is the inclusive upper bound; +Inf for the overflow cell
+	// (serialized as the string "+Inf" in JSON).
+	UpperBound float64 `json:"le"`
+	// Count of observations in this cell (not cumulative).
+	Count int64 `json:"count"`
+}
+
+// MarshalJSON renders +Inf as a string so the output stays valid JSON.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		UpperBound any   `json:"le"`
+		Count      int64 `json:"count"`
+	}
+	a := alias{UpperBound: b.UpperBound, Count: b.Count}
+	if math.IsInf(b.UpperBound, 1) {
+		a.UpperBound = "+Inf"
+	}
+	return json.Marshal(a)
+}
+
+// Metric is one exported metric. Value holds the counter count or gauge
+// level; histograms and timers populate Count/Sum/Min/Max/Buckets instead.
+type Metric struct {
+	Name    string     `json:"name"`
+	Kind    MetricKind `json:"kind"`
+	Value   float64    `json:"value,omitempty"`
+	Count   int64      `json:"count,omitempty"`
+	Sum     float64    `json:"sum,omitempty"`
+	Min     float64    `json:"min,omitempty"`
+	Max     float64    `json:"max,omitempty"`
+	Buckets []Bucket   `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time export of a registry, sorted by (name, kind)
+// so identical metric states serialize identically.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Snapshot exports every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	timers := make(map[string]*Timer, len(r.timers))
+	for k, v := range r.timers {
+		timers[k] = v
+	}
+	r.mu.Unlock()
+
+	var out []Metric
+	for name, c := range counters {
+		out = append(out, Metric{Name: name, Kind: KindCounter, Value: float64(c.Value())})
+	}
+	for name, g := range gauges {
+		out = append(out, Metric{Name: name, Kind: KindGauge, Value: g.Value()})
+	}
+	histMetric := func(name string, kind MetricKind, h *Histogram) Metric {
+		bounds, counts, sum, count, min, max := h.snapshot()
+		m := Metric{Name: name, Kind: kind, Count: count, Sum: sum}
+		if count > 0 {
+			m.Min, m.Max = min, max
+		}
+		for i, b := range bounds {
+			m.Buckets = append(m.Buckets, Bucket{UpperBound: b, Count: counts[i]})
+		}
+		m.Buckets = append(m.Buckets, Bucket{UpperBound: math.Inf(1), Count: counts[len(counts)-1]})
+		return m
+	}
+	for name, h := range hists {
+		out = append(out, histMetric(name, KindHistogram, h))
+	}
+	for name, t := range timers {
+		out = append(out, histMetric(name, KindTimer, t.h))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return Snapshot{Metrics: out}
+}
+
+// Get returns the metric with the given name, if present.
+func (s Snapshot) Get(name string) (Metric, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// formatValue prints integral values (counters, byte totals) without an
+// exponent and everything else with %g.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteTSV renders the snapshot as one row per metric:
+//
+//	name  kind  value  count  sum  min  max  buckets
+//
+// where buckets is "le:count,le:count,…" (empty for scalars).
+func (s Snapshot) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "name\tkind\tvalue\tcount\tsum\tmin\tmax\tbuckets"); err != nil {
+		return err
+	}
+	for _, m := range s.Metrics {
+		var buckets strings.Builder
+		for i, b := range m.Buckets {
+			if i > 0 {
+				buckets.WriteByte(',')
+			}
+			if math.IsInf(b.UpperBound, 1) {
+				fmt.Fprintf(&buckets, "+Inf:%d", b.Count)
+			} else {
+				fmt.Fprintf(&buckets, "%g:%d", b.UpperBound, b.Count)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%s\t%s\t%s\t%s\n",
+			m.Name, m.Kind, formatValue(m.Value), m.Count, formatValue(m.Sum),
+			formatValue(m.Min), formatValue(m.Max), buckets.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteFile writes the snapshot to path, choosing the format from the
+// extension: ".json" → JSON, anything else → TSV.
+func (s Snapshot) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: create snapshot: %w", err)
+	}
+	if filepath.Ext(path) == ".json" {
+		err = s.WriteJSON(f)
+	} else {
+		err = s.WriteTSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// MemStats gauge names populated by SampleMemStats.
+const (
+	MetricHeapAllocBytes  = "runtime.heap_alloc_bytes"
+	MetricHeapAllocPeak   = "runtime.heap_alloc_peak_bytes"
+	MetricTotalAllocBytes = "runtime.total_alloc_bytes"
+	MetricHeapSysBytes    = "runtime.heap_sys_bytes"
+	MetricNumGC           = "runtime.num_gc"
+	MetricNumGoroutine    = "runtime.goroutines"
+)
+
+// SampleMemStats reads runtime.MemStats into gauges, tracking the peak
+// HeapAlloc across samples — the Fig. 11(b) memory axis. Reporting-layer
+// only: memory readings never feed back into computation.
+func (r *Registry) SampleMemStats() runtime.MemStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge(MetricHeapAllocBytes).Set(float64(ms.HeapAlloc))
+	r.Gauge(MetricHeapAllocPeak).SetMax(float64(ms.HeapAlloc))
+	r.Gauge(MetricTotalAllocBytes).Set(float64(ms.TotalAlloc))
+	r.Gauge(MetricHeapSysBytes).Set(float64(ms.HeapSys))
+	r.Gauge(MetricNumGC).Set(float64(ms.NumGC))
+	r.Gauge(MetricNumGoroutine).Set(float64(runtime.NumGoroutine()))
+	return ms
+}
+
+// Manifest is the machine-readable record of one experiment run: what was
+// run, with which seed and budget, on which toolchain, and the metric
+// snapshot it produced. cmd/parole-bench writes one per -out directory.
+type Manifest struct {
+	// Tool is the producing binary ("parole-bench", "parole-train").
+	Tool string `json:"tool"`
+	// Seed is the base RNG seed of the run.
+	Seed int64 `json:"seed"`
+	// Params records the remaining run parameters (budget, experiment
+	// selection, grid overrides) as printable strings.
+	Params map[string]string `json:"params,omitempty"`
+	// GoVersion, GOOS, and GOARCH pin the toolchain and platform.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// When is the RFC 3339 completion time (reporting layer; absent from
+	// any seeded computation).
+	When string `json:"when"`
+	// Metrics is the registry snapshot at completion.
+	Metrics Snapshot `json:"metrics"`
+}
+
+// NewManifest stamps a manifest with the current toolchain and time.
+func NewManifest(tool string, seed int64, params map[string]string, metrics Snapshot) Manifest {
+	return Manifest{
+		Tool:      tool,
+		Seed:      seed,
+		Params:    params,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		When:      time.Now().UTC().Format(time.RFC3339),
+		Metrics:   metrics,
+	}
+}
+
+// WriteFile writes the manifest as indented JSON.
+func (m Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: create manifest: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(m)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

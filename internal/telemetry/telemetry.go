@@ -1,0 +1,297 @@
+// Package telemetry is the instrumentation substrate of the PAROLE
+// reproduction: a small, dependency-free, concurrency-safe metrics registry
+// with counters, gauges, fixed-bucket histograms, and stage timers, plus
+// snapshot export (TSV/JSON), runtime.MemStats sampling, and machine-readable
+// run manifests.
+//
+// Design rules (see docs/METRICS.md for the metric catalogue):
+//
+//   - Instrumented packages record *deterministic* quantities only —
+//     counts, sizes, occupancies. Incrementing a counter never touches an
+//     RNG, the wall clock, or any value that feeds back into computation,
+//     so seeded experiment outputs are bit-identical with telemetry on or
+//     off (guarded by TestSeededOutputsUnaffectedByTelemetry).
+//   - Wall-clock sampling lives only in the reporting layer: Timer.Start is
+//     a no-op until the owning Registry's timers are explicitly enabled,
+//     which only the binaries (cmd/parole-bench, cmd/parole-train) do.
+//   - Metric names are dot-separated lower-case paths
+//     ("solver.hillclimb.restarts"); the registry get-or-creates by name so
+//     hot paths can cache the returned pointer in a package-level var.
+//
+// The zero cost target: a Counter.Add is one atomic add, a Gauge.Set one
+// atomic store; a disabled Timer.Start is one atomic load.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is permitted for occupancy-style counters but the
+// conventional use is monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 metric holding the last set value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetMax stores v only if it exceeds the current value — peak tracking
+// (e.g. peak HeapAlloc across MemStats samples).
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into a fixed bucket layout. Buckets are
+// defined by their inclusive upper bounds; an implicit +Inf bucket catches
+// the overflow. Observe is safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted inclusive upper bounds
+	counts []int64   // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	count  int64
+	min    float64
+	max    float64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{
+		bounds: b,
+		counts: make([]int64, len(b)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Observe records one value v ≥ anything (negative values land in the first
+// bucket whose bound admits them, or +Inf bucket if none do).
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.counts[idx]++
+	h.sum += v
+	h.count++
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the observation total.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshotLocked copies the histogram state.
+func (h *Histogram) snapshot() (bounds []float64, counts []int64, sum float64, count int64, min, max float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.bounds...), append([]int64(nil), h.counts...),
+		h.sum, h.count, h.min, h.max
+}
+
+// Timer records wall-clock stage durations into a histogram of seconds. It
+// is *gated*: until the owning registry enables timers (reporting layer
+// only), Start returns a no-op stop function and ObserveDuration does
+// nothing, keeping the monotonic clock out of seeded code paths.
+type Timer struct {
+	reg *Registry
+	h   *Histogram
+}
+
+// Start begins a stage; invoke the returned stop function to record it.
+func (t *Timer) Start() func() {
+	if !t.reg.TimersEnabled() {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.h.Observe(time.Since(start).Seconds()) }
+}
+
+// ObserveDuration records an externally measured duration (no-op while the
+// registry's timers are disabled).
+func (t *Timer) ObserveDuration(d time.Duration) {
+	if !t.reg.TimersEnabled() {
+		return
+	}
+	t.h.Observe(d.Seconds())
+}
+
+// Fixed bucket layouts. Shared layouts keep snapshots comparable across runs
+// and PRs; docs/METRICS.md documents which metric uses which.
+var (
+	// SizeBuckets covers batch/mempool sizes (paper grid: 5…100).
+	SizeBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 1000}
+	// DepthBuckets covers permutation/reorder depths and swap counts.
+	DepthBuckets = []float64{0, 1, 2, 3, 5, 8, 13, 21, 34, 55, 100}
+	// DurationBuckets covers stage timings, in seconds (1µs … ~100s).
+	DurationBuckets = []float64{
+		1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 100,
+	}
+	// LossBuckets covers TD-loss magnitudes (reward units², wide range).
+	LossBuckets = []float64{1e-3, 1e-2, 0.1, 1, 10, 100, 1e3, 1e4, 1e5, 1e6}
+)
+
+// Registry owns a namespace of metrics. All methods are safe for concurrent
+// use; get-or-create methods return the same instance for the same name.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	timers     map[string]*Timer
+	timersOn   atomic.Bool
+}
+
+// NewRegistry returns an empty registry with timers disabled.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		timers:     make(map[string]*Timer),
+	}
+}
+
+// defaultRegistry is the process-global registry every instrumented package
+// records into.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter get-or-creates a counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge get-or-creates a gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram get-or-creates a histogram with the given bucket bounds. The
+// bounds of the first creation win; later calls with different bounds return
+// the existing histogram unchanged.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Timer get-or-creates a gated stage timer recording seconds into
+// DurationBuckets.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{reg: r, h: newHistogram(DurationBuckets)}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// EnableTimers switches wall-clock stage timing on or off. Only the
+// reporting layer (the binaries) should enable timers; library code must
+// stay deterministic.
+func (r *Registry) EnableTimers(on bool) { r.timersOn.Store(on) }
+
+// TimersEnabled reports whether stage timers record.
+func (r *Registry) TimersEnabled() bool { return r.timersOn.Load() }
+
+// Reset discards every registered metric (tests and multi-run harnesses).
+// Cached metric pointers obtained before Reset keep working but are no
+// longer visible in snapshots.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = make(map[string]*Counter)
+	r.gauges = make(map[string]*Gauge)
+	r.histograms = make(map[string]*Histogram)
+	r.timers = make(map[string]*Timer)
+}
+
+// SanitizeName maps an arbitrary label (e.g. a solver name with slashes)
+// into metric-name form: slashes and spaces become dots.
+func SanitizeName(label string) string {
+	out := make([]rune, 0, len(label))
+	for _, c := range label {
+		switch c {
+		case '/', ' ', '\t':
+			out = append(out, '.')
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// Metricf is a convenience for building per-instance metric names, e.g.
+// Metricf("fig11.heap_alloc_bytes.n%03d", n).
+func Metricf(format string, args ...any) string {
+	return SanitizeName(fmt.Sprintf(format, args...))
+}

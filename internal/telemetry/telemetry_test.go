@@ -1,0 +1,249 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test.concurrent")
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("a") != reg.Counter("a") {
+		t.Error("same name returned different counters")
+	}
+	if reg.Gauge("a") != reg.Gauge("a") {
+		t.Error("same name returned different gauges")
+	}
+	if reg.Histogram("a", SizeBuckets) != reg.Histogram("a", DepthBuckets) {
+		t.Error("same name returned different histograms")
+	}
+	if reg.Timer("a") != reg.Timer("a") {
+		t.Error("same name returned different timers")
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("peak")
+	g.Set(10)
+	g.SetMax(5)
+	if got := g.Value(); got != 10 {
+		t.Errorf("SetMax lowered the gauge: %g", got)
+	}
+	g.SetMax(20)
+	if got := g.Value(); got != 20 {
+		t.Errorf("SetMax did not raise the gauge: %g", got)
+	}
+}
+
+func TestGaugeConcurrentSetMax(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("peak")
+	var wg sync.WaitGroup
+	for i := 1; i <= 64; i++ {
+		wg.Add(1)
+		go func(v float64) {
+			defer wg.Done()
+			g.SetMax(v)
+		}(float64(i))
+	}
+	wg.Wait()
+	if got := g.Value(); got != 64 {
+		t.Errorf("concurrent SetMax = %g, want 64", got)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("edges", []float64{1, 5, 10})
+	// Bounds are inclusive upper bounds: 1 → first bucket, 1.0001 → second,
+	// 10 → third, 10.5 → +Inf overflow. Negative values land in bucket 0.
+	for _, v := range []float64{-3, 0.5, 1, 1.0001, 5, 5.5, 10, 10.5, 1e9} {
+		h.Observe(v)
+	}
+	bounds, counts, sum, count, min, max := h.snapshot()
+	if want := []float64{1, 5, 10}; len(bounds) != 3 || bounds[0] != want[0] {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	wantCounts := []int64{3, 2, 2, 2} // (−inf,1], (1,5], (5,10], (10,+inf)
+	for i, w := range wantCounts {
+		if counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, counts[i], w, counts)
+		}
+	}
+	if count != 9 {
+		t.Errorf("count = %d, want 9", count)
+	}
+	if min != -3 || max != 1e9 {
+		t.Errorf("min/max = %g/%g", min, max)
+	}
+	wantSum := -3 + 0.5 + 1 + 1.0001 + 5 + 5.5 + 10 + 10.5 + 1e9
+	if math.Abs(sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %g, want %g", sum, wantSum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("conc", SizeBuckets)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(float64(i % 100))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 4000 {
+		t.Errorf("count = %d, want 4000", got)
+	}
+}
+
+func TestTimerGatedByRegistry(t *testing.T) {
+	reg := NewRegistry()
+	tm := reg.Timer("stage")
+	stop := tm.Start()
+	time.Sleep(time.Millisecond)
+	stop()
+	tm.ObserveDuration(time.Second)
+	if got := tm.h.Count(); got != 0 {
+		t.Fatalf("disabled timer recorded %d observations", got)
+	}
+
+	reg.EnableTimers(true)
+	stop = tm.Start()
+	stop()
+	tm.ObserveDuration(time.Second)
+	if got := tm.h.Count(); got != 2 {
+		t.Fatalf("enabled timer recorded %d observations, want 2", got)
+	}
+}
+
+// TestSnapshotDeterministicWithTimersDisabled drives two registries through
+// the identical sequence of deterministic recordings (timers off, as in any
+// seeded library path) and asserts the serialized snapshots match byte for
+// byte.
+func TestSnapshotDeterministicWithTimersDisabled(t *testing.T) {
+	build := func() Snapshot {
+		reg := NewRegistry()
+		reg.Counter("z.last").Add(3)
+		reg.Counter("a.first").Inc()
+		reg.Gauge("m.middle").Set(2.5)
+		h := reg.Histogram("h.sizes", SizeBuckets)
+		for _, v := range []float64{1, 5, 25, 100, 300} {
+			h.Observe(v)
+		}
+		// Timers exist but are disabled — they snapshot as zero.
+		stop := reg.Timer("t.stage").Start()
+		stop()
+		return reg.Snapshot()
+	}
+	var tsv1, tsv2, js1, js2 bytes.Buffer
+	s1, s2 := build(), build()
+	if err := s1.WriteTSV(&tsv1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WriteTSV(&tsv2); err != nil {
+		t.Fatal(err)
+	}
+	if tsv1.String() != tsv2.String() {
+		t.Errorf("TSV snapshots differ:\n%s\nvs\n%s", tsv1.String(), tsv2.String())
+	}
+	if err := s1.WriteJSON(&js1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WriteJSON(&js2); err != nil {
+		t.Fatal(err)
+	}
+	if js1.String() != js2.String() {
+		t.Error("JSON snapshots differ")
+	}
+	// Sorted by name: a.first, h.sizes, m.middle, …
+	if s1.Metrics[0].Name != "a.first" {
+		t.Errorf("snapshot not sorted: first metric %q", s1.Metrics[0].Name)
+	}
+	if !json.Valid(js1.Bytes()) {
+		t.Error("snapshot JSON is invalid")
+	}
+	if !strings.Contains(tsv1.String(), "+Inf:") {
+		t.Error("TSV missing +Inf overflow bucket")
+	}
+}
+
+func TestSnapshotGet(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Add(7)
+	snap := reg.Snapshot()
+	m, ok := snap.Get("x")
+	if !ok || m.Value != 7 || m.Kind != KindCounter {
+		t.Errorf("Get(x) = %+v, %v", m, ok)
+	}
+	if _, ok := snap.Get("missing"); ok {
+		t.Error("Get(missing) reported present")
+	}
+}
+
+func TestSampleMemStats(t *testing.T) {
+	reg := NewRegistry()
+	ms := reg.SampleMemStats()
+	if ms.HeapAlloc == 0 {
+		t.Skip("HeapAlloc reported 0")
+	}
+	if got := reg.Gauge(MetricHeapAllocBytes).Value(); got != float64(ms.HeapAlloc) {
+		t.Errorf("heap gauge = %g, want %d", got, ms.HeapAlloc)
+	}
+	if got := reg.Gauge(MetricHeapAllocPeak).Value(); got < float64(ms.HeapAlloc) {
+		t.Errorf("peak gauge %g below sample %d", got, ms.HeapAlloc)
+	}
+}
+
+func TestReset(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("gone").Inc()
+	reg.Reset()
+	if n := len(reg.Snapshot().Metrics); n != 0 {
+		t.Errorf("post-reset snapshot has %d metrics", n)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"apopt-analog/branch-and-bound": "apopt-analog.branch-and-bound",
+		"plain":                         "plain",
+		"a b\tc":                        "a.b.c",
+	} {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := Metricf("fig11.n%03d", 5); got != "fig11.n005" {
+		t.Errorf("Metricf = %q", got)
+	}
+}
