@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short cover bench experiments experiments-full vet fmt lint clean
+.PHONY: all build test test-race test-short cover bench bench-smoke experiments experiments-full vet fmt lint clean
 
 all: build test
 
@@ -35,9 +35,16 @@ lint:
 	fi
 	$(GO) vet ./...
 
-# One testing.B bench per table/figure plus hot-path micro-benches.
+# One testing.B bench per table/figure plus hot-path micro-benches. The
+# output is parsed by cmd/parole-trace bench-emit into BENCH_<date>.json —
+# the regression record future runs diff against (internal/benchfmt.Compare).
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem . | $(GO) run ./cmd/parole-trace bench-emit -tee
+
+# Fast variant for CI smoke: one iteration of the hot-path micro-benches.
+bench-smoke:
+	$(GO) test -bench='BenchmarkOVMExecute|BenchmarkOVMEvaluate|BenchmarkStateRoot|BenchmarkDQNForward|BenchmarkHillClimbSolve' \
+		-benchtime=1x -benchmem . | $(GO) run ./cmd/parole-trace bench-emit -tee
 
 # Regenerate every table and figure at the default (minutes-scale) budget.
 experiments:

@@ -6,7 +6,7 @@
 //
 //	parole-bench [-exp all|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11]
 //	             [-full] [-out DIR] [-seed S]
-//	             [-metrics PATH] [-pprof ADDR]
+//	             [-metrics PATH] [-trace PATH] [-pprof ADDR]
 //
 // The default budget finishes in minutes on one core; -full uses the
 // paper's Table II training budget (100 episodes × 200 steps) and the full
@@ -15,10 +15,13 @@
 // -metrics writes a telemetry snapshot (TSV, or JSON when PATH ends in
 // .json) at exit: per-backend solver evaluation counts, per-experiment
 // stage timings, RL/NN work volumes, and runtime.MemStats peaks (see
-// docs/METRICS.md). -pprof serves net/http/pprof on ADDR (e.g.
-// "localhost:6060") for live CPU/heap profiles during a -full run. Neither
-// flag affects the experiment series: seeded TSV outputs are bit-identical
-// with and without them.
+// docs/METRICS.md). -trace enables the span tracer and writes a Chrome
+// trace-event JSON (Perfetto-loadable) plus derived .summary.tsv and
+// .timeline.tsv artifacts at exit (see docs/TRACING.md); combined with
+// -out, the run manifest records the trace file's SHA-256. -pprof serves
+// net/http/pprof on ADDR (e.g. "localhost:6060") for live CPU/heap
+// profiles during a -full run. None of these flags affect the experiment
+// series: seeded TSV outputs are bit-identical with and without them.
 package main
 
 import (
@@ -38,6 +41,7 @@ import (
 	"parole/internal/sim"
 	"parole/internal/snapshot"
 	"parole/internal/telemetry"
+	"parole/internal/trace"
 )
 
 func main() {
@@ -55,18 +59,23 @@ type runner struct {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, defense")
-		full    = flag.Bool("full", false, "use the paper's full Table II budgets and grids")
-		out     = flag.String("out", "", "write one TSV per experiment into this directory")
-		seed    = flag.Int64("seed", 1, "base RNG seed")
-		metrics = flag.String("metrics", "", "write a telemetry snapshot to this path at exit (TSV, or JSON for .json)")
-		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		exp      = flag.String("exp", "all", "experiment: all, table3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, defense")
+		full     = flag.Bool("full", false, "use the paper's full Table II budgets and grids")
+		out      = flag.String("out", "", "write one TSV per experiment into this directory")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+		metrics  = flag.String("metrics", "", "write a telemetry snapshot to this path at exit (TSV, or JSON for .json)")
+		traceOut = flag.String("trace", "", "enable span tracing and write a Chrome trace (plus .summary.tsv/.timeline.tsv) to this path at exit")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	// Stage timers are reporting-layer wall-clock sampling; enabling them
-	// never touches the seeded experiment paths.
+	// never touches the seeded experiment paths. The span tracer is equally
+	// passive (docs/TRACING.md).
 	telemetry.Default().EnableTimers(true)
+	if *traceOut != "" {
+		trace.Default().Enable()
+	}
 	if *pprof != "" {
 		go func() {
 			if err := http.ListenAndServe(*pprof, nil); err != nil {
@@ -115,7 +124,7 @@ func run() error {
 		}
 		return nil
 	}()
-	if err := r.report(*exp, *metrics); err != nil {
+	if err := r.report(*exp, *metrics, *traceOut); err != nil {
 		if runErr == nil {
 			return err
 		}
@@ -124,14 +133,24 @@ func run() error {
 	return runErr
 }
 
-// report writes the telemetry snapshot (-metrics) and, for -out runs, the
-// machine-readable run manifest results/manifest.json.
-func (r *runner) report(exp, metricsPath string) error {
+// report writes the telemetry snapshot (-metrics), the trace artifacts
+// (-trace), and, for -out runs, the machine-readable run manifest
+// results/manifest.json — which ties the trace file to the run by SHA-256.
+func (r *runner) report(exp, metricsPath, tracePath string) error {
 	snap := telemetry.Default().Snapshot()
 	if metricsPath != "" {
 		if err := snap.WriteFile(metricsPath); err != nil {
 			return err
 		}
+	}
+	traceInfo := &telemetry.TraceInfo{Enabled: trace.Default().Enabled()}
+	if tracePath != "" {
+		sha, err := trace.Default().WriteFiles(tracePath)
+		if err != nil {
+			return err
+		}
+		traceInfo.File = tracePath
+		traceInfo.SHA256 = sha
 	}
 	if r.outDir == "" {
 		return nil
@@ -140,6 +159,7 @@ func (r *runner) report(exp, metricsPath string) error {
 		"exp":  exp,
 		"full": fmt.Sprintf("%v", r.full),
 	}, snap)
+	manifest.Trace = traceInfo
 	return manifest.WriteFile(filepath.Join(r.outDir, "manifest.json"))
 }
 

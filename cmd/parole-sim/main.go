@@ -4,10 +4,12 @@
 // Usage:
 //
 //	parole-sim [-mempool N] [-ifus K] [-seed S] [-optimizer dqn|hillclimb|anneal]
-//	           [-episodes E] [-steps T] [-casestudy]
+//	           [-episodes E] [-steps T] [-casestudy] [-trace PATH]
 //
 // With -casestudy the exact Section VI world of the paper is used instead of
-// a randomized scenario.
+// a randomized scenario. -trace enables the span tracer and writes a Chrome
+// trace plus summary/timeline TSVs at exit (docs/TRACING.md); it does not
+// change the seeded outputs.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"parole/internal/ovm"
 	"parole/internal/sim"
 	"parole/internal/state"
+	"parole/internal/trace"
 	"parole/internal/tx"
 	"parole/internal/wei"
 
@@ -43,8 +46,18 @@ func run() error {
 		episodes    = flag.Int("episodes", 0, "DQN training episodes (0 = fast default)")
 		steps       = flag.Int("steps", 0, "DQN steps per episode (0 = fast default)")
 		useCase     = flag.Bool("casestudy", false, "use the paper's Section VI case-study world")
+		traceOut    = flag.String("trace", "", "enable span tracing and write a Chrome trace (plus .summary.tsv/.timeline.tsv) to this path at exit")
 	)
 	flag.Parse()
+
+	if *traceOut != "" {
+		trace.Default().Enable()
+		defer func() {
+			if _, err := trace.Default().WriteFiles(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "parole-sim: trace:", err)
+			}
+		}()
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	vm := ovm.New()

@@ -5,9 +5,13 @@
 //
 // Usage:
 //
-//	parole-snapshot -mode study [-cells K] [-seed S]
+//	parole-snapshot -mode study [-cells K] [-seed S] [-trace PATH]
 //	parole-snapshot -mode generate -chain arbitrum -ownerships 1200 [-count K]
 //	parole-snapshot -mode scan -in snapshots.jsonl
+//
+// -trace enables the span tracer and writes a Chrome trace plus
+// summary/timeline TSVs at exit (docs/TRACING.md); it does not change the
+// seeded outputs.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"os"
 
 	"parole/internal/snapshot"
+	"parole/internal/trace"
 )
 
 func main() {
@@ -35,8 +40,17 @@ func run() error {
 		cells      = flag.Int("cells", 25, "collections per (chain, class) cell for -mode study")
 		in         = flag.String("in", "", "JSON-lines snapshot file for -mode scan")
 		seed       = flag.Int64("seed", 1, "RNG seed")
+		traceOut   = flag.String("trace", "", "enable span tracing and write a Chrome trace (plus .summary.tsv/.timeline.tsv) to this path at exit")
 	)
 	flag.Parse()
+	if *traceOut != "" {
+		trace.Default().Enable()
+		defer func() {
+			if _, err := trace.Default().WriteFiles(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "parole-snapshot: trace:", err)
+			}
+		}()
+	}
 	rng := rand.New(rand.NewSource(*seed))
 
 	switch *mode {

@@ -1,0 +1,176 @@
+// Command parole-trace inspects the Chrome trace-event files the -trace flag
+// of the PAROLE binaries writes, and emits benchmark-regression records.
+//
+// Usage:
+//
+//	parole-trace summary FILE           per-kind span aggregate (TSV)
+//	parole-trace timeline FILE          per-transaction lifecycle events (TSV)
+//	parole-trace diff OLD NEW           per-kind time deltas between two traces
+//	parole-trace bench-emit [-out FILE] [-tee] [-date YYYY-MM-DD]
+//
+// summary and timeline recompute the TSV artifacts from the trace JSON alone,
+// so a trace copied off another machine (or out of CI) stays inspectable
+// without its sibling .summary.tsv/.timeline.tsv files.
+//
+// bench-emit reads `go test -bench -benchmem` output on stdin, parses every
+// benchmark line (including custom ReportMetric units), and writes
+// BENCH_<date>.json — the record `make bench` diffs future runs against.
+// -tee echoes stdin through to stdout so the benchmark text stays visible in
+// a pipeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"parole/internal/benchfmt"
+	"parole/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "parole-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: parole-trace summary|timeline|diff|bench-emit …")
+	}
+	switch cmd := args[0]; cmd {
+	case "summary", "timeline":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: parole-trace %s FILE", cmd)
+		}
+		p, err := load(args[1])
+		if err != nil {
+			return err
+		}
+		if cmd == "summary" {
+			return p.WriteSummaryTSV(os.Stdout)
+		}
+		return p.WriteTimelineTSV(os.Stdout)
+
+	case "diff":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: parole-trace diff OLD NEW")
+		}
+		return diff(args[1], args[2])
+
+	case "bench-emit":
+		return benchEmit(args[1:])
+
+	default:
+		return fmt.Errorf("unknown subcommand %q (want summary, timeline, diff, or bench-emit)", cmd)
+	}
+}
+
+func load(path string) (*trace.Parsed, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := trace.ParseChrome(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// diff joins the two traces' per-kind summaries and prints count and total
+// self-time deltas, kinds sorted lexically like the summary TSV. Kinds
+// present in only one trace show with a count of 0 on the other side.
+func diff(oldPath, newPath string) error {
+	oldP, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newP, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldSums := bySummaryKind(oldP.Summary())
+	newSums := bySummaryKind(newP.Summary())
+	kinds := map[string]bool{}
+	for k := range oldSums {
+		kinds[k] = true
+	}
+	for k := range newSums {
+		kinds[k] = true
+	}
+	ordered := make([]string, 0, len(kinds))
+	for k := range kinds {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+
+	fmt.Println("kind\told_count\tnew_count\told_total_us\tnew_total_us\ttotal_ratio")
+	for _, k := range ordered {
+		o, n := oldSums[k], newSums[k]
+		oldUS := float64(o.Total.Nanoseconds()) / 1e3
+		newUS := float64(n.Total.Nanoseconds()) / 1e3
+		ratio := "n/a"
+		if oldUS > 0 {
+			ratio = fmt.Sprintf("%.3f", newUS/oldUS)
+		}
+		fmt.Printf("%s\t%d\t%d\t%.1f\t%.1f\t%s\n", k, o.Count, n.Count, oldUS, newUS, ratio)
+	}
+	return nil
+}
+
+func bySummaryKind(sums []trace.KindSummary) map[string]trace.KindSummary {
+	out := make(map[string]trace.KindSummary, len(sums))
+	for _, s := range sums {
+		out[s.Kind] = s
+	}
+	return out
+}
+
+func benchEmit(args []string) error {
+	fs := flag.NewFlagSet("bench-emit", flag.ContinueOnError)
+	out := fs.String("out", "", "output file (default BENCH_<date>.json in the working directory)")
+	tee := fs.Bool("tee", false, "echo stdin through to stdout")
+	date := fs.String("date", "", "date stamp YYYY-MM-DD (default today, UTC)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *date == "" {
+		*date = time.Now().UTC().Format("2006-01-02")
+	}
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%s.json", *date)
+	}
+
+	var in io.Reader = os.Stdin
+	if *tee {
+		in = io.TeeReader(os.Stdin, os.Stdout)
+	}
+	rep, err := benchfmt.Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("bench-emit: no benchmark lines on stdin")
+	}
+	rep.Date = *date
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	werr := rep.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Fprintf(os.Stderr, "bench-emit: wrote %d benchmarks to %s\n", len(rep.Results), *out)
+	return nil
+}

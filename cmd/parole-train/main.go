@@ -6,13 +6,15 @@
 //
 //	parole-train [-mempool N] [-ifus K] [-episodes E] [-steps T]
 //	             [-epsilon E0] [-seed S] [-weights FILE] [-casestudy]
-//	             [-metrics PATH] [-pprof ADDR]
+//	             [-metrics PATH] [-trace PATH] [-pprof ADDR]
 //
 // -metrics writes a telemetry snapshot (TSV, or JSON when PATH ends in
 // .json) after training: episodes, steps, TD losses, replay occupancy,
 // target syncs, NN forward/backward counts, and stage timings (see
-// docs/METRICS.md). -pprof serves net/http/pprof on ADDR for live profiles
-// of a long training run. Neither flag changes the seeded reward series.
+// docs/METRICS.md). -trace enables the span tracer and writes a Chrome
+// trace plus summary/timeline TSVs at exit (docs/TRACING.md). -pprof serves
+// net/http/pprof on ADDR for live profiles of a long training run. None of
+// these flags changes the seeded reward series.
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"parole/internal/state"
 	"parole/internal/stats"
 	"parole/internal/telemetry"
+	"parole/internal/trace"
 	"parole/internal/tx"
 )
 
@@ -53,11 +56,20 @@ func run() error {
 		weightsPath = flag.String("weights", "", "write trained Q-network weights to this file")
 		useCase     = flag.Bool("casestudy", false, "train on the paper's Section VI batch")
 		metrics     = flag.String("metrics", "", "write a telemetry snapshot to this path at exit (TSV, or JSON for .json)")
+		traceOut    = flag.String("trace", "", "enable span tracing and write a Chrome trace (plus .summary.tsv/.timeline.tsv) to this path at exit")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	telemetry.Default().EnableTimers(true)
+	if *traceOut != "" {
+		trace.Default().Enable()
+		defer func() {
+			if _, err := trace.Default().WriteFiles(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "parole-train: trace:", err)
+			}
+		}()
+	}
 	if *pprofAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {

@@ -13,6 +13,7 @@ import (
 	"parole/internal/chainid"
 	"parole/internal/ovm"
 	"parole/internal/state"
+	"parole/internal/trace"
 	"parole/internal/tx"
 	"parole/internal/wei"
 )
@@ -49,6 +50,10 @@ func Assess(batch tx.Seq, ifus []chainid.Address) (Assessment, error) {
 	if len(ifus) == 0 {
 		return Assessment{}, ErrNoIFU
 	}
+	sp := trace.StartSpan(trace.SpanArbitrageAssess,
+		trace.Int("batch_len", int64(len(batch))),
+		trace.Int("ifus", int64(len(ifus))))
+	defer sp.End()
 	a := Assessment{Involvement: make([][]int, len(ifus))}
 	for i, ifu := range ifus {
 		a.Involvement[i] = batch.Involving(ifu)
@@ -79,6 +84,27 @@ func Assess(batch tx.Seq, ifus []chainid.Address) (Assessment, error) {
 		if len(inv) < 2 {
 			a.Opportunity = false
 			break
+		}
+	}
+	if trace.Enabled() {
+		verdict := "no_opportunity"
+		if a.Opportunity {
+			verdict = "opportunity"
+		}
+		sp.SetAttr(trace.Bool("opportunity", a.Opportunity),
+			trace.Int("price_movers", int64(a.PriceMovers)),
+			trace.Int("ifu_trades", int64(a.IFUTrades)))
+		seen := make(map[int]bool)
+		for _, inv := range a.Involvement {
+			for _, idx := range inv {
+				if seen[idx] {
+					continue
+				}
+				seen[idx] = true
+				trace.Event(batch[idx].Hash().Hex(), trace.StageArbitrageScreen, verdict,
+					trace.Int("batch_pos", int64(idx)),
+					trace.Str("kind", batch[idx].Kind.String()))
+			}
 		}
 	}
 	return a, nil

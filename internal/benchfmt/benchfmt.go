@@ -1,0 +1,171 @@
+// Package benchfmt parses the text output of `go test -bench -benchmem` into
+// a machine-readable report — the input of the bench-regression emitter
+// (`make bench` → BENCH_<date>.json). It understands the standard columns
+// (ns/op, B/op, allocs/op) and every custom unit reported via
+// testing.B.ReportMetric, such as this repo's "sats/IFU@N=10" or
+// "dqn-time-share". Like internal/trace it is dependency-free: parsing uses
+// only the standard library.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name without the -GOMAXPROCS suffix
+	// ("BenchmarkOVMExecute").
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is the b.N the harness settled on.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every value/unit pair on the line:
+	// always "ns/op", plus "B/op" and "allocs/op" under -benchmem, plus any
+	// custom ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// NsPerOp returns the ns/op column (0 if absent).
+func (r Result) NsPerOp() float64 { return r.Metrics["ns/op"] }
+
+// Report is one full `go test -bench` run.
+type Report struct {
+	// Date is the YYYY-MM-DD stamp the emitter embeds in the file name;
+	// filled by the caller, not by Parse.
+	Date string `json:"date,omitempty"`
+	// GoOS/GoArch/Pkg/CPU echo the run's header lines when present.
+	GoOS   string `json:"goos,omitempty"`
+	GoArch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Results are the parsed benchmark lines in input order.
+	Results []Result `json:"results"`
+}
+
+// Get returns the first result with the given name.
+func (rep *Report) Get(name string) (Result, bool) {
+	for _, r := range rep.Results {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// Parse reads `go test -bench` output line by line. Header lines (goos:,
+// goarch:, pkg:, cpu:) fill the report metadata; lines starting with
+// "Benchmark" become Results; everything else (test chatter, PASS, ok) is
+// ignored. A Benchmark line that does not parse is an error — silent drops
+// would make a regression file lie about coverage.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: line %d: %w", lineNo, err)
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: read: %w", err)
+	}
+	return rep, nil
+}
+
+// parseLine parses one "BenchmarkName-P  N  v1 unit1  v2 unit2 …" line.
+func parseLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	res := Result{Name: fields[0], Procs: 1, Metrics: make(map[string]float64)}
+	if i := strings.LastIndex(res.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil && p > 0 {
+			res.Name, res.Procs = res.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("iteration count %q: %w", fields[1], err)
+	}
+	res.Iterations = iters
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("metric value %q: %w", fields[i], err)
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	if _, ok := res.Metrics["ns/op"]; !ok {
+		return Result{}, fmt.Errorf("benchmark line %q has no ns/op column", line)
+	}
+	return res, nil
+}
+
+// WriteJSON renders the report as indented JSON with metric keys sorted
+// (maps serialize key-sorted in encoding/json, so output is deterministic
+// for a given run).
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Delta is one benchmark's change between two reports.
+type Delta struct {
+	Name string `json:"name"`
+	// OldNsPerOp/NewNsPerOp are the ns/op columns; Ratio is new/old
+	// (1.0 = unchanged, 2.0 = twice as slow).
+	OldNsPerOp float64 `json:"old_ns_per_op"`
+	NewNsPerOp float64 `json:"new_ns_per_op"`
+	Ratio      float64 `json:"ratio"`
+}
+
+// Compare matches benchmarks by name and reports ns/op ratios, sorted by
+// ratio descending (worst regression first). Benchmarks present in only one
+// report are skipped.
+func Compare(old, new *Report) []Delta {
+	var out []Delta
+	for _, n := range new.Results {
+		o, ok := old.Get(n.Name)
+		if !ok || o.NsPerOp() == 0 {
+			continue
+		}
+		out = append(out, Delta{
+			Name:       n.Name,
+			OldNsPerOp: o.NsPerOp(),
+			NewNsPerOp: n.NsPerOp(),
+			Ratio:      n.NsPerOp() / o.NsPerOp(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ratio != out[j].Ratio {
+			return out[i].Ratio > out[j].Ratio
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

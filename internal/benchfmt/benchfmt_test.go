@@ -1,0 +1,144 @@
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// sample mirrors real `go test -bench=. -benchmem .` output from this repo,
+// including custom ReportMetric units with awkward characters.
+const sample = `goos: linux
+goarch: amd64
+pkg: parole
+cpu: AMD EPYC 7763 64-Core Processor
+BenchmarkTable2TrainingStep-8   	     100	  11883472 ns/op	 1035482 B/op	   15341 allocs/op
+BenchmarkFig6AvgProfitPerIFU-8  	       2	 600128946 ns/op	        51.50 sats/IFU@N=10	45822276 B/op	  746024 allocs/op
+BenchmarkFig11SolverComparison-8	       1	1903445021 ns/op	         0.9221 dqn-time-share	187188656 B/op	 3029974 allocs/op
+BenchmarkOVMExecute-8           	   21926	     54344 ns/op	   33576 B/op	     377 allocs/op
+BenchmarkAblationBaseline       	       5	 240000000 ns/op	        12.00 mETH-gain
+PASS
+ok  	parole	42.617s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Pkg != "parole" {
+		t.Errorf("header = %q/%q/%q", rep.GoOS, rep.GoArch, rep.Pkg)
+	}
+	if !strings.Contains(rep.CPU, "EPYC") {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Results) != 5 {
+		t.Fatalf("parsed %d results, want 5", len(rep.Results))
+	}
+
+	exe, ok := rep.Get("BenchmarkOVMExecute")
+	if !ok {
+		t.Fatal("BenchmarkOVMExecute not found")
+	}
+	if exe.Procs != 8 || exe.Iterations != 21926 {
+		t.Errorf("procs=%d iters=%d, want 8/21926", exe.Procs, exe.Iterations)
+	}
+	want := map[string]float64{"ns/op": 54344, "B/op": 33576, "allocs/op": 377}
+	for unit, v := range want {
+		if got := exe.Metrics[unit]; got != v {
+			t.Errorf("%s = %g, want %g", unit, got, v)
+		}
+	}
+
+	// Custom ReportMetric units survive, including '@', '%', '/', '='.
+	fig6, _ := rep.Get("BenchmarkFig6AvgProfitPerIFU")
+	if got := fig6.Metrics["sats/IFU@N=10"]; got != 51.5 {
+		t.Errorf("sats/IFU@N=10 = %g, want 51.5", got)
+	}
+	fig11, _ := rep.Get("BenchmarkFig11SolverComparison")
+	if got := fig11.Metrics["dqn-time-share"]; got != 0.9221 {
+		t.Errorf("dqn-time-share = %g, want 0.9221", got)
+	}
+
+	// A line without the -P suffix defaults to procs 1.
+	abl, _ := rep.Get("BenchmarkAblationBaseline")
+	if abl.Procs != 1 {
+		t.Errorf("suffix-less procs = %d, want 1", abl.Procs)
+	}
+	if got := abl.Metrics["mETH-gain"]; got != 12 {
+		t.Errorf("mETH-gain = %g, want 12", got)
+	}
+}
+
+func TestParseRejectsMalformedBenchmarkLines(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkOdd-8 100 54344",            // dangling value without unit
+		"BenchmarkNoIters-8 fast 54344 ns/op", // non-numeric iterations
+		"BenchmarkNoNs-8 100 33576 B/op",      // missing ns/op
+		"BenchmarkBadVal-8 100 fast ns/op",    // non-numeric value
+	} {
+		if _, err := Parse(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("Parse accepted malformed line %q", bad)
+		}
+	}
+}
+
+func TestParseIgnoresChatter(t *testing.T) {
+	rep, err := Parse(strings.NewReader("=== RUN TestFoo\n--- PASS: TestFoo\nPASS\nok \tparole\t1.2s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Errorf("parsed %d results from chatter, want 0", len(rep.Results))
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Date = "2026-08-06"
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("emitted JSON does not re-parse: %v", err)
+	}
+	if back.Date != "2026-08-06" || len(back.Results) != len(rep.Results) {
+		t.Errorf("round trip lost data: date=%q results=%d", back.Date, len(back.Results))
+	}
+	for i, r := range rep.Results {
+		b := back.Results[i]
+		if b.Name != r.Name || b.Iterations != r.Iterations || len(b.Metrics) != len(r.Metrics) {
+			t.Errorf("result %d differs after round trip: %+v vs %+v", i, b, r)
+		}
+	}
+}
+
+func TestCompareRanksWorstRegressionFirst(t *testing.T) {
+	old := &Report{Results: []Result{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 200}},
+		{Name: "BenchmarkGone", Metrics: map[string]float64{"ns/op": 50}},
+	}}
+	cur := &Report{Results: []Result{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 150}}, // 1.5× slower
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 100}}, // 2× faster
+		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 10}},
+	}}
+	deltas := Compare(old, cur)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2 (unmatched names skipped)", len(deltas))
+	}
+	if deltas[0].Name != "BenchmarkA" || math.Abs(deltas[0].Ratio-1.5) > 1e-9 {
+		t.Errorf("worst delta = %+v, want BenchmarkA at 1.5", deltas[0])
+	}
+	if deltas[1].Name != "BenchmarkB" || math.Abs(deltas[1].Ratio-0.5) > 1e-9 {
+		t.Errorf("second delta = %+v, want BenchmarkB at 0.5", deltas[1])
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"parole/internal/rollup"
 	"parole/internal/state"
 	"parole/internal/telemetry"
+	"parole/internal/trace"
 	"parole/internal/tx"
 	"parole/internal/wei"
 )
@@ -106,9 +107,11 @@ func (s *Sequencer) Order(collected tx.Seq, pre *state.State) (tx.Seq, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	sp := trace.StartSpan(trace.SpanCoreOrder, trace.Int("batch_size", int64(len(collected))))
 	report := Report{BatchSize: len(collected), InferenceSwaps: -1}
 	res, err := gentranseq.Optimize(s.rng, s.vm, pre, collected, s.cfg.IFUs, s.cfg.Gen)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("gentranseq: %w", err)
 	}
 	report.Opportunity = res.Opportunity
@@ -122,10 +125,29 @@ func (s *Sequencer) Order(collected tx.Seq, pre *state.State) (tx.Seq, error) {
 		report.Improvement = res.Improvement
 	}
 	mBatches.Inc()
+	depth := 0
 	if report.Reordered {
 		mReordered.Inc()
-		mReorderDepth.Observe(float64(reorderDepth(collected, ordered)))
+		depth = reorderDepth(collected, ordered)
+		mReorderDepth.Observe(float64(depth))
 	}
+	if trace.Enabled() && report.Reordered {
+		feePos := make(map[chainid.Hash]int, len(collected))
+		for i, t := range collected {
+			feePos[t.Hash()] = i
+		}
+		for to, t := range ordered {
+			if from := feePos[t.Hash()]; from != to {
+				trace.Event(t.Hash().Hex(), trace.StageCoreReorder, "reordered",
+					trace.Int("from", int64(from)),
+					trace.Int("to", int64(to)))
+			}
+		}
+	}
+	sp.SetAttr(trace.Bool("reordered", report.Reordered),
+		trace.Int("depth", int64(depth)),
+		trace.Int("improvement_wei", int64(report.Improvement)))
+	sp.End()
 	s.reports = append(s.reports, report)
 	return ordered, nil
 }

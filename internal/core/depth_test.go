@@ -1,0 +1,50 @@
+package core
+
+// reorderDepth is unexported, so its edge cases are pinned here in an
+// internal test (core_test.go is the package's external black-box suite).
+
+import (
+	"testing"
+
+	"parole/internal/chainid"
+	"parole/internal/tx"
+)
+
+func depthBatch(n int) tx.Seq {
+	seq := make(tx.Seq, n)
+	for i := range seq {
+		seq[i] = tx.Mint(chainid.DeriveAddress("depth-test-token"), uint64(i), chainid.UserAddress(i+1))
+	}
+	return seq
+}
+
+func TestReorderDepthEdgeCases(t *testing.T) {
+	batch := depthBatch(4)
+	swapped := append(tx.Seq(nil), batch...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	reversed := append(tx.Seq(nil), batch...)
+	for i, j := 0, len(reversed)-1; i < j; i, j = i+1, j-1 {
+		reversed[i], reversed[j] = reversed[j], reversed[i]
+	}
+
+	cases := []struct {
+		name         string
+		fee, shipped tx.Seq
+		want         int
+	}{
+		{"both empty", tx.Seq{}, tx.Seq{}, 0},
+		{"nil vs nil", nil, nil, 0},
+		{"identical order", batch, batch, 0},
+		{"single element same", batch[:1], batch[:1], 0},
+		{"single element differs", batch[:1], batch[1:2], 1},
+		{"one adjacent swap", batch, swapped, 2},
+		{"full reversal", batch, reversed, 4},
+		{"shipped truncated", batch, batch[:2], 2},
+		{"shipped empty", batch, tx.Seq{}, 4},
+	}
+	for _, tc := range cases {
+		if got := reorderDepth(tc.fee, tc.shipped); got != tc.want {
+			t.Errorf("%s: reorderDepth = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"parole/internal/ovm"
 	"parole/internal/solver"
 	"parole/internal/state"
+	"parole/internal/trace"
 	"parole/internal/tx"
 	"parole/internal/wei"
 )
@@ -150,7 +151,15 @@ func (d *Detector) Threshold(batch tx.Seq) wei.Amount {
 // transactions first) needed to push the residual below the threshold, and
 // reports what it did. The caller applies the demotions to the mempool.
 func (d *Detector) Inspect(st *state.State, batch tx.Seq) (Report, error) {
+	sp := trace.StartSpan(trace.SpanDefenseInspect, trace.Int("batch_size", int64(len(batch))))
 	report := Report{Threshold: d.Threshold(batch)}
+	defer func() {
+		sp.SetAttr(trace.Bool("triggered", report.Triggered),
+			trace.Int("demotions", int64(len(report.Demoted))),
+			trace.Int("worst_profit_wei", int64(report.WorstProfit)),
+			trace.Int("residual_profit_wei", int64(report.ResidualProfit)))
+		sp.End()
+	}()
 	users := involvedUsers(batch)
 	if len(users) == 0 || len(batch) < 2 {
 		return report, nil

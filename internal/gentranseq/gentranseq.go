@@ -10,6 +10,7 @@ import (
 	"parole/internal/rl"
 	"parole/internal/state"
 	"parole/internal/telemetry"
+	"parole/internal/trace"
 	"parole/internal/tx"
 	"parole/internal/wei"
 )
@@ -97,11 +98,20 @@ type Result struct {
 // the most profitable valid order.
 func Optimize(rng *rand.Rand, vm *ovm.VM, base *state.State, original tx.Seq, ifus []chainid.Address, cfg Config) (*Result, error) {
 	mOptimizeRuns.Inc()
+	sp := trace.StartSpan(trace.SpanGenOptimize,
+		trace.Int("batch_len", int64(len(original))),
+		trace.Int("ifus", int64(len(ifus))))
 	res := &Result{
 		Final:             original.Clone(),
 		InferenceSwaps:    -1,
 		FinalEpisodeSwaps: -1,
 	}
+	defer func() {
+		sp.SetAttr(trace.Bool("opportunity", res.Opportunity),
+			trace.Bool("improved", res.Improved),
+			trace.Int("improvement_wei", int64(res.Improvement)))
+		sp.End()
+	}()
 	if len(original) < 2 {
 		return res, nil
 	}
@@ -180,15 +190,20 @@ func TrainAgentHooked(agent *rl.Agent, env *Env, episodes, maxSteps int, schedul
 		epsilon := schedule.At(ep)
 		mEpisodes.Inc()
 		mEpsilon.Set(epsilon)
+		esp := trace.StartSpan(trace.SpanGenEpisode,
+			trace.Int("episode", int64(ep)),
+			trace.Float("epsilon", epsilon))
 		obs := env.Reset()
 		var total float64
 		for sp := 0; sp < maxSteps; sp++ {
 			action, err := agent.SelectAction(obs, epsilon, env.NumActions())
 			if err != nil {
+				esp.End()
 				return rewards, err
 			}
 			next, reward, done, err := env.Step(action)
 			if err != nil {
+				esp.End()
 				return rewards, fmt.Errorf("episode %d step %d: %w", ep, sp, err)
 			}
 			if _, err := agent.Observe(rl.Transition{
@@ -198,6 +213,7 @@ func TrainAgentHooked(agent *rl.Agent, env *Env, episodes, maxSteps int, schedul
 				Next:   next,
 				Done:   done,
 			}); err != nil {
+				esp.End()
 				return rewards, err
 			}
 			total += reward
@@ -207,6 +223,7 @@ func TrainAgentHooked(agent *rl.Agent, env *Env, episodes, maxSteps int, schedul
 			if !profitSynced && env.ProfitFound() {
 				profitSynced = true
 				if err := agent.SyncTarget(); err != nil {
+					esp.End()
 					return rewards, err
 				}
 			}
@@ -214,6 +231,8 @@ func TrainAgentHooked(agent *rl.Agent, env *Env, episodes, maxSteps int, schedul
 				break
 			}
 		}
+		esp.SetAttr(trace.Float("reward", total))
+		esp.End()
 		rewards = append(rewards, total)
 		if onEpisode != nil {
 			onEpisode(ep, total, env)
@@ -226,15 +245,18 @@ func TrainAgentHooked(agent *rl.Agent, env *Env, episodes, maxSteps int, schedul
 // returns the episode reward.
 func RunGreedyEpisode(agent *rl.Agent, env *Env, maxSteps int) (float64, error) {
 	mGreedyRollouts.Inc()
+	gsp := trace.StartSpan(trace.SpanGenGreedy, trace.Int("max_steps", int64(maxSteps)))
 	obs := env.Reset()
 	var total float64
 	for sp := 0; sp < maxSteps; sp++ {
 		action, err := agent.Greedy(obs, env.NumActions())
 		if err != nil {
+			gsp.End()
 			return total, err
 		}
 		next, reward, done, err := env.Step(action)
 		if err != nil {
+			gsp.End()
 			return total, err
 		}
 		total += reward
@@ -243,5 +265,7 @@ func RunGreedyEpisode(agent *rl.Agent, env *Env, maxSteps int) (float64, error) 
 			break
 		}
 	}
+	gsp.SetAttr(trace.Float("reward", total))
+	gsp.End()
 	return total, nil
 }

@@ -22,6 +22,7 @@ import (
 
 	"parole/internal/chainid"
 	"parole/internal/telemetry"
+	"parole/internal/trace"
 	"parole/internal/tx"
 )
 
@@ -73,6 +74,11 @@ func (p *Pool) Add(t tx.Tx) error {
 	p.pending[h] = &entry{tx: t, arrival: p.nextSeq}
 	p.nextSeq++
 	mAdded.Inc()
+	if trace.Enabled() {
+		trace.Event(h.Hex(), trace.StageMempoolAdmit, "admitted",
+			trace.Str("kind", t.Kind.String()),
+			trace.Int("fee", int64(t.Fee())))
+	}
 	return nil
 }
 
@@ -106,14 +112,24 @@ func (p *Pool) Pending() tx.Seq {
 // order. This is the batch an aggregator receives; it has no influence over
 // which transactions it gets.
 func (p *Pool) Collect(n int) tx.Seq {
+	sp := trace.StartSpan(trace.SpanMempoolCollect, trace.Int("requested", int64(n)))
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	batch := p.orderedLocked(n)
 	for _, t := range batch {
 		delete(p.pending, t.Hash())
 	}
 	mCollects.Inc()
 	mCollectSize.Observe(float64(len(batch)))
+	p.mu.Unlock()
+	if trace.Enabled() {
+		for i, t := range batch {
+			trace.Event(t.Hash().Hex(), trace.StageMempoolCollect, "collected",
+				trace.Int("pos", int64(i)),
+				trace.Int("batch_size", int64(len(batch))))
+		}
+	}
+	sp.SetAttr(trace.Int("collected", int64(len(batch))))
+	sp.End()
 	return batch
 }
 
@@ -128,6 +144,9 @@ func (p *Pool) Demote(h chainid.Hash) error {
 	}
 	e.demoted = true
 	mDemoted.Inc()
+	if trace.Enabled() {
+		trace.Event(h.Hex(), trace.StageMempoolDemote, "demoted")
+	}
 	return nil
 }
 

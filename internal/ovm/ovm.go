@@ -31,6 +31,7 @@ import (
 	"parole/internal/state"
 	"parole/internal/telemetry"
 	"parole/internal/token"
+	"parole/internal/trace"
 	"parole/internal/tx"
 	"parole/internal/wei"
 )
@@ -151,13 +152,14 @@ func (vm *VM) Execute(base *state.State, seq tx.Seq) (*Result, error) {
 	if base == nil {
 		return nil, ErrNoState
 	}
+	sp := trace.StartSpan(trace.SpanOVMExecute, trace.Int("seq_len", int64(len(seq))))
 	st := base.Clone()
 	res := &Result{
 		Steps:   make([]Step, 0, len(seq)),
 		State:   st,
 		PreRoot: base.Root(),
 	}
-	for _, t := range seq {
+	for i, t := range seq {
 		res.Steps = append(res.Steps, vm.apply(st, t))
 		last := &res.Steps[len(res.Steps)-1]
 		if last.Status == StatusExecuted {
@@ -165,8 +167,17 @@ func (vm *VM) Execute(base *state.State, seq tx.Seq) (*Result, error) {
 			res.GasTotal += last.GasUsed
 			res.FeeTotal += last.Fee
 		}
+		if trace.Enabled() {
+			// Per-tx lifecycle events come from the full-fidelity path only;
+			// the Evaluate hot path would flood the trace.
+			trace.Event(t.Hash().Hex(), trace.StageOVMExecute, last.Status.String(),
+				trace.Int("pos", int64(i)),
+				trace.Int("price", int64(last.Price)))
+		}
 	}
 	res.PostRoot = st.Root()
+	sp.SetAttr(trace.Int("executed", int64(res.Executed)))
+	sp.End()
 	return res, nil
 }
 
@@ -327,6 +338,8 @@ func (vm *VM) Evaluate(base *state.State, seq tx.Seq, watch ...chainid.Address) 
 	if base == nil {
 		return nil, nil, nil, ErrNoState
 	}
+	sp := trace.StartSpan(trace.SpanOVMEvaluate, trace.Int("seq_len", int64(len(seq))))
+	defer sp.End()
 	mEvaluates.Inc()
 	st := base.Clone()
 	steps := make([]EvalStep, 0, len(seq))

@@ -22,6 +22,7 @@ import (
 	"parole/internal/ovm"
 	"parole/internal/state"
 	"parole/internal/telemetry"
+	"parole/internal/trace"
 	"parole/internal/tx"
 	"parole/internal/wei"
 )
@@ -198,14 +199,17 @@ func (n *Node) CommitBatch(aggregator chainid.Address, collected, ordered tx.Seq
 	if !collected.SamePermutation(ordered) {
 		return nil, nil, ErrNotPermutation
 	}
+	sp := trace.StartSpan(trace.SpanRollupCommit, trace.Int("batch_size", int64(len(ordered))))
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	res, err := n.vm.Execute(n.l2, ordered)
 	if err != nil {
+		sp.End()
 		return nil, nil, fmt.Errorf("execute batch: %w", err)
 	}
 	batch, err := n.orsc.SubmitBatch(aggregator, ordered, res.PreRoot, res.PostRoot)
 	if err != nil {
+		sp.End()
 		return nil, nil, fmt.Errorf("submit batch: %w", err)
 	}
 	// Optimistically advance the canonical state.
@@ -213,6 +217,16 @@ func (n *Node) CommitBatch(aggregator chainid.Address, collected, ordered tx.Seq
 	n.rememberSnapshot()
 	mBatchesCommitted.Inc()
 	mBatchSize.Observe(float64(len(ordered)))
+	if trace.Enabled() {
+		for i, step := range res.Steps {
+			trace.Event(step.Tx.Hash().Hex(), trace.StageRollupCommit, step.Status.String(),
+				trace.Int("batch", int64(batch.ID)),
+				trace.Int("pos", int64(i)))
+		}
+	}
+	sp.SetAttr(trace.Int("batch", int64(batch.ID)),
+		trace.Int("executed", int64(res.Executed)))
+	sp.End()
 	return batch, res, nil
 }
 
@@ -244,6 +258,8 @@ func (n *Node) SubmitForgedBatch(aggregator chainid.Address, ordered tx.Seq, for
 // Challenge lets a verifier dispute a batch; on success the canonical L2
 // state rolls back to the batch's pre-state.
 func (n *Node) Challenge(verifier chainid.Address, batchID uint64) (bool, error) {
+	sp := trace.StartSpan(trace.SpanRollupChallenge, trace.Int("batch", int64(batchID)))
+	defer sp.End()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	batch, err := n.orsc.Batch(batchID)
@@ -254,6 +270,7 @@ func (n *Node) Challenge(verifier chainid.Address, batchID uint64) (bool, error)
 	if err != nil {
 		return false, err
 	}
+	sp.SetAttr(trace.Bool("upheld", ok))
 	mChallenges.Inc()
 	if ok {
 		mChallengesUpheld.Inc()

@@ -1,0 +1,36 @@
+package sim
+
+import "testing"
+
+// TestAdversaryCountRounding pins the fraction→count conversion at the
+// boundaries the Fig. 7 sweep exercises: round-half-up, a floor of one
+// adversary for any positive fraction, and zero only at fraction zero.
+func TestAdversaryCountRounding(t *testing.T) {
+	cases := []struct {
+		population int
+		fraction   float64
+		want       int
+	}{
+		{100, 0, 0},       // zero fraction → no adversaries
+		{0, 0, 0},         // empty population, zero fraction
+		{100, 0.25, 25},   // exact cell
+		{100, 0.5, 50},    // the paper's 50% point
+		{100, 1, 100},     // everyone
+		{10, 0.04, 1},     // 0.4 rounds down but positive fraction floors at 1
+		{10, 0.05, 1},     // 0.5 rounds half-up to 1
+		{10, 0.14, 1},     // 1.4 → 1
+		{10, 0.15, 2},     // 1.5 → 2 (half-up)
+		{10, 0.25, 3},     // 2.5 → 3 (half-up, not banker's)
+		{3, 0.5, 2},       // 1.5 → 2 on an odd population
+		{1, 0.001, 1},     // tiny fraction of one user still yields one
+		{0, 0.5, 1},       // degenerate: positive fraction of empty population floors at 1
+		{1000, 0.0004, 1}, // 0.4 → floor kicks in
+		{1000, 0.0005, 1}, // 0.5 → rounds to 1 anyway
+		{1000, 0.0015, 2}, // 1.5 → 2
+	}
+	for _, tc := range cases {
+		if got := adversaryCount(tc.population, tc.fraction); got != tc.want {
+			t.Errorf("adversaryCount(%d, %g) = %d, want %d", tc.population, tc.fraction, got, tc.want)
+		}
+	}
+}

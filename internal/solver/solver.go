@@ -36,6 +36,7 @@ import (
 	"parole/internal/ovm"
 	"parole/internal/state"
 	"parole/internal/telemetry"
+	"parole/internal/trace"
 	"parole/internal/tx"
 	"parole/internal/wei"
 )
@@ -191,6 +192,21 @@ func better(imp wei.Amount, valid bool, best wei.Amount) bool {
 	return valid && imp > best
 }
 
+// startSolveSpan opens the per-backend solve span; endSolveSpan stamps the
+// search outcome onto it. Both are no-ops while tracing is disabled.
+func startSolveSpan(s Solver, obj *Objective) *trace.Span {
+	return trace.StartSpan(trace.SpanSolverSolve,
+		trace.Str("backend", s.Name()),
+		trace.Int("n", int64(obj.N())))
+}
+
+func endSolveSpan(sp *trace.Span, sol *Solution) {
+	sp.SetAttr(trace.Int("evals", int64(sol.Evaluations)),
+		trace.Int("improvement_wei", int64(sol.Improvement)),
+		trace.Bool("complete", sol.Complete))
+	sp.End()
+}
+
 // ---------------------------------------------------------------------------
 // Exhaustive search (ground truth for small N).
 
@@ -208,6 +224,8 @@ func (Exhaustive) Solve(_ *rand.Rand, obj *Objective, budget Budget) (Solution, 
 		maxEvals = 1_000_000
 	}
 	sol := Solution{Seq: obj.Original(), Complete: true}
+	sp := startSolveSpan(Exhaustive{}, obj)
+	defer func() { endSolveSpan(sp, &sol) }()
 	work := obj.Original()
 	n := len(work)
 	counters := make([]int, n)
@@ -273,6 +291,8 @@ func (BranchBound) Solve(_ *rand.Rand, obj *Objective, budget Budget) (Solution,
 		maxEvals = 200_000
 	}
 	sol := Solution{Seq: obj.Original(), Complete: true}
+	sp := startSolveSpan(BranchBound{}, obj)
+	defer func() { endSolveSpan(sp, &sol) }()
 	evalsStart := obj.Evals()
 
 	n := obj.N()
@@ -382,18 +402,24 @@ func (h HillClimb) Solve(rng *rand.Rand, obj *Objective, budget Budget) (Solutio
 		return Solution{}, errors.New("solver: hill climb needs an RNG")
 	}
 	sol := Solution{Seq: obj.Original()}
+	sp := startSolveSpan(h, obj)
+	defer func() { endSolveSpan(sp, &sol) }()
 	evalsStart := obj.Evals()
 	n := obj.N()
 
 	cur := obj.Original()
 	firstRestart := true
+	restart := int64(0)
 	for obj.Evals()-evalsStart < maxEvals {
 		if !firstRestart {
 			cur = obj.Original()
 			rng.Shuffle(n, cur.Swap)
 			mHillRestarts.Inc()
+			restart++
 		}
 		firstRestart = false
+		rsp := trace.StartSpan(trace.SpanSolverRestart, trace.Int("restart", restart))
+		restartEvals := obj.Evals()
 
 		curImp, curValid, err := obj.Score(cur)
 		if err != nil {
@@ -433,6 +459,9 @@ func (h HillClimb) Solve(rng *rand.Rand, obj *Objective, budget Budget) (Solutio
 				sol.Seq = cur.Clone()
 			}
 		}
+		rsp.SetAttr(trace.Int("evals", int64(obj.Evals()-restartEvals)),
+			trace.Int("best_improvement_wei", int64(sol.Improvement)))
+		rsp.End()
 	}
 	sol.Evaluations = obj.Evals() - evalsStart
 	sol.Complete = false // restarts never exhaust the space
@@ -471,6 +500,8 @@ func (a Anneal) Solve(rng *rand.Rand, obj *Objective, budget Budget) (Solution, 
 		cooling = 0.999
 	}
 	sol := Solution{Seq: obj.Original()}
+	sp := startSolveSpan(a, obj)
+	defer func() { endSolveSpan(sp, &sol) }()
 	evalsStart := obj.Evals()
 	n := obj.N()
 

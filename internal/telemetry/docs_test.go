@@ -1,0 +1,233 @@
+package telemetry
+
+// Documentation drift tests: docs/METRICS.md must catalogue every metric
+// name registered in code (and list no stale ones), and docs/TRACING.md
+// must document every span kind and lifecycle stage declared in
+// internal/trace/kinds.go. Grep-based on purpose — the check must not
+// depend on the packages under test importing anything new.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const repoRoot = "../.."
+
+// skipDirs are directories that hold no instrumented source.
+var skipDirs = map[string]bool{
+	".git": true, ".github": true, "results": true, "results-full": true,
+	"docs": true, "testdata": true,
+}
+
+// registrationRE captures the literal first argument of a metric
+// registration. Dynamic names (concatenation, Metricf) are matched by their
+// literal prefix instead.
+var (
+	registrationRE = regexp.MustCompile(`\.(?:Counter|Gauge|Histogram|Timer)\("([^"]+)"`)
+	metricfRE      = regexp.MustCompile(`Metricf\("([^"]+)"`)
+	metricConstRE  = regexp.MustCompile(`\n\tMetric\w+\s+= "([^"]+)"`)
+	docRowRE       = regexp.MustCompile("(?m)^\\| `([^`]+)` \\|")
+	kindConstRE    = regexp.MustCompile(`= "([a-z_.]+)"`)
+	formatVerbRE   = regexp.MustCompile(`%[0-9.+#-]*[a-zA-Z]`)
+	wildcardRE     = regexp.MustCompile(`<[^>]+>`)
+)
+
+// goSources returns the contents of every non-test .go file in the repo.
+func goSources(t *testing.T) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	err := filepath.Walk(repoRoot, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			if skipDirs[info.Name()] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out[path] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no Go sources found — repo layout changed?")
+	}
+	return out
+}
+
+// codeMetricNames extracts every metric name (or literal prefix of a
+// dynamic name) registered in code. Names containing format verbs are
+// truncated at the first verb and reported as prefixes.
+func codeMetricNames(t *testing.T) (exact, prefixes map[string][]string) {
+	exact = map[string][]string{}
+	prefixes = map[string][]string{}
+	for path, src := range goSources(t) {
+		var literals []string
+		for _, m := range registrationRE.FindAllStringSubmatch(src, -1) {
+			literals = append(literals, m[1])
+		}
+		for _, m := range metricfRE.FindAllStringSubmatch(src, -1) {
+			literals = append(literals, m[1])
+		}
+		if strings.Contains(path, "internal/telemetry") {
+			for _, m := range metricConstRE.FindAllStringSubmatch(src, -1) {
+				literals = append(literals, m[1])
+			}
+		}
+		for _, name := range literals {
+			dynamic := false
+			if i := formatVerbRE.FindStringIndex(name); i != nil {
+				name, dynamic = name[:i[0]], true
+			}
+			if name == "" {
+				continue
+			}
+			if dynamic || strings.HasSuffix(name, ".") || !strings.Contains(name, ".") {
+				prefixes[name] = append(prefixes[name], path)
+			} else {
+				exact[name] = append(exact[name], path)
+			}
+		}
+	}
+	return exact, prefixes
+}
+
+// docMetricNames parses the METRICS.md catalogue rows into exact names and
+// wildcard patterns (rows containing <placeholders>).
+func docMetricNames(t *testing.T) (exact map[string]bool, wildcards map[string]*regexp.Regexp) {
+	data, err := os.ReadFile(filepath.Join(repoRoot, "docs", "METRICS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact = map[string]bool{}
+	wildcards = map[string]*regexp.Regexp{}
+	for _, m := range docRowRE.FindAllStringSubmatch(string(data), -1) {
+		name := m[1]
+		if !strings.Contains(name, ".") {
+			continue // table header or bucket-layout row, not a metric
+		}
+		if wildcardRE.MatchString(name) {
+			pat := wildcardRE.ReplaceAllString(regexp.QuoteMeta(name), `.+`)
+			wildcards[name] = regexp.MustCompile("^" + pat + "$")
+		} else {
+			exact[name] = true
+		}
+	}
+	if len(exact) == 0 {
+		t.Fatal("no metric rows parsed from docs/METRICS.md — format changed?")
+	}
+	return exact, wildcards
+}
+
+// TestEveryCodeMetricIsDocumented fails when code registers a metric name
+// that docs/METRICS.md does not catalogue.
+func TestEveryCodeMetricIsDocumented(t *testing.T) {
+	codeExact, codePrefixes := codeMetricNames(t)
+	docExact, docWild := docMetricNames(t)
+
+	for name, sites := range codeExact {
+		if docExact[name] {
+			continue
+		}
+		matched := false
+		for _, re := range docWild {
+			if re.MatchString(name) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("metric %q (registered in %s) is not documented in docs/METRICS.md", name, sites[0])
+		}
+	}
+	// A dynamic registration prefix must fall under some wildcard row.
+	for prefix, sites := range codePrefixes {
+		matched := false
+		for doc := range docWild {
+			static := doc
+			if i := strings.Index(doc, "<"); i >= 0 {
+				static = doc[:i]
+			}
+			if strings.HasPrefix(static, prefix) || strings.HasPrefix(prefix, static) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("dynamic metric prefix %q (in %s) matches no wildcard row in docs/METRICS.md", prefix, sites[0])
+		}
+	}
+}
+
+// TestEveryDocumentedMetricExistsInCode fails on stale METRICS.md rows:
+// documented names no registration site produces anymore.
+func TestEveryDocumentedMetricExistsInCode(t *testing.T) {
+	codeExact, _ := codeMetricNames(t)
+	docExact, docWild := docMetricNames(t)
+
+	for name := range docExact {
+		if _, ok := codeExact[name]; ok {
+			continue
+		}
+		// Dynamic sites (concatenation) register documented exact names too;
+		// accept the name if its full text appears in some source file.
+		if sourceContains(t, name) {
+			continue
+		}
+		t.Errorf("docs/METRICS.md documents %q but no code registers it (stale row?)", name)
+	}
+	for doc := range docWild {
+		static := doc
+		if i := strings.Index(doc, "<"); i >= 0 {
+			static = doc[:i]
+		}
+		if !sourceContains(t, static) {
+			t.Errorf("docs/METRICS.md wildcard row %q: prefix %q appears nowhere in code (stale row?)", doc, static)
+		}
+	}
+}
+
+func sourceContains(t *testing.T, needle string) bool {
+	for _, src := range goSources(t) {
+		if strings.Contains(src, needle) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTracingDocCoversAllSpanKindsAndStages fails when a span kind or
+// lifecycle stage declared in internal/trace/kinds.go is missing from
+// docs/TRACING.md (or documented under a stale name).
+func TestTracingDocCoversAllSpanKindsAndStages(t *testing.T) {
+	kindsSrc, err := os.ReadFile(filepath.Join(repoRoot, "internal", "trace", "kinds.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := os.ReadFile(filepath.Join(repoRoot, "docs", "TRACING.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := kindConstRE.FindAllStringSubmatch(string(kindsSrc), -1)
+	if len(names) < 15 {
+		t.Fatalf("parsed only %d constants from kinds.go — extraction broken?", len(names))
+	}
+	for _, m := range names {
+		if !strings.Contains(string(doc), "`"+m[1]+"`") {
+			t.Errorf("docs/TRACING.md does not document %q from internal/trace/kinds.go", m[1])
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestSnapshotJSONRoundTripMatchesTSV exercises both snapshot writers
+// against each other: a JSON snapshot must re-parse (through
+// Bucket.UnmarshalJSON, which restores the "+Inf" overflow bound) into a
+// value whose TSV rendering is byte-identical to the original's — so either
+// artifact can be regenerated from the other without loss.
+func TestSnapshotJSONRoundTripMatchesTSV(t *testing.T) {
+	reg := NewRegistry()
+	reg.EnableTimers(true)
+	reg.Counter("rt.count").Add(42)
+	reg.Gauge("rt.level").Set(3.75)
+	h := reg.Histogram("rt.sizes", SizeBuckets)
+	for _, v := range []float64{1, 3, 7, 40, 5000} { // 5000 → +Inf bucket
+		h.Observe(v)
+	}
+	reg.Timer("rt.stage").ObserveDuration(1500 * time.Microsecond)
+
+	snap := reg.Snapshot()
+
+	var jsonBuf bytes.Buffer
+	if err := snap.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(jsonBuf.Bytes(), &back); err != nil {
+		t.Fatalf("JSON snapshot does not re-parse: %v", err)
+	}
+
+	// The overflow bucket must come back as the real +Inf, not a string or 0.
+	m, ok := back.Get("rt.sizes")
+	if !ok {
+		t.Fatal("rt.sizes missing after round trip")
+	}
+	last := m.Buckets[len(m.Buckets)-1]
+	if !math.IsInf(last.UpperBound, 1) {
+		t.Errorf("overflow bound after round trip = %v, want +Inf", last.UpperBound)
+	}
+	if last.Count != 1 {
+		t.Errorf("overflow count after round trip = %d, want 1", last.Count)
+	}
+
+	var tsvOrig, tsvBack bytes.Buffer
+	if err := snap.WriteTSV(&tsvOrig); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.WriteTSV(&tsvBack); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tsvOrig.Bytes(), tsvBack.Bytes()) {
+		t.Errorf("TSV of re-parsed JSON snapshot differs from the original:\n--- original ---\n%s--- reparsed ---\n%s",
+			tsvOrig.String(), tsvBack.String())
+	}
+}
+
+// TestBucketUnmarshalRejectsGarbage pins the error paths of the custom
+// bucket decoder.
+func TestBucketUnmarshalRejectsGarbage(t *testing.T) {
+	var b Bucket
+	if err := json.Unmarshal([]byte(`{"le":"not-a-number","count":1}`), &b); err == nil {
+		t.Error("non-numeric bound string accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"le":[1],"count":1}`), &b); err == nil {
+		t.Error("array bound accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"le":"250","count":9}`), &b); err != nil {
+		t.Errorf("numeric string bound rejected: %v", err)
+	} else if b.UpperBound != 250 || b.Count != 9 {
+		t.Errorf("numeric string bound parsed as %v/%d, want 250/9", b.UpperBound, b.Count)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -44,6 +45,37 @@ func (b Bucket) MarshalJSON() ([]byte, error) {
 		a.UpperBound = "+Inf"
 	}
 	return json.Marshal(a)
+}
+
+// UnmarshalJSON accepts both the numeric form and the "+Inf" string form
+// MarshalJSON produces, so JSON snapshots round-trip.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var a struct {
+		UpperBound any   `json:"le"`
+		Count      int64 `json:"count"`
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	b.Count = a.Count
+	switch v := a.UpperBound.(type) {
+	case float64:
+		b.UpperBound = v
+	case string:
+		switch v {
+		case "+Inf", "Inf":
+			b.UpperBound = math.Inf(1)
+		default:
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("telemetry: bucket bound %q: %w", v, err)
+			}
+			b.UpperBound = f
+		}
+	default:
+		return fmt.Errorf("telemetry: bucket bound has unexpected type %T", a.UpperBound)
+	}
+	return nil
 }
 
 // Metric is one exported metric. Value holds the counter count or gauge
@@ -237,8 +269,23 @@ type Manifest struct {
 	// When is the RFC 3339 completion time (reporting layer; absent from
 	// any seeded computation).
 	When string `json:"when"`
+	// Trace records whether causal tracing (internal/trace) was enabled for
+	// the run and, when a trace file was written alongside the outputs, its
+	// path and content hash — so trace artifacts stay tied to the run that
+	// produced them. Nil when the producing binary predates tracing.
+	Trace *TraceInfo `json:"trace,omitempty"`
 	// Metrics is the registry snapshot at completion.
 	Metrics Snapshot `json:"metrics"`
+}
+
+// TraceInfo is the Manifest's record of the run's tracing configuration.
+type TraceInfo struct {
+	// Enabled reports whether the span tracer recorded during the run.
+	Enabled bool `json:"enabled"`
+	// File is the trace file path as given on the command line; SHA256 is
+	// the hex SHA-256 of its bytes. Both empty when tracing was disabled.
+	File   string `json:"file,omitempty"`
+	SHA256 string `json:"sha256,omitempty"`
 }
 
 // NewManifest stamps a manifest with the current toolchain and time.

@@ -291,7 +291,7 @@ func SanitizeName(label string) string {
 }
 
 // Metricf is a convenience for building per-instance metric names, e.g.
-// Metricf("fig11.heap_alloc_bytes.n%03d", n).
+// Metricf("fig11.heap_alloc_peak_bytes.n%03d", n).
 func Metricf(format string, args ...any) string {
 	return SanitizeName(fmt.Sprintf(format, args...))
 }

@@ -1,0 +1,399 @@
+package trace
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event JSON array — the
+// subset of the schema Perfetto and chrome://tracing accept: complete spans
+// (ph "X" with ts + dur) and instant events (ph "i" with scope "t").
+// Timestamps are microseconds from the tracer epoch.
+type ChromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the JSON object container format ({"traceEvents": […]}).
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit,omitempty"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// Chrome trace categories and reserved argument keys.
+const (
+	CatSpan = "span"
+	CatTx   = "tx"
+
+	argSpanID     = "span_id"
+	argSpanParent = "span_parent"
+	argTx         = "tx"
+	argOutcome    = "outcome"
+	argSeq        = "seq"
+)
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func attrArgs(args map[string]any, attrs []Attr) map[string]any {
+	for _, a := range attrs {
+		switch a.Value.Kind {
+		case ValueInt:
+			args[a.Key] = a.Value.Int
+		case ValueStr:
+			args[a.Key] = a.Value.Str
+		case ValueFloat:
+			args[a.Key] = a.Value.F
+		case ValueBool:
+			args[a.Key] = a.Value.B
+		}
+	}
+	return args
+}
+
+// Chrome renders the recorded spans and tx events as a ChromeTrace.
+func (t *Tracer) Chrome() ChromeTrace {
+	spans := t.Spans()
+	events := t.Events()
+	droppedSp, droppedEv := t.Dropped()
+
+	out := ChromeTrace{
+		TraceEvents:     make([]ChromeEvent, 0, len(spans)+len(events)),
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"producer":       "parole/internal/trace",
+			"dropped_spans":  fmt.Sprintf("%d", droppedSp),
+			"dropped_events": fmt.Sprintf("%d", droppedEv),
+		},
+	}
+	for _, s := range spans {
+		dur := micros(s.Dur)
+		args := attrArgs(map[string]any{argSpanID: s.ID}, s.Attrs)
+		if s.Parent != 0 {
+			args[argSpanParent] = s.Parent
+		}
+		out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+			Name:  s.Kind,
+			Cat:   CatSpan,
+			Phase: "X",
+			TS:    micros(s.Start),
+			Dur:   &dur,
+			PID:   1,
+			TID:   s.G,
+			Args:  args,
+		})
+	}
+	for _, e := range events {
+		args := attrArgs(map[string]any{
+			argTx:      e.Tx,
+			argOutcome: e.Outcome,
+			argSeq:     e.Seq,
+		}, e.Attrs)
+		out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+			Name:  e.Stage,
+			Cat:   CatTx,
+			Phase: "i",
+			TS:    micros(e.Start),
+			PID:   1,
+			TID:   e.G,
+			Scope: "t",
+			Args:  args,
+		})
+	}
+	// Stable order: by timestamp, spans before instants on ties, then ids.
+	sort.SliceStable(out.TraceEvents, func(i, j int) bool {
+		if out.TraceEvents[i].TS != out.TraceEvents[j].TS {
+			return out.TraceEvents[i].TS < out.TraceEvents[j].TS
+		}
+		return out.TraceEvents[i].Phase < out.TraceEvents[j].Phase
+	})
+	return out
+}
+
+// WriteChrome writes the Chrome trace-event JSON.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t.Chrome())
+}
+
+// WriteSummaryTSV writes the per-kind span summary, sorted by kind:
+//
+//	kind  count  total_us  self_us  avg_us
+//
+// Counts and totals are exact over the whole run even when detailed span
+// records were capped.
+func (t *Tracer) WriteSummaryTSV(w io.Writer) error {
+	return writeSummaryTSV(w, t.Summary())
+}
+
+func writeSummaryTSV(w io.Writer, sums []KindSummary) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "kind\tcount\ttotal_us\tself_us\tavg_us")
+	for _, s := range sums {
+		avg := 0.0
+		if s.Count > 0 {
+			avg = micros(s.Total) / float64(s.Count)
+		}
+		fmt.Fprintf(bw, "%s\t%d\t%.1f\t%.1f\t%.1f\n",
+			s.Kind, s.Count, micros(s.Total), micros(s.Self), avg)
+	}
+	return bw.Flush()
+}
+
+// WriteTimelineTSV writes the per-transaction timelines, one row per
+// lifecycle event in per-tx causal order:
+//
+//	tx  seq  ts_us  stage  outcome  attrs
+//
+// where attrs is "key=value,…", keys sorted — so the TSV recomputed from
+// the trace JSON (whose args decode in sorted order) is byte-identical to
+// the one written live.
+func (t *Tracer) WriteTimelineTSV(w io.Writer) error {
+	return writeTimelineTSV(w, t.Timeline())
+}
+
+func writeTimelineTSV(w io.Writer, timelines [][]TxEvent) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "tx\tseq\tts_us\tstage\toutcome\tattrs")
+	for _, evs := range timelines {
+		for _, e := range evs {
+			sorted := append([]Attr(nil), e.Attrs...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+			var attrs strings.Builder
+			for i, a := range sorted {
+				if i > 0 {
+					attrs.WriteByte(',')
+				}
+				fmt.Fprintf(&attrs, "%s=%s", a.Key, a.Value.String())
+			}
+			fmt.Fprintf(bw, "%s\t%d\t%.1f\t%s\t%s\t%s\n",
+				e.Tx, e.Seq, micros(e.Start), e.Stage, e.Outcome, attrs.String())
+		}
+	}
+	return bw.Flush()
+}
+
+// DeriveArtifactPaths maps the -trace PATH to the sibling summary and
+// timeline files: "out.trace.json" → "out.trace.summary.tsv",
+// "out.trace.timeline.tsv".
+func DeriveArtifactPaths(path string) (summary, timeline string) {
+	base := strings.TrimSuffix(path, ".json")
+	return base + ".summary.tsv", base + ".timeline.tsv"
+}
+
+// WriteFiles writes the three trace artifacts — the Chrome JSON at path
+// plus the derived summary and timeline TSVs — and returns the hex SHA-256
+// of the Chrome JSON file (what the run manifest records).
+func (t *Tracer) WriteFiles(path string) (sha string, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	h := sha256.New()
+	err = t.WriteChrome(io.MultiWriter(f, h))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", fmt.Errorf("trace: write %s: %w", path, err)
+	}
+	summaryPath, timelinePath := DeriveArtifactPaths(path)
+	if err := writeFileWith(summaryPath, t.WriteSummaryTSV); err != nil {
+		return "", err
+	}
+	if err := writeFileWith(timelinePath, t.WriteTimelineTSV); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("trace: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// Parsed is a trace file loaded back from its Chrome JSON form —
+// cmd/parole-trace works on this.
+type Parsed struct {
+	Spans  []SpanRecord
+	Events []TxEvent
+	Other  map[string]string
+}
+
+// ParseChrome loads a Chrome trace-event JSON produced by WriteChrome (it
+// tolerates any trace using the same span/tx categories).
+func ParseChrome(r io.Reader) (*Parsed, error) {
+	var ct ChromeTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&ct); err != nil {
+		return nil, fmt.Errorf("trace: parse chrome json: %w", err)
+	}
+	p := &Parsed{Other: ct.OtherData}
+	for _, e := range ct.TraceEvents {
+		switch e.Phase {
+		case "X":
+			rec := SpanRecord{
+				Kind:  e.Name,
+				G:     e.TID,
+				Start: time.Duration(e.TS * 1e3),
+			}
+			if e.Dur != nil {
+				rec.Dur = time.Duration(*e.Dur * 1e3)
+			}
+			rec.ID = uintArg(e.Args, argSpanID)
+			rec.Parent = uintArg(e.Args, argSpanParent)
+			rec.Attrs = argsToAttrs(e.Args)
+			p.Spans = append(p.Spans, rec)
+		case "i", "I":
+			ev := TxEvent{
+				Stage: e.Name,
+				G:     e.TID,
+				Start: time.Duration(e.TS * 1e3),
+				Seq:   uintArg(e.Args, argSeq),
+			}
+			if v, ok := e.Args[argTx].(string); ok {
+				ev.Tx = v
+			}
+			if v, ok := e.Args[argOutcome].(string); ok {
+				ev.Outcome = v
+			}
+			ev.Attrs = argsToAttrs(e.Args)
+			p.Events = append(p.Events, ev)
+		}
+	}
+	// Recompute self time from parent links (summaries from a parsed file
+	// are limited to the detailed records the file carries).
+	childDur := make(map[uint64]time.Duration)
+	for _, s := range p.Spans {
+		if s.Parent != 0 {
+			childDur[s.Parent] += s.Dur
+		}
+	}
+	for i := range p.Spans {
+		self := p.Spans[i].Dur - childDur[p.Spans[i].ID]
+		if self < 0 {
+			self = 0
+		}
+		p.Spans[i].Self = self
+	}
+	return p, nil
+}
+
+func uintArg(args map[string]any, key string) uint64 {
+	if v, ok := args[key].(float64); ok && v >= 0 {
+		return uint64(v)
+	}
+	return 0
+}
+
+var reservedArgs = map[string]bool{
+	argSpanID: true, argSpanParent: true,
+	argTx: true, argOutcome: true, argSeq: true,
+}
+
+// argsToAttrs converts non-reserved Chrome args back into sorted attrs
+// (JSON maps are unordered; sorting keeps re-exports deterministic).
+func argsToAttrs(args map[string]any) []Attr {
+	keys := make([]string, 0, len(args))
+	for k := range args {
+		if !reservedArgs[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	attrs := make([]Attr, 0, len(keys))
+	for _, k := range keys {
+		switch v := args[k].(type) {
+		case string:
+			attrs = append(attrs, Str(k, v))
+		case float64:
+			if v == float64(int64(v)) {
+				attrs = append(attrs, Int(k, int64(v)))
+			} else {
+				attrs = append(attrs, Float(k, v))
+			}
+		case bool:
+			attrs = append(attrs, Bool(k, v))
+		}
+	}
+	if len(attrs) == 0 {
+		return nil
+	}
+	return attrs
+}
+
+// Summary aggregates a parsed trace per kind, sorted by kind.
+func (p *Parsed) Summary() []KindSummary {
+	agg := make(map[string]*KindSummary)
+	for _, s := range p.Spans {
+		sum, ok := agg[s.Kind]
+		if !ok {
+			sum = &KindSummary{Kind: s.Kind}
+			agg[s.Kind] = sum
+		}
+		sum.Count++
+		sum.Total += s.Dur
+		sum.Self += s.Self
+	}
+	out := make([]KindSummary, 0, len(agg))
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// Timeline groups a parsed trace's tx events per transaction, like
+// Tracer.Timeline.
+func (p *Parsed) Timeline() [][]TxEvent {
+	byTx := make(map[string][]TxEvent)
+	var order []string
+	for _, e := range p.Events {
+		if _, seen := byTx[e.Tx]; !seen {
+			order = append(order, e.Tx)
+		}
+		byTx[e.Tx] = append(byTx[e.Tx], e)
+	}
+	out := make([][]TxEvent, 0, len(order))
+	for _, h := range order {
+		evs := byTx[h]
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+		out = append(out, evs)
+	}
+	return out
+}
+
+// WriteSummaryTSV writes the parsed summary in the Tracer's TSV format.
+func (p *Parsed) WriteSummaryTSV(w io.Writer) error {
+	return writeSummaryTSV(w, p.Summary())
+}
+
+// WriteTimelineTSV writes the parsed timelines in the Tracer's TSV format.
+func (p *Parsed) WriteTimelineTSV(w io.Writer) error {
+	return writeTimelineTSV(w, p.Timeline())
+}

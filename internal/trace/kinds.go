@@ -1,0 +1,63 @@
+package trace
+
+// Span kinds recorded by the instrumented packages. docs/TRACING.md
+// documents each with the pipeline stage it covers; keep both in sync
+// (internal/telemetry/docs_test.go checks the table).
+const (
+	// SpanMempoolCollect covers one mempool batch collection.
+	SpanMempoolCollect = "mempool.collect"
+	// SpanArbitrageAssess covers one Section V-B opportunity screen.
+	SpanArbitrageAssess = "arbitrage.assess"
+	// SpanGenOptimize covers one full GENTRANSEQ Optimize run.
+	SpanGenOptimize = "gentranseq.optimize"
+	// SpanGenEpisode covers one DQN training episode.
+	SpanGenEpisode = "gentranseq.episode"
+	// SpanGenGreedy covers one greedy (ε = 0) inference rollout.
+	SpanGenGreedy = "gentranseq.greedy_rollout"
+	// SpanSolverSolve covers one baseline solver Solve call.
+	SpanSolverSolve = "solver.solve"
+	// SpanSolverRestart covers one hill-climb restart (descent to a local
+	// optimum from one starting permutation).
+	SpanSolverRestart = "solver.hillclimb.restart"
+	// SpanOVMExecute covers one full-fidelity sequence execution (Merkle
+	// roots included).
+	SpanOVMExecute = "ovm.execute"
+	// SpanOVMEvaluate covers one root-free candidate evaluation — the hot
+	// path of every search backend.
+	SpanOVMEvaluate = "ovm.evaluate"
+	// SpanCoreOrder covers one adversarial-sequencer ordering decision.
+	SpanCoreOrder = "core.order"
+	// SpanRollupCommit covers one batch execution + ORSC submission.
+	SpanRollupCommit = "rollup.commit"
+	// SpanRollupChallenge covers one verifier challenge adjudication.
+	SpanRollupChallenge = "rollup.challenge"
+	// SpanDefenseInspect covers one Section VIII detector inspection.
+	SpanDefenseInspect = "defense.inspect"
+)
+
+// Per-transaction lifecycle stages recorded via Event. A transaction's
+// timeline chains mempool.admit → mempool.collect → arbitrage.screen →
+// core.reorder → ovm.execute → rollup.commit, with mempool.demote on the
+// defense path.
+const (
+	// StageMempoolAdmit is mempool admission (Pool.Add).
+	StageMempoolAdmit = "mempool.admit"
+	// StageMempoolDemote is a Section VIII demotion ("send to the block
+	// behind").
+	StageMempoolDemote = "mempool.demote"
+	// StageMempoolCollect is inclusion in a collected batch, with the
+	// batch position as an attribute.
+	StageMempoolCollect = "mempool.collect"
+	// StageArbitrageScreen is the Section V-B screen verdict for a tx that
+	// involves an IFU.
+	StageArbitrageScreen = "arbitrage.screen"
+	// StageCoreReorder is a position change between the fee order and the
+	// shipped order (from/to attributes).
+	StageCoreReorder = "core.reorder"
+	// StageOVMExecute is the execution outcome inside a full-fidelity
+	// Execute (executed/skipped/invalid).
+	StageOVMExecute = "ovm.execute"
+	// StageRollupCommit is inclusion in a committed batch, with the batch
+	// id and final status.
+	StageRollupCommit = "rollup.commit"
+)

@@ -1,0 +1,234 @@
+package trace_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"parole/internal/casestudy"
+	"parole/internal/chainid"
+	"parole/internal/core"
+	"parole/internal/gentranseq"
+	"parole/internal/ovm"
+	"parole/internal/rollup"
+	"parole/internal/solver"
+	"parole/internal/state"
+	"parole/internal/token"
+	"parole/internal/trace"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// withTracing runs fn with the process-global tracer in the given state and
+// restores a clean disabled tracer afterwards.
+func withTracing(t *testing.T, on bool, fn func()) {
+	t.Helper()
+	tr := trace.Default()
+	tr.Reset()
+	if on {
+		tr.Enable()
+	} else {
+		tr.Disable()
+	}
+	defer func() {
+		tr.Disable()
+		tr.Reset()
+	}()
+	fn()
+}
+
+// TestSeededOutputsUnaffectedByTracing is the sibling of telemetry's
+// TestSeededOutputsUnaffectedByTelemetry: a seeded solver run and a seeded
+// GENTRANSEQ optimization must produce bit-identical outputs whether the
+// span tracer records or not. Tracing is passive — it reads clocks and
+// copies values but never feeds anything back into computation or RNG
+// consumption.
+func TestSeededOutputsUnaffectedByTracing(t *testing.T) {
+	run := func(tracingOn bool) string {
+		var out string
+		withTracing(t, tracingOn, func() {
+			s, err := casestudy.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			vm := ovm.New()
+			ifus := []chainid.Address{casestudy.IFU}
+			rng := rand.New(rand.NewSource(7))
+
+			obj, err := solver.NewObjective(vm, s.State, s.Original, ifus)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol, err := solver.Measure(solver.HillClimb{}, rng, obj, solver.Budget{MaxEvaluations: 400})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cfg := gentranseq.FastConfig()
+			cfg.Episodes, cfg.MaxSteps = 5, 20
+			res, err := gentranseq.Optimize(rng, vm, s.State, s.Original, ifus, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			out = fmt.Sprintf("solver seq=%v evals=%d imp=%s complete=%v | gen final=%v imp=%s improved=%v swaps=%d rewards=%v",
+				sol.Seq, sol.Evaluations, sol.Improvement, sol.Complete,
+				res.Final, res.Improvement, res.Improved, res.InferenceSwaps, res.EpisodeRewards)
+		})
+		return out
+	}
+
+	off := run(false)
+	on := run(true)
+	offAgain := run(false)
+	if off != on {
+		t.Errorf("seeded outputs differ with tracing on vs off:\noff: %s\non:  %s", off, on)
+	}
+	if off != offAgain {
+		t.Errorf("seeded outputs not reproducible across runs:\n1st: %s\n2nd: %s", off, offAgain)
+	}
+}
+
+// TestPipelineTimelineCoversFullLifecycle drives the real attack pipeline —
+// mempool admission, batch collection, the Section V-B screen, GENTRANSEQ
+// search, OVM execution, and ORSC commit — through a rollup deployment with
+// an adversarial sequencer, and asserts that an IFU transaction's timeline
+// chains every lifecycle stage in causal order.
+func TestPipelineTimelineCoversFullLifecycle(t *testing.T) {
+	withTracing(t, true, func() {
+		node := rollup.NewNode(rollup.Config{ChallengePeriod: 1})
+		// Rebuild the Section VI world inside the node's L2 state.
+		if err := node.SetupL2(func(st *state.State) error {
+			pt, err := token.Deploy(casestudy.PTAddr, token.Config{
+				Name: "ParoleToken", Symbol: "PT",
+				MaxSupply: 10, InitialPrice: wei.FromFloat(0.2),
+			})
+			if err != nil {
+				return err
+			}
+			if err := pt.Mint(casestudy.IFU, 0); err != nil {
+				return err
+			}
+			if err := st.DeployToken(pt); err != nil {
+				return err
+			}
+			st.SetBalance(casestudy.IFU, wei.FromETH(2))
+			for i := 1; i <= 3; i++ {
+				st.SetBalance(chainid.UserAddress(i), wei.FromETH(5))
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		u1, u2 := chainid.UserAddress(1), chainid.UserAddress(2)
+		// A small batch with the IFU minting, trading, and a price mover, so
+		// the screen sees an opportunity. Fees strictly decreasing fix the
+		// collection order.
+		batch := tx.Seq{
+			tx.Transfer(casestudy.PTAddr, 0, casestudy.IFU, u1).WithFees(100, 0),
+			tx.Mint(casestudy.PTAddr, 1, u2).WithFees(90, 0),
+			tx.Mint(casestudy.PTAddr, 2, casestudy.IFU).WithFees(80, 0),
+			tx.Mint(casestudy.PTAddr, 3, u1).WithFees(70, 0),
+		}
+		for _, bt := range batch {
+			if err := node.SubmitTx(bt); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		cfg := gentranseq.FastConfig()
+		cfg.Episodes, cfg.MaxSteps = 3, 12
+		seq, err := core.NewSequencer(node.VM(), rand.New(rand.NewSource(11)), core.Config{
+			IFUs: []chainid.Address{casestudy.IFU},
+			Gen:  cfg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggAddr := chainid.AggregatorAddress(1)
+		node.SetupAccount(aggAddr, wei.FromETH(10))
+		agg, err := rollup.NewAggregator(node, aggAddr, wei.FromETH(5), len(batch), seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := agg.Step(); err != nil {
+			t.Fatal(err)
+		}
+
+		// The IFU's mint was submitted with the IFU's then-current nonce (0).
+		ifuMint := batch[2].WithNonce(0).Hash().Hex()
+		wantChain := []string{
+			trace.StageMempoolAdmit,
+			trace.StageMempoolCollect,
+			trace.StageArbitrageScreen,
+			trace.StageOVMExecute,
+			trace.StageRollupCommit,
+		}
+		var ifuEvents []trace.TxEvent
+		for _, timeline := range trace.Default().Timeline() {
+			if timeline[0].Tx == ifuMint {
+				ifuEvents = timeline
+				break
+			}
+		}
+		if ifuEvents == nil {
+			t.Fatalf("no timeline recorded for IFU tx %s", ifuMint)
+		}
+		// wantChain must appear as an ordered subsequence (the screen may run
+		// more than once, and search spans add no per-tx events).
+		next := 0
+		for _, e := range ifuEvents {
+			if next < len(wantChain) && e.Stage == wantChain[next] {
+				next++
+			}
+		}
+		if next != len(wantChain) {
+			stages := make([]string, len(ifuEvents))
+			for i, e := range ifuEvents {
+				stages[i] = e.Stage + "/" + e.Outcome
+			}
+			t.Fatalf("IFU timeline missing stage %q; got chain %v", wantChain[next], stages)
+		}
+
+		// The search itself must have produced spans: GENTRANSEQ optimize with
+		// episode children, plus OVM evaluate spans under them.
+		sums := map[string]trace.KindSummary{}
+		for _, s := range trace.Default().Summary() {
+			sums[s.Kind] = s
+		}
+		for _, kind := range []string{
+			trace.SpanMempoolCollect, trace.SpanArbitrageAssess,
+			trace.SpanGenOptimize, trace.SpanGenEpisode, trace.SpanGenGreedy,
+			trace.SpanOVMExecute, trace.SpanOVMEvaluate,
+			trace.SpanCoreOrder, trace.SpanRollupCommit,
+		} {
+			if sums[kind].Count == 0 {
+				t.Errorf("no %s spans recorded by the pipeline", kind)
+			}
+		}
+		if sums[trace.SpanGenEpisode].Count != 3 {
+			t.Errorf("episode spans = %d, want 3", sums[trace.SpanGenEpisode].Count)
+		}
+
+		// Parent links: every gentranseq.episode span hangs under the
+		// gentranseq.optimize span, which hangs under core.order.
+		spans := trace.Default().Spans()
+		byID := make(map[uint64]trace.SpanRecord, len(spans))
+		for _, s := range spans {
+			byID[s.ID] = s
+		}
+		for _, s := range spans {
+			switch s.Kind {
+			case trace.SpanGenEpisode:
+				if p := byID[s.Parent]; p.Kind != trace.SpanGenOptimize {
+					t.Errorf("episode span parent = %q, want gentranseq.optimize", p.Kind)
+				}
+			case trace.SpanGenOptimize:
+				if p := byID[s.Parent]; p.Kind != trace.SpanCoreOrder {
+					t.Errorf("optimize span parent = %q, want core.order", p.Kind)
+				}
+			}
+		}
+	})
+}

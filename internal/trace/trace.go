@@ -1,0 +1,465 @@
+// Package trace is the causal-tracing substrate of the PAROLE reproduction:
+// a dependency-free, concurrency-safe span tracer with parent links, typed
+// attributes, and per-transaction lifecycle events, plus export to the
+// Chrome trace-event JSON that Perfetto and chrome://tracing load, a
+// deterministic TSV span summary, and a per-tx timeline.
+//
+// Where internal/telemetry answers "how many" (counts, sizes, occupancies),
+// this package answers "where did the time and the profit come from": which
+// fraction of a Fig. 11 run was OVM replay inside hill-climb restarts, and
+// what happened to one IFU transaction between mempool admission and batch
+// commit.
+//
+// Design rules (mirroring the telemetry guard; see docs/TRACING.md):
+//
+//   - The tracer is a *strict no-op* until a binary enables it. A disabled
+//     StartSpan is one atomic load returning a nil *Span whose methods are
+//     nil-safe no-ops; a disabled TxEvent is one atomic load. No clock is
+//     read, nothing allocates, and nothing is recorded.
+//   - Tracing is passive even when enabled: spans and events record wall
+//     time and copies of values, never feed anything back into computation,
+//     and never touch an RNG — so seeded experiment outputs are
+//     bit-identical with tracing on or off
+//     (TestSeededOutputsUnaffectedByTracing guards this).
+//   - Span kinds are dot-separated lower-case paths ("ovm.evaluate",
+//     "solver.hillclimb.restart"); docs/TRACING.md catalogues every kind.
+//
+// Bounded memory: a tracer keeps at most SpanLimit detailed span records and
+// EventLimit tx events (oldest kept, newest dropped, drop counts exported),
+// but the per-kind summary aggregates (count, total, self time) are exact
+// over the whole run regardless of the caps.
+package trace
+
+import (
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default limits on detailed records. Summaries stay exact past them.
+const (
+	DefaultSpanLimit  = 200_000
+	DefaultEventLimit = 100_000
+)
+
+// AttrValue is the union of attribute value types a span or event carries.
+// Exactly one field is meaningful, per Kind.
+type AttrValue struct {
+	Kind ValueKind
+	Int  int64
+	Str  string
+	F    float64
+	B    bool
+}
+
+// ValueKind discriminates AttrValue.
+type ValueKind uint8
+
+// Attribute value kinds.
+const (
+	ValueInt ValueKind = iota + 1
+	ValueStr
+	ValueFloat
+	ValueBool
+)
+
+// Attr is one typed key/value attribute.
+type Attr struct {
+	Key   string
+	Value AttrValue
+}
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr {
+	return Attr{Key: key, Value: AttrValue{Kind: ValueInt, Int: v}}
+}
+
+// Str builds a string attribute.
+func Str(key, v string) Attr {
+	return Attr{Key: key, Value: AttrValue{Kind: ValueStr, Str: v}}
+}
+
+// Float builds a float attribute.
+func Float(key string, v float64) Attr {
+	return Attr{Key: key, Value: AttrValue{Kind: ValueFloat, F: v}}
+}
+
+// Bool builds a boolean attribute.
+func Bool(key string, v bool) Attr {
+	return Attr{Key: key, Value: AttrValue{Kind: ValueBool, B: v}}
+}
+
+// String renders the value for TSV output.
+func (v AttrValue) String() string {
+	switch v.Kind {
+	case ValueInt:
+		return strconv.FormatInt(v.Int, 10)
+	case ValueStr:
+		return v.Str
+	case ValueFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case ValueBool:
+		return strconv.FormatBool(v.B)
+	default:
+		return ""
+	}
+}
+
+// SpanRecord is one finished span as stored by the tracer.
+type SpanRecord struct {
+	// ID and Parent link spans causally; Parent is 0 for roots.
+	ID, Parent uint64
+	// Kind is the span's dot-separated name (docs/TRACING.md).
+	Kind string
+	// G is the goroutine the span ran on (the Chrome "tid").
+	G uint64
+	// Start is the offset from the tracer epoch; Dur the wall duration;
+	// Self is Dur minus the summed duration of direct children.
+	Start, Dur, Self time.Duration
+	// Attrs are the span's typed attributes, in the order they were set.
+	Attrs []Attr
+}
+
+// TxEvent is one per-transaction lifecycle event.
+type TxEvent struct {
+	// Seq is the global admission order of the event (ties on identical
+	// timestamps resolve deterministically by Seq).
+	Seq uint64
+	// Tx is the transaction hash (full 0x hex).
+	Tx string
+	// Stage is the lifecycle stage ("mempool.admit", "rollup.commit", …).
+	Stage string
+	// Outcome qualifies the stage ("executed", "skipped", "reordered", …).
+	Outcome string
+	// Start is the offset from the tracer epoch.
+	Start time.Duration
+	// G is the goroutine the event was recorded on.
+	G uint64
+	// Attrs carry stage detail (positions, prices, profits).
+	Attrs []Attr
+}
+
+// KindSummary aggregates every span of one kind, exact over the whole run.
+type KindSummary struct {
+	Kind  string
+	Count int64
+	// Total sums span durations; Self subtracts time spent in child spans.
+	Total, Self time.Duration
+}
+
+// openSpan is the mutable state of a started span.
+type openSpan struct {
+	rec      SpanRecord
+	start    time.Time
+	childDur time.Duration
+}
+
+// Tracer records spans and tx events. The zero value is not usable;
+// construct with New. All methods are safe for concurrent use.
+type Tracer struct {
+	enabled atomic.Bool
+
+	mu         sync.Mutex
+	epoch      time.Time
+	nextID     uint64
+	nextSeq    uint64
+	stacks     map[uint64][]*openSpan // goroutine id → open span stack
+	spans      []SpanRecord
+	events     []TxEvent
+	agg        map[string]*KindSummary
+	spanLimit  int
+	eventLimit int
+	droppedSp  uint64
+	droppedEv  uint64
+}
+
+// New returns a disabled tracer with the default record limits.
+func New() *Tracer {
+	return &Tracer{
+		stacks:     make(map[uint64][]*openSpan),
+		agg:        make(map[string]*KindSummary),
+		spanLimit:  DefaultSpanLimit,
+		eventLimit: DefaultEventLimit,
+	}
+}
+
+// defaultTracer is the process-global tracer every instrumented package
+// records into; binaries enable it behind -trace.
+var defaultTracer = New()
+
+// Default returns the process-global tracer.
+func Default() *Tracer { return defaultTracer }
+
+// Enabled reports whether the process-global tracer records. Call sites
+// guard any per-record work (hash hex encoding, attribute construction)
+// behind it.
+func Enabled() bool { return defaultTracer.Enabled() }
+
+// StartSpan starts a span on the process-global tracer.
+func StartSpan(kind string, attrs ...Attr) *Span {
+	return defaultTracer.StartSpan(kind, attrs...)
+}
+
+// Event records a tx lifecycle event on the process-global tracer.
+func Event(txHex, stage, outcome string, attrs ...Attr) {
+	defaultTracer.Event(txHex, stage, outcome, attrs...)
+}
+
+// Enable switches recording on. The first Enable after construction (or
+// Reset) pins the tracer epoch.
+func (t *Tracer) Enable() {
+	t.mu.Lock()
+	if t.epoch.IsZero() {
+		t.epoch = time.Now()
+	}
+	t.mu.Unlock()
+	t.enabled.Store(true)
+}
+
+// Disable switches recording off. Already-open spans may still End.
+func (t *Tracer) Disable() { t.enabled.Store(false) }
+
+// Enabled reports whether the tracer records.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// SetLimits overrides the detailed-record caps (tests; 0 keeps a current
+// value). Summaries are exact regardless.
+func (t *Tracer) SetLimits(spans, events int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if spans > 0 {
+		t.spanLimit = spans
+	}
+	if events > 0 {
+		t.eventLimit = events
+	}
+}
+
+// Reset discards every recorded span and event and clears the epoch. It
+// does not change the enabled flag.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.epoch = time.Time{}
+	t.nextID = 0
+	t.nextSeq = 0
+	t.stacks = make(map[uint64][]*openSpan)
+	t.spans = nil
+	t.events = nil
+	t.agg = make(map[string]*KindSummary)
+	t.droppedSp = 0
+	t.droppedEv = 0
+	if t.enabled.Load() {
+		t.epoch = time.Now()
+	}
+}
+
+// Span is a started span. A nil *Span (what StartSpan returns while the
+// tracer is disabled) is a valid no-op receiver for every method.
+type Span struct {
+	t    *Tracer
+	open *openSpan
+	g    uint64
+}
+
+// StartSpan begins a span as a child of the innermost open span on the
+// calling goroutine (a root span otherwise). It returns nil — a no-op span
+// — while the tracer is disabled.
+func (t *Tracer) StartSpan(kind string, attrs ...Attr) *Span {
+	if !t.enabled.Load() {
+		return nil
+	}
+	now := time.Now()
+	g := gid()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.epoch.IsZero() {
+		t.epoch = now
+	}
+	t.nextID++
+	o := &openSpan{
+		rec: SpanRecord{
+			ID:    t.nextID,
+			Kind:  kind,
+			G:     g,
+			Start: now.Sub(t.epoch),
+			Attrs: append([]Attr(nil), attrs...),
+		},
+		start: now,
+	}
+	stack := t.stacks[g]
+	if len(stack) > 0 {
+		o.rec.Parent = stack[len(stack)-1].rec.ID
+	}
+	t.stacks[g] = append(stack, o)
+	return &Span{t: t, open: o, g: g}
+}
+
+// SetAttr appends attributes to a span (no-op on a nil span).
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.open.rec.Attrs = append(s.open.rec.Attrs, attrs...)
+	s.t.mu.Unlock()
+}
+
+// End finishes the span, records it, and charges its duration to the
+// parent's child time (no-op on a nil span). End is idempotent per span
+// only in the sense that double-End is detected and ignored.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	stack := t.stacks[s.g]
+	// Pop this span (and anything opened above it that leaked un-ended).
+	idx := -1
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == s.open {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return // already ended
+	}
+	t.stacks[s.g] = stack[:idx]
+	if idx == 0 {
+		delete(t.stacks, s.g)
+	}
+
+	rec := s.open.rec
+	rec.Dur = now.Sub(s.open.start)
+	rec.Self = rec.Dur - s.open.childDur
+	if rec.Self < 0 {
+		rec.Self = 0
+	}
+	if idx > 0 {
+		stack[idx-1].childDur += rec.Dur
+	}
+
+	sum, ok := t.agg[rec.Kind]
+	if !ok {
+		sum = &KindSummary{Kind: rec.Kind}
+		t.agg[rec.Kind] = sum
+	}
+	sum.Count++
+	sum.Total += rec.Dur
+	sum.Self += rec.Self
+
+	if len(t.spans) < t.spanLimit {
+		t.spans = append(t.spans, rec)
+	} else {
+		t.droppedSp++
+	}
+}
+
+// Event records a per-transaction lifecycle event (no-op while disabled).
+// txHex should be the transaction hash's full hex form.
+func (t *Tracer) Event(txHex, stage, outcome string, attrs ...Attr) {
+	if !t.enabled.Load() {
+		return
+	}
+	now := time.Now()
+	g := gid()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.epoch.IsZero() {
+		t.epoch = now
+	}
+	if len(t.events) >= t.eventLimit {
+		t.droppedEv++
+		return
+	}
+	t.nextSeq++
+	t.events = append(t.events, TxEvent{
+		Seq:     t.nextSeq,
+		Tx:      txHex,
+		Stage:   stage,
+		Outcome: outcome,
+		Start:   now.Sub(t.epoch),
+		G:       g,
+		Attrs:   append([]Attr(nil), attrs...),
+	})
+}
+
+// Spans returns a copy of the detailed span records, in end order.
+func (t *Tracer) Spans() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+// Events returns a copy of the tx events, in record order.
+func (t *Tracer) Events() []TxEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TxEvent(nil), t.events...)
+}
+
+// Dropped reports how many detailed spans and events were discarded past
+// the record limits.
+func (t *Tracer) Dropped() (spans, events uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.droppedSp, t.droppedEv
+}
+
+// Summary returns the exact per-kind aggregates, sorted by kind.
+func (t *Tracer) Summary() []KindSummary {
+	t.mu.Lock()
+	out := make([]KindSummary, 0, len(t.agg))
+	for _, s := range t.agg {
+		out = append(out, *s)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// Timeline groups the tx events per transaction hash, each timeline ordered
+// by record sequence, transactions ordered by their first event.
+func (t *Tracer) Timeline() [][]TxEvent {
+	events := t.Events()
+	byTx := make(map[string][]TxEvent)
+	var order []string
+	for _, e := range events {
+		if _, seen := byTx[e.Tx]; !seen {
+			order = append(order, e.Tx)
+		}
+		byTx[e.Tx] = append(byTx[e.Tx], e)
+	}
+	out := make([][]TxEvent, 0, len(order))
+	for _, h := range order {
+		evs := byTx[h]
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+		out = append(out, evs)
+	}
+	return out
+}
+
+// gid returns the calling goroutine's id, parsed from the runtime stack
+// header ("goroutine 123 [running]:"). Only called while tracing is
+// enabled; the ~µs cost never touches a disabled path.
+func gid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine " (10 bytes), parse digits.
+	var id uint64
+	for i := 10; i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

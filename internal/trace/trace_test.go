@@ -1,0 +1,436 @@
+package trace
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledTracerIsStrictNoop(t *testing.T) {
+	tr := New()
+	if tr.Enabled() {
+		t.Fatal("new tracer must start disabled")
+	}
+	sp := tr.StartSpan("ovm.execute", Int("n", 8))
+	if sp != nil {
+		t.Fatalf("disabled StartSpan = %v, want nil", sp)
+	}
+	// Every method must be nil-safe.
+	sp.SetAttr(Str("k", "v"))
+	sp.End()
+	tr.Event("0xabc", StageMempoolAdmit, "ok")
+	if got := tr.Spans(); len(got) != 0 {
+		t.Fatalf("disabled tracer recorded %d spans", len(got))
+	}
+	if got := tr.Events(); len(got) != 0 {
+		t.Fatalf("disabled tracer recorded %d events", len(got))
+	}
+	if got := tr.Summary(); len(got) != 0 {
+		t.Fatalf("disabled tracer aggregated %d kinds", len(got))
+	}
+}
+
+func TestNestingParentLinksAndSelfTime(t *testing.T) {
+	tr := New()
+	tr.Enable()
+
+	root := tr.StartSpan(SpanRollupCommit, Int("batch", 1))
+	child := tr.StartSpan(SpanOVMExecute)
+	grand := tr.StartSpan(SpanOVMEvaluate)
+	time.Sleep(time.Millisecond)
+	grand.End()
+	child.End()
+	sibling := tr.StartSpan(SpanOVMEvaluate)
+	sibling.End()
+	root.SetAttr(Bool("ok", true))
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byKindOrder := map[int]string{
+		0: SpanOVMEvaluate, 1: SpanOVMExecute, 2: SpanOVMEvaluate, 3: SpanRollupCommit,
+	}
+	for i, want := range byKindOrder {
+		if spans[i].Kind != want {
+			t.Errorf("spans[%d].Kind = %q, want %q", i, spans[i].Kind, want)
+		}
+	}
+	grandRec, childRec, sibRec, rootRec := spans[0], spans[1], spans[2], spans[3]
+	if rootRec.Parent != 0 {
+		t.Errorf("root parent = %d, want 0", rootRec.Parent)
+	}
+	if childRec.Parent != rootRec.ID {
+		t.Errorf("child parent = %d, want root id %d", childRec.Parent, rootRec.ID)
+	}
+	if grandRec.Parent != childRec.ID {
+		t.Errorf("grandchild parent = %d, want child id %d", grandRec.Parent, childRec.ID)
+	}
+	if sibRec.Parent != rootRec.ID {
+		t.Errorf("sibling parent = %d, want root id %d", sibRec.Parent, rootRec.ID)
+	}
+	// Self time: the root's self excludes its two direct children.
+	if want := rootRec.Dur - childRec.Dur - sibRec.Dur; rootRec.Self != want {
+		t.Errorf("root self = %v, want %v", rootRec.Self, want)
+	}
+	if want := childRec.Dur - grandRec.Dur; childRec.Self != want {
+		t.Errorf("child self = %v, want %v", childRec.Self, want)
+	}
+	if grandRec.Self != grandRec.Dur {
+		t.Errorf("leaf self = %v, want its dur %v", grandRec.Self, grandRec.Dur)
+	}
+	// Attrs preserved in order, including the late SetAttr.
+	if len(rootRec.Attrs) != 2 || rootRec.Attrs[0].Key != "batch" || rootRec.Attrs[1].Key != "ok" {
+		t.Errorf("root attrs = %+v, want [batch ok]", rootRec.Attrs)
+	}
+
+	sums := tr.Summary()
+	if len(sums) != 3 {
+		t.Fatalf("got %d summary kinds, want 3", len(sums))
+	}
+	// Sorted by kind: ovm.evaluate, ovm.execute, rollup.commit.
+	if sums[0].Kind != SpanOVMEvaluate || sums[0].Count != 2 {
+		t.Errorf("summary[0] = %+v, want ovm.evaluate count 2", sums[0])
+	}
+	if sums[0].Total != grandRec.Dur+sibRec.Dur {
+		t.Errorf("evaluate total = %v, want %v", sums[0].Total, grandRec.Dur+sibRec.Dur)
+	}
+}
+
+func TestDoubleEndIgnored(t *testing.T) {
+	tr := New()
+	tr.Enable()
+	sp := tr.StartSpan(SpanCoreOrder)
+	sp.End()
+	sp.End()
+	if got := tr.Spans(); len(got) != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", len(got))
+	}
+	if sums := tr.Summary(); sums[0].Count != 1 {
+		t.Fatalf("double End aggregated count %d, want 1", sums[0].Count)
+	}
+}
+
+func TestLimitsDropDetailButKeepExactSummary(t *testing.T) {
+	tr := New()
+	tr.Enable()
+	tr.SetLimits(3, 2)
+	for i := 0; i < 10; i++ {
+		tr.StartSpan(SpanOVMEvaluate).End()
+		tr.Event(fmt.Sprintf("0x%02x", i), StageMempoolAdmit, "ok")
+	}
+	if got := len(tr.Spans()); got != 3 {
+		t.Errorf("detailed spans = %d, want 3", got)
+	}
+	if got := len(tr.Events()); got != 2 {
+		t.Errorf("detailed events = %d, want 2", got)
+	}
+	dsp, dev := tr.Dropped()
+	if dsp != 7 || dev != 8 {
+		t.Errorf("dropped = (%d, %d), want (7, 8)", dsp, dev)
+	}
+	sums := tr.Summary()
+	if len(sums) != 1 || sums[0].Count != 10 {
+		t.Fatalf("summary = %+v, want exact count 10 past the cap", sums)
+	}
+}
+
+func TestConcurrentSpansStayPerGoroutine(t *testing.T) {
+	tr := New()
+	tr.Enable()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				outer := tr.StartSpan(SpanSolverSolve, Int("worker", int64(w)))
+				inner := tr.StartSpan(SpanOVMEvaluate)
+				inner.End()
+				outer.End()
+				tr.Event(fmt.Sprintf("0x%d", w), StageOVMExecute, "executed")
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	spans := tr.Spans()
+	if len(spans) != workers*50*2 {
+		t.Fatalf("got %d spans, want %d", len(spans), workers*50*2)
+	}
+	byID := make(map[uint64]SpanRecord, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		switch s.Kind {
+		case SpanOVMEvaluate:
+			p, ok := byID[s.Parent]
+			if !ok || p.Kind != SpanSolverSolve {
+				t.Fatalf("evaluate span parent %d is %+v, want a solver.solve span", s.Parent, p)
+			}
+			if p.G != s.G {
+				t.Fatalf("parent crossed goroutines: child g=%d parent g=%d", s.G, p.G)
+			}
+		case SpanSolverSolve:
+			if s.Parent != 0 {
+				t.Fatalf("solve span got parent %d, want root", s.Parent)
+			}
+		}
+	}
+	if got := len(tr.Events()); got != workers*50 {
+		t.Fatalf("got %d events, want %d", got, workers*50)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	tr := New()
+	tr.Enable()
+	tr.StartSpan(SpanCoreOrder).End()
+	tr.Event("0x1", StageCoreReorder, "reordered")
+	tr.Reset()
+	if len(tr.Spans()) != 0 || len(tr.Events()) != 0 || len(tr.Summary()) != 0 {
+		t.Fatal("Reset left records behind")
+	}
+	if !tr.Enabled() {
+		t.Fatal("Reset must not disable the tracer")
+	}
+	tr.StartSpan(SpanCoreOrder).End()
+	if spans := tr.Spans(); len(spans) != 1 || spans[0].ID != 1 {
+		t.Fatalf("post-Reset span = %+v, want fresh id 1", spans)
+	}
+}
+
+// TestChromeTraceSchemaShape asserts the Perfetto/chrome://tracing
+// trace-event contract: a JSON object with a traceEvents array whose
+// entries carry name, ph, ts, pid and tid; "X" events a numeric dur; "i"
+// events a scope.
+func TestChromeTraceSchemaShape(t *testing.T) {
+	tr := New()
+	tr.Enable()
+	root := tr.StartSpan(SpanRollupCommit, Int("batch", 3))
+	tr.StartSpan(SpanOVMExecute).End()
+	tr.Event("0xdeadbeef", StageRollupCommit, "committed", Int("batch", 3))
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not a JSON object: %v", err)
+	}
+	rawEvents, ok := doc["traceEvents"]
+	if !ok {
+		t.Fatal("chrome trace missing traceEvents")
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(rawEvents, &events); err != nil {
+		t.Fatalf("traceEvents is not an array of objects: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d trace events, want 3", len(events))
+	}
+	var sawX, sawI bool
+	for i, e := range events {
+		for _, field := range []string{"name", "ph", "pid", "tid", "ts"} {
+			if _, ok := e[field]; !ok {
+				t.Fatalf("event %d missing required field %q: %v", i, field, e)
+			}
+		}
+		if _, ok := e["name"].(string); !ok {
+			t.Errorf("event %d name is not a string", i)
+		}
+		if _, ok := e["ts"].(float64); !ok {
+			t.Errorf("event %d ts is not numeric", i)
+		}
+		if _, ok := e["pid"].(float64); !ok {
+			t.Errorf("event %d pid is not numeric", i)
+		}
+		if _, ok := e["tid"].(float64); !ok {
+			t.Errorf("event %d tid is not numeric", i)
+		}
+		switch ph := e["ph"].(string); ph {
+		case "X":
+			sawX = true
+			if _, ok := e["dur"].(float64); !ok {
+				t.Errorf("complete event %d missing numeric dur", i)
+			}
+		case "i":
+			sawI = true
+			if s, _ := e["s"].(string); s != "t" {
+				t.Errorf("instant event %d scope = %q, want \"t\"", i, s)
+			}
+		default:
+			t.Errorf("event %d has unexpected phase %q", i, ph)
+		}
+	}
+	if !sawX || !sawI {
+		t.Fatalf("want both complete and instant events, got X=%v i=%v", sawX, sawI)
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	tr := New()
+	tr.Enable()
+	root := tr.StartSpan(SpanGenOptimize, Int("batch_len", 8))
+	ep := tr.StartSpan(SpanGenEpisode, Int("episode", 0))
+	ep.SetAttr(Float("reward", 1.25), Bool("improved", true))
+	ep.End()
+	root.End()
+	tr.Event("0xaa", StageMempoolAdmit, "admitted", Int("pool_size", 1))
+	tr.Event("0xbb", StageMempoolAdmit, "admitted")
+	tr.Event("0xaa", StageRollupCommit, "committed")
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Spans) != 2 || len(p.Events) != 3 {
+		t.Fatalf("parsed %d spans / %d events, want 2 / 3", len(p.Spans), len(p.Events))
+	}
+
+	// Summaries agree (same kinds, counts, totals to µs precision).
+	want, got := tr.Summary(), p.Summary()
+	if len(want) != len(got) {
+		t.Fatalf("summary kinds: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || got[i].Count != want[i].Count {
+			t.Errorf("summary[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+		if d := got[i].Total - want[i].Total; d < -time.Microsecond || d > time.Microsecond {
+			t.Errorf("summary[%d] total drift %v", i, d)
+		}
+	}
+
+	// Timelines group per tx, causal order preserved.
+	tl := p.Timeline()
+	if len(tl) != 2 {
+		t.Fatalf("parsed %d timelines, want 2", len(tl))
+	}
+	if tl[0][0].Tx != "0xaa" || len(tl[0]) != 2 || tl[0][1].Stage != StageRollupCommit {
+		t.Errorf("timeline[0] = %+v, want 0xaa admit→commit", tl[0])
+	}
+	if tl[1][0].Tx != "0xbb" || len(tl[1]) != 1 {
+		t.Errorf("timeline[1] = %+v, want 0xbb admit only", tl[1])
+	}
+
+	// Typed attrs survive: int stays int, float stays float, bool stays bool.
+	var parsedEp *SpanRecord
+	for i := range p.Spans {
+		if p.Spans[i].Kind == SpanGenEpisode {
+			parsedEp = &p.Spans[i]
+		}
+	}
+	if parsedEp == nil {
+		t.Fatal("episode span lost in round trip")
+	}
+	kinds := map[string]ValueKind{}
+	for _, a := range parsedEp.Attrs {
+		kinds[a.Key] = a.Value.Kind
+	}
+	if kinds["episode"] != ValueInt || kinds["reward"] != ValueFloat || kinds["improved"] != ValueBool {
+		t.Errorf("attr kinds after round trip = %v", kinds)
+	}
+
+	// TSV renderings from live tracer and parsed file agree byte-for-byte.
+	var live, parsed bytes.Buffer
+	if err := tr.WriteTimelineTSV(&live); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteTimelineTSV(&parsed); err != nil {
+		t.Fatal(err)
+	}
+	if live.String() != parsed.String() {
+		t.Errorf("timeline TSV diverged:\nlive:\n%s\nparsed:\n%s", live.String(), parsed.String())
+	}
+}
+
+func TestSummaryTSVDeterministic(t *testing.T) {
+	tr := New()
+	tr.Enable()
+	tr.StartSpan(SpanOVMEvaluate).End()
+	tr.StartSpan(SpanArbitrageAssess).End()
+	tr.StartSpan(SpanOVMEvaluate).End()
+
+	var a, b bytes.Buffer
+	if err := tr.WriteSummaryTSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteSummaryTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("summary TSV not deterministic across writes")
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d summary lines, want header + 2 kinds:\n%s", len(lines), a.String())
+	}
+	if lines[0] != "kind\tcount\ttotal_us\tself_us\tavg_us" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], SpanArbitrageAssess+"\t1\t") {
+		t.Errorf("line 1 = %q, want arbitrage.assess count 1 first (sorted)", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], SpanOVMEvaluate+"\t2\t") {
+		t.Errorf("line 2 = %q, want ovm.evaluate count 2", lines[2])
+	}
+}
+
+func TestWriteFilesArtifactsAndSHA(t *testing.T) {
+	tr := New()
+	tr.Enable()
+	tr.StartSpan(SpanMempoolCollect, Int("n", 4)).End()
+	tr.Event("0x01", StageMempoolCollect, "collected", Int("pos", 0))
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.trace.json")
+	sha, err := tr.WriteFiles(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(raw)
+	if want := hex.EncodeToString(sum[:]); sha != want {
+		t.Errorf("WriteFiles sha = %s, want %s", sha, want)
+	}
+	summaryPath, timelinePath := DeriveArtifactPaths(path)
+	if want := filepath.Join(dir, "out.trace.summary.tsv"); summaryPath != want {
+		t.Errorf("summary path = %s, want %s", summaryPath, want)
+	}
+	if want := filepath.Join(dir, "out.trace.timeline.tsv"); timelinePath != want {
+		t.Errorf("timeline path = %s, want %s", timelinePath, want)
+	}
+	for _, p := range []string{summaryPath, timelinePath} {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("artifact %s: %v", p, err)
+		}
+		if len(bytes.TrimSpace(b)) == 0 {
+			t.Errorf("artifact %s is empty", p)
+		}
+	}
+	if _, err := ParseChrome(bytes.NewReader(raw)); err != nil {
+		t.Errorf("written chrome file does not re-parse: %v", err)
+	}
+}
