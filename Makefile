@@ -41,10 +41,17 @@ lint:
 bench:
 	$(GO) test -bench=. -benchmem . | $(GO) run ./cmd/parole-trace bench-emit -tee
 
-# Fast variant for CI smoke: one iteration of the hot-path micro-benches.
+# Fast variant for CI smoke: the hot-path micro-benches at a short but
+# non-trivial benchtime (1x iterations are too noisy to gate on), emitted as
+# a BENCH record and then diffed against the newest committed record. The
+# gate covers the candidate-evaluation path (Evaluate/Score benchmarks);
+# >25% ns/op growth fails the build (cmd/parole-trace bench-diff).
+BENCH_BASELINE ?= BENCH_2026-08-06.post.json
 bench-smoke:
-	$(GO) test -bench='BenchmarkOVMExecute|BenchmarkOVMEvaluate|BenchmarkStateRoot|BenchmarkDQNForward|BenchmarkHillClimbSolve' \
-		-benchtime=1x -benchmem . | $(GO) run ./cmd/parole-trace bench-emit -tee
+	$(GO) test -bench='BenchmarkOVMExecute|BenchmarkOVMEvaluate|BenchmarkEvaluateScratch|BenchmarkObjectiveScore|BenchmarkStateRoot|BenchmarkDQNForward|BenchmarkHillClimbSolve' \
+		-benchtime=0.3s -benchmem . | $(GO) run ./cmd/parole-trace bench-emit -tee -out BENCH_smoke.json
+	$(GO) run ./cmd/parole-trace bench-diff -threshold 25 \
+		-filter Evaluate,Score $(BENCH_BASELINE) BENCH_smoke.json
 
 # Regenerate every table and figure at the default (minutes-scale) budget.
 experiments:

@@ -265,8 +265,63 @@ func BenchmarkOVMEvaluate(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateScratch measures the journaled candidate-evaluation
+// path. Iterations alternate between two orders differing by one adjacent
+// swap — the solver neighborhood shape — so the prefix checkpoint reverts
+// and replays a realistic suffix instead of degenerating to a no-op.
+func BenchmarkEvaluateScratch(b *testing.B) {
+	s, err := casestudy.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	vm := ovm.New()
+	ev, err := vm.NewEvaluator(s.State)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := s.Original
+	c := s.Original.Swapped(2, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := a
+		if i%2 == 1 {
+			seq = c
+		}
+		if _, _, _, err := vm.EvaluateScratch(ev, seq, casestudy.IFU); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObjectiveScore measures one solver objective evaluation — the
+// Fig. 11 unit of work (98% of solver wall-clock before the scratch path).
+// Candidates alternate by an adjacent swap for the same reason as above.
+func BenchmarkObjectiveScore(b *testing.B) {
+	s, err := casestudy.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj, err := solver.NewObjective(ovm.New(), s.State, s.Original, []chainid.Address{casestudy.IFU})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := s.Original
+	c := s.Original.Swapped(2, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := a
+		if i%2 == 1 {
+			seq = c
+		}
+		if _, _, err := obj.Score(seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkStateRoot measures the Merkle commitment over the case-study
-// world.
+// world. With the memoized root this is the cache-hit path; the rebuild
+// cost lives inside BenchmarkOVMExecute's PostRoot computation.
 func BenchmarkStateRoot(b *testing.B) {
 	s, err := casestudy.New()
 	if err != nil {

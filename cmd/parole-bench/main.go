@@ -33,6 +33,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"parole/internal/casestudy"
@@ -52,9 +53,10 @@ func main() {
 }
 
 type runner struct {
-	outDir string
-	full   bool
-	seed   int64
+	outDir  string
+	full    bool
+	seed    int64
+	workers int
 }
 
 func run() error {
@@ -63,6 +65,7 @@ func run() error {
 		full     = flag.Bool("full", false, "use the paper's full Table II budgets and grids")
 		out      = flag.String("out", "", "write one TSV per experiment into this directory")
 		seed     = flag.Int64("seed", 1, "base RNG seed")
+		workers  = flag.Int("workers", 1, "fig11 solver workers: 1 = sequential baselines (committed-results configuration), >1 = parallel portfolio solvers, 0 = GOMAXPROCS")
 		metrics  = flag.String("metrics", "", "write a telemetry snapshot to this path at exit (TSV, or JSON for .json)")
 		traceOut = flag.String("trace", "", "enable span tracing and write a Chrome trace (plus .summary.tsv/.timeline.tsv) to this path at exit")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -85,7 +88,7 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "parole-bench: pprof at http://%s/debug/pprof/\n", *pprof)
 	}
 
-	r := &runner{outDir: *out, full: *full, seed: *seed}
+	r := &runner{outDir: *out, full: *full, seed: *seed, workers: *workers}
 	if r.outDir != "" {
 		if err := os.MkdirAll(r.outDir, 0o755); err != nil {
 			return err
@@ -429,6 +432,10 @@ func (r *runner) fig11() error {
 	cfg := sim.DefaultFig11Config()
 	cfg.Seed = r.seed + 40
 	cfg.Gen = r.genBudget()
+	cfg.Workers = r.workers
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
 	if !r.full {
 		cfg.MempoolSizes = []int{5, 10, 25, 50}
 	}

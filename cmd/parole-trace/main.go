@@ -7,6 +7,7 @@
 //	parole-trace timeline FILE          per-transaction lifecycle events (TSV)
 //	parole-trace diff OLD NEW           per-kind time deltas between two traces
 //	parole-trace bench-emit [-out FILE] [-tee] [-date YYYY-MM-DD]
+//	parole-trace bench-diff [-threshold PCT] [-filter SUBSTR] OLD.json NEW.json
 //
 // summary and timeline recompute the TSV artifacts from the trace JSON alone,
 // so a trace copied off another machine (or out of CI) stays inspectable
@@ -17,14 +18,22 @@
 // BENCH_<date>.json — the record `make bench` diffs future runs against.
 // -tee echoes stdin through to stdout so the benchmark text stays visible in
 // a pipeline.
+//
+// bench-diff compares two such records benchmark by benchmark and exits
+// nonzero if any ns/op grew by more than -threshold percent (default 25):
+// the CI regression gate. NEW may also be raw `go test -bench` text, so
+// `go test -bench . | parole-trace bench-emit -tee | …` pipelines and ad-hoc
+// checks against a fresh run both work without an intermediate file.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"parole/internal/benchfmt"
@@ -65,8 +74,11 @@ func run(args []string) error {
 	case "bench-emit":
 		return benchEmit(args[1:])
 
+	case "bench-diff":
+		return benchDiff(args[1:])
+
 	default:
-		return fmt.Errorf("unknown subcommand %q (want summary, timeline, diff, or bench-emit)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want summary, timeline, diff, bench-emit, or bench-diff)", cmd)
 	}
 }
 
@@ -173,4 +185,87 @@ func benchEmit(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "bench-emit: wrote %d benchmarks to %s\n", len(rep.Results), *out)
 	return nil
+}
+
+// benchDiff is the CI regression gate: it joins two benchmark records by
+// name, prints every delta, and fails if any ns/op ratio exceeds the
+// threshold. Speedups never fail the gate — a faster benchmark is a reason
+// to refresh the committed record, not to block a build.
+func benchDiff(args []string) error {
+	fs := flag.NewFlagSet("bench-diff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 25, "max allowed ns/op regression in percent before exiting nonzero")
+	filter := fs.String("filter", "", "only compare benchmarks whose name contains one of these comma-separated substrings")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: parole-trace bench-diff [-threshold PCT] [-filter SUBSTR] OLD.json NEW.json")
+	}
+	if *threshold < 0 {
+		return fmt.Errorf("bench-diff: negative threshold %v", *threshold)
+	}
+	oldRep, err := loadBenchReport(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newRep, err := loadBenchReport(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	deltas := benchfmt.Compare(oldRep, newRep)
+	if *filter != "" {
+		subs := strings.Split(*filter, ",")
+		kept := deltas[:0]
+		for _, d := range deltas {
+			for _, sub := range subs {
+				if sub != "" && strings.Contains(d.Name, sub) {
+					kept = append(kept, d)
+					break
+				}
+			}
+		}
+		deltas = kept
+	}
+	if len(deltas) == 0 {
+		return fmt.Errorf("bench-diff: no benchmarks in common between %s and %s", fs.Arg(0), fs.Arg(1))
+	}
+
+	limit := 1 + *threshold/100
+	failed := 0
+	fmt.Println("benchmark\told_ns_op\tnew_ns_op\tratio\tverdict")
+	for _, d := range deltas {
+		verdict := "ok"
+		if d.Ratio > limit {
+			verdict = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("%s\t%.0f\t%.0f\t%.3f\t%s\n", d.Name, d.OldNsPerOp, d.NewNsPerOp, d.Ratio, verdict)
+	}
+	if failed > 0 {
+		return fmt.Errorf("bench-diff: %d benchmark(s) regressed beyond %.0f%% (ratio > %.2f)", failed, *threshold, limit)
+	}
+	fmt.Fprintf(os.Stderr, "bench-diff: %d benchmark(s) within %.0f%% of %s\n", len(deltas), *threshold, fs.Arg(0))
+	return nil
+}
+
+// loadBenchReport reads a benchmark record: JSON written by bench-emit, or —
+// falling back on a parse that yields benchmark lines — raw `go test -bench`
+// text output.
+func loadBenchReport(path string) (*benchfmt.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if rep, jerr := benchfmt.ReadJSON(bytes.NewReader(data)); jerr == nil {
+		return rep, nil
+	}
+	rep, err := benchfmt.Parse(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: neither a bench-emit JSON record nor bench text: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return rep, nil
 }

@@ -134,6 +134,20 @@ func (rep *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(rep)
 }
 
+// ReadJSON parses a report previously written by WriteJSON (a BENCH_*.json
+// regression record). It is strict about shape: unknown top-level fields are
+// an error, so a record from a future incompatible format fails loudly
+// instead of diffing as "no benchmarks in common".
+func ReadJSON(r io.Reader) (*Report, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	rep := &Report{}
+	if err := dec.Decode(rep); err != nil {
+		return nil, fmt.Errorf("benchfmt: decode JSON report: %w", err)
+	}
+	return rep, nil
+}
+
 // Delta is one benchmark's change between two reports.
 type Delta struct {
 	Name string `json:"name"`

@@ -1,0 +1,230 @@
+package ovm
+
+import (
+	"errors"
+
+	"parole/internal/chainid"
+	"parole/internal/state"
+	"parole/internal/telemetry"
+	"parole/internal/token"
+	"parole/internal/trace"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// Scratch-path metrics (docs/METRICS.md §ovm). reused_prefix_txs versus
+// replayed_txs is the prefix-checkpointing win: branch-and-bound descends
+// and hill-climb/annealing swap positions, so consecutive candidates share
+// long prefixes that never get re-executed.
+var (
+	mEvaluatesScratch = telemetry.Default().Counter("ovm.evaluations_scratch")
+	mScratchReused    = telemetry.Default().Counter("ovm.scratch.reused_prefix_txs")
+	mScratchReplayed  = telemetry.Default().Counter("ovm.scratch.replayed_txs")
+)
+
+// ErrNoEvaluator is returned when EvaluateScratch is called without an
+// evaluator.
+var ErrNoEvaluator = errors.New("ovm: nil evaluator")
+
+// Evaluator amortizes world-state access across many candidate evaluations.
+// It owns one journaled state.Scratch and keeps, for the currently applied
+// sequence, a per-position journal watermark. Scoring the next candidate
+// reverts only past the first position whose transaction differs and
+// replays the suffix from there, so the cost of one evaluation is
+// O(changed suffix) state writes instead of a full O(world) clone — the
+// three-layer speedup of the Fig. 11 hot path rests on this type.
+//
+// An Evaluator is not safe for concurrent use; the parallel solver
+// portfolio holds one per worker. The base state must stay frozen for the
+// Evaluator's lifetime.
+type Evaluator struct {
+	vm      *VM
+	sc      *state.Scratch
+	applied tx.Seq     // transactions currently applied to the scratch
+	marks   []int      // journal watermark before each applied position
+	steps   []EvalStep // outcome per applied position
+
+	// Transaction interning. Candidate sequences are permutations of a small
+	// set of distinct transactions, so each distinct value is assigned a
+	// dense uint32 id on first sight and its structural Validate result is
+	// cached. Replays then skip Validate for known-good values, and callers
+	// (the solver objective) can track executed-transaction sets as bitmasks
+	// over ids instead of hashing transactions per evaluation.
+	intern     map[tx.Tx]uint32
+	validErr   []error           // cached Validate result, indexed by interned id
+	tokC       []*token.Contract // cached contract per interned id (nil if unresolved)
+	appliedIDs []uint32          // interned id per applied position
+}
+
+// NewEvaluator builds an evaluator over base, paying the one-time deep
+// clone that every subsequent evaluation amortizes.
+func (vm *VM) NewEvaluator(base *state.State) (*Evaluator, error) {
+	if base == nil {
+		return nil, ErrNoState
+	}
+	return &Evaluator{vm: vm, sc: state.NewScratch(base)}, nil
+}
+
+// Scratch returns the underlying journaled view (for tests and callers that
+// need the post-evaluation working state, e.g. its Merkle root).
+func (e *Evaluator) Scratch() *state.Scratch { return e.sc }
+
+// Reset reverts the working state all the way back to the base. Interned
+// ids survive a Reset: they identify transaction values, not positions.
+func (e *Evaluator) Reset() {
+	e.sc.Revert()
+	e.applied = e.applied[:0]
+	e.marks = e.marks[:0]
+	e.steps = e.steps[:0]
+	e.appliedIDs = e.appliedIDs[:0]
+}
+
+// InternID returns the dense id for t, assigning the next free one on first
+// sight. Interning caches the two per-value facts the replay loop needs —
+// t.Validate() and the working state's contract for t.Token (contract
+// pointers are stable for the scratch's lifetime) — so replays skip both.
+// Ids are assigned in call order, so callers that intern a reference set up
+// front get deterministic ids.
+func (e *Evaluator) InternID(t tx.Tx) uint32 {
+	if id, ok := e.intern[t]; ok {
+		return id
+	}
+	if e.intern == nil {
+		e.intern = make(map[tx.Tx]uint32)
+	}
+	id := uint32(len(e.validErr))
+	e.intern[t] = id
+	e.validErr = append(e.validErr, t.Validate())
+	c, err := e.sc.Token(t.Token)
+	if err != nil {
+		c = nil // applyInto re-resolves and reports the skip reason
+	}
+	e.tokC = append(e.tokC, c)
+	return id
+}
+
+// AppliedIDs returns the interned id of each currently applied position.
+// The slice is live and only valid until the next Run or Reset.
+func (e *Evaluator) AppliedIDs() []uint32 { return e.appliedIDs }
+
+// Run applies seq to the scratch, reusing the journaled prefix it shares
+// with the previously applied sequence, and returns one EvalStep per
+// position. The returned slice is live: it is only valid until the next Run
+// (EvaluateScratch copies it for callers that need stability). After Run
+// returns, the scratch holds seq's post-state.
+func (e *Evaluator) Run(seq tx.Seq) ([]EvalStep, error) {
+	// Span attrs are built only when the tracer records; at tens of
+	// thousands of Runs per solve the disabled-path allocation matters.
+	var sp *trace.Span
+	if trace.Enabled() {
+		sp = trace.StartSpan(trace.SpanOVMEvaluate,
+			trace.Int("seq_len", int64(len(seq))),
+			trace.Bool("scratch", true))
+	}
+	defer sp.End()
+	mEvaluatesScratch.Inc()
+
+	// Shared prefix by transaction value: identical txs produce identical
+	// state transitions, so their journal entries stand as-is.
+	keep := 0
+	for keep < len(e.applied) && keep < len(seq) && e.applied[keep] == seq[keep] {
+		keep++
+	}
+	// The truncated tails stay readable through these aliases: the loop
+	// below reads old position i before appending (and so overwriting) it,
+	// which lets replayed positions that hold the same transaction as last
+	// time — all but two, for the swap moves the local solvers make —
+	// recover their interned id with one struct compare instead of a map
+	// probe on a 90-byte key.
+	oldLen := len(e.applied)
+	oldApplied := e.applied[:oldLen]
+	oldIDs := e.appliedIDs[:oldLen]
+	if keep < len(e.applied) {
+		e.sc.RevertTo(e.marks[keep])
+		e.applied = e.applied[:keep]
+		e.marks = e.marks[:keep]
+		e.steps = e.steps[:keep]
+		e.appliedIDs = e.appliedIDs[:keep]
+	}
+	mScratchReused.Add(int64(keep))
+	mScratchReplayed.Add(int64(len(seq) - keep))
+
+	var step Step
+	var nExec, nSkip, nInval int64
+	for i := keep; i < len(seq); i++ {
+		mark := e.sc.Mark()
+		var id uint32
+		if i < oldLen && seq[i] == oldApplied[i] {
+			id = oldIDs[i]
+		} else {
+			id = e.InternID(seq[i])
+		}
+		e.vm.applyInto(e.sc, &seq[i], &step, e.validErr[id] == nil, e.tokC[id])
+		switch step.Status {
+		case StatusExecuted:
+			nExec++
+		case StatusSkipped:
+			nSkip++
+		case StatusInvalid:
+			nInval++
+		}
+		e.applied = append(e.applied, seq[i])
+		e.appliedIDs = append(e.appliedIDs, id)
+		e.marks = append(e.marks, mark)
+		e.steps = append(e.steps, EvalStep{
+			Executed:  step.Status == StatusExecuted,
+			Price:     step.Price,
+			Available: step.Available,
+		})
+	}
+	if nExec > 0 {
+		countStatus(StatusExecuted, nExec)
+	}
+	if nSkip > 0 {
+		countStatus(StatusSkipped, nSkip)
+	}
+	if nInval > 0 {
+		countStatus(StatusInvalid, nInval)
+	}
+	e.sc.FlushMetrics()
+	if sp != nil {
+		sp.SetAttr(trace.Int("prefix_reused", int64(keep)))
+	}
+	return e.steps, nil
+}
+
+// WealthInto appends each watched address's total wealth in the current
+// working state to buf (reset to length zero first), so steady-state
+// scoring allocates nothing.
+func (e *Evaluator) WealthInto(buf []wei.Amount, watch ...chainid.Address) []wei.Amount {
+	buf = buf[:0]
+	for _, a := range watch {
+		buf = append(buf, e.sc.TotalWealth(a))
+	}
+	return buf
+}
+
+// EvaluateScratch is Evaluate's journaled counterpart: identical contract
+// (per-step price/supply, executed tx hashes, final watched wealth — the
+// differential property test pins byte-for-byte agreement), but evaluation
+// runs on ev's scratch with prefix replay instead of cloning base. The
+// returned slices and map are the caller's to keep.
+func (vm *VM) EvaluateScratch(ev *Evaluator, seq tx.Seq, watch ...chainid.Address) ([]EvalStep, map[chainid.Hash]bool, []wei.Amount, error) {
+	if ev == nil {
+		return nil, nil, nil, ErrNoEvaluator
+	}
+	live, err := ev.Run(seq)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	steps := make([]EvalStep, len(live))
+	copy(steps, live)
+	executed := make(map[chainid.Hash]bool, len(seq))
+	for i, s := range steps {
+		if s.Executed {
+			executed[seq[i].Hash()] = true
+		}
+	}
+	wealth := ev.WealthInto(make([]wei.Amount, 0, len(watch)), watch...)
+	return steps, executed, wealth, nil
+}

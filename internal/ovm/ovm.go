@@ -231,22 +231,72 @@ func (vm *VM) WealthTrace(base *state.State, seq tx.Seq, watch chainid.Address) 
 	return trace, res, nil
 }
 
+// execState is the mutable-state surface apply needs. *state.State backs
+// the full-fidelity clone path; *state.Scratch backs the journaled
+// evaluation path. Both expose identical semantics, which the differential
+// property test (scratch_diff_test.go) pins down.
+type execState interface {
+	Balance(chainid.Address) wei.Amount
+	Debit(chainid.Address, wei.Amount) error
+	Credit(chainid.Address, wei.Amount)
+	BumpNonce(chainid.Address) uint64
+	Token(chainid.Address) (*token.Contract, error)
+	MintToken(c *token.Contract, owner chainid.Address, id uint64) error
+	TransferToken(c *token.Contract, id uint64, from, to chainid.Address) error
+	BurnToken(c *token.Contract, id uint64, owner chainid.Address) error
+}
+
 // apply executes one transaction against st in place and reports the step.
-func (vm *VM) apply(st *state.State, t tx.Tx) Step {
-	step := Step{Tx: t}
-	if err := t.Validate(); err != nil {
-		mTxInvalid.Inc()
-		step.Status = StatusInvalid
-		step.Reason = err
-		step.Price = currentPrice(st, t.Token)
-		return step
+func (vm *VM) apply(st execState, t tx.Tx) Step {
+	var step Step
+	vm.applyInto(st, &t, &step, false, nil)
+	step.Tx = t
+	countStatus(step.Status, 1)
+	return step
+}
+
+// countStatus publishes n apply outcomes of the given status. applyInto
+// leaves counting to its callers so the Evaluator's replay loop can batch
+// one atomic add per status per evaluation instead of one per transaction.
+func countStatus(status StepStatus, n int64) {
+	switch status {
+	case StatusExecuted:
+		mTxExecuted.Add(n)
+	case StatusSkipped:
+		mTxSkipped.Add(n)
+	case StatusInvalid:
+		mTxInvalid.Add(n)
 	}
-	contract, err := st.Token(t.Token)
-	if err != nil {
-		mTxSkipped.Inc()
-		step.Status = StatusSkipped
-		step.Reason = err
-		return step
+}
+
+// applyInto is apply with caller-owned buffers: t and step are passed by
+// pointer so the per-transaction replay loop of the journaled Evaluator
+// copies no Tx or Step values. Two pre-resolution hooks shave constant work
+// off the replay loop, both justified by immutability: preValidated skips
+// the structural Validate (validity is a pure function of the value, so the
+// Evaluator caches it per interned transaction), and a non-nil contract
+// skips the token-address lookup (contract pointers in a working state are
+// stable for its lifetime, so the Evaluator resolves each interned
+// transaction's contract once). step.Tx is left zero — the apply wrapper
+// fills it for callers that report full steps; the Evaluator never reads it.
+func (vm *VM) applyInto(st execState, t *tx.Tx, step *Step, preValidated bool, contract *token.Contract) {
+	*step = Step{}
+	if !preValidated {
+		if err := t.Validate(); err != nil {
+			step.Status = StatusInvalid
+			step.Reason = err
+			step.Price = currentPrice(st, t.Token)
+			return
+		}
+	}
+	if contract == nil {
+		var err error
+		contract, err = st.Token(t.Token)
+		if err != nil {
+			step.Status = StatusSkipped
+			step.Reason = err
+			return
+		}
 	}
 	price := contract.Price() // P^{t-1}: constraints and settlement use the pre-tx price
 
@@ -254,66 +304,81 @@ func (vm *VM) apply(st *state.State, t tx.Tx) Step {
 	case tx.KindMint:
 		// Eq. 1: B_k ≥ P ∧ S ≥ 1 (and the id must be fresh).
 		if err := contract.CanMint(t.TokenID); err != nil {
-			return skipped(step, contract, err)
+			step.skip(contract, err)
+			return
 		}
-		if st.Balance(t.From) < price {
-			return skipped(step, contract, fmt.Errorf("%w: minter %s", state.ErrInsufficientBalance, t.From))
-		}
-		// Eq. 2: debit the minter, escrow to the contract, assign ownership.
+		// Eq. 2: debit the minter (B_k ≥ P is checked by Debit itself),
+		// escrow to the contract, assign ownership.
 		if err := st.Debit(t.From, price); err != nil {
-			return skipped(step, contract, err)
+			step.skip(contract, &balanceError{role: "minter", addr: t.From})
+			return
 		}
 		st.Credit(t.Token, price)
-		if err := contract.Mint(t.From, t.TokenID); err != nil {
-			return skipped(step, contract, err) // unreachable after CanMint; defensive
+		if err := st.MintToken(contract, t.From, t.TokenID); err != nil {
+			step.skip(contract, err) // unreachable after CanMint; defensive
+			return
 		}
 	case tx.KindTransfer:
 		// Eq. 3: B_j ≥ P ∧ O_k^i.
 		if err := contract.CanTransfer(t.TokenID, t.From); err != nil {
-			return skipped(step, contract, err)
+			step.skip(contract, err)
+			return
 		}
-		if st.Balance(t.To) < price {
-			return skipped(step, contract, fmt.Errorf("%w: buyer %s", state.ErrInsufficientBalance, t.To))
-		}
-		// Eq. 4: buyer pays seller; ownership moves.
+		// Eq. 4: buyer pays seller (B_j ≥ P is checked by Debit itself);
+		// ownership moves.
 		if err := st.Debit(t.To, price); err != nil {
-			return skipped(step, contract, err)
+			step.skip(contract, &balanceError{role: "buyer", addr: t.To})
+			return
 		}
 		st.Credit(t.From, price)
-		if err := contract.Transfer(t.TokenID, t.From, t.To); err != nil {
-			return skipped(step, contract, err)
+		if err := st.TransferToken(contract, t.TokenID, t.From, t.To); err != nil {
+			step.skip(contract, err)
+			return
 		}
 	case tx.KindBurn:
 		// Eq. 5: O_k^i.
 		if err := contract.CanBurn(t.TokenID, t.From); err != nil {
-			return skipped(step, contract, err)
+			step.skip(contract, err)
+			return
 		}
 		// Eq. 6: ownership cleared, supply grows.
-		if err := contract.Burn(t.TokenID, t.From); err != nil {
-			return skipped(step, contract, err)
+		if err := st.BurnToken(contract, t.TokenID, t.From); err != nil {
+			step.skip(contract, err)
+			return
 		}
 	}
 
 	st.BumpNonce(t.From)
-	mTxExecuted.Inc()
 	step.Status = StatusExecuted
 	step.Price = contract.Price() // P^t after the operation
 	step.Available = contract.Available()
 	step.GasUsed = vm.gas.GasUsed(t.Kind)
 	step.Fee = vm.gas.Fee(t.Kind)
-	return step
 }
 
-func skipped(step Step, contract *token.Contract, err error) Step {
-	mTxSkipped.Inc()
+// balanceError defers message formatting to Error(): Eq. 1/3 balance skips
+// fire per candidate in the solver hot loop, where only errors.Is identity
+// matters; the text is only rendered by cold reporting paths.
+type balanceError struct {
+	role string
+	addr chainid.Address
+}
+
+func (e *balanceError) Error() string {
+	return fmt.Sprintf("%v: %s %s", state.ErrInsufficientBalance, e.role, e.addr)
+}
+func (e *balanceError) Unwrap() error { return state.ErrInsufficientBalance }
+
+// skip marks the step as skipped with the given reason, stamping the
+// contract's current price and availability.
+func (step *Step) skip(contract *token.Contract, err error) {
 	step.Status = StatusSkipped
 	step.Reason = err
 	step.Price = contract.Price()
 	step.Available = contract.Available()
-	return step
 }
 
-func currentPrice(st *state.State, tokenAddr chainid.Address) wei.Amount {
+func currentPrice(st execState, tokenAddr chainid.Address) wei.Amount {
 	if c, err := st.Token(tokenAddr); err == nil {
 		return c.Price()
 	}

@@ -1,0 +1,132 @@
+package ovm
+
+import (
+	"math/rand"
+	"testing"
+
+	"parole/internal/chainid"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// randomBatch builds a batch of mint/transfer/burn transactions over the
+// newWorld fixture with randomized fees and deliberately conflicting token
+// ids, so candidate orders differ in which transactions execute.
+func randomBatch(rng *rand.Rand, n int) tx.Seq {
+	users := []chainid.Address{alice, bob, carol}
+	seq := make(tx.Seq, 0, n)
+	for i := 0; i < n; i++ {
+		from := users[rng.Intn(len(users))]
+		to := users[rng.Intn(len(users))]
+		id := uint64(rng.Intn(6)) // ids 0..2 pre-minted, 3..5 contested mints
+		var t tx.Tx
+		switch rng.Intn(3) {
+		case 0:
+			t = tx.Mint(ptAddr, id, from)
+		case 1:
+			t = tx.Transfer(ptAddr, id, from, to)
+		default:
+			t = tx.Burn(ptAddr, id, from)
+		}
+		t = t.WithFees(wei.Amount(rng.Int63n(1000)+1), wei.Amount(rng.Int63n(500)))
+		seq = append(seq, t)
+	}
+	return seq
+}
+
+// TestEvaluateScratchMatchesEvaluate is the differential property test the
+// scratch path is certified by: for randomized batches and candidate orders,
+// EvaluateScratch (one shared Evaluator, prefix replay across candidates)
+// must agree byte for byte with the clone-based Evaluate on every step,
+// the executed-hash set, the watched wealth vector, and the post-state
+// Merkle root. Run under -race with the parallel portfolio enabled (the
+// solver package does) this also pins down per-worker isolation.
+func TestEvaluateScratchMatchesEvaluate(t *testing.T) {
+	vm := New()
+	watch := []chainid.Address{alice, bob, carol}
+
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		base := newWorld(t,
+			[]chainid.Address{alice, bob, carol}, // ids 0..2 pre-minted
+			wei.FromFloat(3.0), alice, bob, carol)
+		baseRoot := base.Root()
+
+		batch := randomBatch(rng, 4+rng.Intn(5))
+		ev, err := vm.NewEvaluator(base)
+		if err != nil {
+			t.Fatalf("NewEvaluator: %v", err)
+		}
+
+		// Many candidate orders against one Evaluator: adjacent swaps and
+		// full shuffles, mimicking how the solvers actually probe the space.
+		for cand := 0; cand < 30; cand++ {
+			order := batch.Clone()
+			if cand%2 == 0 {
+				rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			} else if len(order) > 1 {
+				i := rng.Intn(len(order) - 1)
+				order.Swap(i, i+1)
+			}
+
+			wantSteps, wantExec, wantWealth, err := vm.Evaluate(base, order, watch...)
+			if err != nil {
+				t.Fatalf("Evaluate: %v", err)
+			}
+			gotSteps, gotExec, gotWealth, err := vm.EvaluateScratch(ev, order, watch...)
+			if err != nil {
+				t.Fatalf("EvaluateScratch: %v", err)
+			}
+
+			if len(gotSteps) != len(wantSteps) {
+				t.Fatalf("trial %d cand %d: %d steps, want %d", trial, cand, len(gotSteps), len(wantSteps))
+			}
+			for i := range wantSteps {
+				if gotSteps[i] != wantSteps[i] {
+					t.Fatalf("trial %d cand %d step %d: scratch %+v, clone %+v",
+						trial, cand, i, gotSteps[i], wantSteps[i])
+				}
+			}
+			if len(gotExec) != len(wantExec) {
+				t.Fatalf("trial %d cand %d: executed set size %d, want %d", trial, cand, len(gotExec), len(wantExec))
+			}
+			for h := range wantExec {
+				if !gotExec[h] {
+					t.Fatalf("trial %d cand %d: executed hash missing from scratch set", trial, cand)
+				}
+			}
+			for i := range wantWealth {
+				if gotWealth[i] != wantWealth[i] {
+					t.Fatalf("trial %d cand %d: wealth[%d] scratch %s, clone %s",
+						trial, cand, i, gotWealth[i], wantWealth[i])
+				}
+			}
+
+			// Post-state commitment must match a fresh clone-based Execute.
+			res, err := vm.Execute(base, order)
+			if err != nil {
+				t.Fatalf("Execute: %v", err)
+			}
+			if got := ev.Scratch().State().Root(); got != res.PostRoot {
+				t.Fatalf("trial %d cand %d: scratch post-root %x, clone post-root %x",
+					trial, cand, got, res.PostRoot)
+			}
+		}
+
+		// The Evaluator must never leak writes into the base.
+		if got := base.Root(); got != baseRoot {
+			t.Fatalf("trial %d: base root changed during scratch evaluation", trial)
+		}
+		ev.Reset()
+		if got := ev.Scratch().State().Root(); got != baseRoot {
+			t.Fatalf("trial %d: Reset did not restore base root", trial)
+		}
+	}
+}
+
+func TestEvaluateScratchNilEvaluator(t *testing.T) {
+	vm := New()
+	if _, _, _, err := vm.EvaluateScratch(nil, nil); err != ErrNoEvaluator {
+		t.Fatalf("EvaluateScratch(nil) = %v, want ErrNoEvaluator", err)
+	}
+}

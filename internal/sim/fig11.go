@@ -28,6 +28,12 @@ type Fig11Config struct {
 	InferenceSteps int
 	// SolverEvals caps each baseline's evaluations (0 = 40·N²).
 	SolverEvals int
+	// Workers selects the solver portfolio: ≤1 runs the sequential
+	// hill-climb/annealing baselines (the default, and the configuration
+	// whose seeded outputs the committed results pin down); ≥2 swaps in the
+	// parallel portfolio solvers with that worker count. Branch-and-bound
+	// stays sequential either way.
+	Workers int
 	// Seed for the study's RNG.
 	Seed int64
 }
@@ -114,11 +120,19 @@ func RunFig11(cfg Fig11Config) ([]Fig11Row, error) {
 		if budget.MaxEvaluations == 0 {
 			budget.MaxEvaluations = 40 * n * n
 		}
-		for _, s := range []solver.Solver{
+		solvers := []solver.Solver{
 			solver.BranchBound{},
 			solver.HillClimb{},
 			solver.Anneal{},
-		} {
+		}
+		if cfg.Workers > 1 {
+			solvers = []solver.Solver{
+				solver.BranchBound{},
+				solver.ParallelHillClimb{Workers: cfg.Workers},
+				solver.ParallelAnneal{Workers: cfg.Workers},
+			}
+		}
+		for _, s := range solvers {
 			obj, err := solver.NewObjective(vm, sc.State, sc.Batch, sc.IFUs)
 			if err != nil {
 				return nil, err

@@ -1,0 +1,166 @@
+package solver
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"parole/internal/telemetry"
+	"parole/internal/trace"
+)
+
+// mWorkers counts worker goroutines launched by the parallel portfolio
+// solvers (docs/METRICS.md §solver). Deterministic for a fixed Workers
+// setting and solve count.
+var mWorkers = telemetry.Default().Counter("solver.workers")
+
+// Determinism rules for the parallel portfolio (docs/PERF.md):
+//
+//  1. Worker seeds are drawn from the caller's RNG up front, in worker
+//     order, before any goroutine starts — the parent RNG therefore
+//     advances by exactly W draws regardless of scheduling.
+//  2. Each worker gets a fixed evaluation budget (maxEvals/W, remainder to
+//     the low indices) and a private Objective fork, so its trajectory
+//     depends only on its own seed and budget, never on goroutine timing.
+//  3. Results merge by strictly-greater improvement scanning workers in
+//     index order, so ties break toward the lowest worker index.
+//
+// Together these make a seeded parallel solve bit-identical run to run and
+// across GOMAXPROCS values (as long as Workers itself is fixed).
+
+// portfolio fans a sequential solver out across worker goroutines and
+// merges the best valid result deterministically.
+func portfolio(parent Solver, inner func(worker int) Solver, workers int,
+	rng *rand.Rand, obj *Objective, budget Budget, defaultEvals int) (Solution, error) {
+	if rng == nil {
+		return Solution{}, errInnerNeedsRNG(parent)
+	}
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	maxEvals := budget.MaxEvaluations
+	if maxEvals <= 0 {
+		maxEvals = defaultEvals
+	}
+	if w > maxEvals {
+		w = maxEvals // never launch a worker with a zero budget
+	}
+
+	sol := Solution{Seq: obj.Original()}
+	sp := startSolveSpan(parent, obj)
+	sp.SetAttr(trace.Int("workers", int64(w)))
+	defer func() { endSolveSpan(sp, &sol) }()
+
+	if w == 1 {
+		// Degenerate portfolio: run the inner solver on the caller's RNG so
+		// a 1-worker parallel solve matches the sequential backend exactly.
+		inner0 := inner(0)
+		s, err := inner0.Solve(rng, obj, Budget{MaxEvaluations: maxEvals})
+		s.Complete = false
+		sol = s
+		return sol, err
+	}
+
+	// Rule 1: seeds drawn up front, in order.
+	seeds := make([]int64, w)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	// Rule 2: fixed budgets, remainder to the low indices.
+	per, rem := maxEvals/w, maxEvals%w
+
+	mWorkers.Add(int64(w))
+	results := make([]Solution, w)
+	errs := make([]error, w)
+	forks := make([]*Objective, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := per
+			if i < rem {
+				b++
+			}
+			f := obj.Fork()
+			forks[i] = f
+			innerSolver := inner(i)
+			results[i], errs[i] = innerSolver.Solve(
+				rand.New(rand.NewSource(seeds[i])), f, Budget{MaxEvaluations: b})
+			// Per-backend per-worker effort, recorded inside the worker:
+			// exact counts, immune to the MemStats pollution Measure notes.
+			telemetry.Default().
+				Counter("solver." + telemetry.SanitizeName(innerSolver.Name()) + ".evals").
+				Add(int64(f.Evals()))
+		}(i)
+	}
+	wg.Wait()
+
+	total := 0
+	for i := 0; i < w; i++ {
+		if errs[i] != nil {
+			return sol, errs[i]
+		}
+		total += results[i].Evaluations
+		obj.addEvals(int64(forks[i].Evals()))
+		// Rule 3: strict improvement in index order = lowest-index tie-break.
+		if better(results[i].Improvement, true, sol.Improvement) {
+			sol.Improvement = results[i].Improvement
+			sol.Seq = results[i].Seq
+		}
+	}
+	sol.Evaluations = total
+	sol.Complete = false // restarts/chains never exhaust the space
+	return sol, nil
+}
+
+// errInnerNeedsRNG mirrors the sequential solvers' nil-RNG errors.
+func errInnerNeedsRNG(s Solver) error {
+	return &rngError{name: s.Name()}
+}
+
+type rngError struct{ name string }
+
+func (e *rngError) Error() string { return "solver: " + e.name + " needs an RNG" }
+
+// ParallelHillClimb runs independent hill-climb restart chains across
+// Workers goroutines (0 means GOMAXPROCS), each with its own Objective
+// fork, scratch state, and deterministically derived RNG, and merges the
+// best valid order found. Seeded outputs are bit-identical run to run; see
+// the determinism rules above.
+type ParallelHillClimb struct {
+	// Workers is the goroutine count; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Name implements Solver.
+func (ParallelHillClimb) Name() string { return "minos-analog/hill-climb-parallel" }
+
+// Solve implements Solver.
+func (p ParallelHillClimb) Solve(rng *rand.Rand, obj *Objective, budget Budget) (Solution, error) {
+	return portfolio(p, func(int) Solver { return HillClimb{} }, p.Workers,
+		rng, obj, budget, 20_000)
+}
+
+// ParallelAnneal runs independent annealing chains across Workers
+// goroutines (0 means GOMAXPROCS) under the same determinism rules as
+// ParallelHillClimb. Temperature and cooling apply to every chain.
+type ParallelAnneal struct {
+	// Workers is the goroutine count; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// InitialTemp and Cooling are forwarded to every chain (zero values
+	// pick the Anneal defaults).
+	InitialTemp float64
+	Cooling     float64
+}
+
+// Name implements Solver.
+func (ParallelAnneal) Name() string { return "snopt-analog/simulated-annealing-parallel" }
+
+// Solve implements Solver.
+func (p ParallelAnneal) Solve(rng *rand.Rand, obj *Objective, budget Budget) (Solution, error) {
+	return portfolio(p, func(int) Solver {
+		return Anneal{InitialTemp: p.InitialTemp, Cooling: p.Cooling}
+	}, p.Workers, rng, obj, budget, 20_000)
+}

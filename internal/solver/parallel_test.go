@@ -1,0 +1,150 @@
+package solver_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"parole/internal/solver"
+	"parole/internal/tx"
+)
+
+// solveTwice runs s twice from the same seed and asserts bit-identical
+// seeded output — the determinism contract of the parallel portfolio.
+func solveTwice(t *testing.T, s solver.Solver, seed int64, budget solver.Budget) solver.Solution {
+	t.Helper()
+	var first solver.Solution
+	var firstSeq tx.Seq
+	for run := 0; run < 2; run++ {
+		obj := newObjective(t)
+		sol, err := s.Solve(rand.New(rand.NewSource(seed)), obj, budget)
+		if err != nil {
+			t.Fatalf("%s run %d: %v", s.Name(), run, err)
+		}
+		if sol.Evaluations != obj.Evals() {
+			t.Fatalf("%s: Evaluations=%d but objective counted %d", s.Name(), sol.Evaluations, obj.Evals())
+		}
+		if run == 0 {
+			first, firstSeq = sol, sol.Seq.Clone()
+			continue
+		}
+		if sol.Improvement != first.Improvement {
+			t.Fatalf("%s: improvement differs across runs: %s vs %s", s.Name(), sol.Improvement, first.Improvement)
+		}
+		if sol.Evaluations != first.Evaluations {
+			t.Fatalf("%s: evals differ across runs: %d vs %d", s.Name(), sol.Evaluations, first.Evaluations)
+		}
+		if !sol.Seq.SamePermutation(firstSeq) {
+			t.Fatalf("%s: sequences differ across runs", s.Name())
+		}
+		for i := range sol.Seq {
+			if sol.Seq[i] != firstSeq[i] {
+				t.Fatalf("%s: seq position %d differs across runs", s.Name(), i)
+			}
+		}
+	}
+	return first
+}
+
+func TestParallelSolversDeterministic(t *testing.T) {
+	budget := solver.Budget{MaxEvaluations: 1200}
+	for _, s := range []solver.Solver{
+		solver.ParallelHillClimb{Workers: 4},
+		solver.ParallelAnneal{Workers: 4},
+	} {
+		sol := solveTwice(t, s, 7, budget)
+		if sol.Improvement < 0 {
+			t.Fatalf("%s returned a losing order", s.Name())
+		}
+		if sol.Complete {
+			t.Fatalf("%s claimed a complete search", s.Name())
+		}
+	}
+}
+
+func TestParallelFindsProfit(t *testing.T) {
+	obj := newObjective(t)
+	sol, err := solver.ParallelHillClimb{Workers: 4}.Solve(
+		rand.New(rand.NewSource(3)), obj, solver.Budget{MaxEvaluations: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Improvement <= 0 {
+		t.Fatalf("parallel hill-climb found no profit (improvement %s)", sol.Improvement)
+	}
+	// The result must be a genuine valid reordering of the batch.
+	imp, valid, err := obj.Fork().Score(sol.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !valid || imp != sol.Improvement {
+		t.Fatalf("re-score: imp=%s valid=%v, solution claimed %s", imp, valid, sol.Improvement)
+	}
+}
+
+// TestParallelOneWorkerMatchesSequential pins the degenerate portfolio to
+// the sequential backend: same seed, same budget, same answer.
+func TestParallelOneWorkerMatchesSequential(t *testing.T) {
+	budget := solver.Budget{MaxEvaluations: 600}
+	objSeq := newObjective(t)
+	seq, err := solver.HillClimb{}.Solve(rand.New(rand.NewSource(11)), objSeq, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objPar := newObjective(t)
+	par, err := solver.ParallelHillClimb{Workers: 1}.Solve(rand.New(rand.NewSource(11)), objPar, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Improvement != seq.Improvement || par.Evaluations != seq.Evaluations {
+		t.Fatalf("1-worker portfolio (imp %s, evals %d) != sequential (imp %s, evals %d)",
+			par.Improvement, par.Evaluations, seq.Improvement, seq.Evaluations)
+	}
+	for i := range seq.Seq {
+		if par.Seq[i] != seq.Seq[i] {
+			t.Fatalf("1-worker portfolio seq differs at %d", i)
+		}
+	}
+}
+
+func TestParallelSolverNames(t *testing.T) {
+	if got := (solver.ParallelHillClimb{}).Name(); got != "minos-analog/hill-climb-parallel" {
+		t.Fatalf("name = %q", got)
+	}
+	if got := (solver.ParallelAnneal{}).Name(); got != "snopt-analog/simulated-annealing-parallel" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+func TestParallelNeedsRNG(t *testing.T) {
+	obj := newObjective(t)
+	if _, err := (solver.ParallelHillClimb{Workers: 2}).Solve(nil, obj, solver.Budget{}); err == nil {
+		t.Fatal("nil RNG accepted")
+	}
+}
+
+// TestForkIsolation drives forks of one objective concurrently; run under
+// -race this pins down that worker scorers share nothing mutable.
+func TestForkIsolation(t *testing.T) {
+	obj := newObjective(t)
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func(seed int64) {
+			f := obj.Fork()
+			rng := rand.New(rand.NewSource(seed))
+			order := f.Original()
+			for i := 0; i < 50; i++ {
+				rng.Shuffle(len(order), order.Swap)
+				if _, _, err := f.Score(order); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(int64(w))
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

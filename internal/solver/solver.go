@@ -30,6 +30,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"parole/internal/chainid"
@@ -61,6 +62,18 @@ var (
 // Objective scores candidate orders: the summed IFU final wealth versus the
 // original order, with validity per Section V-B. It counts evaluations so
 // harnesses can report search effort.
+//
+// Scoring runs on a journaled ovm.Evaluator (built lazily on first Score):
+// the candidate is applied to a scratch state with prefix replay instead of
+// cloning the world per evaluation, which is the dominant term of the
+// Fig. 11 hot path. The differential test in internal/ovm pins the scratch
+// path to the clone path byte for byte, so scores — and therefore every
+// seeded solver trajectory — are unchanged.
+//
+// An Objective is not safe for concurrent use (it owns one Evaluator and
+// scratch buffers); parallel solvers give each worker its own Fork. The
+// evaluation counter is atomic so a parent can aggregate fork counts and
+// read Evals while workers run.
 type Objective struct {
 	vm       *ovm.VM
 	base     *state.State
@@ -69,7 +82,21 @@ type Objective struct {
 
 	baseWealth wei.Amount
 	origExec   map[chainid.Hash]bool
-	evals      int
+	evals      atomic.Int64
+
+	ev *ovm.Evaluator // lazy; one scratch amortized over all Scores
+
+	// Validity bitmask machinery, in the Evaluator's interned-id space: when
+	// the Evaluator is lazily created, the original batch is interned in
+	// order (so every Fork assigns identical ids) and reqMask gets one bit
+	// per originally-executed distinct transaction. Per evaluation, validity
+	// is "executed bits cover reqMask", read straight off the Evaluator's
+	// applied ids — no hashing and no map probes in the hot loop. A candidate
+	// transaction outside the original batch interns to an id past reqMask's
+	// range; it cannot be required, so the bounds check skipping it is exact.
+	reqMask   []uint64
+	exeMask   []uint64     // reused per-eval executed-bits buffer
+	wealthBuf []wei.Amount // reused watched-wealth buffer
 }
 
 // NewObjective prepares the objective for one batch.
@@ -98,6 +125,21 @@ func NewObjective(vm *ovm.VM, base *state.State, original tx.Seq, ifus []chainid
 	}, nil
 }
 
+// Fork returns a worker-local scorer over the same batch: shared immutable
+// problem data (base state, original order, baseline), private Evaluator,
+// buffers, and evaluation counter. Parallel portfolio solvers hand one Fork
+// to each worker; the parent aggregates fork counts with addEvals.
+func (o *Objective) Fork() *Objective {
+	return &Objective{
+		vm:         o.vm,
+		base:       o.base,
+		original:   o.original,
+		ifus:       o.ifus,
+		baseWealth: o.baseWealth,
+		origExec:   o.origExec,
+	}
+}
+
 // Original returns the batch in its collected order.
 func (o *Objective) Original() tx.Seq { return o.original.Clone() }
 
@@ -105,7 +147,10 @@ func (o *Objective) Original() tx.Seq { return o.original.Clone() }
 func (o *Objective) N() int { return len(o.original) }
 
 // Evals returns how many candidate evaluations have been scored.
-func (o *Objective) Evals() int { return o.evals }
+func (o *Objective) Evals() int { return int(o.evals.Load()) }
+
+// addEvals folds a fork's evaluation count back into this objective.
+func (o *Objective) addEvals(n int64) { o.evals.Add(n) }
 
 // BaselineWealth returns Σ_IFU wealth under the original order.
 func (o *Objective) BaselineWealth() wei.Amount { return o.baseWealth }
@@ -114,18 +159,55 @@ func (o *Objective) BaselineWealth() wei.Amount { return o.baseWealth }
 // the original and whether the order is valid (keeps every originally-
 // executable transaction executable).
 func (o *Objective) Score(candidate tx.Seq) (wei.Amount, bool, error) {
-	o.evals++
+	o.evals.Add(1)
 	mEvals.Inc()
-	_, exec, wealth, err := o.vm.Evaluate(o.base, candidate, o.ifus...)
+	if o.ev == nil {
+		ev, err := o.vm.NewEvaluator(o.base)
+		if err != nil {
+			return 0, false, err
+		}
+		o.ev = ev
+		// Intern the original batch in collected order: ids come out dense
+		// and identical across Forks, and reqMask lands in id space.
+		distinct := 0
+		for _, t := range o.original {
+			if id := int(ev.InternID(t)); id >= distinct {
+				distinct = id + 1
+			}
+		}
+		o.reqMask = make([]uint64, (distinct+63)/64)
+		for _, t := range o.original {
+			if o.origExec[t.Hash()] {
+				id := ev.InternID(t)
+				o.reqMask[id>>6] |= 1 << (id & 63)
+			}
+		}
+		o.exeMask = make([]uint64, len(o.reqMask))
+	}
+	steps, err := o.ev.Run(candidate)
 	if err != nil {
 		return 0, false, fmt.Errorf("evaluate candidate: %w", err)
 	}
+	o.wealthBuf = o.ev.WealthInto(o.wealthBuf, o.ifus...)
 	var total wei.Amount
-	for _, w := range wealth {
+	for _, w := range o.wealthBuf {
 		total += w
 	}
-	for h := range o.origExec {
-		if !exec[h] {
+	for i := range o.exeMask {
+		o.exeMask[i] = 0
+	}
+	ids := o.ev.AppliedIDs()
+	for i, s := range steps {
+		if s.Executed {
+			// Ids past reqMask's range belong to txs outside the original
+			// batch; those can't be required, so skipping them is exact.
+			if id := ids[i]; int(id) < len(o.exeMask)*64 {
+				o.exeMask[id>>6] |= 1 << (id & 63)
+			}
+		}
+	}
+	for i := range o.reqMask {
+		if o.reqMask[i]&^o.exeMask[i] != 0 {
 			return total - o.baseWealth, false, nil
 		}
 	}
@@ -167,6 +249,16 @@ type Solver interface {
 // volume (bytes allocated during the solve — the Fig. 11(b) memory proxy).
 // As the reporting layer it also records per-backend evaluation counts,
 // allocation volume, and a stage timing under "solver.<name>.*".
+//
+// AllocBytes caveat: runtime.MemStats.TotalAlloc is process-global, so the
+// delta attributes every byte allocated by ANY goroutine during the solve
+// to this solve. For the sequential backends on an otherwise idle process
+// that is exact; for the parallel portfolio solvers it deliberately folds
+// all worker allocations in (the total memory cost of the solve, which is
+// what Fig. 11(b) plots) — but concurrent unrelated work also pollutes the
+// number. Per-worker allocation cannot be attributed with MemStats; workers
+// instead record their exact evaluation counts into per-backend telemetry
+// counters (see parallel.go), which stay deterministic and unpolluted.
 func Measure(s Solver, rng *rand.Rand, obj *Objective, budget Budget) (Solution, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)

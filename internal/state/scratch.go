@@ -1,0 +1,263 @@
+package state
+
+import (
+	"fmt"
+
+	"parole/internal/chainid"
+	"parole/internal/telemetry"
+	"parole/internal/token"
+	"parole/internal/wei"
+)
+
+// Journal metrics (docs/METRICS.md §state). Writes are counted per journal
+// entry, reverts per RevertTo call; reverted_entries is the undo volume —
+// with prefix checkpointing it stays well below writes, which is the whole
+// point of the journal.
+var (
+	mJournalScratches = telemetry.Default().Counter("state.journal.scratches")
+	mJournalWrites    = telemetry.Default().Counter("state.journal.writes")
+	mJournalReverts   = telemetry.Default().Counter("state.journal.reverts")
+	mJournalReverted  = telemetry.Default().Counter("state.journal.reverted_entries")
+)
+
+// entryKind tags one journal record.
+type entryKind uint8
+
+const (
+	entryAccount entryKind = iota + 1
+	entryToken
+)
+
+// scratchEntry is one undo record: for entryAccount it carries the previous
+// account record for addr (including whether the map key existed, so Revert
+// restores the exact leaf set); for entryToken the payload lives at the
+// matching position of the Scratch's token-undo stack. Keeping the token
+// Undo out of line halves the bytes copied per account write, and account
+// writes are ~3× as frequent as token writes (debit + credit + nonce per
+// executed transfer versus one ownership change).
+type scratchEntry struct {
+	kind    entryKind
+	existed bool
+	addr    chainid.Address
+	prev    Account
+}
+
+// Scratch is a journaled copy-on-write evaluation view over a frozen base
+// State. Construction pays one deep Clone; every mutation afterwards is
+// applied in place to the private copy and recorded in an undo log, so
+// rolling back a candidate evaluation costs O(entries written) instead of a
+// fresh O(world) clone per candidate. That inverts the cost model of the
+// Fig. 11 hot path: the solvers evaluate tens of thousands of candidate
+// orders against one base state, and with a Scratch they pay for the state
+// once and for the diffs per candidate.
+//
+// The base State is never touched after construction and must not be
+// mutated by anyone else while the Scratch lives. A Scratch is not safe for
+// concurrent use; parallel searchers hold one Scratch per worker.
+type Scratch struct {
+	base   *State // frozen original, kept for Reset and invariant checks
+	st     *State // private working copy, mutated in place
+	log    []scratchEntry
+	tokLog []token.Undo // payloads for entryToken records, in log order
+
+	// writes counts journal entries ever recorded; reported is the portion
+	// already flushed to the telemetry counter. Batching the flush keeps the
+	// innermost write loop free of atomic operations (FlushMetrics runs once
+	// per evaluation, and RevertTo flushes so snapshots never miss entries
+	// that were recorded and then undone).
+	writes   int64
+	reported int64
+
+	// One-entry token-contract cache. The working state's contract set is
+	// fixed for the Scratch's lifetime (deploys don't go through Scratch)
+	// and candidate batches overwhelmingly touch one contract, so caching
+	// the last lookup removes a map probe per transaction. Contract
+	// pointers survive reverts (reverts mutate contract state in place),
+	// so the cache never needs invalidation.
+	lastTokAddr chainid.Address
+	lastTok     *token.Contract
+}
+
+// NewScratch builds a scratch view over base.
+func NewScratch(base *State) *Scratch {
+	mJournalScratches.Inc()
+	return &Scratch{base: base, st: base.Clone()}
+}
+
+// Base returns the frozen base state the scratch was built over.
+func (s *Scratch) Base() *State { return s.base }
+
+// State returns the working state the journal mutates. Callers may read it
+// freely (e.g. Root for a post-state commitment) but must route every
+// mutation through the Scratch, or Revert cannot restore the base.
+func (s *Scratch) State() *State { return s.st }
+
+// Mark returns the current journal watermark. Passing it to RevertTo rolls
+// the working state back to this exact point; solver prefix checkpointing
+// stores one mark per sequence position.
+func (s *Scratch) Mark() int { return len(s.log) }
+
+// Len returns the number of journal entries currently live (same as Mark;
+// kept for readability at call sites that mean "how much is written").
+func (s *Scratch) Len() int { return len(s.log) }
+
+// FlushMetrics publishes any not-yet-reported journal writes to the
+// `state.journal.writes` counter. The per-entry count is kept in a plain
+// field so the hot write path performs no atomic operations; callers that
+// care about fresh counters (the Evaluator, snapshot points) flush at
+// evaluation boundaries.
+func (s *Scratch) FlushMetrics() {
+	if d := s.writes - s.reported; d > 0 {
+		mJournalWrites.Add(d)
+		s.reported = s.writes
+	}
+}
+
+// RevertTo undoes every write after the given watermark, newest first.
+func (s *Scratch) RevertTo(mark int) {
+	if mark < 0 || mark > len(s.log) {
+		panic("state: revert to invalid journal mark")
+	}
+	if mark == len(s.log) {
+		return
+	}
+	s.FlushMetrics()
+	mJournalReverts.Inc()
+	mJournalReverted.Add(int64(len(s.log) - mark))
+	for i := len(s.log) - 1; i >= mark; i-- {
+		e := &s.log[i]
+		switch e.kind {
+		case entryAccount:
+			if e.existed {
+				s.st.accounts[e.addr] = e.prev
+			} else {
+				delete(s.st.accounts, e.addr)
+			}
+		case entryToken:
+			last := len(s.tokLog) - 1
+			s.tokLog[last].Revert()
+			s.tokLog = s.tokLog[:last]
+		}
+	}
+	s.log = s.log[:mark]
+	s.st.rootValid = false
+}
+
+// Revert rolls the working state all the way back to the base.
+func (s *Scratch) Revert() { s.RevertTo(0) }
+
+// noteAccount journals addr's current record before a write.
+func (s *Scratch) noteAccount(addr chainid.Address) {
+	acct, ok := s.st.accounts[addr]
+	s.log = append(s.log, scratchEntry{kind: entryAccount, addr: addr, prev: acct, existed: ok})
+	s.writes++
+}
+
+// noteToken journals a token-side undo.
+func (s *Scratch) noteToken(u token.Undo) {
+	s.log = append(s.log, scratchEntry{kind: entryToken})
+	s.tokLog = append(s.tokLog, u)
+	s.writes++
+}
+
+// Balance returns addr's balance in the working state.
+func (s *Scratch) Balance(addr chainid.Address) wei.Amount { return s.st.Balance(addr) }
+
+// Nonce returns addr's nonce in the working state.
+func (s *Scratch) Nonce(addr chainid.Address) uint64 { return s.st.Nonce(addr) }
+
+// Token returns the working copy of the contract deployed at addr. Mutate
+// it only through MintToken/TransferToken/BurnToken.
+func (s *Scratch) Token(addr chainid.Address) (*token.Contract, error) {
+	if s.lastTok != nil && addr == s.lastTokAddr {
+		return s.lastTok, nil
+	}
+	c, err := s.st.Token(addr)
+	if err != nil {
+		return nil, err
+	}
+	s.lastTokAddr, s.lastTok = addr, c
+	return c, nil
+}
+
+// TotalWealth returns addr's balance plus NFT mark-to-market in the working
+// state.
+func (s *Scratch) TotalWealth(addr chainid.Address) wei.Amount { return s.st.TotalWealth(addr) }
+
+// The account mutators below inline the journal + write pair around a
+// single map lookup instead of composing noteAccount with the State
+// methods: one hash-and-probe per operation instead of three. These are the
+// innermost writes of the candidate-evaluation hot path, and the map
+// accesses dominate its profile.
+
+// Credit journals and applies a balance credit.
+func (s *Scratch) Credit(addr chainid.Address, amount wei.Amount) {
+	if amount < 0 {
+		panic("state: negative credit")
+	}
+	acct, ok := s.st.accounts[addr]
+	s.log = append(s.log, scratchEntry{kind: entryAccount, addr: addr, prev: acct, existed: ok})
+	s.writes++
+	acct.Balance += amount
+	s.st.accounts[addr] = acct
+	s.st.rootValid = false
+}
+
+// Debit journals and applies a balance debit. On failure the working state
+// and the journal are both untouched.
+func (s *Scratch) Debit(addr chainid.Address, amount wei.Amount) error {
+	if amount < 0 {
+		panic("state: negative debit")
+	}
+	acct, ok := s.st.accounts[addr]
+	if acct.Balance < amount {
+		return fmt.Errorf("%w: %s has %s, needs %s", ErrInsufficientBalance, addr, acct.Balance, amount)
+	}
+	s.log = append(s.log, scratchEntry{kind: entryAccount, addr: addr, prev: acct, existed: ok})
+	s.writes++
+	acct.Balance -= amount
+	s.st.accounts[addr] = acct
+	s.st.rootValid = false
+	return nil
+}
+
+// BumpNonce journals and applies a nonce increment.
+func (s *Scratch) BumpNonce(addr chainid.Address) uint64 {
+	acct, ok := s.st.accounts[addr]
+	s.log = append(s.log, scratchEntry{kind: entryAccount, addr: addr, prev: acct, existed: ok})
+	s.writes++
+	acct.Nonce++
+	s.st.accounts[addr] = acct
+	s.st.rootValid = false
+	return acct.Nonce
+}
+
+// MintToken journals and applies a mint on the working copy c.
+func (s *Scratch) MintToken(c *token.Contract, owner chainid.Address, id uint64) error {
+	u, err := c.JournalMint(owner, id)
+	if err != nil {
+		return err
+	}
+	s.noteToken(u)
+	return nil
+}
+
+// TransferToken journals and applies a transfer on the working copy c.
+func (s *Scratch) TransferToken(c *token.Contract, id uint64, from, to chainid.Address) error {
+	u, err := c.JournalTransfer(id, from, to)
+	if err != nil {
+		return err
+	}
+	s.noteToken(u)
+	return nil
+}
+
+// BurnToken journals and applies a burn on the working copy c.
+func (s *Scratch) BurnToken(c *token.Contract, id uint64, owner chainid.Address) error {
+	u, err := c.JournalBurn(id, owner)
+	if err != nil {
+		return err
+	}
+	s.noteToken(u)
+	return nil
+}

@@ -1,0 +1,167 @@
+package state
+
+import (
+	"testing"
+
+	"parole/internal/chainid"
+	"parole/internal/wei"
+)
+
+// buildWorld returns a small populated state: two funded accounts and one
+// deployed NFT contract with a token already minted to alice.
+func buildWorld(t *testing.T) *State {
+	t.Helper()
+	s := New()
+	s.Credit(alice, wei.FromFloat(2.0))
+	s.Credit(bob, wei.FromFloat(1.0))
+	c := newPT(t)
+	if err := s.DeployToken(c); err != nil {
+		t.Fatalf("DeployToken: %v", err)
+	}
+	if err := c.Mint(alice, 0); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	return s
+}
+
+func TestScratchRevertRestoresBase(t *testing.T) {
+	s := buildWorld(t)
+	baseRoot := s.Root()
+
+	sc := NewScratch(s)
+	if got := sc.State().Root(); got != baseRoot {
+		t.Fatal("fresh scratch root differs from base root")
+	}
+
+	c, err := sc.Token(chainid.DeriveAddress("pt-contract"))
+	if err != nil {
+		t.Fatalf("Token: %v", err)
+	}
+	sc.Credit(bob, wei.FromFloat(0.5))
+	if err := sc.Debit(alice, wei.FromFloat(1.0)); err != nil {
+		t.Fatalf("Debit: %v", err)
+	}
+	sc.BumpNonce(alice)
+	if err := sc.MintToken(c, bob, 1); err != nil {
+		t.Fatalf("MintToken: %v", err)
+	}
+	if err := sc.TransferToken(c, 0, alice, bob); err != nil {
+		t.Fatalf("TransferToken: %v", err)
+	}
+	if err := sc.BurnToken(c, 1, bob); err != nil {
+		t.Fatalf("BurnToken: %v", err)
+	}
+	if sc.State().Root() == baseRoot {
+		t.Fatal("mutations did not change the working root")
+	}
+
+	sc.Revert()
+	if got := sc.State().Root(); got != baseRoot {
+		t.Fatalf("Revert root = %x, want base %x", got, baseRoot)
+	}
+	if got := sc.Balance(alice); got != wei.FromFloat(2.0) {
+		t.Fatalf("alice balance after revert = %s", got)
+	}
+	if got := sc.Nonce(alice); got != 0 {
+		t.Fatalf("alice nonce after revert = %d", got)
+	}
+	if !c.Owns(alice, 0) || c.Minted() != 1 {
+		t.Fatal("token state not restored")
+	}
+	// The base itself must never have moved.
+	if got := s.Root(); got != baseRoot {
+		t.Fatal("base state was mutated through the scratch")
+	}
+}
+
+func TestScratchRevertToWatermark(t *testing.T) {
+	s := buildWorld(t)
+	sc := NewScratch(s)
+
+	sc.Credit(alice, wei.FromFloat(0.1))
+	mark := sc.Mark()
+	midRoot := sc.State().Root()
+
+	sc.Credit(bob, wei.FromFloat(0.2))
+	sc.BumpNonce(bob)
+	if sc.State().Root() == midRoot {
+		t.Fatal("suffix writes did not change root")
+	}
+
+	sc.RevertTo(mark)
+	if got := sc.State().Root(); got != midRoot {
+		t.Fatal("RevertTo did not restore the watermark state")
+	}
+	if sc.Len() != mark {
+		t.Fatalf("journal len = %d, want %d", sc.Len(), mark)
+	}
+	// Reverting to the current mark is a no-op.
+	sc.RevertTo(sc.Mark())
+	if got := sc.State().Root(); got != midRoot {
+		t.Fatal("no-op RevertTo changed state")
+	}
+}
+
+func TestScratchFailedDebitHarmless(t *testing.T) {
+	s := buildWorld(t)
+	sc := NewScratch(s)
+	root := sc.State().Root()
+
+	if err := sc.Debit(alice, wei.FromFloat(100)); err == nil {
+		t.Fatal("overdraft debit succeeded")
+	}
+	if got := sc.State().Root(); got != root {
+		t.Fatal("failed debit changed state")
+	}
+	sc.Revert() // the leftover identical-restore entry must be harmless
+	if got := sc.State().Root(); got != root {
+		t.Fatal("revert after failed debit changed state")
+	}
+}
+
+func TestScratchInvalidMarkPanics(t *testing.T) {
+	sc := NewScratch(New())
+	for _, mark := range []int{-1, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("RevertTo(%d) did not panic", mark)
+				}
+			}()
+			sc.RevertTo(mark)
+		}()
+	}
+}
+
+func TestRootCacheTracksTokenMutations(t *testing.T) {
+	s := buildWorld(t)
+	r1 := s.Root()
+	if got := s.Root(); got != r1 {
+		t.Fatal("repeated Root changed")
+	}
+
+	// Token mutations bypass the State entirely; the version-sum fingerprint
+	// must still invalidate the cached root.
+	c, err := s.Token(chainid.DeriveAddress("pt-contract"))
+	if err != nil {
+		t.Fatalf("Token: %v", err)
+	}
+	if err := c.Mint(bob, 1); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	r2 := s.Root()
+	if r2 == r1 {
+		t.Fatal("root cache served a stale root after a direct token mutation")
+	}
+
+	// Account writes flip the dirty flag.
+	s.Credit(alice, 1)
+	if s.Root() == r2 {
+		t.Fatal("root cache served a stale root after an account write")
+	}
+
+	// Cached and recomputed roots agree with a cold clone's root.
+	if got, want := s.Root(), s.Clone().Root(); got != want {
+		t.Fatalf("cached root %x != cold-clone root %x", got, want)
+	}
+}

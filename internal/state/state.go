@@ -11,8 +11,17 @@ import (
 	"sort"
 
 	"parole/internal/chainid"
+	"parole/internal/telemetry"
 	"parole/internal/token"
 	"parole/internal/wei"
+)
+
+// Root-cache effectiveness metrics (docs/METRICS.md §state). Deterministic
+// counts; the cache never changes a returned root, only whether the leaf
+// tree is rebuilt.
+var (
+	mRootComputes  = telemetry.Default().Counter("state.root.computes")
+	mRootCacheHits = telemetry.Default().Counter("state.root.cache_hits")
 )
 
 // Errors returned by state operations.
@@ -30,10 +39,21 @@ type Account struct {
 }
 
 // State is the mutable L2 world state. It is not safe for concurrent
-// mutation; the rollup layer serializes access, and the OVM works on clones.
+// mutation; the rollup layer serializes access, and the OVM works on clones
+// or journaled Scratch views.
 type State struct {
 	accounts map[chainid.Address]Account
 	tokens   map[chainid.Address]*token.Contract
+
+	// Root-cache fields: the Merkle root is a pure function of the leaves,
+	// so it is memoized behind a dirty flag (account writes flip rootValid;
+	// token mutations are detected by comparing the monotone contract
+	// version sum, since callers mutate contracts without going through the
+	// State). Execute calls Root twice per run and rebuilt the full sorted
+	// leaf tree each time before this cache existed.
+	cachedRoot chainid.Hash
+	rootValid  bool
+	rootTokVer uint64
 }
 
 // New returns an empty world state.
@@ -56,6 +76,7 @@ func (s *State) SetBalance(addr chainid.Address, amount wei.Amount) {
 	acct := s.accounts[addr]
 	acct.Balance = amount
 	s.accounts[addr] = acct
+	s.rootValid = false
 }
 
 // Credit adds amount (which must be non-negative) to addr's balance.
@@ -66,6 +87,7 @@ func (s *State) Credit(addr chainid.Address, amount wei.Amount) {
 	acct := s.accounts[addr]
 	acct.Balance += amount
 	s.accounts[addr] = acct
+	s.rootValid = false
 }
 
 // Debit removes amount from addr's balance, failing if it would go negative.
@@ -79,6 +101,7 @@ func (s *State) Debit(addr chainid.Address, amount wei.Amount) error {
 	}
 	acct.Balance -= amount
 	s.accounts[addr] = acct
+	s.rootValid = false
 	return nil
 }
 
@@ -90,6 +113,7 @@ func (s *State) BumpNonce(addr chainid.Address) uint64 {
 	acct := s.accounts[addr]
 	acct.Nonce++
 	s.accounts[addr] = acct
+	s.rootValid = false
 	return acct.Nonce
 }
 
@@ -99,6 +123,7 @@ func (s *State) DeployToken(c *token.Contract) error {
 		return fmt.Errorf("%w: %s", ErrTokenExists, c.Address())
 	}
 	s.tokens[c.Address()] = c
+	s.rootValid = false
 	return nil
 }
 
@@ -176,12 +201,54 @@ func (s *State) Clone() *State {
 	return c
 }
 
-// Root computes the Merkle state root over the full world state. Leaves are
+// MintToken applies a mint on c. Token mutations route through the State so
+// the clone-based and journaled (Scratch) execution paths share one call
+// surface; see ovm's execState interface.
+func (s *State) MintToken(c *token.Contract, owner chainid.Address, id uint64) error {
+	return c.Mint(owner, id)
+}
+
+// TransferToken applies a transfer on c; see MintToken.
+func (s *State) TransferToken(c *token.Contract, id uint64, from, to chainid.Address) error {
+	return c.Transfer(id, from, to)
+}
+
+// BurnToken applies a burn on c; see MintToken.
+func (s *State) BurnToken(c *token.Contract, id uint64, owner chainid.Address) error {
+	return c.Burn(id, owner)
+}
+
+// tokenVersionSum folds the monotone per-contract version counters into one
+// staleness fingerprint for the root cache. Any mutation (including a
+// journal revert) strictly increases some contract's version, so the sum
+// changes whenever any token state changed.
+func (s *State) tokenVersionSum() uint64 {
+	var sum uint64
+	for _, c := range s.tokens {
+		sum += c.Version()
+	}
+	return sum
+}
+
+// Root returns the Merkle state root over the full world state. Leaves are
 // the sorted account records followed by each token contract's state digest;
 // the root is the commitment aggregators submit with their batch.
+//
+// The root is memoized: account writes flip a dirty flag, token mutations
+// are detected via the contract version sum, and an unchanged state returns
+// the cached hash without rebuilding the leaf tree (Execute calls Root twice
+// per run). Like all State methods, Root is not safe for concurrent use.
 func (s *State) Root() chainid.Hash {
-	leaves := s.leaves()
-	return MerkleRoot(leaves)
+	tokVer := s.tokenVersionSum()
+	if s.rootValid && tokVer == s.rootTokVer {
+		mRootCacheHits.Inc()
+		return s.cachedRoot
+	}
+	mRootComputes.Inc()
+	s.cachedRoot = MerkleRoot(s.leaves())
+	s.rootValid = true
+	s.rootTokVer = tokVer
+	return s.cachedRoot
 }
 
 // leaves produces the canonical leaf hashes of the state tree.

@@ -1,0 +1,95 @@
+package token
+
+import "parole/internal/chainid"
+
+// Journaled mutation support for the scratch-evaluation path
+// (internal/state.Scratch). Each JournalMint/JournalTransfer/JournalBurn
+// applies the ordinary mutation and returns an Undo that reverses it in
+// O(1): the previous owner-table entry and the previous nextID. Undos must
+// be replayed in LIFO order relative to the mutations they capture — the
+// scratch journal guarantees that.
+//
+// The journaled mutators do not record history events. Candidate evaluation
+// is O(state), not O(history) — the same rule Clone applies when it drops
+// the event log — and nothing observable to an evaluation (step outcomes,
+// prices, wealth, the state digest) reads events.
+
+// Undo captures the contract-side writes of one mint/transfer/burn so a
+// scratch evaluation can reverse them without cloning the contract.
+type Undo struct {
+	c       *Contract
+	id      uint64
+	owner   chainid.Address // previous owner of id (valid when existed)
+	existed bool            // whether id was minted before the mutation
+	nextID  uint64          // nextID before the mutation
+}
+
+// The Journal* mutators below inline the constraint check, snapshot, and
+// write around a single owner-table lookup instead of composing a snapshot
+// helper with Mint/Transfer/Burn (which would probe the map three times per
+// operation). They must mirror the plain mutators' semantics exactly; the
+// differential test in internal/ovm pins the two paths together.
+
+// JournalMint applies Mint and returns its Undo. On error the contract is
+// unchanged and the zero Undo (whose Revert is a no-op) is returned.
+func (c *Contract) JournalMint(owner chainid.Address, id uint64) (Undo, error) {
+	if c.Available() == 0 {
+		return Undo{}, ErrSoldOut
+	}
+	if _, minted := c.owners[id]; minted {
+		return Undo{}, &idError{err: ErrAlreadyMinted, id: id}
+	}
+	u := Undo{c: c, id: id, existed: false, nextID: c.nextID}
+	c.owners[id] = owner
+	if id >= c.nextID {
+		c.nextID = id + 1
+	}
+	c.version++
+	return u, nil
+}
+
+// JournalTransfer applies Transfer and returns its Undo.
+func (c *Contract) JournalTransfer(id uint64, from, to chainid.Address) (Undo, error) {
+	owner, ok := c.owners[id]
+	if !ok {
+		return Undo{}, &idError{err: ErrNotMinted, id: id}
+	}
+	if owner != from {
+		return Undo{}, &ownerError{id: id, owner: owner, from: from}
+	}
+	u := Undo{c: c, id: id, owner: owner, existed: true, nextID: c.nextID}
+	c.owners[id] = to
+	c.version++
+	return u, nil
+}
+
+// JournalBurn applies Burn and returns its Undo.
+func (c *Contract) JournalBurn(id uint64, owner chainid.Address) (Undo, error) {
+	cur, ok := c.owners[id]
+	if !ok {
+		return Undo{}, &idError{err: ErrNotMinted, id: id}
+	}
+	if cur != owner {
+		return Undo{}, &ownerError{id: id, owner: cur, from: owner}
+	}
+	u := Undo{c: c, id: id, owner: cur, existed: true, nextID: c.nextID}
+	delete(c.owners, id)
+	c.version++
+	return u, nil
+}
+
+// Revert restores the owner-table entry and nextID captured by the Undo.
+// Reverting is itself a mutation: the contract version advances (it never
+// rolls back) so version-based caches see the change.
+func (u *Undo) Revert() {
+	if u.c == nil {
+		return
+	}
+	if u.existed {
+		u.c.owners[u.id] = u.owner
+	} else {
+		delete(u.c.owners, u.id)
+	}
+	u.c.nextID = u.nextID
+	u.c.version++
+}

@@ -1,0 +1,116 @@
+package token
+
+import (
+	"testing"
+
+	"parole/internal/chainid"
+	"parole/internal/wei"
+)
+
+func newJT(t *testing.T) *Contract {
+	t.Helper()
+	c, err := Deploy(chainid.DeriveAddress("journal-token"), Config{
+		Name:         "Journal",
+		Symbol:       "JT",
+		MaxSupply:    4,
+		InitialPrice: wei.FromFloat(0.1),
+	})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	return c
+}
+
+func TestJournalMintRevert(t *testing.T) {
+	c := newJT(t)
+	carol := chainid.UserAddress(3)
+	before := c.StateDigest()
+	v0 := c.Version()
+
+	u, err := c.JournalMint(carol, c.NextID())
+	if err != nil {
+		t.Fatalf("JournalMint: %v", err)
+	}
+	if !c.Owns(carol, 0) {
+		t.Fatal("mint did not apply")
+	}
+	if c.Version() <= v0 {
+		t.Fatal("mint did not bump version")
+	}
+
+	u.Revert()
+	if c.StateDigest() != before {
+		t.Fatal("revert did not restore the state digest")
+	}
+	if c.Minted() != 0 || c.NextID() != 0 {
+		t.Fatalf("revert left minted=%d nextID=%d", c.Minted(), c.NextID())
+	}
+	if c.Version() <= v0 {
+		t.Fatal("revert must advance version, not roll it back")
+	}
+}
+
+func TestJournalLIFORoundTrip(t *testing.T) {
+	c := newJT(t)
+	a, b := chainid.UserAddress(1), chainid.UserAddress(2)
+
+	digests := []chainid.Hash{c.StateDigest()}
+	var undos []Undo
+
+	step := func(u Undo, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("journal op: %v", err)
+		}
+		undos = append(undos, u)
+		digests = append(digests, c.StateDigest())
+	}
+	step(c.JournalMint(a, c.NextID())) // id 0 -> a
+	step(c.JournalMint(b, c.NextID())) // id 1 -> b
+	step(c.JournalTransfer(0, a, b))   // id 0 -> b
+	step(c.JournalTransfer(0, b, a))   // id 0 -> a (repeated write to same key)
+	step(c.JournalBurn(1, b))          // id 1 gone
+	step(c.JournalMint(a, c.NextID())) // id 2 -> a
+
+	for i := len(undos) - 1; i >= 0; i-- {
+		undos[i].Revert()
+		if got, want := c.StateDigest(), digests[i]; got != want {
+			t.Fatalf("after reverting op %d: digest mismatch", i)
+		}
+	}
+	if c.Minted() != 0 {
+		t.Fatalf("full revert left %d tokens minted", c.Minted())
+	}
+}
+
+func TestJournalFailedOpReturnsNoopUndo(t *testing.T) {
+	c := newJT(t)
+	a := chainid.UserAddress(1)
+	if err := c.Mint(a, 0); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	digest := c.StateDigest()
+
+	u, err := c.JournalMint(a, 0) // double mint must fail
+	if err == nil {
+		t.Fatal("double JournalMint succeeded")
+	}
+	if c.StateDigest() != digest {
+		t.Fatal("failed journal op mutated the contract")
+	}
+	u.Revert() // zero Undo: must be a no-op
+	if c.StateDigest() != digest {
+		t.Fatal("zero Undo.Revert mutated the contract")
+	}
+}
+
+func TestCloneCopiesVersion(t *testing.T) {
+	c := newJT(t)
+	if err := c.Mint(chainid.UserAddress(1), 0); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	cl := c.Clone()
+	if cl.Version() != c.Version() {
+		t.Fatalf("Clone version = %d, want %d", cl.Version(), c.Version())
+	}
+}

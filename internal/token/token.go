@@ -55,11 +55,17 @@ func (c Config) Validate() error {
 // contract. It is a plain mutable value; the OVM clones it before executing
 // candidate sequences so that exploration never corrupts chain state.
 type Contract struct {
-	addr   chainid.Address
-	cfg    Config
-	owners map[uint64]chainid.Address // minted token id -> current owner
-	nextID uint64                     // smallest id never minted, for auto-assignment
-	events []Event                    // per-instance history; see Events
+	addr    chainid.Address
+	cfg     Config
+	owners  map[uint64]chainid.Address // minted token id -> current owner
+	nextID  uint64                     // smallest id never minted, for auto-assignment
+	events  []Event                    // per-instance history; see Events
+	version uint64                     // bumped on every state mutation; see Version
+
+	// Price memo: priceCache holds PriceAt(priceAvail-1); priceAvail == 0
+	// means empty. Availability fully determines the curve value (Eq. 10).
+	priceAvail uint64
+	priceCache wei.Amount
 }
 
 // Deploy creates a contract instance at addr.
@@ -83,6 +89,12 @@ func (c *Contract) Config() Config { return c.cfg }
 // MaxSupply returns S⁰.
 func (c *Contract) MaxSupply() uint64 { return c.cfg.MaxSupply }
 
+// Version is a monotone counter bumped by every state mutation (mint,
+// transfer, burn, and journal reverts). Callers that cache derived values —
+// the state root cache in internal/state — compare versions instead of
+// re-hashing the ownership table to detect staleness.
+func (c *Contract) Version() uint64 { return c.version }
+
 // Minted returns the number of currently minted (live) tokens.
 func (c *Contract) Minted() uint64 { return uint64(len(c.owners)) }
 
@@ -92,8 +104,18 @@ func (c *Contract) Available() uint64 { return c.cfg.MaxSupply - uint64(len(c.ow
 // Price returns the current unit price P^t per Eq. 10, truncating to gwei.
 // When the collection is sold out (S^t = 0) the bonding curve diverges; we
 // pin the price at the S^t = 1 value, the last finite point of the curve.
+//
+// The curve is a pure function of availability, so the last evaluation is
+// memoized per contract: candidate evaluation asks for the price several
+// times per transaction, and transfers don't move availability at all.
 func (c *Contract) Price() wei.Amount {
-	return c.PriceAt(c.Available())
+	a := c.Available()
+	if c.priceAvail == a+1 {
+		return c.priceCache
+	}
+	p := c.PriceAt(a)
+	c.priceAvail, c.priceCache = a+1, p
+	return p
 }
 
 // PriceAt evaluates Eq. 10 for an arbitrary availability level. It is used
@@ -156,7 +178,7 @@ func (c *Contract) CanMint(id uint64) error {
 		return ErrSoldOut
 	}
 	if _, minted := c.owners[id]; minted {
-		return fmt.Errorf("%w: id %d", ErrAlreadyMinted, id)
+		return &idError{err: ErrAlreadyMinted, id: id}
 	}
 	return nil
 }
@@ -172,6 +194,7 @@ func (c *Contract) Mint(owner chainid.Address, id uint64) error {
 	if id >= c.nextID {
 		c.nextID = id + 1
 	}
+	c.version++
 	c.recordEvent(Event{Kind: EventMinted, TokenID: id, To: owner, Price: price})
 	return nil
 }
@@ -184,13 +207,34 @@ func (c *Contract) NextID() uint64 { return c.nextID }
 func (c *Contract) CanTransfer(id uint64, from chainid.Address) error {
 	owner, ok := c.owners[id]
 	if !ok {
-		return fmt.Errorf("%w: id %d", ErrNotMinted, id)
+		return &idError{err: ErrNotMinted, id: id}
 	}
 	if owner != from {
-		return fmt.Errorf("%w: id %d owned by %s, not %s", ErrNotOwner, id, owner, from)
+		return &ownerError{id: id, owner: owner, from: from}
 	}
 	return nil
 }
+
+// idError and ownerError defer message formatting to Error(): constraint
+// failures fire per candidate in the solver hot loop where only errors.Is
+// identity matters, and the text is rendered solely in cold reporting paths.
+type idError struct {
+	err error
+	id  uint64
+}
+
+func (e *idError) Error() string { return fmt.Sprintf("%v: id %d", e.err, e.id) }
+func (e *idError) Unwrap() error { return e.err }
+
+type ownerError struct {
+	id          uint64
+	owner, from chainid.Address
+}
+
+func (e *ownerError) Error() string {
+	return fmt.Sprintf("%v: id %d owned by %s, not %s", ErrNotOwner, e.id, e.owner, e.from)
+}
+func (e *ownerError) Unwrap() error { return ErrNotOwner }
 
 // Transfer moves ownership of id from seller to buyer (Eq. 4's O update).
 // Balance movement is the OVM's responsibility.
@@ -199,6 +243,7 @@ func (c *Contract) Transfer(id uint64, from, to chainid.Address) error {
 		return err
 	}
 	c.owners[id] = to
+	c.version++
 	c.recordEvent(Event{Kind: EventTransferred, TokenID: id, From: from, To: to, Price: c.Price()})
 	return nil
 }
@@ -215,6 +260,7 @@ func (c *Contract) Burn(id uint64, owner chainid.Address) error {
 	}
 	price := c.Price()
 	delete(c.owners, id)
+	c.version++
 	c.recordEvent(Event{Kind: EventBurned, TokenID: id, From: owner, Price: price})
 	return nil
 }
@@ -227,7 +273,7 @@ func (c *Contract) Clone() *Contract {
 	for id, owner := range c.owners {
 		owners[id] = owner
 	}
-	return &Contract{addr: c.addr, cfg: c.cfg, owners: owners, nextID: c.nextID}
+	return &Contract{addr: c.addr, cfg: c.cfg, owners: owners, nextID: c.nextID, version: c.version}
 }
 
 // StateDigest commits to the full contract state (configuration plus the
