@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short cover bench bench-smoke experiments experiments-full vet fmt lint clean
+.PHONY: all build test test-race test-short cover bench bench-smoke experiments experiments-full engine-smoke golden-full vet fmt lint clean
 
 all: build test
 
@@ -61,5 +61,18 @@ experiments:
 experiments-full:
 	$(GO) run ./cmd/parole-bench -full -out results-full
 
+# A seconds-scale engine sweep over every registered experiment with a
+# 4-worker pool — the CI smoke proving the deterministic runner drives all
+# nine figures end to end (results land in results-smoke/).
+engine-smoke:
+	$(GO) run ./cmd/parole-bench -smoke -workers 4 -v -out results-smoke
+
+# The complete golden-file suite: every experiment with a committed
+# results/*.tsv counterpart is regenerated at the quick scale with a
+# 4-worker pool and byte-compared (volatile columns normalized). The
+# env-gated cases (fig6 search, fig9, fig11) take minutes.
+golden-full:
+	PAROLE_GOLDEN_FULL=1 $(GO) test -run TestGolden -v ./internal/experiment
+
 clean:
-	rm -rf results-full
+	rm -rf results-full results-smoke

@@ -1,16 +1,23 @@
 // Command parole-bench regenerates every table and figure of the paper's
-// evaluation section and prints TSV series (or writes one file per
-// experiment with -out).
+// evaluation section through the internal/experiment engine and prints TSV
+// series (or writes one file per series with -out).
 //
 // Usage:
 //
-//	parole-bench [-exp all|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11]
-//	             [-full] [-out DIR] [-seed S]
+//	parole-bench [-exp all|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|defense]
+//	             [-full|-smoke] [-out DIR] [-json] [-seed S]
+//	             [-workers W] [-solver-workers W] [-timeout D] [-v]
 //	             [-metrics PATH] [-trace PATH] [-pprof ADDR]
 //
 // The default budget finishes in minutes on one core; -full uses the
 // paper's Table II training budget (100 episodes × 200 steps) and the full
-// grids, which takes considerably longer.
+// grids, which takes considerably longer; -smoke is a seconds-scale budget
+// for CI. -workers W runs up to W experiment points concurrently — every
+// point owns an independently derived seed and results commit in point
+// order, so the output is byte-identical to -workers 1 (the engine's
+// property tests pin this). -solver-workers selects Fig. 11's solver
+// portfolio (1 = the sequential baselines that produced the committed
+// results, >1 = the parallel portfolio solvers, 0 = GOMAXPROCS).
 //
 // -metrics writes a telemetry snapshot (TSV, or JSON when PATH ends in
 // .json) at exit: per-backend solver evaluation counts, per-experiment
@@ -27,460 +34,110 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
-	"math/rand"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"path/filepath"
-	"runtime"
-	"strings"
 
-	"parole/internal/casestudy"
-	"parole/internal/gentranseq"
-	"parole/internal/ovm"
+	"parole/internal/cli"
+	"parole/internal/experiment"
 	"parole/internal/sim"
-	"parole/internal/snapshot"
 	"parole/internal/telemetry"
-	"parole/internal/trace"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "parole-bench:", err)
-		os.Exit(1)
-	}
-}
+const tool = "parole-bench"
 
-type runner struct {
-	outDir  string
-	full    bool
-	seed    int64
-	workers int
-}
+func main() { cli.Main(tool, run) }
 
 func run() error {
+	var obs cli.Observability
+	obs.Tool = tool
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, defense")
-		full     = flag.Bool("full", false, "use the paper's full Table II budgets and grids")
-		out      = flag.String("out", "", "write one TSV per experiment into this directory")
-		seed     = flag.Int64("seed", 1, "base RNG seed")
-		workers  = flag.Int("workers", 1, "fig11 solver workers: 1 = sequential baselines (committed-results configuration), >1 = parallel portfolio solvers, 0 = GOMAXPROCS")
-		metrics  = flag.String("metrics", "", "write a telemetry snapshot to this path at exit (TSV, or JSON for .json)")
-		traceOut = flag.String("trace", "", "enable span tracing and write a Chrome trace (plus .summary.tsv/.timeline.tsv) to this path at exit")
-		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		exp           = flag.String("exp", "all", "experiments to run: all, or a comma-separated list of registered names")
+		full          = flag.Bool("full", false, "use the paper's full Table II budgets and grids")
+		smoke         = flag.Bool("smoke", false, "use a seconds-scale smoke budget (CI)")
+		out           = flag.String("out", "", "write one TSV per series into this directory")
+		jsonOut       = flag.Bool("json", false, "with -out, also write a .json mirror per series")
+		seed          = flag.Int64("seed", 1, "base RNG seed")
+		workers       = flag.Int("workers", 1, "experiment points run concurrently (0 = GOMAXPROCS); output is byte-identical to -workers 1")
+		solverWorkers = flag.Int("solver-workers", 1, "fig11 solver portfolio: 1 = sequential baselines (committed-results configuration), >1 = parallel portfolio solvers, 0 = GOMAXPROCS")
+		timeout       = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+		verbose       = flag.Bool("v", false, "log per-point progress to stderr")
 	)
+	obs.Register(flag.CommandLine)
+	cli.SetUsage(flag.CommandLine, tool, map[string][]string{
+		"registered experiments":        experiment.Names(),
+		"registered optimizer backends": sim.RegisteredOptimizerNames(),
+	}, "registered experiments", "registered optimizer backends")
 	flag.Parse()
 
-	// Stage timers are reporting-layer wall-clock sampling; enabling them
-	// never touches the seeded experiment paths. The span tracer is equally
-	// passive (docs/TRACING.md).
-	telemetry.Default().EnableTimers(true)
-	if *traceOut != "" {
-		trace.Default().Enable()
-	}
-	if *pprof != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprof, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "parole-bench: pprof:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "parole-bench: pprof at http://%s/debug/pprof/\n", *pprof)
-	}
+	obs.Start()
+	ctx, cancel := cli.Context(*timeout)
+	defer cancel()
 
-	r := &runner{outDir: *out, full: *full, seed: *seed, workers: *workers}
-	if r.outDir != "" {
-		if err := os.MkdirAll(r.outDir, 0o755); err != nil {
-			return err
-		}
-	}
-	experiments := map[string]func() error{
-		"table3":  r.table3,
-		"fig5":    r.fig5,
-		"fig6":    r.fig6,
-		"fig7":    r.fig7,
-		"fig8":    r.fig8,
-		"fig9":    r.fig9,
-		"fig10":   r.fig10,
-		"fig11":   r.fig11,
-		"defense": r.defense,
-	}
-	runOne := func(name string, fn func() error) error {
-		stop := telemetry.Default().Timer("bench." + name + ".time").Start()
-		err := fn()
-		stop()
-		telemetry.Default().SampleMemStats()
+	exps, err := experiment.Select(*exp)
+	if err != nil {
 		return err
 	}
-	runErr := func() error {
-		if *exp != "all" {
-			fn, ok := experiments[*exp]
-			if !ok {
-				return fmt.Errorf("unknown experiment %q", *exp)
-			}
-			return runOne(*exp, fn)
+	scale := experiment.ScaleQuick
+	switch {
+	case *full && *smoke:
+		return fmt.Errorf("-full and -smoke are mutually exclusive")
+	case *full:
+		scale = experiment.ScaleFull
+	case *smoke:
+		scale = experiment.ScaleSmoke
+	}
+	cfg := experiment.Config{Seed: *seed, Scale: scale, SolverWorkers: *solverWorkers}
+	runner := &experiment.Runner{Workers: resolveWorkers(*workers)}
+	if *verbose {
+		runner.Progress = os.Stderr
+	}
+	var em experiment.Emitter
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
 		}
-		for _, name := range []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "defense"} {
-			if err := runOne(name, experiments[name]); err != nil {
-				return fmt.Errorf("%s: %w", name, err)
-			}
-		}
-		return nil
-	}()
-	if err := r.report(*exp, *metrics, *traceOut); err != nil {
+		em = &experiment.DirEmitter{Dir: *out, JSON: *jsonOut}
+	} else {
+		em = &experiment.StreamEmitter{W: os.Stdout}
+	}
+
+	runErr := runner.Run(ctx, exps, cfg, em)
+	if err := report(&obs, *out, *exp, scale, *seed, *workers, *solverWorkers); err != nil {
 		if runErr == nil {
 			return err
 		}
-		fmt.Fprintln(os.Stderr, "parole-bench: report:", err)
+		fmt.Fprintln(os.Stderr, tool+": report:", err)
 	}
 	return runErr
 }
 
+// resolveWorkers maps the -workers convention (0 = GOMAXPROCS) to a pool
+// size.
+func resolveWorkers(w int) int {
+	if w == 0 {
+		return experiment.DefaultWorkers()
+	}
+	return w
+}
+
 // report writes the telemetry snapshot (-metrics), the trace artifacts
 // (-trace), and, for -out runs, the machine-readable run manifest
-// results/manifest.json — which ties the trace file to the run by SHA-256.
-func (r *runner) report(exp, metricsPath, tracePath string) error {
-	snap := telemetry.Default().Snapshot()
-	if metricsPath != "" {
-		if err := snap.WriteFile(metricsPath); err != nil {
-			return err
-		}
+// manifest.json — which ties the trace file to the run by SHA-256.
+func report(obs *cli.Observability, outDir, exp string, scale experiment.Scale, seed int64, workers, solverWorkers int) error {
+	snap, traceInfo, err := obs.Report()
+	if err != nil {
+		return err
 	}
-	traceInfo := &telemetry.TraceInfo{Enabled: trace.Default().Enabled()}
-	if tracePath != "" {
-		sha, err := trace.Default().WriteFiles(tracePath)
-		if err != nil {
-			return err
-		}
-		traceInfo.File = tracePath
-		traceInfo.SHA256 = sha
-	}
-	if r.outDir == "" {
+	if outDir == "" {
 		return nil
 	}
-	manifest := telemetry.NewManifest("parole-bench", r.seed, map[string]string{
-		"exp":  exp,
-		"full": fmt.Sprintf("%v", r.full),
+	manifest := telemetry.NewManifest(tool, seed, map[string]string{
+		"exp":            exp,
+		"scale":          scale.String(),
+		"full":           fmt.Sprintf("%v", scale == experiment.ScaleFull),
+		"workers":        fmt.Sprintf("%d", workers),
+		"solver_workers": fmt.Sprintf("%d", solverWorkers),
 	}, snap)
 	manifest.Trace = traceInfo
-	return manifest.WriteFile(filepath.Join(r.outDir, "manifest.json"))
-}
-
-// sink opens the output stream for one experiment.
-func (r *runner) sink(name string) (io.Writer, func() error, error) {
-	if r.outDir == "" {
-		fmt.Printf("\n# %s\n", name)
-		return os.Stdout, func() error { return nil }, nil
-	}
-	f, err := os.Create(filepath.Join(r.outDir, name+".tsv"))
-	if err != nil {
-		return nil, nil, err
-	}
-	return f, f.Close, nil
-}
-
-// genBudget picks the DQN budget.
-func (r *runner) genBudget() gentranseq.Config {
-	if r.full {
-		return gentranseq.DefaultConfig()
-	}
-	return gentranseq.FastConfig()
-}
-
-func (r *runner) table3() error {
-	w, closeFn, err := r.sink("table3")
-	if err != nil {
-		return err
-	}
-	defer ignoreClose(closeFn)
-	rows, err := sim.RunTable3()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "tx_type\ttx_hash\tblock_number\tl1_state_index\tgas_usage_pct\ttx_fee_gwei")
-	for _, row := range rows {
-		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.2f\t%d\n",
-			row.TxType, row.TxHash, row.BlockNumber, row.L1StateIndex, row.GasUsagePct, row.FeeGwei)
-	}
-	return closeFn()
-}
-
-func (r *runner) fig5() error {
-	w, closeFn, err := r.sink("fig5")
-	if err != nil {
-		return err
-	}
-	defer ignoreClose(closeFn)
-	s, err := casestudy.New()
-	if err != nil {
-		return err
-	}
-	vm := ovm.New()
-	fmt.Fprintln(w, "case\trow\ttx\tpt_price_eth\tifu_total_eth")
-	for _, c := range []struct{ name string }{{name: "case1"}, {name: "case2"}, {name: "case3"}} {
-		seq := s.Original
-		switch c.name {
-		case "case2":
-			seq = s.Case2
-		case "case3":
-			seq = s.Case3
-		}
-		trace, res, err := vm.WealthTrace(s.State, seq, casestudy.IFU)
-		if err != nil {
-			return err
-		}
-		for i, step := range res.Steps {
-			fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%s\n", c.name, i+1, step.Tx, step.Price, trace[i])
-		}
-	}
-	return closeFn()
-}
-
-func (r *runner) fig6() error {
-	// Two backends per grid: the hill-climb "strong optimizer" series that
-	// isolates the paper's economic claim (more reordering flexibility →
-	// more profit), and the DQN series at the configured training budget.
-	// See EXPERIMENTS.md for why both are recorded.
-	for _, backend := range r.backends() {
-		for _, frac := range []float64{0.10, 0.50} {
-			name := fmt.Sprintf("fig6_adv%d_%s", int(frac*100), backend.label)
-			w, closeFn, err := r.sink(name)
-			if err != nil {
-				return err
-			}
-			cfg := sim.DefaultFig6Config()
-			cfg.AdversarialFraction = frac
-			cfg.Seed = r.seed
-			cfg.Optimizer = backend.cfg
-			if !r.full {
-				cfg.Trials = 2
-				if backend.label == "dqn" {
-					// The DQN variant is the budget-limited series; one
-					// trial and N ≤ 50 keep the default sweep laptop-scale
-					// (EXPERIMENTS.md documents the large-N budget regime).
-					cfg.Trials = 1
-					cfg.MempoolSizes = []int{10, 25, 50}
-				}
-			}
-			rows, err := sim.RunFig6(cfg)
-			if err != nil {
-				ignoreClose(closeFn)
-				return err
-			}
-			fmt.Fprintln(w, "mempool\tifus\tadv_frac\tavg_profit_per_ifu_eth\tavg_profit_per_ifu_sats\tbatches")
-			for _, row := range rows {
-				fmt.Fprintf(w, "%d\t%d\t%.2f\t%s\t%d\t%d\n",
-					row.MempoolSize, row.IFUs, row.AdversarialFrac,
-					row.AvgProfitPerIFU, row.AvgProfitPerIFU.Sats(), row.Batches)
-			}
-			if err := closeFn(); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// backend pairs an optimizer config with its file label.
-type backend struct {
-	label string
-	cfg   sim.OptimizerConfig
-}
-
-// backends returns the optimizer variants each profit experiment records.
-func (r *runner) backends() []backend {
-	return []backend{
-		{label: "search", cfg: sim.OptimizerConfig{Kind: sim.OptHillClimb, SolverEvals: 0}},
-		{label: "dqn", cfg: sim.OptimizerConfig{Kind: sim.OptDQN, Gen: r.genBudget(), AdaptiveSteps: true}},
-	}
-}
-
-func (r *runner) fig7() error {
-	for _, backend := range r.backends() {
-		for _, ifus := range []int{1, 2} {
-			name := fmt.Sprintf("fig7_ifus%d_%s", ifus, backend.label)
-			w, closeFn, err := r.sink(name)
-			if err != nil {
-				return err
-			}
-			cfg := sim.DefaultFig7Config()
-			cfg.IFUs = ifus
-			cfg.Seed = r.seed + int64(ifus)
-			cfg.Optimizer = backend.cfg
-			if !r.full {
-				cfg.Trials = 2
-				if backend.label == "dqn" {
-					cfg.Trials = 1
-					cfg.MempoolSizes = []int{25, 50}
-				}
-			}
-			rows, err := sim.RunFig7(cfg)
-			if err != nil {
-				ignoreClose(closeFn)
-				return err
-			}
-			fmt.Fprintln(w, "adv_percent\tmempool\tifus\ttotal_profit_eth\ttotal_profit_sats")
-			for _, row := range rows {
-				fmt.Fprintf(w, "%d\t%d\t%d\t%s\t%d\n",
-					row.AdversarialPercent, row.MempoolSize, row.IFUs,
-					row.TotalProfit, row.TotalProfitSats)
-			}
-			if err := closeFn(); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-func (r *runner) fig8() error {
-	for _, ifus := range []int{1, 2} {
-		name := fmt.Sprintf("fig8_ifus%d", ifus)
-		w, closeFn, err := r.sink(name)
-		if err != nil {
-			return err
-		}
-		cfg := sim.DefaultFig8Config()
-		cfg.IFUs = ifus
-		cfg.Seed = r.seed + 10 + int64(ifus)
-		if r.full {
-			cfg.Episodes, cfg.MaxSteps = 100, 200
-			cfg.MempoolSize = 50
-		}
-		points, err := sim.RunFig8(cfg)
-		if err != nil {
-			ignoreClose(closeFn)
-			return err
-		}
-		fmt.Fprintln(w, "epsilon\tifus\tepisode\treward\tmoving_avg_w9\tbest_gain_eth")
-		for _, p := range points {
-			fmt.Fprintf(w, "%.2f\t%d\t%d\t%.2f\t%.2f\t%.4f\n",
-				p.Epsilon, p.IFUs, p.Episode, p.Reward, p.Smoothed, p.BestGainETH)
-		}
-		if err := closeFn(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (r *runner) fig9() error {
-	sizes := []int{50, 100}
-	if !r.full {
-		sizes = []int{25, 50}
-	}
-	for _, n := range sizes {
-		name := fmt.Sprintf("fig9_mempool%d", n)
-		w, closeFn, err := r.sink(name)
-		if err != nil {
-			return err
-		}
-		cfg := sim.DefaultFig9Config()
-		cfg.MempoolSize = n
-		cfg.Seed = r.seed + 20 + int64(n)
-		cfg.Gen = r.genBudget()
-		if !r.full {
-			cfg.Runs = 10
-		}
-		curves, err := sim.RunFig9(cfg)
-		if err != nil {
-			ignoreClose(closeFn)
-			return err
-		}
-		fmt.Fprintln(w, "mempool\tifus\tsamples\tunsolved\tmode_swaps\tx\tdensity")
-		for _, c := range curves {
-			for i := range c.X {
-				fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.1f\t%.2f\t%.5f\n",
-					c.MempoolSize, c.IFUs, len(c.Samples), c.Unsolved, c.Mode, c.X[i], c.Density[i])
-			}
-		}
-		if err := closeFn(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (r *runner) fig10() error {
-	w, closeFn, err := r.sink("fig10")
-	if err != nil {
-		return err
-	}
-	defer ignoreClose(closeFn)
-	cfg := snapshot.DefaultStudyConfig()
-	if r.full {
-		cfg.CollectionsPerCell = 100
-	}
-	rows, err := snapshot.RunStudy(rand.New(rand.NewSource(r.seed+30)), cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "chain\tft_class\tcollections\ttotal_profit_eth\tavg_profit_eth")
-	for _, row := range rows {
-		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%s\n",
-			row.Chain, row.Class, row.Collections, row.TotalProfit, row.AvgProfit)
-	}
-	return closeFn()
-}
-
-func (r *runner) fig11() error {
-	w, closeFn, err := r.sink("fig11")
-	if err != nil {
-		return err
-	}
-	defer ignoreClose(closeFn)
-	cfg := sim.DefaultFig11Config()
-	cfg.Seed = r.seed + 40
-	cfg.Gen = r.genBudget()
-	cfg.Workers = r.workers
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	if !r.full {
-		cfg.MempoolSizes = []int{5, 10, 25, 50}
-	}
-	rows, err := sim.RunFig11(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "mempool\tsolver\texec_time_us\talloc_bytes\tevals\timprovement_eth")
-	for _, row := range rows {
-		fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%d\t%s\n",
-			row.MempoolSize, row.Solver, row.Duration.Microseconds(), row.AllocBytes,
-			row.Evaluations, row.Improvement)
-	}
-	return closeFn()
-}
-
-func (r *runner) defense() error {
-	w, closeFn, err := r.sink("defense")
-	if err != nil {
-		return err
-	}
-	defer ignoreClose(closeFn)
-	cfg := sim.DefaultDefenseConfig()
-	cfg.Seed = r.seed + 50
-	if r.full {
-		cfg.Scenarios = 20
-		cfg.MempoolSize = 25
-	}
-	rows, err := sim.RunDefenseStudy(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "threshold_eth\tscenarios\ttriggered\tavg_demotions\tavg_undefended_profit_eth\tavg_residual_profit_eth")
-	for _, row := range rows {
-		fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\t%s\t%s\n",
-			row.Threshold, row.Scenarios, row.Triggered, row.AvgDemotions,
-			row.AvgUndefendedProfit, row.AvgResidualProfit)
-	}
-	return closeFn()
-}
-
-// ignoreClose swallows close errors on early-exit paths (the happy path
-// checks them).
-func ignoreClose(closeFn func() error) {
-	if err := closeFn(); err != nil && !strings.Contains(err.Error(), "file already closed") {
-		fmt.Fprintln(os.Stderr, "parole-bench: close:", err)
-	}
+	return manifest.WriteFile(filepath.Join(outDir, "manifest.json"))
 }

@@ -3,61 +3,62 @@
 //
 // Usage:
 //
-//	parole-sim [-mempool N] [-ifus K] [-seed S] [-optimizer dqn|hillclimb|anneal]
-//	           [-episodes E] [-steps T] [-casestudy] [-trace PATH]
+//	parole-sim [-mempool N] [-ifus K] [-seed S] [-optimizer KIND]
+//	           [-episodes E] [-steps T] [-casestudy]
+//	           [-metrics PATH] [-trace PATH] [-pprof ADDR]
 //
-// With -casestudy the exact Section VI world of the paper is used instead of
-// a randomized scenario. -trace enables the span tracer and writes a Chrome
-// trace plus summary/timeline TSVs at exit (docs/TRACING.md); it does not
-// change the seeded outputs.
+// -optimizer accepts any registered backend (see -h for the list; dqn is
+// the paper's attack). With -casestudy the exact Section VI world of the
+// paper is used instead of a randomized scenario. The observability flags
+// are shared with the other binaries and never change the seeded outputs
+// (docs/METRICS.md, docs/TRACING.md).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"parole/internal/casestudy"
 	"parole/internal/chainid"
+	"parole/internal/cli"
 	"parole/internal/gentranseq"
 	"parole/internal/ovm"
 	"parole/internal/sim"
 	"parole/internal/state"
-	"parole/internal/trace"
 	"parole/internal/tx"
 	"parole/internal/wei"
-
-	"math/rand"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "parole-sim:", err)
-		os.Exit(1)
-	}
-}
+const tool = "parole-sim"
+
+func main() { cli.Main(tool, run) }
 
 func run() error {
+	var obs cli.Observability
+	obs.Tool = tool
 	var (
 		mempoolSize = flag.Int("mempool", 16, "batch size N the aggregator collects")
 		ifus        = flag.Int("ifus", 1, "number of illicitly favored users")
 		seed        = flag.Int64("seed", 1, "RNG seed")
-		optimizer   = flag.String("optimizer", "dqn", "reordering backend: dqn, hillclimb, anneal")
+		optimizer   = flag.String("optimizer", "dqn", "reordering backend (see -h for registered kinds)")
 		episodes    = flag.Int("episodes", 0, "DQN training episodes (0 = fast default)")
 		steps       = flag.Int("steps", 0, "DQN steps per episode (0 = fast default)")
 		useCase     = flag.Bool("casestudy", false, "use the paper's Section VI case-study world")
-		traceOut    = flag.String("trace", "", "enable span tracing and write a Chrome trace (plus .summary.tsv/.timeline.tsv) to this path at exit")
 	)
+	obs.Register(flag.CommandLine)
+	cli.SetUsage(flag.CommandLine, tool, map[string][]string{
+		"registered optimizer backends": sim.RegisteredOptimizerNames(),
+	}, "registered optimizer backends")
 	flag.Parse()
 
-	if *traceOut != "" {
-		trace.Default().Enable()
-		defer func() {
-			if _, err := trace.Default().WriteFiles(*traceOut); err != nil {
-				fmt.Fprintln(os.Stderr, "parole-sim: trace:", err)
-			}
-		}()
-	}
+	obs.Start()
+	defer func() {
+		if _, _, err := obs.Report(); err != nil {
+			fmt.Fprintln(os.Stderr, tool+": report:", err)
+		}
+	}()
 
 	rng := rand.New(rand.NewSource(*seed))
 	vm := ovm.New()

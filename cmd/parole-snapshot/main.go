@@ -1,17 +1,20 @@
 // Command parole-snapshot generates and analyzes NFT collection snapshots —
 // the Fig. 10 real-world study. It can synthesize collections, scan a
 // JSON-lines snapshot file for arbitrage, or run the full chain × FT-class
-// study.
+// study through the experiment engine.
 //
 // Usage:
 //
-//	parole-snapshot -mode study [-cells K] [-seed S] [-trace PATH]
+//	parole-snapshot -mode study [-full|-smoke] [-seed S] [-out DIR] [-json]
 //	parole-snapshot -mode generate -chain arbitrum -ownerships 1200 [-count K]
 //	parole-snapshot -mode scan -in snapshots.jsonl
 //
-// -trace enables the span tracer and writes a Chrome trace plus
-// summary/timeline TSVs at exit (docs/TRACING.md); it does not change the
-// seeded outputs.
+// -mode study is the registered fig10 experiment: the default budget is 25
+// collections per (chain, class) cell, -full the paper's 100, -smoke a
+// seconds-scale 2. Seeds derive the same way as parole-bench (base seed +
+// 30 for fig10), so `parole-snapshot -mode study -out d` and `parole-bench
+// -exp fig10 -out d` write identical series. The observability flags are
+// shared with the other binaries and never change the seeded outputs.
 package main
 
 import (
@@ -20,53 +23,47 @@ import (
 	"math/rand"
 	"os"
 
+	"parole/internal/cli"
+	"parole/internal/experiment"
 	"parole/internal/snapshot"
-	"parole/internal/trace"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "parole-snapshot:", err)
-		os.Exit(1)
-	}
-}
+const tool = "parole-snapshot"
+
+func main() { cli.Main(tool, run) }
 
 func run() error {
+	var obs cli.Observability
+	obs.Tool = tool
 	var (
 		mode       = flag.String("mode", "study", "study, generate, or scan")
 		chain      = flag.String("chain", "optimism", "chain for -mode generate: optimism or arbitrum")
 		ownerships = flag.Int("ownerships", 1200, "ownership count for -mode generate")
 		count      = flag.Int("count", 5, "collections to generate")
-		cells      = flag.Int("cells", 25, "collections per (chain, class) cell for -mode study")
+		full       = flag.Bool("full", false, "-mode study: the paper's budget (100 collections per cell)")
+		smoke      = flag.Bool("smoke", false, "-mode study: seconds-scale smoke budget")
+		out        = flag.String("out", "", "-mode study: write the TSV into this directory instead of stdout")
+		jsonOut    = flag.Bool("json", false, "with -out, also write a .json mirror")
 		in         = flag.String("in", "", "JSON-lines snapshot file for -mode scan")
 		seed       = flag.Int64("seed", 1, "RNG seed")
-		traceOut   = flag.String("trace", "", "enable span tracing and write a Chrome trace (plus .summary.tsv/.timeline.tsv) to this path at exit")
 	)
+	obs.Register(flag.CommandLine)
+	cli.SetUsage(flag.CommandLine, tool, map[string][]string{
+		"registered experiments": experiment.Names(),
+	}, "registered experiments")
 	flag.Parse()
-	if *traceOut != "" {
-		trace.Default().Enable()
-		defer func() {
-			if _, err := trace.Default().WriteFiles(*traceOut); err != nil {
-				fmt.Fprintln(os.Stderr, "parole-snapshot: trace:", err)
-			}
-		}()
-	}
+
+	obs.Start()
+	defer func() {
+		if _, _, err := obs.Report(); err != nil {
+			fmt.Fprintln(os.Stderr, tool+": report:", err)
+		}
+	}()
 	rng := rand.New(rand.NewSource(*seed))
 
 	switch *mode {
 	case "study":
-		cfg := snapshot.DefaultStudyConfig()
-		cfg.CollectionsPerCell = *cells
-		rows, err := snapshot.RunStudy(rng, cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println("chain\tft_class\tcollections\ttotal_profit_eth\tavg_profit_eth")
-		for _, row := range rows {
-			fmt.Printf("%s\t%s\t%d\t%s\t%s\n",
-				row.Chain, row.Class, row.Collections, row.TotalProfit, row.AvgProfit)
-		}
-		return nil
+		return runStudy(*full, *smoke, *seed, *out, *jsonOut)
 
 	case "generate":
 		var cs []*snapshot.Collection
@@ -106,4 +103,35 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+}
+
+// runStudy runs the registered fig10 experiment through the engine.
+func runStudy(full, smoke bool, seed int64, out string, jsonOut bool) error {
+	exps, err := experiment.Select("fig10")
+	if err != nil {
+		return err
+	}
+	scale := experiment.ScaleQuick
+	switch {
+	case full && smoke:
+		return fmt.Errorf("-full and -smoke are mutually exclusive")
+	case full:
+		scale = experiment.ScaleFull
+	case smoke:
+		scale = experiment.ScaleSmoke
+	}
+	cfg := experiment.Config{Seed: seed, Scale: scale}
+	var em experiment.Emitter
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		em = &experiment.DirEmitter{Dir: out, JSON: jsonOut}
+	} else {
+		em = &experiment.StreamEmitter{W: os.Stdout}
+	}
+	ctx, cancel := cli.Context(0)
+	defer cancel()
+	runner := &experiment.Runner{}
+	return runner.Run(ctx, exps, cfg, em)
 }

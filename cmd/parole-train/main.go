@@ -21,12 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 
 	"parole/internal/casestudy"
 	"parole/internal/chainid"
+	"parole/internal/cli"
 	"parole/internal/gentranseq"
 	"parole/internal/ovm"
 	"parole/internal/rl"
@@ -34,18 +33,16 @@ import (
 	"parole/internal/state"
 	"parole/internal/stats"
 	"parole/internal/telemetry"
-	"parole/internal/trace"
 	"parole/internal/tx"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "parole-train:", err)
-		os.Exit(1)
-	}
-}
+const tool = "parole-train"
+
+func main() { cli.Main(tool, run) }
 
 func run() error {
+	var obs cli.Observability
+	obs.Tool = tool
 	var (
 		mempoolSize = flag.Int("mempool", 25, "batch size N")
 		ifus        = flag.Int("ifus", 1, "number of IFUs")
@@ -55,29 +52,16 @@ func run() error {
 		seed        = flag.Int64("seed", 1, "RNG seed")
 		weightsPath = flag.String("weights", "", "write trained Q-network weights to this file")
 		useCase     = flag.Bool("casestudy", false, "train on the paper's Section VI batch")
-		metrics     = flag.String("metrics", "", "write a telemetry snapshot to this path at exit (TSV, or JSON for .json)")
-		traceOut    = flag.String("trace", "", "enable span tracing and write a Chrome trace (plus .summary.tsv/.timeline.tsv) to this path at exit")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
+	obs.Register(flag.CommandLine)
 	flag.Parse()
 
-	telemetry.Default().EnableTimers(true)
-	if *traceOut != "" {
-		trace.Default().Enable()
-		defer func() {
-			if _, err := trace.Default().WriteFiles(*traceOut); err != nil {
-				fmt.Fprintln(os.Stderr, "parole-train: trace:", err)
-			}
-		}()
-	}
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "parole-train: pprof:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "parole-train: pprof at http://%s/debug/pprof/\n", *pprofAddr)
-	}
+	obs.Start()
+	defer func() {
+		if _, _, err := obs.Report(); err != nil {
+			fmt.Fprintln(os.Stderr, tool+": report:", err)
+		}
+	}()
 
 	rng := rand.New(rand.NewSource(*seed))
 	vm := ovm.New()
@@ -148,11 +132,6 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d bytes of Q-network weights to %s\n", len(data), *weightsPath)
-	}
-	if *metrics != "" {
-		if err := telemetry.Default().Snapshot().WriteFile(*metrics); err != nil {
-			return err
-		}
 	}
 	return nil
 }

@@ -1,0 +1,125 @@
+// Package cli holds the plumbing the parole binaries used to duplicate:
+// the -metrics/-trace/-pprof observability flags with their exit-time
+// export block, signal/timeout-aware contexts, and usage text that lists
+// the experiment and optimizer registries. Each binary is a thin flag
+// parser over this package plus the registries.
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registered on the default mux for -pprof
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"parole/internal/telemetry"
+	"parole/internal/trace"
+)
+
+// Observability bundles the observability flags shared by every binary.
+// Register the flags, Start before the workload, Report after it; none of
+// it affects seeded outputs (the telemetry and trace guard tests pin this).
+type Observability struct {
+	// Tool names the binary in diagnostics ("parole-bench").
+	Tool string
+	// Metrics is the -metrics path (TSV, or JSON when it ends in .json).
+	Metrics string
+	// TracePath is the -trace path (Chrome trace JSON plus derived
+	// .summary.tsv and .timeline.tsv).
+	TracePath string
+	// Pprof is the -pprof listen address.
+	Pprof string
+}
+
+// Register installs the three flags on fs with the canonical help text (the
+// four binaries' copies had drifted).
+func (o *Observability) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.Metrics, "metrics", "",
+		"write a telemetry snapshot to this path at exit (TSV, or JSON for .json)")
+	fs.StringVar(&o.TracePath, "trace", "",
+		"enable span tracing and write a Chrome trace (plus .summary.tsv/.timeline.tsv) to this path at exit")
+	fs.StringVar(&o.Pprof, "pprof", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060)")
+}
+
+// Start enables the stage timers, switches the tracer on when -trace was
+// given, and starts the pprof server when -pprof was given. Call it after
+// flag parsing, before the workload.
+func (o *Observability) Start() {
+	// Stage timers are reporting-layer wall-clock sampling; enabling them
+	// never touches the seeded experiment paths. The span tracer is equally
+	// passive (docs/TRACING.md).
+	telemetry.Default().EnableTimers(true)
+	if o.TracePath != "" {
+		trace.Default().Enable()
+	}
+	if o.Pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(o.Pprof, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: pprof: %v\n", o.Tool, err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "%s: pprof at http://%s/debug/pprof/\n", o.Tool, o.Pprof)
+	}
+}
+
+// Report writes the telemetry snapshot (-metrics) and the trace artifacts
+// (-trace), returning the snapshot and the trace record for a run manifest.
+func (o *Observability) Report() (telemetry.Snapshot, *telemetry.TraceInfo, error) {
+	snap := telemetry.Default().Snapshot()
+	info := &telemetry.TraceInfo{Enabled: trace.Default().Enabled()}
+	if o.Metrics != "" {
+		if err := snap.WriteFile(o.Metrics); err != nil {
+			return snap, info, err
+		}
+	}
+	if o.TracePath != "" {
+		sha, err := trace.Default().WriteFiles(o.TracePath)
+		if err != nil {
+			return snap, info, err
+		}
+		info.File = o.TracePath
+		info.SHA256 = sha
+	}
+	return snap, info, nil
+}
+
+// Context returns a context that cancels on SIGINT/SIGTERM and, when
+// timeout is positive, after the timeout. The experiment runner's atomic
+// emission turns either into a clean stop with no partial output files.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	tctx, cancel := context.WithTimeout(ctx, timeout)
+	return tctx, func() { cancel(); stop() }
+}
+
+// Main is the shared outermost error handler: run, prefix any failure with
+// the tool name, exit non-zero.
+func Main(tool string, run func() error) {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(1)
+	}
+}
+
+// SetUsage appends registry listings to the default flag usage so -h shows
+// what is actually runnable: the registered experiments and optimizer
+// backends (extensions included, since the lists come from the registries
+// at call time).
+func SetUsage(fs *flag.FlagSet, tool string, sections map[string][]string, order ...string) {
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage of %s:\n", tool)
+		fs.PrintDefaults()
+		for _, title := range order {
+			fmt.Fprintf(fs.Output(), "\n%s:\n  %s\n", title, strings.Join(sections[title], ", "))
+		}
+	}
+}

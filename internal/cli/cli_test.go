@@ -1,0 +1,76 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestObservabilityRegisterAndReport(t *testing.T) {
+	var o Observability
+	o.Tool = "test-tool"
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o.Register(fs)
+	metrics := filepath.Join(t.TempDir(), "metrics.tsv")
+	if err := fs.Parse([]string{"-metrics", metrics}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Metrics != metrics {
+		t.Fatalf("Metrics = %q, want %q", o.Metrics, metrics)
+	}
+	_, info, err := o.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info == nil {
+		t.Fatal("Report returned nil TraceInfo")
+	}
+	if _, err := os.Stat(metrics); err != nil {
+		t.Fatalf("metrics file not written: %v", err)
+	}
+}
+
+func TestContextTimeout(t *testing.T) {
+	ctx, cancel := Context(time.Millisecond)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout context did not expire")
+	}
+	if err := ctx.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ctx.Err() = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestContextCancel(t *testing.T) {
+	ctx, cancel := Context(0)
+	cancel()
+	if err := ctx.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ctx.Err() = %v, want Canceled", err)
+	}
+}
+
+func TestSetUsageListsRegistrySections(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.String("exp", "all", "experiments")
+	SetUsage(fs, "test-tool", map[string][]string{
+		"registered experiments": {"table3", "fig11"},
+		"registered backends":    {"dqn", "hillclimb"},
+	}, "registered experiments", "registered backends")
+	fs.Usage()
+	out := buf.String()
+	for _, want := range []string{"Usage of test-tool", "registered experiments:", "table3, fig11", "registered backends:", "dqn, hillclimb"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("usage output missing %q:\n%s", want, out)
+		}
+	}
+}

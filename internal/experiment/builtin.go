@@ -1,0 +1,16 @@
+package experiment
+
+// The nine built-in studies register here in the evaluation's canonical
+// order — the order an "all" run executes and emits, matching the paper's
+// presentation (Table III, Fig. 5–11, then the Section VIII defense study).
+func init() {
+	Register(table3Exp{})
+	Register(fig5Exp{})
+	Register(fig6Exp{})
+	Register(fig7Exp{})
+	Register(fig8Exp{})
+	Register(fig9Exp{})
+	Register(fig10Exp{})
+	Register(fig11Exp{})
+	Register(defenseExp{})
+}

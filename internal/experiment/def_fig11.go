@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+
+	"parole/internal/sim"
+)
+
+// fig11Exp reproduces Fig. 11: DQN inference versus the NLP-solver baselines
+// in execution time and memory across mempool sizes. One RNG threads the
+// whole sweep, so it is a single point. The timing and allocation columns
+// are measurements — run-varying by nature — which the experiment declares
+// via VolatileColumns so determinism tests normalize them.
+type fig11Exp struct{}
+
+func (fig11Exp) Name() string { return "fig11" }
+
+func (fig11Exp) Columns() []string {
+	return []string{"mempool", "solver", "exec_time_us", "alloc_bytes", "evals", "improvement_eth"}
+}
+
+// VolatileColumns marks the wall-clock and allocator measurements.
+func (fig11Exp) VolatileColumns() []string {
+	return []string{"exec_time_us", "alloc_bytes"}
+}
+
+func (fig11Exp) Points(cfg Config) ([]Point, error) {
+	return []Point{{Label: "fig11", File: "fig11", Seed: cfg.Seed + 40}}, nil
+}
+
+func (fig11Exp) RunPoint(_ context.Context, cfg Config, p Point) ([]Row, error) {
+	c := sim.DefaultFig11Config()
+	c.Seed = p.Seed
+	c.Gen = genBudget(cfg.Scale)
+	c.Workers = cfg.SolverWorkers
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch cfg.Scale {
+	case ScaleFull:
+	case ScaleSmoke:
+		c.MempoolSizes = []int{5}
+		c.InferenceSteps = 20
+	default:
+		c.MempoolSizes = []int{5, 10, 25, 50}
+	}
+	rows, err := sim.RunFig11(c)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Row, len(rows))
+	for i, row := range rows {
+		out[i] = Row{
+			strconv.Itoa(row.MempoolSize),
+			row.Solver,
+			fmt.Sprintf("%d", row.Duration.Microseconds()),
+			fmt.Sprintf("%d", row.AllocBytes),
+			strconv.Itoa(row.Evaluations),
+			row.Improvement.String(),
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"parole/internal/casestudy"
+	"parole/internal/ovm"
+	"parole/internal/sim"
+)
+
+// table3Exp reproduces Table III: the on-chain behavior of the PT
+// transactions through the full rollup pipeline. The pipeline is fully
+// deterministic (no RNG), so the experiment is a single point.
+type table3Exp struct{}
+
+func (table3Exp) Name() string { return "table3" }
+
+func (table3Exp) Columns() []string {
+	return []string{"tx_type", "tx_hash", "block_number", "l1_state_index", "gas_usage_pct", "tx_fee_gwei"}
+}
+
+func (table3Exp) Points(cfg Config) ([]Point, error) {
+	return []Point{{Label: "table3", File: "table3", Seed: cfg.Seed}}, nil
+}
+
+func (table3Exp) RunPoint(_ context.Context, _ Config, _ Point) ([]Row, error) {
+	rows, err := sim.RunTable3()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Row, len(rows))
+	for i, row := range rows {
+		out[i] = Row{
+			row.TxType,
+			row.TxHash.String(),
+			fmt.Sprintf("%d", row.BlockNumber),
+			fmt.Sprintf("%d", row.L1StateIndex),
+			fmt.Sprintf("%.2f", row.GasUsagePct),
+			fmt.Sprintf("%d", row.FeeGwei),
+		}
+	}
+	return out, nil
+}
+
+// fig5Exp replays the paper's pinned case-study world (Fig. 5): the original
+// fee order and the two altered orders, each a deterministic point emitting
+// its per-transaction wealth trace.
+type fig5Exp struct{}
+
+func (fig5Exp) Name() string { return "fig5" }
+
+func (fig5Exp) Columns() []string {
+	return []string{"case", "row", "tx", "pt_price_eth", "ifu_total_eth"}
+}
+
+func (fig5Exp) Points(cfg Config) ([]Point, error) {
+	points := make([]Point, 3)
+	for i, name := range []string{"case1", "case2", "case3"} {
+		points[i] = Point{Index: i, Label: name, File: "fig5", Seed: cfg.Seed}
+	}
+	return points, nil
+}
+
+func (fig5Exp) RunPoint(_ context.Context, _ Config, p Point) ([]Row, error) {
+	s, err := casestudy.New()
+	if err != nil {
+		return nil, err
+	}
+	seq := s.Original
+	switch p.Label {
+	case "case2":
+		seq = s.Case2
+	case "case3":
+		seq = s.Case3
+	}
+	vm := ovm.New()
+	wealth, res, err := vm.WealthTrace(s.State, seq, casestudy.IFU)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Row, len(res.Steps))
+	for i, step := range res.Steps {
+		out[i] = Row{
+			p.Label,
+			fmt.Sprintf("%d", i+1),
+			step.Tx.String(),
+			step.Price.String(),
+			wealth[i].String(),
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"parole/internal/sim"
+)
+
+// fig8Exp reproduces Fig. 8: moving-average episode rewards of the DQN agent
+// for different initial exploration values, one file (and point) per IFU
+// count.
+type fig8Exp struct{}
+
+func (fig8Exp) Name() string { return "fig8" }
+
+func (fig8Exp) Columns() []string {
+	return []string{"epsilon", "ifus", "episode", "reward", "moving_avg_w9", "best_gain_eth"}
+}
+
+func (fig8Exp) Points(cfg Config) ([]Point, error) {
+	points := make([]Point, 0, 2)
+	for _, ifus := range []int{1, 2} {
+		points = append(points, Point{
+			Index: len(points),
+			Label: fmt.Sprintf("fig8_ifus%d", ifus),
+			File:  fmt.Sprintf("fig8_ifus%d", ifus),
+			Seed:  cfg.Seed + 10 + int64(ifus),
+		})
+	}
+	return points, nil
+}
+
+func (fig8Exp) RunPoint(_ context.Context, cfg Config, p Point) ([]Row, error) {
+	c := sim.DefaultFig8Config()
+	c.IFUs = p.Index + 1
+	c.Seed = p.Seed
+	switch cfg.Scale {
+	case ScaleFull:
+		c.Episodes, c.MaxSteps = 100, 200
+		c.MempoolSize = 50
+	case ScaleSmoke:
+		c.Episodes, c.MaxSteps = 6, 12
+		c.MempoolSize = 8
+	}
+	points, err := sim.RunFig8(c)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Row, len(points))
+	for i, pt := range points {
+		out[i] = Row{
+			fmt.Sprintf("%.2f", pt.Epsilon),
+			strconv.Itoa(pt.IFUs),
+			strconv.Itoa(pt.Episode),
+			fmt.Sprintf("%.2f", pt.Reward),
+			fmt.Sprintf("%.2f", pt.Smoothed),
+			fmt.Sprintf("%.4f", pt.BestGainETH),
+		}
+	}
+	return out, nil
+}
+
+// fig9Exp reproduces Fig. 9: the KDE of the number of swaps a trained agent
+// needs to reach its first candidate solution, one file (and point) per
+// mempool size.
+type fig9Exp struct{}
+
+func (fig9Exp) Name() string { return "fig9" }
+
+func (fig9Exp) Columns() []string {
+	return []string{"mempool", "ifus", "samples", "unsolved", "mode_swaps", "x", "density"}
+}
+
+// fig9Sizes is the per-scale mempool-size axis (which also names the files).
+func fig9Sizes(scale Scale) []int {
+	switch scale {
+	case ScaleFull:
+		return []int{50, 100}
+	case ScaleSmoke:
+		return []int{8}
+	default:
+		return []int{25, 50}
+	}
+}
+
+func (fig9Exp) Points(cfg Config) ([]Point, error) {
+	sizes := fig9Sizes(cfg.Scale)
+	points := make([]Point, 0, len(sizes))
+	for _, n := range sizes {
+		points = append(points, Point{
+			Index: len(points),
+			Label: fmt.Sprintf("fig9_mempool%d", n),
+			File:  fmt.Sprintf("fig9_mempool%d", n),
+			Seed:  cfg.Seed + 20 + int64(n),
+		})
+	}
+	return points, nil
+}
+
+func (fig9Exp) RunPoint(_ context.Context, cfg Config, p Point) ([]Row, error) {
+	sizes := fig9Sizes(cfg.Scale)
+	if p.Index < 0 || p.Index >= len(sizes) {
+		return nil, fmt.Errorf("fig9: point index %d out of range", p.Index)
+	}
+	c := sim.DefaultFig9Config()
+	c.MempoolSize = sizes[p.Index]
+	c.Seed = p.Seed
+	c.Gen = genBudget(cfg.Scale)
+	switch cfg.Scale {
+	case ScaleFull:
+	case ScaleSmoke:
+		c.Runs = 2
+	default:
+		c.Runs = 10
+	}
+	curves, err := sim.RunFig9(c)
+	if err != nil {
+		return nil, err
+	}
+	var out []Row
+	for _, curve := range curves {
+		for i := range curve.X {
+			out = append(out, Row{
+				strconv.Itoa(curve.MempoolSize),
+				strconv.Itoa(curve.IFUs),
+				strconv.Itoa(len(curve.Samples)),
+				strconv.Itoa(curve.Unsolved),
+				fmt.Sprintf("%.1f", curve.Mode),
+				fmt.Sprintf("%.2f", curve.X[i]),
+				fmt.Sprintf("%.5f", curve.Density[i]),
+			})
+		}
+	}
+	return out, nil
+}

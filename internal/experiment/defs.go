@@ -1,0 +1,45 @@
+package experiment
+
+import (
+	"parole/internal/gentranseq"
+	"parole/internal/sim"
+)
+
+// This file holds the pieces the built-in experiment definitions share: the
+// DQN training budget per scale and the optimizer backend variants the
+// profit sweeps record.
+
+// genBudget picks the DQN budget for a scale: the paper's Table II budget at
+// full scale, the laptop-scale FastConfig at quick, and a seconds-scale
+// budget for smoke runs.
+func genBudget(scale Scale) gentranseq.Config {
+	switch scale {
+	case ScaleFull:
+		return gentranseq.DefaultConfig()
+	case ScaleSmoke:
+		cfg := gentranseq.FastConfig()
+		cfg.Episodes = 2
+		cfg.MaxSteps = 16
+		return cfg
+	default:
+		return gentranseq.FastConfig()
+	}
+}
+
+// profitBackend pairs an optimizer config with its file label.
+type profitBackend struct {
+	label string
+	cfg   sim.OptimizerConfig
+}
+
+// profitBackends returns the optimizer variants each profit experiment
+// records: the hill-climb "strong optimizer" series that isolates the
+// paper's economic claim (more reordering flexibility → more profit), and
+// the DQN series at the configured training budget. See EXPERIMENTS.md for
+// why both are recorded.
+func profitBackends(scale Scale) []profitBackend {
+	return []profitBackend{
+		{label: "search", cfg: sim.OptimizerConfig{Kind: sim.OptHillClimb}},
+		{label: "dqn", cfg: sim.OptimizerConfig{Kind: sim.OptDQN, Gen: genBudget(scale), AdaptiveSteps: true}},
+	}
+}

@@ -1,0 +1,180 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Emitter receives a run's output file by file: BeginFile, Rows (one or more
+// times, already in point order), EndFile. The Runner only calls EndFile on
+// complete files, so emitters can make completion atomic.
+type Emitter interface {
+	// BeginFile opens the named series (TSV base name, no extension).
+	BeginFile(exp Experiment, file string) error
+	// Rows appends records to the open series.
+	Rows(rows []Row) error
+	// EndFile completes the open series.
+	EndFile() error
+}
+
+// StreamEmitter writes every series to one stream, each introduced by a
+// "# name" heading — the binaries' stdout mode, format-compatible with the
+// legacy per-figure printers.
+type StreamEmitter struct {
+	// W is the destination stream.
+	W   io.Writer
+	err error
+}
+
+// BeginFile prints the series heading and header row.
+func (e *StreamEmitter) BeginFile(exp Experiment, file string) error {
+	e.err = nil
+	if _, err := fmt.Fprintf(e.W, "\n# %s\n", file); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(e.W, strings.Join(exp.Columns(), "\t"))
+	return err
+}
+
+// Rows prints the records as TSV lines.
+func (e *StreamEmitter) Rows(rows []Row) error {
+	if e.err != nil {
+		return e.err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(e.W, strings.Join(row, "\t")); err != nil {
+			e.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// EndFile is a no-op for streams.
+func (e *StreamEmitter) EndFile() error { return e.err }
+
+// DirEmitter writes one <file>.tsv per series into Dir, atomically: rows
+// accumulate in a hidden temp file that is renamed into place only on
+// EndFile, so a cancelled or failed run never leaves a truncated series
+// behind. With JSON set it also writes a <file>.json mirror (an array of
+// column→cell objects) beside each TSV.
+type DirEmitter struct {
+	// Dir is the output directory (created by the caller).
+	Dir string
+	// JSON additionally writes a .json mirror per series.
+	JSON bool
+
+	exp  Experiment
+	file string
+	tmp  *os.File
+	rows []Row
+}
+
+// BeginFile opens the temp file and writes the header.
+func (e *DirEmitter) BeginFile(exp Experiment, file string) error {
+	if e.tmp != nil {
+		return fmt.Errorf("experiment: BeginFile %q with %q still open", file, e.file)
+	}
+	tmp, err := os.CreateTemp(e.Dir, "."+file+".tsv.tmp*")
+	if err != nil {
+		return err
+	}
+	e.exp, e.file, e.tmp, e.rows = exp, file, tmp, nil
+	if _, err := fmt.Fprintln(tmp, strings.Join(exp.Columns(), "\t")); err != nil {
+		e.abort()
+		return err
+	}
+	return nil
+}
+
+// Rows appends records to the temp file.
+func (e *DirEmitter) Rows(rows []Row) error {
+	if e.tmp == nil {
+		return fmt.Errorf("experiment: Rows with no open file")
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(e.tmp, strings.Join(row, "\t")); err != nil {
+			e.abort()
+			return err
+		}
+	}
+	if e.JSON {
+		e.rows = append(e.rows, rows...)
+	}
+	return nil
+}
+
+// EndFile syncs the temp file and renames it into place (plus the JSON
+// mirror when configured).
+func (e *DirEmitter) EndFile() error {
+	if e.tmp == nil {
+		return fmt.Errorf("experiment: EndFile with no open file")
+	}
+	tmp, file, exp, rows := e.tmp, e.file, e.exp, e.rows
+	e.exp, e.file, e.tmp, e.rows = nil, "", nil, nil
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(e.Dir, file+".tsv")); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if !e.JSON {
+		return nil
+	}
+	return writeJSONMirror(e.Dir, file, exp.Columns(), rows)
+}
+
+// abort discards the open temp file after a write error.
+func (e *DirEmitter) abort() {
+	if e.tmp != nil {
+		name := e.tmp.Name()
+		e.tmp.Close()
+		os.Remove(name)
+	}
+	e.exp, e.file, e.tmp, e.rows = nil, "", nil, nil
+}
+
+// writeJSONMirror writes <file>.json atomically: an array of objects keyed
+// by column name, cells kept as the TSV's formatted strings so the two
+// artifacts can never disagree.
+func writeJSONMirror(dir, file string, columns []string, rows []Row) error {
+	records := make([]map[string]string, len(rows))
+	for i, row := range rows {
+		rec := make(map[string]string, len(columns))
+		for c, col := range columns {
+			if c < len(row) {
+				rec[col] = row[c]
+			}
+		}
+		records[i] = rec
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "."+file+".json.tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, file+".json"))
+}

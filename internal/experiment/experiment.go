@@ -1,0 +1,216 @@
+// Package experiment is the unified engine behind the paper's evaluation:
+// every table and figure (Table III, Fig. 5–11, and the Section VIII defense
+// study) is a registered Experiment, executed by a Runner that is serial or
+// deterministically parallel, and emitted through one layer (TSV, optional
+// JSON mirrors, and the run manifest).
+//
+// The contract that makes wide sweeps parallelizable without changing a
+// single committed number: an experiment decomposes into Points — units that
+// already own an independent, deterministically derived RNG seed — and the
+// Runner commits point results strictly in point order. A -workers 8 run
+// therefore produces byte-identical series to a serial run (and to the
+// committed results/ for the quick scale), which the property and golden
+// tests in this package enforce.
+//
+// Registering a new study is one Experiment implementation plus one
+// Register call; registering a new attack backend is one
+// sim.RegisterOptimizer call. The binaries are thin lookups over these two
+// registries.
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Scale selects a workload budget.
+type Scale int
+
+// Budgets.
+const (
+	// ScaleQuick is the default minutes-scale budget that produced the
+	// committed results/ series.
+	ScaleQuick Scale = iota
+	// ScaleFull is the paper's Table II budget and full grids (hours).
+	ScaleFull
+	// ScaleSmoke is a seconds-scale budget for tests and CI smoke jobs;
+	// still deterministic, just tiny.
+	ScaleSmoke
+)
+
+// String names the scale for manifests and progress output.
+func (s Scale) String() string {
+	switch s {
+	case ScaleFull:
+		return "full"
+	case ScaleSmoke:
+		return "smoke"
+	default:
+		return "quick"
+	}
+}
+
+// Config parameterizes one engine run. The zero value is the quick scale at
+// seed 0 with sequential solvers.
+type Config struct {
+	// Seed is the base RNG seed; every point derives its own seed from it
+	// (each experiment keeps the derivation the legacy drivers used, so
+	// seeded outputs are unchanged).
+	Seed int64
+	// Scale selects the budget.
+	Scale Scale
+	// SolverWorkers is forwarded to Fig. 11's solver portfolio: ≤1 runs
+	// the sequential baselines (the committed-results configuration), ≥2
+	// swaps in the parallel portfolio solvers.
+	SolverWorkers int
+}
+
+// Row is one emitted record: pre-formatted cells, one per column.
+type Row []string
+
+// Point is one independently runnable unit of an experiment: it owns a
+// deterministic seed and appends rows to exactly one output file.
+type Point struct {
+	// Index is the point's position in the experiment's point list.
+	Index int
+	// Label identifies the point in progress lines and trace spans.
+	Label string
+	// File is the output series (TSV base name) the point's rows extend.
+	// Points sharing a file must be contiguous in the point list.
+	File string
+	// Seed is the point's deterministically derived RNG seed.
+	Seed int64
+}
+
+// Experiment is one registered study.
+type Experiment interface {
+	// Name is the registry key (the -exp name).
+	Name() string
+	// Columns is the TSV header shared by every file the experiment emits.
+	Columns() []string
+	// Points derives the run's independent execution units, in emission
+	// order. Points sharing a File must be contiguous.
+	Points(cfg Config) ([]Point, error)
+	// RunPoint executes one point and returns its rows. Implementations
+	// must derive all randomness from p.Seed so any scheduling of points
+	// yields identical rows; ctx is honored at whatever granularity the
+	// underlying study allows.
+	RunPoint(ctx context.Context, cfg Config, p Point) ([]Row, error)
+}
+
+// Volatile is implemented by experiments whose series include wall-clock or
+// allocation measurements. Those cells vary run to run; determinism tests
+// normalize them before comparing.
+type Volatile interface {
+	// VolatileColumns names the run-varying columns.
+	VolatileColumns() []string
+}
+
+// ErrUnknownExperiment is the sentinel every unknown-experiment lookup
+// wraps; match it with errors.Is.
+var ErrUnknownExperiment = errors.New("experiment: unknown experiment")
+
+// UnknownExperimentError reports a lookup of an unregistered experiment.
+type UnknownExperimentError struct {
+	// Name is the unknown experiment.
+	Name string
+	// Registered lists the available names in registration order.
+	Registered []string
+}
+
+// Error implements error.
+func (e *UnknownExperimentError) Error() string {
+	return fmt.Sprintf("experiment: unknown experiment %q (registered: %s)",
+		e.Name, strings.Join(e.Registered, ", "))
+}
+
+// Unwrap makes errors.Is(err, ErrUnknownExperiment) hold.
+func (e *UnknownExperimentError) Unwrap() error { return ErrUnknownExperiment }
+
+// registry holds the experiments in registration order — the order an "all"
+// run executes and emits.
+var registry = struct {
+	sync.RWMutex
+	order  []string
+	byName map[string]Experiment
+}{byName: map[string]Experiment{}}
+
+// Register adds an experiment to the registry. Registering an empty name or
+// a duplicate panics: both are init-path programming errors.
+func Register(e Experiment) {
+	name := e.Name()
+	if name == "" {
+		panic("experiment: Register with empty name")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[name]; dup {
+		panic(fmt.Sprintf("experiment: %q registered twice", name))
+	}
+	registry.byName[name] = e
+	registry.order = append(registry.order, name)
+}
+
+// Names returns the registered experiment names in registration order.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return append([]string(nil), registry.order...)
+}
+
+// All returns every registered experiment in registration order.
+func All() []Experiment {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Experiment, 0, len(registry.order))
+	for _, name := range registry.order {
+		out = append(out, registry.byName[name])
+	}
+	return out
+}
+
+// Lookup returns the experiment registered under name, or an
+// *UnknownExperimentError wrapping ErrUnknownExperiment.
+func Lookup(name string) (Experiment, error) {
+	registry.RLock()
+	e, ok := registry.byName[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, &UnknownExperimentError{Name: name, Registered: Names()}
+	}
+	return e, nil
+}
+
+// Select resolves a -exp specification: "all" (or "") for every registered
+// experiment, otherwise a comma-separated list of names, deduplicated,
+// returned in registry order.
+func Select(spec string) ([]Experiment, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "all" {
+		return All(), nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, err := Lookup(name); err != nil {
+			return nil, err
+		}
+		want[name] = true
+	}
+	var out []Experiment
+	for _, e := range All() {
+		if want[e.Name()] {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil, &UnknownExperimentError{Name: spec, Registered: Names()}
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRegistryNames pins the canonical registration order — the order an
+// "all" run executes and emits.
+func TestRegistryNames(t *testing.T) {
+	want := []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "defense"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	_, err := Lookup("fig99")
+	if !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("Lookup(fig99) error = %v, want ErrUnknownExperiment", err)
+	}
+	var unknown *UnknownExperimentError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("Lookup(fig99) error type = %T, want *UnknownExperimentError", err)
+	}
+	if unknown.Name != "fig99" {
+		t.Fatalf("unknown.Name = %q", unknown.Name)
+	}
+	// The message lists every registered name so a CLI typo is
+	// self-correcting.
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list registered experiment %q", err, name)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("all")
+	if err != nil || len(all) != len(Names()) {
+		t.Fatalf("Select(all) = %d experiments, err %v", len(all), err)
+	}
+	// A comma list resolves, deduplicates, and returns registry order
+	// regardless of spec order.
+	got, err := Select("fig8, table3,fig8")
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if len(got) != 2 || got[0].Name() != "table3" || got[1].Name() != "fig8" {
+		names := make([]string, len(got))
+		for i, e := range got {
+			names[i] = e.Name()
+		}
+		t.Fatalf("Select(fig8,table3,fig8) = %v, want [table3 fig8]", names)
+	}
+	if _, err := Select("table3,fig99"); !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("Select with unknown name error = %v, want ErrUnknownExperiment", err)
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	for scale, want := range map[Scale]string{ScaleQuick: "quick", ScaleFull: "full", ScaleSmoke: "smoke"} {
+		if got := scale.String(); got != want {
+			t.Fatalf("Scale(%d).String() = %q, want %q", scale, got, want)
+		}
+	}
+}
+
+func TestValidatePoints(t *testing.T) {
+	ok := []Point{{File: "a"}, {File: "a"}, {File: "b"}}
+	if err := validatePoints(ok); err != nil {
+		t.Fatalf("contiguous points rejected: %v", err)
+	}
+	split := []Point{{File: "a"}, {File: "b"}, {File: "a"}}
+	if err := validatePoints(split); err == nil {
+		t.Fatal("non-contiguous file accepted")
+	}
+	if err := validatePoints([]Point{{Label: "x"}}); err == nil {
+		t.Fatal("empty file name accepted")
+	}
+}
+
+// TestPointSeedsMatchLegacyDerivation pins the per-point seed formulas the
+// legacy per-figure drivers used; the committed results depend on them.
+func TestPointSeedsMatchLegacyDerivation(t *testing.T) {
+	cfg := Config{Seed: 1}
+	want := map[string]map[string]int64{
+		"fig6": {
+			"fig6_adv10_search": 1, "fig6_adv50_search": 1,
+			"fig6_adv10_dqn": 1, "fig6_adv50_dqn": 1,
+		},
+		"fig7": {
+			"fig7_ifus1_search": 2, "fig7_ifus2_search": 3,
+			"fig7_ifus1_dqn": 2, "fig7_ifus2_dqn": 3,
+		},
+		"fig8":  {"fig8_ifus1": 12, "fig8_ifus2": 13},
+		"fig9":  {"fig9_mempool25": 46, "fig9_mempool50": 71},
+		"fig10": {"fig10": 31},
+		"fig11": {"fig11": 41},
+	}
+	for name, files := range want {
+		exp, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		points, err := exp.Points(cfg)
+		if err != nil {
+			t.Fatalf("%s points: %v", name, err)
+		}
+		seen := map[string]int64{}
+		for _, p := range points {
+			seen[p.Label] = p.Seed
+		}
+		for label, seed := range files {
+			if seen[label] != seed {
+				t.Errorf("%s point %q seed = %d, want %d", name, label, seen[label], seed)
+			}
+		}
+	}
+	// Defense folds the legacy per-threshold offset (base+50 + index·1000)
+	// into the point seed.
+	exp, err := Lookup("defense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := exp.Points(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("defense points = %d, want 5", len(points))
+	}
+	for ti, p := range points {
+		if want := int64(51 + ti*1000); p.Seed != want {
+			t.Errorf("defense point %d seed = %d, want %d", ti, p.Seed, want)
+		}
+	}
+}

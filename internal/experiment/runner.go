@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"parole/internal/telemetry"
+	"parole/internal/trace"
+)
+
+// DefaultWorkers is the pool size a "0 = GOMAXPROCS" worker flag resolves
+// to.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Runner executes experiments point by point, serially or with a
+// deterministic worker pool. Parallelism never changes output: every point
+// owns an independent seed, and results are committed to the emitter
+// strictly in point order, so a -workers 8 run is byte-identical to a serial
+// one.
+type Runner struct {
+	// Workers is the point-pool size; ≤1 runs serially.
+	Workers int
+	// Progress, when non-nil, receives one line per completed point.
+	Progress io.Writer
+}
+
+// Run executes each experiment in order through the emitter. It stops at the
+// first point error or context cancellation; because emission is
+// file-at-a-time through the emitter's atomic protocol, an aborted run never
+// leaves a corrupt partial file behind.
+func (r *Runner) Run(ctx context.Context, exps []Experiment, cfg Config, em Emitter) error {
+	for _, exp := range exps {
+		if err := r.runOne(ctx, exp, cfg, em); err != nil {
+			return fmt.Errorf("%s: %w", exp.Name(), err)
+		}
+	}
+	return nil
+}
+
+// runOne executes one experiment's points and emits its files.
+func (r *Runner) runOne(ctx context.Context, exp Experiment, cfg Config, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	points, err := exp.Points(cfg)
+	if err != nil {
+		return err
+	}
+	if err := validatePoints(points); err != nil {
+		return err
+	}
+	reg := telemetry.Default()
+	stop := reg.Timer("experiment." + exp.Name() + ".time").Start()
+	defer stop()
+	defer reg.SampleMemStats()
+
+	results, err := r.execute(ctx, exp, cfg, points)
+	if err != nil {
+		return err
+	}
+	return emitOrdered(exp, points, results, em)
+}
+
+// execute runs the points and returns their rows, index-aligned with points.
+func (r *Runner) execute(ctx context.Context, exp Experiment, cfg Config, points []Point) ([][]Row, error) {
+	workers := r.Workers
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers <= 1 {
+		return r.executeSerial(ctx, exp, cfg, points)
+	}
+	return r.executeParallel(ctx, exp, cfg, points, workers)
+}
+
+func (r *Runner) executeSerial(ctx context.Context, exp Experiment, cfg Config, points []Point) ([][]Row, error) {
+	results := make([][]Row, len(points))
+	for i, p := range points {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rows, err := r.runPoint(ctx, exp, cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = rows
+	}
+	return results, nil
+}
+
+// executeParallel fans the points over a worker pool. Workers claim points
+// by atomically advancing a shared cursor; each point's rows land in its own
+// slot, so the later ordered emission is independent of scheduling.
+func (r *Runner) executeParallel(ctx context.Context, exp Experiment, cfg Config, points []Point, workers int) ([][]Row, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([][]Row, len(points))
+	errs := make([]error, len(points))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
+				rows, err := r.runPoint(ctx, exp, cfg, points[i])
+				if err != nil {
+					errs[i] = err
+					cancel() // stop the other workers claiming new points
+					return
+				}
+				results[i] = rows
+			}
+		}()
+	}
+	wg.Wait()
+	// Report the error of the earliest failed point: deterministic even when
+	// several workers fail at once.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runPoint executes one point with its telemetry and trace envelope.
+func (r *Runner) runPoint(ctx context.Context, exp Experiment, cfg Config, p Point) ([]Row, error) {
+	span := trace.StartSpan(trace.SpanExperimentPoint,
+		trace.Str("experiment", exp.Name()),
+		trace.Str("point", p.Label),
+		trace.Str("file", p.File),
+		trace.Int("seed", p.Seed))
+	rows, err := exp.RunPoint(ctx, cfg, p)
+	span.End()
+	if err != nil {
+		return nil, fmt.Errorf("point %s (seed %d): %w", p.Label, p.Seed, err)
+	}
+	telemetry.Default().Counter("experiment.points").Add(1)
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "%s: %s (%d rows)\n", exp.Name(), p.Label, len(rows))
+	}
+	return rows, nil
+}
+
+// emitOrdered streams the completed results through the emitter in point
+// order, opening and closing files at the contiguous-group boundaries.
+func emitOrdered(exp Experiment, points []Point, results [][]Row, em Emitter) error {
+	open := ""
+	for i, p := range points {
+		if p.File != open {
+			if open != "" {
+				if err := em.EndFile(); err != nil {
+					return err
+				}
+			}
+			if err := em.BeginFile(exp, p.File); err != nil {
+				return err
+			}
+			open = p.File
+		}
+		if err := em.Rows(results[i]); err != nil {
+			return err
+		}
+	}
+	if open != "" {
+		return em.EndFile()
+	}
+	return nil
+}
+
+// validatePoints enforces the Point contract: non-empty file names and
+// file-contiguity (so emission can stream file by file).
+func validatePoints(points []Point) error {
+	seen := map[string]bool{}
+	open := ""
+	for i, p := range points {
+		if p.File == "" {
+			return fmt.Errorf("point %d (%s): empty file", i, p.Label)
+		}
+		if p.File != open {
+			if seen[p.File] {
+				return fmt.Errorf("point %d (%s): file %q not contiguous", i, p.Label, p.File)
+			}
+			seen[p.File] = true
+			open = p.File
+		}
+	}
+	return nil
+}

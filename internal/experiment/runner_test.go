@@ -1,0 +1,288 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runToDir executes the experiments into a fresh directory and returns the
+// per-file contents, with any volatile columns normalized.
+func runToDir(t *testing.T, workers int, exps []Experiment, cfg Config) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	runner := &Runner{Workers: workers}
+	if err := runner.Run(context.Background(), exps, cfg, &DirEmitter{Dir: dir}); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	byName := map[string]Experiment{}
+	for _, e := range exps {
+		points, err := e.Points(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range points {
+			byName[p.File] = e
+		}
+	}
+	out := map[string]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, entry := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, entry.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		file := strings.TrimSuffix(entry.Name(), ".tsv")
+		out[entry.Name()] = normalizeVolatile(t, byName[file], string(data))
+	}
+	return out
+}
+
+// normalizeVolatile blanks the run-varying cells (wall clock, allocator
+// readings) an experiment declares, leaving all seeded values intact.
+func normalizeVolatile(t *testing.T, exp Experiment, content string) string {
+	t.Helper()
+	v, ok := exp.(Volatile)
+	if !ok {
+		return content
+	}
+	volatile := map[string]bool{}
+	for _, col := range v.VolatileColumns() {
+		volatile[col] = true
+	}
+	var idx []int
+	for i, col := range exp.Columns() {
+		if volatile[col] {
+			idx = append(idx, i)
+		}
+	}
+	lines := strings.Split(content, "\n")
+	for li := 1; li < len(lines); li++ { // keep the header
+		if lines[li] == "" {
+			continue
+		}
+		cells := strings.Split(lines[li], "\t")
+		for _, i := range idx {
+			if i < len(cells) {
+				cells[i] = "_"
+			}
+		}
+		lines[li] = strings.Join(cells, "\t")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestParallelMatchesSerial is the engine's core determinism property: for
+// every registered experiment, a 4-worker run emits byte-identical files to
+// a serial run (volatile measurement columns normalized). CI runs this
+// under -race, which also exercises the pool for data races.
+func TestParallelMatchesSerial(t *testing.T) {
+	cfg := Config{Seed: 7, Scale: ScaleSmoke}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.Name(), func(t *testing.T) {
+			serial := runToDir(t, 1, []Experiment{exp}, cfg)
+			parallel := runToDir(t, 4, []Experiment{exp}, cfg)
+			if len(serial) == 0 {
+				t.Fatal("serial run emitted no files")
+			}
+			if len(parallel) != len(serial) {
+				t.Fatalf("file sets differ: serial %d, parallel %d", len(serial), len(parallel))
+			}
+			for name, want := range serial {
+				got, ok := parallel[name]
+				if !ok {
+					t.Fatalf("parallel run missing %s", name)
+				}
+				if got != want {
+					t.Errorf("%s differs between workers=1 and workers=4:\nserial:\n%s\nparallel:\n%s", name, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamEmitterFormat pins the stdout format the legacy per-figure
+// printers used: a blank line, "# <file>", the header, then the rows.
+func TestStreamEmitterFormat(t *testing.T) {
+	exp, err := Lookup("table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	runner := &Runner{}
+	if err := runner.Run(context.Background(), []Experiment{exp}, Config{Scale: ScaleSmoke}, &StreamEmitter{W: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	wantPrefix := "\n# table3\n" + strings.Join(exp.Columns(), "\t") + "\n"
+	if !strings.HasPrefix(buf.String(), wantPrefix) {
+		t.Fatalf("stream output starts with %q, want prefix %q", buf.String()[:min(len(buf.String()), 120)], wantPrefix)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines < 4 {
+		t.Fatalf("stream output has %d lines, want header plus rows", lines)
+	}
+}
+
+// stubExp is a controllable experiment for runner-behavior tests. It is
+// never registered: runner tests pass it to Run directly so the global
+// registry stays exactly the nine built-ins.
+type stubExp struct {
+	name   string
+	points []Point
+	run    func(ctx context.Context, p Point) ([]Row, error)
+}
+
+func (s stubExp) Name() string                   { return s.name }
+func (s stubExp) Columns() []string              { return []string{"point", "value"} }
+func (s stubExp) Points(Config) ([]Point, error) { return s.points, nil }
+func (s stubExp) RunPoint(ctx context.Context, _ Config, p Point) ([]Row, error) {
+	return s.run(ctx, p)
+}
+
+func stubPoints(n int, file func(i int) string) []Point {
+	points := make([]Point, n)
+	for i := range points {
+		points[i] = Point{Index: i, Label: fmt.Sprintf("p%d", i), File: file(i), Seed: int64(i)}
+	}
+	return points
+}
+
+// TestCancellationLeavesNoPartialFiles cancels a 4-worker sweep from inside
+// a point and asserts the run stops with the context error and the output
+// directory holds no files at all — complete or partial — because emission
+// only happens after an experiment's points all succeed, and files land by
+// atomic rename.
+func TestCancellationLeavesNoPartialFiles(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stub := stubExp{
+		name:   "cancelstub",
+		points: stubPoints(16, func(i int) string { return fmt.Sprintf("f%d", i/4) }),
+		run: func(ctx context.Context, p Point) ([]Row, error) {
+			if p.Index == 2 {
+				cancel()
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return []Row{{p.Label, "1"}}, nil
+		},
+	}
+	dir := t.TempDir()
+	runner := &Runner{Workers: 4}
+	err := runner.Run(ctx, []Experiment{stub}, Config{}, &DirEmitter{Dir: dir})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	entries, readErr := os.ReadDir(dir)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	for _, entry := range entries {
+		t.Errorf("cancelled run left %s behind", entry.Name())
+	}
+}
+
+// TestPointErrorReportsEarliestAndEmitsNothing injects a failure into one
+// point of a parallel run: the runner must report that point's error (the
+// earliest failure, deterministically) and emit no files.
+func TestPointErrorReportsEarliestAndEmitsNothing(t *testing.T) {
+	boom := errors.New("boom")
+	stub := stubExp{
+		name:   "errstub",
+		points: stubPoints(8, func(int) string { return "f" }),
+		run: func(_ context.Context, p Point) ([]Row, error) {
+			if p.Index == 3 {
+				return nil, boom
+			}
+			return []Row{{p.Label, "1"}}, nil
+		},
+	}
+	dir := t.TempDir()
+	runner := &Runner{Workers: 4}
+	err := runner.Run(context.Background(), []Experiment{stub}, Config{}, &DirEmitter{Dir: dir})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want the injected point error", err)
+	}
+	if !strings.Contains(err.Error(), "p3") {
+		t.Fatalf("error %q does not identify the failing point", err)
+	}
+	entries, readErr := os.ReadDir(dir)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("failed run left files behind: %v", entries)
+	}
+}
+
+// TestRunnerOrdersMultiFileOutput checks ordered commit across a mix of
+// files and a worker pool: every file must contain its points in point
+// order no matter which worker finished first.
+func TestRunnerOrdersMultiFileOutput(t *testing.T) {
+	stub := stubExp{
+		name:   "orderstub",
+		points: stubPoints(12, func(i int) string { return fmt.Sprintf("f%d", i/6) }),
+		run: func(_ context.Context, p Point) ([]Row, error) {
+			return []Row{{p.Label, fmt.Sprint(p.Seed)}}, nil
+		},
+	}
+	dir := t.TempDir()
+	runner := &Runner{Workers: 5}
+	if err := runner.Run(context.Background(), []Experiment{stub}, Config{}, &DirEmitter{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 2; f++ {
+		data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("f%d.tsv", f)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) != 7 { // header + 6 points
+			t.Fatalf("f%d has %d lines, want 7:\n%s", f, len(lines), data)
+		}
+		for i, line := range lines[1:] {
+			wantLabel := fmt.Sprintf("p%d", f*6+i)
+			if !strings.HasPrefix(line, wantLabel+"\t") {
+				t.Fatalf("f%d row %d = %q, want point %s", f, i, line, wantLabel)
+			}
+		}
+	}
+}
+
+// TestDirEmitterJSONMirror checks the -json mirror: same rows, keyed by
+// column, written beside the TSV.
+func TestDirEmitterJSONMirror(t *testing.T) {
+	stub := stubExp{
+		name:   "jsonstub",
+		points: stubPoints(2, func(int) string { return "f" }),
+		run: func(_ context.Context, p Point) ([]Row, error) {
+			return []Row{{p.Label, "42"}}, nil
+		},
+	}
+	dir := t.TempDir()
+	runner := &Runner{}
+	if err := runner.Run(context.Background(), []Experiment{stub}, Config{}, &DirEmitter{Dir: dir, JSON: true}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "f.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"point": "p0"`, `"point": "p1"`, `"value": "42"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("json mirror missing %s:\n%s", want, data)
+		}
+	}
+}

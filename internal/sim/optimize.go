@@ -1,8 +1,12 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
+	"sync"
 
 	"parole/internal/gentranseq"
 	"parole/internal/ovm"
@@ -11,9 +15,11 @@ import (
 )
 
 // OptimizerKind selects the re-ordering search backend for an experiment.
+// Kinds are registry keys: the built-in backends below register themselves at
+// package init, and extensions add theirs with RegisterOptimizer.
 type OptimizerKind string
 
-// Available backends.
+// Built-in backends.
 const (
 	// OptDQN is the paper's GENTRANSEQ DQN.
 	OptDQN OptimizerKind = "dqn"
@@ -22,6 +28,13 @@ const (
 	OptHillClimb OptimizerKind = "hillclimb"
 	// OptAnneal is the annealing baseline.
 	OptAnneal OptimizerKind = "anneal"
+	// OptBranchBound is the exact branch-and-bound baseline (budgeted).
+	OptBranchBound OptimizerKind = "bnb"
+	// OptHillClimbParallel is the deterministic parallel hill-climb
+	// portfolio (OptimizerConfig.Workers goroutines).
+	OptHillClimbParallel OptimizerKind = "hillclimb-parallel"
+	// OptAnnealParallel is the deterministic parallel annealing portfolio.
+	OptAnnealParallel OptimizerKind = "anneal-parallel"
 )
 
 // OptimizerConfig bundles the backend and its budget.
@@ -35,6 +48,9 @@ type OptimizerConfig struct {
 	// batch size (MaxSteps = max(MaxSteps, 2·N)) so the agent can cover
 	// the C(N,2) action space of larger mempools.
 	AdaptiveSteps bool
+	// Workers is the goroutine count for the parallel portfolio backends
+	// (0 = GOMAXPROCS). Sequential backends ignore it.
+	Workers int
 }
 
 // DefaultOptimizer returns the sweep-friendly DQN configuration with the
@@ -53,29 +69,145 @@ type AttackOutcome struct {
 	EpisodeRewards []float64
 }
 
-// OptimizeBatch runs the configured backend on a scenario's batch.
+// OptimizerFunc runs one registered backend on a scenario's batch.
+type OptimizerFunc func(rng *rand.Rand, vm *ovm.VM, sc *Scenario, cfg OptimizerConfig) (AttackOutcome, error)
+
+// ErrUnknownBackend is the sentinel every unknown-backend failure wraps;
+// match it with errors.Is. The concrete error is *UnknownBackendError, which
+// carries the offending kind and the registered alternatives.
+var ErrUnknownBackend = errors.New("sim: unknown optimizer backend")
+
+// UnknownBackendError reports a lookup of an unregistered optimizer kind.
+type UnknownBackendError struct {
+	// Kind is the unknown backend that was requested.
+	Kind OptimizerKind
+	// Registered lists the available kinds, sorted.
+	Registered []OptimizerKind
+}
+
+// Error implements error, listing the registered kinds so a typo on a
+// command line is self-correcting.
+func (e *UnknownBackendError) Error() string {
+	kinds := make([]string, len(e.Registered))
+	for i, k := range e.Registered {
+		kinds[i] = string(k)
+	}
+	return fmt.Sprintf("sim: unknown optimizer backend %q (registered: %s)",
+		e.Kind, strings.Join(kinds, ", "))
+}
+
+// Unwrap makes errors.Is(err, ErrUnknownBackend) hold.
+func (e *UnknownBackendError) Unwrap() error { return ErrUnknownBackend }
+
+// optimizerRegistry maps backend kinds to their implementations. Built-ins
+// register at init; RegisterOptimizer admits extensions.
+var optimizerRegistry = struct {
+	sync.RWMutex
+	m map[OptimizerKind]OptimizerFunc
+}{m: map[OptimizerKind]OptimizerFunc{}}
+
+// RegisterOptimizer adds a backend under kind. Registering an empty kind or
+// re-registering an existing one panics: both are programming errors in an
+// init path, not runtime conditions.
+func RegisterOptimizer(kind OptimizerKind, fn OptimizerFunc) {
+	if kind == "" || fn == nil {
+		panic("sim: RegisterOptimizer with empty kind or nil func")
+	}
+	optimizerRegistry.Lock()
+	defer optimizerRegistry.Unlock()
+	if _, dup := optimizerRegistry.m[kind]; dup {
+		panic(fmt.Sprintf("sim: optimizer backend %q registered twice", kind))
+	}
+	optimizerRegistry.m[kind] = fn
+}
+
+// RegisteredOptimizers returns every registered backend kind, sorted.
+func RegisteredOptimizers() []OptimizerKind {
+	optimizerRegistry.RLock()
+	defer optimizerRegistry.RUnlock()
+	kinds := make([]OptimizerKind, 0, len(optimizerRegistry.m))
+	for k := range optimizerRegistry.m {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}
+
+// RegisteredOptimizerNames returns the sorted kinds as plain strings — the
+// form command-line help wants.
+func RegisteredOptimizerNames() []string {
+	kinds := RegisteredOptimizers()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = string(k)
+	}
+	return names
+}
+
+// OptimizeBatch runs the configured backend on a scenario's batch. An empty
+// kind selects the DQN (the paper's attack). Unknown kinds return a
+// *UnknownBackendError wrapping ErrUnknownBackend.
 func OptimizeBatch(rng *rand.Rand, vm *ovm.VM, sc *Scenario, cfg OptimizerConfig) (AttackOutcome, error) {
+	kind := cfg.Kind
+	if kind == "" {
+		kind = OptDQN
+	}
+	optimizerRegistry.RLock()
+	fn, ok := optimizerRegistry.m[kind]
+	optimizerRegistry.RUnlock()
+	if !ok {
+		return AttackOutcome{InferenceSwaps: -1},
+			&UnknownBackendError{Kind: kind, Registered: RegisteredOptimizers()}
+	}
+	return fn(rng, vm, sc, cfg)
+}
+
+func init() {
+	RegisterOptimizer(OptDQN, optimizeDQN)
+	RegisterOptimizer(OptHillClimb, solverBackend(func(OptimizerConfig) solver.Solver {
+		return solver.HillClimb{}
+	}))
+	RegisterOptimizer(OptAnneal, solverBackend(func(OptimizerConfig) solver.Solver {
+		return solver.Anneal{}
+	}))
+	RegisterOptimizer(OptBranchBound, solverBackend(func(OptimizerConfig) solver.Solver {
+		return solver.BranchBound{}
+	}))
+	RegisterOptimizer(OptHillClimbParallel, solverBackend(func(cfg OptimizerConfig) solver.Solver {
+		return solver.ParallelHillClimb{Workers: cfg.Workers}
+	}))
+	RegisterOptimizer(OptAnnealParallel, solverBackend(func(cfg OptimizerConfig) solver.Solver {
+		return solver.ParallelAnneal{Workers: cfg.Workers}
+	}))
+}
+
+// optimizeDQN is the paper's GENTRANSEQ attack.
+func optimizeDQN(rng *rand.Rand, vm *ovm.VM, sc *Scenario, cfg OptimizerConfig) (AttackOutcome, error) {
 	out := AttackOutcome{InferenceSwaps: -1}
-	switch cfg.Kind {
-	case OptDQN, "":
-		gen := cfg.Gen
-		if gen.Episodes == 0 {
-			gen = gentranseq.FastConfig()
-		}
-		if cfg.AdaptiveSteps && gen.MaxSteps < 2*len(sc.Batch) {
-			gen.MaxSteps = 2 * len(sc.Batch)
-		}
-		res, err := gentranseq.Optimize(rng, vm, sc.State, sc.Batch, sc.IFUs, gen)
-		if err != nil {
-			return out, fmt.Errorf("dqn optimize: %w", err)
-		}
-		if res.Improved {
-			out.Improvement = res.Improvement
-		}
-		out.InferenceSwaps = res.InferenceSwaps
-		out.EpisodeRewards = res.EpisodeRewards
-		return out, nil
-	case OptHillClimb, OptAnneal:
+	gen := cfg.Gen
+	if gen.Episodes == 0 {
+		gen = gentranseq.FastConfig()
+	}
+	if cfg.AdaptiveSteps && gen.MaxSteps < 2*len(sc.Batch) {
+		gen.MaxSteps = 2 * len(sc.Batch)
+	}
+	res, err := gentranseq.Optimize(rng, vm, sc.State, sc.Batch, sc.IFUs, gen)
+	if err != nil {
+		return out, fmt.Errorf("dqn optimize: %w", err)
+	}
+	if res.Improved {
+		out.Improvement = res.Improvement
+	}
+	out.InferenceSwaps = res.InferenceSwaps
+	out.EpisodeRewards = res.EpisodeRewards
+	return out, nil
+}
+
+// solverBackend adapts a baseline solver constructor to an OptimizerFunc
+// with the sweep default budget (40·N² evaluations).
+func solverBackend(build func(cfg OptimizerConfig) solver.Solver) OptimizerFunc {
+	return func(rng *rand.Rand, vm *ovm.VM, sc *Scenario, cfg OptimizerConfig) (AttackOutcome, error) {
+		out := AttackOutcome{InferenceSwaps: -1}
 		obj, err := solver.NewObjective(vm, sc.State, sc.Batch, sc.IFUs)
 		if err != nil {
 			return out, err
@@ -84,17 +216,12 @@ func OptimizeBatch(rng *rand.Rand, vm *ovm.VM, sc *Scenario, cfg OptimizerConfig
 		if budget.MaxEvaluations == 0 {
 			budget.MaxEvaluations = 40 * obj.N() * obj.N()
 		}
-		var s solver.Solver = solver.HillClimb{}
-		if cfg.Kind == OptAnneal {
-			s = solver.Anneal{}
-		}
+		s := build(cfg)
 		sol, err := s.Solve(rng, obj, budget)
 		if err != nil {
 			return out, fmt.Errorf("%s: %w", s.Name(), err)
 		}
 		out.Improvement = sol.Improvement
 		return out, nil
-	default:
-		return out, fmt.Errorf("sim: unknown optimizer kind %q", cfg.Kind)
 	}
 }

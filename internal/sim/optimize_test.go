@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"parole/internal/ovm"
+)
+
+// TestRegisteredOptimizers pins the built-in backend set (sorted, as
+// RegisteredOptimizers promises) — the kinds parole-bench -h advertises.
+func TestRegisteredOptimizers(t *testing.T) {
+	kinds := RegisteredOptimizers()
+	if !sort.SliceIsSorted(kinds, func(i, j int) bool { return kinds[i] < kinds[j] }) {
+		t.Fatalf("RegisteredOptimizers not sorted: %v", kinds)
+	}
+	want := []OptimizerKind{OptDQN, OptHillClimb, OptAnneal, OptBranchBound, OptHillClimbParallel, OptAnnealParallel}
+	have := map[OptimizerKind]bool{}
+	for _, k := range kinds {
+		have[k] = true
+	}
+	for _, k := range want {
+		if !have[k] {
+			t.Errorf("built-in backend %q not registered (got %v)", k, kinds)
+		}
+	}
+	names := RegisteredOptimizerNames()
+	if len(names) != len(kinds) {
+		t.Fatalf("RegisteredOptimizerNames length %d, want %d", len(names), len(kinds))
+	}
+}
+
+// TestUnknownBackendError checks the typed unknown-backend failure: it
+// matches ErrUnknownBackend via errors.Is and its message lists every
+// registered kind so a command-line typo is self-correcting.
+func TestUnknownBackendError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sc, err := GenerateScenario(rng, ScenarioConfig{MempoolSize: 8, NumIFUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = OptimizeBatch(rng, ovm.New(), sc, OptimizerConfig{Kind: "bogus"})
+	if !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("OptimizeBatch(bogus) error = %v, want ErrUnknownBackend", err)
+	}
+	var unknown *UnknownBackendError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("error type = %T, want *UnknownBackendError", err)
+	}
+	if unknown.Kind != "bogus" {
+		t.Fatalf("unknown.Kind = %q", unknown.Kind)
+	}
+	for _, kind := range RegisteredOptimizers() {
+		if !strings.Contains(err.Error(), string(kind)) {
+			t.Errorf("error %q does not list registered backend %q", err, kind)
+		}
+	}
+}
+
+// TestRegisterOptimizerPanics checks the registration guard rails: empty
+// kinds, nil funcs, and duplicates are init-path programming errors.
+func TestRegisterOptimizerPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty kind", func() { RegisterOptimizer("", nil) })
+	mustPanic("nil func", func() {
+		RegisterOptimizer("nil-func", nil)
+	})
+	mustPanic("duplicate", func() {
+		RegisterOptimizer(OptDQN, func(*rand.Rand, *ovm.VM, *Scenario, OptimizerConfig) (AttackOutcome, error) {
+			return AttackOutcome{}, nil
+		})
+	})
+}
+
+// TestEmptyKindDefaultsToDQN pins the legacy convenience: an unset Kind
+// selects the paper's attack.
+func TestEmptyKindDefaultsToDQN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sc, err := GenerateScenario(rng, ScenarioConfig{MempoolSize: 6, NumIFUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := DefaultOptimizer().Gen
+	gen.Episodes, gen.MaxSteps = 1, 4
+	out, err := OptimizeBatch(rng, ovm.New(), sc, OptimizerConfig{Gen: gen})
+	if err != nil {
+		t.Fatalf("empty kind: %v", err)
+	}
+	if out.InferenceSwaps < -1 {
+		t.Fatalf("InferenceSwaps = %d", out.InferenceSwaps)
+	}
+}

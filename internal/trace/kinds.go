@@ -33,6 +33,9 @@ const (
 	SpanRollupChallenge = "rollup.challenge"
 	// SpanDefenseInspect covers one Section VIII detector inspection.
 	SpanDefenseInspect = "defense.inspect"
+	// SpanExperimentPoint covers one point of a registered experiment run
+	// by the internal/experiment engine.
+	SpanExperimentPoint = "experiment.point"
 )
 
 // Per-transaction lifecycle stages recorded via Event. A transaction's
