@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short cover bench bench-smoke experiments experiments-full engine-smoke golden-full vet fmt lint clean
+.PHONY: all build test test-race test-short cover bench bench-smoke experiments experiments-full engine-smoke node-smoke golden-full vet fmt lint clean
 
 all: build test
 
@@ -66,6 +66,30 @@ experiments-full:
 # nine figures end to end (results land in results-smoke/).
 engine-smoke:
 	$(GO) run ./cmd/parole-bench -smoke -workers 4 -v -out results-smoke
+
+# Boot the real parole-node binary on a random port, drive a 1,200-request
+# burst through it with parole-load (which fails on any malformed or error
+# response and on zero committed batches), then check the TSV artifact is
+# well-formed. This is CI's node-smoke job; see docs/OPERATIONS.md.
+NODE_SMOKE_OUT ?= results-smoke/load_smoke.tsv
+node-smoke:
+	$(GO) build -o results-smoke/parole-node ./cmd/parole-node
+	$(GO) build -o results-smoke/parole-load ./cmd/parole-load
+	@rm -f results-smoke/node.port; \
+	./results-smoke/parole-node -listen 127.0.0.1:0 \
+		-port-file results-smoke/node.port -interval 100ms -timeout 2m & \
+	NODE_PID=$$!; \
+	trap 'kill $$NODE_PID 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do [ -s results-smoke/node.port ] && break; sleep 0.1; done; \
+	[ -s results-smoke/node.port ] || { echo "node never wrote its port file"; exit 1; }; \
+	./results-smoke/parole-load -rpc http://$$(cat results-smoke/node.port) \
+		-requests 1200 -workers 4 -min-batches 1 -out $(NODE_SMOKE_OUT) || exit 1; \
+	kill $$NODE_PID 2>/dev/null; wait $$NODE_PID 2>/dev/null; \
+	head -1 $(NODE_SMOKE_OUT) | grep -q '^method	requests	errors	p50_ms	p99_ms	tps$$' \
+		|| { echo "malformed TSV header in $(NODE_SMOKE_OUT)"; exit 1; }; \
+	grep -q '^ALL	' $(NODE_SMOKE_OUT) \
+		|| { echo "missing ALL aggregate row in $(NODE_SMOKE_OUT)"; exit 1; }; \
+	echo "node-smoke OK: $$(grep '^ALL	' $(NODE_SMOKE_OUT))"
 
 # The complete golden-file suite: every experiment with a committed
 # results/*.tsv counterpart is regenerated at the quick scale with a

@@ -1,0 +1,139 @@
+// Command parole-load drives sustained JSON-RPC traffic against a running
+// parole-node and publishes per-method p50/p99 latency and sustained TPS as
+// a results/load_*.tsv artifact.
+//
+// Usage:
+//
+//	parole-load -rpc URL [-requests N] [-workers W] [-rps R]
+//	            [-users N] [-collections C] [-read-fraction F] [-seed S]
+//	            [-out PATH] [-min-batches N] [-timeout D]
+//
+// The write mix replays synthetic user populations derived from
+// internal/snapshot collection histories (see internal/load); the read mix
+// rotates over the node's query surface. The schedule is a pure function of
+// -seed. The target collection is discovered from the node via
+// parole_tokens, and -users must not exceed the node's funded genesis
+// population (parole-node -users).
+//
+// The run fails (non-zero exit) when any response is malformed or any
+// request draws a JSON-RPC error, and when the node reports fewer than
+// -min-batches committed batches afterwards — the assertions CI's
+// node-smoke job relies on. See docs/OPERATIONS.md for how to read the
+// artifact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"parole/internal/chainid"
+	"parole/internal/cli"
+	"parole/internal/load"
+	"parole/internal/rpc"
+)
+
+const tool = "parole-load"
+
+func main() { cli.Main(tool, run) }
+
+func run() error {
+	var (
+		url          = flag.String("rpc", "", "parole-node endpoint URL (required), e.g. http://127.0.0.1:8547")
+		requests     = flag.Int("requests", 1000, "total RPC requests to issue")
+		workers      = flag.Int("workers", 4, "concurrent request workers")
+		rps          = flag.Float64("rps", 0, "aggregate request rate limit (0 = unthrottled)")
+		users        = flag.Int("users", 20, "synthetic user population size (must be funded on the node)")
+		collections  = flag.Int("collections", 6, "snapshot collection histories driving the write mix")
+		readFraction = flag.Float64("read-fraction", 0.4, "share of requests that are reads, in [0,1)")
+		seed         = flag.Int64("seed", 1, "schedule derivation seed")
+		out          = flag.String("out", "", "write the latency/TPS report TSV to this path (e.g. results/load_run.tsv)")
+		minBatches   = flag.Int64("min-batches", 1, "fail unless the node reports at least this many committed batches after the run")
+		timeout      = flag.Duration("timeout", 2*time.Minute, "abort the run after this duration (0 = none)")
+	)
+	flag.Parse()
+	if *url == "" {
+		return fmt.Errorf("-rpc is required (the parole-node endpoint URL)")
+	}
+
+	ctx, cancel := cli.Context(*timeout)
+	defer cancel()
+	client := rpc.NewClient(*url)
+
+	// Discover the target collection from the node.
+	var tokens []string
+	if err := client.Call(ctx, "parole_tokens", &tokens); err != nil {
+		return fmt.Errorf("discover collection: %w", err)
+	}
+	if len(tokens) == 0 {
+		return fmt.Errorf("node at %s has no deployed collection", *url)
+	}
+
+	userHex := make([]string, *users)
+	for k := range userHex {
+		userHex[k] = chainid.UserAddress(k).Hex()
+	}
+	cfg := load.Config{
+		Requests:     *requests,
+		Workers:      *workers,
+		RPS:          *rps,
+		Users:        *users,
+		Collections:  *collections,
+		ReadFraction: *readFraction,
+		Seed:         *seed,
+	}
+	schedule, err := load.BuildSchedule(cfg, tokens[0], userHex)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "%s: %d requests against %s (%d workers, rps %s, seed %d, collection %s)\n",
+		tool, len(schedule), *url, *workers, rpsLabel(*rps), *seed, tokens[0])
+	res, err := load.Run(ctx, client, schedule, *workers, *rps)
+	if err != nil {
+		return err
+	}
+
+	rows, err := load.Aggregate(res)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := load.WriteTSV(*out, rows); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s: wrote %s\n", tool, *out)
+	} else {
+		fmt.Print(load.FormatTSV(rows))
+	}
+	overall := rows[len(rows)-1]
+	fmt.Fprintf(os.Stderr, "%s: %d requests in %s — p50 %.3fms, p99 %.3fms, %.1f req/s sustained\n",
+		tool, res.Requests, res.Wall.Round(time.Millisecond), overall.P50, overall.P99, overall.TPS)
+
+	// Acceptance assertions: every response well-formed and error-free,
+	// and the node actually committed batches under the load.
+	if res.Malformed > 0 {
+		return fmt.Errorf("%d malformed responses", res.Malformed)
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("%d JSON-RPC error responses", res.Errors)
+	}
+	var batches uint64
+	if err := client.Call(ctx, "parole_batchCount", &batches); err != nil {
+		return fmt.Errorf("query batch count: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: node committed %d batches\n", tool, batches)
+	if int64(batches) < *minBatches {
+		return fmt.Errorf("node committed %d batches, want at least %d", batches, *minBatches)
+	}
+	return nil
+}
+
+// rpsLabel renders the -rps flag for the run banner.
+func rpsLabel(rps float64) string {
+	if rps <= 0 {
+		return "unthrottled"
+	}
+	return fmt.Sprintf("%.0f", rps)
+}

@@ -1,0 +1,138 @@
+// Command parole-node runs the PAROLE rollup as a long-lived service: an
+// HTTP JSON-RPC endpoint (internal/rpc) over one rollup deployment, with a
+// background sequencer sealing mempool batches on a fixed interval.
+//
+// Usage:
+//
+//	parole-node [-listen ADDR] [-port-file PATH]
+//	            [-interval D] [-batch-size N] [-challenge-period R]
+//	            [-users N] [-fund ETH] [-supply N] [-price ETH]
+//	            [-faucet] [-timeout D]
+//	            [-metrics PATH] [-trace PATH] [-pprof ADDR]
+//
+// The node boots a fresh deployment: one limited-edition bonding-curve
+// collection (-supply tokens starting at -price ETH) deployed on L2, and
+// -users accounts pre-funded with -fund ETH each through the L1 deposit
+// flow (addresses chainid.UserAddress(0..N-1); parole_faucet can fund more
+// at runtime unless -faucet=false). "-listen 127.0.0.1:0" picks a random
+// port; -port-file writes the bound host:port for scripts and CI.
+//
+// Shutdown is graceful: SIGINT/SIGTERM (or -timeout) closes the listener,
+// in-flight RPC requests drain (up to 5s), the sequencer stops, and the
+// -metrics/-trace artifacts are written before exit. Transactions still
+// pending in the mempool at shutdown were never acknowledged as sequenced
+// and are dropped with the process. See docs/OPERATIONS.md for the full
+// runbook and docs/RPC.md for the method reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"parole/internal/chainid"
+	"parole/internal/cli"
+	"parole/internal/rollup"
+	"parole/internal/rpc"
+	"parole/internal/state"
+	"parole/internal/token"
+	"parole/internal/wei"
+)
+
+const tool = "parole-node"
+
+// shutdownGrace bounds how long in-flight requests may drain after the
+// stop signal.
+const shutdownGrace = 5 * time.Second
+
+func main() { cli.Main(tool, run) }
+
+func run() error {
+	var obs cli.Observability
+	obs.Tool = tool
+	var (
+		listen          = flag.String("listen", "127.0.0.1:8547", "HTTP JSON-RPC listen address (host:0 picks a random port)")
+		portFile        = flag.String("port-file", "", "write the bound host:port to this file after listening")
+		interval        = flag.Duration("interval", 500*time.Millisecond, "sequencer sealing interval")
+		batchSize       = flag.Int("batch-size", 50, "max transactions per sealed batch (the paper's mempool size N)")
+		challengePeriod = flag.Uint64("challenge-period", 2, "ORSC challenge window in rounds")
+		users           = flag.Int("users", 32, "accounts pre-funded at genesis (chainid.UserAddress(0..N-1))")
+		fund            = flag.Int64("fund", 1000, "ETH deposited to each genesis account")
+		supply          = flag.Uint64("supply", 1<<20, "max supply of the genesis collection")
+		price           = flag.Float64("price", 0.2, "initial price of the genesis collection, in ETH")
+		faucet          = flag.Bool("faucet", true, "serve parole_faucet (dev-mode account funding)")
+		timeout         = flag.Duration("timeout", 0, "stop the node after this duration (0 = run until signalled)")
+	)
+	obs.Register(flag.CommandLine)
+	flag.Parse()
+
+	obs.Start()
+	ctx, cancel := cli.Context(*timeout)
+	defer cancel()
+
+	node := rollup.NewNode(rollup.Config{ChallengePeriod: *challengePeriod})
+	collection, err := genesis(node, *users, *fund, *supply, *price)
+	if err != nil {
+		return fmt.Errorf("genesis: %w", err)
+	}
+	seq, err := rpc.NewSequencer(node, rpc.SequencerConfig{
+		Interval:  *interval,
+		BatchSize: *batchSize,
+	})
+	if err != nil {
+		return err
+	}
+	server := rpc.NewServer(node, seq, rpc.Config{EnableFaucet: *faucet})
+
+	ln, err := cli.Listen(*listen, *portFile)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: listening on http://%s (chain id %d)\n", tool, ln.Addr(), rpc.ChainID)
+	fmt.Fprintf(os.Stderr, "%s: collection %s (supply %d, initial price %s ETH), %d funded accounts, sealing every %s\n",
+		tool, collection.Hex(), *supply, wei.FromFloat(*price), *users, *interval)
+
+	go seq.Run(ctx)
+	srv := &http.Server{Handler: server}
+	serveErr := cli.ServeHTTP(ctx, ln, srv, shutdownGrace)
+
+	sealed, txs, _ := seq.Stats()
+	fmt.Fprintf(os.Stderr, "%s: stopped after sealing %d batches (%d txs); %d txs left pending\n",
+		tool, sealed, txs, node.Pool().Size())
+	if _, _, err := obs.Report(); err != nil {
+		if serveErr == nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, tool+": report:", err)
+	}
+	return serveErr
+}
+
+// genesis deploys the node's collection and funds the initial accounts
+// through the L1 deposit flow. It returns the collection address.
+func genesis(node *rollup.Node, users int, fundETH int64, supply uint64, priceETH float64) (chainid.Address, error) {
+	addr := chainid.DeriveAddress("parole-node/collection")
+	contract, err := token.Deploy(addr, token.Config{
+		Name:         "PAROLE Token",
+		Symbol:       "PT",
+		MaxSupply:    supply,
+		InitialPrice: wei.FromFloat(priceETH),
+	})
+	if err != nil {
+		return chainid.Address{}, err
+	}
+	if err := node.SetupL2(func(s *state.State) error { return s.DeployToken(contract) }); err != nil {
+		return chainid.Address{}, err
+	}
+	amount := wei.FromETH(fundETH)
+	for k := 0; k < users; k++ {
+		user := chainid.UserAddress(k)
+		node.SetupAccount(user, amount)
+		if err := node.Deposit(user, amount); err != nil {
+			return chainid.Address{}, fmt.Errorf("fund user %d: %w", k, err)
+		}
+	}
+	return addr, nil
+}

@@ -7,8 +7,10 @@ package cli
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registered on the default mux for -pprof
 	"os"
@@ -99,6 +101,49 @@ func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
 	}
 	tctx, cancel := context.WithTimeout(ctx, timeout)
 	return tctx, func() { cancel(); stop() }
+}
+
+// Listen opens a TCP listener on addr. When portFile is non-empty the bound
+// address (host:port) is written there — that is how scripts and CI discover
+// the port of a node started with "-listen 127.0.0.1:0".
+func Listen(addr, portFile string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if portFile != "" {
+		if err := os.WriteFile(portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("write port file: %w", err)
+		}
+	}
+	return ln, nil
+}
+
+// ServeHTTP serves srv on ln until ctx cancels (SIGINT/SIGTERM/-timeout via
+// Context), then shuts the server down gracefully: the listener closes
+// immediately, in-flight requests get up to grace to finish, and only then
+// does ServeHTTP return. A clean shutdown returns nil.
+func ServeHTTP(ctx context.Context, ln net.Listener, srv *http.Server, grace time.Duration) error {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }
 
 // Main is the shared outermost error handler: run, prefix any failure with

@@ -1,0 +1,124 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestListenWritesPortFile(t *testing.T) {
+	portFile := filepath.Join(t.TempDir(), "node.port")
+	ln, err := Listen("127.0.0.1:0", portFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	data, err := os.ReadFile(portFile)
+	if err != nil {
+		t.Fatalf("port file not written: %v", err)
+	}
+	if got := strings.TrimSpace(string(data)); got != ln.Addr().String() {
+		t.Fatalf("port file records %q, listener bound %q", got, ln.Addr())
+	}
+}
+
+func TestListenNoPortFile(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close()
+}
+
+// TestServeHTTPDrainsInFlight is the long-running-server shutdown contract:
+// cancelling the context must let an already-accepted request run to
+// completion (the client sees a full 200 response, not a reset), and
+// ServeHTTP must return nil for the clean stop.
+func TestServeHTTPDrainsInFlight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "drained")
+	})
+
+	ln, err := Listen("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- ServeHTTP(ctx, ln, &http.Server{Handler: mux}, 5*time.Second) }()
+
+	got := make(chan string, 1)
+	reqErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			reqErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			reqErr <- err
+			return
+		}
+		got <- string(body)
+	}()
+
+	// Once the request is in the handler, trigger shutdown, then let the
+	// handler finish. Shutdown must wait for it.
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the handler")
+	}
+	cancel()
+	time.Sleep(10 * time.Millisecond) // give shutdown a head start before releasing
+	close(release)
+
+	select {
+	case body := <-got:
+		if body != "drained" {
+			t.Fatalf("in-flight response = %q, want %q", body, "drained")
+		}
+	case err := <-reqErr:
+		t.Fatalf("in-flight request failed across shutdown: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("ServeHTTP returned %v after clean shutdown, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeHTTP did not return after shutdown")
+	}
+
+	// New connections must be refused after shutdown.
+	if _, err := http.Get("http://" + ln.Addr().String() + "/slow"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+func TestServeHTTPReturnsServeError(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close() // closed listener → Serve fails immediately
+	if err := ServeHTTP(context.Background(), ln, &http.Server{Handler: http.NewServeMux()}, time.Second); err == nil {
+		t.Fatal("ServeHTTP = nil on a closed listener, want error")
+	}
+}

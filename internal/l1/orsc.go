@@ -235,6 +235,10 @@ func (o *ORSC) SubmitBatch(aggregator chainid.Address, seq tx.Seq, preRoot, post
 	return b, nil
 }
 
+// BatchCount returns how many batches have ever been submitted. Batch ids
+// are dense, so ids range over [0, BatchCount).
+func (o *ORSC) BatchCount() uint64 { return uint64(len(o.batches)) }
+
 // Batch returns the batch with the given id.
 func (o *ORSC) Batch(id uint64) (*Batch, error) {
 	if id >= uint64(len(o.batches)) {

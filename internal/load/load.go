@@ -1,0 +1,213 @@
+// Package load generates sustained JSON-RPC traffic against a running
+// parole-node and measures what the node does under it: per-method p50/p99
+// latency and sustained TPS, published as a results/load_*.tsv artifact
+// (cmd/parole-load).
+//
+// The write side replays synthetic user populations derived from
+// internal/snapshot collection histories — the same geometric-random-walk
+// price paths behind Fig. 10. Each history step becomes an NFT operation
+// (price rising → mint, falling → burn, flat → transfer between users), so
+// the traffic shape tracks the paper's marketplace dynamics rather than
+// uniform noise. The read side rotates over the node's query surface. The
+// whole schedule is precomputed from one seed, so a load run is
+// reproducible request-for-request.
+package load
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parole/internal/rpc"
+	"parole/internal/snapshot"
+	"parole/internal/wei"
+)
+
+// Config parameterizes a load run.
+type Config struct {
+	// Requests is the total number of RPC requests to issue.
+	Requests int
+	// Workers is the number of concurrent request workers.
+	Workers int
+	// RPS throttles the aggregate request rate; 0 means unthrottled.
+	RPS float64
+	// Users is the synthetic population size. Users map to
+	// chainid.UserAddress(0..Users-1), matching parole-node's genesis
+	// accounts.
+	Users int
+	// Collections is how many snapshot histories drive the write mix.
+	// Zero defaults to 6 (both chains × three FT classes).
+	Collections int
+	// ReadFraction is the share of requests that are reads in [0,1).
+	ReadFraction float64
+	// Seed derives the whole schedule; equal seeds give identical
+	// request streams.
+	Seed int64
+}
+
+// Validate fills defaults and rejects nonsense.
+func (c *Config) Validate() error {
+	if c.Requests <= 0 {
+		return fmt.Errorf("load: requests must be positive, got %d", c.Requests)
+	}
+	if c.Workers <= 0 {
+		return fmt.Errorf("load: workers must be positive, got %d", c.Workers)
+	}
+	if c.Users <= 0 {
+		return fmt.Errorf("load: users must be positive, got %d", c.Users)
+	}
+	if c.ReadFraction < 0 || c.ReadFraction >= 1 {
+		return fmt.Errorf("load: read fraction %g out of [0,1)", c.ReadFraction)
+	}
+	if c.Collections <= 0 {
+		c.Collections = 6
+	}
+	return nil
+}
+
+// Call is one scheduled JSON-RPC request.
+type Call struct {
+	Method string
+	Params []any
+}
+
+// BuildSchedule precomputes the full request stream for a run against the
+// collection deployed at tokenHex, with userHex the population's addresses.
+// The schedule is a pure function of cfg.Seed.
+func BuildSchedule(cfg Config, tokenHex string, userHex []string) ([]Call, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(userHex) == 0 {
+		return nil, fmt.Errorf("load: empty user population")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	writes := newWriteStream(rng, cfg, tokenHex, userHex)
+	calls := make([]Call, 0, cfg.Requests)
+	for len(calls) < cfg.Requests {
+		if rng.Float64() < cfg.ReadFraction {
+			calls = append(calls, writes.read(rng))
+		} else {
+			calls = append(calls, writes.write(rng))
+		}
+	}
+	return calls, nil
+}
+
+// writeStream turns snapshot price histories into NFT operations while
+// tracking a local view of ownership, so transfers and burns reference ids
+// this run actually minted.
+type writeStream struct {
+	token string
+	users []string
+
+	// ops is the flattened direction stream from the generated histories;
+	// cursor walks it, cycling when exhausted.
+	ops    []direction
+	cursor int
+
+	nextID uint64
+	owned  []ownedToken
+}
+
+type ownedToken struct {
+	id    uint64
+	owner int // index into users
+}
+
+type direction int8
+
+const (
+	dirUp direction = iota
+	dirDown
+	dirFlat
+)
+
+// newWriteStream generates cfg.Collections snapshot histories (alternating
+// chains, cycling the three FT classes) and flattens them into one
+// direction stream.
+func newWriteStream(rng *rand.Rand, cfg Config, tokenHex string, userHex []string) *writeStream {
+	ownerships := []int{40, 500, 5000} // one per FT class: LFT, MFT, HFT
+	chains := []snapshot.Chain{snapshot.Optimism, snapshot.Arbitrum}
+	var ops []direction
+	for i := 0; i < cfg.Collections; i++ {
+		col, err := snapshot.Generate(rng, snapshot.GenConfig{
+			Chain:      chains[i%len(chains)],
+			Ownerships: ownerships[i%len(ownerships)],
+		})
+		if err != nil {
+			// Generate only fails on invalid config; the inputs above are
+			// fixed valid values.
+			panic(fmt.Sprintf("load: generate collection: %v", err))
+		}
+		for j := 1; j < len(col.History); j++ {
+			switch {
+			case col.History[j].Price > col.History[j-1].Price:
+				ops = append(ops, dirUp)
+			case col.History[j].Price < col.History[j-1].Price:
+				ops = append(ops, dirDown)
+			default:
+				ops = append(ops, dirFlat)
+			}
+		}
+	}
+	return &writeStream{token: tokenHex, users: userHex, ops: ops, nextID: 1}
+}
+
+// write produces the next transaction submission in the stream.
+func (w *writeStream) write(rng *rand.Rand) Call {
+	dir := w.ops[w.cursor%len(w.ops)]
+	w.cursor++
+	p := rpc.SendTxParams{
+		Token:       w.token,
+		BaseFee:     wei.Amount(1 + rng.Intn(20)),
+		PriorityFee: wei.Amount(rng.Intn(10)),
+	}
+	switch {
+	case dir == dirDown && len(w.owned) > 0:
+		// Falling price: an owner exits — burn.
+		i := rng.Intn(len(w.owned))
+		t := w.owned[i]
+		w.owned[i] = w.owned[len(w.owned)-1]
+		w.owned = w.owned[:len(w.owned)-1]
+		p.Kind, p.TokenID, p.From = "burn", t.id, w.users[t.owner]
+	case dir == dirFlat && len(w.owned) > 0:
+		// Flat price: tokens change hands — transfer.
+		i := rng.Intn(len(w.owned))
+		t := &w.owned[i]
+		buyer := rng.Intn(len(w.users) - 1)
+		if buyer >= t.owner {
+			buyer++ // any user but the seller
+		}
+		p.Kind, p.TokenID, p.From, p.To = "transfer", t.id, w.users[t.owner], w.users[buyer]
+		t.owner = buyer
+	default:
+		// Rising price (or nothing to sell yet): demand — mint.
+		owner := rng.Intn(len(w.users))
+		p.Kind, p.TokenID, p.From = "mint", w.nextID, w.users[owner]
+		w.owned = append(w.owned, ownedToken{id: w.nextID, owner: owner})
+		w.nextID++
+	}
+	return Call{Method: "parole_sendTransaction", Params: []any{p}}
+}
+
+// read produces the next query, rotating over the node's read surface.
+func (w *writeStream) read(rng *rand.Rand) Call {
+	switch rng.Intn(6) {
+	case 0:
+		return Call{Method: "eth_getBalance", Params: []any{w.users[rng.Intn(len(w.users))], "latest"}}
+	case 1:
+		if len(w.owned) > 0 {
+			t := w.owned[rng.Intn(len(w.owned))]
+			return Call{Method: "parole_ownerOf", Params: []any{w.token, t.id}}
+		}
+		return Call{Method: "parole_tokenInfo", Params: []any{w.token}}
+	case 2:
+		return Call{Method: "parole_stateRoot", Params: []any{}}
+	case 3:
+		return Call{Method: "parole_mempoolStatus", Params: []any{}}
+	case 4:
+		return Call{Method: "parole_health", Params: []any{}}
+	default:
+		return Call{Method: "eth_blockNumber", Params: []any{}}
+	}
+}

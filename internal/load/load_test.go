@@ -1,0 +1,271 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"parole/internal/chainid"
+	"parole/internal/rollup"
+	"parole/internal/rpc"
+	"parole/internal/state"
+	"parole/internal/token"
+	"parole/internal/wei"
+)
+
+func testConfig() Config {
+	return Config{
+		Requests:     200,
+		Workers:      4,
+		Users:        8,
+		Collections:  3,
+		ReadFraction: 0.4,
+		Seed:         7,
+	}
+}
+
+func testUsers(n int) []string {
+	out := make([]string, n)
+	for k := range out {
+		out[k] = chainid.UserAddress(k).Hex()
+	}
+	return out
+}
+
+func TestBuildScheduleDeterministic(t *testing.T) {
+	cfg := testConfig()
+	token := chainid.DeriveAddress("load-test/collection").Hex()
+	a, err := BuildSchedule(cfg, token, testUsers(cfg.Users))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(cfg, token, testUsers(cfg.Users))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != cfg.Requests {
+		t.Fatalf("schedule length %d, want %d", len(a), cfg.Requests)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+
+	cfg.Seed++
+	c, err := BuildSchedule(cfg, token, testUsers(cfg.Users))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+
+	// The mix holds roughly: both reads and writes are present.
+	reads, writes := 0, 0
+	for _, call := range a {
+		if call.Method == "parole_sendTransaction" {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	if reads == 0 || writes == 0 {
+		t.Fatalf("degenerate mix: %d reads, %d writes", reads, writes)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Requests: 0, Workers: 1, Users: 1, Collections: 1},
+		{Requests: 1, Workers: 0, Users: 1, Collections: 1},
+		{Requests: 1, Workers: 1, Users: 0, Collections: 1},
+		{Requests: 1, Workers: 1, Users: 1, Collections: 1, ReadFraction: 1.5},
+		{Requests: 1, Workers: 1, Users: 1, Collections: 1, ReadFraction: -0.1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, cfg)
+		}
+	}
+	good := testConfig()
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate rejected %+v: %v", good, err)
+	}
+	// Zero collections is not an error — it defaults to 6 (both chains ×
+	// three FT classes).
+	defaulted := Config{Requests: 1, Workers: 1, Users: 1}
+	if err := defaulted.Validate(); err != nil {
+		t.Errorf("Validate rejected zero collections: %v", err)
+	}
+	if defaulted.Collections != 6 {
+		t.Errorf("Collections defaulted to %d, want 6", defaulted.Collections)
+	}
+}
+
+// newLoadTarget stands up a full in-process node (rollup + sequencer + RPC
+// server) and returns a client plus the deployed collection.
+func newLoadTarget(t *testing.T, users int) (*rpc.Client, string) {
+	t.Helper()
+	node := rollup.NewNode(rollup.Config{ChallengePeriod: 2})
+	collection := chainid.DeriveAddress("load-test/collection")
+	contract, err := token.Deploy(collection, token.Config{
+		Name: "Load PT", Symbol: "LPT", MaxSupply: 1 << 20, InitialPrice: wei.FromFloat(0.2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.SetupL2(func(s *state.State) error { return s.DeployToken(contract) }); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < users; k++ {
+		u := chainid.UserAddress(k)
+		node.SetupAccount(u, wei.FromETH(1000))
+		if err := node.Deposit(u, wei.FromETH(1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, err := rpc.NewSequencer(node, rpc.SequencerConfig{Interval: time.Hour, BatchSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rpc.NewServer(node, seq, rpc.Config{}))
+	t.Cleanup(ts.Close)
+	return rpc.NewClient(ts.URL), collection.Hex()
+}
+
+func TestRunAgainstNode(t *testing.T) {
+	cfg := testConfig()
+	client, collection := newLoadTarget(t, cfg.Users)
+	schedule, err := BuildSchedule(cfg, collection, testUsers(cfg.Users))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), client, schedule, cfg.Workers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != cfg.Requests {
+		t.Fatalf("measured %d requests, want %d", res.Requests, cfg.Requests)
+	}
+	if res.Malformed != 0 || res.Errors != 0 {
+		t.Fatalf("run drew %d errors, %d malformed; want 0/0", res.Errors, res.Malformed)
+	}
+
+	rows, err := Aggregate(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overall := rows[len(rows)-1]
+	if overall.Method != OverallRow || overall.Requests != cfg.Requests {
+		t.Fatalf("last row = %+v, want %s with %d requests", overall, OverallRow, cfg.Requests)
+	}
+	if overall.P50 <= 0 || overall.P99 < overall.P50 || overall.TPS <= 0 {
+		t.Fatalf("implausible aggregate: %+v", overall)
+	}
+	// Per-method rows are sorted by name.
+	for i := 1; i < len(rows)-1; i++ {
+		if rows[i-1].Method > rows[i].Method {
+			t.Fatalf("rows not sorted: %q before %q", rows[i-1].Method, rows[i].Method)
+		}
+	}
+}
+
+func TestRunCancellationLeavesNoPartialArtifacts(t *testing.T) {
+	cfg := testConfig()
+	client, collection := newLoadTarget(t, cfg.Users)
+	schedule, err := BuildSchedule(cfg, collection, testUsers(cfg.Users))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the run must abort, not report partials
+	// Throttle hard so the feed loop hits its ctx check even if the first
+	// few dispatches race the cancellation.
+	res, err := Run(ctx, client, schedule, cfg.Workers, 10)
+	if err == nil {
+		t.Fatal("Run returned measurements from a cancelled context")
+	}
+	if res != nil {
+		t.Fatalf("Run returned partial result %+v alongside error", res)
+	}
+
+	// The artifact path stays untouched on an aborted run: WriteTSV is only
+	// reached with a complete Result, and even then writes atomically.
+	dir := t.TempDir()
+	out := filepath.Join(dir, "load_abort.tsv")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("aborted run left files behind: %v", entries)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatalf("artifact exists after aborted run: %v", err)
+	}
+}
+
+func TestRunRejectsBadArguments(t *testing.T) {
+	client, _ := newLoadTarget(t, 1)
+	if _, err := Run(context.Background(), client, nil, 4, 0); err == nil {
+		t.Error("Run accepted an empty schedule")
+	}
+	if _, err := Run(context.Background(), client, []Call{{Method: "parole_health"}}, 0, 0); err == nil {
+		t.Error("Run accepted zero workers")
+	}
+}
+
+func TestWriteTSVAtomic(t *testing.T) {
+	rows := []MethodStats{
+		{Method: "parole_health", Requests: 10, P50: 1.5, P99: 2.5, TPS: 100},
+		{Method: OverallRow, Requests: 10, P50: 1.5, P99: 2.5, TPS: 100},
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "load_test.tsv")
+	if err := WriteTSV(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if lines[0] != "method\trequests\terrors\tp50_ms\tp99_ms\ttps" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows", len(lines))
+	}
+	for _, line := range lines[1:] {
+		if cols := strings.Split(line, "\t"); len(cols) != 6 {
+			t.Fatalf("row %q has %d columns, want 6", line, len(cols))
+		}
+	}
+	// No tmp residue next to the artifact.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("artifact dir holds %d entries, want just the TSV: %v", len(entries), entries)
+	}
+}
+
+func TestScheduleParamsAreWellFormedJSON(t *testing.T) {
+	cfg := testConfig()
+	schedule, err := BuildSchedule(cfg, chainid.DeriveAddress("x").Hex(), testUsers(cfg.Users))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, call := range schedule {
+		if _, err := json.Marshal(call.Params); err != nil {
+			t.Fatalf("%s params not marshalable: %v", call.Method, err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package load
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"parole/internal/stats"
+)
+
+// MethodStats is one aggregated row of the latency report.
+type MethodStats struct {
+	Method   string
+	Requests int
+	Errors   int
+	P50      float64 // milliseconds
+	P99      float64 // milliseconds
+	TPS      float64 // completed requests per wall-clock second
+}
+
+// OverallRow is the Method value of the aggregate row.
+const OverallRow = "ALL"
+
+// Aggregate folds a run into per-method rows (sorted by method name)
+// followed by the OverallRow aggregate — the table results/load_*.tsv
+// records.
+func Aggregate(res *Result) ([]MethodStats, error) {
+	wallSec := res.Wall.Seconds()
+	if wallSec <= 0 {
+		return nil, fmt.Errorf("load: non-positive wall time %s", res.Wall)
+	}
+	byMethod := map[string][]Sample{}
+	for _, s := range res.Samples {
+		byMethod[s.Method] = append(byMethod[s.Method], s)
+	}
+	methods := make([]string, 0, len(byMethod))
+	for m := range byMethod {
+		methods = append(methods, m)
+	}
+	sort.Strings(methods)
+
+	rows := make([]MethodStats, 0, len(methods)+1)
+	for _, m := range methods {
+		row, err := aggregateRow(m, byMethod[m], wallSec)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	all, err := aggregateRow(OverallRow, res.Samples, wallSec)
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, all), nil
+}
+
+func aggregateRow(method string, samples []Sample, wallSec float64) (MethodStats, error) {
+	lat := make([]float64, 0, len(samples))
+	errs := 0
+	for _, s := range samples {
+		lat = append(lat, float64(s.Latency.Microseconds())/1e3)
+		if s.Err != nil {
+			errs++
+		}
+	}
+	p50, err := stats.Percentile(lat, 50)
+	if err != nil {
+		return MethodStats{}, fmt.Errorf("load: %s p50: %w", method, err)
+	}
+	p99, err := stats.Percentile(lat, 99)
+	if err != nil {
+		return MethodStats{}, fmt.Errorf("load: %s p99: %w", method, err)
+	}
+	return MethodStats{
+		Method:   method,
+		Requests: len(samples),
+		Errors:   errs,
+		P50:      p50,
+		P99:      p99,
+		TPS:      float64(len(samples)) / wallSec,
+	}, nil
+}
+
+// FormatTSV renders the report table.
+func FormatTSV(rows []MethodStats) string {
+	var b strings.Builder
+	b.WriteString("method\trequests\terrors\tp50_ms\tp99_ms\ttps\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s\t%d\t%d\t%.3f\t%.3f\t%.1f\n",
+			r.Method, r.Requests, r.Errors, r.P50, r.P99, r.TPS)
+	}
+	return b.String()
+}
+
+// WriteTSV writes the report to path atomically (tmp file + rename in the
+// destination directory), creating parent directories as needed. An
+// aborted run therefore never leaves a partial artifact.
+func WriteTSV(path string, rows []MethodStats) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.WriteString(FormatTSV(rows)); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

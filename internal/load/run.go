@@ -1,0 +1,109 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"parole/internal/rpc"
+)
+
+// Sample is the measurement of one issued request.
+type Sample struct {
+	Method  string
+	Latency time.Duration
+	// Err is nil on success, an *rpc.Error when the server returned a
+	// JSON-RPC error, and any other error for transport/protocol failures.
+	Err error
+}
+
+// Result is the raw outcome of a run.
+type Result struct {
+	Samples []Sample
+	// Wall is issue-to-last-response wall time.
+	Wall time.Duration
+	// Requests, Errors, and Malformed tally the samples: Errors are
+	// JSON-RPC error responses, Malformed are transport failures or
+	// protocol violations (the acceptance bar requires zero of either).
+	Requests, Errors, Malformed int
+}
+
+// Run issues every scheduled call against c using the given worker count,
+// optionally throttled to rps aggregate requests per second. Workers pull
+// from a shared stream, so request order across workers is nondeterministic
+// but the set of requests is exactly the schedule. A ctx cancellation
+// aborts the run with an error — partial measurements are never reported.
+func Run(ctx context.Context, c *rpc.Client, calls []Call, workers int, rps float64) (*Result, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("load: workers must be positive, got %d", workers)
+	}
+	if len(calls) == 0 {
+		return nil, fmt.Errorf("load: empty schedule")
+	}
+
+	feed := make(chan Call)
+	samples := make([]Sample, 0, len(calls))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]Sample, 0, len(calls)/workers+1)
+			for call := range feed {
+				t0 := time.Now()
+				err := c.Call(ctx, call.Method, nil, call.Params...)
+				local = append(local, Sample{Method: call.Method, Latency: time.Since(t0), Err: err})
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}()
+	}
+
+	// Feed the schedule, pacing each dispatch to its slot when throttled.
+	var cancelled bool
+feedLoop:
+	for i, call := range calls {
+		if rps > 0 {
+			slot := start.Add(time.Duration(float64(i) / rps * float64(time.Second)))
+			if d := time.Until(slot); d > 0 {
+				select {
+				case <-ctx.Done():
+					cancelled = true
+					break feedLoop
+				case <-time.After(d):
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			cancelled = true
+			break feedLoop
+		case feed <- call:
+		}
+	}
+	close(feed)
+	wg.Wait()
+	if cancelled {
+		return nil, fmt.Errorf("load: run aborted: %w", ctx.Err())
+	}
+
+	res := &Result{Samples: samples, Wall: time.Since(start), Requests: len(samples)}
+	for _, s := range samples {
+		if s.Err == nil {
+			continue
+		}
+		var rpcErr *rpc.Error
+		if errors.As(s.Err, &rpcErr) {
+			res.Errors++
+		} else {
+			res.Malformed++
+		}
+	}
+	return res, nil
+}

@@ -106,6 +106,31 @@ func (n *Node) L2State() *state.State {
 	return n.l2.Clone()
 }
 
+// ViewL2 runs fn against the canonical L2 state under the node lock — a
+// read-only view for serving queries (balances, ownership, token info)
+// without paying a full state clone per request. fn must not mutate the
+// state or retain references past its return.
+func (n *Node) ViewL2(fn func(*state.State)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fn(n.l2)
+}
+
+// BatchCount returns the total number of batches ever submitted, under the
+// node lock.
+func (n *Node) BatchCount() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.orsc.BatchCount()
+}
+
+// Round returns the ORSC's current round counter, under the node lock.
+func (n *Node) Round() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.orsc.Round()
+}
+
 // L2Root returns the canonical L2 state root.
 func (n *Node) L2Root() chainid.Hash {
 	n.mu.Lock()
@@ -171,10 +196,51 @@ func (n *Node) Withdraw(user chainid.Address, amount wei.Amount) (uint64, error)
 // SubmitTx sends a user transaction into Bedrock's mempool, stamping the
 // user's next L2 nonce.
 func (n *Node) SubmitTx(t tx.Tx) error {
+	_, err := n.Submit(t)
+	return err
+}
+
+// Submit is SubmitTx returning the hash of the nonce-stamped transaction
+// that actually entered the pool — the identity RPC clients correlate on.
+func (n *Node) Submit(t tx.Tx) (chainid.Hash, error) {
 	n.mu.Lock()
 	nonce := n.l2.Nonce(t.From)
 	n.mu.Unlock()
-	return n.pool.Add(t.WithNonce(nonce))
+	stamped := t.WithNonce(nonce)
+	if err := n.pool.Add(stamped); err != nil {
+		return chainid.Hash{}, err
+	}
+	return stamped.Hash(), nil
+}
+
+// L1Height returns the L1 chain height under the node lock (the chain is
+// mutated by AdvanceRound, so concurrent readers must come through here).
+func (n *Node) L1Height() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.l1chain.Height()
+}
+
+// BatchStatusCounts tallies every submitted batch by lifecycle status,
+// under the node lock.
+func (n *Node) BatchStatusCounts() (pending, finalized, reverted uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id := uint64(0); id < n.orsc.BatchCount(); id++ {
+		b, err := n.orsc.Batch(id)
+		if err != nil {
+			continue
+		}
+		switch b.Status {
+		case l1.BatchPending:
+			pending++
+		case l1.BatchFinalized:
+			finalized++
+		case l1.BatchReverted:
+			reverted++
+		}
+	}
+	return pending, finalized, reverted
 }
 
 // Collect pulls the next batch of up to size transactions from the mempool

@@ -1,0 +1,87 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// Client is a minimal JSON-RPC 2.0 client for parole-node — what
+// cmd/parole-load and the e2e tests drive. It is safe for concurrent use.
+type Client struct {
+	// URL of the node's HTTP endpoint, e.g. "http://127.0.0.1:8547".
+	URL string
+	// HTTP overrides the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+
+	nextID atomic.Uint64
+}
+
+// NewClient returns a client for the given endpoint URL.
+func NewClient(url string) *Client { return &Client{URL: url} }
+
+// Call invokes method with positional params and unmarshals the result into
+// result (which may be nil to discard it). A JSON-RPC error response is
+// returned as an *Error; a malformed response (wrong version, mismatched
+// id, missing body) is a plain error — the load generator counts those as
+// protocol violations.
+func (c *Client) Call(ctx context.Context, method string, result any, params ...any) error {
+	id := c.nextID.Add(1)
+	req := struct {
+		Version string `json:"jsonrpc"`
+		ID      uint64 `json:"id"`
+		Method  string `json:"method"`
+		Params  []any  `json:"params"`
+	}{Version: Version, ID: id, Method: method, Params: params}
+	if req.Params == nil {
+		req.Params = []any{}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("rpc: marshal request: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("rpc: build request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	httpResp, err := hc.Do(httpReq)
+	if err != nil {
+		return fmt.Errorf("rpc: %s: %w", method, err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("rpc: %s: http status %d", method, httpResp.StatusCode)
+	}
+	var resp Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return fmt.Errorf("rpc: %s: malformed response: %w", method, err)
+	}
+	if resp.Version != Version {
+		return fmt.Errorf("rpc: %s: malformed response: jsonrpc %q", method, resp.Version)
+	}
+	var gotID uint64
+	if err := json.Unmarshal(resp.ID, &gotID); err != nil || gotID != id {
+		return fmt.Errorf("rpc: %s: malformed response: id %s, want %d", method, resp.ID, id)
+	}
+	if resp.Err != nil {
+		return resp.Err
+	}
+	if result == nil {
+		return nil
+	}
+	if len(resp.Result) == 0 {
+		resp.Result = json.RawMessage("null")
+	}
+	if err := json.Unmarshal(resp.Result, result); err != nil {
+		return fmt.Errorf("rpc: %s: unmarshal result: %w", method, err)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package rpc
+
+// Documentation drift test: docs/RPC.md must carry a reference section for
+// every registered JSON-RPC method, and must not document methods that no
+// longer exist. Mirrors the grep-based METRICS.md/TRACING.md drift tests in
+// internal/telemetry.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// docHeadingRE matches a method reference heading like
+//
+//	### `parole_sendTransaction`
+var docHeadingRE = regexp.MustCompile("(?m)^### `([a-zA-Z0-9]+_[a-zA-Z0-9]+)`")
+
+func documentedMethods(t *testing.T) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "RPC.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	for _, m := range docHeadingRE.FindAllStringSubmatch(string(data), -1) {
+		out[m[1]] = true
+	}
+	if len(out) == 0 {
+		t.Fatal("no method headings parsed from docs/RPC.md — format changed?")
+	}
+	return out
+}
+
+// registeredMethods builds a throwaway server purely to read its method
+// table; registration is static, so this is exactly what a live node serves.
+func registeredMethods(t *testing.T) []string {
+	t.Helper()
+	return newTestEnv(t, Config{}).server.MethodNames()
+}
+
+// TestEveryMethodIsDocumented fails when a registered method has no
+// reference heading in docs/RPC.md.
+func TestEveryMethodIsDocumented(t *testing.T) {
+	doc := documentedMethods(t)
+	for _, name := range registeredMethods(t) {
+		if !doc[name] {
+			t.Errorf("method %q is registered but has no `### `%s`` heading in docs/RPC.md", name, name)
+		}
+	}
+}
+
+// TestEveryDocumentedMethodIsRegistered fails on stale RPC.md sections:
+// documented method names the server no longer registers.
+func TestEveryDocumentedMethodIsRegistered(t *testing.T) {
+	registered := map[string]bool{}
+	for _, name := range registeredMethods(t) {
+		registered[name] = true
+	}
+	for name := range documentedMethods(t) {
+		if !registered[name] {
+			t.Errorf("docs/RPC.md documents %q but the server does not register it (stale section?)", name)
+		}
+	}
+}

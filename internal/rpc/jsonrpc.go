@@ -1,0 +1,138 @@
+// Package rpc serves the PAROLE rollup over an Ethereum-style HTTP
+// JSON-RPC facade — the layer that turns the library into a long-running
+// service (cmd/parole-node).
+//
+// The package follows the shape of smartbch's rpc/api layer: a small
+// JSON-RPC 2.0 envelope (this file), a method registry keyed by
+// "namespace_method" names over a concurrency-safe backend (server.go,
+// methods.go), and a background sequencer that seals mempool batches on a
+// fixed interval (sequencer.go) — Bedrock's block cadence. Familiar
+// read-side methods live in the eth_/net_/web3_ namespaces so standard
+// tooling can poke the node; everything rollup-specific (ownership, batch
+// and challenge status, admin introspection) lives under parole_.
+//
+// docs/RPC.md documents every registered method; a grep-based drift test
+// (docs_test.go) keeps the two in sync in both directions.
+package rpc
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Version is the fixed JSON-RPC protocol version.
+const Version = "2.0"
+
+// JSON-RPC 2.0 error codes, plus the server-defined range used by the
+// rollup backend. docs/RPC.md lists the full table.
+const (
+	// CodeParse means the request body was not valid JSON.
+	CodeParse = -32700
+	// CodeInvalidRequest means the envelope was malformed (wrong version,
+	// bad id type, missing method).
+	CodeInvalidRequest = -32600
+	// CodeMethodNotFound means the method is not registered.
+	CodeMethodNotFound = -32601
+	// CodeInvalidParams means the params failed to decode or validate.
+	CodeInvalidParams = -32602
+	// CodeInternal means the handler itself failed unexpectedly.
+	CodeInternal = -32603
+	// CodeExecution means the rollup backend rejected the operation (e.g.
+	// duplicate transaction, unknown token, insufficient balance).
+	CodeExecution = -32000
+	// CodeUnavailable means the method exists but is disabled on this node
+	// (e.g. parole_faucet with the faucet switched off).
+	CodeUnavailable = -32001
+)
+
+// Error is a JSON-RPC error object. It implements the error interface so
+// handlers and the client can pass it through Go error plumbing.
+type Error struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("rpc error %d: %s", e.Code, e.Message) }
+
+// Errorf builds an *Error with a formatted message.
+func Errorf(code int, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Request is the JSON-RPC 2.0 request envelope. ID is kept raw so the
+// response echoes numbers, strings, and null byte-for-byte.
+type Request struct {
+	Version string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id,omitempty"`
+	Method  string          `json:"method"`
+	Params  json.RawMessage `json:"params,omitempty"`
+}
+
+// Validate checks the envelope (not the params) against the 2.0 spec subset
+// the server accepts.
+func (r *Request) Validate() *Error {
+	if r.Version != Version {
+		return Errorf(CodeInvalidRequest, "jsonrpc must be %q, got %q", Version, r.Version)
+	}
+	if r.Method == "" {
+		return Errorf(CodeInvalidRequest, "missing method")
+	}
+	if len(r.ID) > 0 {
+		// The id must be a number, a string, or null.
+		switch r.ID[0] {
+		case '{', '[':
+			return Errorf(CodeInvalidRequest, "id must be a number, string, or null")
+		}
+	}
+	return nil
+}
+
+// Response is the JSON-RPC 2.0 response envelope. Exactly one of Result and
+// Err is set.
+type Response struct {
+	Version string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Err     *Error          `json:"error,omitempty"`
+}
+
+// newResponse wraps a handler outcome into a response for the given id.
+func newResponse(id json.RawMessage, result any, rpcErr *Error) Response {
+	if len(id) == 0 {
+		id = json.RawMessage("null")
+	}
+	resp := Response{Version: Version, ID: id}
+	if rpcErr != nil {
+		resp.Err = rpcErr
+		return resp
+	}
+	raw, err := json.Marshal(result)
+	if err != nil {
+		resp.Err = Errorf(CodeInternal, "marshal result: %v", err)
+		return resp
+	}
+	resp.Result = raw
+	return resp
+}
+
+// decodeParams unmarshals a positional-params array into dst pointers,
+// enforcing arity between min and len(dst). A missing or null params field
+// counts as zero arguments.
+func decodeParams(raw json.RawMessage, min int, dst ...any) *Error {
+	var args []json.RawMessage
+	if len(raw) > 0 && string(raw) != "null" {
+		if err := json.Unmarshal(raw, &args); err != nil {
+			return Errorf(CodeInvalidParams, "params must be a positional array: %v", err)
+		}
+	}
+	if len(args) < min || len(args) > len(dst) {
+		return Errorf(CodeInvalidParams, "want %d to %d params, got %d", min, len(dst), len(args))
+	}
+	for i, arg := range args {
+		if err := json.Unmarshal(arg, dst[i]); err != nil {
+			return Errorf(CodeInvalidParams, "param %d: %v", i, err)
+		}
+	}
+	return nil
+}

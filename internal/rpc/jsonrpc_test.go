@@ -1,0 +1,119 @@
+package rpc
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRequestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+		code int // 0 = valid
+	}{
+		{"valid", Request{Version: "2.0", Method: "parole_health"}, 0},
+		{"valid string id", Request{Version: "2.0", Method: "m", ID: json.RawMessage(`"abc"`)}, 0},
+		{"valid null id", Request{Version: "2.0", Method: "m", ID: json.RawMessage(`null`)}, 0},
+		{"wrong version", Request{Version: "1.0", Method: "m"}, CodeInvalidRequest},
+		{"missing version", Request{Method: "m"}, CodeInvalidRequest},
+		{"missing method", Request{Version: "2.0"}, CodeInvalidRequest},
+		{"object id", Request{Version: "2.0", Method: "m", ID: json.RawMessage(`{"a":1}`)}, CodeInvalidRequest},
+		{"array id", Request{Version: "2.0", Method: "m", ID: json.RawMessage(`[1]`)}, CodeInvalidRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.req.Validate()
+			switch {
+			case c.code == 0 && err != nil:
+				t.Fatalf("Validate() = %v, want nil", err)
+			case c.code != 0 && err == nil:
+				t.Fatalf("Validate() = nil, want code %d", c.code)
+			case c.code != 0 && err.Code != c.code:
+				t.Fatalf("Validate() code = %d, want %d", err.Code, c.code)
+			}
+		})
+	}
+}
+
+func TestDecodeParamsArity(t *testing.T) {
+	var a string
+	var b uint64
+
+	// Two required, two given.
+	if err := decodeParams(json.RawMessage(`["x", 7]`), 2, &a, &b); err != nil {
+		t.Fatalf("decodeParams: %v", err)
+	}
+	if a != "x" || b != 7 {
+		t.Fatalf("decoded (%q, %d), want (x, 7)", a, b)
+	}
+
+	// Optional trailing param omitted.
+	if err := decodeParams(json.RawMessage(`["y"]`), 1, &a, &b); err != nil {
+		t.Fatalf("optional param: %v", err)
+	}
+
+	// Missing params field entirely, zero required.
+	if err := decodeParams(nil, 0); err != nil {
+		t.Fatalf("no params: %v", err)
+	}
+	if err := decodeParams(json.RawMessage(`null`), 0); err != nil {
+		t.Fatalf("null params: %v", err)
+	}
+
+	// Too few / too many / wrong shape / wrong type.
+	for name, raw := range map[string]string{
+		"too few":   `[]`,
+		"too many":  `["a", 1, 2]`,
+		"object":    `{"a":1}`,
+		"bad type":  `[3, "not a number"]`,
+		"bad value": `["ok", "nan"]`,
+	} {
+		if err := decodeParams(json.RawMessage(raw), 1, &a, &b); err == nil {
+			t.Errorf("%s: decodeParams accepted %s", name, raw)
+		} else if err.Code != CodeInvalidParams {
+			t.Errorf("%s: code = %d, want %d", name, err.Code, CodeInvalidParams)
+		}
+	}
+}
+
+func TestNewResponseEchoesID(t *testing.T) {
+	resp := newResponse(json.RawMessage(`"req-9"`), 42, nil)
+	if string(resp.ID) != `"req-9"` {
+		t.Fatalf("id = %s, want \"req-9\"", resp.ID)
+	}
+	if string(resp.Result) != "42" {
+		t.Fatalf("result = %s, want 42", resp.Result)
+	}
+	if resp.Err != nil {
+		t.Fatalf("unexpected error %v", resp.Err)
+	}
+
+	// A missing id becomes null, per spec.
+	resp = newResponse(nil, nil, Errorf(CodeParse, "boom"))
+	if string(resp.ID) != "null" {
+		t.Fatalf("id = %s, want null", resp.ID)
+	}
+	if resp.Err == nil || resp.Err.Code != CodeParse {
+		t.Fatalf("error = %v, want parse error", resp.Err)
+	}
+}
+
+func TestIsBatch(t *testing.T) {
+	if !isBatch([]byte("  \n\t[{}]")) {
+		t.Error("leading whitespace before [ should be a batch")
+	}
+	if isBatch([]byte(`{"jsonrpc":"2.0"}`)) {
+		t.Error("object is not a batch")
+	}
+	if isBatch(nil) {
+		t.Error("empty body is not a batch")
+	}
+}
+
+func TestParseAddressRejectsBadInput(t *testing.T) {
+	for _, bad := range []string{"", "0x", "0x12", "zz", "0x" + "12" + "34"} {
+		if _, err := parseAddress(bad); err == nil {
+			t.Errorf("parseAddress(%q) accepted", bad)
+		}
+	}
+}

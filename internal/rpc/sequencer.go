@@ -1,0 +1,144 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"parole/internal/chainid"
+	"parole/internal/rollup"
+	"parole/internal/trace"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// SequencerConfig parameterizes the sealing loop.
+type SequencerConfig struct {
+	// Interval between sealing passes — Bedrock's fixed block cadence.
+	// Zero defaults to 500ms.
+	Interval time.Duration
+	// BatchSize caps how many mempool transactions one batch collects (the
+	// paper's mempool size N). Zero defaults to 50.
+	BatchSize int
+	// Bond posted when registering the aggregator on the ORSC. Zero
+	// defaults to 10 ETH.
+	Bond wei.Amount
+}
+
+// SealInfo summarizes one sealed batch for RPC consumers.
+type SealInfo struct {
+	BatchID  uint64 `json:"batchId"`
+	TxCount  int    `json:"txCount"`
+	Executed int    `json:"executed"`
+	PostRoot string `json:"postRoot"`
+}
+
+// Sequencer is the node's honest block producer: on a fixed interval it
+// collects the next fee-ordered batch from the mempool, commits it in
+// exactly the collected order (no PAROLE reordering — this daemon is the
+// victim infrastructure, not the adversary), and advances the ORSC round so
+// expired batches finalize into L1 blocks. It is safe for concurrent use;
+// Seal may be called directly (parole_sealBatch) while Run ticks.
+type Sequencer struct {
+	node *rollup.Node
+	addr chainid.Address
+	cfg  SequencerConfig
+
+	mu        sync.Mutex
+	sealed    uint64
+	txsSealed uint64
+	lastSeal  time.Time
+}
+
+// NewSequencer funds and bonds an aggregator account on the node's ORSC and
+// returns the sealing loop around it.
+func NewSequencer(node *rollup.Node, cfg SequencerConfig) (*Sequencer, error) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 50
+	}
+	if cfg.Bond <= 0 {
+		cfg.Bond = wei.FromETH(10)
+	}
+	addr := chainid.AggregatorAddress(0)
+	node.SetupAccount(addr, cfg.Bond)
+	if err := node.ORSC().RegisterAggregator(addr, cfg.Bond); err != nil {
+		return nil, fmt.Errorf("rpc: bond sequencer: %w", err)
+	}
+	return &Sequencer{node: node, addr: addr, cfg: cfg}, nil
+}
+
+// Address returns the sequencer's aggregator address.
+func (q *Sequencer) Address() chainid.Address { return q.addr }
+
+// Config returns the sealing parameters.
+func (q *Sequencer) Config() SequencerConfig { return q.cfg }
+
+// Run ticks the sealing loop until ctx is cancelled. Pending transactions
+// left in the mempool at shutdown stay there (they were never acknowledged
+// as sequenced — an RPC submission only promises admission).
+func (q *Sequencer) Run(ctx context.Context) {
+	ticker := time.NewTicker(q.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			// A tick always advances the round so already-submitted
+			// batches finalize even when no new traffic arrives.
+			_, _ = q.Seal()
+		}
+	}
+}
+
+// Seal runs one sealing pass: collect, commit in collected order, advance
+// the round. It returns nil info when the mempool was empty.
+func (q *Sequencer) Seal() (*SealInfo, error) {
+	sp := trace.StartSpan(trace.SpanNodeSeal)
+	defer sp.End()
+	batch, _ := q.node.Collect(q.cfg.BatchSize)
+	if len(batch) == 0 {
+		q.node.AdvanceRound()
+		sp.SetAttr(trace.Int("txs", 0))
+		return nil, nil
+	}
+	rec, res, err := q.node.CommitBatch(q.addr, batch, batch)
+	if err != nil {
+		// The batch was already drained from the pool; put it back so a
+		// transient failure does not silently drop user transactions.
+		q.requeue(batch)
+		return nil, fmt.Errorf("rpc: seal: %w", err)
+	}
+	q.node.AdvanceRound()
+	q.mu.Lock()
+	q.sealed++
+	q.txsSealed += uint64(len(batch))
+	q.lastSeal = time.Now()
+	q.mu.Unlock()
+	sp.SetAttr(trace.Int("txs", int64(len(batch))), trace.Int("batch", int64(rec.ID)))
+	return &SealInfo{
+		BatchID:  rec.ID,
+		TxCount:  len(batch),
+		Executed: res.Executed,
+		PostRoot: res.PostRoot.Hex(),
+	}, nil
+}
+
+// requeue re-admits a drained batch after a failed commit, best-effort
+// (a concurrent resubmission winning the duplicate check is fine).
+func (q *Sequencer) requeue(batch tx.Seq) {
+	for _, t := range batch {
+		_ = q.node.Pool().Add(t)
+	}
+}
+
+// Stats reports how much the loop has sealed.
+func (q *Sequencer) Stats() (sealed, txs uint64, lastSeal time.Time) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sealed, q.txsSealed, q.lastSeal
+}

@@ -1,0 +1,75 @@
+package rpc
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSequencerSealCommitsAndFinalizes(t *testing.T) {
+	env := newTestEnv(t, Config{})
+
+	// Two mints pending → one sealed batch of two.
+	for id := uint64(1); id <= 2; id++ {
+		env.call(t, "parole_sendTransaction", nil, SendTxParams{
+			Kind: "mint", Token: env.collection.Hex(), TokenID: id,
+			From: env.users[int(id)].Hex(), BaseFee: 5,
+		})
+	}
+	info, err := env.seq.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info == nil || info.BatchID != 0 || info.TxCount != 2 || info.Executed != 2 {
+		t.Fatalf("Seal() = %+v, want batch 0 with 2 executed txs", info)
+	}
+	if info.PostRoot != env.node.L2Root().Hex() {
+		t.Fatalf("SealInfo root %s != node root %s", info.PostRoot, env.node.L2Root().Hex())
+	}
+
+	// An empty seal still advances the round so the batch finalizes after
+	// the challenge period (1 round in the test env).
+	empty, err := env.seq.Seal()
+	if err != nil || empty != nil {
+		t.Fatalf("empty Seal() = %+v, %v; want nil, nil", empty, err)
+	}
+	_, finalized, reverted := env.node.BatchStatusCounts()
+	if finalized != 1 || reverted != 0 {
+		t.Fatalf("finalized=%d reverted=%d, want 1/0", finalized, reverted)
+	}
+
+	sealed, txs, last := env.seq.Stats()
+	if sealed != 1 || txs != 2 || last.IsZero() {
+		t.Fatalf("Stats() = %d batches, %d txs, last %v; want 1, 2, non-zero", sealed, txs, last)
+	}
+}
+
+func TestSequencerRunLoop(t *testing.T) {
+	env := newTestEnvInterval(t, Config{}, 2*time.Millisecond)
+	env.call(t, "parole_sendTransaction", nil, SendTxParams{
+		Kind: "mint", Token: env.collection.Hex(), TokenID: 1,
+		From: env.users[0].Hex(), BaseFee: 5,
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { env.seq.Run(ctx); close(done) }()
+
+	deadline := time.After(5 * time.Second)
+	for env.node.BatchCount() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("sequencer loop never committed a batch")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	if sealed, txs, _ := env.seq.Stats(); sealed == 0 || txs != 1 {
+		t.Fatalf("Stats() = %d batches, %d txs; want >0 batches carrying 1 tx", sealed, txs)
+	}
+}

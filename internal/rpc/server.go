@@ -1,0 +1,206 @@
+package rpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"parole/internal/rollup"
+	"parole/internal/telemetry"
+	"parole/internal/trace"
+)
+
+// Request-serving metrics (docs/METRICS.md §rpc).
+var (
+	mRequests    = telemetry.Default().Counter("rpc.requests")
+	mErrors      = telemetry.Default().Counter("rpc.errors")
+	mRequestTime = telemetry.Default().Timer("rpc.request.time")
+)
+
+// maxBodyBytes bounds a request body; a batch of parole transactions is a
+// few hundred bytes, so 1 MiB leaves two orders of magnitude of headroom.
+const maxBodyBytes = 1 << 20
+
+// maxBatchRequests bounds a JSON-RPC batch array.
+const maxBatchRequests = 256
+
+// ClientVersion is the web3_clientVersion string served by the node.
+const ClientVersion = "parole-node/v0.6.0/go"
+
+// ChainID is the rollup's chain id (served by eth_chainId and net_version).
+// 2024 is the paper's publication year — an arbitrary but stable constant.
+const ChainID = 2024
+
+// handler serves one method: decode+validate params from raw, act, return a
+// JSON-marshalable result or an *Error.
+type handler func(raw json.RawMessage) (any, *Error)
+
+// Config parameterizes a Server.
+type Config struct {
+	// EnableFaucet switches parole_faucet on — the dev-mode credit that
+	// load generators use to fund fresh accounts. Leave off for anything
+	// shared.
+	EnableFaucet bool
+}
+
+// Server is the JSON-RPC facade over one rollup deployment. It implements
+// http.Handler and is safe for concurrent use: every backend touch goes
+// through rollup.Node's locked methods or the Sequencer's own mutex.
+type Server struct {
+	node *rollup.Node
+	seq  *Sequencer
+	cfg  Config
+
+	start time.Time
+
+	mu      sync.RWMutex
+	methods map[string]handler
+}
+
+// NewServer builds a server over node. seq may be nil (no sequencer-backed
+// methods advertise state then); pass the sequencer that drives the node so
+// parole_sealBatch and parole_health can reach it.
+func NewServer(node *rollup.Node, seq *Sequencer, cfg Config) *Server {
+	s := &Server{
+		node:    node,
+		seq:     seq,
+		cfg:     cfg,
+		start:   time.Now(),
+		methods: make(map[string]handler),
+	}
+	s.registerAll()
+	return s
+}
+
+// register installs a method handler. Registration happens once in
+// NewServer; the write lock keeps the registry safe for tests that probe it
+// concurrently.
+func (s *Server) register(name string, h handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.methods[name]; dup {
+		panic(fmt.Sprintf("rpc: duplicate method %q", name))
+	}
+	s.methods[name] = h
+}
+
+// MethodNames returns every registered method, sorted. The docs drift test
+// and the e2e coverage guard both enumerate this.
+func (s *Server) MethodNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.methods))
+	for name := range s.methods {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServeHTTP implements http.Handler: POST a JSON-RPC 2.0 request (single
+// object or batch array) to any path.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "parole-node speaks JSON-RPC 2.0 over POST", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeJSON(w, newResponse(nil, nil, Errorf(CodeInvalidRequest, "read body: %v", err)))
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeJSON(w, newResponse(nil, nil, Errorf(CodeInvalidRequest, "body exceeds %d bytes", maxBodyBytes)))
+		return
+	}
+	if isBatch(body) {
+		s.serveBatch(w, body)
+		return
+	}
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, newResponse(nil, nil, Errorf(CodeParse, "parse request: %v", err)))
+		return
+	}
+	writeJSON(w, s.dispatch(&req))
+}
+
+// serveBatch handles a JSON-RPC batch array: one response per request, in
+// order.
+func (s *Server) serveBatch(w http.ResponseWriter, body []byte) {
+	var reqs []Request
+	if err := json.Unmarshal(body, &reqs); err != nil {
+		writeJSON(w, newResponse(nil, nil, Errorf(CodeParse, "parse batch: %v", err)))
+		return
+	}
+	if len(reqs) == 0 {
+		writeJSON(w, newResponse(nil, nil, Errorf(CodeInvalidRequest, "empty batch")))
+		return
+	}
+	if len(reqs) > maxBatchRequests {
+		writeJSON(w, newResponse(nil, nil, Errorf(CodeInvalidRequest, "batch exceeds %d requests", maxBatchRequests)))
+		return
+	}
+	resps := make([]Response, len(reqs))
+	for i := range reqs {
+		resps[i] = s.dispatch(&reqs[i])
+	}
+	writeJSON(w, resps)
+}
+
+// dispatch validates the envelope, looks the method up, and runs it. Every
+// request counts in rpc.requests; every error response counts in
+// rpc.errors; the whole dispatch is timed and traced.
+func (s *Server) dispatch(req *Request) Response {
+	mRequests.Inc()
+	stopTimer := mRequestTime.Start()
+	sp := trace.StartSpan(trace.SpanRPCRequest, trace.Str("method", req.Method))
+	resp := s.dispatchInner(req)
+	sp.SetAttr(trace.Bool("ok", resp.Err == nil))
+	sp.End()
+	stopTimer()
+	if resp.Err != nil {
+		mErrors.Inc()
+	}
+	return resp
+}
+
+func (s *Server) dispatchInner(req *Request) Response {
+	if rpcErr := req.Validate(); rpcErr != nil {
+		return newResponse(req.ID, nil, rpcErr)
+	}
+	s.mu.RLock()
+	h, ok := s.methods[req.Method]
+	s.mu.RUnlock()
+	if !ok {
+		return newResponse(req.ID, nil, Errorf(CodeMethodNotFound, "unknown method %q", req.Method))
+	}
+	result, rpcErr := h(req.Params)
+	return newResponse(req.ID, result, rpcErr)
+}
+
+// isBatch reports whether the body's first non-space byte opens an array.
+func isBatch(body []byte) bool {
+	for _, b := range body {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '[':
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// writeJSON encodes v as the HTTP response. JSON-RPC errors still ride on
+// HTTP 200; only transport-level failures use other status codes.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -36,6 +36,12 @@ const (
 	// SpanExperimentPoint covers one point of a registered experiment run
 	// by the internal/experiment engine.
 	SpanExperimentPoint = "experiment.point"
+	// SpanRPCRequest covers one JSON-RPC request handled by parole-node,
+	// from envelope decode to response encode.
+	SpanRPCRequest = "rpc.request"
+	// SpanNodeSeal covers one sequencer sealing pass: mempool collection,
+	// batch execution, ORSC submission, and round advancement.
+	SpanNodeSeal = "node.seal"
 )
 
 // Per-transaction lifecycle stages recorded via Event. A transaction's
