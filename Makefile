@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short cover bench bench-smoke experiments experiments-full engine-smoke node-smoke golden-full vet fmt lint clean
+.PHONY: all build test test-race test-short cover bench bench-smoke experiments experiments-full engine-smoke node-smoke scale-smoke golden-full vet fmt lint clean
 
 all: build test
 
@@ -44,14 +44,15 @@ bench:
 # Fast variant for CI smoke: the hot-path micro-benches at a short but
 # non-trivial benchtime (1x iterations are too noisy to gate on), emitted as
 # a BENCH record and then diffed against the newest committed record. The
-# gate covers the candidate-evaluation path (Evaluate/Score benchmarks);
-# >25% ns/op growth fails the build (cmd/parole-trace bench-diff).
-BENCH_BASELINE ?= BENCH_2026-08-06.post.json
+# gate covers the candidate-evaluation path (Evaluate/Score benchmarks) and
+# the scaling hot paths (IncrementalRoot/MempoolCollect); >25% ns/op growth
+# fails the build (cmd/parole-trace bench-diff).
+BENCH_BASELINE ?= BENCH_2026-08-08.json
 bench-smoke:
-	$(GO) test -bench='BenchmarkOVMExecute|BenchmarkOVMEvaluate|BenchmarkEvaluateScratch|BenchmarkObjectiveScore|BenchmarkStateRoot|BenchmarkDQNForward|BenchmarkHillClimbSolve' \
+	$(GO) test -bench='BenchmarkOVMExecute|BenchmarkOVMEvaluate|BenchmarkEvaluateScratch|BenchmarkObjectiveScore|BenchmarkStateRoot|BenchmarkDQNForward|BenchmarkHillClimbSolve|BenchmarkIncrementalRootUpdate|BenchmarkFullRootRebuild|BenchmarkMempoolCollect10k|BenchmarkMempoolCollectParallel10k' \
 		-benchtime=0.3s -benchmem . | $(GO) run ./cmd/parole-trace bench-emit -tee -out BENCH_smoke.json
 	$(GO) run ./cmd/parole-trace bench-diff -threshold 25 \
-		-filter Evaluate,Score $(BENCH_BASELINE) BENCH_smoke.json
+		-filter Evaluate,Score,IncrementalRoot,MempoolCollect $(BENCH_BASELINE) BENCH_smoke.json
 
 # Regenerate every table and figure at the default (minutes-scale) budget.
 experiments:
@@ -90,6 +91,21 @@ node-smoke:
 	grep -q '^ALL	' $(NODE_SMOKE_OUT) \
 		|| { echo "missing ALL aggregate row in $(NODE_SMOKE_OUT)"; exit 1; }; \
 	echo "node-smoke OK: $$(grep '^ALL	' $(NODE_SMOKE_OUT))"
+
+# Run the N=1k scaling experiment twice — serial runner and 4 workers — and
+# require the deterministic columns (everything up to the chained batch
+# digest and state root; the trailing wall-clock columns vary) to match byte
+# for byte. Each point also internally asserts parallel mempool collection
+# equals serial and the incremental root equals a cold rebuild, so this is
+# CI's end-to-end determinism gate on the batch pipeline; see docs/SCALING.md.
+scale-smoke:
+	$(GO) run ./cmd/parole-bench -exp scale -smoke -seed 1 -workers 1 -out results-smoke/scale-serial
+	$(GO) run ./cmd/parole-bench -exp scale -smoke -seed 1 -workers 4 -out results-smoke/scale-parallel
+	@cut -f1-9 results-smoke/scale-serial/scale.tsv > results-smoke/scale-serial.det.tsv; \
+	cut -f1-9 results-smoke/scale-parallel/scale.tsv > results-smoke/scale-parallel.det.tsv; \
+	diff -u results-smoke/scale-serial.det.tsv results-smoke/scale-parallel.det.tsv \
+		|| { echo "scale-smoke: serial and parallel runs diverged"; exit 1; }; \
+	echo "scale-smoke OK: $$(tail -1 results-smoke/scale-serial.det.tsv)"
 
 # The complete golden-file suite: every experiment with a committed
 # results/*.tsv counterpart is regenerated at the quick scale with a

@@ -17,11 +17,15 @@ import (
 	"parole/internal/casestudy"
 	"parole/internal/chainid"
 	"parole/internal/gentranseq"
+	"parole/internal/mempool"
 	"parole/internal/ovm"
 	"parole/internal/rl"
 	"parole/internal/sim"
 	"parole/internal/snapshot"
 	"parole/internal/solver"
+	"parole/internal/state"
+	"parole/internal/tx"
+	"parole/internal/wei"
 )
 
 // tinyGen is the benchmark-scale DQN budget.
@@ -370,6 +374,85 @@ func BenchmarkHillClimbSolve(b *testing.B) {
 		}
 		if _, err := (solver.HillClimb{}).Solve(rng, obj, solver.Budget{MaxEvaluations: 300}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// scaleState builds a world state with n funded accounts, its incremental
+// tree already built — the fixture for the incremental-root benchmarks.
+func scaleState(b *testing.B, n int) *state.State {
+	b.Helper()
+	st := state.New()
+	for i := 0; i < n; i++ {
+		st.SetBalance(chainid.UserAddress(i), 1_000_000_000)
+	}
+	st.Root()
+	return st
+}
+
+// BenchmarkIncrementalRootUpdate measures a single-leaf write plus Root() at
+// 100k accounts — the per-transaction cost of keeping the commitment fresh.
+// The incremental tree recomputes one root path (~17 hashes); compare
+// BenchmarkFullRootRebuild for what every call used to cost.
+func BenchmarkIncrementalRootUpdate(b *testing.B) {
+	st := scaleState(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Credit(chainid.UserAddress(i%100_000), 1)
+		_ = st.Root()
+	}
+}
+
+// BenchmarkFullRootRebuild measures a cold Merkle rebuild over the same 100k
+// accounts — the reference the ≥10× incremental-update claim in docs/PERF.md
+// is measured against.
+func BenchmarkFullRootRebuild(b *testing.B) {
+	st := scaleState(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = st.ColdRoot()
+	}
+}
+
+// scalePool fills a pool with n mints from rotating senders at colliding
+// fees.
+func scalePool(b *testing.B, n int) *mempool.Pool {
+	b.Helper()
+	p := mempool.NewWithConfig(mempool.Config{Shards: 32})
+	pt := chainid.DeriveAddress("bench-pt")
+	for i := 0; i < n; i++ {
+		m := tx.Mint(pt, uint64(i), chainid.UserAddress(i%512)).WithFees(wei.Amount(1+i%97), 0)
+		if err := p.Add(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return p
+}
+
+// BenchmarkMempoolCollect10k measures one serial 256-tx collection from a
+// 10k-deep sharded pool (sort every shard, merge, drain the batch).
+func BenchmarkMempoolCollect10k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := scalePool(b, 10_000)
+		b.StartTimer()
+		if got := p.Collect(256); len(got) != 256 {
+			b.Fatalf("collected %d", len(got))
+		}
+	}
+}
+
+// BenchmarkMempoolCollectParallel10k is the same collection with the
+// per-shard sorts fanned over 8 workers; the batch is byte-identical.
+func BenchmarkMempoolCollectParallel10k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := scalePool(b, 10_000)
+		b.StartTimer()
+		if got := p.CollectParallel(256, 8); len(got) != 256 {
+			b.Fatalf("collected %d", len(got))
 		}
 	}
 }

@@ -34,6 +34,7 @@ import (
 
 	"parole/internal/chainid"
 	"parole/internal/cli"
+	"parole/internal/mempool"
 	"parole/internal/rollup"
 	"parole/internal/rpc"
 	"parole/internal/state"
@@ -64,6 +65,9 @@ func run() error {
 		price           = flag.Float64("price", 0.2, "initial price of the genesis collection, in ETH")
 		faucet          = flag.Bool("faucet", true, "serve parole_faucet (dev-mode account funding)")
 		timeout         = flag.Duration("timeout", 0, "stop the node after this duration (0 = run until signalled)")
+		mempoolShards   = flag.Int("mempool-shards", mempool.DefaultShards, "mempool shard count (per-account lock domains)")
+		mempoolCap      = flag.Int("mempool-capacity", 0, "max pending transactions across all shards (0 = unbounded)")
+		collectWorkers  = flag.Int("collect-workers", 1, "goroutines sorting mempool shards per collection (any value seals identical batches)")
 	)
 	obs.Register(flag.CommandLine)
 	flag.Parse()
@@ -72,14 +76,18 @@ func run() error {
 	ctx, cancel := cli.Context(*timeout)
 	defer cancel()
 
-	node := rollup.NewNode(rollup.Config{ChallengePeriod: *challengePeriod})
+	node := rollup.NewNode(rollup.Config{
+		ChallengePeriod: *challengePeriod,
+		Mempool:         mempool.Config{Shards: *mempoolShards, Capacity: *mempoolCap},
+	})
 	collection, err := genesis(node, *users, *fund, *supply, *price)
 	if err != nil {
 		return fmt.Errorf("genesis: %w", err)
 	}
 	seq, err := rpc.NewSequencer(node, rpc.SequencerConfig{
-		Interval:  *interval,
-		BatchSize: *batchSize,
+		Interval:       *interval,
+		BatchSize:      *batchSize,
+		CollectWorkers: *collectWorkers,
 	})
 	if err != nil {
 		return err

@@ -1,8 +1,9 @@
 package experiment
 
-// The nine built-in studies register here in the evaluation's canonical
-// order — the order an "all" run executes and emits, matching the paper's
-// presentation (Table III, Fig. 5–11, then the Section VIII defense study).
+// The built-in studies register here in the evaluation's canonical order —
+// the order an "all" run executes and emits, matching the paper's
+// presentation (Table III, Fig. 5–11, the Section VIII defense study), then
+// the batch-pipeline scaling study (docs/SCALING.md).
 func init() {
 	Register(table3Exp{})
 	Register(fig5Exp{})
@@ -13,4 +14,5 @@ func init() {
 	Register(fig10Exp{})
 	Register(fig11Exp{})
 	Register(defenseExp{})
+	Register(scaleExp{})
 }

@@ -1,0 +1,212 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"parole/internal/chainid"
+	"parole/internal/mempool"
+	"parole/internal/state"
+	"parole/internal/token"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// scaleExp is the batch-pipeline scaling study (docs/SCALING.md): for each
+// workload size N it drives the full mempool → batch → state-root pipeline —
+// admit N transactions into two identically provisioned sharded pools,
+// collect fixed-size batches from one serially and from the other with
+// scaleWorkers goroutines, apply every batch to one live State, and read the
+// incremental Merkle root after each batch.
+//
+// The point fails, rather than emitting a row, if any parallel batch differs
+// from its serial twin in any position, or if the final incremental root
+// disagrees with a cold rebuild — so a committed scale.tsv row is itself
+// evidence of the determinism and correctness claims, not just a timing.
+//
+// Deterministic columns come first (the batch digest chains every sealed
+// batch, so one differing transaction anywhere changes the committed cell);
+// the wall-clock columns are volatile and normalized by the determinism
+// tests.
+type scaleExp struct{}
+
+// Fixed pipeline shape: varied knobs would multiply the committed grid
+// without adding information — shard/worker invariance is separately pinned
+// by the mempool and rollup test suites.
+const (
+	scaleShards    = 32
+	scaleWorkers   = 8
+	scaleBatchSize = 256
+)
+
+func (scaleExp) Name() string { return "scale" }
+
+func (scaleExp) Columns() []string {
+	return []string{
+		"n", "users", "shards", "workers", "batches", "executed", "skipped",
+		"batch_digest", "state_root",
+		"admit_ms", "collect_ms", "exec_ms", "root_ms", "cold_root_ms", "total_ms",
+	}
+}
+
+// VolatileColumns marks the wall-clock measurements.
+func (scaleExp) VolatileColumns() []string {
+	return []string{"admit_ms", "collect_ms", "exec_ms", "root_ms", "cold_root_ms", "total_ms"}
+}
+
+// scaleSizes selects the workload sizes per budget.
+func scaleSizes(s Scale) []int {
+	switch s {
+	case ScaleFull:
+		return []int{1_000, 10_000, 100_000, 300_000}
+	case ScaleSmoke:
+		return []int{1_000}
+	default:
+		return []int{1_000, 10_000, 100_000}
+	}
+}
+
+func (scaleExp) Points(cfg Config) ([]Point, error) {
+	sizes := scaleSizes(cfg.Scale)
+	points := make([]Point, len(sizes))
+	for i, n := range sizes {
+		points[i] = Point{
+			Index: i,
+			Label: fmt.Sprintf("scale-n%d", n),
+			File:  "scale",
+			Seed:  cfg.Seed + 60 + int64(i),
+		}
+	}
+	return points, nil
+}
+
+func (scaleExp) RunPoint(ctx context.Context, cfg Config, p Point) ([]Row, error) {
+	n := scaleSizes(cfg.Scale)[p.Index]
+	users := n / 16
+	if users < 32 {
+		users = 32
+	}
+	if users > 4096 {
+		users = 4096
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	start := time.Now()
+
+	// World state: funded senders plus one large collection.
+	st := state.New()
+	for i := 0; i < users; i++ {
+		st.SetBalance(chainid.UserAddress(i), wei.FromETH(1_000))
+	}
+	ptAddr := chainid.DeriveAddress("scale-pt")
+	pt, err := token.Deploy(ptAddr, token.Config{
+		Name: "ScalePT", Symbol: "SPT",
+		MaxSupply: uint64(n) + 1, InitialPrice: wei.FromFloat(0.001),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := st.DeployToken(pt); err != nil {
+		return nil, err
+	}
+	st.Root() // build the incremental tree once, before the batch loop
+
+	// Twin pools, identical admission stream: serial collects with one
+	// worker, parallel with scaleWorkers.
+	poolCfg := mempool.Config{Shards: scaleShards}
+	serial := mempool.NewWithConfig(poolCfg)
+	parallel := mempool.NewWithConfig(poolCfg)
+	tAdmit := time.Now()
+	for i := 0; i < n; i++ {
+		m := tx.Mint(ptAddr, uint64(i), chainid.UserAddress(rng.Intn(users))).
+			WithFees(wei.Amount(1+rng.Int63n(1_000)), wei.Amount(rng.Int63n(100)))
+		if err := serial.Add(m); err != nil {
+			return nil, fmt.Errorf("scale: admit serial tx %d: %w", i, err)
+		}
+		if err := parallel.Add(m); err != nil {
+			return nil, fmt.Errorf("scale: admit parallel tx %d: %w", i, err)
+		}
+	}
+	admitMS := time.Since(tAdmit)
+
+	// Batch loop: collect both ways, require byte identity, apply to the
+	// state, and read the incremental root after every batch.
+	var (
+		batches, executed, skipped int
+		collectMS, execMS, rootMS  time.Duration
+		digest                     chainid.Hash
+		root                       chainid.Hash
+	)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		bs := serial.Collect(scaleBatchSize)
+		bp := parallel.CollectParallel(scaleBatchSize, scaleWorkers)
+		collectMS += time.Since(t0)
+		if len(bs) != len(bp) {
+			return nil, fmt.Errorf("scale: batch %d: serial collected %d, parallel %d", batches, len(bs), len(bp))
+		}
+		if len(bs) == 0 {
+			break
+		}
+		for i := range bs {
+			if bs[i] != bp[i] {
+				return nil, fmt.Errorf("scale: batch %d diverges at position %d: serial %v, parallel %v",
+					batches, i, bs[i], bp[i])
+			}
+		}
+		digest = chainid.CombineHashes(digest, bs.Hash())
+
+		t1 := time.Now()
+		for _, m := range bs {
+			if err := st.Debit(m.From, m.Fee()); err != nil {
+				skipped++
+				continue
+			}
+			if err := st.MintToken(pt, m.From, m.TokenID); err != nil {
+				st.Credit(m.From, m.Fee()) // refund the failed mint
+				skipped++
+				continue
+			}
+			st.BumpNonce(m.From)
+			executed++
+		}
+		execMS += time.Since(t1)
+
+		t2 := time.Now()
+		root = st.Root()
+		rootMS += time.Since(t2)
+		batches++
+	}
+
+	// The committed row asserts the incremental root agrees with a cold
+	// rebuild over the final state.
+	t3 := time.Now()
+	cold := st.ColdRoot()
+	coldMS := time.Since(t3)
+	if root != cold {
+		return nil, fmt.Errorf("scale: incremental root %s != cold rebuild %s after %d batches", root, cold, batches)
+	}
+
+	return []Row{{
+		strconv.Itoa(n),
+		strconv.Itoa(users),
+		strconv.Itoa(scaleShards),
+		strconv.Itoa(scaleWorkers),
+		strconv.Itoa(batches),
+		strconv.Itoa(executed),
+		strconv.Itoa(skipped),
+		digest.Hex(),
+		root.Hex(),
+		strconv.FormatInt(admitMS.Milliseconds(), 10),
+		strconv.FormatInt(collectMS.Milliseconds(), 10),
+		strconv.FormatInt(execMS.Milliseconds(), 10),
+		strconv.FormatInt(rootMS.Milliseconds(), 10),
+		strconv.FormatInt(coldMS.Milliseconds(), 10),
+		strconv.FormatInt(time.Since(start).Milliseconds(), 10),
+	}}, nil
+}

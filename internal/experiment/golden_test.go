@@ -116,3 +116,8 @@ func goldenFull(t *testing.T) {
 func TestGoldenFig6(t *testing.T)  { goldenFull(t); goldenCompare(t, "fig6") }
 func TestGoldenFig9(t *testing.T)  { goldenFull(t); goldenCompare(t, "fig9") }
 func TestGoldenFig11(t *testing.T) { goldenFull(t); goldenCompare(t, "fig11") }
+
+// The scaling study's N=100k point takes ~20s (minutes under -race), so its
+// golden runs with the full tier; TestScaleSmokeDeterminism in scale_test.go
+// covers the N=1k pipeline on every test run.
+func TestGoldenScale(t *testing.T) { goldenFull(t); goldenCompare(t, "scale") }

@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runScale executes the scaling study at the smoke budget and returns the
+// volatile-normalized scale.tsv contents.
+func runScale(t *testing.T, workers int) string {
+	t.Helper()
+	exp, err := Lookup("scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	runner := &Runner{Workers: workers}
+	cfg := Config{Seed: 1, Scale: ScaleSmoke}
+	if err := runner.Run(context.Background(), []Experiment{exp}, cfg, &DirEmitter{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "scale.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return normalizeVolatile(t, exp, string(data))
+}
+
+// TestScaleSmokeDeterminism runs the N=1k pipeline serially and with a
+// parallel runner: the deterministic columns — including the chained batch
+// digest and the final state root — must match byte for byte. The in-point
+// serial-vs-parallel collection check and the incremental-vs-cold root check
+// run as part of every point, so a passing run is also a correctness check
+// of the sharded mempool and the incremental tree at pipeline scale.
+func TestScaleSmokeDeterminism(t *testing.T) {
+	serial := runScale(t, 1)
+	parallel := runScale(t, 4)
+	if serial != parallel {
+		t.Fatalf("scale.tsv differs between -workers 1 and -workers 4:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}

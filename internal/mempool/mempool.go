@@ -12,6 +12,15 @@
 // The pool also implements the demotion primitive of the Section VIII
 // defense: sending selected transactions "to the block behind" by moving
 // them after every non-demoted transaction.
+//
+// Internally the pool is sharded by sender account: each shard owns its own
+// lock and pending map, so concurrent RPC submitters (different senders)
+// admit without serializing on one mutex, and batch collection can sort the
+// shards in parallel. The canonical collection order is a *global* total
+// order — non-demoted before demoted, then descending total fee, then a
+// globally stamped arrival sequence — so the sharding (and the number of
+// collect workers) never changes a single collected byte; see
+// TestCollectShardAndWorkerInvariance.
 package mempool
 
 import (
@@ -19,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"parole/internal/chainid"
 	"parole/internal/telemetry"
@@ -32,6 +42,10 @@ var (
 	mDemoted     = telemetry.Default().Counter("mempool.demoted")
 	mCollects    = telemetry.Default().Counter("mempool.collects")
 	mCollectSize = telemetry.Default().Histogram("mempool.collect.batch_size", telemetry.SizeBuckets)
+	mEvicted     = telemetry.Default().Counter("mempool.evicted")
+	mReplaced    = telemetry.Default().Counter("mempool.replaced")
+	mShards      = telemetry.Default().Gauge("mempool.shards")
+	mShardOcc    = telemetry.Default().Histogram("mempool.shard.occupancy", telemetry.SizeBuckets)
 )
 
 // Errors returned by pool operations.
@@ -39,7 +53,40 @@ var (
 	ErrDuplicate = errors.New("mempool: transaction already pending")
 	ErrUnknownTx = errors.New("mempool: transaction not pending")
 	ErrInvalidTx = errors.New("mempool: invalid transaction")
+	// ErrUnderpriced rejects an admission that cannot pay its way in: a
+	// same-sender same-nonce replacement without a fee bump (Config.
+	// ReplaceByNonce), or a transaction arriving at a full pool with a fee
+	// no better than the cheapest pending transaction's.
+	ErrUnderpriced = errors.New("mempool: transaction underpriced")
+	// ErrPoolFull rejects an admission at capacity when no pending
+	// transaction orders below the newcomer.
+	ErrPoolFull = errors.New("mempool: pool at capacity")
 )
+
+// DefaultShards is the shard count Config.Shards == 0 resolves to. Sixteen
+// shards keep the per-shard mutex essentially uncontended at the node's RPC
+// worker counts while staying small enough that probing every shard (hash
+// lookups: Demote/Remove) is a handful of map reads.
+const DefaultShards = 16
+
+// Config parameterizes a pool. The zero value is the historical behavior:
+// unbounded capacity, no replacement, DefaultShards shards.
+type Config struct {
+	// Shards is the number of per-account shards (0 = DefaultShards).
+	Shards int
+	// Capacity bounds the total pending transactions across all shards
+	// (0 = unbounded). At capacity, admission evicts the globally
+	// lowest-priority pending transaction if the newcomer outranks it, and
+	// rejects the newcomer with ErrUnderpriced/ErrPoolFull otherwise.
+	Capacity int
+	// ReplaceByNonce enables fee-bump replacement: a transaction with the
+	// same (sender, nonce) as a pending one replaces it when it pays a
+	// strictly higher total fee, and is rejected as ErrUnderpriced when it
+	// does not. Off by default — the simulator's nonce stamping assigns the
+	// same nonce to every pending transaction of a sender, so replacement
+	// only makes sense for workloads that manage nonces themselves.
+	ReplaceByNonce bool
+}
 
 // entry is one pending transaction with its arrival order.
 type entry struct {
@@ -48,16 +95,85 @@ type entry struct {
 	demoted bool
 }
 
-// Pool is Bedrock's private mempool. It is safe for concurrent use.
-type Pool struct {
-	mu      sync.Mutex
-	pending map[chainid.Hash]*entry
-	nextSeq uint64
+// before reports the canonical collection order: non-demoted before demoted,
+// then descending total fee, then arrival. Arrival stamps are unique, so
+// this is a total order — the pool's one source of ordering truth, shared by
+// per-shard sorts, the k-way merge, and eviction (which removes the last
+// element of this order).
+func (e *entry) before(o *entry) bool {
+	if e.demoted != o.demoted {
+		return !e.demoted
+	}
+	if fa, fb := e.tx.Fee(), o.tx.Fee(); fa != fb {
+		return fa > fb
+	}
+	return e.arrival < o.arrival
 }
 
-// New returns an empty pool.
-func New() *Pool {
-	return &Pool{pending: make(map[chainid.Hash]*entry)}
+// nonceKey identifies a (sender, nonce) slot for replacement.
+type nonceKey struct {
+	from  chainid.Address
+	nonce uint64
+}
+
+// shard is one lock domain: the pending transactions of the senders that
+// hash here.
+type shard struct {
+	mu      sync.Mutex
+	pending map[chainid.Hash]*entry
+	// byNonce indexes pending by (sender, nonce); maintained only when
+	// replacement is enabled.
+	byNonce map[nonceKey]chainid.Hash
+}
+
+// Pool is Bedrock's private mempool. It is safe for concurrent use.
+type Pool struct {
+	cfg     Config
+	shards  []*shard
+	nextSeq atomic.Uint64
+	size    atomic.Int64
+	// evictMu serializes the at-capacity admission path, which must scan
+	// shards for a victim; the common under-capacity path never takes it.
+	evictMu sync.Mutex
+}
+
+// New returns an empty pool with the default configuration.
+func New() *Pool { return NewWithConfig(Config{}) }
+
+// NewWithConfig returns an empty pool with the given shard count, capacity
+// bound, and replacement policy.
+func NewWithConfig(cfg Config) *Pool {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	p := &Pool{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range p.shards {
+		p.shards[i] = &shard{pending: make(map[chainid.Hash]*entry)}
+		if cfg.ReplaceByNonce {
+			p.shards[i].byNonce = make(map[nonceKey]chainid.Hash)
+		}
+	}
+	mShards.Set(float64(cfg.Shards))
+	return p
+}
+
+// Config returns the pool's configuration (defaults resolved).
+func (p *Pool) Config() Config { return p.cfg }
+
+// shardFor maps a sender to its shard (FNV-1a over the address bytes). All
+// transactions of one sender land in one shard, which is what makes the
+// (sender, nonce) replacement index a single-shard affair.
+func (p *Pool) shardFor(from chainid.Address) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range from {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return p.shards[h%uint64(len(p.shards))]
 }
 
 // Add accepts a transaction into the pool after structural validation.
@@ -66,20 +182,148 @@ func (p *Pool) Add(t tx.Tx) error {
 		return fmt.Errorf("%w: %v", ErrInvalidTx, err)
 	}
 	h := t.Hash()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if _, dup := p.pending[h]; dup {
+	sh := p.shardFor(t.From)
+
+	sh.mu.Lock()
+	if _, dup := sh.pending[h]; dup {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrDuplicate, h)
 	}
-	p.pending[h] = &entry{tx: t, arrival: p.nextSeq}
-	p.nextSeq++
+	if p.cfg.ReplaceByNonce {
+		key := nonceKey{from: t.From, nonce: t.Nonce}
+		if oldHash, ok := sh.byNonce[key]; ok {
+			old := sh.pending[oldHash]
+			if t.Fee() <= old.tx.Fee() {
+				sh.mu.Unlock()
+				return fmt.Errorf("%w: replacement for %s nonce %d pays %s, pending pays %s",
+					ErrUnderpriced, t.From, t.Nonce, t.Fee(), old.tx.Fee())
+			}
+			delete(sh.pending, oldHash)
+			sh.insertLocked(p, t, h)
+			sh.mu.Unlock()
+			mReplaced.Inc()
+			p.traceAdmit(t, h, "replaced")
+			return nil
+		}
+	}
+	if p.cfg.Capacity > 0 && int(p.size.Load()) >= p.cfg.Capacity {
+		sh.mu.Unlock()
+		return p.addEvicting(t, h, sh)
+	}
+	sh.insertLocked(p, t, h)
+	p.size.Add(1)
+	sh.mu.Unlock()
 	mAdded.Inc()
+	p.traceAdmit(t, h, "admitted")
+	return nil
+}
+
+// insertLocked stamps and stores t. Callers hold sh.mu.
+func (sh *shard) insertLocked(p *Pool, t tx.Tx, h chainid.Hash) {
+	sh.pending[h] = &entry{tx: t, arrival: p.nextSeq.Add(1) - 1}
+	if sh.byNonce != nil {
+		sh.byNonce[nonceKey{from: t.From, nonce: t.Nonce}] = h
+	}
+}
+
+// removeLocked drops an entry and its indexes. Callers hold sh.mu.
+func (sh *shard) removeLocked(h chainid.Hash) {
+	e, ok := sh.pending[h]
+	if !ok {
+		return
+	}
+	delete(sh.pending, h)
+	if sh.byNonce != nil {
+		key := nonceKey{from: e.tx.From, nonce: e.tx.Nonce}
+		if sh.byNonce[key] == h {
+			delete(sh.byNonce, key)
+		}
+	}
+}
+
+// addEvicting is the at-capacity slow path: find the globally worst pending
+// transaction, and either evict it (newcomer outranks it) or reject the
+// newcomer. Serialized so capacity cannot be overshot by concurrent
+// admissions racing the same last slot.
+func (p *Pool) addEvicting(t tx.Tx, h chainid.Hash, target *shard) error {
+	p.evictMu.Lock()
+	defer p.evictMu.Unlock()
+
+	// Re-check under the admission lock: a concurrent Collect/Remove may
+	// have made room.
+	if int(p.size.Load()) < p.cfg.Capacity {
+		target.mu.Lock()
+		if _, dup := target.pending[h]; dup {
+			target.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrDuplicate, h)
+		}
+		target.insertLocked(p, t, h)
+		p.size.Add(1)
+		target.mu.Unlock()
+		mAdded.Inc()
+		p.traceAdmit(t, h, "admitted")
+		return nil
+	}
+
+	// The newcomer competes as if admitted now: newest arrival, so it loses
+	// every tie. Find the globally worst pending entry.
+	newcomer := &entry{tx: t, arrival: p.nextSeq.Load()}
+	var victimShard *shard
+	var victimHash chainid.Hash
+	var victim entry
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for vh, e := range sh.pending {
+			if victimShard == nil || victim.before(e) {
+				victimShard, victimHash, victim = sh, vh, *e
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if victimShard == nil {
+		// Capacity 0 < size means shards emptied between the check and the
+		// scan; fall through to plain admission.
+		return p.Add(t)
+	}
+	if !newcomer.before(&victim) {
+		if t.Fee() <= victim.tx.Fee() {
+			return fmt.Errorf("%w: fee %s does not beat the cheapest pending fee %s at capacity %d",
+				ErrUnderpriced, t.Fee(), victim.tx.Fee(), p.cfg.Capacity)
+		}
+		return fmt.Errorf("%w: capacity %d", ErrPoolFull, p.cfg.Capacity)
+	}
+	victimShard.mu.Lock()
+	if _, still := victimShard.pending[victimHash]; still {
+		victimShard.removeLocked(victimHash)
+		p.size.Add(-1)
+		mEvicted.Inc()
+		if trace.Enabled() {
+			trace.Event(victimHash.Hex(), trace.StageMempoolAdmit, "evicted",
+				trace.Int("fee", int64(victim.tx.Fee())))
+		}
+	}
+	victimShard.mu.Unlock()
+
+	target.mu.Lock()
+	if _, dup := target.pending[h]; dup {
+		target.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrDuplicate, h)
+	}
+	target.insertLocked(p, t, h)
+	p.size.Add(1)
+	target.mu.Unlock()
+	mAdded.Inc()
+	p.traceAdmit(t, h, "admitted")
+	return nil
+}
+
+// traceAdmit records the admission lifecycle event.
+func (p *Pool) traceAdmit(t tx.Tx, h chainid.Hash, what string) {
 	if trace.Enabled() {
-		trace.Event(h.Hex(), trace.StageMempoolAdmit, "admitted",
+		trace.Event(h.Hex(), trace.StageMempoolAdmit, what,
 			trace.Str("kind", t.Kind.String()),
 			trace.Int("fee", int64(t.Fee())))
 	}
-	return nil
 }
 
 // AddAll accepts every transaction or returns the first error.
@@ -93,34 +337,40 @@ func (p *Pool) AddAll(seq tx.Seq) error {
 }
 
 // Size returns the number of pending transactions.
-func (p *Pool) Size() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.pending)
-}
+func (p *Pool) Size() int { return int(p.size.Load()) }
 
 // Pending returns the pending transactions in collection order without
 // removing them.
 func (p *Pool) Pending() tx.Seq {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.orderedLocked(len(p.pending))
+	p.lockAll()
+	defer p.unlockAll()
+	return p.mergeLocked(p.Size(), 1, nil)
 }
 
 // Collect removes and returns up to n transactions in the pool's canonical
 // order: non-demoted before demoted, then descending total fee, then arrival
 // order. This is the batch an aggregator receives; it has no influence over
 // which transactions it gets.
-func (p *Pool) Collect(n int) tx.Seq {
-	sp := trace.StartSpan(trace.SpanMempoolCollect, trace.Int("requested", int64(n)))
-	p.mu.Lock()
-	batch := p.orderedLocked(n)
-	for _, t := range batch {
-		delete(p.pending, t.Hash())
-	}
+func (p *Pool) Collect(n int) tx.Seq { return p.CollectParallel(n, 1) }
+
+// CollectParallel is Collect with the per-shard sorts fanned over up to
+// workers goroutines (≤1 sorts serially, 0 is treated as 1). The canonical
+// order is a total order assembled by a deterministic merge, so the result
+// is byte-identical for every worker count — batch building parallelizes
+// without perturbing a single sealed batch.
+func (p *Pool) CollectParallel(n, workers int) tx.Seq {
+	sp := trace.StartSpan(trace.SpanMempoolCollect,
+		trace.Int("requested", int64(n)),
+		trace.Int("shards", int64(len(p.shards))),
+		trace.Int("workers", int64(max(workers, 1))))
+	p.lockAll()
+	batch := p.mergeLocked(n, workers, func(sh *shard, t tx.Tx) {
+		sh.removeLocked(t.Hash())
+		p.size.Add(-1)
+	})
 	mCollects.Inc()
 	mCollectSize.Observe(float64(len(batch)))
-	p.mu.Unlock()
+	p.unlockAll()
 	if trace.Enabled() {
 		for i, t := range batch {
 			trace.Event(t.Hash().Hex(), trace.StageMempoolCollect, "collected",
@@ -133,60 +383,132 @@ func (p *Pool) Collect(n int) tx.Seq {
 	return batch
 }
 
+// lockAll / unlockAll take every shard lock in index order, making Pending
+// and Collect atomic against concurrent admissions — a collected batch is a
+// consistent cut of the pool, exactly as with the old single lock.
+func (p *Pool) lockAll() {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+	}
+}
+
+func (p *Pool) unlockAll() {
+	for _, sh := range p.shards {
+		sh.mu.Unlock()
+	}
+}
+
+// mergeLocked sorts each shard (optionally in parallel) and k-way merges the
+// shard orders into the global canonical order, taking up to n entries. When
+// remove is non-nil each taken transaction is removed from its shard.
+// Callers hold every shard lock.
+func (p *Pool) mergeLocked(n int, workers int, remove func(*shard, tx.Tx)) tx.Seq {
+	if n < 0 {
+		n = 0
+	}
+	total := 0
+	sorted := make([][]*entry, len(p.shards))
+	for i, sh := range p.shards {
+		total += len(sh.pending)
+		mShardOcc.Observe(float64(len(sh.pending)))
+		sorted[i] = make([]*entry, 0, len(sh.pending))
+	}
+	if n > total {
+		n = total
+	}
+
+	sortShard := func(i int) {
+		sh := p.shards[i]
+		es := sorted[i]
+		for _, e := range sh.pending {
+			es = append(es, e)
+		}
+		sort.Slice(es, func(a, b int) bool { return es[a].before(es[b]) })
+		sorted[i] = es
+	}
+	if workers > len(p.shards) {
+		workers = len(p.shards)
+	}
+	if workers <= 1 {
+		for i := range p.shards {
+			sortShard(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(p.shards) {
+						return
+					}
+					sortShard(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	msp := trace.StartSpan(trace.SpanMempoolMerge, trace.Int("pending", int64(total)))
+	defer msp.End()
+	heads := make([]int, len(sorted))
+	out := make(tx.Seq, 0, n)
+	for len(out) < n {
+		best := -1
+		for i, es := range sorted {
+			if heads[i] >= len(es) {
+				continue
+			}
+			if best < 0 || es[heads[i]].before(sorted[best][heads[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := sorted[best][heads[best]]
+		heads[best]++
+		out = append(out, e.tx)
+		if remove != nil {
+			remove(p.shards[best], e.tx)
+		}
+	}
+	return out
+}
+
 // Demote marks a pending transaction so that it orders after every
 // non-demoted transaction — the defense's "send to the block behind".
 func (p *Pool) Demote(h chainid.Hash) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	e, ok := p.pending[h]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownTx, h)
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		if e, ok := sh.pending[h]; ok {
+			e.demoted = true
+			sh.mu.Unlock()
+			mDemoted.Inc()
+			if trace.Enabled() {
+				trace.Event(h.Hex(), trace.StageMempoolDemote, "demoted")
+			}
+			return nil
+		}
+		sh.mu.Unlock()
 	}
-	e.demoted = true
-	mDemoted.Inc()
-	if trace.Enabled() {
-		trace.Event(h.Hex(), trace.StageMempoolDemote, "demoted")
-	}
-	return nil
+	return fmt.Errorf("%w: %s", ErrUnknownTx, h)
 }
 
 // Remove drops a pending transaction (e.g. after inclusion elsewhere).
 func (p *Pool) Remove(h chainid.Hash) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if _, ok := p.pending[h]; !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownTx, h)
-	}
-	delete(p.pending, h)
-	return nil
-}
-
-// orderedLocked returns up to n pending txs in canonical order. Callers must
-// hold p.mu.
-func (p *Pool) orderedLocked(n int) tx.Seq {
-	entries := make([]*entry, 0, len(p.pending))
-	for _, e := range p.pending {
-		entries = append(entries, e)
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		a, b := entries[i], entries[j]
-		if a.demoted != b.demoted {
-			return !a.demoted
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		if _, ok := sh.pending[h]; ok {
+			sh.removeLocked(h)
+			p.size.Add(-1)
+			sh.mu.Unlock()
+			return nil
 		}
-		if fa, fb := a.tx.Fee(), b.tx.Fee(); fa != fb {
-			return fa > fb
-		}
-		return a.arrival < b.arrival
-	})
-	if n < 0 {
-		n = 0
+		sh.mu.Unlock()
 	}
-	if n > len(entries) {
-		n = len(entries)
-	}
-	out := make(tx.Seq, 0, n)
-	for _, e := range entries[:n] {
-		out = append(out, e.tx)
-	}
-	return out
+	return fmt.Errorf("%w: %s", ErrUnknownTx, h)
 }

@@ -1,0 +1,295 @@
+package mempool
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"parole/internal/chainid"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// txFrom builds a valid mint from a distinct sender so admissions spread
+// across shards.
+func txFrom(user int, id uint64, fee wei.Amount) tx.Tx {
+	return tx.Mint(ptAddr, id, chainid.UserAddress(user)).WithFees(fee, 0)
+}
+
+// TestCollectShardAndWorkerInvariance pins the determinism contract: the
+// collected batch is byte-identical regardless of shard count and collect
+// worker count.
+func TestCollectShardAndWorkerInvariance(t *testing.T) {
+	build := func(shards int) *Pool {
+		p := NewWithConfig(Config{Shards: shards})
+		for i := 0; i < 200; i++ {
+			// Fees collide heavily so arrival tie-breaks are exercised.
+			if err := p.Add(txFrom(i%37, uint64(i), wei.Amount(1+i%11))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Demote a few so the demoted-last rule crosses shard boundaries.
+		for i := 0; i < 200; i += 17 {
+			if err := p.Demote(txFrom(i%37, uint64(i), wei.Amount(1+i%11)).Hash()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p
+	}
+
+	ref := build(1).Collect(150)
+	for _, shards := range []int{2, 7, 16, 64} {
+		for _, workers := range []int{1, 3, 8} {
+			got := build(shards).CollectParallel(150, workers)
+			if len(got) != len(ref) {
+				t.Fatalf("shards=%d workers=%d: len %d, want %d", shards, workers, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("shards=%d workers=%d: batch diverges at %d: %v != %v",
+						shards, workers, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestNonceReplacementFeeBump covers the opt-in duplicate-nonce path: a
+// same-(sender,nonce) transaction replaces the pending one iff it pays a
+// strictly higher fee.
+func TestNonceReplacementFeeBump(t *testing.T) {
+	p := NewWithConfig(Config{ReplaceByNonce: true})
+	orig := txFrom(1, 1, 10).WithNonce(7)
+	if err := p.Add(orig); err != nil {
+		t.Fatal(err)
+	}
+
+	// Equal fee: rejected as underpriced, original stays.
+	sameFee := txFrom(1, 2, 10).WithNonce(7)
+	if err := p.Add(sameFee); !errors.Is(err, ErrUnderpriced) {
+		t.Fatalf("equal-fee replacement = %v, want ErrUnderpriced", err)
+	}
+	// Lower fee: also rejected.
+	if err := p.Add(txFrom(1, 3, 5).WithNonce(7)); !errors.Is(err, ErrUnderpriced) {
+		t.Fatal("lower-fee replacement accepted")
+	}
+	if p.Size() != 1 {
+		t.Fatalf("Size = %d after rejected replacements, want 1", p.Size())
+	}
+
+	// Strictly higher fee: replaces in place.
+	bumped := txFrom(1, 4, 25).WithNonce(7)
+	if err := p.Add(bumped); err != nil {
+		t.Fatalf("fee-bump replacement: %v", err)
+	}
+	if p.Size() != 1 {
+		t.Fatalf("Size = %d after replacement, want 1", p.Size())
+	}
+	got := p.Collect(1)
+	if len(got) != 1 || got[0] != bumped {
+		t.Fatalf("Collect = %v, want the bumped tx", got)
+	}
+	if err := p.Remove(orig.Hash()); !errors.Is(err, ErrUnknownTx) {
+		t.Fatal("original tx still pending after replacement")
+	}
+
+	// Different nonce from the same sender is not a replacement.
+	if err := p.Add(txFrom(1, 5, 1).WithNonce(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(txFrom(1, 6, 1).WithNonce(9)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("Size = %d, want 2 distinct nonces", p.Size())
+	}
+}
+
+// TestNonceReplacementOffByDefault: without the flag, same-(sender,nonce)
+// transactions coexist — the simulator's nonce stamping depends on this.
+func TestNonceReplacementOffByDefault(t *testing.T) {
+	p := New()
+	if err := p.Add(txFrom(1, 1, 10).WithNonce(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(txFrom(1, 2, 25).WithNonce(7)); err != nil {
+		t.Fatalf("same-nonce add with replacement off = %v, want nil", err)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", p.Size())
+	}
+}
+
+// TestCapacityEvictionOrder covers eviction at capacity across shards: the
+// globally cheapest pending transaction is evicted (wherever its shard), a
+// newcomer that cannot beat it is rejected, and ties favor the incumbent.
+func TestCapacityEvictionOrder(t *testing.T) {
+	p := NewWithConfig(Config{Shards: 8, Capacity: 4})
+	fees := []wei.Amount{40, 10, 30, 20} // senders 0..3, spread over shards
+	txs := make([]tx.Tx, len(fees))
+	for i, f := range fees {
+		txs[i] = txFrom(i, uint64(i), f)
+		if err := p.Add(txs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Equal to the cheapest (10): rejected, incumbent wins the tie.
+	if err := p.Add(txFrom(9, 100, 10)); !errors.Is(err, ErrUnderpriced) {
+		t.Fatalf("tie add = %v, want ErrUnderpriced", err)
+	}
+	// Below the cheapest: rejected.
+	if err := p.Add(txFrom(9, 101, 5)); !errors.Is(err, ErrUnderpriced) {
+		t.Fatal("cheaper add accepted at capacity")
+	}
+	if p.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", p.Size())
+	}
+
+	// Better than the cheapest: evicts exactly the fee-10 transaction.
+	better := txFrom(9, 102, 15)
+	if err := p.Add(better); err != nil {
+		t.Fatalf("evicting add: %v", err)
+	}
+	if p.Size() != 4 {
+		t.Fatalf("Size = %d after eviction, want 4", p.Size())
+	}
+	if err := p.Remove(txs[1].Hash()); !errors.Is(err, ErrUnknownTx) {
+		t.Fatal("fee-10 transaction not evicted")
+	}
+	got := p.Collect(4)
+	want := tx.Seq{txs[0], txs[2], txs[3], better} // 40, 30, 20, 15
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-eviction order[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// A demoted transaction is the preferred victim regardless of fee.
+	p2 := NewWithConfig(Config{Shards: 8, Capacity: 2})
+	rich := txFrom(0, 0, 100)
+	poor := txFrom(1, 1, 5)
+	if err := p2.AddAll(tx.Seq{rich, poor}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Demote(rich.Hash()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Add(txFrom(2, 2, 6)); err != nil {
+		t.Fatalf("add over demoted: %v", err)
+	}
+	if err := p2.Remove(rich.Hash()); !errors.Is(err, ErrUnknownTx) {
+		t.Fatal("demoted fee-100 transaction survived eviction over fee-5")
+	}
+}
+
+// TestCapacityRefillsAfterCollect: collection frees capacity for later
+// admissions without eviction.
+func TestCapacityRefillsAfterCollect(t *testing.T) {
+	p := NewWithConfig(Config{Capacity: 2})
+	if err := p.AddAll(tx.Seq{txFrom(0, 0, 10), txFrom(1, 1, 20)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Collect(1); len(got) != 1 {
+		t.Fatal("collect")
+	}
+	if err := p.Add(txFrom(2, 2, 1)); err != nil {
+		t.Fatalf("add after collect freed a slot: %v", err)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", p.Size())
+	}
+}
+
+// TestConcurrentAddDemoteCollect hammers admission, demotion, and collection
+// from many goroutines; run under -race this is the satellite's concurrency
+// check. Every admitted transaction must end up either collected or still
+// pending, exactly once.
+func TestConcurrentAddDemoteCollect(t *testing.T) {
+	p := NewWithConfig(Config{Shards: 8})
+	const senders, perSender = 16, 25
+
+	var wg sync.WaitGroup
+	collected := make(chan tx.Seq, senders*perSender)
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				m := txFrom(s, uint64(i), wei.Amount(1+(s+i)%13))
+				if err := p.Add(m); err != nil {
+					t.Errorf("Add: %v", err)
+					return
+				}
+				if i%5 == 0 {
+					// Demote may race a concurrent Collect that already took
+					// the tx; ErrUnknownTx is then expected.
+					if err := p.Demote(m.Hash()); err != nil && !errors.Is(err, ErrUnknownTx) {
+						t.Errorf("Demote: %v", err)
+					}
+				}
+				if i%9 == 0 {
+					collected <- p.CollectParallel(3, 2)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(collected)
+
+	seen := make(map[chainid.Hash]int)
+	total := 0
+	for batch := range collected {
+		for _, m := range batch {
+			seen[m.Hash()]++
+			total += 1
+		}
+	}
+	for _, m := range p.Pending() {
+		seen[m.Hash()]++
+		total++
+	}
+	if total != senders*perSender {
+		t.Fatalf("collected+pending = %d, want %d", total, senders*perSender)
+	}
+	for h, n := range seen {
+		if n != 1 {
+			t.Fatalf("tx %s appeared %d times", h, n)
+		}
+	}
+}
+
+// TestConcurrentAddWithCapacity checks the eviction path under contention:
+// the pool never exceeds its capacity bound.
+func TestConcurrentAddWithCapacity(t *testing.T) {
+	const cap = 32
+	p := NewWithConfig(Config{Shards: 4, Capacity: cap})
+	var wg sync.WaitGroup
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				err := p.Add(txFrom(s, uint64(i), wei.Amount(1+(s*50+i)%97)))
+				if err != nil && !errors.Is(err, ErrUnderpriced) && !errors.Is(err, ErrPoolFull) {
+					t.Errorf("Add: %v", err)
+				}
+				if got := p.Size(); got > cap {
+					t.Errorf("Size = %d exceeds capacity %d", got, cap)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if got := p.Size(); got != cap {
+		t.Fatalf("final Size = %d, want %d", got, cap)
+	}
+	// The survivors are collected in canonical order; fees must be
+	// non-increasing within the non-demoted prefix.
+	batch := p.Collect(cap)
+	for i := 1; i < len(batch); i++ {
+		if batch[i].Fee() > batch[i-1].Fee() {
+			t.Fatalf("collected fees not sorted at %d: %s > %s", i, batch[i].Fee(), batch[i-1].Fee())
+		}
+	}
+}

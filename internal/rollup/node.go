@@ -50,6 +50,9 @@ type Config struct {
 	ChallengePeriod uint64
 	// StateIndexBase offsets the L1 state index (Table III realism).
 	StateIndexBase uint64
+	// Mempool configures Bedrock's pool (shard count, capacity bound,
+	// replacement policy). The zero value keeps the defaults.
+	Mempool mempool.Config
 }
 
 // Node owns the canonical L2 state and wires the mempool, OVM, L1 chain, and
@@ -72,7 +75,7 @@ type Node struct {
 func NewNode(cfg Config) *Node {
 	n := &Node{
 		l1chain:   l1.NewChain(cfg.GenesisL1Number),
-		pool:      mempool.New(),
+		pool:      mempool.NewWithConfig(cfg.Mempool),
 		vm:        ovm.New(),
 		l2:        state.New(),
 		snapshots: make(map[chainid.Hash]*state.State),
@@ -247,7 +250,16 @@ func (n *Node) BatchStatusCounts() (pending, finalized, reverted uint64) {
 // in fee order, paired with a clone of the current L2 state — exactly what
 // an aggregator receives.
 func (n *Node) Collect(size int) (tx.Seq, *state.State) {
-	batch := n.pool.Collect(size)
+	return n.CollectParallel(size, 1)
+}
+
+// CollectParallel is Collect with the mempool's per-shard sorting fanned
+// over up to workers goroutines. The collected batch is byte-identical to
+// the serial one for every worker count — the mempool's canonical order is
+// a total order assembled by a deterministic merge — so concurrent batch
+// building never perturbs a sealed batch.
+func (n *Node) CollectParallel(size, workers int) (tx.Seq, *state.State) {
+	batch := n.pool.CollectParallel(size, workers)
 	return batch, n.L2State()
 }
 

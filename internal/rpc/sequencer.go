@@ -24,6 +24,10 @@ type SequencerConfig struct {
 	// Bond posted when registering the aggregator on the ORSC. Zero
 	// defaults to 10 ETH.
 	Bond wei.Amount
+	// CollectWorkers fans the mempool's per-shard sorting over this many
+	// goroutines during collection. Any value produces byte-identical
+	// batches; zero or one collects serially.
+	CollectWorkers int
 }
 
 // SealInfo summarizes one sealed batch for RPC consumers.
@@ -100,7 +104,7 @@ func (q *Sequencer) Run(ctx context.Context) {
 func (q *Sequencer) Seal() (*SealInfo, error) {
 	sp := trace.StartSpan(trace.SpanNodeSeal)
 	defer sp.End()
-	batch, _ := q.node.Collect(q.cfg.BatchSize)
+	batch, _ := q.node.CollectParallel(q.cfg.BatchSize, q.cfg.CollectWorkers)
 	if len(batch) == 0 {
 		q.node.AdvanceRound()
 		sp.SetAttr(trace.Int("txs", 0))

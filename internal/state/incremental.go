@@ -1,0 +1,247 @@
+package state
+
+import (
+	"sort"
+
+	"parole/internal/chainid"
+	"parole/internal/telemetry"
+	"parole/internal/trace"
+)
+
+// Incremental-root metrics (docs/METRICS.md §state). The root cache now has
+// three outcomes instead of two: a full rebuild (computes), an incremental
+// dirty-path update (incremental, with dirty_leaves counting the leaves that
+// actually changed), and a pure cache hit — which includes the case where
+// every pending write turned out to be a no-op, e.g. a fully rolled-back
+// Scratch (unchanged_leaves counts those saved rebuilds' leaves).
+var (
+	mRootIncremental = telemetry.Default().Counter("state.root.incremental")
+	mRootDirtyLeaves = telemetry.Default().Counter("state.root.dirty_leaves")
+	mRootUnchanged   = telemetry.Default().Counter("state.root.unchanged_leaves")
+)
+
+// itree is the persisted interior of the state's Merkle tree. levels[0] is
+// the canonical leaf order (sorted account leaves, then sorted token state
+// digests, exactly State.leaves()); levels[k+1] holds the parents of
+// levels[k]; the top level has one entry, the root.
+//
+// The tree supports exactly two mutations between rebuilds:
+//
+//   - value changes of existing leaves (account writes to known addresses,
+//     token mutations detected via the per-contract version counters), which
+//     recompute only the leaf's root path;
+//   - structural changes (a new or deleted account record, a new contract),
+//     which invalidate the leaf indexing and force a full rebuild on the
+//     next Root() — the rare case: batch execution touches existing
+//     accounts almost exclusively.
+//
+// Account writes are recorded as *pending addresses*, not dirty indices:
+// whether a write really changed the leaf (or created/destroyed one) is
+// resolved lazily at Root() time by comparing against the stored leaf hash.
+// That is what makes a fully rolled-back Scratch free — its writes all
+// resolve to "hash unchanged" and the cached root stays valid without a
+// single CombineHashes call.
+type itree struct {
+	levels [][]chainid.Hash
+
+	// Leaf indexing captured at build time: accounts[i] owns leaf i,
+	// tokAddrs[j] owns leaf len(addrs)+j at the version tokVers[j] held when
+	// the leaf was last hashed.
+	addrs     []chainid.Address
+	addrIndex map[chainid.Address]int
+	tokAddrs  []chainid.Address
+	tokVers   []uint64
+
+	// pending is the set of account addresses written since the last
+	// Root(); structural records a leaf-set change that defeats incremental
+	// repair.
+	pending    map[chainid.Address]struct{}
+	structural bool
+}
+
+// noteAccountWrite records that addr's account record was written (created,
+// mutated, or deleted). Cheap by design: one nil check on the cold-start
+// path (no tree yet — the next Root() builds from scratch anyway) and one
+// map insert once a tree exists.
+func (s *State) noteAccountWrite(addr chainid.Address) {
+	if s.tree == nil {
+		return
+	}
+	s.tree.pending[addr] = struct{}{}
+}
+
+// noteStructuralChange forces a full rebuild on the next Root() (new
+// contract deployment; the account path never calls this directly — account
+// creation/deletion is detected when pending addresses resolve).
+func (s *State) noteStructuralChange() {
+	if s.tree == nil {
+		return
+	}
+	s.tree.structural = true
+}
+
+// Root returns the Merkle state root over the full world state. Leaves are
+// the sorted account records followed by each token contract's state digest;
+// the root is the commitment aggregators submit with their batch.
+//
+// The tree behind the root is incremental: interior nodes persist between
+// calls, account writes mark their address pending, token mutations are
+// detected via the per-contract version counters, and Root() recomputes only
+// the root paths of leaves whose hash actually changed. Leaf-set changes
+// (new accounts, deployments) fall back to a full rebuild. Like all State
+// methods, Root is not safe for concurrent use.
+func (s *State) Root() chainid.Hash {
+	t := s.tree
+	if t == nil || t.structural || len(t.tokAddrs) != len(s.tokens) {
+		return s.rebuildRoot()
+	}
+
+	// Resolve pending account writes against the stored leaves.
+	var dirty []int
+	for addr := range t.pending {
+		acct, inMap := s.accounts[addr]
+		idx, inTree := t.addrIndex[addr]
+		if inMap != inTree {
+			// A leaf appeared or disappeared: structural.
+			return s.rebuildRoot()
+		}
+		if !inMap {
+			continue // created and then rolled back before any Root()
+		}
+		if h := accountLeaf(addr, acct); h != t.levels[0][idx] {
+			t.levels[0][idx] = h
+			dirty = append(dirty, idx)
+		} else {
+			mRootUnchanged.Inc()
+		}
+	}
+
+	// Detect token mutations via the monotone version counters.
+	tokBase := len(t.addrs)
+	for j, a := range t.tokAddrs {
+		c, ok := s.tokens[a]
+		if !ok {
+			return s.rebuildRoot()
+		}
+		if v := c.Version(); v != t.tokVers[j] {
+			t.tokVers[j] = v
+			idx := tokBase + j
+			if h := c.StateDigest(); h != t.levels[0][idx] {
+				t.levels[0][idx] = h
+				dirty = append(dirty, idx)
+			} else {
+				mRootUnchanged.Inc()
+			}
+		}
+	}
+	clear(t.pending)
+
+	if len(dirty) == 0 {
+		mRootCacheHits.Inc()
+		return s.cachedRoot
+	}
+	mRootIncremental.Inc()
+	mRootDirtyLeaves.Add(int64(len(dirty)))
+	t.update(dirty)
+	s.cachedRoot = t.levels[len(t.levels)-1][0]
+	return s.cachedRoot
+}
+
+// ColdRoot recomputes the root from the raw leaves, bypassing and not
+// touching the incremental tree — the reference the property tests and the
+// scaling experiment compare Root() against.
+func (s *State) ColdRoot() chainid.Hash {
+	return MerkleRoot(s.leaves())
+}
+
+// rebuildRoot builds the full tree from the current leaves and re-captures
+// the leaf indexing.
+func (s *State) rebuildRoot() chainid.Hash {
+	mRootComputes.Inc()
+	sp := trace.StartSpan(trace.SpanStateRootRebuild,
+		trace.Int("accounts", int64(len(s.accounts))),
+		trace.Int("tokens", int64(len(s.tokens))))
+	defer sp.End()
+
+	t := &itree{
+		addrs:     s.Accounts(),
+		addrIndex: make(map[chainid.Address]int, len(s.accounts)),
+		pending:   make(map[chainid.Address]struct{}),
+	}
+	for i, a := range t.addrs {
+		t.addrIndex[a] = i
+	}
+	leaves := make([]chainid.Hash, 0, len(t.addrs)+len(s.tokens))
+	for _, a := range t.addrs {
+		leaves = append(leaves, accountLeaf(a, s.accounts[a]))
+	}
+	t.tokAddrs = make([]chainid.Address, 0, len(s.tokens))
+	for a := range s.tokens {
+		t.tokAddrs = append(t.tokAddrs, a)
+	}
+	sort.Slice(t.tokAddrs, func(i, j int) bool {
+		return string(t.tokAddrs[i][:]) < string(t.tokAddrs[j][:])
+	})
+	t.tokVers = make([]uint64, len(t.tokAddrs))
+	for j, a := range t.tokAddrs {
+		c := s.tokens[a]
+		t.tokVers[j] = c.Version()
+		leaves = append(leaves, c.StateDigest())
+	}
+	t.build(leaves)
+	s.tree = t
+	if len(leaves) == 0 {
+		s.cachedRoot = emptyLeaf
+	} else {
+		s.cachedRoot = t.levels[len(t.levels)-1][0]
+	}
+	return s.cachedRoot
+}
+
+// build constructs every level above the given leaves, mirroring MerkleRoot
+// node for node (odd nodes pair with the domain-separated empty digest).
+func (t *itree) build(leaves []chainid.Hash) {
+	if len(leaves) == 0 {
+		t.levels = nil
+		return
+	}
+	t.levels = [][]chainid.Hash{leaves}
+	for level := leaves; len(level) > 1; {
+		next := make([]chainid.Hash, (len(level)+1)/2)
+		for i := range next {
+			right := emptyLeaf
+			if 2*i+1 < len(level) {
+				right = level[2*i+1]
+			}
+			next[i] = chainid.CombineHashes(level[2*i], right)
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+}
+
+// update recomputes the root paths of the given (already rewritten) leaf
+// indices, level by level. Duplicate parents are recomputed once per level.
+func (t *itree) update(dirty []int) {
+	sort.Ints(dirty)
+	frontier := dirty
+	for k := 0; k+1 < len(t.levels); k++ {
+		level, parents := t.levels[k], t.levels[k+1]
+		next := frontier[:0]
+		prev := -1
+		for _, idx := range frontier {
+			p := idx / 2
+			if p == prev {
+				continue
+			}
+			prev = p
+			right := emptyLeaf
+			if 2*p+1 < len(level) {
+				right = level[2*p+1]
+			}
+			parents[p] = chainid.CombineHashes(level[2*p], right)
+			next = append(next, p)
+		}
+		frontier = next
+	}
+}

@@ -1,0 +1,237 @@
+package state
+
+import (
+	"math/rand"
+	"testing"
+
+	"parole/internal/chainid"
+	"parole/internal/token"
+	"parole/internal/wei"
+)
+
+// TestIncrementalRootMatchesColdRebuild is the property test pinning the
+// incremental tree to the reference: across randomized write / journal /
+// rollback sequences — direct State writes, Scratch writes, partial and full
+// reverts, new-account creation, token mutations, deployments — Root() must
+// equal a cold MerkleRoot rebuild over the current leaves after every step.
+func TestIncrementalRootMatchesColdRebuild(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		st := New()
+
+		users := make([]chainid.Address, 24)
+		for i := range users {
+			users[i] = chainid.UserAddress(i)
+			st.SetBalance(users[i], wei.FromETH(100))
+		}
+		tok, err := token.Deploy(chainid.DeriveAddress("inc-pt"), token.Config{
+			Name: "PT", Symbol: "PT", MaxSupply: 512, InitialPrice: wei.FromETH(1) / 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.DeployToken(tok); err != nil {
+			t.Fatal(err)
+		}
+		nextID := uint64(0)
+
+		check := func(step string) {
+			t.Helper()
+			if got, want := st.Root(), st.ColdRoot(); got != want {
+				t.Fatalf("seed %d, %s: incremental root %s != cold rebuild %s", seed, step, got, want)
+			}
+		}
+		check("initial")
+
+		for step := 0; step < 400; step++ {
+			switch op := rng.Intn(10); {
+			case op < 3: // direct balance write on a known account
+				st.Credit(users[rng.Intn(len(users))], wei.Amount(1+rng.Int63n(1e9)))
+			case op < 4: // nonce bump
+				st.BumpNonce(users[rng.Intn(len(users))])
+			case op < 5: // brand-new account record (structural change)
+				st.SetBalance(chainid.UserAddress(1000+rng.Intn(1<<16)), wei.Amount(rng.Int63n(1e9)))
+			case op < 6: // token mutation without going through the State
+				if err := tok.Mint(users[rng.Intn(len(users))], nextID); err == nil {
+					nextID++
+				}
+			case op < 7: // no-op between two Root() calls (cache-hit path)
+			default: // journaled Scratch episode with partial + full rollback
+				sc := NewScratch(st)
+				w := sc.State()
+				mark := -1
+				for k, n := 0, 2+rng.Intn(12); k < n; k++ {
+					if k == n/2 {
+						mark = sc.Mark()
+					}
+					u := users[rng.Intn(len(users))]
+					switch rng.Intn(4) {
+					case 0:
+						sc.Credit(u, wei.Amount(1+rng.Int63n(1e9)))
+					case 1:
+						_ = sc.Debit(u, wei.Amount(1+rng.Int63n(1e9)))
+					case 2:
+						sc.BumpNonce(u)
+					case 3:
+						sc.Credit(chainid.UserAddress(2000+rng.Intn(1<<16)), wei.Amount(1+rng.Int63n(1e6)))
+					}
+					if rng.Intn(3) == 0 {
+						if got, want := w.Root(), w.ColdRoot(); got != want {
+							t.Fatalf("seed %d, scratch mid-episode: %s != %s", seed, got, want)
+						}
+					}
+				}
+				if got, want := w.Root(), w.ColdRoot(); got != want {
+					t.Fatalf("seed %d, scratch pre-revert: %s != %s", seed, got, want)
+				}
+				if mark >= 0 && rng.Intn(2) == 0 {
+					sc.RevertTo(mark)
+					if got, want := w.Root(), w.ColdRoot(); got != want {
+						t.Fatalf("seed %d, scratch partial revert: %s != %s", seed, got, want)
+					}
+				}
+				sc.Revert()
+				if got, want := w.Root(), w.ColdRoot(); got != want {
+					t.Fatalf("seed %d, scratch full revert: %s != %s", seed, got, want)
+				}
+				if got, want := w.Root(), st.Root(); got != want {
+					t.Fatalf("seed %d, reverted scratch root %s != base root %s", seed, got, want)
+				}
+			}
+			check("step")
+		}
+	}
+}
+
+// TestIncrementalRootAcrossDeployments covers the structural path: deploying
+// additional contracts between Root() calls must rebuild correctly.
+func TestIncrementalRootAcrossDeployments(t *testing.T) {
+	st := New()
+	st.SetBalance(chainid.UserAddress(1), wei.FromETH(5))
+	r1 := st.Root()
+	if r1 != st.ColdRoot() {
+		t.Fatal("pre-deploy root mismatch")
+	}
+	for i := 0; i < 3; i++ {
+		tok, err := token.Deploy(chainid.UserAddress(500+i), token.Config{
+			Name: "T", Symbol: "T", MaxSupply: 10, InitialPrice: 1e9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.DeployToken(tok); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := st.Root(), st.ColdRoot(); got != want {
+			t.Fatalf("after deploy %d: %s != %s", i, got, want)
+		}
+	}
+}
+
+// TestEmptyStateRoot pins the empty-tree special case.
+func TestEmptyStateRoot(t *testing.T) {
+	st := New()
+	if got, want := st.Root(), MerkleRoot(nil); got != want {
+		t.Fatalf("empty root = %s, want %s", got, want)
+	}
+	// And it stays correct once the first leaf appears.
+	st.SetBalance(chainid.UserAddress(9), 1)
+	if got, want := st.Root(), st.ColdRoot(); got != want {
+		t.Fatalf("first-leaf root = %s, want %s", got, want)
+	}
+}
+
+// TestRolledBackScratchKeepsRootCacheValid is the regression test for the
+// spurious-recompute bug: a Scratch episode that is fully rolled back must
+// leave the working state's cached root valid — the next Root() may hash the
+// touched leaves to discover nothing changed, but it must not rebuild the
+// tree or recompute a single interior node.
+func TestRolledBackScratchKeepsRootCacheValid(t *testing.T) {
+	st := New()
+	for i := 0; i < 16; i++ {
+		st.SetBalance(chainid.UserAddress(i), wei.FromETH(10))
+	}
+	sc := NewScratch(st)
+	w := sc.State()
+	before := w.Root() // builds the working copy's tree
+
+	mark := sc.Mark()
+	sc.Credit(chainid.UserAddress(3), 123)
+	sc.BumpNonce(chainid.UserAddress(5))
+	sc.Credit(chainid.UserAddress(900), 7) // brand-new record, also rolled back
+	sc.RevertTo(mark)
+
+	computes := mRootComputes.Value()
+	incremental := mRootIncremental.Value()
+	hits := mRootCacheHits.Value()
+	if got := w.Root(); got != before {
+		t.Fatalf("root after rollback = %s, want %s", got, before)
+	}
+	if d := mRootComputes.Value() - computes; d != 0 {
+		t.Errorf("rolled-back scratch triggered %d full rebuild(s)", d)
+	}
+	if d := mRootIncremental.Value() - incremental; d != 0 {
+		t.Errorf("rolled-back scratch triggered %d incremental update(s)", d)
+	}
+	if d := mRootCacheHits.Value() - hits; d != 1 {
+		t.Errorf("cache hits advanced by %d, want 1", d)
+	}
+	// The pending set must also be drained: a second read is a pure hit.
+	hits = mRootCacheHits.Value()
+	if got := w.Root(); got != before {
+		t.Fatalf("second root read = %s, want %s", got, before)
+	}
+	if d := mRootCacheHits.Value() - hits; d != 1 {
+		t.Errorf("second read: cache hits advanced by %d, want 1", d)
+	}
+}
+
+// TestPartialRollbackRecomputesOnlyChangedPaths checks the counters on the
+// mixed case: two leaves written, one write rolled back — exactly one leaf
+// recomputes its root path.
+func TestPartialRollbackRecomputesOnlyChangedPaths(t *testing.T) {
+	st := New()
+	for i := 0; i < 16; i++ {
+		st.SetBalance(chainid.UserAddress(i), wei.FromETH(10))
+	}
+	sc := NewScratch(st)
+	w := sc.State()
+	w.Root()
+
+	sc.Credit(chainid.UserAddress(1), 50)
+	mark := sc.Mark()
+	sc.Credit(chainid.UserAddress(2), 60)
+	sc.RevertTo(mark)
+
+	dirty := mRootDirtyLeaves.Value()
+	unchanged := mRootUnchanged.Value()
+	if got, want := w.Root(), w.ColdRoot(); got != want {
+		t.Fatalf("root = %s, want %s", got, want)
+	}
+	if d := mRootDirtyLeaves.Value() - dirty; d != 1 {
+		t.Errorf("dirty leaves = %d, want 1 (only the surviving write)", d)
+	}
+	if d := mRootUnchanged.Value() - unchanged; d != 1 {
+		t.Errorf("unchanged leaves = %d, want 1 (the rolled-back write)", d)
+	}
+}
+
+// TestAccountProofStillVerifiesAfterIncrementalUpdates ensures the proof
+// path (built from raw leaves) agrees with the incrementally maintained
+// root.
+func TestAccountProofStillVerifiesAfterIncrementalUpdates(t *testing.T) {
+	st := New()
+	for i := 0; i < 9; i++ {
+		st.SetBalance(chainid.UserAddress(i), wei.FromETH(1))
+	}
+	st.Root()
+	st.Credit(chainid.UserAddress(4), 999)
+	root := st.Root()
+	proof, err := st.AccountProof(chainid.UserAddress(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proof.Verify(root) {
+		t.Fatal("proof does not verify against the incremental root")
+	}
+}

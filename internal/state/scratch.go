@@ -133,6 +133,11 @@ func (s *Scratch) RevertTo(mark int) {
 			} else {
 				delete(s.st.accounts, e.addr)
 			}
+			// The restored record is noted like any other write; if it is
+			// byte-identical to what the last Root() hashed (a fully rolled
+			// back candidate), the pending entry resolves to a no-op and the
+			// cached root stays valid without recomputation.
+			s.st.noteAccountWrite(e.addr)
 		case entryToken:
 			last := len(s.tokLog) - 1
 			s.tokLog[last].Revert()
@@ -140,7 +145,6 @@ func (s *Scratch) RevertTo(mark int) {
 		}
 	}
 	s.log = s.log[:mark]
-	s.st.rootValid = false
 }
 
 // Revert rolls the working state all the way back to the base.
@@ -200,7 +204,7 @@ func (s *Scratch) Credit(addr chainid.Address, amount wei.Amount) {
 	s.writes++
 	acct.Balance += amount
 	s.st.accounts[addr] = acct
-	s.st.rootValid = false
+	s.st.noteAccountWrite(addr)
 }
 
 // Debit journals and applies a balance debit. On failure the working state
@@ -217,7 +221,7 @@ func (s *Scratch) Debit(addr chainid.Address, amount wei.Amount) error {
 	s.writes++
 	acct.Balance -= amount
 	s.st.accounts[addr] = acct
-	s.st.rootValid = false
+	s.st.noteAccountWrite(addr)
 	return nil
 }
 
@@ -228,7 +232,7 @@ func (s *Scratch) BumpNonce(addr chainid.Address) uint64 {
 	s.writes++
 	acct.Nonce++
 	s.st.accounts[addr] = acct
-	s.st.rootValid = false
+	s.st.noteAccountWrite(addr)
 	return acct.Nonce
 }
 

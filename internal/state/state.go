@@ -17,8 +17,8 @@ import (
 )
 
 // Root-cache effectiveness metrics (docs/METRICS.md §state). Deterministic
-// counts; the cache never changes a returned root, only whether the leaf
-// tree is rebuilt.
+// counts; the cache never changes a returned root, only how much of the leaf
+// tree is rebuilt. See incremental.go for the incremental-update counters.
 var (
 	mRootComputes  = telemetry.Default().Counter("state.root.computes")
 	mRootCacheHits = telemetry.Default().Counter("state.root.cache_hits")
@@ -45,15 +45,15 @@ type State struct {
 	accounts map[chainid.Address]Account
 	tokens   map[chainid.Address]*token.Contract
 
-	// Root-cache fields: the Merkle root is a pure function of the leaves,
-	// so it is memoized behind a dirty flag (account writes flip rootValid;
-	// token mutations are detected by comparing the monotone contract
-	// version sum, since callers mutate contracts without going through the
-	// State). Execute calls Root twice per run and rebuilt the full sorted
-	// leaf tree each time before this cache existed.
+	// Root-cache fields: the Merkle root is a pure function of the leaves
+	// and is memoized behind the incremental tree (incremental.go). Account
+	// writes mark their address pending on the tree; token mutations are
+	// detected by comparing the monotone per-contract version counters,
+	// since callers mutate contracts without going through the State. Root()
+	// recomputes only the root paths of leaves that actually changed; a nil
+	// tree (fresh or cloned state) rebuilds in full on first use.
 	cachedRoot chainid.Hash
-	rootValid  bool
-	rootTokVer uint64
+	tree       *itree
 }
 
 // New returns an empty world state.
@@ -76,7 +76,7 @@ func (s *State) SetBalance(addr chainid.Address, amount wei.Amount) {
 	acct := s.accounts[addr]
 	acct.Balance = amount
 	s.accounts[addr] = acct
-	s.rootValid = false
+	s.noteAccountWrite(addr)
 }
 
 // Credit adds amount (which must be non-negative) to addr's balance.
@@ -87,7 +87,7 @@ func (s *State) Credit(addr chainid.Address, amount wei.Amount) {
 	acct := s.accounts[addr]
 	acct.Balance += amount
 	s.accounts[addr] = acct
-	s.rootValid = false
+	s.noteAccountWrite(addr)
 }
 
 // Debit removes amount from addr's balance, failing if it would go negative.
@@ -101,7 +101,7 @@ func (s *State) Debit(addr chainid.Address, amount wei.Amount) error {
 	}
 	acct.Balance -= amount
 	s.accounts[addr] = acct
-	s.rootValid = false
+	s.noteAccountWrite(addr)
 	return nil
 }
 
@@ -113,7 +113,7 @@ func (s *State) BumpNonce(addr chainid.Address) uint64 {
 	acct := s.accounts[addr]
 	acct.Nonce++
 	s.accounts[addr] = acct
-	s.rootValid = false
+	s.noteAccountWrite(addr)
 	return acct.Nonce
 }
 
@@ -123,7 +123,7 @@ func (s *State) DeployToken(c *token.Contract) error {
 		return fmt.Errorf("%w: %s", ErrTokenExists, c.Address())
 	}
 	s.tokens[c.Address()] = c
-	s.rootValid = false
+	s.noteStructuralChange()
 	return nil
 }
 
@@ -216,39 +216,6 @@ func (s *State) TransferToken(c *token.Contract, id uint64, from, to chainid.Add
 // BurnToken applies a burn on c; see MintToken.
 func (s *State) BurnToken(c *token.Contract, id uint64, owner chainid.Address) error {
 	return c.Burn(id, owner)
-}
-
-// tokenVersionSum folds the monotone per-contract version counters into one
-// staleness fingerprint for the root cache. Any mutation (including a
-// journal revert) strictly increases some contract's version, so the sum
-// changes whenever any token state changed.
-func (s *State) tokenVersionSum() uint64 {
-	var sum uint64
-	for _, c := range s.tokens {
-		sum += c.Version()
-	}
-	return sum
-}
-
-// Root returns the Merkle state root over the full world state. Leaves are
-// the sorted account records followed by each token contract's state digest;
-// the root is the commitment aggregators submit with their batch.
-//
-// The root is memoized: account writes flip a dirty flag, token mutations
-// are detected via the contract version sum, and an unchanged state returns
-// the cached hash without rebuilding the leaf tree (Execute calls Root twice
-// per run). Like all State methods, Root is not safe for concurrent use.
-func (s *State) Root() chainid.Hash {
-	tokVer := s.tokenVersionSum()
-	if s.rootValid && tokVer == s.rootTokVer {
-		mRootCacheHits.Inc()
-		return s.cachedRoot
-	}
-	mRootComputes.Inc()
-	s.cachedRoot = MerkleRoot(s.leaves())
-	s.rootValid = true
-	s.rootTokVer = tokVer
-	return s.cachedRoot
 }
 
 // leaves produces the canonical leaf hashes of the state tree.

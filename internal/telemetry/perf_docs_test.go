@@ -1,0 +1,96 @@
+package telemetry
+
+// Benchmark-documentation drift tests: every micro-benchmark in the
+// Makefile's bench-smoke regression gate must be named in docs/PERF.md (the
+// gate is only useful if the doc explains what each gated number measures),
+// and every benchmark docs/PERF.md names must still exist in a _test.go
+// file (no stale rows). Grep-based like the metric/tracing checks above.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var (
+	benchGateRE = regexp.MustCompile(`-bench='([^']+)'`)
+	benchNameRE = regexp.MustCompile(`Benchmark\w+`)
+	benchDeclRE = regexp.MustCompile(`func (Benchmark\w+)\(`)
+)
+
+// benchGateNames parses the benchmark alternation out of the Makefile's
+// bench-smoke target.
+func benchGateNames(t *testing.T) []string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(repoRoot, "Makefile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := benchGateRE.FindStringSubmatch(string(data))
+	if m == nil {
+		t.Fatal("no -bench='...' alternation found in the Makefile — bench-smoke target changed?")
+	}
+	names := strings.Split(m[1], "|")
+	if len(names) < 5 {
+		t.Fatalf("parsed only %d benchmark names from the bench-smoke gate — extraction broken?", len(names))
+	}
+	return names
+}
+
+// benchDecls collects every benchmark function declared in a _test.go file.
+func benchDecls(t *testing.T) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	err := filepath.Walk(repoRoot, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			if skipDirs[info.Name()] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range benchDeclRE.FindAllStringSubmatch(string(data), -1) {
+			out[m[1]] = path
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no benchmark declarations found — repo layout changed?")
+	}
+	return out
+}
+
+// TestPerfDocCoversBenchGate fails when a benchmark gated by bench-smoke is
+// not named in docs/PERF.md, and when docs/PERF.md names a benchmark that no
+// _test.go file declares.
+func TestPerfDocCoversBenchGate(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join(repoRoot, "docs", "PERF.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range benchGateNames(t) {
+		if !strings.Contains(string(doc), name) {
+			t.Errorf("bench-smoke gates %q but docs/PERF.md never mentions it", name)
+		}
+	}
+	decls := benchDecls(t)
+	for _, name := range benchNameRE.FindAllString(string(doc), -1) {
+		if _, ok := decls[name]; !ok {
+			t.Errorf("docs/PERF.md names %q but no _test.go declares it (stale row?)", name)
+		}
+	}
+}

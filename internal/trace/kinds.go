@@ -42,6 +42,14 @@ const (
 	// SpanNodeSeal covers one sequencer sealing pass: mempool collection,
 	// batch execution, ORSC submission, and round advancement.
 	SpanNodeSeal = "node.seal"
+	// SpanStateRootRebuild covers one full rebuild of the incremental Merkle
+	// state tree (first Root() on a state, or a leaf-set change); the cheap
+	// incremental dirty-path updates are counted by telemetry instead of
+	// spanned.
+	SpanStateRootRebuild = "state.root.rebuild"
+	// SpanMempoolMerge covers the k-way merge of the per-shard fee orders
+	// inside one mempool batch collection (child of mempool.collect).
+	SpanMempoolMerge = "mempool.merge"
 )
 
 // Per-transaction lifecycle stages recorded via Event. A transaction's
