@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short cover bench bench-smoke experiments experiments-full engine-smoke node-smoke scale-smoke golden-full vet fmt lint clean
+.PHONY: all build test test-race test-short cover bench bench-smoke experiments experiments-full engine-smoke node-smoke obs-smoke scale-smoke golden-full vet fmt lint clean
 
 all: build test
 
@@ -91,6 +91,61 @@ node-smoke:
 	grep -q '^ALL	' $(NODE_SMOKE_OUT) \
 		|| { echo "missing ALL aggregate row in $(NODE_SMOKE_OUT)"; exit 1; }; \
 	echo "node-smoke OK: $$(grep '^ALL	' $(NODE_SMOKE_OUT))"
+
+# Boot the real parole-node, scrape GET /metrics and /readyz while a
+# parole-load burst runs, and assert the live observability surface end to
+# end: the Prometheus payload parses, rpc_requests_total is present and
+# increases across scrapes, the seal-latency histogram has buckets, and
+# parole-top renders one refresh against the node. Artifacts (both scrapes,
+# the dashboard frame) land in results-smoke/; see docs/OBSERVABILITY.md.
+obs-smoke:
+	$(GO) build -o results-smoke/parole-node ./cmd/parole-node
+	$(GO) build -o results-smoke/parole-load ./cmd/parole-load
+	$(GO) build -o results-smoke/parole-top ./cmd/parole-top
+	@rm -f results-smoke/obs-node.port; \
+	./results-smoke/parole-node -listen 127.0.0.1:0 \
+		-port-file results-smoke/obs-node.port -interval 100ms \
+		-obs-window 200ms -log-format json -timeout 2m \
+		2> results-smoke/obs-node.log & \
+	NODE_PID=$$!; \
+	trap 'kill $$NODE_PID 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do [ -s results-smoke/obs-node.port ] && break; sleep 0.1; done; \
+	[ -s results-smoke/obs-node.port ] || { echo "node never wrote its port file"; cat results-smoke/obs-node.log; exit 1; }; \
+	ADDR=$$(cat results-smoke/obs-node.port); \
+	for i in $$(seq 1 50); do \
+		curl -fsS "http://$$ADDR/readyz" >/dev/null 2>&1 && break; sleep 0.1; done; \
+	curl -fsS "http://$$ADDR/readyz" | grep -q ok \
+		|| { echo "/readyz never answered ok"; exit 1; }; \
+	curl -fsS "http://$$ADDR/metrics" > results-smoke/obs-scrape1.prom \
+		|| { echo "first /metrics scrape failed"; exit 1; }; \
+	./results-smoke/parole-load -rpc "http://$$ADDR" \
+		-requests 800 -workers 4 -min-batches 1 -out results-smoke/load_obs.tsv || exit 1; \
+	sleep 0.5; \
+	curl -fsS "http://$$ADDR/metrics" > results-smoke/obs-scrape2.prom \
+		|| { echo "second /metrics scrape failed"; exit 1; }; \
+	./results-smoke/parole-top -rpc "http://$$ADDR" -once \
+		> results-smoke/obs-top.txt || { echo "parole-top -once failed"; exit 1; }; \
+	kill $$NODE_PID 2>/dev/null; wait $$NODE_PID 2>/dev/null; \
+	for f in results-smoke/obs-scrape1.prom results-smoke/obs-scrape2.prom; do \
+		awk '!/^#/ && !/^$$/ { if (NF != 2 || $$2 !~ /^([+-]?[0-9.]+([eE][+-]?[0-9]+)?|[+-]?Inf|NaN)$$/) { print "malformed line in " FILENAME ": " $$0; exit 1 } }' $$f \
+			|| exit 1; \
+	done; \
+	grep -q '^rpc_requests_total ' results-smoke/obs-scrape1.prom \
+		|| { echo "rpc_requests_total missing from first scrape"; exit 1; }; \
+	R1=$$(awk '/^rpc_requests_total /{print $$2}' results-smoke/obs-scrape1.prom); \
+	R2=$$(awk '/^rpc_requests_total /{print $$2}' results-smoke/obs-scrape2.prom); \
+	awk -v a="$$R1" -v b="$$R2" 'BEGIN { exit !(b > a) }' \
+		|| { echo "rpc_requests_total did not increase under load ($$R1 -> $$R2)"; exit 1; }; \
+	grep -q '^node_seal_time_seconds_bucket{le=' results-smoke/obs-scrape2.prom \
+		|| { echo "seal-latency histogram buckets missing from scrape"; exit 1; }; \
+	C=$$(awk '/^node_seal_time_seconds_count /{print $$2}' results-smoke/obs-scrape2.prom); \
+	awk -v c="$$C" 'BEGIN { exit !(c > 0) }' \
+		|| { echo "node_seal_time_seconds_count = $$C, want > 0"; exit 1; }; \
+	grep -q '^mempool' results-smoke/obs-top.txt \
+		|| { echo "parole-top frame missing mempool row"; cat results-smoke/obs-top.txt; exit 1; }; \
+	grep -q 'status=ok' results-smoke/obs-top.txt \
+		|| { echo "parole-top frame missing status"; cat results-smoke/obs-top.txt; exit 1; }; \
+	echo "obs-smoke OK: rpc_requests_total $$R1 -> $$R2, $$(grep -c '^node_seal_time_seconds_bucket' results-smoke/obs-scrape2.prom) seal buckets"
 
 # Run the N=1k scaling experiment twice — serial runner and 4 workers — and
 # require the deterministic columns (everything up to the chained batch

@@ -8,6 +8,8 @@
 //	            [-interval D] [-batch-size N] [-challenge-period R]
 //	            [-users N] [-fund ETH] [-supply N] [-price ETH]
 //	            [-faucet] [-timeout D]
+//	            [-log-level L] [-log-format text|json] [-slow-request D]
+//	            [-obs-window D] [-obs-windows N]
 //	            [-metrics PATH] [-trace PATH] [-pprof ADDR]
 //
 // The node boots a fresh deployment: one limited-edition bonding-curve
@@ -17,15 +19,24 @@
 // at runtime unless -faucet=false). "-listen 127.0.0.1:0" picks a random
 // port; -port-file writes the bound host:port for scripts and CI.
 //
-// Shutdown is graceful: SIGINT/SIGTERM (or -timeout) closes the listener,
-// in-flight RPC requests drain (up to 5s), the sequencer stops, and the
-// -metrics/-trace artifacts are written before exit. Transactions still
-// pending in the mempool at shutdown were never acknowledged as sequenced
-// and are dropped with the process. See docs/OPERATIONS.md for the full
-// runbook and docs/RPC.md for the method reference.
+// Besides JSON-RPC (POST /), the listener serves the operational GET
+// endpoints: /metrics (Prometheus text exposition), /healthz, and /readyz.
+// A reporting-layer loop ticks the windowed time-series collector every
+// -obs-window, feeding parole_metricsDelta and cmd/parole-top; structured
+// logs go to stderr at -log-level in -log-format. See
+// docs/OBSERVABILITY.md.
+//
+// Shutdown is graceful: SIGINT/SIGTERM (or -timeout) flips /readyz and
+// parole_health to draining, closes the listener, in-flight RPC requests
+// drain (up to 5s), the sequencer stops, and the -metrics/-trace artifacts
+// are written before exit. Transactions still pending in the mempool at
+// shutdown were never acknowledged as sequenced and are dropped with the
+// process. See docs/OPERATIONS.md for the full runbook and docs/RPC.md for
+// the method reference.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -34,10 +45,12 @@ import (
 
 	"parole/internal/chainid"
 	"parole/internal/cli"
+	"parole/internal/logx"
 	"parole/internal/mempool"
 	"parole/internal/rollup"
 	"parole/internal/rpc"
 	"parole/internal/state"
+	"parole/internal/telemetry"
 	"parole/internal/token"
 	"parole/internal/wei"
 )
@@ -68,9 +81,25 @@ func run() error {
 		mempoolShards   = flag.Int("mempool-shards", mempool.DefaultShards, "mempool shard count (per-account lock domains)")
 		mempoolCap      = flag.Int("mempool-capacity", 0, "max pending transactions across all shards (0 = unbounded)")
 		collectWorkers  = flag.Int("collect-workers", 1, "goroutines sorting mempool shards per collection (any value seals identical batches)")
+		logLevel        = flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
+		logFormat       = flag.String("log-format", "text", "structured log format: text or json")
+		slowRequest     = flag.Duration("slow-request", 250*time.Millisecond, "warn-log RPC requests slower than this (0 = off)")
+		obsWindow       = flag.Duration("obs-window", time.Second, "time-series collector tick interval")
+		obsWindows      = flag.Int("obs-windows", telemetry.DefaultWindowCap, "time-series windows retained (ring buffer capacity)")
 	)
 	obs.Register(flag.CommandLine)
 	flag.Parse()
+
+	level, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	format, err := logx.ParseFormat(*logFormat)
+	if err != nil {
+		return err
+	}
+	logx.Configure(os.Stderr, level, format)
+	nodeLog := logx.Component(tool)
 
 	obs.Start()
 	ctx, cancel := cli.Context(*timeout)
@@ -92,7 +121,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	server := rpc.NewServer(node, seq, rpc.Config{EnableFaucet: *faucet})
+	// The collector and lifecycle are reporting-layer constructs: the
+	// collector only reads registry snapshots on its own goroutine, and the
+	// lifecycle only feeds /readyz and parole_health. Neither touches the
+	// sealed outputs (internal/telemetry guard test).
+	lc := rpc.NewLifecycle()
+	collector := telemetry.NewCollector(telemetry.Default(), *obsWindows)
+	server := rpc.NewServer(node, seq, rpc.Config{
+		EnableFaucet: *faucet,
+		Lifecycle:    lc,
+		Collector:    collector,
+		SlowRequest:  *slowRequest,
+	})
 
 	ln, err := cli.Listen(*listen, *portFile)
 	if err != nil {
@@ -101,9 +141,21 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "%s: listening on http://%s (chain id %d)\n", tool, ln.Addr(), rpc.ChainID)
 	fmt.Fprintf(os.Stderr, "%s: collection %s (supply %d, initial price %s ETH), %d funded accounts, sealing every %s\n",
 		tool, collection.Hex(), *supply, wei.FromFloat(*price), *users, *interval)
+	nodeLog.Info("node ready",
+		logx.Str("listen", ln.Addr().String()),
+		logx.Int("users", *users),
+		logx.Dur("interval", *interval))
 
 	go seq.Run(ctx)
-	srv := &http.Server{Handler: server}
+	go tickCollector(ctx, collector, *obsWindow)
+	go func() {
+		<-ctx.Done()
+		lc.Draining()
+		nodeLog.Info("draining", logx.Dur("grace", shutdownGrace))
+	}()
+	lc.Ready()
+
+	srv := &http.Server{Handler: rpc.NodeMux(server)}
 	serveErr := cli.ServeHTTP(ctx, ln, srv, shutdownGrace)
 
 	sealed, txs, _ := seq.Stats()
@@ -116,6 +168,27 @@ func run() error {
 		fmt.Fprintln(os.Stderr, tool+": report:", err)
 	}
 	return serveErr
+}
+
+// tickCollector advances the windowed time-series collector every interval
+// until ctx cancels. It samples runtime memory stats first so gauge deltas
+// land in the same window, then folds the registry snapshot into the ring.
+// Pure reporting layer: it reads the registry, never writes workload metrics.
+func tickCollector(ctx context.Context, c *telemetry.Collector, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-ticker.C:
+			telemetry.Default().SampleMemStats()
+			c.Tick(now)
+		}
+	}
 }
 
 // genesis deploys the node's collection and funds the initial accounts

@@ -1,0 +1,242 @@
+// Command parole-top is a terminal dashboard for a running parole-node: it
+// polls the parole_metricsDelta and parole_health RPCs on an interval and
+// renders node throughput (tx/s, batches/s, rpc/s), rolling seal and RPC
+// latency quantiles (p50/p99 over the node's retained windows), per-shard
+// mempool depth, state-root update latency, and challenge activity.
+//
+// Usage:
+//
+//	parole-top [-rpc URL] [-interval D] [-windows N] [-once]
+//
+// Live mode redraws in place with ANSI escapes until interrupted; -once
+// prints a single plain-text refresh and exits (what CI's obs-smoke runs).
+// All aggregation happens client-side from the window deltas the node
+// already retains — the dashboard adds no load beyond two small RPCs per
+// refresh. See docs/OBSERVABILITY.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"parole/internal/cli"
+	"parole/internal/rpc"
+	"parole/internal/telemetry"
+)
+
+const tool = "parole-top"
+
+func main() { cli.Main(tool, run) }
+
+func run() error {
+	var (
+		url      = flag.String("rpc", "http://127.0.0.1:8547", "parole-node JSON-RPC endpoint")
+		interval = flag.Duration("interval", time.Second, "refresh interval")
+		windows  = flag.Int("windows", 10, "time-series windows to aggregate per refresh (0 = all retained)")
+		once     = flag.Bool("once", false, "print one refresh and exit (plain text, no ANSI)")
+	)
+	flag.Parse()
+
+	client := rpc.NewClient(*url)
+	ctx, cancel := cli.Context(0)
+	defer cancel()
+
+	if *once {
+		frame, err := refresh(ctx, client, *windows)
+		if err != nil {
+			return err
+		}
+		fmt.Print(frame)
+		return nil
+	}
+
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		frame, err := refresh(ctx, client, *windows)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			frame = fmt.Sprintf("%s: %v\n", tool, err)
+		}
+		// Home the cursor and clear below rather than wiping the whole
+		// screen: no flicker at 1Hz refresh.
+		fmt.Print("\x1b[H\x1b[2J" + frame)
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return nil
+		case <-ticker.C:
+		}
+	}
+}
+
+// refresh polls the node once and renders one dashboard frame.
+func refresh(ctx context.Context, client *rpc.Client, n int) (string, error) {
+	cctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	var health rpc.Health
+	if err := client.Call(cctx, "parole_health", &health); err != nil {
+		return "", err
+	}
+	var delta rpc.MetricsDelta
+	if err := client.Call(cctx, "parole_metricsDelta", &delta, n); err != nil {
+		return "", err
+	}
+	return render(client.URL, health, delta), nil
+}
+
+// agg is the client-side aggregation of the polled windows: summed counter
+// deltas, merged histograms, last-window gauge levels, and total seconds.
+type agg struct {
+	secs     float64
+	counters map[string]int64
+	hists    map[string]telemetry.HistWindow
+	gauges   map[string]float64
+}
+
+func aggregate(ws []telemetry.Window) agg {
+	a := agg{
+		counters: map[string]int64{},
+		hists:    map[string]telemetry.HistWindow{},
+		gauges:   map[string]float64{},
+	}
+	for _, w := range ws {
+		a.secs += w.Seconds()
+		for name, d := range w.Counters {
+			a.counters[name] += d
+		}
+		for name, lvl := range w.Gauges {
+			a.gauges[name] = lvl // windows arrive oldest-first; keep the last
+		}
+		for name, hw := range w.Hists {
+			m := a.hists[name]
+			m.Count += hw.Count
+			m.Sum += hw.Sum
+			if m.Buckets == nil {
+				m.Buckets = append([]telemetry.Bucket(nil), hw.Buckets...)
+			} else {
+				for i := range hw.Buckets {
+					if i < len(m.Buckets) {
+						m.Buckets[i].Count += hw.Buckets[i].Count
+					}
+				}
+			}
+			a.hists[name] = m
+		}
+	}
+	return a
+}
+
+// rate returns the counter's per-second rate over the aggregate.
+func (a agg) rate(name string) float64 {
+	if a.secs <= 0 {
+		return 0
+	}
+	return float64(a.counters[name]) / a.secs
+}
+
+func render(url string, h rpc.Health, d rpc.MetricsDelta) string {
+	a := aggregate(d.Windows)
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "%s — %s  status=%s up=%s  %d windows / %s\n",
+		tool, url, h.Status, fmtSecs(h.UptimeSeconds), len(d.Windows), fmtSecs(a.secs))
+	fmt.Fprintf(&b, "chain     l1Height=%d round=%d batches=%d sealed=%d (%d txs) stateRoot=%s\n",
+		h.L1Height, h.Round, h.Batches, h.SealedBatches, h.SealedTxs, short(h.StateRoot))
+
+	if !d.Enabled {
+		b.WriteString("windows   collector disabled on this node (parole_metricsDelta enabled=false)\n")
+	} else if len(d.Windows) == 0 {
+		b.WriteString("windows   warming up (ring is empty until the second collector tick)\n")
+	} else {
+		seal := a.hists["node.seal.time"]
+		rpcT := a.hists["rpc.request.time"]
+		root := a.hists["state.root.time"]
+		fmt.Fprintf(&b, "rates     %8.1f tx/s  %6.2f batches/s  rpc %8.1f req/s  %5.2f err/s  %d slow\n",
+			a.rate("node.seal.txs"), a.rate("node.seal.batches"),
+			a.rate("rpc.requests"), a.rate("rpc.errors"), a.counters["rpc.requests.slow"])
+		fmt.Fprintf(&b, "seal      p50=%s p99=%s  (%d batches in window)\n",
+			fmtQ(seal, 0.50), fmtQ(seal, 0.99), seal.Count)
+		fmt.Fprintf(&b, "rpc       p50=%s p99=%s  (%d requests in window)\n",
+			fmtQ(rpcT, 0.50), fmtQ(rpcT, 0.99), rpcT.Count)
+		fmt.Fprintf(&b, "stateRoot p50=%s p99=%s  (%d updates in window)\n",
+			fmtQ(root, 0.50), fmtQ(root, 0.99), root.Count)
+		fmt.Fprintf(&b, "challenge +%d adjudicated, +%d upheld in window\n",
+			a.counters["rollup.challenges"], a.counters["rollup.challenges.upheld"])
+		if heap, ok := a.gauges[telemetry.MetricHeapAllocBytes]; ok {
+			fmt.Fprintf(&b, "runtime   heap=%s goroutines=%.0f numGC=%.0f\n",
+				fmtBytes(heap), a.gauges[telemetry.MetricNumGoroutine], a.gauges[telemetry.MetricNumGC])
+		}
+	}
+
+	fmt.Fprintf(&b, "mempool   %d pending / %d shards  %s\n",
+		d.Mempool.Pending, len(d.Mempool.ShardDepths), shardBar(d.Mempool.ShardDepths))
+	return b.String()
+}
+
+// shardBar renders per-shard depths compactly: exact counts for up to 16
+// shards, a min/mean/max summary beyond that.
+func shardBar(depths []int) string {
+	if len(depths) == 0 {
+		return ""
+	}
+	if len(depths) <= 16 {
+		parts := make([]string, len(depths))
+		for i, d := range depths {
+			parts[i] = fmt.Sprint(d)
+		}
+		return "[" + strings.Join(parts, " ") + "]"
+	}
+	min, max, sum := depths[0], depths[0], 0
+	for _, d := range depths {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+		sum += d
+	}
+	return fmt.Sprintf("[min=%d mean=%.1f max=%d]", min, float64(sum)/float64(len(depths)), max)
+}
+
+// fmtQ formats a histogram quantile (stored in seconds) as a duration, "-"
+// when the window holds no observations.
+func fmtQ(hw telemetry.HistWindow, q float64) string {
+	v := hw.Quantile(q)
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return time.Duration(v * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+func fmtSecs(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(100 * time.Millisecond).String()
+}
+
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}
+
+// short abbreviates a 0x hash for one-line display.
+func short(hex string) string {
+	if len(hex) <= 14 {
+		return hex
+	}
+	return hex[:10] + "…" + hex[len(hex)-4:]
+}

@@ -12,7 +12,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registered on the default mux for -pprof
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -36,6 +36,12 @@ type Observability struct {
 	TracePath string
 	// Pprof is the -pprof listen address.
 	Pprof string
+
+	// pprofSrv is the running profiling server (own mux, own listener) so
+	// Stop can shut it down with the rest of the process — it must not
+	// outlive the binary's graceful drain.
+	pprofSrv  *http.Server
+	pprofAddr net.Addr
 }
 
 // Register installs the three flags on fs with the canonical help text (the
@@ -61,18 +67,70 @@ func (o *Observability) Start() {
 		trace.Default().Enable()
 	}
 	if o.Pprof != "" {
-		go func() {
-			if err := http.ListenAndServe(o.Pprof, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: pprof: %v\n", o.Tool, err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "%s: pprof at http://%s/debug/pprof/\n", o.Tool, o.Pprof)
+		if err := o.startPprof(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: pprof: %v\n", o.Tool, err)
+		}
 	}
 }
 
+// startPprof serves the profiling endpoints on their own mux and listener —
+// never the default mux, which a library import could pollute and which
+// offers no shutdown. The server lives until Stop (called by Report), so
+// profiling dies with the process's graceful drain instead of leaking a
+// fire-and-forget goroutine.
+func (o *Observability) startPprof() error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", o.Pprof)
+	if err != nil {
+		return err
+	}
+	o.pprofSrv = &http.Server{Handler: mux}
+	o.pprofAddr = ln.Addr()
+	go func() {
+		if err := o.pprofSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "%s: pprof: %v\n", o.Tool, err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "%s: pprof at http://%s/debug/pprof/\n", o.Tool, ln.Addr())
+	return nil
+}
+
+// PprofAddr returns the bound pprof address, nil when -pprof is off (or the
+// listener failed).
+func (o *Observability) PprofAddr() net.Addr { return o.pprofAddr }
+
+// Stop shuts the pprof server down, draining in-flight profile requests up
+// to grace. Safe to call when -pprof was never given; Report calls it, so
+// every binary's exit path stops the profiler with the node.
+func (o *Observability) Stop(grace time.Duration) error {
+	if o.pprofSrv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := o.pprofSrv.Shutdown(ctx)
+	o.pprofSrv = nil
+	o.pprofAddr = nil
+	return err
+}
+
+// pprofStopGrace bounds how long Report waits for in-flight profile
+// requests (a hung 30s CPU profile must not wedge shutdown).
+const pprofStopGrace = 2 * time.Second
+
 // Report writes the telemetry snapshot (-metrics) and the trace artifacts
 // (-trace), returning the snapshot and the trace record for a run manifest.
+// It also stops the -pprof server: Report is every binary's exit path, so
+// the profiler participates in the same graceful drain as the workload.
 func (o *Observability) Report() (telemetry.Snapshot, *telemetry.TraceInfo, error) {
+	if err := o.Stop(pprofStopGrace); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: pprof shutdown: %v\n", o.Tool, err)
+	}
 	snap := telemetry.Default().Snapshot()
 	info := &telemetry.TraceInfo{Enabled: trace.Default().Enabled()}
 	if o.Metrics != "" {

@@ -1,0 +1,72 @@
+package cli
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPprofOwnMuxAndGracefulStop pins the -pprof fix: the profiler serves on
+// its own mux (so the default mux can't leak handlers into it and vice
+// versa), binds a discoverable address, and dies with Stop — the
+// graceful-drain hook Report runs.
+func TestPprofOwnMuxAndGracefulStop(t *testing.T) {
+	var o Observability
+	o.Tool = "test-tool"
+	o.Pprof = "127.0.0.1:0"
+	if err := o.startPprof(); err != nil {
+		t.Fatal(err)
+	}
+	addr := o.PprofAddr()
+	if addr == nil {
+		t.Fatal("PprofAddr = nil after start")
+	}
+
+	get := func(path string) (*http.Response, error) {
+		client := &http.Client{Timeout: 5 * time.Second}
+		return client.Get("http://" + addr.String() + path)
+	}
+
+	resp, err := get("/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index = %d %q", resp.StatusCode, string(body)[:min(len(body), 120)])
+	}
+
+	// A poke at a path the pprof mux doesn't own must 404 here, proving this
+	// is a dedicated mux and not http.DefaultServeMux.
+	resp, err = get("/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("non-pprof path on pprof mux = %d, want 404", resp.StatusCode)
+	}
+
+	if err := o.Stop(2 * time.Second); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if o.PprofAddr() != nil {
+		t.Fatal("PprofAddr must be nil after Stop")
+	}
+	if _, err := net.DialTimeout("tcp", addr.String(), time.Second); err == nil {
+		t.Fatal("pprof listener still accepting after Stop")
+	}
+
+	// Stop is idempotent and safe when -pprof was never given.
+	if err := o.Stop(time.Second); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+	var off Observability
+	if err := off.Stop(time.Second); err != nil {
+		t.Fatalf("Stop without pprof: %v", err)
+	}
+}

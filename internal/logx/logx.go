@@ -1,0 +1,323 @@
+// Package logx is the PAROLE node's structured, leveled logging substrate:
+// dependency-free, concurrency-safe, and a strict no-op until a binary
+// configures it — the same reporting-layer discipline as internal/telemetry
+// and internal/trace, so seeded experiment outputs stay bit-identical with
+// logging enabled or disabled (the telemetry guard test runs with logging
+// on).
+//
+// Library packages take a component-scoped logger at init:
+//
+//	var log = logx.Component("rollup")
+//
+// and emit typed key/value fields:
+//
+//	log.Info("batch committed", logx.Uint64("batch", id), logx.Int("txs", n))
+//
+// Binaries pick the sink, format, and threshold once at startup:
+//
+//	logx.Configure(os.Stderr, logx.LevelInfo, logx.FormatText)
+//
+// Two formats ship: a human-readable single-line text form and a JSON-lines
+// form for ingestion (docs/OBSERVABILITY.md documents the field grammar).
+// Records below the configured level cost one atomic load and no
+// allocation.
+package logx
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+// Severities, least to most severe. LevelOff disables every record and is
+// the package default.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	LevelOff
+)
+
+// String returns the canonical lower-case name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	case LevelOff:
+		return "off"
+	}
+	return fmt.Sprintf("level(%d)", int32(l))
+}
+
+// ParseLevel maps a -log-level flag value to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	case "off", "none":
+		return LevelOff, nil
+	}
+	return LevelOff, fmt.Errorf("logx: unknown level %q (want debug|info|warn|error|off)", s)
+}
+
+// Format selects the output encoding.
+type Format int
+
+// Output encodings for Configure.
+const (
+	FormatText Format = iota
+	FormatJSON
+)
+
+// ParseFormat maps a -log-format flag value to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "text", "":
+		return FormatText, nil
+	case "json":
+		return FormatJSON, nil
+	}
+	return FormatText, fmt.Errorf("logx: unknown format %q (want text|json)", s)
+}
+
+// Field is one typed key/value pair on a record.
+type Field struct {
+	Key string
+	Val any
+}
+
+// Str builds a string field.
+func Str(key, val string) Field { return Field{Key: key, Val: val} }
+
+// Int builds an int field.
+func Int(key string, val int) Field { return Field{Key: key, Val: int64(val)} }
+
+// Int64 builds an int64 field.
+func Int64(key string, val int64) Field { return Field{Key: key, Val: val} }
+
+// Uint64 builds a uint64 field.
+func Uint64(key string, val uint64) Field { return Field{Key: key, Val: val} }
+
+// Float builds a float64 field.
+func Float(key string, val float64) Field { return Field{Key: key, Val: val} }
+
+// Bool builds a bool field.
+func Bool(key string, val bool) Field { return Field{Key: key, Val: val} }
+
+// Dur builds a duration field, rendered in seconds (JSON) or Go duration
+// syntax (text).
+func Dur(key string, val time.Duration) Field { return Field{Key: key, Val: val} }
+
+// Err builds the conventional "err" field; a nil error renders as "<nil>".
+func Err(err error) Field {
+	if err == nil {
+		return Field{Key: "err", Val: "<nil>"}
+	}
+	return Field{Key: "err", Val: err.Error()}
+}
+
+// core is the shared sink every Logger writes through. One core backs the
+// whole process (the package default); tests build private ones via New.
+type core struct {
+	level  atomic.Int32
+	mu     sync.Mutex
+	w      io.Writer
+	format Format
+	// now is the record clock; swappable for deterministic test output.
+	now func() time.Time
+}
+
+// Logger emits records for one component. Loggers are cheap values; derive
+// them freely with Component and With.
+type Logger struct {
+	c         *core
+	component string
+	base      []Field
+}
+
+// defaultCore starts disabled: every record below LevelOff (i.e. all of
+// them) is dropped until Configure runs.
+var defaultCore = func() *core {
+	c := &core{w: io.Discard, format: FormatText, now: time.Now}
+	c.level.Store(int32(LevelOff))
+	return c
+}()
+
+// Configure points the process-default logger at w with the given
+// threshold and format. Safe to call at any time; records in flight finish
+// on the previous sink.
+func Configure(w io.Writer, level Level, format Format) {
+	defaultCore.mu.Lock()
+	defaultCore.w = w
+	defaultCore.format = format
+	defaultCore.mu.Unlock()
+	defaultCore.level.Store(int32(level))
+}
+
+// Disable restores the package default: drop everything.
+func Disable() { Configure(io.Discard, LevelOff, FormatText) }
+
+// SetLevel adjusts the process-default threshold without touching the sink.
+func SetLevel(level Level) { defaultCore.level.Store(int32(level)) }
+
+// Enabled reports whether the process-default logger emits at level.
+func Enabled(level Level) bool { return Level(defaultCore.level.Load()) <= level }
+
+// Component returns a process-default logger tagged with the component
+// name — what library packages store in a package-level var.
+func Component(name string) Logger { return Logger{c: defaultCore, component: name} }
+
+// New builds a private logger (tests, embedded tools) over its own core.
+func New(w io.Writer, level Level, format Format) Logger {
+	c := &core{w: w, format: format, now: time.Now}
+	c.level.Store(int32(level))
+	return Logger{c: c}
+}
+
+// newAt is New with a fixed clock — deterministic encoder tests.
+func newAt(w io.Writer, level Level, format Format, now func() time.Time) Logger {
+	l := New(w, level, format)
+	l.c.now = now
+	return l
+}
+
+// With returns a logger that appends fields to every record.
+func (l Logger) With(fields ...Field) Logger {
+	base := make([]Field, 0, len(l.base)+len(fields))
+	base = append(base, l.base...)
+	base = append(base, fields...)
+	return Logger{c: l.c, component: l.component, base: base}
+}
+
+// Enabled reports whether this logger emits at level.
+func (l Logger) Enabled(level Level) bool {
+	return l.c != nil && Level(l.c.level.Load()) <= level
+}
+
+// Debug emits at LevelDebug.
+func (l Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, msg, fields) }
+
+// Info emits at LevelInfo.
+func (l Logger) Info(msg string, fields ...Field) { l.log(LevelInfo, msg, fields) }
+
+// Warn emits at LevelWarn.
+func (l Logger) Warn(msg string, fields ...Field) { l.log(LevelWarn, msg, fields) }
+
+// Error emits at LevelError.
+func (l Logger) Error(msg string, fields ...Field) { l.log(LevelError, msg, fields) }
+
+func (l Logger) log(level Level, msg string, fields []Field) {
+	if !l.Enabled(level) {
+		return
+	}
+	ts := l.c.now()
+	l.c.mu.Lock()
+	defer l.c.mu.Unlock()
+	switch l.c.format {
+	case FormatJSON:
+		writeJSONRecord(l.c.w, ts, level, l.component, msg, l.base, fields)
+	default:
+		writeTextRecord(l.c.w, ts, level, l.component, msg, l.base, fields)
+	}
+}
+
+// writeTextRecord renders
+//
+//	2026-08-08T12:00:00.000Z INFO  rollup: batch committed batch=3 txs=50
+func writeTextRecord(w io.Writer, ts time.Time, level Level, component, msg string, base, fields []Field) {
+	var b strings.Builder
+	b.WriteString(ts.UTC().Format("2006-01-02T15:04:05.000Z"))
+	fmt.Fprintf(&b, " %-5s ", strings.ToUpper(level.String()))
+	if component != "" {
+		b.WriteString(component)
+		b.WriteString(": ")
+	}
+	b.WriteString(msg)
+	for _, f := range base {
+		appendTextField(&b, f)
+	}
+	for _, f := range fields {
+		appendTextField(&b, f)
+	}
+	b.WriteByte('\n')
+	io.WriteString(w, b.String())
+}
+
+func appendTextField(b *strings.Builder, f Field) {
+	b.WriteByte(' ')
+	b.WriteString(f.Key)
+	b.WriteByte('=')
+	switch v := f.Val.(type) {
+	case string:
+		if strings.ContainsAny(v, " \t\"=") || v == "" {
+			b.WriteString(strconv.Quote(v))
+		} else {
+			b.WriteString(v)
+		}
+	case time.Duration:
+		b.WriteString(v.String())
+	case float64:
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	case int64:
+		b.WriteString(strconv.FormatInt(v, 10))
+	case uint64:
+		b.WriteString(strconv.FormatUint(v, 10))
+	case bool:
+		b.WriteString(strconv.FormatBool(v))
+	default:
+		fmt.Fprintf(b, "%v", v)
+	}
+}
+
+// writeJSONRecord renders one JSON object per line with the reserved keys
+// ts, level, component, msg, then every field.
+func writeJSONRecord(w io.Writer, ts time.Time, level Level, component, msg string, base, fields []Field) {
+	rec := make(map[string]any, 4+len(base)+len(fields))
+	rec["ts"] = ts.UTC().Format(time.RFC3339Nano)
+	rec["level"] = level.String()
+	if component != "" {
+		rec["component"] = component
+	}
+	rec["msg"] = msg
+	for _, f := range base {
+		rec[f.Key] = jsonVal(f.Val)
+	}
+	for _, f := range fields {
+		rec[f.Key] = jsonVal(f.Val)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		fmt.Fprintf(w, `{"level":"error","component":"logx","msg":"marshal record: %v"}`+"\n", err)
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+// jsonVal renders durations as seconds so JSON consumers get numbers.
+func jsonVal(v any) any {
+	if d, ok := v.(time.Duration); ok {
+		return d.Seconds()
+	}
+	return v
+}

@@ -339,6 +339,20 @@ func (p *Pool) AddAll(seq tx.Seq) error {
 // Size returns the number of pending transactions.
 func (p *Pool) Size() int { return int(p.size.Load()) }
 
+// ShardSizes returns every shard's pending depth, indexed by shard number —
+// the live skew view parole_metricsDelta serves and parole-top renders.
+// Each shard is read under its own lock; the result is a consistent-enough
+// observability sample, not a linearizable snapshot.
+func (p *Pool) ShardSizes() []int {
+	out := make([]int, len(p.shards))
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		out[i] = len(sh.pending)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // Pending returns the pending transactions in collection order without
 // removing them.
 func (p *Pool) Pending() tx.Seq {

@@ -18,6 +18,7 @@ import (
 
 	"parole/internal/chainid"
 	"parole/internal/l1"
+	"parole/internal/logx"
 	"parole/internal/mempool"
 	"parole/internal/ovm"
 	"parole/internal/state"
@@ -34,6 +35,11 @@ var (
 	mChallenges       = telemetry.Default().Counter("rollup.challenges")
 	mChallengesUpheld = telemetry.Default().Counter("rollup.challenges.upheld")
 )
+
+// rollupLog is the protocol layer's structured logger — a strict no-op
+// until a binary configures logx, so seeded experiment runs stay silent
+// and bit-identical.
+var rollupLog = logx.Component("rollup")
 
 // Node errors.
 var (
@@ -295,6 +301,11 @@ func (n *Node) CommitBatch(aggregator chainid.Address, collected, ordered tx.Seq
 	n.rememberSnapshot()
 	mBatchesCommitted.Inc()
 	mBatchSize.Observe(float64(len(ordered)))
+	rollupLog.Debug("batch committed",
+		logx.Uint64("batch", batch.ID),
+		logx.Int("txs", len(ordered)),
+		logx.Int("executed", res.Executed),
+		logx.Str("postRoot", res.PostRoot.Hex()))
 	if trace.Enabled() {
 		for i, step := range res.Steps {
 			trace.Event(step.Tx.Hash().Hex(), trace.StageRollupCommit, step.Status.String(),
@@ -350,6 +361,10 @@ func (n *Node) Challenge(verifier chainid.Address, batchID uint64) (bool, error)
 	}
 	sp.SetAttr(trace.Bool("upheld", ok))
 	mChallenges.Inc()
+	rollupLog.Info("challenge adjudicated",
+		logx.Uint64("batch", batchID),
+		logx.Str("verifier", verifier.Hex()),
+		logx.Bool("upheld", ok))
 	if ok {
 		mChallengesUpheld.Inc()
 		pre, found := n.snapshots[batch.PreRoot]
@@ -357,6 +372,9 @@ func (n *Node) Challenge(verifier chainid.Address, batchID uint64) (bool, error)
 			return true, fmt.Errorf("%w: %s", ErrUnknownPreRoot, batch.PreRoot)
 		}
 		n.l2 = pre.Clone()
+		rollupLog.Warn("state rolled back to pre-root",
+			logx.Uint64("batch", batchID),
+			logx.Str("preRoot", batch.PreRoot.Hex()))
 	}
 	return ok, nil
 }

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-	"time"
 
 	"parole/internal/chainid"
 	"parole/internal/state"
@@ -48,6 +47,7 @@ func (s *Server) registerAll() {
 	// Admin / introspection.
 	s.register("parole_health", s.paroleHealth)
 	s.register("parole_metrics", s.paroleMetrics)
+	s.register("parole_metricsDelta", s.paroleMetricsDelta)
 	s.register("parole_setTracing", s.paroleSetTracing)
 	s.register("parole_faucet", s.paroleFaucet)
 }
@@ -376,28 +376,30 @@ func (s *Server) paroleSealBatch(json.RawMessage) (any, *Error) {
 
 // ---- parole_ namespace: admin / introspection ----
 
-// Health is the parole_health result.
+// Health is the parole_health result. Status is the node lifecycle:
+// "starting" (booted but not yet serving), "ok" (accepting work), or
+// "draining" (shutdown signalled, in-flight requests finishing).
 type Health struct {
-	Status        string `json:"status"`
-	ClientVersion string `json:"clientVersion"`
-	ChainID       uint64 `json:"chainId"`
-	UptimeSeconds int64  `json:"uptimeSeconds"`
-	L1Height      uint64 `json:"l1Height"`
-	Round         uint64 `json:"round"`
-	StateRoot     string `json:"stateRoot"`
-	PendingTxs    int    `json:"pendingTxs"`
-	Batches       uint64 `json:"batches"`
-	SealedBatches uint64 `json:"sealedBatches"`
-	SealedTxs     uint64 `json:"sealedTxs"`
-	Tracing       bool   `json:"tracing"`
+	Status        string  `json:"status"`
+	ClientVersion string  `json:"clientVersion"`
+	ChainID       uint64  `json:"chainId"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	L1Height      uint64  `json:"l1Height"`
+	Round         uint64  `json:"round"`
+	StateRoot     string  `json:"stateRoot"`
+	PendingTxs    int     `json:"pendingTxs"`
+	Batches       uint64  `json:"batches"`
+	SealedBatches uint64  `json:"sealedBatches"`
+	SealedTxs     uint64  `json:"sealedTxs"`
+	Tracing       bool    `json:"tracing"`
 }
 
 func (s *Server) paroleHealth(json.RawMessage) (any, *Error) {
 	h := Health{
-		Status:        "ok",
+		Status:        s.lifecycle.State().String(),
 		ClientVersion: ClientVersion,
 		ChainID:       ChainID,
-		UptimeSeconds: int64(time.Since(s.start) / time.Second),
+		UptimeSeconds: s.lifecycle.Uptime(),
 		L1Height:      s.node.L1Height(),
 		Round:         s.node.Round(),
 		StateRoot:     s.node.L2Root().Hex(),
@@ -413,6 +415,48 @@ func (s *Server) paroleHealth(json.RawMessage) (any, *Error) {
 
 func (s *Server) paroleMetrics(json.RawMessage) (any, *Error) {
 	return telemetry.Default().Snapshot(), nil
+}
+
+// MempoolDepth is the live pool occupancy inside a MetricsDelta: the total
+// pending count plus each shard's depth (index = shard number).
+type MempoolDepth struct {
+	Pending     int   `json:"pending"`
+	ShardDepths []int `json:"shardDepths"`
+}
+
+// MetricsDelta is the parole_metricsDelta result: the node's windowed
+// time-series ring (per-interval counter deltas, gauge levels, histogram
+// bucket deltas — see docs/OBSERVABILITY.md for window semantics) plus a
+// point-in-time read of mempool depth per shard. Enabled is false on nodes
+// running without a collector; the ring is empty until the second tick.
+type MetricsDelta struct {
+	Enabled bool               `json:"enabled"`
+	Windows []telemetry.Window `json:"windows"`
+	Mempool MempoolDepth       `json:"mempool"`
+}
+
+func (s *Server) paroleMetricsDelta(raw json.RawMessage) (any, *Error) {
+	n := 0 // 0 = everything retained
+	if rpcErr := decodeParams(raw, 0, &n); rpcErr != nil {
+		return nil, rpcErr
+	}
+	if n < 0 {
+		return nil, Errorf(CodeInvalidParams, "window count must be >= 0, got %d", n)
+	}
+	delta := MetricsDelta{
+		Mempool: MempoolDepth{
+			Pending:     s.node.Pool().Size(),
+			ShardDepths: s.node.Pool().ShardSizes(),
+		},
+	}
+	if s.cfg.Collector != nil {
+		delta.Enabled = true
+		delta.Windows = s.cfg.Collector.Windows(n)
+	}
+	if delta.Windows == nil {
+		delta.Windows = []telemetry.Window{}
+	}
+	return delta, nil
 }
 
 func (s *Server) paroleSetTracing(raw json.RawMessage) (any, *Error) {

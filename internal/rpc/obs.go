@@ -1,0 +1,129 @@
+package rpc
+
+// Live-observability surface of parole-node (docs/OBSERVABILITY.md):
+//
+//   - Lifecycle tracks the node through starting → ok → draining and is
+//     what parole_health and /readyz report.
+//   - NodeMux mounts the operational GET endpoints — /metrics (Prometheus
+//     text exposition), /healthz, /readyz — beside the JSON-RPC handler.
+//   - parole_metricsDelta (methods.go) serves the windowed time-series
+//     ring that cmd/parole-top renders.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"parole/internal/logx"
+	"parole/internal/telemetry"
+)
+
+// LifecycleState is one phase of the node's life.
+type LifecycleState int32
+
+// Lifecycle phases, in order. The JSON/health spellings are "starting",
+// "ok", and "draining".
+const (
+	StateStarting LifecycleState = iota
+	StateReady
+	StateDraining
+)
+
+// String returns the health-status spelling.
+func (s LifecycleState) String() string {
+	switch s {
+	case StateStarting:
+		return "starting"
+	case StateReady:
+		return "ok"
+	case StateDraining:
+		return "draining"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Lifecycle is the node's drain-aware run state: what /readyz gates on and
+// what parole_health reports. Transitions are forward-only; a late Ready()
+// never resurrects a draining node.
+type Lifecycle struct {
+	state atomic.Int32
+	start time.Time
+}
+
+// NewLifecycle returns a lifecycle in StateStarting with the uptime clock
+// running.
+func NewLifecycle() *Lifecycle {
+	return &Lifecycle{start: time.Now()}
+}
+
+// Ready marks the node serving. No-op unless the node is still starting.
+func (l *Lifecycle) Ready() {
+	l.state.CompareAndSwap(int32(StateStarting), int32(StateReady))
+}
+
+// Draining marks the node shutting down; /readyz flips to 503 and
+// parole_health reports "draining" while in-flight requests finish.
+func (l *Lifecycle) Draining() {
+	l.state.Store(int32(StateDraining))
+}
+
+// State returns the current phase.
+func (l *Lifecycle) State() LifecycleState {
+	return LifecycleState(l.state.Load())
+}
+
+// Uptime returns fractional seconds since the lifecycle was created.
+func (l *Lifecycle) Uptime() float64 {
+	return time.Since(l.start).Seconds()
+}
+
+// NodeMux mounts the JSON-RPC handler at / and the operational GET
+// endpoints beside it:
+//
+//	GET /metrics — Prometheus text exposition of the telemetry registry
+//	GET /healthz — liveness: 200 with a small JSON body in every state
+//	GET /readyz  — readiness: 200 "ok" only in StateReady, else 503
+//
+// POSTs to / keep the exact JSON-RPC behavior of the bare Server handler.
+func NodeMux(s *Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", s)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return mux
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap := telemetry.Default().Snapshot()
+	if err := snap.WritePrometheus(w); err != nil {
+		// Headers are gone; all we can do is log.
+		rpcLog.Error("prometheus exposition failed", logx.Err(err))
+	}
+}
+
+// handleHealthz is the liveness probe: 200 as long as the process serves,
+// with the lifecycle state and fractional uptime in the body.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":        s.lifecycle.State().String(),
+		"uptimeSeconds": s.lifecycle.Uptime(),
+	})
+}
+
+// handleReadyz is the readiness probe: 200 "ok" only while the node accepts
+// work; starting and draining answer 503 so load balancers and smoke tests
+// route away during boot and drain.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.lifecycle.State()
+	if st != StateReady {
+		http.Error(w, st.String(), http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

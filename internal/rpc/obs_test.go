@@ -1,0 +1,205 @@
+package rpc
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"parole/internal/telemetry"
+)
+
+func TestLifecycleTransitions(t *testing.T) {
+	lc := NewLifecycle()
+	if lc.State() != StateStarting {
+		t.Fatalf("fresh lifecycle = %v, want starting", lc.State())
+	}
+	lc.Ready()
+	if lc.State() != StateReady || lc.State().String() != "ok" {
+		t.Fatalf("after Ready = %v", lc.State())
+	}
+	lc.Draining()
+	if lc.State() != StateDraining {
+		t.Fatalf("after Draining = %v", lc.State())
+	}
+	// Forward-only: a late Ready must not resurrect a draining node.
+	lc.Ready()
+	if lc.State() != StateDraining {
+		t.Fatalf("Ready resurrected a draining node: %v", lc.State())
+	}
+	if lc.Uptime() < 0 {
+		t.Fatalf("uptime = %v, want >= 0", lc.Uptime())
+	}
+}
+
+// newObsEnv is a test env served through NodeMux with an explicit lifecycle
+// and a live collector — the full parole-node wiring.
+func newObsEnv(t *testing.T) (*testEnv, *Lifecycle, *telemetry.Collector) {
+	t.Helper()
+	lc := NewLifecycle()
+	col := telemetry.NewCollector(telemetry.Default(), 8)
+	env := newTestEnv(t, Config{EnableFaucet: true, Lifecycle: lc, Collector: col})
+	ts := httptest.NewServer(NodeMux(env.server))
+	t.Cleanup(ts.Close)
+	env.client = NewClient(ts.URL)
+	return env, lc, col
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestNodeMuxEndpoints(t *testing.T) {
+	env, lc, _ := newObsEnv(t)
+	base := env.client.URL
+
+	t.Run("readyz gates on lifecycle", func(t *testing.T) {
+		if code, body := get(t, base+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "starting") {
+			t.Fatalf("starting readyz = %d %q, want 503 starting", code, body)
+		}
+		lc.Ready()
+		if code, body := get(t, base+"/readyz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+			t.Fatalf("ready readyz = %d %q, want 200 ok", code, body)
+		}
+	})
+	t.Run("healthz always 200", func(t *testing.T) {
+		code, body := get(t, base+"/healthz")
+		if code != http.StatusOK {
+			t.Fatalf("healthz = %d, want 200", code)
+		}
+		if !strings.Contains(body, `"status":"ok"`) || !strings.Contains(body, "uptimeSeconds") {
+			t.Fatalf("healthz body = %q", body)
+		}
+	})
+	t.Run("health reports lifecycle status and fractional uptime", func(t *testing.T) {
+		var h Health
+		env.call(t, "parole_health", &h)
+		if h.Status != "ok" {
+			t.Fatalf("status = %q, want ok", h.Status)
+		}
+		if h.UptimeSeconds <= 0 {
+			t.Fatalf("uptimeSeconds = %v, want > 0 (fractional)", h.UptimeSeconds)
+		}
+	})
+	t.Run("metrics serves prometheus text", func(t *testing.T) {
+		// Generate some traffic so rpc.requests exists.
+		env.call(t, "parole_stateRoot", new(string))
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+			t.Fatalf("Content-Type = %q", ct)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		for _, want := range []string{"# TYPE rpc_requests_total counter", "rpc_requests_total "} {
+			if !strings.Contains(string(body), want) {
+				t.Fatalf("exposition missing %q", want)
+			}
+		}
+	})
+	t.Run("json-rpc still served at root", func(t *testing.T) {
+		var v string
+		env.call(t, "web3_clientVersion", &v)
+		if v != ClientVersion {
+			t.Fatalf("clientVersion through mux = %q", v)
+		}
+	})
+	t.Run("draining flips readyz and health", func(t *testing.T) {
+		lc.Draining()
+		if code, body := get(t, base+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+			t.Fatalf("draining readyz = %d %q, want 503 draining", code, body)
+		}
+		var h Health
+		env.call(t, "parole_health", &h)
+		if h.Status != "draining" {
+			t.Fatalf("draining health status = %q", h.Status)
+		}
+	})
+}
+
+func TestMetricsDeltaWithCollector(t *testing.T) {
+	env, lc, col := newObsEnv(t)
+	lc.Ready()
+
+	// Baseline tick, traffic, then a completed window.
+	now := time.Now()
+	col.Tick(now)
+	env.call(t, "parole_stateRoot", new(string))
+	env.call(t, "parole_stateRoot", new(string))
+	col.Tick(now.Add(time.Second))
+
+	var d MetricsDelta
+	env.call(t, "parole_metricsDelta", &d, 5)
+	if !d.Enabled {
+		t.Fatal("collector configured, enabled must be true")
+	}
+	if len(d.Windows) != 1 {
+		t.Fatalf("windows = %d, want 1", len(d.Windows))
+	}
+	w := d.Windows[0]
+	// At least the two stateRoot calls landed in the window (the delta call
+	// itself arrives after the tick).
+	if w.Counters["rpc.requests"] < 2 {
+		t.Fatalf("rpc.requests delta = %d, want >= 2", w.Counters["rpc.requests"])
+	}
+	if len(d.Mempool.ShardDepths) == 0 {
+		t.Fatal("mempool shard depths missing")
+	}
+	sum := 0
+	for _, s := range d.Mempool.ShardDepths {
+		sum += s
+	}
+	if sum != d.Mempool.Pending {
+		t.Fatalf("shard depths sum %d != pending %d", sum, d.Mempool.Pending)
+	}
+
+	t.Run("rejects negative n", func(t *testing.T) {
+		err := env.client.Call(context.Background(), "parole_metricsDelta", nil, -1)
+		rpcErr, ok := err.(*Error)
+		if !ok || rpcErr.Code != CodeInvalidParams {
+			t.Fatalf("err = %v, want invalid-params", err)
+		}
+	})
+}
+
+func TestSlowRequestInstrumentation(t *testing.T) {
+	// SlowRequest: 1ns makes every request slow; the counter must move and
+	// the per-method timer must exist for registered methods only.
+	prevTimers := telemetry.Default().TimersEnabled()
+	telemetry.Default().EnableTimers(true)
+	defer telemetry.Default().EnableTimers(prevTimers)
+
+	lc := NewLifecycle()
+	lc.Ready()
+	env := newTestEnv(t, Config{Lifecycle: lc, SlowRequest: time.Nanosecond})
+	before := telemetry.Default().Counter("rpc.requests.slow").Value()
+	env.call(t, "parole_stateRoot", new(string))
+	if got := telemetry.Default().Counter("rpc.requests.slow").Value(); got <= before {
+		t.Fatalf("slow counter = %d, want > %d", got, before)
+	}
+	snap := telemetry.Default().Snapshot()
+	if _, ok := snap.Get("rpc.method.time.parole_stateRoot"); !ok {
+		t.Fatal("per-method timer missing for a registered method")
+	}
+	// Unknown methods must not mint unbounded per-method series.
+	_ = env.client.Call(context.Background(), "parole_junkMethod", nil)
+	snap = telemetry.Default().Snapshot()
+	if _, ok := snap.Get("rpc.method.time.parole_junkMethod"); ok {
+		t.Fatal("per-method timer minted for an unregistered method (cardinality leak)")
+	}
+}

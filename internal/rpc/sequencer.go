@@ -7,10 +7,23 @@ import (
 	"time"
 
 	"parole/internal/chainid"
+	"parole/internal/logx"
 	"parole/internal/rollup"
+	"parole/internal/telemetry"
 	"parole/internal/trace"
 	"parole/internal/tx"
 	"parole/internal/wei"
+)
+
+// Sealing-loop metrics (docs/METRICS.md §node) and the sequencer's
+// structured logger. node.seal.time is the seal-latency histogram the
+// obs-smoke scrape and parole-top's p50/p99 read.
+var (
+	mSealTime    = telemetry.Default().Timer("node.seal.time")
+	mSealBatches = telemetry.Default().Counter("node.seal.batches")
+	mSealTxs     = telemetry.Default().Counter("node.seal.txs")
+
+	seqLog = logx.Component("sequencer")
 )
 
 // SequencerConfig parameterizes the sealing loop.
@@ -104,6 +117,8 @@ func (q *Sequencer) Run(ctx context.Context) {
 func (q *Sequencer) Seal() (*SealInfo, error) {
 	sp := trace.StartSpan(trace.SpanNodeSeal)
 	defer sp.End()
+	stopTimer := mSealTime.Start()
+	defer stopTimer()
 	batch, _ := q.node.CollectParallel(q.cfg.BatchSize, q.cfg.CollectWorkers)
 	if len(batch) == 0 {
 		q.node.AdvanceRound()
@@ -115,6 +130,8 @@ func (q *Sequencer) Seal() (*SealInfo, error) {
 		// The batch was already drained from the pool; put it back so a
 		// transient failure does not silently drop user transactions.
 		q.requeue(batch)
+		seqLog.Warn("seal failed, batch requeued",
+			logx.Int("txs", len(batch)), logx.Err(err))
 		return nil, fmt.Errorf("rpc: seal: %w", err)
 	}
 	q.node.AdvanceRound()
@@ -123,7 +140,14 @@ func (q *Sequencer) Seal() (*SealInfo, error) {
 	q.txsSealed += uint64(len(batch))
 	q.lastSeal = time.Now()
 	q.mu.Unlock()
+	mSealBatches.Inc()
+	mSealTxs.Add(int64(len(batch)))
 	sp.SetAttr(trace.Int("txs", int64(len(batch))), trace.Int("batch", int64(rec.ID)))
+	seqLog.Debug("batch sealed",
+		logx.Uint64("batch", rec.ID),
+		logx.Int("txs", len(batch)),
+		logx.Int("executed", res.Executed),
+		logx.Str("postRoot", res.PostRoot.Hex()))
 	return &SealInfo{
 		BatchID:  rec.ID,
 		TxCount:  len(batch),

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"parole/internal/logx"
 	"parole/internal/rollup"
 	"parole/internal/telemetry"
 	"parole/internal/trace"
@@ -16,10 +17,15 @@ import (
 
 // Request-serving metrics (docs/METRICS.md §rpc).
 var (
-	mRequests    = telemetry.Default().Counter("rpc.requests")
-	mErrors      = telemetry.Default().Counter("rpc.errors")
-	mRequestTime = telemetry.Default().Timer("rpc.request.time")
+	mRequests     = telemetry.Default().Counter("rpc.requests")
+	mErrors       = telemetry.Default().Counter("rpc.errors")
+	mRequestTime  = telemetry.Default().Timer("rpc.request.time")
+	mSlowRequests = telemetry.Default().Counter("rpc.requests.slow")
 )
+
+// rpcLog is the serving layer's structured logger (no-op until the binary
+// configures logx).
+var rpcLog = logx.Component("rpc")
 
 // maxBodyBytes bounds a request body; a batch of parole transactions is a
 // few hundred bytes, so 1 MiB leaves two orders of magnitude of headroom.
@@ -45,6 +51,17 @@ type Config struct {
 	// load generators use to fund fresh accounts. Leave off for anything
 	// shared.
 	EnableFaucet bool
+	// Lifecycle is the node's drain-aware run state, shared with the
+	// binary's shutdown path. Nil builds a private lifecycle marked ready
+	// immediately (tests, embedded servers).
+	Lifecycle *Lifecycle
+	// Collector is the windowed time-series ring parole_metricsDelta
+	// serves. Nil leaves the method answering with enabled=false.
+	Collector *telemetry.Collector
+	// SlowRequest is the latency above which a dispatched request emits a
+	// warn-level structured log line (and counts in rpc.requests.slow).
+	// Zero disables slow-request logging.
+	SlowRequest time.Duration
 }
 
 // Server is the JSON-RPC facade over one rollup deployment. It implements
@@ -55,7 +72,7 @@ type Server struct {
 	seq  *Sequencer
 	cfg  Config
 
-	start time.Time
+	lifecycle *Lifecycle
 
 	mu      sync.RWMutex
 	methods map[string]handler
@@ -65,12 +82,19 @@ type Server struct {
 // methods advertise state then); pass the sequencer that drives the node so
 // parole_sealBatch and parole_health can reach it.
 func NewServer(node *rollup.Node, seq *Sequencer, cfg Config) *Server {
+	lc := cfg.Lifecycle
+	if lc == nil {
+		// No binary-managed lifecycle: serve immediately (tests, embedded
+		// servers) — the historical "always ok" behavior.
+		lc = NewLifecycle()
+		lc.Ready()
+	}
 	s := &Server{
-		node:    node,
-		seq:     seq,
-		cfg:     cfg,
-		start:   time.Now(),
-		methods: make(map[string]handler),
+		node:      node,
+		seq:       seq,
+		cfg:       cfg,
+		lifecycle: lc,
+		methods:   make(map[string]handler),
 	}
 	s.registerAll()
 	return s
@@ -154,19 +178,46 @@ func (s *Server) serveBatch(w http.ResponseWriter, body []byte) {
 
 // dispatch validates the envelope, looks the method up, and runs it. Every
 // request counts in rpc.requests; every error response counts in
-// rpc.errors; the whole dispatch is timed and traced.
+// rpc.errors; the whole dispatch is timed (aggregate and per-method) and
+// traced, and anything slower than Config.SlowRequest logs a warning.
 func (s *Server) dispatch(req *Request) Response {
 	mRequests.Inc()
-	stopTimer := mRequestTime.Start()
+	start := time.Now()
 	sp := trace.StartSpan(trace.SpanRPCRequest, trace.Str("method", req.Method))
 	resp := s.dispatchInner(req)
 	sp.SetAttr(trace.Bool("ok", resp.Err == nil))
 	sp.End()
-	stopTimer()
+	elapsed := time.Since(start)
+	mRequestTime.ObserveDuration(elapsed)
+	s.observeMethod(req.Method, elapsed, resp.Err)
 	if resp.Err != nil {
 		mErrors.Inc()
 	}
 	return resp
+}
+
+// observeMethod records the per-method latency histogram and the
+// slow-request log line. Only registered method names mint timers —
+// arbitrary junk from clients must not grow the metric namespace.
+func (s *Server) observeMethod(method string, elapsed time.Duration, rpcErr *Error) {
+	s.mu.RLock()
+	_, known := s.methods[method]
+	s.mu.RUnlock()
+	if known {
+		telemetry.Default().Timer("rpc.method.time." + method).ObserveDuration(elapsed)
+	}
+	if s.cfg.SlowRequest > 0 && elapsed >= s.cfg.SlowRequest {
+		mSlowRequests.Inc()
+		fields := []logx.Field{
+			logx.Str("method", method),
+			logx.Dur("elapsed", elapsed),
+			logx.Dur("threshold", s.cfg.SlowRequest),
+		}
+		if rpcErr != nil {
+			fields = append(fields, logx.Int("code", rpcErr.Code))
+		}
+		rpcLog.Warn("slow request", fields...)
+	}
 }
 
 func (s *Server) dispatchInner(req *Request) Response {

@@ -266,6 +266,21 @@ func TestEveryMethodRoundTrip(t *testing.T) {
 			t.Fatal("snapshot is missing rpc.requests")
 		}
 	})
+	step("parole_metricsDelta", func(t *testing.T) {
+		// newTestEnv runs no collector: the delta must say so while still
+		// reporting live mempool depth. obs_test.go covers the enabled path.
+		var d MetricsDelta
+		env.call(t, "parole_metricsDelta", &d)
+		if d.Enabled {
+			t.Fatal("no collector configured, enabled must be false")
+		}
+		if d.Windows == nil || len(d.Windows) != 0 {
+			t.Fatalf("windows = %v, want [] (never null)", d.Windows)
+		}
+		if d.Mempool.Pending != 0 || len(d.Mempool.ShardDepths) == 0 {
+			t.Fatalf("mempool = %+v, want 0 pending across >0 shards", d.Mempool)
+		}
+	})
 	step("parole_setTracing", func(t *testing.T) {
 		var on bool
 		env.call(t, "parole_setTracing", &on, true)

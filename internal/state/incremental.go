@@ -18,6 +18,10 @@ var (
 	mRootIncremental = telemetry.Default().Counter("state.root.incremental")
 	mRootDirtyLeaves = telemetry.Default().Counter("state.root.dirty_leaves")
 	mRootUnchanged   = telemetry.Default().Counter("state.root.unchanged_leaves")
+	// mRootTime is the wall-clock cost of Root() — gated like every timer,
+	// so library callers pay one atomic load; parole-top renders it as the
+	// state-root update latency.
+	mRootTime = telemetry.Default().Timer("state.root.time")
 )
 
 // itree is the persisted interior of the state's Merkle tree. levels[0] is
@@ -91,6 +95,8 @@ func (s *State) noteStructuralChange() {
 // (new accounts, deployments) fall back to a full rebuild. Like all State
 // methods, Root is not safe for concurrent use.
 func (s *State) Root() chainid.Hash {
+	stopTimer := mRootTime.Start()
+	defer stopTimer()
 	t := s.tree
 	if t == nil || t.structural || len(t.tokAddrs) != len(s.tokens) {
 		return s.rebuildRoot()

@@ -1,13 +1,16 @@
 package telemetry_test
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"parole/internal/casestudy"
 	"parole/internal/chainid"
 	"parole/internal/gentranseq"
+	"parole/internal/logx"
 	"parole/internal/ovm"
 	"parole/internal/solver"
 	"parole/internal/telemetry"
@@ -15,16 +18,35 @@ import (
 
 // TestSeededOutputsUnaffectedByTelemetry is the determinism guard for the
 // instrumentation pass: a seeded solver run and a seeded GENTRANSEQ
-// optimization must produce bit-identical outputs whether wall-clock stage
-// timers are enabled (reporting mode, as in the binaries) or disabled (the
+// optimization must produce bit-identical outputs whether the full
+// reporting layer is live — wall-clock stage timers, a ticking windowed
+// Collector, and debug-level structured logging — or everything is off (the
 // library default). Counters always record, so this also proves counting
-// never feeds back into RNG consumption or results.
+// never feeds back into RNG consumption or results; the collector leg
+// proves windowed sampling is read-only; the logx leg proves log sites in
+// library code never perturb the workload.
 func TestSeededOutputsUnaffectedByTelemetry(t *testing.T) {
-	run := func(timersOn bool) string {
+	run := func(obsOn bool) string {
 		reg := telemetry.Default()
 		prev := reg.TimersEnabled()
-		reg.EnableTimers(timersOn)
+		reg.EnableTimers(obsOn)
 		defer reg.EnableTimers(prev)
+
+		var collector *telemetry.Collector
+		if obsOn {
+			// Full reporting mode: debug logs to a buffer and a collector
+			// ticking around the workload, exactly as parole-node runs.
+			var logBuf bytes.Buffer
+			logx.Configure(&logBuf, logx.LevelDebug, logx.FormatJSON)
+			defer logx.Disable()
+			collector = telemetry.NewCollector(reg, 8)
+			collector.Tick(time.Now())
+		}
+		tick := func() {
+			if collector != nil {
+				collector.Tick(time.Now())
+			}
+		}
 
 		s, err := casestudy.New()
 		if err != nil {
@@ -44,6 +66,7 @@ func TestSeededOutputsUnaffectedByTelemetry(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		tick() // complete a window mid-workload
 
 		// A full GENTRANSEQ optimization (DQN training + greedy inference).
 		cfg := gentranseq.FastConfig()
@@ -52,6 +75,7 @@ func TestSeededOutputsUnaffectedByTelemetry(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		tick() // and one after
 
 		return fmt.Sprintf("solver seq=%v evals=%d imp=%s complete=%v | gen final=%v imp=%s improved=%v swaps=%d rewards=%v",
 			sol.Seq, sol.Evaluations, sol.Improvement, sol.Complete,
@@ -62,7 +86,7 @@ func TestSeededOutputsUnaffectedByTelemetry(t *testing.T) {
 	on := run(true)
 	offAgain := run(false)
 	if off != on {
-		t.Errorf("seeded outputs differ with timers on vs off:\noff: %s\non:  %s", off, on)
+		t.Errorf("seeded outputs differ with observability on vs off:\noff: %s\non:  %s", off, on)
 	}
 	if off != offAgain {
 		t.Errorf("seeded outputs not reproducible across runs:\n1st: %s\n2nd: %s", off, offAgain)

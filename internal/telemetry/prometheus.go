@@ -1,0 +1,100 @@
+package telemetry
+
+// Prometheus text exposition (version 0.0.4) over a registry snapshot — the
+// format every scrape ecosystem speaks, produced with zero dependencies.
+// parole-node serves it at GET /metrics (docs/OBSERVABILITY.md).
+//
+// Mapping rules:
+//
+//   - Metric names are sanitized to the Prometheus grammar: dots, dashes,
+//     and any other illegal rune become underscores.
+//   - Counters gain the conventional `_total` suffix
+//     (`rpc.requests` → `rpc_requests_total`).
+//   - Gauges keep their sanitized name.
+//   - Histograms export the cumulative `<name>_bucket{le="…"}` series plus
+//     `<name>_sum` and `<name>_count`; the registry's per-cell counts are
+//     accumulated here, in the exposition layer.
+//   - Timers are histograms of seconds and gain a `_seconds` suffix
+//     (`node.seal.time` → `node_seal_time_seconds_bucket{…}`).
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// PromName maps a dot-separated metric name to Prometheus form, applying
+// the kind's conventional suffix.
+func PromName(name string, kind MetricKind) string {
+	var b strings.Builder
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	switch kind {
+	case KindCounter:
+		out += "_total"
+	case KindTimer:
+		out += "_seconds"
+	}
+	return out
+}
+
+// promFloat renders a sample value; Prometheus accepts Go's %g for all
+// finite values and the spec's +Inf/-Inf/NaN spellings otherwise.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format. Output order follows the snapshot's (name, kind) sort, so
+// identical metric states serialize identically.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, m := range s.Metrics {
+		name := PromName(m.Name, m.Kind)
+		switch m.Kind {
+		case KindCounter:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", name, name, promFloat(m.Value)); err != nil {
+				return err
+			}
+		case KindGauge:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(m.Value)); err != nil {
+				return err
+			}
+		case KindHistogram, KindTimer:
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			var cum int64
+			for _, b := range m.Buckets {
+				cum += b.Count
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b.UpperBound), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(m.Sum), name, m.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPromName(t *testing.T) {
+	cases := []struct {
+		name string
+		kind MetricKind
+		want string
+	}{
+		{"rpc.requests", KindCounter, "rpc_requests_total"},
+		{"node.seal.time", KindTimer, "node_seal_time_seconds"},
+		{"runtime.heap_alloc_bytes", KindGauge, "runtime_heap_alloc_bytes"},
+		{"solver.bnb.prunes", KindCounter, "solver_bnb_prunes_total"},
+		{"fig11.n-100", KindGauge, "fig11_n_100"},
+		{"9lives", KindGauge, "_9lives"},
+		{"batch.size", KindHistogram, "batch_size"},
+	}
+	for _, c := range cases {
+		if got := PromName(c.name, c.kind); got != c.want {
+			t.Errorf("PromName(%q, %s) = %q, want %q", c.name, c.kind, got, c.want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.EnableTimers(true)
+	reg.Counter("rpc.requests").Add(42)
+	reg.Gauge("mempool.depth").Set(17.5)
+	reg.Timer("node.seal.time").ObserveDuration(3 * time.Millisecond)
+	h := reg.Histogram("batch.size", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(999)
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE rpc_requests_total counter\nrpc_requests_total 42\n",
+		"# TYPE mempool_depth gauge\nmempool_depth 17.5\n",
+		"# TYPE node_seal_time_seconds histogram\n",
+		"node_seal_time_seconds_count 1\n",
+		"# TYPE batch_size histogram\n",
+		"batch_size_bucket{le=\"1\"} 1\n",
+		"batch_size_bucket{le=\"10\"} 2\n",
+		"batch_size_bucket{le=\"+Inf\"} 3\n",
+		"batch_size_sum 1004.5\n",
+		"batch_size_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative in the exposition even though the registry
+	// stores per-cell counts.
+	if strings.Contains(out, "batch_size_bucket{le=\"10\"} 1\n") {
+		t.Error("le=\"10\" bucket is per-cell, want cumulative")
+	}
+}
+
+// checkExposition parses a Prometheus text payload and fails on torn rows:
+// every non-comment line must be "name[{le=…}] value", every histogram's
+// bucket series must be non-decreasing in le-order, and its +Inf bucket must
+// equal its _count line. Returns the parsed sample values by series name.
+func checkExposition(t *testing.T, payload string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	type histState struct {
+		lastCum float64
+		infCum  float64
+		hasInf  bool
+	}
+	hists := map[string]*histState{}
+	sc := bufio.NewScanner(strings.NewReader(payload))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("torn line (no sample separator): %q", line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(strings.TrimPrefix(valStr, "+"), 64)
+		if err != nil {
+			t.Fatalf("unparseable sample %q in line %q: %v", valStr, line, err)
+		}
+		samples[series] = val
+		if i := strings.Index(series, "_bucket{le="); i >= 0 {
+			base := series[:i]
+			st := hists[base]
+			if st == nil {
+				st = &histState{}
+				hists[base] = st
+			}
+			if val < st.lastCum {
+				t.Fatalf("torn histogram: %s cumulative decreased (%g after %g)", series, val, st.lastCum)
+			}
+			st.lastCum = val
+			if strings.Contains(series, `le="+Inf"`) {
+				st.infCum, st.hasInf = val, true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for base, st := range hists {
+		if !st.hasInf {
+			t.Errorf("histogram %s has no +Inf bucket", base)
+		}
+		count, ok := samples[base+"_count"]
+		if !ok {
+			t.Errorf("histogram %s has buckets but no _count", base)
+		} else if st.infCum != count {
+			t.Errorf("histogram %s torn: +Inf cumulative %g != _count %g", base, st.infCum, count)
+		}
+	}
+	return samples
+}
+
+// TestScrapeUnderLoad hammers the registry's writers from many goroutines
+// while snapshots and Prometheus exposition run concurrently — the -race
+// scrape test: output must stay well-formed with no torn histogram rows.
+func TestScrapeUnderLoad(t *testing.T) {
+	reg := NewRegistry()
+	reg.EnableTimers(true)
+	const writers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cnt := reg.Counter(fmt.Sprintf("load.count.%d", i%4))
+			g := reg.Gauge("load.level")
+			h := reg.Histogram("load.hist", SizeBuckets)
+			tm := reg.Timer("load.time")
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cnt.Inc()
+				g.Set(float64(j))
+				h.Observe(float64(j % 300))
+				tm.ObserveDuration(time.Duration(j%50) * time.Millisecond)
+			}
+		}(i)
+	}
+
+	var lastReqs float64
+	for scrape := 0; scrape < 25; scrape++ {
+		var buf bytes.Buffer
+		if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		samples := checkExposition(t, buf.String())
+		// Counters are monotone across scrapes even under concurrent writes.
+		if v := samples["load_count_0_total"]; v < lastReqs {
+			t.Fatalf("counter went backwards: %g after %g", v, lastReqs)
+		} else {
+			lastReqs = v
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Final quiesced scrape still parses and the histogram is consistent.
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkExposition(t, buf.String())
+}

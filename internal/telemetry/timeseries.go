@@ -1,0 +1,255 @@
+package telemetry
+
+// Windowed time-series collection: a deterministic ring buffer of
+// per-interval registry deltas, sampled only in the reporting layer.
+//
+// The registry's counters and histograms are cumulative; an operator
+// watching a live node needs *rates* (tx/s, batches/s, errors/s) and
+// *rolling* latency quantiles (seal p50/p99 over the last minute). The
+// Collector produces both without touching the instrumented packages: on
+// every Tick it snapshots the registry, diffs against the previous
+// snapshot, and stores the per-window counter deltas, histogram bucket
+// deltas, and gauge levels in a fixed-capacity ring. Nothing here writes
+// into a metric and no instrumented path knows the collector exists, so
+// the bit-identical-with-telemetry-off guarantee is untouched
+// (TestSeededOutputsUnaffectedByTelemetry exercises a ticking collector).
+//
+// parole-node ticks a Collector on the -obs-window cadence and serves the
+// ring through the parole_metricsDelta RPC; cmd/parole-top renders it.
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// HistWindow is one histogram's activity inside a single window: the
+// non-cumulative per-bucket observation deltas (the final cell is +Inf),
+// plus the window's observation count and sum.
+type HistWindow struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Window is one completed sampling interval: every counter's delta, every
+// gauge's end-of-window level, and every histogram's bucket deltas.
+// Metrics with no activity in the window are still present (delta 0), so
+// consumers can tell "idle" from "unregistered".
+type Window struct {
+	// Index increments by one per completed window since the collector
+	// started; gaps never occur.
+	Index uint64 `json:"index"`
+	// Start and End bound the interval (reporting-layer wall clock).
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// Counters holds per-window deltas keyed by metric name.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Gauges holds the level observed at End.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Hists holds per-window histogram deltas (timers included) keyed by
+	// metric name.
+	Hists map[string]HistWindow `json:"hists,omitempty"`
+}
+
+// Seconds returns the window's length in seconds.
+func (w Window) Seconds() float64 { return w.End.Sub(w.Start).Seconds() }
+
+// Collector maintains the ring of recent windows over one registry. All
+// methods are safe for concurrent use; Tick is typically driven by a single
+// reporting-layer goroutine while RPC handlers read.
+type Collector struct {
+	mu      sync.Mutex
+	reg     *Registry
+	cap     int
+	started bool
+	prev    Snapshot
+	prevAt  time.Time
+	ring    []Window // ring[next%cap] is the oldest slot once full
+	next    uint64   // index of the next window to complete
+}
+
+// DefaultWindowCap is the ring capacity NewCollector resolves a
+// non-positive cap to: at the node's default 1s window it holds a minute.
+const DefaultWindowCap = 60
+
+// NewCollector returns a collector over reg holding up to capN completed
+// windows (capN <= 0 resolves to DefaultWindowCap). No sample is taken
+// until the first Tick.
+func NewCollector(reg *Registry, capN int) *Collector {
+	if capN <= 0 {
+		capN = DefaultWindowCap
+	}
+	return &Collector{reg: reg, cap: capN}
+}
+
+// Tick completes one window: snapshot the registry, diff against the
+// previous sample, append the delta window to the ring. The first Tick
+// only establishes the baseline and reports ok=false; every later Tick
+// returns the completed window.
+func (c *Collector) Tick(now time.Time) (Window, bool) {
+	snap := c.reg.Snapshot()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.started {
+		c.started = true
+		c.prev, c.prevAt = snap, now
+		return Window{}, false
+	}
+	w := diffWindow(c.prev, snap)
+	w.Index, w.Start, w.End = c.next, c.prevAt, now
+	if len(c.ring) < c.cap {
+		c.ring = append(c.ring, w)
+	} else {
+		c.ring[int(c.next)%c.cap] = w
+	}
+	c.next++
+	c.prev, c.prevAt = snap, now
+	return w, true
+}
+
+// diffWindow computes cur minus prev. A metric absent from prev (first
+// registration mid-flight) contributes its full cumulative value.
+func diffWindow(prev, cur Snapshot) Window {
+	prevByName := make(map[string]Metric, len(prev.Metrics))
+	for _, m := range prev.Metrics {
+		prevByName[m.Name+"\x00"+string(m.Kind)] = m
+	}
+	w := Window{
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{},
+		Hists:    map[string]HistWindow{},
+	}
+	for _, m := range cur.Metrics {
+		p, had := prevByName[m.Name+"\x00"+string(m.Kind)]
+		switch m.Kind {
+		case KindCounter:
+			d := int64(m.Value)
+			if had {
+				d -= int64(p.Value)
+			}
+			w.Counters[m.Name] = d
+		case KindGauge:
+			w.Gauges[m.Name] = m.Value
+		case KindHistogram, KindTimer:
+			hw := HistWindow{Count: m.Count, Sum: m.Sum}
+			hw.Buckets = make([]Bucket, len(m.Buckets))
+			copy(hw.Buckets, m.Buckets)
+			if had && len(p.Buckets) == len(m.Buckets) {
+				hw.Count -= p.Count
+				hw.Sum -= p.Sum
+				for i := range hw.Buckets {
+					hw.Buckets[i].Count -= p.Buckets[i].Count
+				}
+			}
+			w.Hists[m.Name] = hw
+		}
+	}
+	return w
+}
+
+// Windows returns up to n most recent completed windows, oldest first
+// (n <= 0 returns everything retained).
+func (c *Collector) Windows(n int) []Window {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	have := len(c.ring)
+	if n <= 0 || n > have {
+		n = have
+	}
+	out := make([]Window, 0, n)
+	for i := int(c.next) - n; i < int(c.next); i++ {
+		out = append(out, c.ring[i%c.cap])
+	}
+	return out
+}
+
+// Rate returns the counter's per-second rate over the last n windows
+// (n <= 0: all retained). Zero when nothing is retained yet.
+func (c *Collector) Rate(name string, n int) float64 {
+	ws := c.Windows(n)
+	var total int64
+	var secs float64
+	for _, w := range ws {
+		total += w.Counters[name]
+		secs += w.Seconds()
+	}
+	if secs <= 0 {
+		return 0
+	}
+	return float64(total) / secs
+}
+
+// MergeHist sums a histogram's per-window deltas over the last n windows
+// (n <= 0: all retained) into one HistWindow.
+func (c *Collector) MergeHist(name string, n int) HistWindow {
+	ws := c.Windows(n)
+	var out HistWindow
+	for _, w := range ws {
+		hw, ok := w.Hists[name]
+		if !ok {
+			continue
+		}
+		out.Count += hw.Count
+		out.Sum += hw.Sum
+		if out.Buckets == nil {
+			out.Buckets = make([]Bucket, len(hw.Buckets))
+			copy(out.Buckets, hw.Buckets)
+			continue
+		}
+		for i := range hw.Buckets {
+			if i < len(out.Buckets) {
+				out.Buckets[i].Count += hw.Buckets[i].Count
+			}
+		}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of a merged histogram
+// window by linear interpolation inside the winning bucket — the same
+// estimator as Prometheus's histogram_quantile. Observations in the +Inf
+// bucket clamp to the highest finite bound. NaN when the merge is empty.
+func (hw HistWindow) Quantile(q float64) float64 {
+	if hw.Count <= 0 || len(hw.Buckets) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(hw.Count)
+	var cum int64
+	for i, b := range hw.Buckets {
+		cum += b.Count
+		if float64(cum) < rank {
+			continue
+		}
+		if math.IsInf(b.UpperBound, 1) {
+			// Clamp to the highest finite bound, if any.
+			if i > 0 {
+				return hw.Buckets[i-1].UpperBound
+			}
+			return math.NaN()
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = hw.Buckets[i-1].UpperBound
+		}
+		prevCum := float64(cum - b.Count)
+		if b.Count <= 0 {
+			return b.UpperBound
+		}
+		frac := (rank - prevCum) / float64(b.Count)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lower + (b.UpperBound-lower)*frac
+	}
+	return hw.Buckets[len(hw.Buckets)-1].UpperBound
+}
+
+// Quantile is a convenience: merge the histogram's last n windows and
+// estimate q over the merge.
+func (c *Collector) Quantile(name string, q float64, n int) float64 {
+	return c.MergeHist(name, n).Quantile(q)
+}

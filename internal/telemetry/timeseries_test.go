@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// t0 is an arbitrary fixed base time; windows only care about differences.
+var t0 = time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+
+func TestCollectorFirstTickIsBaseline(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg, 4)
+	reg.Counter("c").Add(5)
+	if _, ok := c.Tick(t0); ok {
+		t.Fatal("first Tick must only establish the baseline, got ok=true")
+	}
+	if got := len(c.Windows(0)); got != 0 {
+		t.Fatalf("windows after baseline tick = %d, want 0", got)
+	}
+}
+
+func TestCollectorCounterDeltasAndGaugeLevels(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg, 4)
+	cnt := reg.Counter("txs")
+	g := reg.Gauge("depth")
+
+	cnt.Add(10)
+	g.Set(3)
+	c.Tick(t0)
+
+	cnt.Add(7)
+	g.Set(11)
+	w, ok := c.Tick(t0.Add(2 * time.Second))
+	if !ok {
+		t.Fatal("second Tick must complete a window")
+	}
+	if w.Index != 0 {
+		t.Errorf("Index = %d, want 0", w.Index)
+	}
+	if got := w.Counters["txs"]; got != 7 {
+		t.Errorf("counter delta = %d, want 7 (cumulative value must not leak in)", got)
+	}
+	if got := w.Gauges["depth"]; got != 11 {
+		t.Errorf("gauge level = %v, want 11", got)
+	}
+	if got := w.Seconds(); got != 2 {
+		t.Errorf("Seconds() = %v, want 2", got)
+	}
+
+	// An idle window still lists the metric with delta 0.
+	w2, _ := c.Tick(t0.Add(3 * time.Second))
+	if got, ok := w2.Counters["txs"]; !ok || got != 0 {
+		t.Errorf("idle window delta = %d (present=%v), want 0 present", got, ok)
+	}
+	if w2.Index != 1 {
+		t.Errorf("second window Index = %d, want 1", w2.Index)
+	}
+}
+
+func TestCollectorHistogramDeltas(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg, 4)
+	h := reg.Histogram("lat", []float64{1, 10})
+
+	h.Observe(0.5)
+	h.Observe(5)
+	c.Tick(t0)
+
+	h.Observe(0.5) // second obs into the first bucket
+	h.Observe(100) // +Inf bucket
+	w, _ := c.Tick(t0.Add(time.Second))
+	hw := w.Hists["lat"]
+	if hw.Count != 2 {
+		t.Fatalf("window Count = %d, want 2", hw.Count)
+	}
+	if hw.Sum != 100.5 {
+		t.Errorf("window Sum = %v, want 100.5", hw.Sum)
+	}
+	want := []int64{1, 0, 1} // bounds 1, 10, +Inf
+	if len(hw.Buckets) != len(want) {
+		t.Fatalf("bucket cells = %d, want %d", len(hw.Buckets), len(want))
+	}
+	for i, b := range hw.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket[%d] delta = %d, want %d", i, b.Count, want[i])
+		}
+	}
+	if !math.IsInf(hw.Buckets[2].UpperBound, 1) {
+		t.Errorf("last bucket bound = %v, want +Inf", hw.Buckets[2].UpperBound)
+	}
+}
+
+func TestCollectorMetricRegisteredMidFlight(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg, 4)
+	c.Tick(t0)
+	reg.Counter("late").Add(9) // first appears after the baseline
+	w, _ := c.Tick(t0.Add(time.Second))
+	if got := w.Counters["late"]; got != 9 {
+		t.Errorf("mid-flight registration delta = %d, want full value 9", got)
+	}
+}
+
+func TestCollectorRingWraparound(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg, 3)
+	cnt := reg.Counter("c")
+	c.Tick(t0)
+	for i := 1; i <= 5; i++ {
+		cnt.Inc()
+		c.Tick(t0.Add(time.Duration(i) * time.Second))
+	}
+	ws := c.Windows(0)
+	if len(ws) != 3 {
+		t.Fatalf("retained windows = %d, want cap 3", len(ws))
+	}
+	for i, w := range ws {
+		if want := uint64(2 + i); w.Index != want {
+			t.Errorf("ws[%d].Index = %d, want %d (oldest first, oldest evicted)", i, w.Index, want)
+		}
+	}
+	// Windows(n) trims from the old end.
+	last := c.Windows(1)
+	if len(last) != 1 || last[0].Index != 4 {
+		t.Errorf("Windows(1) = %+v, want just index 4", last)
+	}
+}
+
+func TestCollectorRate(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg, 8)
+	cnt := reg.Counter("txs")
+	c.Tick(t0)
+	cnt.Add(30)
+	c.Tick(t0.Add(2 * time.Second))
+	cnt.Add(10)
+	c.Tick(t0.Add(4 * time.Second))
+	if got := c.Rate("txs", 0); got != 10 {
+		t.Errorf("Rate over all windows = %v, want 10 (40 txs / 4s)", got)
+	}
+	if got := c.Rate("txs", 1); got != 5 {
+		t.Errorf("Rate over last window = %v, want 5 (10 txs / 2s)", got)
+	}
+	if got := c.Rate("absent", 0); got != 0 {
+		t.Errorf("Rate of unknown counter = %v, want 0", got)
+	}
+}
+
+func TestMergeHistAndQuantile(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg, 8)
+	h := reg.Histogram("lat", []float64{10, 20, 40})
+	c.Tick(t0)
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // first bucket
+	}
+	c.Tick(t0.Add(time.Second))
+	for i := 0; i < 10; i++ {
+		h.Observe(15) // second bucket
+	}
+	c.Tick(t0.Add(2 * time.Second))
+
+	m := c.MergeHist("lat", 0)
+	if m.Count != 20 {
+		t.Fatalf("merged Count = %d, want 20", m.Count)
+	}
+	// p50 lands exactly on the boundary of the first bucket (10 of 20 obs).
+	if got := m.Quantile(0.5); got != 10 {
+		t.Errorf("p50 = %v, want 10", got)
+	}
+	// p75 is halfway through the second bucket: 10 + (15-10)/10 obs... linear
+	// interpolation inside (10,20]: rank 15, 5 of 10 into the bucket → 15.
+	if got := m.Quantile(0.75); got != 15 {
+		t.Errorf("p75 = %v, want 15", got)
+	}
+	// Only the last window: all 10 obs in (10,20].
+	if got := c.Quantile("lat", 1, 1); got != 20 {
+		t.Errorf("p100 over last window = %v, want 20", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if !math.IsNaN((HistWindow{}).Quantile(0.5)) {
+		t.Error("empty window quantile must be NaN")
+	}
+	// All observations in +Inf clamp to the highest finite bound.
+	hw := HistWindow{Count: 4, Buckets: []Bucket{
+		{UpperBound: 1}, {UpperBound: 2}, {UpperBound: math.Inf(1), Count: 4},
+	}}
+	if got := hw.Quantile(0.99); got != 2 {
+		t.Errorf("overflow-only p99 = %v, want clamp to 2", got)
+	}
+}
+
+func TestCollectorDoesNotPerturbRegistry(t *testing.T) {
+	// The collector is read-only: ticking must leave every metric exactly as
+	// the workload wrote it (the cross-package guard test exercises the full
+	// seeded pipeline; this pins the registry-level contract).
+	reg := NewRegistry()
+	cnt := reg.Counter("c")
+	cnt.Add(3)
+	h := reg.Histogram("h", []float64{1})
+	h.Observe(0.5)
+	before := reg.Snapshot()
+	c := NewCollector(reg, 4)
+	c.Tick(t0)
+	c.Tick(t0.Add(time.Second))
+	c.Windows(0)
+	c.Rate("c", 0)
+	c.Quantile("h", 0.5, 0)
+	after := reg.Snapshot()
+	if len(before.Metrics) != len(after.Metrics) {
+		t.Fatalf("metric count changed: %d → %d", len(before.Metrics), len(after.Metrics))
+	}
+	for i := range before.Metrics {
+		b, a := before.Metrics[i], after.Metrics[i]
+		if b.Name != a.Name || b.Value != a.Value || b.Count != a.Count || b.Sum != a.Sum {
+			t.Errorf("metric %q changed: %+v → %+v", b.Name, b, a)
+		}
+	}
+}
