@@ -45,14 +45,15 @@ bench:
 # non-trivial benchtime (1x iterations are too noisy to gate on), emitted as
 # a BENCH record and then diffed against the newest committed record. The
 # gate covers the candidate-evaluation path (Evaluate/Score benchmarks) and
-# the scaling hot paths (IncrementalRoot/MempoolCollect); >25% ns/op growth
-# fails the build (cmd/parole-trace bench-diff).
-BENCH_BASELINE ?= BENCH_2026-08-08.json
+# the scaling hot paths (IncrementalRoot/MempoolCollect/CollectDeepPool/
+# StateDigest); >25% ns/op growth fails the build (cmd/parole-trace
+# bench-diff).
+BENCH_BASELINE ?= BENCH_2026-08-08.post.json
 bench-smoke:
-	$(GO) test -bench='BenchmarkOVMExecute|BenchmarkOVMEvaluate|BenchmarkEvaluateScratch|BenchmarkObjectiveScore|BenchmarkStateRoot|BenchmarkDQNForward|BenchmarkHillClimbSolve|BenchmarkIncrementalRootUpdate|BenchmarkFullRootRebuild|BenchmarkMempoolCollect10k|BenchmarkMempoolCollectParallel10k' \
+	$(GO) test -bench='BenchmarkOVMExecute|BenchmarkOVMEvaluate|BenchmarkEvaluateScratch|BenchmarkObjectiveScore|BenchmarkStateRoot|BenchmarkDQNForward|BenchmarkHillClimbSolve|BenchmarkIncrementalRootUpdate|BenchmarkFullRootRebuild|BenchmarkMempoolCollect10k|BenchmarkMempoolCollectParallel10k|BenchmarkCollectDeepPool|BenchmarkCollectDeepPoolResort|BenchmarkStateDigestIncremental|BenchmarkStateDigestCold' \
 		-benchtime=0.3s -benchmem . | $(GO) run ./cmd/parole-trace bench-emit -tee -out BENCH_smoke.json
 	$(GO) run ./cmd/parole-trace bench-diff -threshold 25 \
-		-filter Evaluate,Score,IncrementalRoot,MempoolCollect $(BENCH_BASELINE) BENCH_smoke.json
+		-filter Evaluate,Score,IncrementalRoot,MempoolCollect,CollectDeepPool,StateDigest $(BENCH_BASELINE) BENCH_smoke.json
 
 # Regenerate every table and figure at the default (minutes-scale) budget.
 experiments:
@@ -147,19 +148,29 @@ obs-smoke:
 		|| { echo "parole-top frame missing status"; cat results-smoke/obs-top.txt; exit 1; }; \
 	echo "obs-smoke OK: rpc_requests_total $$R1 -> $$R2, $$(grep -c '^node_seal_time_seconds_bucket' results-smoke/obs-scrape2.prom) seal buckets"
 
-# Run the N=1k scaling experiment twice — serial runner and 4 workers — and
-# require the deterministic columns (everything up to the chained batch
-# digest and state root; the trailing wall-clock columns vary) to match byte
-# for byte. Each point also internally asserts parallel mempool collection
-# equals serial and the incremental root equals a cold rebuild, so this is
-# CI's end-to-end determinism gate on the batch pipeline; see docs/SCALING.md.
+# Run the N=1k scaling experiment three ways — serial runner, 4 workers,
+# and a single-shard mempool — and require the deterministic columns
+# (everything up to the chained batch digest and state root; the trailing
+# wall-clock columns vary) to match byte for byte. The 1-shard run drops the
+# recorded shards column (field 3) from its diff, since that is the one
+# deterministic cell the override legitimately changes; everything else —
+# batch count, executed/skipped, the chained batch digest, the state root —
+# must be identical, pinning the pool's shard-count invariance end to end.
+# Each point also internally asserts parallel mempool collection equals
+# serial and the incremental root equals a cold rebuild, so this is CI's
+# end-to-end determinism gate on the batch pipeline; see docs/SCALING.md.
 scale-smoke:
 	$(GO) run ./cmd/parole-bench -exp scale -smoke -seed 1 -workers 1 -out results-smoke/scale-serial
 	$(GO) run ./cmd/parole-bench -exp scale -smoke -seed 1 -workers 4 -out results-smoke/scale-parallel
+	$(GO) run ./cmd/parole-bench -exp scale -smoke -seed 1 -workers 1 -mempool-shards 1 -out results-smoke/scale-oneshard
 	@cut -f1-9 results-smoke/scale-serial/scale.tsv > results-smoke/scale-serial.det.tsv; \
 	cut -f1-9 results-smoke/scale-parallel/scale.tsv > results-smoke/scale-parallel.det.tsv; \
 	diff -u results-smoke/scale-serial.det.tsv results-smoke/scale-parallel.det.tsv \
 		|| { echo "scale-smoke: serial and parallel runs diverged"; exit 1; }; \
+	cut -f1-2,4-9 results-smoke/scale-serial/scale.tsv > results-smoke/scale-serial.noshard.tsv; \
+	cut -f1-2,4-9 results-smoke/scale-oneshard/scale.tsv > results-smoke/scale-oneshard.noshard.tsv; \
+	diff -u results-smoke/scale-serial.noshard.tsv results-smoke/scale-oneshard.noshard.tsv \
+		|| { echo "scale-smoke: 1-shard and 32-shard runs diverged"; exit 1; }; \
 	echo "scale-smoke OK: $$(tail -1 results-smoke/scale-serial.det.tsv)"
 
 # The complete golden-file suite: every experiment with a committed

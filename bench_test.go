@@ -24,6 +24,7 @@ import (
 	"parole/internal/snapshot"
 	"parole/internal/solver"
 	"parole/internal/state"
+	"parole/internal/token"
 	"parole/internal/tx"
 	"parole/internal/wei"
 )
@@ -430,7 +431,8 @@ func scalePool(b *testing.B, n int) *mempool.Pool {
 }
 
 // BenchmarkMempoolCollect10k measures one serial 256-tx collection from a
-// 10k-deep sharded pool (sort every shard, merge, drain the batch).
+// 10k-deep sharded pool (pop the persistent shard heaps through the k-way
+// merge, drain the batch).
 func BenchmarkMempoolCollect10k(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -443,8 +445,9 @@ func BenchmarkMempoolCollect10k(b *testing.B) {
 	}
 }
 
-// BenchmarkMempoolCollectParallel10k is the same collection with the
-// per-shard sorts fanned over 8 workers; the batch is byte-identical.
+// BenchmarkMempoolCollectParallel10k is the same collection through
+// CollectParallel; with the persistent heaps the worker count no longer
+// changes the work done, and the batch is byte-identical.
 func BenchmarkMempoolCollectParallel10k(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -454,5 +457,95 @@ func BenchmarkMempoolCollectParallel10k(b *testing.B) {
 		if got := p.CollectParallel(256, 8); len(got) != 256 {
 			b.Fatalf("collected %d", len(got))
 		}
+	}
+}
+
+// BenchmarkCollectDeepPool measures one 256-tx collection from a 100k-deep
+// pool — the depth where the sort-per-collection design spent ~100ms sorting
+// 100k entries to hand over 256. The persistent heaps make this O(B · log):
+// the pool is built once and each collected batch is re-admitted off the
+// clock, so the loop times nothing but heap pops and the k-way merge.
+// Compare BenchmarkCollectDeepPoolResort for what the old design paid.
+func BenchmarkCollectDeepPool(b *testing.B) {
+	b.ReportAllocs()
+	p := scalePool(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := p.Collect(256)
+		if len(got) != 256 {
+			b.Fatalf("collected %d", len(got))
+		}
+		b.StopTimer()
+		if err := p.AddAll(got); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkCollectDeepPoolResort is the sort-per-collection reference at the
+// same depth: one full canonical re-sort of the 100k-entry pool per batch
+// (Pending takes that exact path), which is what every Collect cost before
+// the persistent heaps. The ≥10× CollectDeepPool claim in docs/PERF.md is
+// measured against this.
+func BenchmarkCollectDeepPoolResort(b *testing.B) {
+	b.ReportAllocs()
+	p := scalePool(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := p.Pending()
+		if len(snap) < 256 {
+			b.Fatalf("pending %d", len(snap))
+		}
+	}
+}
+
+// scaleContract mints n tokens over rotating owners, its incremental digest
+// already built — the fixture for the state-digest benchmarks.
+func scaleContract(b *testing.B, n int) *token.Contract {
+	b.Helper()
+	c, err := token.Deploy(chainid.DeriveAddress("bench-digest"), token.Config{
+		Name:         "PAROLE Token",
+		Symbol:       "PT",
+		MaxSupply:    uint64(2 * n),
+		InitialPrice: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := c.Mint(chainid.UserAddress(i%512), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c.StateDigest()
+	return c
+}
+
+// BenchmarkStateDigestIncremental measures one transfer plus StateDigest at
+// 100k owners — the per-mutation cost of keeping the token commitment fresh.
+// The incremental digest folds two entry hashes into one bucket and re-hashes
+// the ~400 bucket accumulators; compare BenchmarkStateDigestCold for the full
+// sorted re-hash every read used to cost.
+func BenchmarkStateDigestIncremental(b *testing.B) {
+	c := scaleContract(b, 100_000)
+	users := [2]chainid.Address{chainid.UserAddress(0), chainid.UserAddress(512)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Transfer(0, users[i%2], users[(i+1)%2]); err != nil {
+			b.Fatal(err)
+		}
+		_ = c.StateDigest()
+	}
+}
+
+// BenchmarkStateDigestCold measures the from-scratch digest over the same
+// 100k owners — the reference the ≥10× incremental claim in docs/PERF.md is
+// measured against.
+func BenchmarkStateDigestCold(b *testing.B) {
+	c := scaleContract(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.ColdStateDigest()
 	}
 }

@@ -6,7 +6,8 @@
 //
 //	parole-bench [-exp all|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|defense]
 //	             [-full|-smoke] [-out DIR] [-json] [-seed S]
-//	             [-workers W] [-solver-workers W] [-timeout D] [-v]
+//	             [-workers W] [-solver-workers W] [-mempool-shards S]
+//	             [-timeout D] [-v]
 //	             [-metrics PATH] [-trace PATH] [-pprof ADDR]
 //
 // The default budget finishes in minutes on one core; -full uses the
@@ -59,6 +60,7 @@ func run() error {
 		seed          = flag.Int64("seed", 1, "base RNG seed")
 		workers       = flag.Int("workers", 1, "experiment points run concurrently (0 = GOMAXPROCS); output is byte-identical to -workers 1")
 		solverWorkers = flag.Int("solver-workers", 1, "fig11 solver portfolio: 1 = sequential baselines (committed-results configuration), >1 = parallel portfolio solvers, 0 = GOMAXPROCS")
+		mempoolShards = flag.Int("mempool-shards", 0, "scale experiment pool shard count (0 = default 32); batches are shard-count invariant, so only the recorded shards column changes")
 		timeout       = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 		verbose       = flag.Bool("v", false, "log per-point progress to stderr")
 	)
@@ -86,7 +88,7 @@ func run() error {
 	case *smoke:
 		scale = experiment.ScaleSmoke
 	}
-	cfg := experiment.Config{Seed: *seed, Scale: scale, SolverWorkers: *solverWorkers}
+	cfg := experiment.Config{Seed: *seed, Scale: scale, SolverWorkers: *solverWorkers, MempoolShards: *mempoolShards}
 	runner := &experiment.Runner{Workers: resolveWorkers(*workers)}
 	if *verbose {
 		runner.Progress = os.Stderr

@@ -1,8 +1,9 @@
 // Command parole-top is a terminal dashboard for a running parole-node: it
 // polls the parole_metricsDelta and parole_health RPCs on an interval and
-// renders node throughput (tx/s, batches/s, rpc/s), rolling seal and RPC
-// latency quantiles (p50/p99 over the node's retained windows), per-shard
-// mempool depth, state-root update latency, and challenge activity.
+// renders node throughput (tx/s, batches/s, rpc/s), rolling seal, batch
+// collection, and RPC latency quantiles (p50/p99 over the node's retained
+// windows), per-shard mempool depth, state-root update latency, and
+// challenge activity.
 //
 // Usage:
 //
@@ -158,11 +159,14 @@ func render(url string, h rpc.Health, d rpc.MetricsDelta) string {
 		seal := a.hists["node.seal.time"]
 		rpcT := a.hists["rpc.request.time"]
 		root := a.hists["state.root.time"]
+		collect := a.hists["mempool.collect.time"]
 		fmt.Fprintf(&b, "rates     %8.1f tx/s  %6.2f batches/s  rpc %8.1f req/s  %5.2f err/s  %d slow\n",
 			a.rate("node.seal.txs"), a.rate("node.seal.batches"),
 			a.rate("rpc.requests"), a.rate("rpc.errors"), a.counters["rpc.requests.slow"])
 		fmt.Fprintf(&b, "seal      p50=%s p99=%s  (%d batches in window)\n",
 			fmtQ(seal, 0.50), fmtQ(seal, 0.99), seal.Count)
+		fmt.Fprintf(&b, "collect   p50=%s p99=%s  (%d collections in window)\n",
+			fmtQ(collect, 0.50), fmtQ(collect, 0.99), collect.Count)
 		fmt.Fprintf(&b, "rpc       p50=%s p99=%s  (%d requests in window)\n",
 			fmtQ(rpcT, 0.50), fmtQ(rpcT, 0.99), rpcT.Count)
 		fmt.Fprintf(&b, "stateRoot p50=%s p99=%s  (%d updates in window)\n",

@@ -35,12 +35,23 @@ type scaleExp struct{}
 
 // Fixed pipeline shape: varied knobs would multiply the committed grid
 // without adding information — shard/worker invariance is separately pinned
-// by the mempool and rollup test suites.
+// by the mempool and rollup test suites. Config.MempoolShards can override
+// the shard count for invariance smokes (the Makefile scale-smoke target
+// diffs a 1-shard run against the default and expects every deterministic
+// column except the recorded shard count to match).
 const (
 	scaleShards    = 32
 	scaleWorkers   = 8
 	scaleBatchSize = 256
 )
+
+// shardCount resolves the effective pool shard count for a run.
+func shardCount(cfg Config) int {
+	if cfg.MempoolShards > 0 {
+		return cfg.MempoolShards
+	}
+	return scaleShards
+}
 
 func (scaleExp) Name() string { return "scale" }
 
@@ -115,7 +126,8 @@ func (scaleExp) RunPoint(ctx context.Context, cfg Config, p Point) ([]Row, error
 
 	// Twin pools, identical admission stream: serial collects with one
 	// worker, parallel with scaleWorkers.
-	poolCfg := mempool.Config{Shards: scaleShards}
+	shards := shardCount(cfg)
+	poolCfg := mempool.Config{Shards: shards}
 	serial := mempool.NewWithConfig(poolCfg)
 	parallel := mempool.NewWithConfig(poolCfg)
 	tAdmit := time.Now()
@@ -195,7 +207,7 @@ func (scaleExp) RunPoint(ctx context.Context, cfg Config, p Point) ([]Row, error
 	return []Row{{
 		strconv.Itoa(n),
 		strconv.Itoa(users),
-		strconv.Itoa(scaleShards),
+		strconv.Itoa(shards),
 		strconv.Itoa(scaleWorkers),
 		strconv.Itoa(batches),
 		strconv.Itoa(executed),

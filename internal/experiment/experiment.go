@@ -66,6 +66,11 @@ type Config struct {
 	// the sequential baselines (the committed-results configuration), ≥2
 	// swaps in the parallel portfolio solvers.
 	SolverWorkers int
+	// MempoolShards overrides the scaling experiment's pool shard count
+	// (≤0 keeps the default, 32). The collected batches are shard-count
+	// invariant, so every deterministic column except the recorded shards
+	// value is unchanged — the CI scale-smoke diff pins exactly that.
+	MempoolShards int
 }
 
 // Row is one emitted record: pre-formatted cells, one per column.

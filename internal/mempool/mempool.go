@@ -14,11 +14,13 @@
 // them after every non-demoted transaction.
 //
 // Internally the pool is sharded by sender account: each shard owns its own
-// lock and pending map, so concurrent RPC submitters (different senders)
-// admit without serializing on one mutex, and batch collection can sort the
-// shards in parallel. The canonical collection order is a *global* total
-// order — non-demoted before demoted, then descending total fee, then a
-// globally stamped arrival sequence — so the sharding (and the number of
+// lock, pending map, and a *persistent* priority heap ordered by the
+// canonical collection order (heap.go), so concurrent RPC submitters
+// (different senders) admit without serializing on one mutex, and batch
+// collection pops B entries in O(B · log) regardless of pool depth — no
+// per-collection sorting. The canonical collection order is a *global*
+// total order — non-demoted before demoted, then descending total fee, then
+// a globally stamped arrival sequence — so the sharding (and the number of
 // collect workers) never changes a single collected byte; see
 // TestCollectShardAndWorkerInvariance.
 package mempool
@@ -42,10 +44,12 @@ var (
 	mDemoted     = telemetry.Default().Counter("mempool.demoted")
 	mCollects    = telemetry.Default().Counter("mempool.collects")
 	mCollectSize = telemetry.Default().Histogram("mempool.collect.batch_size", telemetry.SizeBuckets)
+	mCollectTime = telemetry.Default().Timer("mempool.collect.time")
 	mEvicted     = telemetry.Default().Counter("mempool.evicted")
 	mReplaced    = telemetry.Default().Counter("mempool.replaced")
 	mShards      = telemetry.Default().Gauge("mempool.shards")
 	mShardOcc    = telemetry.Default().Histogram("mempool.shard.occupancy", telemetry.SizeBuckets)
+	mCompactions = telemetry.Default().Counter("mempool.heap.compactions")
 )
 
 // Errors returned by pool operations.
@@ -88,18 +92,23 @@ type Config struct {
 	ReplaceByNonce bool
 }
 
-// entry is one pending transaction with its arrival order.
+// entry is one pending transaction with its arrival order plus the lazy
+// heap bookkeeping of heap.go: heapDemoted is the demoted flag the shard
+// heap last keyed the entry under, dropped tombstones an entry removed from
+// the shard indexes whose heap slot has not been reclaimed yet.
 type entry struct {
-	tx      tx.Tx
-	arrival uint64
-	demoted bool
+	tx          tx.Tx
+	arrival     uint64
+	demoted     bool
+	heapDemoted bool
+	dropped     bool
 }
 
 // before reports the canonical collection order: non-demoted before demoted,
 // then descending total fee, then arrival. Arrival stamps are unique, so
 // this is a total order — the pool's one source of ordering truth, shared by
-// per-shard sorts, the k-way merge, and eviction (which removes the last
-// element of this order).
+// the per-shard heaps (via the heapDemoted snapshot), the k-way merge, and
+// eviction (which removes the last element of this order).
 func (e *entry) before(o *entry) bool {
 	if e.demoted != o.demoted {
 		return !e.demoted
@@ -117,10 +126,14 @@ type nonceKey struct {
 }
 
 // shard is one lock domain: the pending transactions of the senders that
-// hash here.
+// hash here, indexed by hash and ordered by the persistent heap. stale
+// estimates the heap slots that no longer reflect their entry (tombstones
+// and un-re-keyed demotions) and drives compaction.
 type shard struct {
 	mu      sync.Mutex
 	pending map[chainid.Hash]*entry
+	heap    entryHeap
+	stale   int
 	// byNonce indexes pending by (sender, nonce); maintained only when
 	// replacement is enabled.
 	byNonce map[nonceKey]chainid.Hash
@@ -198,7 +211,7 @@ func (p *Pool) Add(t tx.Tx) error {
 				return fmt.Errorf("%w: replacement for %s nonce %d pays %s, pending pays %s",
 					ErrUnderpriced, t.From, t.Nonce, t.Fee(), old.tx.Fee())
 			}
-			delete(sh.pending, oldHash)
+			sh.dropLocked(oldHash)
 			sh.insertLocked(p, t, h)
 			sh.mu.Unlock()
 			mReplaced.Inc()
@@ -218,33 +231,52 @@ func (p *Pool) Add(t tx.Tx) error {
 	return nil
 }
 
-// insertLocked stamps and stores t. Callers hold sh.mu.
+// insertLocked stamps and stores t, pushing it onto the shard heap. Callers
+// hold sh.mu.
 func (sh *shard) insertLocked(p *Pool, t tx.Tx, h chainid.Hash) {
-	sh.pending[h] = &entry{tx: t, arrival: p.nextSeq.Add(1) - 1}
+	e := &entry{tx: t, arrival: p.nextSeq.Add(1) - 1}
+	sh.pending[h] = e
+	sh.heap.push(e)
 	if sh.byNonce != nil {
 		sh.byNonce[nonceKey{from: t.From, nonce: t.Nonce}] = h
 	}
 }
 
-// removeLocked drops an entry and its indexes. Callers hold sh.mu.
-func (sh *shard) removeLocked(h chainid.Hash) {
+// dropLocked unindexes a pending entry and tombstones its heap slot; the
+// slot is reclaimed lazily when it surfaces at the head, or by compaction
+// when tombstones dominate the heap. Callers hold sh.mu.
+func (sh *shard) dropLocked(h chainid.Hash) {
 	e, ok := sh.pending[h]
 	if !ok {
 		return
 	}
 	delete(sh.pending, h)
+	e.dropped = true
+	sh.stale++
 	if sh.byNonce != nil {
 		key := nonceKey{from: e.tx.From, nonce: e.tx.Nonce}
 		if sh.byNonce[key] == h {
 			delete(sh.byNonce, key)
 		}
 	}
+	sh.maybeCompactCounted()
+}
+
+// maybeCompactCounted is maybeCompact with the telemetry counter.
+func (sh *shard) maybeCompactCounted() {
+	before := sh.stale
+	sh.maybeCompact()
+	if sh.stale < before && before >= compactAt {
+		mCompactions.Inc()
+	}
 }
 
 // addEvicting is the at-capacity slow path: find the globally worst pending
 // transaction, and either evict it (newcomer outranks it) or reject the
 // newcomer. Serialized so capacity cannot be overshot by concurrent
-// admissions racing the same last slot.
+// admissions racing the same last slot. The victim search scans every live
+// entry — O(pending) — which is acceptable precisely because this path only
+// runs when the pool is full and the newcomer must displace someone.
 func (p *Pool) addEvicting(t tx.Tx, h chainid.Hash, target *shard) error {
 	p.evictMu.Lock()
 	defer p.evictMu.Unlock()
@@ -294,7 +326,7 @@ func (p *Pool) addEvicting(t tx.Tx, h chainid.Hash, target *shard) error {
 	}
 	victimShard.mu.Lock()
 	if _, still := victimShard.pending[victimHash]; still {
-		victimShard.removeLocked(victimHash)
+		victimShard.dropLocked(victimHash)
 		p.size.Add(-1)
 		mEvicted.Inc()
 		if trace.Enabled() {
@@ -354,37 +386,56 @@ func (p *Pool) ShardSizes() []int {
 }
 
 // Pending returns the pending transactions in collection order without
-// removing them.
+// removing them. This is the observability/snapshot path, not the batch
+// path: it sorts a copy of the live entries (O(N log N)) rather than
+// draining the persistent heaps, so the heaps stay intact.
 func (p *Pool) Pending() tx.Seq {
 	p.lockAll()
 	defer p.unlockAll()
-	return p.mergeLocked(p.Size(), 1, nil)
+	all := make([]*entry, 0, p.Size())
+	for _, sh := range p.shards {
+		for _, e := range sh.pending {
+			all = append(all, e)
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].before(all[b]) })
+	out := make(tx.Seq, len(all))
+	for i, e := range all {
+		out[i] = e.tx
+	}
+	return out
 }
 
 // Collect removes and returns up to n transactions in the pool's canonical
 // order: non-demoted before demoted, then descending total fee, then arrival
 // order. This is the batch an aggregator receives; it has no influence over
 // which transactions it gets.
+//
+// Collection pops from the persistent per-shard heaps through a heap-based
+// k-way merge: O(B · (log depth + log shards)) for a B-transaction batch,
+// independent of how many transactions remain pending.
 func (p *Pool) Collect(n int) tx.Seq { return p.CollectParallel(n, 1) }
 
-// CollectParallel is Collect with the per-shard sorts fanned over up to
-// workers goroutines (≤1 sorts serially, 0 is treated as 1). The canonical
-// order is a total order assembled by a deterministic merge, so the result
-// is byte-identical for every worker count — batch building parallelizes
-// without perturbing a single sealed batch.
+// CollectParallel is Collect with an explicit worker count, retained for
+// API compatibility with the sort-per-collection implementation it
+// replaced. The persistent heaps removed the per-shard sort phase — the
+// only part of collection that ever parallelized — so workers no longer
+// changes how a batch is built (it is still recorded on the collection
+// span). Parallelism now lives where the contention is: sharded admission
+// on the RPC side. The batch is byte-identical for every shard and worker
+// count, exactly as before.
 func (p *Pool) CollectParallel(n, workers int) tx.Seq {
 	sp := trace.StartSpan(trace.SpanMempoolCollect,
 		trace.Int("requested", int64(n)),
 		trace.Int("shards", int64(len(p.shards))),
 		trace.Int("workers", int64(max(workers, 1))))
+	stopTimer := mCollectTime.Start()
 	p.lockAll()
-	batch := p.mergeLocked(n, workers, func(sh *shard, t tx.Tx) {
-		sh.removeLocked(t.Hash())
-		p.size.Add(-1)
-	})
+	batch := p.collectLocked(n)
 	mCollects.Inc()
 	mCollectSize.Observe(float64(len(batch)))
 	p.unlockAll()
+	stopTimer()
 	if trace.Enabled() {
 		for i, t := range batch {
 			trace.Event(t.Hash().Hex(), trace.StageMempoolCollect, "collected",
@@ -412,94 +463,49 @@ func (p *Pool) unlockAll() {
 	}
 }
 
-// mergeLocked sorts each shard (optionally in parallel) and k-way merges the
-// shard orders into the global canonical order, taking up to n entries. When
-// remove is non-nil each taken transaction is removed from its shard.
-// Callers hold every shard lock.
-func (p *Pool) mergeLocked(n int, workers int, remove func(*shard, tx.Tx)) tx.Seq {
+// collectLocked drains up to n entries from the shard heaps in the global
+// canonical order via the k-way merge heap. Callers hold every shard lock.
+func (p *Pool) collectLocked(n int) tx.Seq {
 	if n < 0 {
 		n = 0
 	}
 	total := 0
-	sorted := make([][]*entry, len(p.shards))
-	for i, sh := range p.shards {
+	for _, sh := range p.shards {
 		total += len(sh.pending)
 		mShardOcc.Observe(float64(len(sh.pending)))
-		sorted[i] = make([]*entry, 0, len(sh.pending))
 	}
 	if n > total {
 		n = total
 	}
 
-	sortShard := func(i int) {
-		sh := p.shards[i]
-		es := sorted[i]
-		for _, e := range sh.pending {
-			es = append(es, e)
-		}
-		sort.Slice(es, func(a, b int) bool { return es[a].before(es[b]) })
-		sorted[i] = es
-	}
-	if workers > len(p.shards) {
-		workers = len(p.shards)
-	}
-	if workers <= 1 {
-		for i := range p.shards {
-			sortShard(i)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(p.shards) {
-						return
-					}
-					sortShard(i)
-				}
-			}()
-		}
-		wg.Wait()
-	}
-
 	msp := trace.StartSpan(trace.SpanMempoolMerge, trace.Int("pending", int64(total)))
 	defer msp.End()
-	heads := make([]int, len(sorted))
+	merge := newShardMerge(p)
 	out := make(tx.Seq, 0, n)
 	for len(out) < n {
-		best := -1
-		for i, es := range sorted {
-			if heads[i] >= len(es) {
-				continue
-			}
-			if best < 0 || es[heads[i]].before(sorted[best][heads[best]]) {
-				best = i
-			}
-		}
-		if best < 0 {
+		e := merge.take()
+		if e == nil {
 			break
 		}
-		e := sorted[best][heads[best]]
-		heads[best]++
 		out = append(out, e.tx)
-		if remove != nil {
-			remove(p.shards[best], e.tx)
-		}
+		p.size.Add(-1)
 	}
 	return out
 }
 
 // Demote marks a pending transaction so that it orders after every
-// non-demoted transaction — the defense's "send to the block behind".
+// non-demoted transaction — the defense's "send to the block behind". The
+// re-key is lazy: the entry keeps its heap position until it surfaces at
+// the shard head, where cleanHead sinks it to its demoted position
+// (heap.go).
 func (p *Pool) Demote(h chainid.Hash) error {
 	for _, sh := range p.shards {
 		sh.mu.Lock()
 		if e, ok := sh.pending[h]; ok {
-			e.demoted = true
+			if !e.demoted {
+				e.demoted = true
+				sh.stale++
+			}
 			sh.mu.Unlock()
 			mDemoted.Inc()
 			if trace.Enabled() {
@@ -517,7 +523,7 @@ func (p *Pool) Remove(h chainid.Hash) error {
 	for _, sh := range p.shards {
 		sh.mu.Lock()
 		if _, ok := sh.pending[h]; ok {
-			sh.removeLocked(h)
+			sh.dropLocked(h)
 			p.size.Add(-1)
 			sh.mu.Unlock()
 			return nil

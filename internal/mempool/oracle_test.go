@@ -1,0 +1,270 @@
+package mempool
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"parole/internal/chainid"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// The oracle is the naive re-sort model of the pool: a flat map of pending
+// entries, every operation implemented by exhaustive scan and full sort. It
+// mirrors Add's admission semantics exactly — arrival stamps consumed only
+// by successful inserts, the (sender, nonce) replacement check before the
+// capacity check, and an at-capacity newcomer competing with the next
+// (largest) stamp so it loses every tie. The property test drives the real
+// pool and the oracle through the same random operation stream and demands
+// identical errors, identical collected bytes, and identical pending
+// snapshots.
+
+type oracleEntry struct {
+	t       tx.Tx
+	arrival uint64
+	demoted bool
+}
+
+func oracleBefore(a, b *oracleEntry) bool {
+	if a.demoted != b.demoted {
+		return !a.demoted
+	}
+	if fa, fb := a.t.Fee(), b.t.Fee(); fa != fb {
+		return fa > fb
+	}
+	return a.arrival < b.arrival
+}
+
+type oracle struct {
+	cfg     Config
+	entries map[chainid.Hash]*oracleEntry
+	nextSeq uint64
+}
+
+func newOracle(cfg Config) *oracle {
+	return &oracle{cfg: cfg, entries: make(map[chainid.Hash]*oracleEntry)}
+}
+
+func (o *oracle) insert(t tx.Tx, h chainid.Hash) {
+	o.entries[h] = &oracleEntry{t: t, arrival: o.nextSeq}
+	o.nextSeq++
+}
+
+func (o *oracle) add(t tx.Tx) error {
+	h := t.Hash()
+	if _, dup := o.entries[h]; dup {
+		return ErrDuplicate
+	}
+	if o.cfg.ReplaceByNonce {
+		for oh, e := range o.entries {
+			if e.t.From == t.From && e.t.Nonce == t.Nonce {
+				if t.Fee() <= e.t.Fee() {
+					return ErrUnderpriced
+				}
+				delete(o.entries, oh)
+				o.insert(t, h)
+				return nil
+			}
+		}
+	}
+	if o.cfg.Capacity > 0 && len(o.entries) >= o.cfg.Capacity {
+		newcomer := &oracleEntry{t: t, arrival: o.nextSeq}
+		var victimHash chainid.Hash
+		var victim *oracleEntry
+		for vh, e := range o.entries {
+			if victim == nil || oracleBefore(victim, e) {
+				victim, victimHash = e, vh
+			}
+		}
+		if !oracleBefore(newcomer, victim) {
+			if t.Fee() <= victim.t.Fee() {
+				return ErrUnderpriced
+			}
+			return ErrPoolFull
+		}
+		delete(o.entries, victimHash)
+		o.insert(t, h)
+		return nil
+	}
+	o.insert(t, h)
+	return nil
+}
+
+func (o *oracle) sorted() []*oracleEntry {
+	all := make([]*oracleEntry, 0, len(o.entries))
+	for _, e := range o.entries {
+		all = append(all, e)
+	}
+	sort.Slice(all, func(a, b int) bool { return oracleBefore(all[a], all[b]) })
+	return all
+}
+
+func (o *oracle) collect(n int) tx.Seq {
+	if n < 0 {
+		n = 0
+	}
+	all := o.sorted()
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make(tx.Seq, 0, n)
+	for _, e := range all[:n] {
+		out = append(out, e.t)
+		delete(o.entries, e.t.Hash())
+	}
+	return out
+}
+
+func (o *oracle) demote(h chainid.Hash) error {
+	e, ok := o.entries[h]
+	if !ok {
+		return ErrUnknownTx
+	}
+	e.demoted = true
+	return nil
+}
+
+func (o *oracle) remove(h chainid.Hash) error {
+	if _, ok := o.entries[h]; !ok {
+		return ErrUnknownTx
+	}
+	delete(o.entries, h)
+	return nil
+}
+
+func (o *oracle) pending() tx.Seq {
+	all := o.sorted()
+	out := make(tx.Seq, len(all))
+	for i, e := range all {
+		out[i] = e.t
+	}
+	return out
+}
+
+// sameSentinel reports whether two errors agree: both nil, or both wrapping
+// the same pool sentinel.
+func sameSentinel(got, want error) bool {
+	if (got == nil) != (want == nil) {
+		return false
+	}
+	if got == nil {
+		return true
+	}
+	for _, sentinel := range []error{ErrDuplicate, ErrUnknownTx, ErrInvalidTx, ErrUnderpriced, ErrPoolFull} {
+		if errors.Is(want, sentinel) {
+			return errors.Is(got, sentinel)
+		}
+	}
+	return false
+}
+
+// TestPoolMatchesResortOracle drives random interleavings of Add (fresh,
+// duplicate, fee-bump replacement, at-capacity eviction), Collect, Demote,
+// and Remove through the heap-backed pool and the naive re-sort oracle, and
+// requires them to agree on every error, every collected byte, and the final
+// pending snapshot. Run under -race in the suite, this is the persistent
+// heap's randomized correctness gate.
+func TestPoolMatchesResortOracle(t *testing.T) {
+	configs := []Config{
+		{Shards: 1},
+		{Shards: 8},
+		{Shards: 4, Capacity: 24},
+		{Shards: 8, Capacity: 24, ReplaceByNonce: true},
+		{Shards: 1, Capacity: 10, ReplaceByNonce: true},
+	}
+	for ci, cfg := range configs {
+		cfg := cfg
+		t.Run(fmt.Sprintf("cfg%d_shards%d_cap%d_rbn%v", ci, cfg.Shards, cfg.Capacity, cfg.ReplaceByNonce), func(t *testing.T) {
+			for trial := 0; trial < 8; trial++ {
+				rng := rand.New(rand.NewSource(int64(ci*100 + trial)))
+				p := NewWithConfig(cfg)
+				o := newOracle(cfg)
+
+				// history holds every tx ever generated so the stream can
+				// re-submit (duplicate / re-admission after collect) and
+				// target known hashes with Demote/Remove.
+				var history []tx.Tx
+				nextID := uint64(0)
+				freshTx := func() tx.Tx {
+					nextID++
+					// Few senders, heavy fee collisions, tiny nonce space:
+					// shard collisions, arrival tie-breaks, and replacement
+					// hits all fire constantly.
+					m := txFrom(rng.Intn(9), nextID, wei.Amount(1+rng.Intn(7)))
+					if cfg.ReplaceByNonce {
+						m = m.WithNonce(uint64(rng.Intn(6)))
+					}
+					history = append(history, m)
+					return m
+				}
+				knownHash := func() chainid.Hash {
+					if len(history) == 0 {
+						return chainid.Hash{}
+					}
+					return history[rng.Intn(len(history))].Hash()
+				}
+
+				for step := 0; step < 600; step++ {
+					switch op := rng.Intn(100); {
+					case op < 55: // Add, mostly fresh, sometimes resubmitted
+						m := freshTx()
+						if len(history) > 1 && rng.Intn(5) == 0 {
+							m = history[rng.Intn(len(history))]
+						}
+						gotErr, wantErr := p.Add(m), o.add(m)
+						if !sameSentinel(gotErr, wantErr) {
+							t.Fatalf("trial %d step %d: Add = %v, oracle = %v", trial, step, gotErr, wantErr)
+						}
+					case op < 75: // Collect a small batch
+						n := rng.Intn(6)
+						got, want := p.Collect(n), o.collect(n)
+						if len(got) != len(want) {
+							t.Fatalf("trial %d step %d: Collect(%d) len %d, oracle %d", trial, step, n, len(got), len(want))
+						}
+						for i := range want {
+							if got[i] != want[i] {
+								t.Fatalf("trial %d step %d: Collect(%d)[%d] = %v, oracle %v", trial, step, n, i, got[i], want[i])
+							}
+						}
+					case op < 88: // Demote a (maybe stale) known hash
+						h := knownHash()
+						if !sameSentinel(p.Demote(h), o.demote(h)) {
+							t.Fatalf("trial %d step %d: Demote disagrees", trial, step)
+						}
+					default: // Remove a (maybe stale) known hash
+						h := knownHash()
+						if !sameSentinel(p.Remove(h), o.remove(h)) {
+							t.Fatalf("trial %d step %d: Remove disagrees", trial, step)
+						}
+					}
+					if got, want := p.Size(), len(o.entries); got != want {
+						t.Fatalf("trial %d step %d: Size = %d, oracle %d", trial, step, got, want)
+					}
+				}
+
+				got, want := p.Pending(), o.pending()
+				if len(got) != len(want) {
+					t.Fatalf("trial %d: Pending len %d, oracle %d", trial, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d: Pending[%d] = %v, oracle %v", trial, i, got[i], want[i])
+					}
+				}
+				// Drain everything and confirm the full canonical order.
+				gotAll, wantAll := p.Collect(1<<20), o.collect(1<<20)
+				for i := range wantAll {
+					if gotAll[i] != wantAll[i] {
+						t.Fatalf("trial %d: drain[%d] = %v, oracle %v", trial, i, gotAll[i], wantAll[i])
+					}
+				}
+				if p.Size() != 0 {
+					t.Fatalf("trial %d: Size = %d after drain", trial, p.Size())
+				}
+			}
+		})
+	}
+}

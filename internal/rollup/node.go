@@ -259,11 +259,12 @@ func (n *Node) Collect(size int) (tx.Seq, *state.State) {
 	return n.CollectParallel(size, 1)
 }
 
-// CollectParallel is Collect with the mempool's per-shard sorting fanned
-// over up to workers goroutines. The collected batch is byte-identical to
-// the serial one for every worker count — the mempool's canonical order is
-// a total order assembled by a deterministic merge — so concurrent batch
-// building never perturbs a sealed batch.
+// CollectParallel is Collect with an explicit worker count, retained for
+// API compatibility from when collection sorted each shard per call. The
+// mempool's persistent per-shard heaps removed the sort phase, so workers
+// no longer changes how a batch is built; the batch is byte-identical for
+// every worker count, exactly as before (the canonical order is a total
+// order popped through a deterministic k-way merge).
 func (n *Node) CollectParallel(size, workers int) (tx.Seq, *state.State) {
 	batch := n.pool.CollectParallel(size, workers)
 	return batch, n.L2State()

@@ -37,9 +37,10 @@ type SequencerConfig struct {
 	// Bond posted when registering the aggregator on the ORSC. Zero
 	// defaults to 10 ETH.
 	Bond wei.Amount
-	// CollectWorkers fans the mempool's per-shard sorting over this many
-	// goroutines during collection. Any value produces byte-identical
-	// batches; zero or one collects serially.
+	// CollectWorkers is retained for API compatibility from when
+	// collection sorted each mempool shard per call; the persistent
+	// per-shard heaps removed that sort phase, so this no longer changes
+	// how a batch is built. Any value produces byte-identical batches.
 	CollectWorkers int
 }
 

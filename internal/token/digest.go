@@ -1,0 +1,195 @@
+package token
+
+// Incremental state digest.
+//
+// StateDigest commits to the contract's full ownership table and feeds the
+// L2 state root, so the sequencer reads it after every batch. The original
+// implementation sorted and re-hashed the entire owner table per read —
+// O(owners · log owners) — which at 100k owners dominated the per-batch
+// root reads of the scaling pipeline (docs/SCALING.md).
+//
+// The digest is now maintained incrementally as a two-level commitment over
+// the sorted owner table:
+//
+//   - Level 0 — per-bucket sub-digests. Token ids partition into fixed
+//     ranges of 1<<digestBucketShift ids; each non-empty bucket keeps an
+//     unordered accumulator, the XOR of H("parole/token-entry", id, owner)
+//     over its live entries. XOR is its own inverse, so a mint, burn, or
+//     transfer updates its bucket in O(1) hash operations (a transfer
+//     touches one bucket twice: remove the old owner pair, add the new).
+//     Ids are unique within a contract, so a bucket's accumulator is a
+//     commitment to its exact entry set for any collision-resistant entry
+//     hash (two distinct sets differ in at least one (id, owner) pair);
+//     it deliberately trades the ordering information — already implied
+//     by the id — for O(1) updates.
+//   - Level 1 — the top digest hashes the header and every (bucket index,
+//     accumulator) pair in ascending bucket order. Recomputed lazily on
+//     read when any bucket changed: O(owners / bucket size), ~400 buckets
+//     at 100k owners instead of 100k sorted entries.
+//
+// The structure is built lazily on the first StateDigest call (Contract
+// mutation stays O(1) map work for contracts whose digest nobody reads,
+// and Clone — the OVM's per-candidate hot path — drops it, exactly as it
+// drops the event log). Once built, every mutation path maintains it:
+// Mint/Transfer/Burn, the journaled mutators, and Undo.Revert, so a
+// Scratch rollback restores the digest along with the owner table.
+// ColdStateDigest keeps the from-scratch recomputation as the reference;
+// TestStateDigestMatchesColdAcrossInterleavings pins the two together.
+
+import (
+	"sort"
+
+	"parole/internal/chainid"
+	"parole/internal/telemetry"
+)
+
+// Digest-maintenance metrics (docs/METRICS.md §token).
+var (
+	mDigestBuilds     = telemetry.Default().Counter("token.digest.builds")
+	mDigestRecomputes = telemetry.Default().Counter("token.digest.recomputes")
+)
+
+// digestBucketShift sizes the id ranges: 256 ids per bucket keeps the top
+// recompute ~2.5 orders of magnitude smaller than the owner table while the
+// per-bucket accumulators stay single-hash cheap to update.
+const digestBucketShift = 8
+
+// digestState is the incremental commitment. buckets maps a bucket index to
+// the XOR accumulator over its entries; count tracks live entries so a
+// bucket that empties disappears from the top digest exactly as it would in
+// a cold rebuild.
+type digestState struct {
+	buckets map[uint64]chainid.Hash
+	count   map[uint64]int
+	top     chainid.Hash
+	dirty   bool
+}
+
+// entryDigest hashes one (id, owner) pair of the ownership table.
+func entryDigest(id uint64, owner chainid.Address) chainid.Hash {
+	var b [8 + chainid.AddressLen]byte
+	putUint64(b[:8], id)
+	copy(b[8:], owner[:])
+	return chainid.HashBytes([]byte("parole/token-entry"), b[:])
+}
+
+// digestAdd folds a new (id, owner) entry into its bucket. No-op until the
+// digest structure exists.
+func (c *Contract) digestAdd(id uint64, owner chainid.Address) {
+	d := c.dig
+	if d == nil {
+		return
+	}
+	b := id >> digestBucketShift
+	acc := d.buckets[b]
+	h := entryDigest(id, owner)
+	for i := range acc {
+		acc[i] ^= h[i]
+	}
+	d.buckets[b] = acc
+	d.count[b]++
+	d.dirty = true
+}
+
+// digestRemove folds an existing (id, owner) entry out of its bucket (XOR
+// is self-inverse), dropping the bucket when it empties.
+func (c *Contract) digestRemove(id uint64, owner chainid.Address) {
+	d := c.dig
+	if d == nil {
+		return
+	}
+	b := id >> digestBucketShift
+	acc := d.buckets[b]
+	h := entryDigest(id, owner)
+	for i := range acc {
+		acc[i] ^= h[i]
+	}
+	if n := d.count[b] - 1; n == 0 {
+		delete(d.buckets, b)
+		delete(d.count, b)
+	} else {
+		d.buckets[b] = acc
+		d.count[b] = n
+	}
+	d.dirty = true
+}
+
+// buildDigest constructs the bucket accumulators from the current owner
+// table — the one O(owners) pass, paid on the first StateDigest read.
+func (c *Contract) buildDigest() *digestState {
+	mDigestBuilds.Inc()
+	d := &digestState{
+		buckets: make(map[uint64]chainid.Hash),
+		count:   make(map[uint64]int),
+		dirty:   true,
+	}
+	for id, owner := range c.owners {
+		b := id >> digestBucketShift
+		acc := d.buckets[b]
+		h := entryDigest(id, owner)
+		for i := range acc {
+			acc[i] ^= h[i]
+		}
+		d.buckets[b] = acc
+		d.count[b]++
+	}
+	return d
+}
+
+// topDigest hashes the header and the sorted (bucket, accumulator) pairs
+// into the committed digest value.
+func (d *digestState) topDigest(c *Contract) chainid.Hash {
+	idxs := make([]uint64, 0, len(d.buckets))
+	for b := range d.buckets {
+		idxs = append(idxs, b)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	segments := make([][]byte, 0, 2+len(idxs))
+	segments = append(segments, []byte("parole/token-state/v2"), c.encodeHeader())
+	for _, b := range idxs {
+		acc := d.buckets[b]
+		seg := make([]byte, 8+chainid.HashLen)
+		putUint64(seg, b)
+		copy(seg[8:], acc[:])
+		segments = append(segments, seg)
+	}
+	return chainid.HashBytes(segments...)
+}
+
+// StateDigest commits to the full contract state (configuration plus the
+// ownership table, bucketed by id range as described at the top of this
+// file). It feeds the L2 state root. The first call builds the incremental
+// structure (O(owners)); subsequent calls cost O(buckets) when anything
+// changed since the last read and O(1) when nothing did.
+func (c *Contract) StateDigest() chainid.Hash {
+	if c.dig == nil {
+		c.dig = c.buildDigest()
+	}
+	if c.dig.dirty {
+		mDigestRecomputes.Inc()
+		c.dig.top = c.dig.topDigest(c)
+		c.dig.dirty = false
+	}
+	return c.dig.top
+}
+
+// ColdStateDigest recomputes the digest from the raw owner table, bypassing
+// and not touching the incremental structure — the reference the property
+// tests compare StateDigest against, mirroring state.ColdRoot.
+func (c *Contract) ColdStateDigest() chainid.Hash {
+	d := &digestState{
+		buckets: make(map[uint64]chainid.Hash),
+		count:   make(map[uint64]int),
+	}
+	for id, owner := range c.owners {
+		b := id >> digestBucketShift
+		acc := d.buckets[b]
+		h := entryDigest(id, owner)
+		for i := range acc {
+			acc[i] ^= h[i]
+		}
+		d.buckets[b] = acc
+		d.count[b]++
+	}
+	return d.topDigest(c)
+}

@@ -1,0 +1,158 @@
+package token
+
+import (
+	"math/rand"
+	"testing"
+
+	"parole/internal/chainid"
+)
+
+// digestContract deploys a wide contract so random ids spread over many
+// digest buckets (ids up to 4096 span 16 buckets at 256 ids each).
+func digestContract(t testing.TB) *Contract {
+	t.Helper()
+	c, err := Deploy(ptAddr, Config{
+		Name:         "ParoleToken",
+		Symbol:       "PT",
+		MaxSupply:    1 << 20,
+		InitialPrice: 1,
+	})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	return c
+}
+
+// TestStateDigestMatchesColdAcrossInterleavings is the incremental-digest
+// property test, mirroring state.TestIncrementalRootMatchesColdRebuild:
+// random interleavings of plain mutators, journaled mutators, LIFO reverts,
+// and digest reads (which build the incremental structure at arbitrary
+// points) must keep StateDigest equal to the from-scratch ColdStateDigest
+// at every checkpoint.
+func TestStateDigestMatchesColdAcrossInterleavings(t *testing.T) {
+	const (
+		trials  = 25
+		steps   = 400
+		idSpace = 4096 // 16 digest buckets
+		users   = 8
+	)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		c := digestContract(t)
+		if trial%2 == 0 {
+			// Half the trials build the incremental structure up front so
+			// every mutation below exercises the maintenance path; the other
+			// half build it lazily mid-run at the first checkpoint.
+			_ = c.StateDigest()
+		}
+
+		// Journaled mutations are reverted strictly LIFO, and plain
+		// mutations only run with an empty journal — the same discipline
+		// state.Scratch enforces.
+		var undos []Undo
+
+		check := func(step int) {
+			if got, want := c.StateDigest(), c.ColdStateDigest(); got != want {
+				t.Fatalf("trial %d step %d: StateDigest %s != ColdStateDigest %s (minted=%d)",
+					trial, step, got, want, c.Minted())
+			}
+		}
+
+		randomLive := func() (uint64, chainid.Address, bool) {
+			for attempt := 0; attempt < 8; attempt++ {
+				id := uint64(rng.Intn(idSpace))
+				if owner, ok := c.OwnerOf(id); ok {
+					return id, owner, true
+				}
+			}
+			return 0, chainid.Address{}, false
+		}
+
+		for step := 0; step < steps; step++ {
+			op := rng.Intn(10)
+			journaled := len(undos) > 0 || rng.Intn(2) == 0
+			switch {
+			case op < 4: // mint
+				id := uint64(rng.Intn(idSpace))
+				owner := chainid.UserAddress(rng.Intn(users))
+				if journaled {
+					if u, err := c.JournalMint(owner, id); err == nil {
+						undos = append(undos, u)
+					}
+				} else {
+					_ = c.Mint(owner, id)
+				}
+			case op < 6: // transfer
+				if id, owner, ok := randomLive(); ok {
+					to := chainid.UserAddress(rng.Intn(users))
+					if journaled {
+						if u, err := c.JournalTransfer(id, owner, to); err == nil {
+							undos = append(undos, u)
+						}
+					} else {
+						_ = c.Transfer(id, owner, to)
+					}
+				}
+			case op < 8: // burn
+				if id, owner, ok := randomLive(); ok {
+					if journaled {
+						if u, err := c.JournalBurn(id, owner); err == nil {
+							undos = append(undos, u)
+						}
+					} else {
+						_ = c.Burn(id, owner)
+					}
+				}
+			case op == 8: // revert a LIFO suffix of the journal
+				if n := len(undos); n > 0 {
+					keep := rng.Intn(n)
+					for i := n - 1; i >= keep; i-- {
+						undos[i].Revert()
+					}
+					undos = undos[:keep]
+				}
+			default: // read the digest at a random point
+				_ = c.StateDigest()
+			}
+			if step%53 == 0 {
+				check(step)
+			}
+		}
+		// Unwind any remaining journal and verify the final state.
+		for i := len(undos) - 1; i >= 0; i-- {
+			undos[i].Revert()
+		}
+		check(steps)
+
+		// A clone must produce the same digest from a fresh lazy build.
+		if got, want := c.Clone().StateDigest(), c.StateDigest(); got != want {
+			t.Fatalf("trial %d: clone digest %s != original %s", trial, got, want)
+		}
+	}
+}
+
+// TestColdStateDigestLeavesIncrementalUntouched pins that the reference
+// path is genuinely independent: interleaving ColdStateDigest reads must
+// not perturb the incremental structure.
+func TestColdStateDigestLeavesIncrementalUntouched(t *testing.T) {
+	c := digestContract(t)
+	for id := uint64(0); id < 600; id++ {
+		if err := c.Mint(chainid.UserAddress(int(id%5)), id); err != nil {
+			t.Fatalf("Mint(%d): %v", id, err)
+		}
+	}
+	warm := c.StateDigest()
+	if cold := c.ColdStateDigest(); cold != warm {
+		t.Fatalf("ColdStateDigest %s != StateDigest %s", cold, warm)
+	}
+	if err := c.Burn(3, chainid.UserAddress(3)); err != nil {
+		t.Fatalf("Burn: %v", err)
+	}
+	cold := c.ColdStateDigest()
+	if got := c.StateDigest(); got != cold {
+		t.Fatalf("post-burn StateDigest %s != ColdStateDigest %s", got, cold)
+	}
+	if got := c.StateDigest(); got != cold {
+		t.Fatalf("repeated StateDigest %s != ColdStateDigest %s", got, cold)
+	}
+}

@@ -66,6 +66,11 @@ type Contract struct {
 	// means empty. Availability fully determines the curve value (Eq. 10).
 	priceAvail uint64
 	priceCache wei.Amount
+
+	// dig is the incremental state-digest structure (digest.go), built
+	// lazily on the first StateDigest call and maintained by every owner-
+	// table mutation afterwards. Clones drop it, like the event log.
+	dig *digestState
 }
 
 // Deploy creates a contract instance at addr.
@@ -191,6 +196,7 @@ func (c *Contract) Mint(owner chainid.Address, id uint64) error {
 	}
 	price := c.Price()
 	c.owners[id] = owner
+	c.digestAdd(id, owner)
 	if id >= c.nextID {
 		c.nextID = id + 1
 	}
@@ -243,6 +249,8 @@ func (c *Contract) Transfer(id uint64, from, to chainid.Address) error {
 		return err
 	}
 	c.owners[id] = to
+	c.digestRemove(id, from)
+	c.digestAdd(id, to)
 	c.version++
 	c.recordEvent(Event{Kind: EventTransferred, TokenID: id, From: from, To: to, Price: c.Price()})
 	return nil
@@ -260,6 +268,7 @@ func (c *Contract) Burn(id uint64, owner chainid.Address) error {
 	}
 	price := c.Price()
 	delete(c.owners, id)
+	c.digestRemove(id, owner)
 	c.version++
 	c.recordEvent(Event{Kind: EventBurned, TokenID: id, From: owner, Price: price})
 	return nil
@@ -268,6 +277,9 @@ func (c *Contract) Burn(id uint64, owner chainid.Address) error {
 // Clone returns an independent deep copy of the contract *state*. The event
 // log is deliberately not copied (clones start with an empty log) so that
 // candidate-sequence evaluation stays O(state), not O(history); see Events.
+// The incremental digest structure is dropped for the same reason: a clone
+// whose digest nobody reads pays nothing, and the first StateDigest call
+// rebuilds it from the copied owner table.
 func (c *Contract) Clone() *Contract {
 	owners := make(map[uint64]chainid.Address, len(c.owners))
 	for id, owner := range c.owners {
@@ -276,26 +288,8 @@ func (c *Contract) Clone() *Contract {
 	return &Contract{addr: c.addr, cfg: c.cfg, owners: owners, nextID: c.nextID, version: c.version}
 }
 
-// StateDigest commits to the full contract state (configuration plus the
-// sorted ownership table). It feeds the L2 state root.
-func (c *Contract) StateDigest() chainid.Hash {
-	ids := make([]uint64, 0, len(c.owners))
-	for id := range c.owners {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	segments := make([][]byte, 0, 2+len(ids))
-	segments = append(segments, []byte("parole/token-state"), c.encodeHeader())
-	for _, id := range ids {
-		owner := c.owners[id]
-		entry := make([]byte, 8+chainid.AddressLen)
-		putUint64(entry, id)
-		copy(entry[8:], owner[:])
-		segments = append(segments, entry)
-	}
-	return chainid.HashBytes(segments...)
-}
-
+// encodeHeader serializes the deployment configuration for the state
+// digest (digest.go).
 func (c *Contract) encodeHeader() []byte {
 	b := make([]byte, 0, chainid.AddressLen+8+8+len(c.cfg.Name)+len(c.cfg.Symbol))
 	b = append(b, c.addr[:]...)
