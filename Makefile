@@ -53,7 +53,8 @@ bench-smoke:
 	$(GO) test -bench='BenchmarkOVMExecute|BenchmarkOVMEvaluate|BenchmarkEvaluateScratch|BenchmarkObjectiveScore|BenchmarkStateRoot|BenchmarkDQNForward|BenchmarkHillClimbSolve|BenchmarkIncrementalRootUpdate|BenchmarkFullRootRebuild|BenchmarkMempoolCollect10k|BenchmarkMempoolCollectParallel10k|BenchmarkCollectDeepPool|BenchmarkCollectDeepPoolResort|BenchmarkStateDigestIncremental|BenchmarkStateDigestCold' \
 		-benchtime=0.3s -benchmem . | $(GO) run ./cmd/parole-trace bench-emit -tee -out BENCH_smoke.json
 	$(GO) run ./cmd/parole-trace bench-diff -threshold 25 \
-		-filter Evaluate,Score,IncrementalRoot,MempoolCollect,CollectDeepPool,StateDigest $(BENCH_BASELINE) BENCH_smoke.json
+		-filter Evaluate,Score,IncrementalRoot,MempoolCollect,CollectDeepPool,StateDigest \
+		-skip Resort,Cold,Rebuild $(BENCH_BASELINE) BENCH_smoke.json
 
 # Regenerate every table and figure at the default (minutes-scale) budget.
 experiments:

@@ -524,9 +524,10 @@ func scaleContract(b *testing.B, n int) *token.Contract {
 
 // BenchmarkStateDigestIncremental measures one transfer plus StateDigest at
 // 100k owners — the per-mutation cost of keeping the token commitment fresh.
-// The incremental digest folds two entry hashes into one bucket and re-hashes
-// the ~400 bucket accumulators; compare BenchmarkStateDigestCold for the full
-// sorted re-hash every read used to cost.
+// The incremental digest re-derives the one dirty 32-id bucket from the
+// owner table and re-hashes the ~3.1k (bucket, sub-digest) pairs of the top
+// level; compare BenchmarkStateDigestCold for the full per-read rebuild it
+// replaces.
 func BenchmarkStateDigestIncremental(b *testing.B) {
 	c := scaleContract(b, 100_000)
 	users := [2]chainid.Address{chainid.UserAddress(0), chainid.UserAddress(512)}

@@ -7,7 +7,7 @@
 //	parole-trace timeline FILE          per-transaction lifecycle events (TSV)
 //	parole-trace diff OLD NEW           per-kind time deltas between two traces
 //	parole-trace bench-emit [-out FILE] [-tee] [-date YYYY-MM-DD]
-//	parole-trace bench-diff [-threshold PCT] [-filter SUBSTR] OLD.json NEW.json
+//	parole-trace bench-diff [-threshold PCT] [-filter SUBSTR] [-skip SUBSTR] OLD.json NEW.json
 //
 // summary and timeline recompute the TSV artifacts from the trace JSON alone,
 // so a trace copied off another machine (or out of CI) stays inspectable
@@ -195,11 +195,12 @@ func benchDiff(args []string) error {
 	fs := flag.NewFlagSet("bench-diff", flag.ContinueOnError)
 	threshold := fs.Float64("threshold", 25, "max allowed ns/op regression in percent before exiting nonzero")
 	filter := fs.String("filter", "", "only compare benchmarks whose name contains one of these comma-separated substrings")
+	skip := fs.String("skip", "", "exclude benchmarks whose name contains one of these comma-separated substrings (applied after -filter; for cold-reference yardsticks that are recorded but too slow-iterating to gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: parole-trace bench-diff [-threshold PCT] [-filter SUBSTR] OLD.json NEW.json")
+		return fmt.Errorf("usage: parole-trace bench-diff [-threshold PCT] [-filter SUBSTR] [-skip SUBSTR] OLD.json NEW.json")
 	}
 	if *threshold < 0 {
 		return fmt.Errorf("bench-diff: negative threshold %v", *threshold)
@@ -223,6 +224,23 @@ func benchDiff(args []string) error {
 					kept = append(kept, d)
 					break
 				}
+			}
+		}
+		deltas = kept
+	}
+	if *skip != "" {
+		subs := strings.Split(*skip, ",")
+		kept := deltas[:0]
+		for _, d := range deltas {
+			skipped := false
+			for _, sub := range subs {
+				if sub != "" && strings.Contains(d.Name, sub) {
+					skipped = true
+					break
+				}
+			}
+			if !skipped {
+				kept = append(kept, d)
 			}
 		}
 		deltas = kept

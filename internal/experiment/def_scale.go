@@ -157,6 +157,9 @@ func (scaleExp) RunPoint(ctx context.Context, cfg Config, p Point) ([]Row, error
 		}
 		t0 := time.Now()
 		bs := serial.Collect(scaleBatchSize)
+		// The twin deliberately collects through the deprecated
+		// CollectParallel path: workers is a no-op, and this diff pins
+		// that the compatibility wrapper stays byte-identical to Collect.
 		bp := parallel.CollectParallel(scaleBatchSize, scaleWorkers)
 		collectMS += time.Since(t0)
 		if len(bs) != len(bp) {

@@ -414,21 +414,10 @@ func (p *Pool) Pending() tx.Seq {
 // Collection pops from the persistent per-shard heaps through a heap-based
 // k-way merge: O(B · (log depth + log shards)) for a B-transaction batch,
 // independent of how many transactions remain pending.
-func (p *Pool) Collect(n int) tx.Seq { return p.CollectParallel(n, 1) }
-
-// CollectParallel is Collect with an explicit worker count, retained for
-// API compatibility with the sort-per-collection implementation it
-// replaced. The persistent heaps removed the per-shard sort phase — the
-// only part of collection that ever parallelized — so workers no longer
-// changes how a batch is built (it is still recorded on the collection
-// span). Parallelism now lives where the contention is: sharded admission
-// on the RPC side. The batch is byte-identical for every shard and worker
-// count, exactly as before.
-func (p *Pool) CollectParallel(n, workers int) tx.Seq {
+func (p *Pool) Collect(n int) tx.Seq {
 	sp := trace.StartSpan(trace.SpanMempoolCollect,
 		trace.Int("requested", int64(n)),
-		trace.Int("shards", int64(len(p.shards))),
-		trace.Int("workers", int64(max(workers, 1))))
+		trace.Int("shards", int64(len(p.shards))))
 	stopTimer := mCollectTime.Start()
 	p.lockAll()
 	batch := p.collectLocked(n)
@@ -446,6 +435,23 @@ func (p *Pool) CollectParallel(n, workers int) tx.Seq {
 	sp.SetAttr(trace.Int("collected", int64(len(batch))))
 	sp.End()
 	return batch
+}
+
+// CollectParallel is Collect with an explicit worker count, retained for
+// API compatibility with the sort-per-collection implementation it
+// replaced.
+//
+// Deprecated: the persistent heaps removed the per-shard sort phase — the
+// only part of collection that ever parallelized — so workers is ignored
+// (and deliberately not recorded on the collection span, which would
+// suggest parallelism that no longer exists). Parallelism now lives where
+// the contention is: sharded admission on the RPC side. The batch stays
+// byte-identical for every shard and worker count, exactly as before
+// (TestCollectShardAndWorkerInvariance). New callers should use Collect;
+// CollectParallel will be removed in a follow-up API cleanup.
+func (p *Pool) CollectParallel(n, workers int) tx.Seq {
+	_ = workers
+	return p.Collect(n)
 }
 
 // lockAll / unlockAll take every shard lock in index order, making Pending

@@ -256,18 +256,21 @@ func (n *Node) BatchStatusCounts() (pending, finalized, reverted uint64) {
 // in fee order, paired with a clone of the current L2 state — exactly what
 // an aggregator receives.
 func (n *Node) Collect(size int) (tx.Seq, *state.State) {
-	return n.CollectParallel(size, 1)
+	return n.pool.Collect(size), n.L2State()
 }
 
 // CollectParallel is Collect with an explicit worker count, retained for
-// API compatibility from when collection sorted each shard per call. The
-// mempool's persistent per-shard heaps removed the sort phase, so workers
-// no longer changes how a batch is built; the batch is byte-identical for
-// every worker count, exactly as before (the canonical order is a total
-// order popped through a deterministic k-way merge).
+// API compatibility from when collection sorted each shard per call.
+//
+// Deprecated: the mempool's persistent per-shard heaps removed the sort
+// phase, so workers no longer changes how a batch is built; the batch is
+// byte-identical for every worker count, exactly as before (the canonical
+// order is a total order popped through a deterministic k-way merge). New
+// callers should use Collect; CollectParallel will be removed in a
+// follow-up API cleanup.
 func (n *Node) CollectParallel(size, workers int) (tx.Seq, *state.State) {
-	batch := n.pool.CollectParallel(size, workers)
-	return batch, n.L2State()
+	_ = workers
+	return n.Collect(size)
 }
 
 // CommitBatch executes an ordered batch against the canonical L2 state,

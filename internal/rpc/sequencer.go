@@ -38,9 +38,13 @@ type SequencerConfig struct {
 	// defaults to 10 ETH.
 	Bond wei.Amount
 	// CollectWorkers is retained for API compatibility from when
-	// collection sorted each mempool shard per call; the persistent
-	// per-shard heaps removed that sort phase, so this no longer changes
-	// how a batch is built. Any value produces byte-identical batches.
+	// collection sorted each mempool shard per call.
+	//
+	// Deprecated: the persistent per-shard heaps removed that sort phase,
+	// so this no longer changes how a batch is built — any value produces
+	// byte-identical batches. Setting it above 1 logs a one-time notice at
+	// startup; the knob (and parole-node's -collect-workers flag) will be
+	// removed in a follow-up API cleanup.
 	CollectWorkers int
 }
 
@@ -81,6 +85,11 @@ func NewSequencer(node *rollup.Node, cfg SequencerConfig) (*Sequencer, error) {
 	if cfg.Bond <= 0 {
 		cfg.Bond = wei.FromETH(10)
 	}
+	if cfg.CollectWorkers > 1 {
+		seqLog.Warn("collect-workers is deprecated and has no effect: "+
+			"persistent mempool heaps removed the per-shard sort it parallelized",
+			logx.Int("collect_workers", cfg.CollectWorkers))
+	}
 	addr := chainid.AggregatorAddress(0)
 	node.SetupAccount(addr, cfg.Bond)
 	if err := node.ORSC().RegisterAggregator(addr, cfg.Bond); err != nil {
@@ -120,7 +129,7 @@ func (q *Sequencer) Seal() (*SealInfo, error) {
 	defer sp.End()
 	stopTimer := mSealTime.Start()
 	defer stopTimer()
-	batch, _ := q.node.CollectParallel(q.cfg.BatchSize, q.cfg.CollectWorkers)
+	batch, _ := q.node.Collect(q.cfg.BatchSize)
 	if len(batch) == 0 {
 		q.node.AdvanceRound()
 		sp.SetAttr(trace.Int("txs", 0))

@@ -8,24 +8,36 @@ package token
 // O(owners · log owners) — which at 100k owners dominated the per-batch
 // root reads of the scaling pipeline (docs/SCALING.md).
 //
-// The digest is now maintained incrementally as a two-level commitment over
-// the sorted owner table:
+// The digest is maintained incrementally as a two-level commitment over
+// the owner table, with dirty tracking instead of in-place accumulators:
 //
 //   - Level 0 — per-bucket sub-digests. Token ids partition into fixed
-//     ranges of 1<<digestBucketShift ids; each non-empty bucket keeps an
-//     unordered accumulator, the XOR of H("parole/token-entry", id, owner)
-//     over its live entries. XOR is its own inverse, so a mint, burn, or
-//     transfer updates its bucket in O(1) hash operations (a transfer
-//     touches one bucket twice: remove the old owner pair, add the new).
-//     Ids are unique within a contract, so a bucket's accumulator is a
-//     commitment to its exact entry set for any collision-resistant entry
-//     hash (two distinct sets differ in at least one (id, owner) pair);
-//     it deliberately trades the ordering information — already implied
-//     by the id — for O(1) updates.
+//     ranges of 1<<digestBucketShift ids; each non-empty bucket commits to
+//     the hash of its live (id, owner) entries in ascending id order. A
+//     mutation does not update the sub-digest in place — it only marks the
+//     bucket dirty (O(1)); the sub-digest is re-derived from the owner
+//     table on the next read, O(bucket size) per dirty bucket.
 //   - Level 1 — the top digest hashes the header and every (bucket index,
-//     accumulator) pair in ascending bucket order. Recomputed lazily on
-//     read when any bucket changed: O(owners / bucket size), ~400 buckets
-//     at 100k owners instead of 100k sorted entries.
+//     sub-digest) pair in ascending bucket order. Recomputed lazily on
+//     read when any bucket changed: O(owners / bucket size) pairs.
+//
+// Two properties fall out of deriving sub-digests from the owner table
+// rather than folding deltas into an accumulator:
+//
+//   - Binding. An earlier revision XOR-ed per-entry hashes into each
+//     bucket. XOR of hashes is linear over GF(2), so it is NOT a
+//     collision-resistant set commitment: 257+ candidate entry hashes in
+//     one bucket are linearly dependent in GF(2)^256, and Gaussian
+//     elimination finds two distinct ownership assignments with identical
+//     accumulators — a forgeable state root (the reason Bitcoin's MuHash
+//     and Facebook's LtHash avoid plain XOR). Hashing the bucket's exact
+//     ordered entry list inherits the hash function's collision
+//     resistance instead.
+//   - Self-healing. Sub-digests are always recomputed from the
+//     authoritative owner table, never patched from the mutation's
+//     arguments, so the structure cannot drift from ColdStateDigest: a
+//     mutator bug (say, "removing" an entry that was never live) marks a
+//     bucket dirty at worst, and the recompute restores the truth.
 //
 // The structure is built lazily on the first StateDigest call (Contract
 // mutation stays O(1) map work for contracts whose digest nobody reads,
@@ -45,112 +57,122 @@ import (
 
 // Digest-maintenance metrics (docs/METRICS.md §token).
 var (
-	mDigestBuilds     = telemetry.Default().Counter("token.digest.builds")
-	mDigestRecomputes = telemetry.Default().Counter("token.digest.recomputes")
+	mDigestBuilds       = telemetry.Default().Counter("token.digest.builds")
+	mDigestRecomputes   = telemetry.Default().Counter("token.digest.recomputes")
+	mDigestBucketHashes = telemetry.Default().Counter("token.digest.bucket_rehashes")
 )
 
-// digestBucketShift sizes the id ranges: 256 ids per bucket keeps the top
-// recompute ~2.5 orders of magnitude smaller than the owner table while the
-// per-bucket accumulators stay single-hash cheap to update.
-const digestBucketShift = 8
+// digestBucketShift sizes the id ranges at 1<<shift = 32 ids per bucket. A
+// StateDigest read costs (dirty buckets · bucket size) entry hashes plus
+// O(total buckets) top-level pairs, so the bucket size balances the two:
+// for a B-mutation batch over N owners the read is ~B·s + N/s work,
+// minimized near s = sqrt(N/B) ≈ 20 at the scaling pipeline's N=100k,
+// B=256 operating point. 32 keeps both terms a few thousand hashes — two
+// orders of magnitude under the 100k-entry cold rebuild.
+const digestBucketShift = 5
 
-// digestState is the incremental commitment. buckets maps a bucket index to
-// the XOR accumulator over its entries; count tracks live entries so a
-// bucket that empties disappears from the top digest exactly as it would in
-// a cold rebuild.
+// digestBucketSpan is the number of ids per bucket.
+const digestBucketSpan = 1 << digestBucketShift
+
+// digestState is the incremental commitment. subs maps a non-empty bucket
+// index to the ordered hash of its live entries; dirty marks buckets whose
+// sub-digest is stale and must be re-derived from the owner table before
+// the next top-digest read.
 type digestState struct {
-	buckets map[uint64]chainid.Hash
-	count   map[uint64]int
-	top     chainid.Hash
-	dirty   bool
+	subs  map[uint64]chainid.Hash
+	dirty map[uint64]struct{}
+	top   chainid.Hash
+	topOK bool
 }
 
-// entryDigest hashes one (id, owner) pair of the ownership table.
-func entryDigest(id uint64, owner chainid.Address) chainid.Hash {
-	var b [8 + chainid.AddressLen]byte
-	putUint64(b[:8], id)
-	copy(b[8:], owner[:])
-	return chainid.HashBytes([]byte("parole/token-entry"), b[:])
-}
-
-// digestAdd folds a new (id, owner) entry into its bucket. No-op until the
-// digest structure exists.
-func (c *Contract) digestAdd(id uint64, owner chainid.Address) {
+// digestTouch marks the bucket holding id stale. Every owner-table mutation
+// calls it (a transfer touches one bucket: same id, new owner); the
+// sub-digest is re-derived lazily on the next StateDigest read. No-op until
+// the digest structure exists.
+func (c *Contract) digestTouch(id uint64) {
 	d := c.dig
 	if d == nil {
 		return
 	}
-	b := id >> digestBucketShift
-	acc := d.buckets[b]
-	h := entryDigest(id, owner)
-	for i := range acc {
-		acc[i] ^= h[i]
-	}
-	d.buckets[b] = acc
-	d.count[b]++
-	d.dirty = true
+	d.dirty[id>>digestBucketShift] = struct{}{}
+	d.topOK = false
 }
 
-// digestRemove folds an existing (id, owner) entry out of its bucket (XOR
-// is self-inverse), dropping the bucket when it empties.
-func (c *Contract) digestRemove(id uint64, owner chainid.Address) {
-	d := c.dig
-	if d == nil {
-		return
+// bucketDigest derives bucket b's sub-digest from the owner table: the hash
+// of its live (id, owner) entries in ascending id order. ok is false when
+// the bucket has no live entries. Reads only c.owners — it never consults
+// the incremental structure, which is what makes recomputing a dirty bucket
+// self-healing.
+func (c *Contract) bucketDigest(b uint64) (h chainid.Hash, ok bool) {
+	const entryLen = 8 + chainid.AddressLen
+	lo := b << digestBucketShift
+	segments := make([][]byte, 1, 1+digestBucketSpan)
+	segments[0] = []byte("parole/token-bucket")
+	buf := make([]byte, 0, entryLen*digestBucketSpan)
+	for off := uint64(0); off < digestBucketSpan; off++ {
+		id := lo | off
+		owner, live := c.owners[id]
+		if !live {
+			continue
+		}
+		var e [entryLen]byte
+		putUint64(e[:8], id)
+		copy(e[8:], owner[:])
+		buf = append(buf, e[:]...)
+		segments = append(segments, buf[len(buf)-entryLen:])
 	}
-	b := id >> digestBucketShift
-	acc := d.buckets[b]
-	h := entryDigest(id, owner)
-	for i := range acc {
-		acc[i] ^= h[i]
+	if len(segments) == 1 {
+		return chainid.Hash{}, false
 	}
-	if n := d.count[b] - 1; n == 0 {
-		delete(d.buckets, b)
-		delete(d.count, b)
-	} else {
-		d.buckets[b] = acc
-		d.count[b] = n
-	}
-	d.dirty = true
+	return chainid.HashBytes(segments...), true
 }
 
-// buildDigest constructs the bucket accumulators from the current owner
-// table — the one O(owners) pass, paid on the first StateDigest read.
+// buildDigest seeds the incremental structure: every bucket with a live
+// entry starts dirty, so the first StateDigest read derives all sub-digests
+// in one O(owners) pass.
 func (c *Contract) buildDigest() *digestState {
 	mDigestBuilds.Inc()
 	d := &digestState{
-		buckets: make(map[uint64]chainid.Hash),
-		count:   make(map[uint64]int),
-		dirty:   true,
+		subs:  make(map[uint64]chainid.Hash),
+		dirty: make(map[uint64]struct{}),
 	}
-	for id, owner := range c.owners {
-		b := id >> digestBucketShift
-		acc := d.buckets[b]
-		h := entryDigest(id, owner)
-		for i := range acc {
-			acc[i] ^= h[i]
-		}
-		d.buckets[b] = acc
-		d.count[b]++
+	for id := range c.owners {
+		d.dirty[id>>digestBucketShift] = struct{}{}
 	}
 	return d
 }
 
-// topDigest hashes the header and the sorted (bucket, accumulator) pairs
+// flush re-derives every dirty bucket's sub-digest from the owner table,
+// dropping buckets that emptied.
+func (d *digestState) flush(c *Contract) {
+	for b := range d.dirty {
+		mDigestBucketHashes.Inc()
+		if h, ok := c.bucketDigest(b); ok {
+			d.subs[b] = h
+		} else {
+			delete(d.subs, b)
+		}
+	}
+	clear(d.dirty)
+}
+
+// topDigest hashes the header and the sorted (bucket, sub-digest) pairs
 // into the committed digest value.
-func (d *digestState) topDigest(c *Contract) chainid.Hash {
-	idxs := make([]uint64, 0, len(d.buckets))
-	for b := range d.buckets {
+func topDigest(c *Contract, subs map[uint64]chainid.Hash) chainid.Hash {
+	idxs := make([]uint64, 0, len(subs))
+	for b := range subs {
 		idxs = append(idxs, b)
 	}
 	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	const pairLen = 8 + chainid.HashLen
 	segments := make([][]byte, 0, 2+len(idxs))
-	segments = append(segments, []byte("parole/token-state/v2"), c.encodeHeader())
-	for _, b := range idxs {
-		acc := d.buckets[b]
-		seg := make([]byte, 8+chainid.HashLen)
+	segments = append(segments, []byte("parole/token-state/v3"), c.encodeHeader())
+	buf := make([]byte, pairLen*len(idxs))
+	for i, b := range idxs {
+		sub := subs[b]
+		seg := buf[i*pairLen : (i+1)*pairLen]
 		putUint64(seg, b)
-		copy(seg[8:], acc[:])
+		copy(seg[8:], sub[:])
 		segments = append(segments, seg)
 	}
 	return chainid.HashBytes(segments...)
@@ -159,37 +181,36 @@ func (d *digestState) topDigest(c *Contract) chainid.Hash {
 // StateDigest commits to the full contract state (configuration plus the
 // ownership table, bucketed by id range as described at the top of this
 // file). It feeds the L2 state root. The first call builds the incremental
-// structure (O(owners)); subsequent calls cost O(buckets) when anything
-// changed since the last read and O(1) when nothing did.
+// structure (O(owners)); subsequent calls cost O(dirty buckets · bucket
+// size + total buckets) when anything changed since the last read and O(1)
+// when nothing did.
 func (c *Contract) StateDigest() chainid.Hash {
 	if c.dig == nil {
 		c.dig = c.buildDigest()
 	}
-	if c.dig.dirty {
+	d := c.dig
+	if !d.topOK {
 		mDigestRecomputes.Inc()
-		c.dig.top = c.dig.topDigest(c)
-		c.dig.dirty = false
+		d.flush(c)
+		d.top = topDigest(c, d.subs)
+		d.topOK = true
 	}
-	return c.dig.top
+	return d.top
 }
 
 // ColdStateDigest recomputes the digest from the raw owner table, bypassing
 // and not touching the incremental structure — the reference the property
 // tests compare StateDigest against, mirroring state.ColdRoot.
 func (c *Contract) ColdStateDigest() chainid.Hash {
-	d := &digestState{
-		buckets: make(map[uint64]chainid.Hash),
-		count:   make(map[uint64]int),
+	subs := make(map[uint64]chainid.Hash)
+	seen := make(map[uint64]struct{})
+	for id := range c.owners {
+		seen[id>>digestBucketShift] = struct{}{}
 	}
-	for id, owner := range c.owners {
-		b := id >> digestBucketShift
-		acc := d.buckets[b]
-		h := entryDigest(id, owner)
-		for i := range acc {
-			acc[i] ^= h[i]
+	for b := range seen {
+		if h, ok := c.bucketDigest(b); ok {
+			subs[b] = h
 		}
-		d.buckets[b] = acc
-		d.count[b]++
 	}
-	return d.topDigest(c)
+	return topDigest(c, subs)
 }

@@ -8,7 +8,7 @@ import (
 )
 
 // digestContract deploys a wide contract so random ids spread over many
-// digest buckets (ids up to 4096 span 16 buckets at 256 ids each).
+// digest buckets (ids up to 4096 span 128 buckets at 32 ids each).
 func digestContract(t testing.TB) *Contract {
 	t.Helper()
 	c, err := Deploy(ptAddr, Config{
@@ -33,7 +33,7 @@ func TestStateDigestMatchesColdAcrossInterleavings(t *testing.T) {
 	const (
 		trials  = 25
 		steps   = 400
-		idSpace = 4096 // 16 digest buckets
+		idSpace = 4096 // 128 digest buckets
 		users   = 8
 	)
 	for trial := 0; trial < trials; trial++ {

@@ -41,7 +41,7 @@ func (c *Contract) JournalMint(owner chainid.Address, id uint64) (Undo, error) {
 	}
 	u := Undo{c: c, id: id, existed: false, nextID: c.nextID}
 	c.owners[id] = owner
-	c.digestAdd(id, owner)
+	c.digestTouch(id)
 	if id >= c.nextID {
 		c.nextID = id + 1
 	}
@@ -60,8 +60,7 @@ func (c *Contract) JournalTransfer(id uint64, from, to chainid.Address) (Undo, e
 	}
 	u := Undo{c: c, id: id, owner: owner, existed: true, nextID: c.nextID}
 	c.owners[id] = to
-	c.digestRemove(id, owner)
-	c.digestAdd(id, to)
+	c.digestTouch(id)
 	c.version++
 	return u, nil
 }
@@ -77,31 +76,26 @@ func (c *Contract) JournalBurn(id uint64, owner chainid.Address) (Undo, error) {
 	}
 	u := Undo{c: c, id: id, owner: cur, existed: true, nextID: c.nextID}
 	delete(c.owners, id)
-	c.digestRemove(id, cur)
+	c.digestTouch(id)
 	c.version++
 	return u, nil
 }
 
 // Revert restores the owner-table entry and nextID captured by the Undo.
 // Reverting is itself a mutation: the contract version advances (it never
-// rolls back) so version-based caches see the change, and the incremental
-// state digest is patched back along with the owner table.
+// rolls back) so version-based caches see the change, and the touched
+// digest bucket is marked stale so the incremental state digest re-derives
+// it along with the restored owner table.
 func (u *Undo) Revert() {
 	if u.c == nil {
 		return
 	}
-	cur, curOk := u.c.owners[u.id]
 	if u.existed {
 		u.c.owners[u.id] = u.owner
 	} else {
 		delete(u.c.owners, u.id)
 	}
-	if curOk {
-		u.c.digestRemove(u.id, cur)
-	}
-	if u.existed {
-		u.c.digestAdd(u.id, u.owner)
-	}
+	u.c.digestTouch(u.id)
 	u.c.nextID = u.nextID
 	u.c.version++
 }

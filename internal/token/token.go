@@ -196,7 +196,7 @@ func (c *Contract) Mint(owner chainid.Address, id uint64) error {
 	}
 	price := c.Price()
 	c.owners[id] = owner
-	c.digestAdd(id, owner)
+	c.digestTouch(id)
 	if id >= c.nextID {
 		c.nextID = id + 1
 	}
@@ -249,8 +249,7 @@ func (c *Contract) Transfer(id uint64, from, to chainid.Address) error {
 		return err
 	}
 	c.owners[id] = to
-	c.digestRemove(id, from)
-	c.digestAdd(id, to)
+	c.digestTouch(id)
 	c.version++
 	c.recordEvent(Event{Kind: EventTransferred, TokenID: id, From: from, To: to, Price: c.Price()})
 	return nil
@@ -268,7 +267,7 @@ func (c *Contract) Burn(id uint64, owner chainid.Address) error {
 	}
 	price := c.Price()
 	delete(c.owners, id)
-	c.digestRemove(id, owner)
+	c.digestTouch(id)
 	c.version++
 	c.recordEvent(Event{Kind: EventBurned, TokenID: id, From: owner, Price: price})
 	return nil
