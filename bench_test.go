@@ -445,21 +445,6 @@ func BenchmarkMempoolCollect10k(b *testing.B) {
 	}
 }
 
-// BenchmarkMempoolCollectParallel10k is the same collection through
-// CollectParallel; with the persistent heaps the worker count no longer
-// changes the work done, and the batch is byte-identical.
-func BenchmarkMempoolCollectParallel10k(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		p := scalePool(b, 10_000)
-		b.StartTimer()
-		if got := p.CollectParallel(256, 8); len(got) != 256 {
-			b.Fatalf("collected %d", len(got))
-		}
-	}
-}
-
 // BenchmarkCollectDeepPool measures one 256-tx collection from a 100k-deep
 // pool — the depth where the sort-per-collection design spent ~100ms sorting
 // 100k entries to hand over 256. The persistent heaps make this O(B · log):

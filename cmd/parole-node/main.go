@@ -80,7 +80,6 @@ func run() error {
 		timeout         = flag.Duration("timeout", 0, "stop the node after this duration (0 = run until signalled)")
 		mempoolShards   = flag.Int("mempool-shards", mempool.DefaultShards, "mempool shard count (per-account lock domains)")
 		mempoolCap      = flag.Int("mempool-capacity", 0, "max pending transactions across all shards (0 = unbounded)")
-		collectWorkers  = flag.Int("collect-workers", 1, "deprecated, no effect: collection pops persistent per-shard heaps and no longer sorts, so this does not change how batches are built; values above 1 log a startup notice")
 		logLevel        = flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
 		logFormat       = flag.String("log-format", "text", "structured log format: text or json")
 		slowRequest     = flag.Duration("slow-request", 250*time.Millisecond, "warn-log RPC requests slower than this (0 = off)")
@@ -114,9 +113,8 @@ func run() error {
 		return fmt.Errorf("genesis: %w", err)
 	}
 	seq, err := rpc.NewSequencer(node, rpc.SequencerConfig{
-		Interval:       *interval,
-		BatchSize:      *batchSize,
-		CollectWorkers: *collectWorkers,
+		Interval:  *interval,
+		BatchSize: *batchSize,
 	})
 	if err != nil {
 		return err

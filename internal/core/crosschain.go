@@ -1,0 +1,262 @@
+// Cross-chain adversaries. PAROLE's attack is per-rollup: an adversarial
+// sequencer permutes one chain's batches. The multi-rollup world admits two
+// stronger variants from the literature (PAPERS.md): a *shared sequencer*
+// that wins the sequencing rights of several rollups and orders all their
+// batches as one atomic entity ("Atomic Execution is Not Enough"), and a
+// *time-advantaged arbitrageur* who sees the leading chain's sealed batch
+// one round before the lagging chain seals and bridges tokens across the
+// price spread ("MEV Capture Through Time-Advantaged Arbitrage").
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"parole/internal/chainid"
+	"parole/internal/gentranseq"
+	"parole/internal/ovm"
+	"parole/internal/rollup"
+	"parole/internal/state"
+	"parole/internal/telemetry"
+	"parole/internal/trace"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// Cross-chain attack metrics (docs/METRICS.md §core).
+var (
+	mCrossBatches   = telemetry.Default().Counter("core.cross.batches")
+	mCrossReordered = telemetry.Default().Counter("core.cross.reordered")
+	mCrossBridges   = telemetry.Default().Counter("core.cross.bridges")
+)
+
+// CrossReport is one per-chain batch report of a cross-chain adversary.
+type CrossReport struct {
+	ChainID uint64
+	Report
+}
+
+// SharedSequencer is the atomic cross-rollup adversary: one entity holds the
+// sequencing rights of every chain it serves and orders all their batches
+// under a single lock with a single RNG and IFU set — the joint extraction
+// the per-chain adversary cannot coordinate. Install ForChain(id) as each
+// rollup's Sequencer.
+type SharedSequencer struct {
+	vm  *ovm.VM
+	cfg Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	reports []CrossReport
+}
+
+// NewSharedSequencer builds the shared sequencer.
+func NewSharedSequencer(vm *ovm.VM, rng *rand.Rand, cfg Config) (*SharedSequencer, error) {
+	if len(cfg.IFUs) == 0 {
+		return nil, ErrNoIFU
+	}
+	if rng == nil {
+		return nil, ErrNoRNG
+	}
+	if vm == nil {
+		vm = ovm.New()
+	}
+	return &SharedSequencer{vm: vm, cfg: cfg, rng: rng}, nil
+}
+
+// ForChain returns the rollup.Sequencer view of this entity for one chain.
+func (s *SharedSequencer) ForChain(chainID uint64) rollup.Sequencer {
+	return chainView{s: s, chainID: chainID}
+}
+
+// chainView adapts the shared entity to one rollup's Sequencer slot.
+type chainView struct {
+	s       *SharedSequencer
+	chainID uint64
+}
+
+// Order implements rollup.Sequencer.
+func (c chainView) Order(collected tx.Seq, pre *state.State) (tx.Seq, error) {
+	return c.s.order(c.chainID, collected, pre)
+}
+
+// order runs the PAROLE module on one chain's batch under the entity-wide
+// lock: orderings of different chains serialize through one decision stream,
+// which is what makes the extraction atomic across rollups.
+func (s *SharedSequencer) order(chainID uint64, collected tx.Seq, pre *state.State) (tx.Seq, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	sp := trace.StartSpan(trace.SpanCoreOrder,
+		trace.Int("batch_size", int64(len(collected))),
+		trace.Int("chain_id", int64(chainID)))
+	defer sp.End()
+	report := Report{BatchSize: len(collected), InferenceSwaps: -1}
+	res, err := gentranseq.Optimize(s.rng, s.vm, pre, collected, s.cfg.IFUs, s.cfg.Gen)
+	if err != nil {
+		return nil, fmt.Errorf("gentranseq: %w", err)
+	}
+	report.Opportunity = res.Opportunity
+	report.BaselineWealth = res.BaselineWealth
+	report.InferenceSwaps = res.InferenceSwaps
+
+	ordered := collected
+	if res.Improved && res.Improvement > s.cfg.MinImprovement {
+		ordered = res.Final
+		report.Reordered = true
+		report.Improvement = res.Improvement
+	}
+	mCrossBatches.Inc()
+	if report.Reordered {
+		mCrossReordered.Inc()
+	}
+	sp.SetAttr(trace.Bool("reordered", report.Reordered),
+		trace.Int("improvement_wei", int64(report.Improvement)))
+	s.reports = append(s.reports, CrossReport{ChainID: chainID, Report: report})
+	return ordered, nil
+}
+
+// Reports returns a copy of the per-batch log across every chain.
+func (s *SharedSequencer) Reports() []CrossReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]CrossReport(nil), s.reports...)
+}
+
+// TotalProfit sums the reorder improvements across every chain the entity
+// sequences — the joint-extraction quantity the crosschain experiment plots.
+func (s *SharedSequencer) TotalProfit() wei.Amount {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total wei.Amount
+	for _, r := range s.reports {
+		total += r.Improvement
+	}
+	return total
+}
+
+// ChainProfit sums the improvements extracted on one chain.
+func (s *SharedSequencer) ChainProfit(chainID uint64) wei.Amount {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total wei.Amount
+	for _, r := range s.reports {
+		if r.ChainID == chainID {
+			total += r.Improvement
+		}
+	}
+	return total
+}
+
+// HeadStartConfig parameterizes the time-advantaged arbitrageur.
+type HeadStartConfig struct {
+	// Config is the underlying PAROLE sequencer configuration for the
+	// lagging chain the adversary sequences.
+	Config
+	// Token is the collection whose cross-chain price spread is harvested.
+	Token chainid.Address
+	// MinSpread is the smallest per-token price gap worth bridging for.
+	MinSpread wei.Amount
+	// MaxBridgesPerRound caps the tokens moved per observation (0 = 4).
+	MaxBridgesPerRound int
+}
+
+// HeadStart is the time-advantaged cross-chain arbitrageur: it sequences the
+// lagging chain (ordinary PAROLE reordering) and, because it sees the leading
+// chain's sealed batch one round before the lagging chain seals, it knows the
+// leading chain's post-batch price while deciding. When that price exceeds
+// the lagging chain's by more than MinSpread it bridges IFU-owned tokens from
+// the lagging (cheap) chain to the leading (expensive) one — a mark-to-market
+// gain of spread × tokens once the bridge releases.
+type HeadStart struct {
+	seq *Sequencer
+	cfg HeadStartConfig
+
+	obsMu         sync.Mutex
+	observedPrice wei.Amount
+	observed      bool
+}
+
+// NewHeadStart builds the arbitrageur. Install it as the lagging chain's
+// Sequencer; feed Observe with the leading chain's sealed post-states.
+func NewHeadStart(vm *ovm.VM, rng *rand.Rand, cfg HeadStartConfig) (*HeadStart, error) {
+	seq, err := NewSequencer(vm, rng, cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxBridgesPerRound <= 0 {
+		cfg.MaxBridgesPerRound = 4
+	}
+	return &HeadStart{seq: seq, cfg: cfg}, nil
+}
+
+var _ rollup.Sequencer = (*HeadStart)(nil)
+
+// Order implements rollup.Sequencer on the lagging chain.
+func (h *HeadStart) Order(collected tx.Seq, pre *state.State) (tx.Seq, error) {
+	return h.seq.Order(collected, pre)
+}
+
+// Observe records the leading chain's sealed post-state — the information
+// advantage. Call it after the leading chain commits, before the lagging
+// chain seals its own batch for the round.
+func (h *HeadStart) Observe(post *state.State) error {
+	tok, err := post.Token(h.cfg.Token)
+	if err != nil {
+		return err
+	}
+	price := tok.Price()
+	h.obsMu.Lock()
+	h.observedPrice, h.observed = price, true
+	h.obsMu.Unlock()
+	return nil
+}
+
+// BridgePlan is one decided cross-chain move: which token ids to bridge off
+// the lagging chain and the per-token spread backing the decision.
+type BridgePlan struct {
+	TokenIDs []uint64
+	Spread   wei.Amount
+}
+
+// PlanBridge compares the observed leading-chain price against the lagging
+// chain's current price and, when the spread clears MinSpread, picks up to
+// MaxBridgesPerRound IFU-owned token ids (ascending, for determinism) to
+// bridge toward the expensive chain. An empty plan means stand pat.
+func (h *HeadStart) PlanBridge(lagging *state.State) (BridgePlan, error) {
+	h.obsMu.Lock()
+	observedPrice, observed := h.observedPrice, h.observed
+	h.obsMu.Unlock()
+	if !observed {
+		return BridgePlan{}, nil
+	}
+	tok, err := lagging.Token(h.cfg.Token)
+	if err != nil {
+		return BridgePlan{}, err
+	}
+	spread := observedPrice - tok.Price()
+	if spread <= h.cfg.MinSpread {
+		return BridgePlan{}, nil
+	}
+	var ids []uint64
+	for _, ifu := range h.cfg.IFUs {
+		ids = append(ids, tok.OwnedBy(ifu)...)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) > h.cfg.MaxBridgesPerRound {
+		ids = ids[:h.cfg.MaxBridgesPerRound]
+	}
+	if len(ids) > 0 {
+		mCrossBridges.Add(int64(len(ids)))
+	}
+	return BridgePlan{TokenIDs: ids, Spread: spread}, nil
+}
+
+// Reports returns the lagging chain's per-batch attack log.
+func (h *HeadStart) Reports() []Report { return h.seq.Reports() }
+
+// ReorderProfit is the lagging-chain reorder component of the arbitrageur's
+// take (the bridge component is mark-to-market and measured by the scenario).
+func (h *HeadStart) ReorderProfit() wei.Amount { return h.seq.TotalProfit() }

@@ -1,0 +1,232 @@
+package defense
+
+import (
+	"fmt"
+	"sort"
+
+	"parole/internal/chainid"
+	"parole/internal/ovm"
+	"parole/internal/state"
+	"parole/internal/trace"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// ChainBatch pairs one rollup's collected batch with the pre-state it will
+// execute against — the unit the cross-chain inspector correlates.
+type ChainBatch struct {
+	ChainID uint64
+	State   *state.State
+	Batch   tx.Seq
+}
+
+// CrossConfig parameterizes cross-rollup inspection.
+type CrossConfig struct {
+	// Config is applied per chain before the correlation pass.
+	Config
+	// JointThreshold is the tolerance for a user's *summed* worst case
+	// across every chain they touch. Zero defaults to the maximum of the
+	// per-chain thresholds — strictly tighter than the sum of thresholds
+	// the chains would apply in isolation, which is exactly the blind spot
+	// a cross-chain adversary exploits (under every individual threshold,
+	// over all of them combined).
+	JointThreshold wei.Amount
+}
+
+// CrossReport is the outcome of one cross-rollup inspection.
+type CrossReport struct {
+	// Chains holds the per-chain single-rollup reports, in input order.
+	Chains []Report
+	// JointThreshold actually applied to summed cross-chain worst cases.
+	JointThreshold wei.Amount
+	// Suspects are the users involved on at least two chains whose summed
+	// worst case exceeded the joint threshold, sorted.
+	Suspects []chainid.Address
+	// Triggered reports whether the correlation pass found any suspect.
+	Triggered bool
+	// Demoted lists the transactions the correlation pass demoted on each
+	// chain, beyond the per-chain demotions already in Chains.
+	Demoted map[uint64][]tx.Tx
+}
+
+// DemotedCount returns the total demotions across the per-chain and
+// cross-chain passes.
+func (r CrossReport) DemotedCount() int {
+	n := 0
+	for _, cr := range r.Chains {
+		n += len(cr.Demoted)
+	}
+	for _, txs := range r.Demoted {
+		n += len(txs)
+	}
+	return n
+}
+
+// CrossDetector correlates suspicious orderings across rollups: each chain's
+// batch is first screened by the ordinary Section VIII detector, then users
+// active on several chains have their per-chain worst cases *summed* and held
+// against a joint threshold. An adversary spreading its extraction thinly
+// over N rollups stays under every local threshold; the sum gives it away.
+type CrossDetector struct {
+	det *Detector
+	cfg CrossConfig
+}
+
+// NewCrossDetector builds the cross-rollup inspector.
+func NewCrossDetector(vm *ovm.VM, opt Optimizer, cfg CrossConfig) (*CrossDetector, error) {
+	det, err := NewDetector(vm, opt, cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	return &CrossDetector{det: det, cfg: cfg}, nil
+}
+
+// Inspect runs the per-chain detector on every batch, then the cross-chain
+// correlation pass. The caller applies the union of both passes' demotions to
+// the respective mempools (Report.Demoted per chain plus CrossReport.Demoted).
+func (d *CrossDetector) Inspect(batches []ChainBatch) (CrossReport, error) {
+	report := CrossReport{Demoted: make(map[uint64][]tx.Tx)}
+	sp := trace.StartSpan(trace.SpanDefenseCrossInspect,
+		trace.Int("chains", int64(len(batches))))
+	defer func() {
+		sp.SetAttr(trace.Bool("triggered", report.Triggered),
+			trace.Int("suspects", int64(len(report.Suspects))))
+		sp.End()
+	}()
+
+	// Per-chain pass; the correlation works on what survives it.
+	working := make([]tx.Seq, len(batches))
+	var jointThreshold wei.Amount
+	for i, cb := range batches {
+		cr, err := d.det.Inspect(cb.State, cb.Batch)
+		if err != nil {
+			return report, fmt.Errorf("chain %d: %w", cb.ChainID, err)
+		}
+		report.Chains = append(report.Chains, cr)
+		working[i] = withoutDemoted(cb.Batch, cr.Demoted)
+		if th := d.det.Threshold(cb.Batch); th > jointThreshold {
+			jointThreshold = th
+		}
+	}
+	if d.cfg.JointThreshold > 0 {
+		jointThreshold = d.cfg.JointThreshold
+	}
+	report.JointThreshold = jointThreshold
+
+	// Correlation pass: sum each multi-chain user's per-chain worst cases.
+	for _, user := range multiChainUsers(working) {
+		contrib, err := d.contributions(batches, working, user)
+		if err != nil {
+			return report, err
+		}
+		joint := sum(contrib)
+		if joint <= jointThreshold {
+			continue
+		}
+		report.Triggered = true
+		report.Suspects = append(report.Suspects, user)
+
+		// Greedy cross-chain demotion: repeatedly demote the user's tail
+		// involvement on the chain contributing most, until the summed
+		// residual is tolerable.
+		maxDemotions := d.cfg.MaxDemotions
+		if maxDemotions <= 0 {
+			maxDemotions = len(working) * 4
+		}
+		for demoted := 0; joint > jointThreshold && demoted < maxDemotions; demoted++ {
+			ci := argmax(contrib)
+			idxs := working[ci].Involving(user)
+			if len(idxs) == 0 {
+				break
+			}
+			di := idxs[len(idxs)-1]
+			cid := batches[ci].ChainID
+			report.Demoted[cid] = append(report.Demoted[cid], working[ci][di])
+			working[ci] = append(working[ci][:di:di], working[ci][di+1:]...)
+			if contrib[ci], err = d.chainWorst(batches[ci].State, working[ci], user); err != nil {
+				return report, err
+			}
+			joint = sum(contrib)
+		}
+	}
+	return report, nil
+}
+
+// contributions computes the user's worst case on every chain's working
+// batch.
+func (d *CrossDetector) contributions(batches []ChainBatch, working []tx.Seq, user chainid.Address) ([]wei.Amount, error) {
+	out := make([]wei.Amount, len(working))
+	for i := range working {
+		w, err := d.chainWorst(batches[i].State, working[i], user)
+		if err != nil {
+			return nil, fmt.Errorf("chain %d: %w", batches[i].ChainID, err)
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// chainWorst is the user's single-chain worst case, zero when the batch is
+// too small or the user too uninvolved to be favorable (Section V-B).
+func (d *CrossDetector) chainWorst(st *state.State, batch tx.Seq, user chainid.Address) (wei.Amount, error) {
+	if len(batch) < 2 || len(batch.Involving(user)) < 2 {
+		return 0, nil
+	}
+	return d.det.opt.WorstCase(d.det.vm, st, batch, []chainid.Address{user})
+}
+
+// multiChainUsers returns the users involved in at least two of the batches,
+// sorted for determinism.
+func multiChainUsers(batches []tx.Seq) []chainid.Address {
+	counts := make(map[chainid.Address]int)
+	for _, b := range batches {
+		for _, u := range involvedUsers(b) {
+			counts[u]++
+		}
+	}
+	var out []chainid.Address
+	for u, n := range counts {
+		if n >= 2 {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return string(out[i][:]) < string(out[j][:]) })
+	return out
+}
+
+// withoutDemoted removes the demoted transactions from a batch.
+func withoutDemoted(batch tx.Seq, demoted []tx.Tx) tx.Seq {
+	if len(demoted) == 0 {
+		return batch.Clone()
+	}
+	drop := make(map[chainid.Hash]bool, len(demoted))
+	for _, t := range demoted {
+		drop[t.Hash()] = true
+	}
+	var out tx.Seq
+	for _, t := range batch {
+		if !drop[t.Hash()] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func sum(xs []wei.Amount) wei.Amount {
+	var total wei.Amount
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func argmax(xs []wei.Amount) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	_ = xs[best]
+	return best
+}

@@ -1,0 +1,120 @@
+package defense_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"parole/internal/casestudy"
+	"parole/internal/defense"
+	"parole/internal/ovm"
+	"parole/internal/wei"
+)
+
+func newCrossDetector(t *testing.T, cfg defense.CrossConfig) *defense.CrossDetector {
+	t.Helper()
+	d, err := defense.NewCrossDetector(ovm.New(), defense.SearchOptimizer{
+		Rng:            rand.New(rand.NewSource(7)),
+		MaxEvaluations: 2000,
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// crossBatches replays the paper's case study on n independent "chains": the
+// same adversary runs the same favorable batch everywhere, staying under any
+// per-chain threshold set above one chain's worst case while its summed
+// extraction grows with n.
+func crossBatches(t *testing.T, n int) []defense.ChainBatch {
+	t.Helper()
+	out := make([]defense.ChainBatch, n)
+	for i := range out {
+		s, err := casestudy.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = defense.ChainBatch{ChainID: uint64(i + 1), State: s.State, Batch: s.Original}
+	}
+	return out
+}
+
+// TestCrossInspectCatchesSpreadExtraction: per-chain thresholds far above the
+// single-chain worst case keep every local detector quiet, but the joint
+// threshold catches the user replicated across both chains and demotes until
+// the summed worst case is tolerable.
+func TestCrossInspectCatchesSpreadExtraction(t *testing.T) {
+	d := newCrossDetector(t, defense.CrossConfig{
+		Config:         defense.Config{BaseThreshold: wei.FromETH(100)},
+		JointThreshold: wei.FromFloat(0.01),
+	})
+	report, err := d.Inspect(crossBatches(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cr := range report.Chains {
+		if cr.Triggered || len(cr.Demoted) != 0 {
+			t.Fatalf("chain %d: local detector triggered under a permissive threshold", i+1)
+		}
+	}
+	if !report.Triggered {
+		t.Fatal("cross pass missed the extraction spread over two chains")
+	}
+	if len(report.Suspects) == 0 {
+		t.Fatal("triggered cross pass named no suspects")
+	}
+	if report.DemotedCount() == 0 {
+		t.Fatal("triggered cross pass demoted nothing")
+	}
+}
+
+// TestCrossInspectToleratesSmallSpread: a huge joint threshold means no
+// suspects and no demotions beyond what the per-chain pass decides.
+func TestCrossInspectToleratesSmallSpread(t *testing.T) {
+	d := newCrossDetector(t, defense.CrossConfig{
+		Config:         defense.Config{BaseThreshold: wei.FromETH(100)},
+		JointThreshold: wei.FromETH(500),
+	})
+	report, err := d.Inspect(crossBatches(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Triggered || len(report.Suspects) != 0 || report.DemotedCount() != 0 {
+		t.Fatal("cross pass triggered despite a permissive joint threshold")
+	}
+	if len(report.Chains) != 2 {
+		t.Fatalf("per-chain reports = %d, want 2", len(report.Chains))
+	}
+}
+
+// TestCrossInspectNeedsTwoChains: with a single batch no user is multi-chain,
+// so the correlation pass stays quiet no matter how tight the joint threshold.
+func TestCrossInspectNeedsTwoChains(t *testing.T) {
+	d := newCrossDetector(t, defense.CrossConfig{
+		Config:         defense.Config{BaseThreshold: wei.FromETH(100)},
+		JointThreshold: 1,
+	})
+	report, err := d.Inspect(crossBatches(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Triggered || len(report.Demoted) != 0 {
+		t.Fatal("correlation pass triggered on a single chain")
+	}
+}
+
+// TestCrossInspectDefaultJointThreshold: the zero value falls back to the max
+// of the per-chain thresholds.
+func TestCrossInspectDefaultJointThreshold(t *testing.T) {
+	base := wei.FromFloat(0.01)
+	d := newCrossDetector(t, defense.CrossConfig{
+		Config: defense.Config{BaseThreshold: base},
+	})
+	report, err := d.Inspect(crossBatches(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.JointThreshold < base {
+		t.Fatalf("joint threshold %s below the per-chain base %s", report.JointThreshold, base)
+	}
+}

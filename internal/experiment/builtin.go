@@ -15,4 +15,5 @@ func init() {
 	Register(fig11Exp{})
 	Register(defenseExp{})
 	Register(scaleExp{})
+	Register(crosschainExp{})
 }

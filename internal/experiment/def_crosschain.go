@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"parole/internal/sim"
+	"parole/internal/wei"
+)
+
+// crosschainExp is the multi-rollup study (docs/CROSSCHAIN.md): a World of
+// rollups trading the same collection at seeded price discrepancies, swept
+// over the adversary ladder — the paper's per-chain sequencer, a shared
+// sequencer ordering every chain's batches atomically, and a time-advantaged
+// arbitrageur bridging tokens over the spread — with and without the
+// cross-rollup inspector.
+//
+// Every point runs at the SAME derived seed: the cells differ only in the
+// adversary and defense, so the committed rows compare variants on identical
+// workloads, which is what makes "shared > best single-chain" a claim rather
+// than noise. Each cell re-runs its own honest baseline and reports profit
+// as joint IFU end-wealth over that baseline; the "single" cell runs every
+// possible adversary chain and keeps the most profitable.
+type crosschainExp struct{}
+
+// crossCell is one committed row: an adversary/defense pairing.
+type crossCell struct {
+	variant sim.CrossVariant
+	inspect sim.CrossInspect
+}
+
+// crossCells is the committed grid, the ladder under both postures.
+var crossCells = []crossCell{
+	{sim.CrossHonest, sim.CrossInspectOff},
+	{sim.CrossSingle, sim.CrossInspectOff},
+	{sim.CrossShared, sim.CrossInspectOff},
+	{sim.CrossHeadStart, sim.CrossInspectOff},
+	{sim.CrossSingle, sim.CrossInspectOn},
+	{sim.CrossShared, sim.CrossInspectOn},
+	{sim.CrossHeadStart, sim.CrossInspectOn},
+}
+
+func (crosschainExp) Name() string { return "crosschain" }
+
+func (crosschainExp) Columns() []string {
+	return []string{
+		"chains", "mempool", "rounds", "variant", "inspect",
+		"profit_eth", "wealth_eth", "reordered",
+		"bridges", "released", "demotions", "triggers", "batches",
+	}
+}
+
+// crosschainConfig is the per-scale run shape, seed not yet applied.
+func crosschainConfig(scale Scale) sim.CrossChainConfig {
+	c := sim.DefaultCrossChainConfig()
+	switch scale {
+	case ScaleFull:
+		c.Rounds = 6
+		c.MempoolSize = 16
+		c.Users = 14
+		c.MaxSupply = 128
+	case ScaleSmoke:
+		c.Rounds = 2
+		c.MempoolSize = 8
+		c.Users = 10
+		c.MaxSupply = 64
+		c.DetectorEvals = 200
+	}
+	return c
+}
+
+func (crosschainExp) Points(cfg Config) ([]Point, error) {
+	points := make([]Point, len(crossCells))
+	for i, cell := range crossCells {
+		points[i] = Point{
+			Index: i,
+			Label: fmt.Sprintf("crosschain_%s_%s", cell.variant, cell.inspect),
+			File:  "crosschain",
+			// One shared seed across all cells — identical workloads are
+			// the comparison's premise.
+			Seed: cfg.Seed + 70,
+		}
+	}
+	return points, nil
+}
+
+func (crosschainExp) RunPoint(_ context.Context, cfg Config, p Point) ([]Row, error) {
+	if p.Index < 0 || p.Index >= len(crossCells) {
+		return nil, fmt.Errorf("crosschain: point index %d out of range", p.Index)
+	}
+	cell := crossCells[p.Index]
+	c := crosschainConfig(cfg.Scale)
+	c.Seed = p.Seed
+
+	baseCfg := c
+	baseCfg.Variant = sim.CrossHonest
+	baseCfg.Inspect = sim.CrossInspectOff
+	baseline, err := sim.RunCrossChain(baseCfg)
+	if err != nil {
+		return nil, fmt.Errorf("crosschain baseline: %w", err)
+	}
+
+	best, bestProfit := baseline, wei.Amount(0)
+	switch cell.variant {
+	case sim.CrossHonest:
+		run := c
+		run.Inspect = cell.inspect
+		if best, err = sim.RunCrossChain(run); err != nil {
+			return nil, err
+		}
+		bestProfit = best.Wealth - baseline.Wealth
+	case sim.CrossSingle:
+		// The strongest per-chain adversary: try every chain, keep the
+		// most profitable.
+		for chain := uint64(1); chain <= uint64(c.Chains); chain++ {
+			run := c
+			run.Variant = cell.variant
+			run.Inspect = cell.inspect
+			run.AdversaryChain = chain
+			res, err := sim.RunCrossChain(run)
+			if err != nil {
+				return nil, fmt.Errorf("crosschain %s chain %d: %w", cell.variant, chain, err)
+			}
+			if profit := res.Wealth - baseline.Wealth; chain == 1 || profit > bestProfit {
+				best, bestProfit = res, profit
+			}
+		}
+	default:
+		run := c
+		run.Variant = cell.variant
+		run.Inspect = cell.inspect
+		if best, err = sim.RunCrossChain(run); err != nil {
+			return nil, fmt.Errorf("crosschain %s: %w", cell.variant, err)
+		}
+		bestProfit = best.Wealth - baseline.Wealth
+	}
+
+	return []Row{{
+		strconv.Itoa(c.Chains),
+		strconv.Itoa(c.MempoolSize),
+		strconv.Itoa(c.Rounds),
+		string(cell.variant),
+		string(cell.inspect),
+		bestProfit.String(),
+		best.Wealth.String(),
+		strconv.Itoa(best.Reordered),
+		strconv.Itoa(best.BridgesInitiated),
+		strconv.Itoa(best.BridgesReleased),
+		strconv.Itoa(best.Demotions),
+		strconv.Itoa(best.Triggers),
+		strconv.Itoa(best.Batches),
+	}}, nil
+}

@@ -18,14 +18,14 @@ import (
 // scaleExp is the batch-pipeline scaling study (docs/SCALING.md): for each
 // workload size N it drives the full mempool → batch → state-root pipeline —
 // admit N transactions into two identically provisioned sharded pools,
-// collect fixed-size batches from one serially and from the other with
-// scaleWorkers goroutines, apply every batch to one live State, and read the
-// incremental Merkle root after each batch.
+// collect fixed-size batches from both, apply every batch to one live State,
+// and read the incremental Merkle root after each batch.
 //
-// The point fails, rather than emitting a row, if any parallel batch differs
-// from its serial twin in any position, or if the final incremental root
-// disagrees with a cold rebuild — so a committed scale.tsv row is itself
-// evidence of the determinism and correctness claims, not just a timing.
+// The point fails, rather than emitting a row, if any batch from the twin
+// pool differs from its counterpart in any position, or if the final
+// incremental root disagrees with a cold rebuild — so a committed scale.tsv
+// row is itself evidence of the determinism and correctness claims, not just
+// a timing.
 //
 // Deterministic columns come first (the batch digest chains every sealed
 // batch, so one differing transaction anywhere changes the committed cell);
@@ -41,7 +41,6 @@ type scaleExp struct{}
 // column except the recorded shard count to match).
 const (
 	scaleShards    = 32
-	scaleWorkers   = 8
 	scaleBatchSize = 256
 )
 
@@ -57,7 +56,7 @@ func (scaleExp) Name() string { return "scale" }
 
 func (scaleExp) Columns() []string {
 	return []string{
-		"n", "users", "shards", "workers", "batches", "executed", "skipped",
+		"n", "users", "shards", "batches", "executed", "skipped",
 		"batch_digest", "state_root",
 		"admit_ms", "collect_ms", "exec_ms", "root_ms", "cold_root_ms", "total_ms",
 	}
@@ -124,12 +123,12 @@ func (scaleExp) RunPoint(ctx context.Context, cfg Config, p Point) ([]Row, error
 	}
 	st.Root() // build the incremental tree once, before the batch loop
 
-	// Twin pools, identical admission stream: serial collects with one
-	// worker, parallel with scaleWorkers.
+	// Twin pools, identical admission stream: every batch must come out
+	// byte-identical from both (positional divergence fails the point).
 	shards := shardCount(cfg)
 	poolCfg := mempool.Config{Shards: shards}
 	serial := mempool.NewWithConfig(poolCfg)
-	parallel := mempool.NewWithConfig(poolCfg)
+	twin := mempool.NewWithConfig(poolCfg)
 	tAdmit := time.Now()
 	for i := 0; i < n; i++ {
 		m := tx.Mint(ptAddr, uint64(i), chainid.UserAddress(rng.Intn(users))).
@@ -137,8 +136,8 @@ func (scaleExp) RunPoint(ctx context.Context, cfg Config, p Point) ([]Row, error
 		if err := serial.Add(m); err != nil {
 			return nil, fmt.Errorf("scale: admit serial tx %d: %w", i, err)
 		}
-		if err := parallel.Add(m); err != nil {
-			return nil, fmt.Errorf("scale: admit parallel tx %d: %w", i, err)
+		if err := twin.Add(m); err != nil {
+			return nil, fmt.Errorf("scale: admit twin tx %d: %w", i, err)
 		}
 	}
 	admitMS := time.Since(tAdmit)
@@ -157,20 +156,17 @@ func (scaleExp) RunPoint(ctx context.Context, cfg Config, p Point) ([]Row, error
 		}
 		t0 := time.Now()
 		bs := serial.Collect(scaleBatchSize)
-		// The twin deliberately collects through the deprecated
-		// CollectParallel path: workers is a no-op, and this diff pins
-		// that the compatibility wrapper stays byte-identical to Collect.
-		bp := parallel.CollectParallel(scaleBatchSize, scaleWorkers)
+		bp := twin.Collect(scaleBatchSize)
 		collectMS += time.Since(t0)
 		if len(bs) != len(bp) {
-			return nil, fmt.Errorf("scale: batch %d: serial collected %d, parallel %d", batches, len(bs), len(bp))
+			return nil, fmt.Errorf("scale: batch %d: serial collected %d, twin %d", batches, len(bs), len(bp))
 		}
 		if len(bs) == 0 {
 			break
 		}
 		for i := range bs {
 			if bs[i] != bp[i] {
-				return nil, fmt.Errorf("scale: batch %d diverges at position %d: serial %v, parallel %v",
+				return nil, fmt.Errorf("scale: batch %d diverges at position %d: serial %v, twin %v",
 					batches, i, bs[i], bp[i])
 			}
 		}
@@ -211,7 +207,6 @@ func (scaleExp) RunPoint(ctx context.Context, cfg Config, p Point) ([]Row, error
 		strconv.Itoa(n),
 		strconv.Itoa(users),
 		strconv.Itoa(shards),
-		strconv.Itoa(scaleWorkers),
 		strconv.Itoa(batches),
 		strconv.Itoa(executed),
 		strconv.Itoa(skipped),

@@ -9,7 +9,7 @@ import (
 // TestRegistryNames pins the canonical registration order — the order an
 // "all" run executes and emits.
 func TestRegistryNames(t *testing.T) {
-	want := []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "defense", "scale"}
+	want := []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "defense", "scale", "crosschain"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -104,6 +104,13 @@ func TestGoldenFig8(t *testing.T) {
 	goldenCompare(t, "fig8")
 }
 
+func TestGoldenCrosschain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crosschain golden takes ~15s; skipped under -short")
+	}
+	goldenCompare(t, "crosschain")
+}
+
 // goldenFull gates the minutes-scale goldens behind PAROLE_GOLDEN_FULL=1
 // (`make golden-full`).
 func goldenFull(t *testing.T) {

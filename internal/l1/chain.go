@@ -116,6 +116,14 @@ func (c *Chain) Fund(addr chainid.Address, amount wei.Amount) {
 	c.accounts[addr] += amount
 }
 
+// Transfer moves native ETH between accounts. L1-resident contracts that
+// are not the ORSC — the cross-rollup bridge escrow in internal/rollup —
+// move their backing funds through here; conservation (TotalSupply) holds
+// across every transfer by construction.
+func (c *Chain) Transfer(from, to chainid.Address, amount wei.Amount) error {
+	return c.transfer(from, to, amount)
+}
+
 // transfer moves native ETH between accounts.
 func (c *Chain) transfer(from, to chainid.Address, amount wei.Amount) error {
 	if amount < 0 {

@@ -140,6 +140,10 @@ func (o *ORSC) Address() chainid.Address { return o.addr }
 // Round returns the contract's current round counter.
 func (o *ORSC) Round() uint64 { return o.round }
 
+// ChallengePeriod returns how many rounds a batch (or exit) stays
+// challengeable — the window cross-rollup bridge releases are gated on.
+func (o *ORSC) ChallengePeriod() uint64 { return o.challengePeriod }
+
 // StateIndex returns the current L1 state index (Table III column).
 func (o *ORSC) StateIndex() uint64 { return o.stateIndex }
 

@@ -437,23 +437,6 @@ func (p *Pool) Collect(n int) tx.Seq {
 	return batch
 }
 
-// CollectParallel is Collect with an explicit worker count, retained for
-// API compatibility with the sort-per-collection implementation it
-// replaced.
-//
-// Deprecated: the persistent heaps removed the per-shard sort phase — the
-// only part of collection that ever parallelized — so workers is ignored
-// (and deliberately not recorded on the collection span, which would
-// suggest parallelism that no longer exists). Parallelism now lives where
-// the contention is: sharded admission on the RPC side. The batch stays
-// byte-identical for every shard and worker count, exactly as before
-// (TestCollectShardAndWorkerInvariance). New callers should use Collect;
-// CollectParallel will be removed in a follow-up API cleanup.
-func (p *Pool) CollectParallel(n, workers int) tx.Seq {
-	_ = workers
-	return p.Collect(n)
-}
-
 // lockAll / unlockAll take every shard lock in index order, making Pending
 // and Collect atomic against concurrent admissions — a collected batch is a
 // consistent cut of the pool, exactly as with the old single lock.

@@ -16,10 +16,9 @@ func txFrom(user int, id uint64, fee wei.Amount) tx.Tx {
 	return tx.Mint(ptAddr, id, chainid.UserAddress(user)).WithFees(fee, 0)
 }
 
-// TestCollectShardAndWorkerInvariance pins the determinism contract: the
-// collected batch is byte-identical regardless of shard count and collect
-// worker count.
-func TestCollectShardAndWorkerInvariance(t *testing.T) {
+// TestCollectShardInvariance pins the determinism contract: the collected
+// batch is byte-identical regardless of shard count.
+func TestCollectShardInvariance(t *testing.T) {
 	build := func(shards int) *Pool {
 		p := NewWithConfig(Config{Shards: shards})
 		for i := 0; i < 200; i++ {
@@ -39,16 +38,14 @@ func TestCollectShardAndWorkerInvariance(t *testing.T) {
 
 	ref := build(1).Collect(150)
 	for _, shards := range []int{2, 7, 16, 64} {
-		for _, workers := range []int{1, 3, 8} {
-			got := build(shards).CollectParallel(150, workers)
-			if len(got) != len(ref) {
-				t.Fatalf("shards=%d workers=%d: len %d, want %d", shards, workers, len(got), len(ref))
-			}
-			for i := range ref {
-				if got[i] != ref[i] {
-					t.Fatalf("shards=%d workers=%d: batch diverges at %d: %v != %v",
-						shards, workers, i, got[i], ref[i])
-				}
+		got := build(shards).Collect(150)
+		if len(got) != len(ref) {
+			t.Fatalf("shards=%d: len %d, want %d", shards, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("shards=%d: batch diverges at %d: %v != %v",
+					shards, i, got[i], ref[i])
 			}
 		}
 	}
@@ -229,7 +226,7 @@ func TestConcurrentAddDemoteCollect(t *testing.T) {
 					}
 				}
 				if i%9 == 0 {
-					collected <- p.CollectParallel(3, 2)
+					collected <- p.Collect(3)
 				}
 			}
 		}(s)

@@ -1,0 +1,292 @@
+package rollup
+
+import (
+	"errors"
+	"fmt"
+
+	"parole/internal/chainid"
+	"parole/internal/telemetry"
+	"parole/internal/trace"
+	"parole/internal/wei"
+)
+
+// Bridge metrics (docs/METRICS.md §rollup).
+var (
+	mBridgeInitiated = telemetry.Default().Counter("rollup.bridge.initiated")
+	mBridgeReleased  = telemetry.Default().Counter("rollup.bridge.released")
+	mBridgeBounced   = telemetry.Default().Counter("rollup.bridge.bounced")
+)
+
+// Bridge errors.
+var (
+	ErrBridgeSameChain = errors.New("rollup: bridge source and destination are the same chain")
+	ErrBridgeBadAmount = errors.New("rollup: bridge amount must be positive")
+	ErrUnknownTransfer = errors.New("rollup: unknown bridge transfer")
+)
+
+// BridgeKind discriminates what a transfer carries.
+type BridgeKind uint8
+
+// Bridge transfer kinds.
+const (
+	BridgeWei BridgeKind = iota + 1
+	BridgeToken
+)
+
+// BridgeStatus is the lifecycle state of a cross-rollup transfer.
+type BridgeStatus uint8
+
+// Bridge transfer lifecycle states.
+const (
+	// BridgePending: the asset left the source chain and sits in L1 escrow
+	// until the source chain's challenge window closes.
+	BridgePending BridgeStatus = iota + 1
+	// BridgeReleased: the asset materialized on the destination chain.
+	BridgeReleased
+	// BridgeBounced: the destination could not accept the asset (token id
+	// collision or sold-out collection); it was restored on the source chain.
+	BridgeBounced
+)
+
+// String returns the lower-case status name.
+func (s BridgeStatus) String() string {
+	switch s {
+	case BridgePending:
+		return "pending"
+	case BridgeReleased:
+		return "released"
+	case BridgeBounced:
+		return "bounced"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// BridgeTransfer is one in-flight (or settled) cross-rollup asset move:
+// burn-on-source / mint-on-destination for ERC-721s, escrowed wei for native
+// balance. Release is gated on the source chain's batch finalization clock —
+// the transfer only lands once the source round passes the challenge-window
+// deadline, exactly like an optimistic-rollup withdrawal.
+type BridgeTransfer struct {
+	ID        uint64
+	Kind      BridgeKind
+	FromChain uint64
+	ToChain   uint64
+	User      chainid.Address
+	// Amount is the escrowed wei (BridgeWei only).
+	Amount wei.Amount
+	// Token/TokenID identify the bridged ERC-721 (BridgeToken only).
+	Token   chainid.Address
+	TokenID uint64
+	// Deadline is the source-chain ORSC round after which the transfer
+	// settles.
+	Deadline uint64
+	Status   BridgeStatus
+}
+
+// Bridge is the world's L1-mediated asset mover. Native wei is backed 1:1 on
+// L1: initiating a wei transfer moves the backing ETH from the source ORSC's
+// deposit escrow to the bridge escrow account, and release moves it on to the
+// destination ORSC — so every L2 balance stays fully collateralized on L1 and
+// the chain's TotalSupply is invariant under bridging. Tokens are burned on
+// the source chain at initiation and minted on the destination at release;
+// while pending, the id exists on no chain (it is "in escrow").
+type Bridge struct {
+	world     *World
+	escrow    chainid.Address
+	transfers []*BridgeTransfer
+}
+
+// newBridge wires the bridge to its world.
+func newBridge(w *World) *Bridge {
+	return &Bridge{world: w, escrow: chainid.DeriveAddress("bridge/escrow")}
+}
+
+// Escrow returns the bridge's L1 escrow address.
+func (b *Bridge) Escrow() chainid.Address { return b.escrow }
+
+// SendWei initiates a native-balance transfer from the user's account on the
+// source rollup to the same account on the destination rollup. The user's L2
+// balance is debited immediately and the backing L1 ETH moves into bridge
+// escrow; the destination credit lands after the source challenge window.
+func (b *Bridge) SendWei(fromChain, toChain uint64, user chainid.Address, amount wei.Amount) (uint64, error) {
+	b.world.mu.Lock()
+	defer b.world.mu.Unlock()
+	src, _, err := b.endpointsLocked(fromChain, toChain)
+	if err != nil {
+		return 0, err
+	}
+	if amount <= 0 {
+		return 0, fmt.Errorf("%w: %s", ErrBridgeBadAmount, amount)
+	}
+	if err := src.l2.Debit(user, amount); err != nil {
+		return 0, err
+	}
+	if err := b.world.chain.Transfer(src.orsc.Address(), b.escrow, amount); err != nil {
+		// The source ORSC escrow cannot back the balance — roll the debit
+		// back and surface the accounting failure.
+		src.l2.Credit(user, amount)
+		return 0, fmt.Errorf("escrow backing: %w", err)
+	}
+	src.rememberSnapshot()
+	return b.recordLocked(&BridgeTransfer{
+		Kind: BridgeWei, FromChain: fromChain, ToChain: toChain,
+		User: user, Amount: amount,
+		Deadline: src.orsc.Round() + src.orsc.ChallengePeriod(),
+	}), nil
+}
+
+// SendToken initiates an ERC-721 transfer: the token is burned on the source
+// rollup now and minted (same contract address, same id) on the destination
+// after the source challenge window. If the destination cannot mint the id —
+// already minted there, or the collection is sold out — the transfer bounces
+// and the token is re-minted on the source chain at settlement.
+func (b *Bridge) SendToken(fromChain, toChain uint64, user chainid.Address, tokenAddr chainid.Address, id uint64) (uint64, error) {
+	b.world.mu.Lock()
+	defer b.world.mu.Unlock()
+	src, _, err := b.endpointsLocked(fromChain, toChain)
+	if err != nil {
+		return 0, err
+	}
+	tok, err := src.l2.Token(tokenAddr)
+	if err != nil {
+		return 0, err
+	}
+	if err := src.l2.BurnToken(tok, id, user); err != nil {
+		return 0, err
+	}
+	src.rememberSnapshot()
+	return b.recordLocked(&BridgeTransfer{
+		Kind: BridgeToken, FromChain: fromChain, ToChain: toChain,
+		User: user, Token: tokenAddr, TokenID: id,
+		Deadline: src.orsc.Round() + src.orsc.ChallengePeriod(),
+	}), nil
+}
+
+// Transfer returns a copy of the transfer record with the given id.
+func (b *Bridge) Transfer(id uint64) (BridgeTransfer, error) {
+	b.world.mu.Lock()
+	defer b.world.mu.Unlock()
+	if id >= uint64(len(b.transfers)) {
+		return BridgeTransfer{}, fmt.Errorf("%w: %d", ErrUnknownTransfer, id)
+	}
+	return *b.transfers[id], nil
+}
+
+// Transfers returns a copy of every transfer record, in id order.
+func (b *Bridge) Transfers() []BridgeTransfer {
+	b.world.mu.Lock()
+	defer b.world.mu.Unlock()
+	out := make([]BridgeTransfer, len(b.transfers))
+	for i, t := range b.transfers {
+		out[i] = *t
+	}
+	return out
+}
+
+// PendingCount returns how many transfers are still in flight.
+func (b *Bridge) PendingCount() int {
+	b.world.mu.Lock()
+	defer b.world.mu.Unlock()
+	n := 0
+	for _, t := range b.transfers {
+		if t.Status == BridgePending {
+			n++
+		}
+	}
+	return n
+}
+
+// endpointsLocked resolves and validates the transfer endpoints.
+func (b *Bridge) endpointsLocked(fromChain, toChain uint64) (src, dst *Node, err error) {
+	if fromChain == toChain {
+		return nil, nil, fmt.Errorf("%w: %d", ErrBridgeSameChain, fromChain)
+	}
+	src, ok := b.world.nodes[fromChain]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %d", ErrUnknownChainID, fromChain)
+	}
+	dst, ok = b.world.nodes[toChain]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %d", ErrUnknownChainID, toChain)
+	}
+	return src, dst, nil
+}
+
+// recordLocked appends a pending transfer and returns its id.
+func (b *Bridge) recordLocked(t *BridgeTransfer) uint64 {
+	t.ID = uint64(len(b.transfers))
+	t.Status = BridgePending
+	b.transfers = append(b.transfers, t)
+	mBridgeInitiated.Inc()
+	return t.ID
+}
+
+// settleLocked releases every pending transfer whose source chain's round
+// passed the deadline, in id order. Callers hold the world mutex.
+func (b *Bridge) settleLocked() {
+	pending := 0
+	for _, t := range b.transfers {
+		if t.Status == BridgePending {
+			pending++
+		}
+	}
+	if pending == 0 {
+		return
+	}
+	sp := trace.StartSpan(trace.SpanBridgeSettle, trace.Int("pending", int64(pending)))
+	released, bounced := 0, 0
+	for _, t := range b.transfers {
+		if t.Status != BridgePending {
+			continue
+		}
+		src := b.world.nodes[t.FromChain]
+		if src.orsc.Round() <= t.Deadline {
+			continue
+		}
+		dst := b.world.nodes[t.ToChain]
+		switch t.Kind {
+		case BridgeWei:
+			if err := b.world.chain.Transfer(b.escrow, dst.orsc.Address(), t.Amount); err != nil {
+				// Escrow shortfall would mean an accounting bug; leave the
+				// transfer pending so conservation tests surface it.
+				continue
+			}
+			dst.l2.Credit(t.User, t.Amount)
+			dst.rememberSnapshot()
+			t.Status = BridgeReleased
+			released++
+		case BridgeToken:
+			if b.mintOnLocked(dst, t) {
+				t.Status = BridgeReleased
+				released++
+			} else {
+				// Destination rejected the id — restore it on the source
+				// chain. The source burn freed the id and a supply slot, so
+				// the re-mint cannot fail.
+				b.mintOnLocked(src, t)
+				t.Status = BridgeBounced
+				bounced++
+			}
+		}
+	}
+	mBridgeReleased.Add(int64(released))
+	mBridgeBounced.Add(int64(bounced))
+	sp.SetAttr(trace.Int("released", int64(released)), trace.Int("bounced", int64(bounced)))
+	sp.End()
+}
+
+// mintOnLocked mints the bridged token for its user on the given rollup,
+// reporting success. It fails when the chain has no contract at the address,
+// the id is already minted there, or the collection is sold out.
+func (b *Bridge) mintOnLocked(n *Node, t *BridgeTransfer) bool {
+	tok, err := n.l2.Token(t.Token)
+	if err != nil {
+		return false
+	}
+	if err := n.l2.MintToken(tok, t.User, t.TokenID); err != nil {
+		return false
+	}
+	n.rememberSnapshot()
+	return true
+}

@@ -1,0 +1,383 @@
+package rollup
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"parole/internal/chainid"
+	"parole/internal/state"
+	"parole/internal/token"
+	"parole/internal/wei"
+)
+
+// settleWindow advances the world far enough for every in-flight transfer
+// initiated before the call to settle (challenge period 1 → two rounds).
+func settleWindow(w *World) {
+	w.AdvanceRound()
+	w.AdvanceRound()
+}
+
+func TestBridgeWeiLifecycle(t *testing.T) {
+	w, nodes, _, _ := newWorldDeployment(t)
+	supplyBefore := w.L1().TotalSupply()
+	aliceOn2Before := nodes[1].L2State().Balance(alice)
+
+	id, err := w.Bridge().SendWei(1, 2, alice, wei.FromETH(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Source debited immediately; backing wei moved ORSC₁ → bridge escrow.
+	if got := nodes[0].L2State().Balance(alice); got != wei.FromETH(3) {
+		t.Fatalf("source balance = %s, want 3 ETH", got)
+	}
+	if got := w.L1().Balance(w.Bridge().Escrow()); got != wei.FromETH(2) {
+		t.Fatalf("escrow = %s, want 2 ETH", got)
+	}
+	// Not released before the source challenge window closes.
+	w.AdvanceRound()
+	if got := nodes[1].L2State().Balance(alice); got != aliceOn2Before {
+		t.Fatal("destination credited inside the challenge window")
+	}
+	w.AdvanceRound()
+	tr, err := w.Bridge().Transfer(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Status != BridgeReleased {
+		t.Fatalf("status = %s, want released", tr.Status)
+	}
+	if got := nodes[1].L2State().Balance(alice); got != aliceOn2Before+wei.FromETH(2) {
+		t.Fatalf("destination balance = %s, want +2 ETH", got)
+	}
+	if got := w.L1().Balance(w.Bridge().Escrow()); got != 0 {
+		t.Fatalf("escrow after release = %s, want 0", got)
+	}
+	if got := w.L1().TotalSupply(); got != supplyBefore {
+		t.Fatalf("L1 supply drifted: %s → %s", supplyBefore, got)
+	}
+}
+
+func TestBridgeTokenLifecycle(t *testing.T) {
+	w, nodes, _, _ := newWorldDeployment(t)
+	if err := nodes[0].SetupL2(func(st *state.State) error {
+		pt, err := st.Token(ptAddr)
+		if err != nil {
+			return err
+		}
+		return st.MintToken(pt, alice, 3)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := w.Bridge().SendToken(1, 2, alice, ptAddr, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Burned on source, not yet minted on destination: id 3 exists nowhere.
+	for i, node := range nodes {
+		pt, err := node.L2State().Token(ptAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, minted := pt.OwnerOf(3); minted {
+			t.Fatalf("chain %d owns id 3 while in flight", i+1)
+		}
+	}
+	settleWindow(w)
+	pt2, err := nodes[1].L2State().Token(ptAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt2.Owns(alice, 3) {
+		t.Fatal("destination did not mint the bridged token for alice")
+	}
+}
+
+func TestBridgeTokenBounce(t *testing.T) {
+	w, nodes, _, _ := newWorldDeployment(t)
+	// Mint the same id on both chains: the destination must reject the
+	// bridged copy and the source re-mints it at settlement.
+	for _, node := range nodes {
+		if err := node.SetupL2(func(st *state.State) error {
+			pt, err := st.Token(ptAddr)
+			if err != nil {
+				return err
+			}
+			return st.MintToken(pt, alice, 5)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := w.Bridge().SendToken(1, 2, alice, ptAddr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	settleWindow(w)
+	tr, err := w.Bridge().Transfer(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Status != BridgeBounced {
+		t.Fatalf("status = %s, want bounced", tr.Status)
+	}
+	pt1, err := nodes[0].L2State().Token(ptAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt1.Owns(alice, 5) {
+		t.Fatal("bounced token not restored on the source chain")
+	}
+}
+
+func TestBridgeValidation(t *testing.T) {
+	w, nodes, _, _ := newWorldDeployment(t)
+	if _, err := w.Bridge().SendWei(1, 1, alice, wei.FromETH(1)); err == nil {
+		t.Fatal("same-chain transfer accepted")
+	}
+	if _, err := w.Bridge().SendWei(1, 9, alice, wei.FromETH(1)); err == nil {
+		t.Fatal("unknown destination accepted")
+	}
+	if _, err := w.Bridge().SendWei(1, 2, alice, 0); err == nil {
+		t.Fatal("zero amount accepted")
+	}
+	if _, err := w.Bridge().SendWei(1, 2, alice, wei.FromETH(1_000)); err == nil {
+		t.Fatal("over-balance transfer accepted")
+	}
+	if _, err := w.Bridge().SendToken(1, 2, bob, ptAddr, 99); err == nil {
+		t.Fatal("bridging an unminted token accepted")
+	}
+	if got := nodes[0].L2State().Balance(alice); got != wei.FromETH(5) {
+		t.Fatalf("failed sends mutated the source balance: %s", got)
+	}
+	if w.Bridge().PendingCount() != 0 {
+		t.Fatal("failed sends recorded transfers")
+	}
+}
+
+// bridgePropertyWorld builds the property-test fixture: two rollups, four
+// users with L1 funds and L2 deposits, and disjoint preminted token ranges
+// (ids 0–9 on chain 1, 100–109 on chain 2) spread across the users.
+func bridgePropertyWorld(t *testing.T, rng *rand.Rand) (*World, [2]*Node, []chainid.Address, []uint64) {
+	t.Helper()
+	w := NewWorld(WorldConfig{GenesisL1Number: 1})
+	users := []chainid.Address{
+		chainid.UserAddress(1), chainid.UserAddress(2),
+		chainid.UserAddress(3), chainid.UserAddress(4),
+	}
+	var nodes [2]*Node
+	var universe []uint64
+	for i := 0; i < 2; i++ {
+		node, err := w.AddRollup(Config{ChainID: uint64(i + 1), ChallengePeriod: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := uint64(i * 100)
+		if err := node.SetupL2(func(st *state.State) error {
+			pt, err := token.Deploy(ptAddr, token.Config{
+				Name: "ParoleToken", Symbol: "PT",
+				MaxSupply: 64, InitialPrice: wei.FromFloat(0.2),
+			})
+			if err != nil {
+				return err
+			}
+			if err := st.DeployToken(pt); err != nil {
+				return err
+			}
+			for k := uint64(0); k < 10; k++ {
+				if err := st.MintToken(pt, users[rng.Intn(len(users))], base+k); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(0); k < 10; k++ {
+			universe = append(universe, base+k)
+		}
+		nodes[i] = node
+	}
+	for _, u := range users {
+		nodes[0].SetupAccount(u, wei.FromETH(40))
+		for i := 0; i < 2; i++ {
+			if err := nodes[i].Deposit(u, wei.FromETH(10)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return w, nodes, users, universe
+}
+
+// checkBridgeConservation asserts the bridge's two conservation invariants:
+//
+//  1. Wei: the L1 total supply never moves, the bridge escrow holds exactly
+//     the sum of in-flight wei transfers, and each ORSC's L1 balance equals
+//     its rollup's total L2 balance plus its queued-unpaid withdrawals (every
+//     L2 wei stays fully collateralized on L1 through any bridging).
+//  2. Tokens: every id of the premined universe is owned on exactly one
+//     chain, or referenced by exactly one in-flight transfer (L1 escrow) —
+//     never both, never neither, never duplicated.
+func checkBridgeConservation(t *testing.T, w *World, nodes [2]*Node, universe []uint64, supply wei.Amount, unpaid func(i int) wei.Amount) {
+	t.Helper()
+	if got := w.L1().TotalSupply(); got != supply {
+		t.Fatalf("L1 total supply drifted: want %s, got %s", supply, got)
+	}
+	var inFlightWei wei.Amount
+	inFlightTokens := make(map[uint64]int)
+	for _, tr := range w.Bridge().Transfers() {
+		if tr.Status != BridgePending {
+			continue
+		}
+		switch tr.Kind {
+		case BridgeWei:
+			inFlightWei += tr.Amount
+		case BridgeToken:
+			inFlightTokens[tr.TokenID]++
+		}
+	}
+	if got := w.L1().Balance(w.Bridge().Escrow()); got != inFlightWei {
+		t.Fatalf("bridge escrow = %s, want in-flight sum %s", got, inFlightWei)
+	}
+	for i, node := range nodes {
+		backing := node.L2State().TotalBalance() + unpaid(i)
+		if got := w.L1().Balance(node.ORSC().Address()); got != backing {
+			t.Fatalf("chain %d ORSC balance = %s, want L2 total + queued exits = %s", i+1, got, backing)
+		}
+	}
+	for _, id := range universe {
+		owners := inFlightTokens[id]
+		for _, node := range nodes {
+			pt, err := node.L2State().Token(ptAddr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, minted := pt.OwnerOf(id); minted {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("token id %d has %d owners (chains + escrow), want exactly 1", id, owners)
+		}
+	}
+}
+
+// TestBridgeConservationProperty drives random deposit / withdraw / bridge
+// interleavings across two rollups and checks conservation after every step.
+// Run under -race in CI.
+func TestBridgeConservationProperty(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		w, nodes, users, universe := bridgePropertyWorld(t, rng)
+		supply := w.L1().TotalSupply()
+
+		// Track queued withdrawals so the backing invariant can subtract the
+		// ones not yet paid out.
+		type exit struct {
+			chain int
+			id    uint64
+		}
+		var exits []exit
+		unpaid := func(i int) wei.Amount {
+			var total wei.Amount
+			for _, e := range exits {
+				if e.chain != i {
+					continue
+				}
+				wd, err := nodes[i].ORSC().Withdrawal(e.id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !wd.Paid {
+					total += wd.Amount
+				}
+			}
+			return total
+		}
+
+		const steps = 300
+		for step := 0; step < steps; step++ {
+			user := users[rng.Intn(len(users))]
+			src := rng.Intn(2)
+			dst := 1 - src
+			switch rng.Intn(5) {
+			case 0: // deposit fresh L1 funds
+				if w.L1().Balance(user) >= wei.FromETH(1) {
+					if err := nodes[src].Deposit(user, wei.FromETH(1)); err != nil {
+						t.Fatalf("step %d deposit: %v", step, err)
+					}
+				}
+			case 1: // withdraw through the challenge window
+				if bal := nodes[src].L2State().Balance(user); bal > 0 {
+					amount := wei.Amount(1 + rng.Int63n(int64(bal)))
+					id, err := nodes[src].Withdraw(user, amount)
+					if err != nil {
+						t.Fatalf("step %d withdraw: %v", step, err)
+					}
+					exits = append(exits, exit{chain: src, id: id})
+				}
+			case 2: // bridge wei
+				if bal := nodes[src].L2State().Balance(user); bal > 0 {
+					amount := wei.Amount(1 + rng.Int63n(int64(bal)))
+					if _, err := w.Bridge().SendWei(uint64(src+1), uint64(dst+1), user, amount); err != nil {
+						t.Fatalf("step %d bridge wei: %v", step, err)
+					}
+				}
+			case 3: // bridge a token the user owns on the source chain
+				pt, err := nodes[src].L2State().Token(ptAddr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ids := pt.OwnedBy(user); len(ids) > 0 {
+					id := ids[rng.Intn(len(ids))]
+					if _, err := w.Bridge().SendToken(uint64(src+1), uint64(dst+1), user, ptAddr, id); err != nil {
+						t.Fatalf("step %d bridge token: %v", step, err)
+					}
+				}
+			case 4: // advance every chain's round; settle matured transfers
+				w.AdvanceRound()
+			}
+			checkBridgeConservation(t, w, nodes, universe, supply, unpaid)
+		}
+		// Drain: settle everything still in flight and re-check.
+		settleWindow(w)
+		checkBridgeConservation(t, w, nodes, universe, supply, unpaid)
+		if w.Bridge().PendingCount() != 0 {
+			t.Fatal("transfers still pending after drain")
+		}
+	}
+}
+
+// TestBridgeConcurrentHammer exercises the shared-mutex contract under the
+// race detector: four goroutines bridge wei back and forth while a fifth
+// advances rounds; conservation must hold at the end.
+func TestBridgeConcurrentHammer(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	w, nodes, users, universe := bridgePropertyWorld(t, rng)
+	supply := w.L1().TotalSupply()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			user := users[g]
+			for i := 0; i < 50; i++ {
+				src := uint64(1 + (g+i)%2)
+				dst := 3 - src
+				// Insufficient balance is fine (funds may be in flight);
+				// conservation is checked after the dust settles.
+				_, _ = w.Bridge().SendWei(src, dst, user, wei.FromETH(1))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			w.AdvanceRound()
+		}
+	}()
+	wg.Wait()
+	settleWindow(w)
+	checkBridgeConservation(t, w, nodes, universe, supply, func(int) wei.Amount { return 0 })
+}

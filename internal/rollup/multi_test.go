@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"parole/internal/chainid"
+	"parole/internal/state"
+	"parole/internal/token"
 	"parole/internal/tx"
 	"parole/internal/wei"
 )
@@ -68,6 +70,186 @@ func TestTwoAggregatorsShareTheMempool(t *testing.T) {
 	}
 	if pt.Minted() != 10 {
 		t.Fatalf("minted = %d, want 10", pt.Minted())
+	}
+}
+
+// newWorldDeployment builds a two-rollup world over one shared L1: each
+// rollup carries its own PT contract (same address, independent supply),
+// alice and bob hold deposits on both chains, and each chain has its own
+// bonded aggregator and verifier.
+func newWorldDeployment(t *testing.T) (*World, [2]*Node, [2]*Aggregator, [2]*Verifier) {
+	t.Helper()
+	w := NewWorld(WorldConfig{GenesisL1Number: 17_934_498})
+	var (
+		nodes [2]*Node
+		aggs  [2]*Aggregator
+		vers  [2]*Verifier
+	)
+	for i := 0; i < 2; i++ {
+		chainID := uint64(i + 1)
+		node, err := w.AddRollup(Config{ChainID: chainID, ChallengePeriod: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.SetupL2(func(st *state.State) error {
+			pt, err := token.Deploy(ptAddr, token.Config{
+				Name: "ParoleToken", Symbol: "PT",
+				MaxSupply: 10, InitialPrice: wei.FromFloat(0.2),
+			})
+			if err != nil {
+				return err
+			}
+			return st.DeployToken(pt)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		aggAddr := chainid.AggregatorAddress(10 + i)
+		verAddr := chainid.VerifierAddress(10 + i)
+		node.SetupAccount(aggAddr, wei.FromETH(10))
+		node.SetupAccount(verAddr, wei.FromETH(10))
+		if aggs[i], err = NewAggregator(node, aggAddr, wei.FromETH(5), 8, nil); err != nil {
+			t.Fatal(err)
+		}
+		if vers[i], err = NewVerifier(node, verAddr, wei.FromETH(5)); err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	// One L1 funding per user covers deposits into both rollups — the
+	// accounts live on the shared chain.
+	nodes[0].SetupAccount(alice, wei.FromETH(20))
+	nodes[0].SetupAccount(bob, wei.FromETH(20))
+	for i := 0; i < 2; i++ {
+		if err := nodes[i].Deposit(alice, wei.FromETH(5)); err != nil {
+			t.Fatal(err)
+		}
+		if err := nodes[i].Deposit(bob, wei.FromETH(5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w, nodes, aggs, vers
+}
+
+// TestTwoRollupsAnchorToOneL1 interleaves rounds of two rollups over one
+// shared chain: both commit batches, both finalize, and the anchors of both
+// land on the same L1 while the L2 state roots stay independent.
+func TestTwoRollupsAnchorToOneL1(t *testing.T) {
+	w, nodes, aggs, _ := newWorldDeployment(t)
+	if nodes[0].L1() != nodes[1].L1() {
+		t.Fatal("rollups do not share the L1 chain")
+	}
+	if nodes[0].ORSC().Address() == nodes[1].ORSC().Address() {
+		t.Fatal("rollups share an ORSC address")
+	}
+
+	// Interleave three rounds: chain 1 mints even ids, chain 2 odd ids.
+	for round := uint64(0); round < 3; round++ {
+		for i, node := range nodes {
+			id := round*2 + uint64(i)
+			if err := node.SubmitTx(tx.Mint(ptAddr, id, alice).WithFees(10, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		root2Before := nodes[1].L2Root()
+		if _, _, err := aggs[0].Step(); err != nil {
+			t.Fatal(err)
+		}
+		// Chain 1's commit must not move chain 2's root.
+		if nodes[1].L2Root() != root2Before {
+			t.Fatalf("round %d: chain 1 commit perturbed chain 2's root", round)
+		}
+		if _, _, err := aggs[1].Step(); err != nil {
+			t.Fatal(err)
+		}
+		w.AdvanceRound()
+	}
+	anchors := w.AdvanceRound()
+	total := 0
+	for _, chainAnchors := range anchors {
+		total += len(chainAnchors)
+	}
+	if total == 0 {
+		t.Fatal("no batches finalized in the final round")
+	}
+	// Every batch of both chains eventually finalizes.
+	for i, node := range nodes {
+		pending, finalized, reverted := node.BatchStatusCounts()
+		if pending != 0 || reverted != 0 || finalized != 3 {
+			t.Fatalf("chain %d: pending/finalized/reverted = %d/%d/%d, want 0/3/0",
+				i+1, pending, finalized, reverted)
+		}
+	}
+	// The rollups minted independently: 3 tokens each, different ids.
+	for i, node := range nodes {
+		pt, err := node.L2State().Token(ptAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Minted() != 3 {
+			t.Fatalf("chain %d minted = %d, want 3", i+1, pt.Minted())
+		}
+	}
+	if nodes[0].L2Root() == nodes[1].L2Root() {
+		t.Fatal("independent rollups converged on one root (ids differ, they must not)")
+	}
+}
+
+// TestIndependentChallengeGames forges a batch on each rollup in turn and
+// checks the challenge game of one never touches the other: the revert rolls
+// back only the forging chain's state, and only that chain's aggregator bond
+// is slashed.
+func TestIndependentChallengeGames(t *testing.T) {
+	_, nodes, aggs, vers := newWorldDeployment(t)
+	for i := range nodes {
+		other := 1 - i
+		forger := aggs[i].Address()
+		rootBefore := nodes[i].L2Root()
+		otherRootBefore := nodes[other].L2Root()
+		otherBondBefore := nodes[other].ORSC().AggregatorBond(aggs[other].Address())
+
+		forged := chainid.HashBytes([]byte("forged"), []byte{byte(i)})
+		batch, err := nodes[i].SubmitForgedBatch(forger, tx.Seq{tx.Mint(ptAddr, 9, alice)}, forged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		challenged, err := vers[i].Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(challenged) != 1 || challenged[0] != batch.ID {
+			t.Fatalf("chain %d: challenged = %v, want [%d]", i+1, challenged, batch.ID)
+		}
+		if nodes[i].L2Root() != rootBefore {
+			t.Fatalf("chain %d: challenge did not roll back the forging chain", i+1)
+		}
+		if nodes[i].ORSC().AggregatorBond(forger) != 0 {
+			t.Fatalf("chain %d: forger kept its bond", i+1)
+		}
+		// The sibling rollup is untouched: same root, same bonds.
+		if nodes[other].L2Root() != otherRootBefore {
+			t.Fatalf("chain %d: revert perturbed chain %d's state root", i+1, other+1)
+		}
+		if nodes[other].ORSC().AggregatorBond(aggs[other].Address()) != otherBondBefore {
+			t.Fatalf("chain %d: revert slashed chain %d's aggregator", i+1, other+1)
+		}
+	}
+}
+
+// TestWorldDuplicateChainID pins AddRollup's uniqueness check and Rollup's
+// unknown-id error.
+func TestWorldDuplicateChainID(t *testing.T) {
+	w := NewWorld(WorldConfig{})
+	if _, err := w.AddRollup(Config{ChainID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddRollup(Config{ChainID: 7}); err == nil {
+		t.Fatal("duplicate chain id accepted")
+	}
+	if _, err := w.Rollup(8); err == nil {
+		t.Fatal("unknown chain id resolved")
+	}
+	if got := w.ChainIDs(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("ChainIDs = %v, want [7]", got)
 	}
 }
 

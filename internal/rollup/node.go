@@ -50,6 +50,10 @@ var (
 
 // Config parameterizes a rollup deployment.
 type Config struct {
+	// ChainID distinguishes rollups sharing one L1 (a World); it selects the
+	// per-rollup ORSC address. The zero id is the legacy single-chain
+	// deployment, whose ORSC address is unchanged.
+	ChainID uint64
 	// GenesisL1Number is the first L1 block number (display realism only).
 	GenesisL1Number uint64
 	// ChallengePeriod in ORSC rounds.
@@ -64,8 +68,12 @@ type Config struct {
 // Node owns the canonical L2 state and wires the mempool, OVM, L1 chain, and
 // ORSC together. Methods are safe for concurrent use.
 type Node struct {
-	mu sync.Mutex
+	// mu guards the node's mutable state. A standalone node owns its mutex;
+	// nodes created through a World share the world's mutex, because they
+	// share one L1 chain — the single-writer structure internal/l1 documents.
+	mu *sync.Mutex
 
+	chainID uint64
 	l1chain *l1.Chain
 	orsc    *l1.ORSC
 	pool    *mempool.Pool
@@ -77,10 +85,19 @@ type Node struct {
 	snapshots map[chainid.Hash]*state.State
 }
 
-// NewNode builds a rollup deployment with an OVM-replaying adjudicator.
+// NewNode builds a standalone rollup deployment (a world of one) with an
+// OVM-replaying adjudicator and a private L1 chain.
 func NewNode(cfg Config) *Node {
+	return newNodeOnChain(l1.NewChain(cfg.GenesisL1Number), &sync.Mutex{}, cfg)
+}
+
+// newNodeOnChain builds a rollup node anchored to an existing L1 chain,
+// serializing access through the given (possibly shared) mutex.
+func newNodeOnChain(chain *l1.Chain, mu *sync.Mutex, cfg Config) *Node {
 	n := &Node{
-		l1chain:   l1.NewChain(cfg.GenesisL1Number),
+		mu:        mu,
+		chainID:   cfg.ChainID,
+		l1chain:   chain,
 		pool:      mempool.NewWithConfig(cfg.Mempool),
 		vm:        ovm.New(),
 		l2:        state.New(),
@@ -88,13 +105,26 @@ func NewNode(cfg Config) *Node {
 	}
 	n.orsc = l1.NewORSC(
 		n.l1chain,
-		chainid.DeriveAddress("orsc"),
+		orscAddress(cfg.ChainID),
 		l1.AdjudicatorFunc(n.adjudicate),
 		l1.ORSCConfig{ChallengePeriod: cfg.ChallengePeriod, StateIndexBase: cfg.StateIndexBase},
 	)
 	n.rememberSnapshot()
 	return n
 }
+
+// orscAddress derives the per-rollup contract address. Chain id 0 keeps the
+// historical single-chain address so legacy deployments are untouched.
+func orscAddress(chainID uint64) chainid.Address {
+	if chainID == 0 {
+		return chainid.DeriveAddress("orsc")
+	}
+	return chainid.DeriveAddress(fmt.Sprintf("orsc/%d", chainID))
+}
+
+// ChainID returns the rollup's chain id within its world (0 for standalone
+// deployments).
+func (n *Node) ChainID() uint64 { return n.chainID }
 
 // L1 returns the underlying L1 chain.
 func (n *Node) L1() *l1.Chain { return n.l1chain }
@@ -257,20 +287,6 @@ func (n *Node) BatchStatusCounts() (pending, finalized, reverted uint64) {
 // an aggregator receives.
 func (n *Node) Collect(size int) (tx.Seq, *state.State) {
 	return n.pool.Collect(size), n.L2State()
-}
-
-// CollectParallel is Collect with an explicit worker count, retained for
-// API compatibility from when collection sorted each shard per call.
-//
-// Deprecated: the mempool's persistent per-shard heaps removed the sort
-// phase, so workers no longer changes how a batch is built; the batch is
-// byte-identical for every worker count, exactly as before (the canonical
-// order is a total order popped through a deterministic k-way merge). New
-// callers should use Collect; CollectParallel will be removed in a
-// follow-up API cleanup.
-func (n *Node) CollectParallel(size, workers int) (tx.Seq, *state.State) {
-	_ = workers
-	return n.Collect(size)
 }
 
 // CommitBatch executes an ordered batch against the canonical L2 state,

@@ -57,11 +57,11 @@ func submitWorkload(t *testing.T, node *Node, n int) {
 	}
 }
 
-// TestParallelCollectSealsIdenticalBatches is the pipeline-level determinism
-// check: two identically provisioned nodes fed the same workload, one
-// collecting serially and one with 8 workers over 32 shards, must seal
-// byte-identical batches and converge on the same state root.
-func TestParallelCollectSealsIdenticalBatches(t *testing.T) {
+// TestShardedCollectSealsIdenticalBatches is the pipeline-level determinism
+// check: two identically provisioned nodes fed the same workload, one over
+// the default shard count and one over 32 shards, must seal byte-identical
+// batches and converge on the same state root.
+func TestShardedCollectSealsIdenticalBatches(t *testing.T) {
 	const txs, batchSize = 300, 64
 	serial := scaleNode(t, Config{ChallengePeriod: 1}, 48)
 	parallel := scaleNode(t, Config{
@@ -81,7 +81,7 @@ func TestParallelCollectSealsIdenticalBatches(t *testing.T) {
 
 	for round := 0; ; round++ {
 		bs, _ := serial.Collect(batchSize)
-		bp, _ := parallel.CollectParallel(batchSize, 8)
+		bp, _ := parallel.Collect(batchSize)
 		if len(bs) != len(bp) {
 			t.Fatalf("round %d: batch sizes %d vs %d", round, len(bs), len(bp))
 		}

@@ -1,0 +1,112 @@
+package rollup
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"parole/internal/l1"
+)
+
+// World errors.
+var (
+	ErrDuplicateChainID = errors.New("rollup: chain id already registered in world")
+	ErrUnknownChainID   = errors.New("rollup: unknown chain id")
+)
+
+// WorldConfig parameterizes the shared L1 underneath a multi-rollup world.
+type WorldConfig struct {
+	// GenesisL1Number is the shared chain's first block number.
+	GenesisL1Number uint64
+}
+
+// World is N rollups anchored to one shared L1 chain. Each rollup keeps its
+// own chain id, mempool, OVM, state tree, and challenge game; the world owns
+// the L1 they all settle on and the bridge that moves assets between them.
+//
+// All rollups in a world share one mutex (the L1 chain is a single-writer
+// structure), so any interleaving of per-rollup operations is race-free:
+// batch commits, challenges, and bridge settlements serialize in call order.
+type World struct {
+	mu     sync.Mutex
+	chain  *l1.Chain
+	nodes  map[uint64]*Node
+	order  []uint64 // chain ids in registration order, for deterministic iteration
+	bridge *Bridge
+}
+
+// NewWorld creates an empty world over a fresh shared L1 chain.
+func NewWorld(cfg WorldConfig) *World {
+	w := &World{
+		chain: l1.NewChain(cfg.GenesisL1Number),
+		nodes: make(map[uint64]*Node),
+	}
+	w.bridge = newBridge(w)
+	return w
+}
+
+// AddRollup deploys a new rollup (its ORSC and node) on the world's L1. The
+// config's GenesisL1Number is ignored — the world's chain already exists.
+// Chain ids must be unique within the world.
+func (w *World) AddRollup(cfg Config) (*Node, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.nodes[cfg.ChainID]; dup {
+		return nil, fmt.Errorf("%w: %d", ErrDuplicateChainID, cfg.ChainID)
+	}
+	n := newNodeOnChain(w.chain, &w.mu, cfg)
+	w.nodes[cfg.ChainID] = n
+	w.order = append(w.order, cfg.ChainID)
+	return n, nil
+}
+
+// L1 returns the shared chain.
+func (w *World) L1() *l1.Chain { return w.chain }
+
+// Bridge returns the world's cross-rollup bridge.
+func (w *World) Bridge() *Bridge { return w.bridge }
+
+// Rollup returns the node with the given chain id.
+func (w *World) Rollup(chainID uint64) (*Node, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, ok := w.nodes[chainID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownChainID, chainID)
+	}
+	return n, nil
+}
+
+// Rollups returns every node in registration order.
+func (w *World) Rollups() []*Node {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]*Node, len(w.order))
+	for i, id := range w.order {
+		out[i] = w.nodes[id]
+	}
+	return out
+}
+
+// ChainIDs returns the registered chain ids in registration order.
+func (w *World) ChainIDs() []uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]uint64(nil), w.order...)
+}
+
+// AdvanceRound moves every rollup's ORSC clock one round forward (in
+// registration order — finalized batches of different rollups land in
+// separate L1 blocks, preserving per-rollup anchoring), then settles every
+// bridge transfer whose source-chain challenge window has closed. It returns
+// the finalized anchors keyed by chain id.
+func (w *World) AdvanceRound() map[uint64][]l1.BatchAnchor {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	anchors := make(map[uint64][]l1.BatchAnchor, len(w.order))
+	for _, id := range w.order {
+		anchors[id] = w.nodes[id].orsc.AdvanceRound()
+	}
+	w.bridge.settleLocked()
+	return anchors
+}

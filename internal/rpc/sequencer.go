@@ -37,15 +37,6 @@ type SequencerConfig struct {
 	// Bond posted when registering the aggregator on the ORSC. Zero
 	// defaults to 10 ETH.
 	Bond wei.Amount
-	// CollectWorkers is retained for API compatibility from when
-	// collection sorted each mempool shard per call.
-	//
-	// Deprecated: the persistent per-shard heaps removed that sort phase,
-	// so this no longer changes how a batch is built — any value produces
-	// byte-identical batches. Setting it above 1 logs a one-time notice at
-	// startup; the knob (and parole-node's -collect-workers flag) will be
-	// removed in a follow-up API cleanup.
-	CollectWorkers int
 }
 
 // SealInfo summarizes one sealed batch for RPC consumers.
@@ -84,11 +75,6 @@ func NewSequencer(node *rollup.Node, cfg SequencerConfig) (*Sequencer, error) {
 	}
 	if cfg.Bond <= 0 {
 		cfg.Bond = wei.FromETH(10)
-	}
-	if cfg.CollectWorkers > 1 {
-		seqLog.Warn("collect-workers is deprecated and has no effect: "+
-			"persistent mempool heaps removed the per-shard sort it parallelized",
-			logx.Int("collect_workers", cfg.CollectWorkers))
 	}
 	addr := chainid.AggregatorAddress(0)
 	node.SetupAccount(addr, cfg.Bond)

@@ -1,0 +1,562 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parole/internal/chainid"
+	"parole/internal/core"
+	"parole/internal/defense"
+	"parole/internal/gentranseq"
+	"parole/internal/ovm"
+	"parole/internal/rollup"
+	"parole/internal/state"
+	"parole/internal/token"
+	"parole/internal/tx"
+	"parole/internal/wei"
+)
+
+// CrossVariant names the adversary a cross-chain run deploys.
+type CrossVariant string
+
+// The crosschain experiment's adversary ladder, weakest to strongest.
+const (
+	// CrossHonest sequences every chain honestly — the profit baseline.
+	CrossHonest CrossVariant = "honest"
+	// CrossSingle is the paper's per-rollup adversary, confined to
+	// AdversaryChain; every other chain is honest.
+	CrossSingle CrossVariant = "single"
+	// CrossShared is one entity holding every chain's sequencing rights,
+	// reordering all batches atomically.
+	CrossShared CrossVariant = "shared"
+	// CrossHeadStart sequences the cheapest chain and sees the priciest
+	// chain's sealed batch one round early, bridging tokens over the
+	// spread.
+	CrossHeadStart CrossVariant = "headstart"
+)
+
+// CrossInspect selects the defense posture of a cross-chain run.
+type CrossInspect string
+
+// Defense postures.
+const (
+	// CrossInspectOff runs no detector at all.
+	CrossInspectOff CrossInspect = "off"
+	// CrossInspectOn runs the cross-rollup detector over every chain's
+	// collected batch each round and drops the demoted transactions.
+	CrossInspectOn CrossInspect = "cross"
+)
+
+// CrossChainConfig parameterizes one multi-rollup run: a World of Chains
+// rollups trading independent bonding-curve markets of the same collection,
+// with the premint fractions seeding a cross-chain price discrepancy.
+type CrossChainConfig struct {
+	// Chains is the number of rollups sharing the L1 (2–3).
+	Chains int
+	// Users per chain (the same addresses act on every chain).
+	Users int
+	// MempoolSize is the per-chain per-round batch size.
+	MempoolSize int
+	// Rounds of the interleaved pipeline.
+	Rounds int
+	// NumIFUs is the adversary's colluding-user count.
+	NumIFUs int
+	// MaxSupply and InitialPrice of each chain's collection.
+	MaxSupply    uint64
+	InitialPrice wei.Amount
+	// PremintPct is each chain's preminted share of MaxSupply in percent
+	// (len Chains). Fewer available tokens mean a higher bonding-curve
+	// price, so unequal fractions open the spread the head-start
+	// arbitrageur harvests.
+	PremintPct []int
+	// Variant selects the adversary; AdversaryChain (1-based) confines
+	// CrossSingle.
+	Variant        CrossVariant
+	AdversaryChain uint64
+	// Inspect selects the defense posture; JointThreshold and
+	// DetectorEvals parameterize the cross detector.
+	Inspect        CrossInspect
+	JointThreshold wei.Amount
+	DetectorEvals  int
+	// Gen is the GENTRANSEQ budget of every adversarial sequencer.
+	Gen gentranseq.Config
+	// MinSpread and MaxBridgesPerRound parameterize CrossHeadStart.
+	MinSpread          wei.Amount
+	MaxBridgesPerRound int
+	// Seed drives workload generation, the adversary, and the detector.
+	Seed int64
+}
+
+// DefaultCrossChainConfig returns the EXPERIMENTS.md two-rollup setup: an
+// expensive chain (60% preminted) and a cheap one (20%).
+func DefaultCrossChainConfig() CrossChainConfig {
+	return CrossChainConfig{
+		Chains:             2,
+		Users:              12,
+		MempoolSize:        12,
+		Rounds:             4,
+		NumIFUs:            1,
+		MaxSupply:          96,
+		InitialPrice:       wei.FromFloat(0.2),
+		PremintPct:         []int{60, 20},
+		Variant:            CrossHonest,
+		AdversaryChain:     1,
+		Inspect:            CrossInspectOff,
+		JointThreshold:     wei.FromFloat(0.05),
+		DetectorEvals:      1500,
+		Gen:                gentranseq.FastConfig(),
+		MaxBridgesPerRound: 4,
+		Seed:               9,
+	}
+}
+
+// CrossChainResult is one run's outcome.
+type CrossChainResult struct {
+	// Wealth is the IFUs' summed end-of-run TotalWealth across every
+	// chain, after all bridges settled. Profit is Wealth minus the same
+	// run's CrossHonest Wealth.
+	Wealth wei.Amount
+	// Batches committed and Reordered deviations across all chains.
+	Batches   int
+	Reordered int
+	// BridgesInitiated/Released count the arbitrageur's token bridges.
+	BridgesInitiated int
+	BridgesReleased  int
+	// Demotions is the total transactions the detector dropped; Triggers
+	// counts the rounds in which the cross pass fired.
+	Demotions int
+	Triggers  int
+}
+
+// crossTokenAddr is every chain's collection contract address — the "same
+// collection deployed on several rollups" the bridge maps 1:1.
+var crossTokenAddr = chainid.DeriveAddress("sim/crosschain-collection")
+
+// premintBase spaces each chain's preminted ids into disjoint ranges so a
+// bridged token never collides on the destination chain.
+func premintBase(chainID uint64) uint64 { return chainID * 1_000_000 }
+
+// RunCrossChain executes one multi-rollup run on a real rollup.World: every
+// round each chain receives a generated workload, the (possibly shared or
+// time-advantaged) sequencer orders each collected batch, batches commit,
+// and the world advances — finalizing batches and settling bridges.
+func RunCrossChain(cfg CrossChainConfig) (*CrossChainResult, error) {
+	if cfg.Chains < 2 || len(cfg.PremintPct) != cfg.Chains {
+		return nil, fmt.Errorf("%w: %d chains need %d premint fractions",
+			ErrBadScenario, cfg.Chains, cfg.Chains)
+	}
+	if cfg.MempoolSize < 2 || cfg.Rounds <= 0 || cfg.NumIFUs < 1 || cfg.Users < cfg.NumIFUs+2 {
+		return nil, fmt.Errorf("%w: crosschain axes", ErrBadScenario)
+	}
+
+	users := make([]chainid.Address, cfg.Users)
+	for i := range users {
+		users[i] = chainid.UserAddress(i + 1)
+	}
+	ifus := append([]chainid.Address(nil), users[:cfg.NumIFUs]...)
+
+	w, nodes, aggs, err := buildCrossWorld(cfg, users, ifus)
+	if err != nil {
+		return nil, err
+	}
+
+	vm := ovm.New()
+	seqs, shared, head, err := crossSequencers(vm, cfg, ifus)
+	if err != nil {
+		return nil, err
+	}
+	var det *defense.CrossDetector
+	if cfg.Inspect == CrossInspectOn {
+		det, err = defense.NewCrossDetector(vm, defense.SearchOptimizer{
+			Rng:            rand.New(rand.NewSource(cfg.Seed + 29)),
+			MaxEvaluations: cfg.DetectorEvals,
+		}, defense.CrossConfig{JointThreshold: cfg.JointThreshold})
+		if err != nil {
+			return nil, err
+		}
+	}
+	leading, lagging := crossSpreadEndpoints(cfg)
+
+	result := &CrossChainResult{}
+	for round := 0; round < cfg.Rounds; round++ {
+		// Feed every chain its round workload.
+		for ci, node := range nodes {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(round)*1000 + int64(ci) + 1))
+			if err := submitCrossWorkload(rng, node, users, ifus, cfg, round, ci); err != nil {
+				return nil, fmt.Errorf("round %d chain %d: %w", round, ci+1, err)
+			}
+		}
+		// Collect everywhere, then inspect across chains before anything
+		// executes — the detector sees what the sequencers see.
+		collected := make([]tx.Seq, cfg.Chains)
+		pres := make([]*state.State, cfg.Chains)
+		for ci, node := range nodes {
+			collected[ci], pres[ci] = node.Collect(cfg.MempoolSize)
+		}
+		if det != nil {
+			if err := crossInspectRound(det, nodes, collected, pres, result); err != nil {
+				return nil, fmt.Errorf("round %d: %w", round, err)
+			}
+		}
+		// Order and commit chain by chain, registration order. The
+		// head-start adversary acts between the leading chain's commit and
+		// the lagging chain's: it has seen a sealed batch the lagging
+		// chain has not.
+		for ci, node := range nodes {
+			if err := commitCrossBatch(node, aggs[ci], seqs[ci], collected[ci], pres[ci], result); err != nil {
+				return nil, fmt.Errorf("round %d chain %d: %w", round, ci+1, err)
+			}
+			if head != nil && node.ChainID() == leading {
+				if err := headStartBridge(w, head, leading, lagging); err != nil {
+					return nil, fmt.Errorf("round %d: %w", round, err)
+				}
+			}
+		}
+		w.AdvanceRound()
+	}
+	// Drain: finalize the tail batches and release every pending bridge.
+	w.AdvanceRound()
+	w.AdvanceRound()
+
+	for _, t := range w.Bridge().Transfers() {
+		result.BridgesInitiated++
+		if t.Status == rollup.BridgeReleased {
+			result.BridgesReleased++
+		}
+	}
+	result.Reordered = crossReorderCount(seqs, shared, head)
+	for _, node := range nodes {
+		for _, ifu := range ifus {
+			result.Wealth += node.L2State().TotalWealth(ifu)
+		}
+	}
+	return result, nil
+}
+
+// buildCrossWorld assembles the rollups, markets, balances, and bonded
+// aggregators of one run.
+func buildCrossWorld(cfg CrossChainConfig, users, ifus []chainid.Address) (*rollup.World, []*rollup.Node, []chainid.Address, error) {
+	w := rollup.NewWorld(rollup.WorldConfig{GenesisL1Number: 17_934_498})
+	nodes := make([]*rollup.Node, cfg.Chains)
+	aggs := make([]chainid.Address, cfg.Chains)
+	ceiling := wei.MulDiv(cfg.InitialPrice, int64(cfg.MaxSupply), 1)
+	for ci := 0; ci < cfg.Chains; ci++ {
+		chainID := uint64(ci + 1)
+		node, err := w.AddRollup(rollup.Config{ChainID: chainID, ChallengePeriod: 1})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + 500 + int64(chainID)))
+		if err := node.SetupL2(func(st *state.State) error {
+			return setupCrossMarket(rng, st, cfg, chainID, users, ifus, ceiling)
+		}); err != nil {
+			return nil, nil, nil, err
+		}
+		agg := chainid.AggregatorAddress(90 + ci)
+		node.SetupAccount(agg, wei.FromETH(10))
+		if err := node.ORSC().RegisterAggregator(agg, wei.FromETH(5)); err != nil {
+			return nil, nil, nil, err
+		}
+		nodes[ci] = node
+		aggs[ci] = agg
+	}
+	return w, nodes, aggs, nil
+}
+
+// setupCrossMarket deploys one chain's market: the shared-address collection
+// with the chain's premint fraction (ids in the chain's disjoint range, the
+// earliest quarter owned by IFUs so the arbitrageur has inventory to bridge)
+// and randomized user balances with IFUs topped past the curve ceiling.
+func setupCrossMarket(rng *rand.Rand, st *state.State, cfg CrossChainConfig, chainID uint64, users, ifus []chainid.Address, ceiling wei.Amount) error {
+	pt, err := token.Deploy(crossTokenAddr, token.Config{
+		Name: "CrossToken", Symbol: "XPT",
+		MaxSupply: cfg.MaxSupply, InitialPrice: cfg.InitialPrice,
+	})
+	if err != nil {
+		return err
+	}
+	if err := st.DeployToken(pt); err != nil {
+		return err
+	}
+	count := cfg.MaxSupply * uint64(cfg.PremintPct[chainID-1]) / 100
+	for k := uint64(0); k < count; k++ {
+		owner := users[rng.Intn(len(users))]
+		if k < count/4 {
+			owner = ifus[int(k)%len(ifus)]
+		}
+		if err := pt.Mint(owner, premintBase(chainID)+k); err != nil {
+			return fmt.Errorf("premint chain %d: %w", chainID, err)
+		}
+	}
+	for _, u := range users {
+		st.SetBalance(u, wei.FromETH(1)+wei.Amount(rng.Int63n(int64(wei.FromETH(4))+1)))
+	}
+	for _, ifu := range ifus {
+		st.SetBalance(ifu, st.Balance(ifu)+ceiling.Mul(2))
+	}
+	return nil
+}
+
+// crossSequencers wires each chain's sequencer for the configured variant.
+func crossSequencers(vm *ovm.VM, cfg CrossChainConfig, ifus []chainid.Address) ([]rollup.Sequencer, *core.SharedSequencer, *core.HeadStart, error) {
+	seqs := make([]rollup.Sequencer, cfg.Chains)
+	for i := range seqs {
+		seqs[i] = rollup.IdentitySequencer{}
+	}
+	attack := core.Config{IFUs: ifus, Gen: cfg.Gen}
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+	switch cfg.Variant {
+	case CrossHonest:
+		return seqs, nil, nil, nil
+	case CrossSingle:
+		if cfg.AdversaryChain < 1 || cfg.AdversaryChain > uint64(cfg.Chains) {
+			return nil, nil, nil, fmt.Errorf("%w: adversary chain %d of %d",
+				ErrBadScenario, cfg.AdversaryChain, cfg.Chains)
+		}
+		seq, err := core.NewSequencer(vm, rng, attack)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		seqs[cfg.AdversaryChain-1] = seq
+		return seqs, nil, nil, nil
+	case CrossShared:
+		ss, err := core.NewSharedSequencer(vm, rng, attack)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for i := range seqs {
+			seqs[i] = ss.ForChain(uint64(i + 1))
+		}
+		return seqs, ss, nil, nil
+	case CrossHeadStart:
+		_, lagging := crossSpreadEndpoints(cfg)
+		hs, err := core.NewHeadStart(vm, rng, core.HeadStartConfig{
+			Config:             attack,
+			Token:              crossTokenAddr,
+			MinSpread:          cfg.MinSpread,
+			MaxBridgesPerRound: cfg.MaxBridgesPerRound,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		seqs[lagging-1] = hs
+		return seqs, nil, hs, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("%w: variant %q", ErrBadScenario, cfg.Variant)
+	}
+}
+
+// crossSpreadEndpoints picks the priciest (most preminted) chain as the
+// leading end of the spread and the cheapest as the lagging end the
+// arbitrageur sequences. Ties break toward the lower chain id.
+func crossSpreadEndpoints(cfg CrossChainConfig) (leading, lagging uint64) {
+	leading, lagging = 1, 1
+	for i, pct := range cfg.PremintPct {
+		if pct > cfg.PremintPct[leading-1] {
+			leading = uint64(i + 1)
+		}
+		if pct < cfg.PremintPct[lagging-1] {
+			lagging = uint64(i + 1)
+		}
+	}
+	return leading, lagging
+}
+
+// submitCrossWorkload generates MempoolSize feasible transactions against
+// the chain's live state — every IFU involved in at least a mint and a buy,
+// descending fees reproducing the mempool's fee order — and submits them.
+// Nonces are stamped per (round, chain, slot) so repeated shapes across
+// rounds stay distinct in the pool.
+func submitCrossWorkload(rng *rand.Rand, node *rollup.Node, users, ifus []chainid.Address, cfg CrossChainConfig, round, chainIdx int) error {
+	involvement := max(2, cfg.MempoolSize/8)
+	for len(ifus)*involvement > 2*cfg.MempoolSize/3 && involvement > 2 {
+		involvement--
+	}
+	type quota struct {
+		ifu  chainid.Address
+		kind tx.Kind
+	}
+	slots := make([]*quota, cfg.MempoolSize)
+	perm := rng.Perm(cfg.MempoolSize)
+	next := 0
+	kinds := []tx.Kind{tx.KindMint, tx.KindTransfer, tx.KindBurn}
+	for _, ifu := range ifus {
+		for j := 0; j < involvement; j++ {
+			kind := kinds[rng.Intn(len(kinds))]
+			switch j {
+			case 0:
+				kind = tx.KindMint
+			case 1:
+				kind = tx.KindTransfer
+			}
+			slots[perm[next]] = &quota{ifu: ifu, kind: kind}
+			next++
+		}
+	}
+	vm := ovm.New()
+	shadow := node.L2State()
+	for i := 0; i < cfg.MempoolSize; i++ {
+		var (
+			t   tx.Tx
+			err error
+		)
+		if q := slots[i]; q != nil {
+			t, err = generateFor(rng, shadow, crossTokenAddr, q.ifu, q.kind, users)
+		} else {
+			t, err = generateAny(rng, shadow, crossTokenAddr, users)
+		}
+		if err != nil {
+			return fmt.Errorf("slot %d: %w", i, err)
+		}
+		t = t.WithFees(wei.Amount((cfg.MempoolSize-i)*10), 0).
+			WithNonce(uint64(round)*10_000 + uint64(chainIdx)*1_000 + uint64(i))
+		res, err := vm.Execute(shadow, tx.Seq{t})
+		if err != nil {
+			return err
+		}
+		if res.Executed != 1 {
+			return fmt.Errorf("%w: generated tx not executable: %v", ErrStuck, t)
+		}
+		shadow = res.State
+		if err := node.SubmitTx(t); err != nil {
+			return fmt.Errorf("submit slot %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// crossInspectRound runs the cross detector over the round's collected
+// batches and drops the demoted transactions before sequencing.
+func crossInspectRound(det *defense.CrossDetector, nodes []*rollup.Node, collected []tx.Seq, pres []*state.State, result *CrossChainResult) error {
+	batches := make([]defense.ChainBatch, len(nodes))
+	for ci, node := range nodes {
+		batches[ci] = defense.ChainBatch{ChainID: node.ChainID(), State: pres[ci], Batch: collected[ci]}
+	}
+	report, err := det.Inspect(batches)
+	if err != nil {
+		return err
+	}
+	if report.Triggered {
+		result.Triggers++
+	}
+	for _, cr := range report.Chains {
+		if cr.Triggered {
+			result.Triggers++
+		}
+	}
+	result.Demotions += report.DemotedCount()
+	for ci, node := range nodes {
+		drop := append([]tx.Tx(nil), report.Chains[ci].Demoted...)
+		drop = append(drop, report.Demoted[node.ChainID()]...)
+		collected[ci] = crossSurviving(collected[ci], drop)
+	}
+	return nil
+}
+
+// crossSurviving removes demoted transactions from a collected batch.
+func crossSurviving(batch tx.Seq, demoted []tx.Tx) tx.Seq {
+	if len(demoted) == 0 {
+		return batch
+	}
+	drop := make(map[chainid.Hash]bool, len(demoted))
+	for _, t := range demoted {
+		drop[t.Hash()] = true
+	}
+	var out tx.Seq
+	for _, t := range batch {
+		if !drop[t.Hash()] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// commitCrossBatch orders the surviving batch with the chain's sequencer and
+// commits it. Batches thinned below two transactions commit as-is.
+func commitCrossBatch(node *rollup.Node, agg chainid.Address, seq rollup.Sequencer, batch tx.Seq, pre *state.State, result *CrossChainResult) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	ordered := batch
+	if len(batch) >= 2 {
+		var err error
+		if ordered, err = seq.Order(batch, pre); err != nil {
+			return err
+		}
+	}
+	if _, _, err := node.CommitBatch(agg, batch, ordered); err != nil {
+		return err
+	}
+	result.Batches++
+	return nil
+}
+
+// headStartBridge feeds the arbitrageur the leading chain's sealed state and
+// executes its bridge plan: IFU-owned tokens leave the cheap chain for the
+// expensive one.
+func headStartBridge(w *rollup.World, head *core.HeadStart, leading, lagging uint64) error {
+	lead, err := w.Rollup(leading)
+	if err != nil {
+		return err
+	}
+	lag, err := w.Rollup(lagging)
+	if err != nil {
+		return err
+	}
+	if err := head.Observe(lead.L2State()); err != nil {
+		return err
+	}
+	lagState := lag.L2State()
+	plan, err := head.PlanBridge(lagState)
+	if err != nil {
+		return err
+	}
+	if len(plan.TokenIDs) == 0 {
+		return nil
+	}
+	pt, err := lagState.Token(crossTokenAddr)
+	if err != nil {
+		return err
+	}
+	for _, id := range plan.TokenIDs {
+		owner, ok := pt.OwnerOf(id)
+		if !ok {
+			return fmt.Errorf("sim: planned bridge of unminted token %d", id)
+		}
+		if _, err := w.Bridge().SendToken(lagging, leading, owner, crossTokenAddr, id); err != nil {
+			return fmt.Errorf("bridge token %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// crossReorderCount totals the adversary's deviations from fee order.
+func crossReorderCount(seqs []rollup.Sequencer, shared *core.SharedSequencer, head *core.HeadStart) int {
+	n := 0
+	if shared != nil {
+		for _, r := range shared.Reports() {
+			if r.Reordered {
+				n++
+			}
+		}
+		return n
+	}
+	if head != nil {
+		for _, r := range head.Reports() {
+			if r.Reordered {
+				n++
+			}
+		}
+		return n
+	}
+	for _, s := range seqs {
+		if adv, ok := s.(*core.Sequencer); ok {
+			for _, r := range adv.Reports() {
+				if r.Reordered {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+
+	"parole/internal/wei"
+)
+
+// crossRun executes one variant of the shared small configuration.
+func crossRun(t *testing.T, variant CrossVariant, inspect CrossInspect, adversaryChain uint64) *CrossChainResult {
+	t.Helper()
+	cfg := DefaultCrossChainConfig()
+	cfg.Variant = variant
+	cfg.Inspect = inspect
+	cfg.AdversaryChain = adversaryChain
+	res, err := RunCrossChain(cfg)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", variant, inspect, err)
+	}
+	return res
+}
+
+// TestCrossChainAdversaryLadder is the experiment's central claim: with the
+// same seeds, the shared sequencer and the head-start arbitrageur each
+// extract strictly more than the best per-chain adversary.
+func TestCrossChainAdversaryLadder(t *testing.T) {
+	honest := crossRun(t, CrossHonest, CrossInspectOff, 1)
+	if honest.Reordered != 0 || honest.BridgesInitiated != 0 {
+		t.Fatalf("honest run reordered %d / bridged %d", honest.Reordered, honest.BridgesInitiated)
+	}
+
+	var bestSingle wei.Amount
+	cfg := DefaultCrossChainConfig()
+	for chain := uint64(1); chain <= uint64(cfg.Chains); chain++ {
+		res := crossRun(t, CrossSingle, CrossInspectOff, chain)
+		if p := res.Wealth - honest.Wealth; p > bestSingle {
+			bestSingle = p
+		}
+	}
+	shared := crossRun(t, CrossShared, CrossInspectOff, 1)
+	head := crossRun(t, CrossHeadStart, CrossInspectOff, 1)
+
+	sharedProfit := shared.Wealth - honest.Wealth
+	headProfit := head.Wealth - honest.Wealth
+	t.Logf("profit: best-single=%s shared=%s headstart=%s", bestSingle, sharedProfit, headProfit)
+	if sharedProfit <= bestSingle {
+		t.Errorf("shared sequencer profit %s not above best single-chain %s", sharedProfit, bestSingle)
+	}
+	if headProfit <= bestSingle {
+		t.Errorf("head-start profit %s not above best single-chain %s", headProfit, bestSingle)
+	}
+	if head.BridgesInitiated == 0 || head.BridgesReleased == 0 {
+		t.Errorf("head-start bridged %d / released %d, want both > 0",
+			head.BridgesInitiated, head.BridgesReleased)
+	}
+}
+
+// TestCrossChainDeterminism: identical configurations give identical results.
+func TestCrossChainDeterminism(t *testing.T) {
+	a := crossRun(t, CrossShared, CrossInspectOn, 1)
+	b := crossRun(t, CrossShared, CrossInspectOn, 1)
+	if *a != *b {
+		t.Fatalf("runs diverged:\n %+v\n %+v", a, b)
+	}
+}
+
+// TestCrossChainInspectBites: the cross detector demotes something against
+// the shared sequencer and never increases its take.
+func TestCrossChainInspectBites(t *testing.T) {
+	open := crossRun(t, CrossShared, CrossInspectOff, 1)
+	guarded := crossRun(t, CrossShared, CrossInspectOn, 1)
+	if guarded.Demotions == 0 {
+		t.Error("cross inspection demoted nothing against the shared sequencer")
+	}
+	if guarded.Wealth > open.Wealth {
+		t.Errorf("inspection increased the adversary's wealth: %s > %s",
+			guarded.Wealth, open.Wealth)
+	}
+}
+
+// TestCrossChainConfigValidation pins the axis checks.
+func TestCrossChainConfigValidation(t *testing.T) {
+	bad := []func(*CrossChainConfig){
+		func(c *CrossChainConfig) { c.Chains = 1 },
+		func(c *CrossChainConfig) { c.PremintPct = []int{60} },
+		func(c *CrossChainConfig) { c.Rounds = 0 },
+		func(c *CrossChainConfig) { c.Variant = "warp" },
+		func(c *CrossChainConfig) { c.Variant = CrossSingle; c.AdversaryChain = 9 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultCrossChainConfig()
+		mutate(&cfg)
+		if _, err := RunCrossChain(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

@@ -50,6 +50,12 @@ const (
 	// SpanMempoolMerge covers the k-way merge of the per-shard fee orders
 	// inside one mempool batch collection (child of mempool.collect).
 	SpanMempoolMerge = "mempool.merge"
+	// SpanBridgeSettle covers one bridge settlement pass over the in-flight
+	// cross-rollup transfers (World.AdvanceRound).
+	SpanBridgeSettle = "rollup.bridge.settle"
+	// SpanDefenseCrossInspect covers one cross-rollup correlation pass over
+	// the per-chain batches (defense.CrossDetector.Inspect).
+	SpanDefenseCrossInspect = "defense.cross_inspect"
 )
 
 // Per-transaction lifecycle stages recorded via Event. A transaction's
